@@ -1,0 +1,558 @@
+(* Experiment harness.
+
+   The paper (PODS'99) is a theory paper: its "evaluation" consists of the
+   worked examples of figures 1-9.  Section E below regenerates every one
+   of them as an executable check, printing the paper's claim next to the
+   measured verdict.  Sections P1-P6 measure the protocol the paper says
+   it implemented in the WISE system (an online PRED scheduler), against
+   the baselines described in DESIGN.md.  Section P4 uses Bechamel for
+   micro-benchmarks of the checker hot paths. *)
+
+open Tpm_core
+module Scheduler = Tpm_scheduler.Scheduler
+module Generator = Tpm_workload.Generator
+module Cim = Tpm_workload.Cim
+module Travel = Tpm_workload.Travel
+module Baseline = Tpm_baseline.Baseline
+module Metrics = Tpm_sim.Metrics
+module Rm = Tpm_subsys.Rm
+
+(* ------------------------------------------------------------------ *)
+(* table printing *)
+
+let rule = String.make 78 '-'
+
+let section title =
+  Format.printf "@.%s@.%s@.%s@." rule title rule
+
+let print_table headers rows =
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left (fun w row -> max w (String.length (List.nth row i)))
+          (String.length h) rows)
+      headers
+  in
+  let print_row cells =
+    List.iteri
+      (fun i cell -> Format.printf "%-*s  " (List.nth widths i) cell)
+      cells;
+    Format.printf "@."
+  in
+  print_row headers;
+  print_row (List.map (fun w -> String.make w '-') widths);
+  List.iter print_row rows
+
+let pct x = Printf.sprintf "%.0f%%" (100.0 *. x)
+let f1 x = Printf.sprintf "%.1f" x
+let f2 x = Printf.sprintf "%.2f" x
+
+(* ------------------------------------------------------------------ *)
+(* Section E: the paper's figures and examples as executable checks *)
+
+let paper_fixtures () =
+  let act ~proc ~act:n ~service ~kind = Activity.make ~proc ~act:n ~service ~kind () in
+  let p1 =
+    Process.make_exn ~pid:1
+      ~activities:
+        [
+          act ~proc:1 ~act:1 ~service:"s11" ~kind:Activity.Compensatable;
+          act ~proc:1 ~act:2 ~service:"s12" ~kind:Activity.Pivot;
+          act ~proc:1 ~act:3 ~service:"s13" ~kind:Activity.Compensatable;
+          act ~proc:1 ~act:4 ~service:"s14" ~kind:Activity.Pivot;
+          act ~proc:1 ~act:5 ~service:"s15" ~kind:Activity.Retriable;
+          act ~proc:1 ~act:6 ~service:"s16" ~kind:Activity.Retriable;
+        ]
+      ~prec:[ (1, 2); (2, 3); (3, 4); (2, 5); (5, 6) ]
+      ~pref:[ ((2, 3), (2, 5)) ]
+  in
+  let p2 =
+    Process.make_exn ~pid:2
+      ~activities:
+        [
+          act ~proc:2 ~act:1 ~service:"s21" ~kind:Activity.Compensatable;
+          act ~proc:2 ~act:2 ~service:"s22" ~kind:Activity.Compensatable;
+          act ~proc:2 ~act:3 ~service:"s23" ~kind:Activity.Pivot;
+          act ~proc:2 ~act:4 ~service:"s24" ~kind:Activity.Retriable;
+          act ~proc:2 ~act:5 ~service:"s25" ~kind:Activity.Retriable;
+        ]
+      ~prec:[ (1, 2); (2, 3); (3, 4); (4, 5) ]
+      ~pref:[]
+  in
+  let p3 =
+    Process.make_exn ~pid:3
+      ~activities:
+        [
+          act ~proc:3 ~act:1 ~service:"s31" ~kind:Activity.Compensatable;
+          act ~proc:3 ~act:2 ~service:"s32" ~kind:Activity.Pivot;
+        ]
+      ~prec:[ (1, 2) ]
+      ~pref:[]
+  in
+  let spec =
+    Conflict.of_pairs [ ("s11", "s21"); ("s12", "s24"); ("s15", "s25"); ("s11", "s31") ]
+  in
+  (p1, p2, p3, spec)
+
+let section_e () =
+  section "E — paper figures and worked examples (claim vs. measured)";
+  let p1, p2, p3, spec = paper_fixtures () in
+  let fwd p n = Schedule.Act (Activity.Forward (Process.find p n)) in
+  let s_t2 =
+    Schedule.make ~spec ~procs:[ p1; p2 ]
+      [ fwd p1 1; fwd p2 1; fwd p2 2; fwd p2 3; fwd p1 2; fwd p2 4; fwd p1 3 ]
+  in
+  let s_t1 =
+    Schedule.make ~spec ~procs:[ p1; p2 ] [ fwd p1 1; fwd p2 1; fwd p2 2; fwd p2 3 ]
+  in
+  let s'_t2 =
+    Schedule.make ~spec ~procs:[ p1; p2 ]
+      [ fwd p1 1; fwd p2 1; fwd p2 2; fwd p2 3; fwd p2 4; fwd p1 2; fwd p1 3 ]
+  in
+  let s''_t1 =
+    Schedule.make ~spec ~procs:[ p1; p2 ]
+      [ fwd p2 1; fwd p2 2; fwd p2 3; fwd p2 4; fwd p1 1; fwd p2 5; fwd p1 2; fwd p1 3 ]
+  in
+  let s_star =
+    Schedule.make ~spec ~procs:[ p1; p3 ] [ fwd p1 1; fwd p1 2; fwd p3 1; fwd p3 2 ]
+  in
+  (* E9: run figure 1 through the scheduler and check the deferral *)
+  let e9 () =
+    let part = "boiler" in
+    let parts = [ part ] in
+    let rms = Cim.rms ~parts () in
+    let config =
+      {
+        Scheduler.default_config with
+        service_time = (fun s -> if s = "tech_doc:" ^ part then 5.0 else 1.0);
+      }
+    in
+    let t = Scheduler.create ~config ~spec:(Cim.spec ~parts) ~rms () in
+    Scheduler.submit t ~args_of:Cim.args_of (Cim.construction ~pid:1 ~part);
+    Scheduler.submit t ~at:2.5 ~args_of:Cim.args_of (Cim.production ~pid:2 ~part);
+    Scheduler.run t;
+    let h = Scheduler.history t in
+    let pos pred =
+      let rec go i = function [] -> max_int | ev :: r -> if pred ev then i else go (i + 1) r in
+      go 0 (Schedule.events h)
+    in
+    let produce =
+      pos (function
+        | Schedule.Act (Activity.Forward a) -> a.Activity.service = "produce:" ^ part
+        | _ -> false)
+    in
+    let c1 = pos (function Schedule.Commit 1 -> true | _ -> false) in
+    Criteria.pred h && produce > c1
+  in
+  let checks =
+    [
+      ( "E1", "fig 3: P1 has exactly 4 valid executions",
+        List.length (Execution.valid_executions p1) = 4 );
+      ( "E2", "ex 2: C(P1) after a13 = {a13' << a15 << a16}",
+        let st =
+          List.fold_left Execution.exec (Execution.start p1) [ 1; 2; 3 ]
+        in
+        Execution.completion st
+        = [ Activity.Inverse (Process.find p1 3); Activity.Forward (Process.find p1 5);
+            Activity.Forward (Process.find p1 6) ] );
+      ("E3", "fig 4b: S'_t2 not serializable", not (Criteria.serializable s'_t2));
+      ("E4", "fig 4a: S_t2 serializable", Criteria.serializable s_t2);
+      ("E5", "fig 6: completed(S_t2) serializable", Criteria.serializable (Completed.of_schedule s_t2));
+      ("E5b", "ex 6: S_t2 is RED", Criteria.red s_t2);
+      ("E6", "fig 7: S''_t1 is RED and PRED", Criteria.red s''_t1 && Criteria.pred s''_t1);
+      ("E7", "ex 8: prefix S_t1 irreducible => S_t2 not PRED",
+        (not (Criteria.red s_t1)) && not (Criteria.pred s_t2));
+      ("E8", "fig 9: quasi-commit schedule S* is PRED", Criteria.pred s_star);
+      ("E9", "fig 1: scheduler defers produce past C_1, PRED", e9 ());
+    ]
+  in
+  print_table [ "id"; "claim"; "measured" ]
+    (List.map (fun (id, claim, ok) -> [ id; claim; (if ok then "reproduced" else "FAILED") ]) checks);
+  List.for_all (fun (_, _, ok) -> ok) checks
+
+(* ------------------------------------------------------------------ *)
+(* shared runner for the P experiments *)
+
+type run_result = {
+  makespan : float;
+  committed : int;
+  aborted : int;
+  pred_ok : bool;
+  m : Metrics.t;
+}
+
+let run_workload ?(params = Generator.default_params) ?(n = 10) ?(fail = 0.0)
+    ?(config = Scheduler.default_config) ?(check_pred = false) ~seed () =
+  let rms = Generator.rms params ~fail_prob:(fun _ -> fail) ~seed () in
+  let spec = Generator.spec params in
+  let t = Scheduler.create ~config:{ config with seed } ~spec ~rms () in
+  List.iteri
+    (fun i p -> Scheduler.submit t ~at:(0.3 *. float_of_int i) p)
+    (Generator.batch ~seed:(seed * 131) params ~n);
+  Scheduler.run ~until:1e6 t;
+  let h = Scheduler.history t in
+  let count status =
+    List.length (List.filter (fun pid -> Scheduler.status t pid = status) (Schedule.proc_ids h))
+  in
+  {
+    makespan = Scheduler.now t;
+    committed = count Schedule.Committed;
+    aborted = count Schedule.Aborted;
+    pred_ok = (if check_pred then Criteria.pred h else true);
+    m = Scheduler.metrics t;
+  }
+
+let seeds = [ 2; 3; 5; 7; 11 ]
+
+let avg f l = List.fold_left (fun a x -> a +. f x) 0.0 l /. float_of_int (List.length l)
+
+(* P1: makespan/throughput vs conflict density, per scheduler variant *)
+let section_p1 () =
+  section "P1 — scheduler variants vs. conflict density (n=10 processes, 5 seeds)";
+  let variants =
+    [
+      ("serial", `Serial);
+      ("naive-SR", `Config Baseline.naive_sr_config);
+      ("conservative", `Config Baseline.conservative_config);
+      ("deferred (paper)", `Config Baseline.deferred_config);
+      ("quasi (fig 9)", `Config Baseline.quasi_config);
+    ]
+  in
+  let densities = [ 0.05; 0.15; 0.3; 0.5 ] in
+  let rows =
+    List.concat_map
+      (fun density ->
+        let params = { Generator.default_params with conflict_density = density } in
+        List.map
+          (fun (name, kind) ->
+            match kind with
+            | `Serial ->
+                let span =
+                  avg
+                    (fun seed ->
+                      Baseline.serial_makespan
+                        ~make_rms:(fun () -> Generator.rms params ~seed ())
+                        ~spec:(Generator.spec params)
+                        (Generator.batch ~seed:(seed * 131) params ~n:10))
+                    (List.map float_of_int seeds |> List.map int_of_float)
+                in
+                [ pct density; name; f1 span; "10.0"; "0.0"; "-"; "100%" ]
+            | `Config config ->
+                let results =
+                  List.map (fun seed -> run_workload ~params ~config ~check_pred:true ~seed ()) seeds
+                in
+                [
+                  pct density;
+                  name;
+                  f1 (avg (fun r -> r.makespan) results);
+                  f1 (avg (fun r -> float_of_int r.committed) results);
+                  f1 (avg (fun r -> float_of_int r.aborted) results);
+                  string_of_int
+                    (int_of_float
+                       (avg (fun r -> float_of_int (Metrics.count r.m "admission_delays")) results));
+                  pct (avg (fun r -> if r.pred_ok then 1.0 else 0.0) results);
+                ])
+          variants)
+      densities
+  in
+  print_table
+    [ "conflicts"; "scheduler"; "makespan"; "committed"; "aborted"; "delays"; "PRED ok" ]
+    rows;
+  Format.printf
+    "@.shape: the deferred-2PC protocol (the paper's) commits everything at well@.";
+  Format.printf
+    "below serial makespan; conservative delaying deadlocks into stall aborts@.";
+  Format.printf
+    "under contention — the paper's argument for deferred commits via 2PC.@.";
+  Format.printf
+    "naive-SR is fast but its histories violate PRED (unrecoverable).@."
+
+(* P2: pivot fraction / quasi-commit benefit *)
+let section_p2 () =
+  section "P2 — pivot fraction and the quasi-commit of figure 9 (5 seeds)";
+  let rows =
+    List.concat_map
+      (fun pivot_prob ->
+        let params =
+          { Generator.default_params with pivot_prob; conflict_density = 0.3 }
+        in
+        List.map
+          (fun (name, config) ->
+            let results =
+              List.map (fun seed -> run_workload ~params ~config ~seed ()) seeds
+            in
+            [
+              f2 pivot_prob;
+              name;
+              f1 (avg (fun r -> r.makespan) results);
+              f1 (avg (fun r -> float_of_int (Metrics.count r.m "prepared")) results);
+              f1 (avg (fun r -> float_of_int (Metrics.count r.m "admission_delays")) results);
+            ])
+          [
+            ("conservative", Baseline.conservative_config);
+            ("deferred", Baseline.deferred_config);
+            ("quasi", Baseline.quasi_config);
+          ])
+      [ 0.1; 0.3; 0.6 ]
+  in
+  print_table [ "pivot prob"; "scheduler"; "makespan"; "prepared"; "delays" ] rows;
+  Format.printf
+    "@.shape: more pivots => more deferred commits; quasi admits some of them@.";
+  Format.printf "immediately once predecessors are forward-recoverable.@."
+
+(* P3: weak vs strong order *)
+let section_p3 () =
+  section "P3 — weak vs. strong inter-process order (Section 3.6, 5 seeds)";
+  let rows =
+    List.concat_map
+      (fun (density, fail) ->
+        let params =
+          {
+            Generator.default_params with
+            conflict_density = density;
+            services = 6;
+            subsystems = 2;
+          }
+        in
+        List.map
+          (fun (name, config) ->
+            let config = { config with Scheduler.stochastic_times = true } in
+            let results =
+              List.map (fun seed -> run_workload ~params ~config ~fail ~seed ()) seeds
+            in
+            [
+              pct density;
+              pct fail;
+              name;
+              f1 (avg (fun r -> r.makespan) results);
+              f1 (avg (fun r -> float_of_int (Metrics.count r.m "weak_commit_waits")) results);
+              f1 (avg (fun r -> float_of_int (Metrics.count r.m "weak_restarts")) results);
+            ])
+          [
+            ("strong", Scheduler.default_config);
+            ("weak", Baseline.weak_order_config);
+          ])
+      [ (0.2, 0.0); (0.5, 0.0); (0.8, 0.0); (0.5, 0.2) ]
+  in
+  print_table [ "conflicts"; "failures"; "order"; "makespan"; "commit waits"; "restarts" ] rows;
+  Format.printf "@.shape: the weak order overlaps conflicting executions, cutting the@.";
+  Format.printf "makespan; the subsystem enforces the commit order instead.@."
+
+(* P5: crash recovery *)
+let section_p5 () =
+  section "P5 — crash recovery (crash at t=3.0, varying load)";
+  let rows =
+    List.map
+      (fun n ->
+        let params = { Generator.default_params with conflict_density = 0.2 } in
+        let seed = 17 in
+        let rms = Generator.rms params ~seed () in
+        let spec = Generator.spec params in
+        let t = Scheduler.create ~config:{ Scheduler.default_config with seed } ~spec ~rms () in
+        let procs = Generator.batch ~seed:(seed * 131) params ~n in
+        List.iteri (fun i p -> Scheduler.submit t ~at:(0.1 *. float_of_int i) p) procs;
+        Scheduler.run ~until:3.0 t;
+        let records = Scheduler.crash t in
+        let wal_size = List.length records in
+        match Scheduler.recover ~spec ~rms ~procs records with
+        | Error e -> [ string_of_int n; "recovery failed: " ^ e; "-"; "-"; "-"; "-" ]
+        | Ok t2 ->
+            Scheduler.run t2;
+            let stitched = Scheduler.history t2 in
+            let m = Scheduler.metrics t2 in
+            [
+              string_of_int n;
+              string_of_int wal_size;
+              string_of_int (Metrics.count m "recovered_processes");
+              f1 (Scheduler.now t2);
+              string_of_int (Metrics.count m "compensations" + Metrics.count m "completion_activities");
+              (if Criteria.red stitched && Scheduler.finished t2 then "yes" else "NO");
+            ])
+      [ 4; 8; 16; 32 ]
+  in
+  print_table
+    [ "processes"; "WAL records"; "interrupted"; "recovery time"; "recovery acts"; "recovered RED" ]
+    rows;
+  Format.printf "@.shape: recovery work grows linearly with the number of interrupted@.";
+  Format.printf "processes; the stitched pre+post schedule is always reducible.@."
+
+(* P6: failure handling / guaranteed termination *)
+let section_p6 () =
+  section "P6 — failure injection: alternatives instead of global aborts (5 seeds)";
+  let rows =
+    List.map
+      (fun fail ->
+        let params = { Generator.default_params with conflict_density = 0.2 } in
+        let results =
+          List.map (fun seed -> run_workload ~params ~fail ~n:10 ~seed ()) seeds
+        in
+        let stuck =
+          avg
+            (fun r -> float_of_int (10 - r.committed - r.aborted))
+            results
+        in
+        [
+          pct fail;
+          f1 (avg (fun r -> float_of_int r.committed) results);
+          f1 (avg (fun r -> float_of_int r.aborted) results);
+          f1 (avg (fun r -> float_of_int (Metrics.count r.m "branch_failures")) results);
+          f1 (avg (fun r -> float_of_int (Metrics.count r.m "compensations")) results);
+          f1 (avg (fun r -> float_of_int (Metrics.count r.m "retries")) results);
+          f1 stuck;
+        ])
+      [ 0.0; 0.1; 0.3; 0.5 ]
+  in
+  print_table
+    [ "failure rate"; "committed"; "aborted"; "branch switches"; "compensations"; "retries";
+      "stuck" ]
+    rows;
+  Format.printf "@.shape: failures are absorbed by alternatives and retries; the stuck@.";
+  Format.printf "column stays at zero — guaranteed termination (Section 3.1).@."
+
+(* P4: micro-benchmarks of the checker hot paths (Bechamel) *)
+let section_p4 () =
+  section "P4 — checker micro-benchmarks (Bechamel, monotonic clock)";
+  let open Bechamel in
+  let open Toolkit in
+  (* pre-build schedules of growing size from scheduler runs *)
+  let schedule_of_n n =
+    let params = { Generator.default_params with conflict_density = 0.2 } in
+    let rms = Generator.rms params ~seed:5 () in
+    let spec = Generator.spec params in
+    let t = Scheduler.create ~spec ~rms () in
+    List.iteri
+      (fun i p -> Scheduler.submit t ~at:(0.2 *. float_of_int i) p)
+      (Generator.batch ~seed:42 params ~n);
+    Scheduler.run t;
+    Scheduler.history t
+  in
+  let tests =
+    List.concat_map
+      (fun n ->
+        let s = schedule_of_n n in
+        let events = Schedule.length s in
+        [
+          Test.make
+            ~name:(Printf.sprintf "completed/%d-events" events)
+            (Staged.stage (fun () -> ignore (Completed.of_schedule s)));
+          Test.make
+            ~name:(Printf.sprintf "red/%d-events" events)
+            (Staged.stage (fun () -> ignore (Criteria.red s)));
+          Test.make
+            ~name:(Printf.sprintf "pred/%d-events" events)
+            (Staged.stage (fun () -> ignore (Criteria.pred s)));
+        ])
+      [ 4; 8; 16 ]
+  in
+  let grouped = Test.make_grouped ~name:"checker" ~fmt:"%s %s" tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.25) ~kde:(Some 256) () in
+  let raw = Benchmark.all cfg instances grouped in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols ->
+      match Analyze.OLS.estimates ols with
+      | Some [ est ] -> rows := [ name; Printf.sprintf "%.1f" est ] :: !rows
+      | _ -> ())
+    results;
+  print_table [ "benchmark"; "ns/run" ]
+    (List.sort compare !rows);
+  Format.printf "@.shape: the graph-based RED check is polynomial; PRED re-checks every@.";
+  Format.printf "prefix and grows accordingly (the online scheduler avoids this by@.";
+  Format.printf "incremental dependency tracking).@."
+
+(* P7: ablation — incremental dependency tracking vs exact per-admission
+   reducibility checking (Section 3.5's "always consider S-tilde") *)
+let section_p7 () =
+  section "P7 — ablation: incremental admission vs. exact per-admission RED check";
+  let rows =
+    List.concat_map
+      (fun n ->
+        List.map
+          (fun (name, exact) ->
+            let params = { Generator.default_params with conflict_density = 0.25 } in
+            let config = { Scheduler.default_config with exact_admission = exact } in
+            let t0 = Sys.time () in
+            let results =
+              List.map (fun seed -> run_workload ~params ~config ~n ~seed ()) [ 2; 3; 5 ]
+            in
+            let cpu = (Sys.time () -. t0) /. 3.0 in
+            [
+              string_of_int n;
+              name;
+              f1 (avg (fun r -> r.makespan) results);
+              f1 (avg (fun r -> float_of_int r.committed) results);
+              Printf.sprintf "%.0f" (cpu *. 1000.0);
+            ])
+          [ ("incremental (default)", false); ("exact S-tilde check", true) ])
+      [ 5; 10; 15 ]
+  in
+  print_table [ "processes"; "admission"; "makespan"; "committed"; "cpu ms/run" ] rows;
+  Format.printf
+    "@.shape: both admit essentially the same schedules (the incremental@.";
+  Format.printf
+    "tracker is a sound approximation), but the exact check re-runs the@.";
+  Format.printf "reduction per admission and its cost grows quickly with history size.@."
+
+(* P8: open system — Poisson-ish arrivals, throughput and latency vs load *)
+let section_p8 () =
+  section "P8 — open system: latency and throughput vs. arrival rate (3 seeds)";
+  let rows =
+    List.map
+      (fun spacing ->
+        let params = { Generator.default_params with conflict_density = 0.2 } in
+        let n = 30 in
+        let results =
+          List.map
+            (fun seed ->
+              let rms = Generator.rms params ~seed () in
+              let spec = Generator.spec params in
+              let config =
+                { Scheduler.default_config with seed; stochastic_times = true }
+              in
+              let t = Scheduler.create ~config ~spec ~rms () in
+              List.iteri
+                (fun i p -> Scheduler.submit t ~at:(spacing *. float_of_int i) p)
+                (Generator.batch ~seed:(seed * 131) params ~n);
+              Scheduler.run ~until:1e6 t;
+              let m = Scheduler.metrics t in
+              ( float_of_int (Metrics.count m "committed"
+                              + Metrics.count m "committed_via_completion")
+                /. Scheduler.now t,
+                Metrics.mean m "latency",
+                Metrics.quantile m "latency" 0.95 ))
+            [ 2; 3; 5 ]
+        in
+        let avg3 f = avg f results in
+        [
+          f2 (1.0 /. spacing);
+          f2 (avg3 (fun (tp, _, _) -> tp));
+          f1 (avg3 (fun (_, lat, _) -> lat));
+          f1 (avg3 (fun (_, _, p95) -> p95));
+        ])
+      [ 4.0; 2.0; 1.0; 0.5; 0.25 ]
+  in
+  print_table [ "arrival rate"; "throughput"; "mean latency"; "p95 latency" ] rows;
+  Format.printf
+    "@.shape: throughput follows the offered load until contention saturates@.";
+  Format.printf "it; latency then grows sharply — a classic open-system knee.@."
+
+let () =
+  Format.printf "Transactional Process Management — experiment harness@.";
+  Format.printf "(reproduction of Schuldt, Alonso, Schek: PODS'99)@.";
+  let ok = section_e () in
+  section_p1 ();
+  section_p2 ();
+  section_p3 ();
+  section_p4 ();
+  section_p5 ();
+  section_p6 ();
+  section_p7 ();
+  section_p8 ();
+  Format.printf "@.%s@." rule;
+  Format.printf "scenario reproduction: %s@." (if ok then "ALL REPRODUCED" else "FAILURES ABOVE");
+  if not ok then exit 1

@@ -1,0 +1,1 @@
+examples/cim_scenario.ml: Criteria Format List Schedule Tpm_core Tpm_kv Tpm_scheduler Tpm_subsys Tpm_workload

@@ -1,0 +1,1 @@
+examples/cim_scenario.mli:

@@ -1,0 +1,1 @@
+examples/composed_workflow.ml: Activity Builder Compose Criteria Dot Execution Flex Format List Process Result Schedule Tpm_core Tpm_kv Tpm_scheduler Tpm_subsys

@@ -1,0 +1,1 @@
+examples/composed_workflow.mli:

@@ -1,0 +1,1 @@
+examples/ecommerce_orders.ml: Format List Process Schedule String Tpm_core Tpm_kv Tpm_scheduler Tpm_sim Tpm_subsys Tpm_workload

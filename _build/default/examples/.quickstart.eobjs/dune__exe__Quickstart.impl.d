@@ -1,0 +1,1 @@
+examples/quickstart.ml: Activity Criteria Flex Format Process Result Schedule Tpm_core Tpm_kv Tpm_scheduler Tpm_subsys

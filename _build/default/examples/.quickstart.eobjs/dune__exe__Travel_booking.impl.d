@@ -1,0 +1,1 @@
+examples/travel_booking.ml: Criteria Format List Schedule Tpm_core Tpm_kv Tpm_scheduler Tpm_sim Tpm_subsys Tpm_workload

@@ -1,0 +1,87 @@
+(* E-commerce order pipelines (the WISE-style motivation of the paper):
+   a stream of orders over shared items and customer accounts, with
+   failure injection, a scheduler crash in the middle of the run, and
+   recovery from the write-ahead log.
+
+     dune exec examples/ecommerce_orders.exe *)
+
+open Tpm_core
+module Scheduler = Tpm_scheduler.Scheduler
+module Ecommerce = Tpm_workload.Ecommerce
+module Rm = Tpm_subsys.Rm
+module Store = Tpm_kv.Store
+module Value = Tpm_kv.Value
+module Metrics = Tpm_sim.Metrics
+
+let items = [ "widget"; "sprocket"; "gizmo" ]
+let customers = [ "acme"; "umbrella"; "initech" ]
+
+let () =
+  let fail_prob s = if String.length s >= 7 && String.sub s 0 7 = "reserve" then 0.25 else 0.0 in
+  let rms = Ecommerce.rms ~items ~customers ~fail_prob ~seed:7 () in
+  let spec = Ecommerce.spec ~items ~customers in
+  let config = { Scheduler.default_config with stochastic_times = true; seed = 99 } in
+  let t = Scheduler.create ~config ~spec ~rms () in
+  let n = 12 in
+  let procs =
+    List.init n (fun i ->
+        let item = List.nth items (i mod List.length items) in
+        let customer = List.nth customers (i mod List.length customers) in
+        Ecommerce.order ~pid:(i + 1) ~item ~customer)
+  in
+  List.iteri
+    (fun i p -> Scheduler.submit t ~at:(0.5 *. float_of_int i) ~args_of:Ecommerce.args_of p)
+    procs;
+
+  (* crash mid-stream *)
+  Scheduler.run ~until:4.0 t;
+  Format.printf "crash at t=%.1f with %d/%d orders done@." (Scheduler.now t)
+    (List.length
+       (List.filter
+          (fun p -> Scheduler.status t (Process.pid p) <> Schedule.Active)
+          procs))
+    n;
+  let records = Scheduler.crash t in
+
+  match Scheduler.recover ~config ~spec ~rms ~procs records with
+  | Error e -> Format.printf "recovery failed: %s@." e
+  | Ok t2 ->
+      (* recovery completes the interrupted orders; new work keeps arriving *)
+      Scheduler.run t2;
+      Format.printf "after recovery, interrupted orders completed@.";
+      let committed = ref 0 and aborted = ref 0 in
+      List.iter
+        (fun p ->
+          match Scheduler.status t2 (Process.pid p) with
+          | Schedule.Committed -> incr committed
+          | Schedule.Aborted -> incr aborted
+          | Schedule.Active -> (
+              match Scheduler.status t (Process.pid p) with
+              | Schedule.Committed -> incr committed
+              | Schedule.Aborted -> incr aborted
+              | Schedule.Active -> ()))
+        procs;
+      Format.printf "orders: %d committed, %d rolled back, of %d submitted before the crash@."
+        !committed !aborted n;
+      List.iter
+        (fun item ->
+          Format.printf "  stock %-9s %a   backlog %a@." item Value.pp
+            (Store.get
+               (Rm.store (List.find (fun rm -> Rm.name rm = "warehouse") rms))
+               ("stock:" ^ item))
+            Value.pp
+            (Store.get
+               (Rm.store (List.find (fun rm -> Rm.name rm = "warehouse") rms))
+               ("backlog:" ^ item)))
+        items;
+      List.iter
+        (fun customer ->
+          Format.printf "  account %-9s %a@." customer Value.pp
+            (Store.get
+               (Rm.store (List.find (fun rm -> Rm.name rm = "billing") rms))
+               ("account:" ^ customer)))
+        customers;
+      let m = Scheduler.metrics t2 in
+      Format.printf "recovered processes: %d, compensations during recovery: %d@."
+        (Metrics.count m "recovered_processes")
+        (Metrics.count m "compensations")

@@ -1,0 +1,67 @@
+(* Travel booking with alternatives: several customers book the same trip
+   concurrently; hotel A fills up (injected failures) so some bookings
+   fall through to hotel B; one payment failure triggers full backward
+   recovery.
+
+     dune exec examples/travel_booking.exe *)
+
+open Tpm_core
+module Scheduler = Tpm_scheduler.Scheduler
+module Travel = Tpm_workload.Travel
+module Rm = Tpm_subsys.Rm
+module Store = Tpm_kv.Store
+module Value = Tpm_kv.Value
+module Metrics = Tpm_sim.Metrics
+
+let trip = "zrh-syd"
+
+let () =
+  let trips = [ trip ] in
+  (* hotel A fails 60% of the time, payment 15% *)
+  let fail_prob s =
+    if s = "book_hotel_a:" ^ trip then 0.6
+    else if s = "pay:" ^ trip then 0.15
+    else 0.0
+  in
+  let rms = Travel.rms ~trips ~fail_prob ~seed:2026 () in
+  let t = Scheduler.create ~spec:(Travel.spec ~trips) ~rms () in
+  let n = 8 in
+  for pid = 1 to n do
+    Scheduler.submit t
+      ~at:(0.4 *. float_of_int (pid - 1))
+      ~args_of:Travel.args_of
+      (Travel.booking ~pid ~trip)
+  done;
+  Scheduler.run t;
+
+  let committed = ref 0 and aborted = ref 0 in
+  for pid = 1 to n do
+    match Scheduler.status t pid with
+    | Schedule.Committed -> incr committed
+    | Schedule.Aborted -> incr aborted
+    | Schedule.Active -> ()
+  done;
+  Format.printf "bookings: %d committed, %d rolled back (of %d)@." !committed !aborted n;
+
+  let airline = List.find (fun rm -> Rm.name rm = "airline") rms in
+  let hotels = List.find (fun rm -> Rm.name rm = "hotels") rms in
+  let payment = List.find (fun rm -> Rm.name rm = "payment") rms in
+  let seats = Store.get (Rm.store airline) ("seats:" ^ trip) in
+  let rooms_a = Store.get (Rm.store hotels) ("rooms_a:" ^ trip) in
+  let rooms_b = Store.get (Rm.store hotels) ("rooms_b:" ^ trip) in
+  let ledger = Store.get (Rm.store payment) ("ledger:" ^ trip) in
+  Format.printf "seats booked: %a  (hotel A: %a, hotel B: %a)  ledger: %a@." Value.pp seats
+    Value.pp rooms_a Value.pp rooms_b Value.pp ledger;
+
+  (* consistency: committed bookings = seats = rooms_a + rooms_b = ledger/100 *)
+  let as_int = function Value.Int n -> n | _ -> 0 in
+  assert (as_int seats = !committed);
+  assert (as_int rooms_a + as_int rooms_b = !committed);
+  assert (as_int ledger = 100 * !committed);
+
+  let h = Scheduler.history t in
+  Format.printf "history is legal: %b, PRED: %b@." (Schedule.legal h) (Criteria.pred h);
+  let m = Scheduler.metrics t in
+  Format.printf "retries: %d, compensations: %d, cascades: %d, makespan: %.1f@."
+    (Metrics.count m "retries") (Metrics.count m "compensations")
+    (Metrics.count m "cascaded_aborts") (Scheduler.now t)

@@ -1,0 +1,1 @@
+lib/baseline/baseline.ml: List Tpm_kv Tpm_scheduler

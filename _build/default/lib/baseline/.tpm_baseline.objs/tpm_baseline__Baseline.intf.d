@@ -1,0 +1,1 @@
+lib/baseline/baseline.mli: Tpm_core Tpm_kv Tpm_scheduler Tpm_subsys

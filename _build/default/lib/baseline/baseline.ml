@@ -1,0 +1,17 @@
+module Scheduler = Tpm_scheduler.Scheduler
+
+let serial_makespan ~make_rms ~spec ?(config = Scheduler.default_config)
+    ?(args_of = fun _ -> Tpm_kv.Value.Nil) procs =
+  List.fold_left
+    (fun total proc ->
+      let t = Scheduler.create ~config ~spec ~rms:(make_rms ()) () in
+      Scheduler.submit t ~args_of proc;
+      Scheduler.run t;
+      total +. Scheduler.now t)
+    0.0 procs
+
+let naive_sr_config = { Scheduler.default_config with naive_sr = true }
+let conservative_config = { Scheduler.default_config with mode = Scheduler.Conservative }
+let deferred_config = { Scheduler.default_config with mode = Scheduler.Deferred }
+let quasi_config = { Scheduler.default_config with mode = Scheduler.Quasi }
+let weak_order_config = { Scheduler.default_config with weak_order = true }

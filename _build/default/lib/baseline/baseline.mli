@@ -1,0 +1,27 @@
+(** Baseline comparators for the evaluation:
+
+    - {!serial_makespan} — strictly serial execution: every process runs
+      alone; the makespan is the sum of the individual makespans.  The
+      lower bound on safety, the upper bound on time.
+    - {!naive_sr_config} — classical serializability-only scheduling
+      (Section 1's "analyzing concurrency control without considering
+      recovery"): fast, but its histories may be unrecoverable; the
+      benchmarks count the PRED violations it produces.
+    - {!conservative_config} — Lemma 1 applied by delaying (no deferred
+      2PC commits). *)
+
+val serial_makespan :
+  make_rms:(unit -> Tpm_subsys.Rm.t list) ->
+  spec:Tpm_core.Conflict.t ->
+  ?config:Tpm_scheduler.Scheduler.config ->
+  ?args_of:(Tpm_core.Activity.t -> Tpm_kv.Value.t) ->
+  Tpm_core.Process.t list ->
+  float
+(** Runs every process in its own scheduler over fresh resource managers
+    and sums the makespans. *)
+
+val naive_sr_config : Tpm_scheduler.Scheduler.config
+val conservative_config : Tpm_scheduler.Scheduler.config
+val deferred_config : Tpm_scheduler.Scheduler.config
+val quasi_config : Tpm_scheduler.Scheduler.config
+val weak_order_config : Tpm_scheduler.Scheduler.config

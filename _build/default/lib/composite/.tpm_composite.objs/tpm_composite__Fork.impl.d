@@ -1,0 +1,1 @@
+lib/composite/fork.ml: Activity Conflict Criteria List Local Schedule Tpm_core

@@ -1,0 +1,1 @@
+lib/composite/fork.mli: Local Tpm_core

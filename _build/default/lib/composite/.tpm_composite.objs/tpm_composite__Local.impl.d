@@ -1,0 +1,1 @@
+lib/composite/local.ml: Format Hashtbl List Printf String Tpm_core

@@ -1,0 +1,1 @@
+lib/composite/local.mli: Format

@@ -1,0 +1,37 @@
+open Tpm_core
+
+type t = {
+  global : Schedule.t;
+  locals : (string * Local.t) list;
+  token_of : Activity.t -> int;
+}
+
+let prescribed_weak_order f subsystem =
+  let spec = Schedule.spec f.global in
+  let here inst = (Activity.instance_base inst).Activity.subsystem = subsystem in
+  let rec walk = function
+    | [] -> []
+    | x :: rest ->
+        List.filter_map
+          (fun y ->
+            if
+              here x && here y
+              && Activity.instance_proc x <> Activity.instance_proc y
+              && Conflict.conflicts spec x y
+            then Some (f.token_of (Activity.instance_base x), f.token_of (Activity.instance_base y))
+            else None)
+          rest
+        @ walk rest
+  in
+  List.sort_uniq compare (walk (Schedule.activities f.global))
+
+let locals_commit_order_serializable f =
+  List.for_all (fun (_, l) -> Local.commit_order_serializable l) f.locals
+
+let weak_order_realized f =
+  List.for_all
+    (fun (name, l) -> Local.respects_weak_order l (prescribed_weak_order f name))
+    f.locals
+
+let consistent f =
+  Criteria.pred f.global && locals_commit_order_serializable f && weak_order_realized f

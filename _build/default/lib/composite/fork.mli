@@ -1,0 +1,30 @@
+(** Fork composite schedules ([AFPS99]): one global process schedule whose
+    activities execute as local transactions at several subsystem
+    schedulers.
+
+    Correctness of the composition requires (Section 3.6): the global
+    schedule satisfies its criterion (PRED — checked by
+    {!Tpm_core.Criteria}), every local schedule is commit-order
+    serializable, and the weak order the global scheduler prescribes for
+    conflicting activities co-located at a subsystem is realized by that
+    subsystem's commit order. *)
+
+type t = {
+  global : Tpm_core.Schedule.t;
+  locals : (string * Local.t) list;  (** one local schedule per subsystem *)
+  token_of : Tpm_core.Activity.t -> int;
+      (** local transaction identifier of an activity occurrence *)
+}
+
+val prescribed_weak_order : t -> string -> (int * int) list
+(** The weak order the global schedule induces at one subsystem: for every
+    conflicting pair of activities co-located there, the pair of their
+    local transaction tokens in global-schedule order. *)
+
+val locals_commit_order_serializable : t -> bool
+val weak_order_realized : t -> bool
+
+val consistent : t -> bool
+(** All of: the global schedule is prefix-reducible, every local schedule
+    is commit-order serializable, and every prescribed weak order is
+    realized. *)

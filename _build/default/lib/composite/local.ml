@@ -1,0 +1,87 @@
+type op = {
+  tx : int;
+  item : string;
+  mode : [ `Read | `Write ];
+}
+
+type event =
+  | Op of op
+  | Commit of int
+  | Abort of int
+
+type t = { evs : event list }
+
+let make evs =
+  let closed = Hashtbl.create 8 in
+  List.iter
+    (fun ev ->
+      let tx = match ev with Op o -> o.tx | Commit tx | Abort tx -> tx in
+      if Hashtbl.mem closed tx then
+        invalid_arg (Printf.sprintf "Local.make: event after terminal event of tx %d" tx);
+      match ev with Commit _ | Abort _ -> Hashtbl.replace closed tx () | Op _ -> ())
+    evs;
+  { evs }
+
+let events l = l.evs
+
+let transactions l =
+  List.filter_map (function Op o -> Some o.tx | Commit tx | Abort tx -> Some tx) l.evs
+  |> List.sort_uniq compare
+
+let committed l =
+  List.filter_map (function Commit tx -> Some tx | Op _ | Abort _ -> None) l.evs
+  |> List.sort_uniq compare
+
+let ops_conflict a b =
+  a.tx <> b.tx && String.equal a.item b.item && (a.mode = `Write || b.mode = `Write)
+
+let committed_ops l =
+  let committed = committed l in
+  List.filter_map
+    (function Op o when List.mem o.tx committed -> Some o | Op _ | Commit _ | Abort _ -> None)
+    l.evs
+
+let conflict_pairs l =
+  let rec walk = function
+    | [] -> []
+    | o :: rest ->
+        List.filter_map (fun o' -> if ops_conflict o o' then Some (o.tx, o'.tx) else None) rest
+        @ walk rest
+  in
+  List.sort_uniq compare (walk (committed_ops l))
+
+let serializable l =
+  not
+    (Tpm_core.Digraph.has_cycle
+       (Tpm_core.Digraph.make ~nodes:(committed l) ~edges:(conflict_pairs l)))
+
+let commit_pos l tx =
+  let rec go i = function
+    | [] -> max_int
+    | Commit tx' :: _ when tx' = tx -> i
+    | _ :: rest -> go (i + 1) rest
+  in
+  go 0 l.evs
+
+let commit_order_serializable l =
+  serializable l
+  && List.for_all (fun (t1, t2) -> commit_pos l t1 < commit_pos l t2) (conflict_pairs l)
+
+let respects_weak_order l pairs =
+  let committed = committed l in
+  List.for_all
+    (fun (t1, t2) ->
+      (not (List.mem t1 committed && List.mem t2 committed))
+      || commit_pos l t1 < commit_pos l t2)
+    pairs
+
+let pp fmt l =
+  let pp_event fmt = function
+    | Op { tx; item; mode } ->
+        Format.fprintf fmt "%s%d[%s]" (match mode with `Read -> "r" | `Write -> "w") tx item
+    | Commit tx -> Format.fprintf fmt "c%d" tx
+    | Abort tx -> Format.fprintf fmt "a%d" tx
+  in
+  Format.fprintf fmt "@[<h>%a@]"
+    (Format.pp_print_list ~pp_sep:(fun fmt () -> Format.fprintf fmt " ") pp_event)
+    l.evs

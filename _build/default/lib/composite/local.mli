@@ -1,0 +1,57 @@
+(** Local (subsystem-level) schedules of the composite-systems theory
+    referenced in Section 3.6 ([ABFS97], [AFPS99]).
+
+    A transactional process scheduler feeds activities to several
+    subsystem schedulers — a {e fork} composite system.  Each activity
+    runs as a local transaction: a sequence of read/write operations on
+    the subsystem's items, closed by a local commit or abort.  The weak
+    order of Section 3.6 permits two conflicting local transactions to
+    execute overlapping as long as the subsystem serializes them in the
+    prescribed order; a subsystem supports this by guaranteeing
+    {e commit-order serializability}: conflicting operations occur in the
+    same relative order as the local commits. *)
+
+(** An operation of a local transaction on an item. *)
+type op = {
+  tx : int;  (** local transaction (= activity token) *)
+  item : string;
+  mode : [ `Read | `Write ];
+}
+
+type event =
+  | Op of op
+  | Commit of int
+  | Abort of int
+
+type t
+
+val make : event list -> t
+(** @raise Invalid_argument on operations after the transaction's
+    terminal event. *)
+
+val events : t -> event list
+val transactions : t -> int list
+val committed : t -> int list
+
+val ops_conflict : op -> op -> bool
+(** Different transactions touching the same item, at least one writing. *)
+
+val conflict_pairs : t -> (int * int) list
+(** Ordered pairs [(t1, t2)]: a committed operation of [t1] precedes a
+    conflicting one of [t2].  Aborted transactions are excluded (their
+    operations are undone locally). *)
+
+val serializable : t -> bool
+(** Conflict-serializability of the committed projection. *)
+
+val commit_order_serializable : t -> bool
+(** Serializable, and every conflicting committed pair runs its
+    operations in the same relative order as its commits ([BBG89]'s
+    commit-order property, the paper's requirement on subsystems that
+    support the weak order). *)
+
+val respects_weak_order : t -> (int * int) list -> bool
+(** [respects_weak_order l pairs]: every prescribed weak-order pair
+    [(t1, t2)] whose transactions both commit does so in that order. *)
+
+val pp : Format.formatter -> t -> unit

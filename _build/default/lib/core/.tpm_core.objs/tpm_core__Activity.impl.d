@@ -1,0 +1,1 @@
+lib/core/activity.ml: Format Stdlib

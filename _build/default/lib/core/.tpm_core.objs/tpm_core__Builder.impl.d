@@ -1,0 +1,1 @@
+lib/core/builder.ml: Activity Format List Process Result

@@ -1,0 +1,1 @@
+lib/core/completed.ml: Activity Array Conflict Digraph Execution Fun Hashtbl List Option Printf Schedule

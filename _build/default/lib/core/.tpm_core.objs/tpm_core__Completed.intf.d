@@ -1,0 +1,1 @@
+lib/core/completed.mli: Activity Schedule

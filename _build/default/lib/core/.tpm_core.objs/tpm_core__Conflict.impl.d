@@ -1,0 +1,1 @@
+lib/core/conflict.ml: Activity Format List Set Stdlib String

@@ -1,0 +1,1 @@
+lib/core/criteria.ml: Activity Completed Conflict Digraph List Process Reduction Schedule

@@ -1,0 +1,1 @@
+lib/core/dot.ml: Activity Buffer Conflict Digraph List Printf Process Schedule

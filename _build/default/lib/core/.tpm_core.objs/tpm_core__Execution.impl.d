@@ -1,0 +1,1 @@
+lib/core/execution.ml: Activity Format Fun Int List Map Option Printf Process Set

@@ -1,0 +1,1 @@
+lib/core/flex.ml: Activity Array Execution Format Int List Process Random Set

@@ -1,0 +1,1 @@
+lib/core/flex.mli: Format Process

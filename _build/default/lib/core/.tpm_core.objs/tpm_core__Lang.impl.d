@@ -1,0 +1,1 @@
+lib/core/lang.ml: Activity Buffer Conflict Format List Printf Process Schedule String

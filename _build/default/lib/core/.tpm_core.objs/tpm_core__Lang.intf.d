@@ -1,0 +1,1 @@
+lib/core/lang.mli: Conflict Format Process Schedule

@@ -1,0 +1,1 @@
+lib/core/process.ml: Activity Format Int List Map Option Set

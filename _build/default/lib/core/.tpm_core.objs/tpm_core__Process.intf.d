@@ -1,0 +1,1 @@
+lib/core/process.mli: Activity Format

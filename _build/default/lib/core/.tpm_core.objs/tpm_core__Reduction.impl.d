@@ -1,0 +1,1 @@
+lib/core/reduction.ml: Activity Array Conflict Digraph Hashtbl List Option Schedule

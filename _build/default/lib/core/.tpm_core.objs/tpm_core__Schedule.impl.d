@@ -1,0 +1,1 @@
+lib/core/schedule.ml: Activity Conflict Digraph Execution Format Hashtbl Int List Map Printf Process Result

@@ -1,0 +1,1 @@
+lib/core/schedule.mli: Activity Conflict Digraph Execution Format Process

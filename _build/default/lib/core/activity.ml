@@ -1,0 +1,74 @@
+type kind =
+  | Compensatable
+  | Pivot
+  | Retriable
+
+type id = {
+  proc : int;
+  act : int;
+}
+
+type t = {
+  id : id;
+  service : string;
+  kind : kind;
+  subsystem : string;
+}
+
+type instance =
+  | Forward of t
+  | Inverse of t
+
+let make ~proc ~act ~service ~kind ?(subsystem = "default") () =
+  { id = { proc; act }; service; kind; subsystem }
+
+let compensatable a = a.kind = Compensatable
+let retriable a = a.kind = Retriable
+let pivot a = a.kind = Pivot
+let non_compensatable a = not (compensatable a)
+
+let id_equal x y = x.proc = y.proc && x.act = y.act
+
+let id_compare x y =
+  match compare x.proc y.proc with
+  | 0 -> compare x.act y.act
+  | c -> c
+
+let equal a b = id_equal a.id b.id
+let compare a b = id_compare a.id b.id
+
+let instance_id = function
+  | Forward a | Inverse a -> a.id
+
+let instance_proc i = (instance_id i).proc
+
+let instance_base = function
+  | Forward a | Inverse a -> a
+
+let is_inverse = function
+  | Forward _ -> false
+  | Inverse _ -> true
+
+let instance_equal x y =
+  is_inverse x = is_inverse y && id_equal (instance_id x) (instance_id y)
+
+let instance_compare x y =
+  match id_compare (instance_id x) (instance_id y) with
+  | 0 -> Stdlib.compare (is_inverse x) (is_inverse y)
+  | c -> c
+
+let kind_to_string = function
+  | Compensatable -> "c"
+  | Pivot -> "p"
+  | Retriable -> "r"
+
+let pp_kind fmt k = Format.pp_print_string fmt (kind_to_string k)
+let pp_id fmt { proc; act } = Format.fprintf fmt "a_{%d_%d}" proc act
+let pp fmt a = Format.fprintf fmt "%a^%a" pp_id a.id pp_kind a.kind
+
+let pp_instance fmt = function
+  | Forward a -> pp fmt a
+  | Inverse a -> Format.fprintf fmt "%a^-1" pp_id a.id
+
+let to_string a = Format.asprintf "%a" pp a
+let instance_to_string i = Format.asprintf "%a" pp_instance i

@@ -1,0 +1,73 @@
+(** Activities of transactional processes (paper, Section 3.1).
+
+    An activity is a transactional service invocation in an underlying
+    subsystem.  Activities carry a termination guarantee: they are
+    {e compensatable} (an inverse service exists), {e retriable}
+    (guaranteed to commit after finitely many invocations), or {e pivot}
+    (neither).  Compensating activities are themselves retriable and not
+    compensatable (paper, Section 3.1). *)
+
+(** Termination guarantee of an activity (flex transaction model). *)
+type kind =
+  | Compensatable
+  | Pivot
+  | Retriable
+
+(** Identifier [a_{i_k}]: process id [i], activity id [k] within it. *)
+type id = {
+  proc : int;
+  act : int;
+}
+
+(** A forward activity as declared in a process definition. *)
+type t = {
+  id : id;
+  service : string;  (** service name; conflict behaviour is keyed on it *)
+  kind : kind;
+  subsystem : string;  (** subsystem providing the service *)
+}
+
+(** An occurrence in a schedule: the activity itself or its compensation
+    [a^{-1}] (only meaningful for compensatable activities). *)
+type instance =
+  | Forward of t
+  | Inverse of t
+
+val make : proc:int -> act:int -> service:string -> kind:kind -> ?subsystem:string -> unit -> t
+(** [make ~proc ~act ~service ~kind ()] builds an activity.  [subsystem]
+    defaults to ["default"]. *)
+
+val compensatable : t -> bool
+val retriable : t -> bool
+val pivot : t -> bool
+
+val non_compensatable : t -> bool
+(** Pivot or retriable: no inverse exists (paper, Section 3.1). *)
+
+val id_equal : id -> id -> bool
+val id_compare : id -> id -> int
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val instance_id : instance -> id
+val instance_proc : instance -> int
+val instance_base : instance -> t
+(** The underlying forward activity of an instance. *)
+
+val is_inverse : instance -> bool
+val instance_equal : instance -> instance -> bool
+val instance_compare : instance -> instance -> int
+
+val kind_to_string : kind -> string
+
+val pp_kind : Format.formatter -> kind -> unit
+val pp_id : Format.formatter -> id -> unit
+
+val pp : Format.formatter -> t -> unit
+(** Prints as in the paper, e.g. [a_{1_3}^c]. *)
+
+val pp_instance : Format.formatter -> instance -> unit
+(** Prints [a_{1_3}^c] or [a_{1_3}^-1]. *)
+
+val to_string : t -> string
+val instance_to_string : instance -> string

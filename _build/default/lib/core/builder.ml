@@ -1,0 +1,115 @@
+type t =
+  | Step of {
+      service : string;
+      kind : Activity.kind;
+      subsystem : string;
+    }
+  | Seq of t list
+  | Alt of t list
+  | Par of t list
+
+type error =
+  | Empty_fragment
+  | Branch_without_anchor
+  | Branch_not_terminal
+
+let pp_error fmt = function
+  | Empty_fragment -> Format.pp_print_string fmt "empty fragment"
+  | Branch_without_anchor ->
+      Format.pp_print_string fmt "alternatives/parallel fragment has no preceding step"
+  | Branch_not_terminal ->
+      Format.pp_print_string fmt "a branching fragment must terminate its sequence"
+
+let step ?(subsystem = "default") ~service kind = Step { service; kind; subsystem }
+let seq items = Seq items
+let alternatives branches = Alt branches
+let parallel branches = Par branches
+
+let build ~pid frag =
+  let counter = ref 0 in
+  let acts = ref [] and prec = ref [] and pref = ref [] in
+  let fresh service kind subsystem =
+    incr counter;
+    acts := Activity.make ~proc:pid ~act:!counter ~service ~kind ~subsystem () :: !acts;
+    !counter
+  in
+  let link parent n =
+    match parent with
+    | Some p -> prec := (p, n) :: !prec
+    | None -> ()
+  in
+  let ( let* ) = Result.bind in
+  (* returns (first activity of the fragment, exit activity if the fragment
+     can be continued) *)
+  let rec go parent = function
+    | Step { service; kind; subsystem } ->
+        let n = fresh service kind subsystem in
+        link parent n;
+        Ok (Some n, Some n)
+    | Seq [] -> Error Empty_fragment
+    | Seq items ->
+        let rec walk parent first = function
+          | [] -> Ok (first, parent)
+          | item :: rest ->
+              let* item_first, exit_ = go parent item in
+              let first = if first = None then item_first else first in
+              if exit_ = None && rest <> [] then Error Branch_not_terminal
+              else walk exit_ first rest
+        in
+        walk parent None items
+    | Alt branches -> (
+        match parent with
+        | None -> Error Branch_without_anchor
+        | Some p ->
+            let* heads =
+              List.fold_left
+                (fun acc branch ->
+                  let* heads = acc in
+                  let* head, _exit = go parent branch in
+                  match head with
+                  | None -> Error Branch_without_anchor
+                  | Some h -> Ok (h :: heads))
+                (Ok []) branches
+            in
+            let heads = List.rev heads in
+            (match heads with
+            | [] -> Error Empty_fragment
+            | _ :: _ ->
+                let rec chain = function
+                  | a :: (b :: _ as rest) ->
+                      pref := ((p, a), (p, b)) :: !pref;
+                      chain rest
+                  | [ _ ] | [] -> ()
+                in
+                chain heads;
+                Ok (Some (List.hd heads), None)))
+    | Par branches -> (
+        match parent with
+        | None -> Error Branch_without_anchor
+        | Some _ ->
+            let* heads =
+              List.fold_left
+                (fun acc branch ->
+                  let* heads = acc in
+                  let* head, _exit = go parent branch in
+                  match head with
+                  | None -> Error Branch_without_anchor
+                  | Some h -> Ok (h :: heads))
+                (Ok []) branches
+            in
+            (match heads with
+            | [] -> Error Empty_fragment
+            | last :: _ -> Ok (Some last, None)))
+  in
+  let* _first, _exit = go None frag in
+  match List.rev !acts with
+  | [] -> Error Empty_fragment
+  | activities -> (
+      match Process.make ~pid ~activities ~prec:!prec ~pref:!pref with
+      | Ok p -> Ok p
+      | Error _ -> Error Empty_fragment (* unreachable for tree construction *))
+
+let build_exn ~pid frag =
+  match build ~pid frag with
+  | Ok p -> p
+  | Error e -> invalid_arg (Format.asprintf "Builder.build_exn: %a" pp_error e)

@@ -1,0 +1,53 @@
+(** A combinator interface for constructing transactional processes.
+
+    Fragments compose into tree-shaped processes — the shape covered by
+    the structural well-formedness rule: sequences of steps, terminal
+    preference-ordered alternatives, and terminal parallel (unconditional)
+    branches.  Activity ids are assigned in construction order.
+
+    {[
+      let booking =
+        Builder.(
+          build ~pid:1
+            (seq
+               [
+                 step ~service:"book_flight" Compensatable;
+                 alternatives
+                   [
+                     seq [ step ~service:"hotel_a" Compensatable;
+                           step ~service:"pay" Pivot;
+                           step ~service:"confirm" Retriable ];
+                     seq [ step ~service:"hotel_b" Compensatable;
+                           step ~service:"pay" Pivot;
+                           step ~service:"confirm" Retriable ];
+                   ];
+               ]))
+    ]} *)
+
+type t
+(** A process fragment. *)
+
+val step : ?subsystem:string -> service:string -> Activity.kind -> t
+(** A single activity.  [subsystem] defaults to ["default"]. *)
+
+val seq : t list -> t
+(** Sequential composition.  {!alternatives} and {!parallel} fragments may
+    only appear in the last position (the tree shape has no joins). *)
+
+val alternatives : t list -> t
+(** Preference-ordered alternative branches (first = most preferred),
+    attached to the preceding step of the enclosing sequence. *)
+
+val parallel : t list -> t
+(** Unconditional parallel branches, attached to the preceding step. *)
+
+type error =
+  | Empty_fragment
+  | Branch_without_anchor  (** alternatives/parallel with no preceding step *)
+  | Branch_not_terminal  (** something follows a branching fragment *)
+
+val build : pid:int -> t -> (Process.t, error) result
+val build_exn : pid:int -> t -> Process.t
+(** @raise Invalid_argument on a malformed fragment. *)
+
+val pp_error : Format.formatter -> error -> unit

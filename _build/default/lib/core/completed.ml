@@ -1,0 +1,169 @@
+(* Positions of forward occurrences in the original schedule, used to put
+   compensating activities in reverse order of their originals. *)
+let forward_positions s =
+  let tbl = Hashtbl.create 16 in
+  List.iteri
+    (fun pos ev ->
+      match ev with
+      | Schedule.Act (Activity.Forward a) -> Hashtbl.replace tbl a.Activity.id pos
+      | Schedule.Act (Activity.Inverse _) | Schedule.Commit _ | Schedule.Abort _
+      | Schedule.Group_abort _ -> ())
+    (Schedule.events s);
+  tbl
+
+(* Relative order of the completing processes: conflicting forward
+   completion activities must follow an order consistent with the edges
+   already fixed by the schedule — both occurrence-vs-occurrence conflicts
+   and occurrence-vs-completion conflicts (executed activities always
+   precede completion activities in the completed schedule). *)
+let process_order s completions =
+  let spec = Schedule.spec s in
+  (* aborted processes left no effects: their do/undo pairs cancel and must
+     not constrain the order *)
+  let aborted = Schedule.aborted s in
+  let occurrences =
+    List.filter
+      (fun x -> not (List.mem (Activity.instance_proc x) aborted))
+      (Schedule.activities s)
+  in
+  let completion_of =
+    List.concat_map (fun (pid, insts) -> List.map (fun i -> (pid, i)) insts) completions
+  in
+  let occ_occ_edges =
+    let rec walk = function
+      | [] -> []
+      | x :: rest ->
+          List.filter_map
+            (fun y ->
+              if
+                Activity.instance_proc x <> Activity.instance_proc y
+                && Conflict.conflicts spec x y
+              then Some (Activity.instance_proc x, Activity.instance_proc y)
+              else None)
+            rest
+          @ walk rest
+    in
+    walk occurrences
+  in
+  let occ_cmp_edges =
+    List.concat_map
+      (fun x ->
+        let q = Activity.instance_proc x in
+        List.filter_map
+          (fun (r, y) ->
+            if r <> q && (not (Activity.is_inverse y)) && Conflict.conflicts spec x y then
+              Some (q, r)
+            else None)
+          completion_of)
+      occurrences
+  in
+  let g =
+    Digraph.make ~nodes:(Schedule.proc_ids s) ~edges:(occ_occ_edges @ occ_cmp_edges)
+  in
+  match Digraph.topo_sort g with
+  | Some order ->
+      Some (fun pid -> Option.value ~default:max_int (List.find_index (( = ) pid) order))
+  | None -> None
+
+let completion_order s completions =
+  let spec = Schedule.spec s in
+  let fwd_pos = forward_positions s in
+  let graph = Schedule.conflict_graph s in
+  let proc_pos = process_order s completions in
+  (* nodes are (process, index-in-completion) pairs, encoded for sorting *)
+  let items =
+    List.concat_map
+      (fun (pid, insts) -> List.mapi (fun k inst -> ((pid, k), inst)) insts)
+      completions
+  in
+  let constraints = ref [] in
+  let add_edge a b = constraints := (a, b) :: !constraints in
+  (* internal order *)
+  List.iter
+    (fun (pid, insts) ->
+      List.iteri (fun k _ -> if k > 0 then add_edge (pid, k - 1) (pid, k)) insts)
+    completions;
+  (* pairwise conflicting completion activities of distinct processes *)
+  let rec pairs = function
+    | [] -> ()
+    | (((pi, _) as ka), x) :: rest ->
+        List.iter
+          (fun (((pj, _) as kb), y) ->
+            if pi <> pj && Conflict.conflicts spec x y then
+              match (x, y) with
+              | Activity.Inverse a, Activity.Inverse b ->
+                  (* Lemma 2: reverse order of the originals *)
+                  let pa = Hashtbl.find_opt fwd_pos a.Activity.id
+                  and pb = Hashtbl.find_opt fwd_pos b.Activity.id in
+                  if pa <= pb then add_edge kb ka else add_edge ka kb
+              | Activity.Inverse _, Activity.Forward _ -> add_edge ka kb (* Lemma 3 *)
+              | Activity.Forward _, Activity.Inverse _ -> add_edge kb ka
+              | Activity.Forward _, Activity.Forward _ -> (
+                  (* retriables: follow the fixed order of the schedule *)
+                  match proc_pos with
+                  | Some pos when pos pi <> pos pj ->
+                      if pos pi < pos pj then add_edge ka kb else add_edge kb ka
+                  | Some _ | None ->
+                      if Digraph.reachable graph pi pj then add_edge ka kb
+                      else if Digraph.reachable graph pj pi then add_edge kb ka
+                      else if pi < pj then add_edge ka kb
+                      else add_edge kb ka))
+          rest;
+        pairs rest
+  in
+  pairs items;
+  (* topological sort over the item keys; fall back to declaration order on
+     a cycle (the reducibility check will then reject the schedule) *)
+  let key_id = Hashtbl.create 16 in
+  List.iteri (fun i (k, _) -> Hashtbl.replace key_id k i) items;
+  let arr = Array.of_list items in
+  let edges =
+    List.filter_map
+      (fun (a, b) ->
+        match (Hashtbl.find_opt key_id a, Hashtbl.find_opt key_id b) with
+        | Some ia, Some ib -> Some (ia, ib)
+        | _ -> None)
+      !constraints
+  in
+  let g = Digraph.make ~nodes:(List.init (Array.length arr) Fun.id) ~edges in
+  match Digraph.topo_sort g with
+  | Some order -> List.map (fun i -> snd arr.(i)) order
+  | None -> List.map snd items
+
+let of_schedule s =
+  let replay_or_fail pid upto =
+    let partial = Schedule.make ~spec:(Schedule.spec s) ~procs:(Schedule.procs s) upto in
+    match Schedule.replay partial pid with
+    | Ok st -> st
+    | Error e -> invalid_arg (Printf.sprintf "Completed.of_schedule: illegal schedule: %s" e)
+  in
+  (* walk events, replacing each Abort by the process's completion + commit *)
+  let rec walk seen_rev acc = function
+    | [] -> List.rev acc
+    | Schedule.Abort pid :: rest ->
+        let st = replay_or_fail pid (List.rev seen_rev) in
+        let completion = Execution.completion st in
+        let acc =
+          (Schedule.Commit pid :: List.rev_map (fun i -> Schedule.Act i) completion) @ acc
+        in
+        walk (Schedule.Abort pid :: seen_rev) acc rest
+    | ev :: rest -> walk (ev :: seen_rev) (ev :: acc) rest
+  in
+  let body = walk [] [] (Schedule.events s) in
+  let actives = Schedule.active s in
+  let tail =
+    match actives with
+    | [] -> []
+    | _ ->
+        let completions =
+          List.map
+            (fun pid ->
+              let st = replay_or_fail pid (Schedule.events s) in
+              (pid, Execution.completion st))
+            actives
+        in
+        let ordered = completion_order s completions in
+        (Schedule.Group_abort actives :: List.map (fun i -> Schedule.Act i) ordered)
+        @ List.map (fun pid -> Schedule.Commit pid) actives
+  in
+  Schedule.make ~spec:(Schedule.spec s) ~procs:(Schedule.procs s) (body @ tail)

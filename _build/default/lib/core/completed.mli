@@ -1,0 +1,29 @@
+(** Completed process schedules (paper, Definition 8).
+
+    The completed schedule [S̃] of a schedule [S] makes all recovery-related
+    activities explicit: every abort event [A_i] is replaced by the
+    activities of the completion [C(P_i)] followed by [C_i]; all still
+    active processes are aborted jointly by a group abort appended at the
+    end of [S], again followed by their completions and commits.
+
+    Unlike the expanded schedule of the traditional unified theory, a
+    completion may contain {e new forward activities} (the retriable
+    lowest-priority alternative of processes in [F-REC]), which can
+    introduce conflicts not present in [S] — this is why correctness of
+    transactional processes must always be judged on [S̃] (paper,
+    Section 3.5). *)
+
+val completion_order :
+  Schedule.t -> (int * Activity.instance list) list -> Activity.instance list
+(** [completion_order s completions] linearizes the completion activities
+    of several jointly aborted processes, honouring Definition 8 (3d–f):
+    per-process internal order; conflicting compensating activities in
+    reverse order of their originals in [s] (Lemma 2); compensating
+    activities before conflicting non-compensatable ones (Lemma 3);
+    conflicting retriables follow the process-dependency order of [s]. *)
+
+val of_schedule : Schedule.t -> Schedule.t
+(** Builds [S̃].  The result contains no [Abort] events: every process
+    terminates with [Commit].  A [Group_abort] marker precedes the jointly
+    appended completions when [s] has active processes.
+    @raise Invalid_argument if [s] is not a legal schedule. *)

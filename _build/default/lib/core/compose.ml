@@ -1,0 +1,105 @@
+let classify p =
+  match Flex.well_formed p with
+  | Error issues -> Error issues
+  | Ok () ->
+      let acts = Process.activities p in
+      if List.for_all Activity.compensatable acts then Ok Activity.Compensatable
+      else if List.for_all Activity.retriable acts then Ok Activity.Retriable
+      else Ok Activity.Pivot
+
+type error =
+  | Not_well_formed of Flex.issue list
+  | Kind_mismatch of {
+      placeholder : Activity.kind;
+      derived : Activity.kind;
+    }
+  | Unknown_placeholder of int
+  | Join_would_form of int
+
+let pp_error fmt = function
+  | Not_well_formed issues ->
+      Format.fprintf fmt "child not well-formed: %a"
+        (Format.pp_print_list ~pp_sep:(fun fmt () -> Format.fprintf fmt "; ") Flex.pp_issue)
+        issues
+  | Kind_mismatch { placeholder; derived } ->
+      Format.fprintf fmt "placeholder is %a but the child classifies as %a" Activity.pp_kind
+        placeholder Activity.pp_kind derived
+  | Unknown_placeholder n -> Format.fprintf fmt "no activity %d in the parent" n
+  | Join_would_form n ->
+      Format.fprintf fmt "inlining at %d would join several child exits" n
+
+let inline ~parent ~at ~child =
+  match Process.find_opt parent at with
+  | None -> Error (Unknown_placeholder at)
+  | Some placeholder -> (
+      match classify child with
+      | Error issues -> Error (Not_well_formed issues)
+      | Ok derived when derived <> placeholder.Activity.kind ->
+          Error (Kind_mismatch { placeholder = placeholder.Activity.kind; derived })
+      | Ok _ -> (
+          let pid = Process.pid parent in
+          let offset =
+            List.fold_left max 0 (Process.activity_ids parent)
+          in
+          let renum n = n + offset in
+          (* child activities renumbered and re-owned *)
+          let child_acts =
+            List.map
+              (fun (a : Activity.t) ->
+                Activity.make ~proc:pid ~act:(renum a.Activity.id.Activity.act)
+                  ~service:a.Activity.service ~kind:a.Activity.kind
+                  ~subsystem:a.Activity.subsystem ())
+              (Process.activities child)
+          in
+          let child_prec =
+            List.map (fun (a, b) -> (renum a, renum b)) (Process.prec_edges child)
+          in
+          let child_pref =
+            List.map
+              (fun ((a, b), (c, d)) -> ((renum a, renum b), (renum c, renum d)))
+              (Process.pref_pairs child)
+          in
+          let child_roots = List.map renum (Process.roots child) in
+          let child_exits =
+            Process.activity_ids child
+            |> List.filter (fun n -> Process.succs child n = [])
+            |> List.map renum
+          in
+          let parent_succs = Process.succs parent at in
+          match (child_exits, parent_succs) with
+          | _ :: _ :: _, _ :: _ -> Error (Join_would_form at)
+          | _ ->
+              let keep_acts =
+                List.filter
+                  (fun (a : Activity.t) -> a.Activity.id.Activity.act <> at)
+                  (Process.activities parent)
+              in
+              (* stitch: preds(at) -> child roots, child exits -> succs(at) *)
+              let stitched_prec =
+                List.concat_map
+                  (fun (a, b) ->
+                    if a = at then List.map (fun e -> (e, b)) child_exits
+                    else if b = at then List.map (fun r -> (a, r)) child_roots
+                    else [ (a, b) ])
+                  (Process.prec_edges parent)
+              in
+              (* preference pairs mentioning edges into/out of the
+                 placeholder are re-anchored the same way *)
+              let remap_edge (a, b) =
+                if a = at then
+                  match child_exits with e :: _ -> (e, b) | [] -> (a, b)
+                else if b = at then
+                  match child_roots with r :: _ -> (a, r) | [] -> (a, b)
+                else (a, b)
+              in
+              let stitched_pref =
+                List.map (fun (e1, e2) -> (remap_edge e1, remap_edge e2)) (Process.pref_pairs parent)
+              in
+              (match
+                 Process.make ~pid
+                   ~activities:(keep_acts @ child_acts)
+                   ~prec:(stitched_prec @ child_prec)
+                   ~pref:(stitched_pref @ child_pref)
+               with
+              | Ok p -> Ok p
+              | Error _ -> Error (Join_would_form at))))

@@ -1,0 +1,45 @@
+module String_pair = struct
+  type t = string * string
+
+  let compare = Stdlib.compare
+end
+
+module Pair_set = Set.Make (String_pair)
+module String_set = Set.Make (String)
+
+type t = {
+  conflicting : Pair_set.t;
+  effect_free_services : String_set.t;
+}
+
+let norm s s' = if String.compare s s' <= 0 then (s, s') else (s', s)
+
+let empty = { conflicting = Pair_set.empty; effect_free_services = String_set.empty }
+
+let add s s' spec = { spec with conflicting = Pair_set.add (norm s s') spec.conflicting }
+let of_pairs l = List.fold_left (fun spec (s, s') -> add s s' spec) empty l
+let services_conflict spec s s' = Pair_set.mem (norm s s') spec.conflicting
+
+let activities_conflict spec (a : Activity.t) (b : Activity.t) =
+  (not (Activity.equal a b)) && services_conflict spec a.service b.service
+
+let conflicts spec x y =
+  let a = Activity.instance_base x and b = Activity.instance_base y in
+  activities_conflict spec a b
+
+let declare_effect_free s spec =
+  { spec with effect_free_services = String_set.add s spec.effect_free_services }
+
+let effect_free spec s = String_set.mem s spec.effect_free_services
+
+let instance_effect_free spec i =
+  effect_free spec (Activity.instance_base i).Activity.service
+
+let pairs spec = Pair_set.elements spec.conflicting
+let effect_free_services spec = String_set.elements spec.effect_free_services
+
+let pp fmt spec =
+  let pp_pair fmt (s, s') = Format.fprintf fmt "(%s, %s)" s s' in
+  Format.fprintf fmt "{%a}"
+    (Format.pp_print_list ~pp_sep:(fun fmt () -> Format.fprintf fmt "; ") pp_pair)
+    (pairs spec)

@@ -1,0 +1,246 @@
+(* Conflict graph over a subset of the processes.  Aborted processes left
+   no effects (their do/undo pairs cancel), so they never participate;
+   Theorem 1 judges serializability on the committed projection only,
+   while the examples of Section 3.2 include still-active processes. *)
+let projected_conflict_graph ~keep s =
+  let acts =
+    List.filter (fun i -> keep (Schedule.status_of s (Activity.instance_proc i))) (Schedule.activities s)
+  in
+  let spec = Schedule.spec s in
+  let rec edges = function
+    | [] -> []
+    | x :: rest ->
+        List.filter_map
+          (fun y ->
+            if
+              Activity.instance_proc x <> Activity.instance_proc y
+              && Conflict.conflicts spec x y
+            then Some (Activity.instance_proc x, Activity.instance_proc y)
+            else None)
+          rest
+        @ edges rest
+  in
+  Digraph.make
+    ~nodes:(List.filter (fun p -> keep (Schedule.status_of s p)) (Schedule.proc_ids s))
+    ~edges:(edges acts)
+
+let not_aborted = function
+  | Schedule.Aborted -> false
+  | Schedule.Active | Schedule.Committed -> true
+
+let only_committed = function
+  | Schedule.Committed -> true
+  | Schedule.Active | Schedule.Aborted -> false
+
+(* do/undo pairs that cancel (a branch retried inside an otherwise
+   successful process) are effect-free and must not create serialization
+   edges: project, cancel pairs, then build the graph *)
+let projected_schedule ~keep s =
+  let events =
+    List.filter
+      (fun ev ->
+        match ev with
+        | Schedule.Act i -> keep (Schedule.status_of s (Activity.instance_proc i))
+        | Schedule.Commit p | Schedule.Abort p -> keep (Schedule.status_of s p)
+        | Schedule.Group_abort _ -> false)
+      (Schedule.events s)
+  in
+  let sub = Schedule.make ~spec:(Schedule.spec s) ~procs:(Schedule.procs s) events in
+  Reduction.cancel_compensation_pairs sub
+
+let serializable s =
+  not (Digraph.has_cycle (projected_conflict_graph ~keep:not_aborted (projected_schedule ~keep:not_aborted s)))
+
+let committed_serializable s =
+  not
+    (Digraph.has_cycle
+       (projected_conflict_graph ~keep:only_committed (projected_schedule ~keep:only_committed s)))
+
+let serialization_order s =
+  Digraph.topo_sort (projected_conflict_graph ~keep:not_aborted (projected_schedule ~keep:not_aborted s))
+let red s = Reduction.reducible ~original:s (Completed.of_schedule s)
+let pred s = List.for_all red (Schedule.prefixes s)
+
+let first_irreducible_prefix s =
+  List.find_opt (fun prefix -> not (red prefix)) (Schedule.prefixes s)
+
+let commit_pos s pid =
+  List.mapi (fun i ev -> (i, ev)) (Schedule.events s)
+  |> List.find_map (function
+       | i, Schedule.Commit j when j = pid -> Some i
+       | _ -> None)
+
+(* indexed activity occurrences *)
+let indexed_activities s =
+  List.mapi (fun i ev -> (i, ev)) (Schedule.events s)
+  |> List.filter_map (fun (i, ev) ->
+         match ev with
+         | Schedule.Act inst -> Some (i, inst)
+         | Schedule.Commit _ | Schedule.Abort _ | Schedule.Group_abort _ -> None)
+
+let next_non_compensatable s pid ~after =
+  indexed_activities s
+  |> List.find_opt (fun (i, inst) ->
+         i > after
+         && Activity.instance_proc inst = pid
+         && (not (Activity.is_inverse inst))
+         && Activity.non_compensatable (Activity.instance_base inst))
+
+let ordered_conflict_pairs s =
+  let acts = indexed_activities s in
+  let spec = Schedule.spec s in
+  List.concat_map
+    (fun (p, x) ->
+      List.filter_map
+        (fun (q, y) ->
+          if
+            q > p
+            && Activity.instance_proc x <> Activity.instance_proc y
+            && Conflict.conflicts spec x y
+          then Some ((p, x), (q, y))
+          else None)
+        acts)
+    acts
+
+let process_recoverable s =
+  ordered_conflict_pairs s
+  |> List.for_all (fun ((p, x), (q, y)) ->
+         let pi = Activity.instance_proc x and pj = Activity.instance_proc y in
+         if Schedule.status_of s pi = Schedule.Aborted || Schedule.status_of s pj = Schedule.Aborted
+         then true
+         else
+         let commits_ok =
+           match commit_pos s pj with
+           | None -> true
+           | Some cj -> ( match commit_pos s pi with None -> false | Some ci -> ci < cj)
+         in
+         let pivots_ok =
+           (* vacuous when either next non-compensatable activity does not
+              exist, exactly as in the four cases of Theorem 1's proof *)
+           match next_non_compensatable s pj ~after:q with
+           | None -> true
+           | Some (jm, _) -> (
+               match next_non_compensatable s pi ~after:p with
+               | Some (im, _) -> im < jm
+               | None -> true)
+         in
+         commits_ok && pivots_ok)
+
+let lemma1_holds s =
+  ordered_conflict_pairs s
+  |> List.for_all (fun ((_, x), (q, y)) ->
+         let pi = Activity.instance_proc x and pj = Activity.instance_proc y in
+         if Schedule.status_of s pi <> Schedule.Active then true
+         else
+           Activity.compensatable (Activity.instance_base y)
+           && next_non_compensatable s pj ~after:q = None)
+
+let lemma2_holds s =
+  let acts = indexed_activities s in
+  let spec = Schedule.spec s in
+  let forward_pos inst =
+    acts
+    |> List.find_map (fun (i, x) ->
+           match x with
+           | Activity.Forward a
+             when Activity.id_equal a.Activity.id (Activity.instance_id inst) ->
+               Some i
+           | Activity.Forward _ | Activity.Inverse _ -> None)
+  in
+  let inverses =
+    List.filter (fun (_, inst) -> Activity.is_inverse inst) acts
+  in
+  List.for_all
+    (fun (p, x) ->
+      List.for_all
+        (fun (q, y) ->
+          if
+            p < q
+            && Activity.instance_proc x <> Activity.instance_proc y
+            && Conflict.conflicts spec x y
+          then
+            match (forward_pos x, forward_pos y) with
+            | Some fx, Some fy ->
+                (* only overlapping do/undo spans are constrained: a pair
+                   completed before the other's original executed cancels
+                   independently *)
+                let overlap = fx < q && fy < p in
+                (not overlap) || fx > fy
+            | None, _ | _, None -> true
+          else true)
+        inverses)
+    inverses
+
+let lemma3_holds s =
+  (* restrict to the completion zone: events after the group abort *)
+  let events = Schedule.events s in
+  let rec split = function
+    | [] -> []
+    | Schedule.Group_abort _ :: rest -> rest
+    | _ :: rest -> split rest
+  in
+  let zone = split events in
+  match zone with
+  | [] -> true
+  | _ ->
+      let spec = Schedule.spec s in
+      let acts =
+        List.mapi (fun i ev -> (i, ev)) zone
+        |> List.filter_map (fun (i, ev) ->
+               match ev with Schedule.Act inst -> Some (i, inst) | _ -> None)
+      in
+      List.for_all
+        (fun (p, x) ->
+          List.for_all
+            (fun (q, y) ->
+              if
+                Activity.is_inverse x
+                && (not (Activity.is_inverse y))
+                && Activity.non_compensatable (Activity.instance_base y)
+                && Activity.instance_proc x <> Activity.instance_proc y
+                && Conflict.conflicts spec x y
+              then p < q
+              else true)
+            acts)
+        acts
+
+let sot s =
+  let terminal_pos pid =
+    List.mapi (fun i ev -> (i, ev)) (Schedule.events s)
+    |> List.find_map (function
+         | i, Schedule.Commit j when j = pid -> Some i
+         | i, Schedule.Abort j when j = pid -> Some i
+         | _ -> None)
+  in
+  committed_serializable s
+  && ordered_conflict_pairs s
+     |> List.for_all (fun ((_, x), (_, y)) ->
+            let pi = Activity.instance_proc x and pj = Activity.instance_proc y in
+            match (terminal_pos pi, terminal_pos pj) with
+            | Some ti, Some tj -> ti < tj
+            | None, _ | _, None -> true)
+
+let joint_compensation_respected s sphere =
+  match sphere with
+  | [] -> true
+  | first :: _ ->
+      let pid =
+        (* sphere members are ids within one process; find it *)
+        List.find_map
+          (fun p -> if Process.mem p first then Some (Process.pid p) else None)
+          (Schedule.procs s)
+      in
+      (match pid with
+      | None -> invalid_arg "Criteria.joint_compensation_respected: unknown sphere member"
+      | Some pid ->
+          let occurrences kind =
+            Schedule.activities s
+            |> List.filter (fun i ->
+                   Activity.instance_proc i = pid
+                   && List.mem (Activity.instance_id i).Activity.act sphere
+                   && Activity.is_inverse i = kind)
+            |> List.map (fun i -> (Activity.instance_id i).Activity.act)
+            |> List.sort_uniq compare
+          in
+          let executed = occurrences false and compensated = occurrences true in
+          compensated = [] || executed = compensated)

@@ -1,0 +1,65 @@
+(** Correctness criteria for process schedules (paper, Sections 3.2–3.5):
+    serializability, reducibility (RED), prefix-reducibility (PRED),
+    process-recoverability (Proc-REC), and the scheduler obligations of
+    Lemmas 1–3. *)
+
+val serializable : Schedule.t -> bool
+(** Conflict-serializability: the process-level conflict graph is acyclic. *)
+
+val serialization_order : Schedule.t -> int list option
+(** A serial order of the processes witnessing serializability. *)
+
+val red : Schedule.t -> bool
+(** Reducibility (Definition 9): the completed schedule reduces to a
+    serial one. *)
+
+val pred : Schedule.t -> bool
+(** Prefix-reducibility (Definition 10): every prefix is reducible. *)
+
+val first_irreducible_prefix : Schedule.t -> Schedule.t option
+(** The shortest prefix that is not reducible, for diagnostics. *)
+
+val process_recoverable : Schedule.t -> bool
+(** Proc-REC (Definition 11): for every ordered conflicting pair
+    [(a_ik, a_jl)] with [a_ik] before [a_jl], (1) [C_i] precedes [C_j]
+    whenever [P_j] commits, and (2) the next non-compensatable activity of
+    [P_j] after [a_jl] succeeds the next non-compensatable activity of
+    [P_i] after [a_ik]. *)
+
+val lemma1_holds : Schedule.t -> bool
+(** Lemma 1 (conservative scheduler obligation): whenever an activity of an
+    active process precedes a conflicting activity [a_jl] of [P_j],
+    [a_jl] is compensatable and no non-compensatable activity of [P_j]
+    executes afterwards (their commits are deferred until [C_i]). *)
+
+val lemma2_holds : Schedule.t -> bool
+(** Lemma 2: conflicting compensating activities appear in reverse order
+    of their original activities. *)
+
+val lemma3_holds : Schedule.t -> bool
+(** Lemma 3: a compensating activity precedes every conflicting
+    non-compensatable (retriable) completion activity. *)
+
+val committed_serializable : Schedule.t -> bool
+(** Serializability of the committed projection — the notion used in the
+    proof of Theorem 1.  Still-active processes are excluded: they may yet
+    abort, erasing their effects. *)
+
+val sot : Schedule.t -> bool
+(** The traditional SOT criterion ("serializable with ordered
+    termination", [AVA+94]): the committed projection is serializable and
+    every ordered pair of conflicting processes terminates in the same
+    order.  SOT decides correctness from [S] alone, without building the
+    expanded schedule — which, as Section 3.5 proves, is impossible for
+    transactional processes: completions introduce conflicts invisible in
+    [S].  {!sot} is provided to demonstrate that gap (see
+    [test_sot.ml]). *)
+
+val joint_compensation_respected : Schedule.t -> int list -> bool
+(** Spheres of joint compensation ([Ley95], cited in the paper's
+    introduction as a partial precursor): the given activities of one
+    process form a sphere — if any of them is compensated in the
+    schedule, all of its executed members must be compensated.  The flex
+    backtracking of {!Execution} respects spheres that coincide with
+    alternative branches by construction; this checker lets applications
+    state coarser atomicity units and audit schedules against them. *)

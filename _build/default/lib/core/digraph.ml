@@ -1,0 +1,91 @@
+module Int_map = Map.Make (Int)
+module Int_set = Set.Make (Int)
+
+type t = {
+  node_set : Int_set.t;
+  edge_list : (int * int) list;
+  succ_map : int list Int_map.t;
+}
+
+let make ~nodes ~edges =
+  let edges = List.sort_uniq compare (List.filter (fun (a, b) -> a <> b) edges) in
+  let node_set =
+    List.fold_left
+      (fun s (a, b) -> Int_set.add a (Int_set.add b s))
+      (Int_set.of_list nodes) edges
+  in
+  let succ_map =
+    List.fold_left
+      (fun m (a, b) ->
+        let cur = Option.value ~default:[] (Int_map.find_opt a m) in
+        Int_map.add a (b :: cur) m)
+      Int_map.empty edges
+    |> Int_map.map (List.sort_uniq compare)
+  in
+  { node_set; edge_list = edges; succ_map }
+
+let nodes g = Int_set.elements g.node_set
+let edges g = g.edge_list
+let succs g n = Option.value ~default:[] (Int_map.find_opt n g.succ_map)
+
+(* DFS with colours; returns the first back-edge cycle found. *)
+let find_cycle g =
+  let colour = Hashtbl.create 16 in
+  let result = ref None in
+  let rec visit path n =
+    match Hashtbl.find_opt colour n with
+    | Some `Done -> ()
+    | Some `Active ->
+        if !result = None then begin
+          let rec cut acc = function
+            | [] -> acc
+            | x :: rest -> if x = n then x :: acc else cut (x :: acc) rest
+          in
+          result := Some (cut [] path)
+        end
+    | None ->
+        Hashtbl.replace colour n `Active;
+        List.iter (fun m -> if !result = None then visit (n :: path) m) (succs g n);
+        Hashtbl.replace colour n `Done
+  in
+  List.iter (fun n -> if !result = None then visit [] n) (nodes g);
+  !result
+
+let has_cycle g = find_cycle g <> None
+
+let topo_sort g =
+  if has_cycle g then None
+  else begin
+    let visited = Hashtbl.create 16 in
+    let order = ref [] in
+    let rec visit n =
+      if not (Hashtbl.mem visited n) then begin
+        Hashtbl.replace visited n ();
+        List.iter visit (succs g n);
+        order := n :: !order
+      end
+    in
+    List.iter visit (nodes g);
+    Some !order
+  end
+
+let reachable g a b =
+  let seen = Hashtbl.create 16 in
+  let rec dfs n =
+    List.exists
+      (fun m ->
+        m = b
+        ||
+        if Hashtbl.mem seen m then false
+        else begin
+          Hashtbl.replace seen m ();
+          dfs m
+        end)
+      (succs g n)
+  in
+  dfs a
+
+let transitive_closure g =
+  List.concat_map
+    (fun a -> List.filter_map (fun b -> if a <> b && reachable g a b then Some (a, b) else None) (nodes g))
+    (nodes g)

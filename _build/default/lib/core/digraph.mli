@@ -1,0 +1,24 @@
+(** Minimal directed-graph utilities over integer nodes, used for
+    precedence closures, conflict graphs and serializability checks. *)
+
+type t
+
+val make : nodes:int list -> edges:(int * int) list -> t
+(** Self-edges are dropped; endpoints are added to the node set. *)
+
+val nodes : t -> int list
+val edges : t -> (int * int) list
+val succs : t -> int -> int list
+
+val has_cycle : t -> bool
+
+val find_cycle : t -> int list option
+(** A cycle as a node list [n1; ...; nk] with edges n1->n2->...->nk->n1. *)
+
+val topo_sort : t -> int list option
+(** [None] if cyclic. *)
+
+val reachable : t -> int -> int -> bool
+(** [reachable g a b] iff a non-empty path leads from [a] to [b]. *)
+
+val transitive_closure : t -> (int * int) list

@@ -1,0 +1,97 @@
+let buf_add = Buffer.add_string
+
+let shape_of (a : Activity.t) =
+  match a.Activity.kind with
+  | Activity.Pivot -> "box"
+  | Activity.Compensatable -> "ellipse"
+  | Activity.Retriable -> "doublecircle"
+
+let node_id (a : Activity.t) = Printf.sprintf "a_%d_%d" a.Activity.id.Activity.proc a.Activity.id.Activity.act
+
+let process p =
+  let b = Buffer.create 512 in
+  buf_add b (Printf.sprintf "digraph P%d {\n  rankdir=LR;\n" (Process.pid p));
+  List.iter
+    (fun (a : Activity.t) ->
+      buf_add b
+        (Printf.sprintf "  %s [label=\"%s\\n%s\" shape=%s];\n" (node_id a)
+           (Activity.to_string a) a.Activity.service (shape_of a)))
+    (Process.activities p);
+  List.iter
+    (fun (x, y) ->
+      buf_add b
+        (Printf.sprintf "  %s -> %s;\n" (node_id (Process.find p x)) (node_id (Process.find p y))))
+    (Process.prec_edges p);
+  List.iter
+    (fun (((_, d1) : Process.edge), ((_, d2) : Process.edge)) ->
+      buf_add b
+        (Printf.sprintf "  %s -> %s [style=dashed constraint=false label=\"<|\"];\n"
+           (node_id (Process.find p d1))
+           (node_id (Process.find p d2))))
+    (Process.pref_pairs p);
+  buf_add b "}\n";
+  Buffer.contents b
+
+let occurrence_id i inst =
+  let a = Activity.instance_base inst in
+  Printf.sprintf "o%d_a_%d_%d%s" i a.Activity.id.Activity.proc a.Activity.id.Activity.act
+    (if Activity.is_inverse inst then "_inv" else "")
+
+let schedule s =
+  let b = Buffer.create 1024 in
+  buf_add b "digraph schedule {\n  rankdir=LR;\n";
+  let occurrences = List.mapi (fun i inst -> (i, inst)) (Schedule.activities s) in
+  (* cluster per process *)
+  List.iter
+    (fun pid ->
+      buf_add b (Printf.sprintf "  subgraph cluster_%d {\n    label=\"P%d\";\n" pid pid);
+      List.iter
+        (fun (i, inst) ->
+          if Activity.instance_proc inst = pid then
+            buf_add b
+              (Printf.sprintf "    %s [label=\"%s\"];\n" (occurrence_id i inst)
+                 (Activity.instance_to_string inst)))
+        occurrences;
+      (* intra-process sequence arrows *)
+      let mine = List.filter (fun (_, inst) -> Activity.instance_proc inst = pid) occurrences in
+      let rec chain = function
+        | (i, x) :: ((j, y) :: _ as rest) ->
+            buf_add b
+              (Printf.sprintf "    %s -> %s;\n" (occurrence_id i x) (occurrence_id j y));
+            chain rest
+        | [ _ ] | [] -> ()
+      in
+      chain mine;
+      buf_add b "  }\n")
+    (Schedule.proc_ids s);
+  (* conflict arrows *)
+  let spec = Schedule.spec s in
+  let rec conflicts = function
+    | [] -> ()
+    | (i, x) :: rest ->
+        List.iter
+          (fun (j, y) ->
+            if
+              Activity.instance_proc x <> Activity.instance_proc y
+              && Conflict.conflicts spec x y
+            then
+              buf_add b
+                (Printf.sprintf "  %s -> %s [style=dotted constraint=false color=red];\n"
+                   (occurrence_id i x) (occurrence_id j y)))
+          rest;
+        conflicts rest
+  in
+  conflicts occurrences;
+  buf_add b "}\n";
+  Buffer.contents b
+
+let conflict_graph s =
+  let b = Buffer.create 256 in
+  buf_add b "digraph conflicts {\n";
+  let g = Schedule.conflict_graph s in
+  List.iter (fun n -> buf_add b (Printf.sprintf "  P%d;\n" n)) (Digraph.nodes g);
+  List.iter
+    (fun (i, j) -> buf_add b (Printf.sprintf "  P%d -> P%d;\n" i j))
+    (Digraph.edges g);
+  buf_add b "}\n";
+  Buffer.contents b

@@ -1,0 +1,15 @@
+(** Graphviz (DOT) export for processes and schedules — solid arrows for
+    the precedence order, dashed arrows for preference (alternatives),
+    and, for schedules, dotted arrows for inter-process conflicts, in the
+    style of the paper's figures. *)
+
+val process : Process.t -> string
+(** One node per activity, labelled [a_{i_k}^g]; pivots drawn as boxes,
+    compensatable activities as ellipses, retriables as double circles. *)
+
+val schedule : Schedule.t -> string
+(** Activity occurrences in schedule order, grouped per process, with
+    conflict arrows between them. *)
+
+val conflict_graph : Schedule.t -> string
+(** The process-level serialization graph. *)

@@ -1,0 +1,125 @@
+module Int_set = Set.Make (Int)
+
+type issue =
+  | Not_tree of int
+  | Unsafe_activity of int
+  | Unsafe_parallel_branch of int
+  | Mixed_successors of int
+
+let pp_issue fmt = function
+  | Not_tree n -> Format.fprintf fmt "activity %d has several predecessors" n
+  | Unsafe_activity n -> Format.fprintf fmt "activity %d can fail without recovery option" n
+  | Unsafe_parallel_branch n ->
+      Format.fprintf fmt "parallel branch at %d mixes termination guarantees" n
+  | Mixed_successors n ->
+      Format.fprintf fmt "activity %d mixes alternatives and unconditional successors" n
+
+let subtree_ids p n =
+  let rec grow acc n =
+    List.fold_left grow (Int_set.add n acc) (Process.succs p n)
+  in
+  grow Int_set.empty n
+
+let uniform_branch p abortable root =
+  let ids = Int_set.elements (subtree_ids p root) in
+  let all kindp = List.for_all (fun n -> kindp (Process.find p n)) ids in
+  all Activity.retriable || (abortable && all Activity.compensatable)
+
+(* Recursive well-formed-flex rule on a tree. [abortable] is true while a
+   failure can still be absorbed by backward recovery or an enclosing
+   alternative. *)
+let rec wf p n abortable =
+  let a = Process.find p n in
+  let self = if (not (Activity.retriable a)) && not abortable then [ Unsafe_activity n ] else [] in
+  let abortable' = abortable && Activity.compensatable a in
+  let alts = Process.alternatives p n and unc = Process.unconditional_succs p n in
+  self
+  @
+  match (alts, unc) with
+  | [], [] -> []
+  | [], [ child ] -> wf p child abortable'
+  | [], children ->
+      List.concat_map
+        (fun c -> if uniform_branch p abortable' c then wf p c abortable' else [ Unsafe_parallel_branch c ])
+        children
+  | _ :: _, _ :: _ -> [ Mixed_successors n ]
+  | alts, [] ->
+      let rec split acc = function
+        | [] -> (List.rev acc, [])
+        | [ last ] -> (List.rev acc, [ last ])
+        | x :: rest -> split (x :: acc) rest
+      in
+      let non_last, last = split [] alts in
+      List.concat_map (fun b -> wf p b true) non_last
+      @ List.concat_map (fun b -> wf p b abortable') last
+
+let well_formed p =
+  let tree_issues =
+    List.filter_map
+      (fun n -> if List.length (Process.preds p n) > 1 then Some (Not_tree n) else None)
+      (Process.activity_ids p)
+  in
+  let issues =
+    if tree_issues <> [] then tree_issues
+    else
+      match Process.roots p with
+      | [ root ] -> wf p root true
+      | roots ->
+          List.concat_map
+            (fun r -> if uniform_branch p true r then wf p r true else [ Unsafe_parallel_branch r ])
+            roots
+  in
+  match issues with
+  | [] -> Ok ()
+  | issues -> Error issues
+
+let run_scenario p fails =
+  let rec loop s steps =
+    if steps > 10_000 then false
+    else if Execution.can_commit s then true
+    else
+      match Execution.enabled s with
+      | [] -> ( match Execution.status s with Execution.Finished _ -> true | Execution.Running -> false)
+      | n :: _ -> (
+          if Int_set.mem n fails then
+            match Execution.fail s n with
+            | exception Execution.Stuck _ -> false
+            | s' -> (
+                match Execution.status s' with
+                | Execution.Finished _ -> true
+                | Execution.Running -> loop s' (steps + 1))
+          else loop (Execution.exec s n) (steps + 1))
+  in
+  loop (Execution.start p) 0
+
+let guaranteed_termination ?(max_exhaustive = 12) ?(samples = 2048) ?(seed = 42) p =
+  let candidates =
+    List.filter (fun n -> not (Activity.retriable (Process.find p n))) (Process.activity_ids p)
+  in
+  let k = List.length candidates in
+  if k <= max_exhaustive then begin
+    let arr = Array.of_list candidates in
+    let rec all_subsets mask =
+      if mask >= 1 lsl k then true
+      else
+        let fails =
+          Array.to_list arr
+          |> List.filteri (fun i _ -> mask land (1 lsl i) <> 0)
+          |> Int_set.of_list
+        in
+        run_scenario p fails && all_subsets (mask + 1)
+    in
+    all_subsets 0
+  end
+  else begin
+    let rng = Random.State.make [| seed |] in
+    let rec sample i =
+      if i >= samples then true
+      else
+        let fails =
+          List.filter (fun _ -> Random.State.bool rng) candidates |> Int_set.of_list
+        in
+        run_scenario p fails && sample (i + 1)
+    in
+    sample 0
+  end

@@ -1,0 +1,43 @@
+(** Well-formed flex structures and guaranteed termination (paper,
+    Section 3.1, after [ZNBB94]).
+
+    A process has {e guaranteed termination} when at least one of its valid
+    executions is always effected: every failure of a non-retriable
+    activity either reaches a lower-priority alternative (after
+    compensating the abandoned branch) or rolls the whole process back
+    before its state-determining activity.  Well-formed flex structures —
+    compensatable activities, then a pivot, then retriables, where a pivot
+    may recursively be followed by a flex structure provided a
+    retriable-only alternative exists for it — are a sufficient,
+    structural criterion.
+
+    Two checkers are provided: {!guaranteed_termination} explores failure
+    scenarios semantically (ground truth), {!well_formed} checks the
+    recursive structural rule (conservative: it may reject exotic shapes
+    that the semantic checker accepts, and it requires tree-shaped
+    precedence). *)
+
+type issue =
+  | Not_tree of int  (** activity with several predecessors *)
+  | Unsafe_activity of int
+      (** non-retriable activity reachable without backward recovery or a
+          covering alternative *)
+  | Unsafe_parallel_branch of int
+      (** parallel unconditional branches mixing termination guarantees *)
+  | Mixed_successors of int
+      (** activity with both alternatives and unconditional successors *)
+
+val well_formed : Process.t -> (unit, issue list) result
+(** Structural check of the recursive well-formed-flex rule. *)
+
+val guaranteed_termination :
+  ?max_exhaustive:int -> ?samples:int -> ?seed:int -> Process.t -> bool
+(** Semantic check: replays every failure scenario (each non-retriable
+    activity either succeeds or fails permanently) through the execution
+    engine and verifies that no scenario gets stuck.  Scenarios are
+    enumerated exhaustively while the number of non-retriable activities
+    is at most [max_exhaustive] (default [12]); beyond that, [samples]
+    (default [2048]) random scenarios are drawn from a PRNG seeded with
+    [seed]. *)
+
+val pp_issue : Format.formatter -> issue -> unit

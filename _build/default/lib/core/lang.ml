@@ -1,0 +1,217 @@
+type document = {
+  spec : Conflict.t;
+  processes : Process.t list;
+  schedule : Schedule.t option;
+}
+
+type error = {
+  line : int;
+  message : string;
+}
+
+let pp_error fmt { line; message } = Format.fprintf fmt "line %d: %s" line message
+
+exception Parse_error of error
+
+let fail line message = raise (Parse_error { line; message })
+
+let strip_comment line =
+  match String.index_opt line '#' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+let tokens line =
+  strip_comment line
+  |> String.split_on_char ' '
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun t -> t <> "")
+
+let int_of ln tok =
+  match int_of_string_opt tok with
+  | Some n -> n
+  | None -> fail ln (Printf.sprintf "expected an integer, got %S" tok)
+
+let kind_of ln = function
+  | "compensatable" | "c" -> Activity.Compensatable
+  | "pivot" | "p" -> Activity.Pivot
+  | "retriable" | "r" -> Activity.Retriable
+  | tok -> fail ln (Printf.sprintf "unknown activity kind %S" tok)
+
+(* "(a -> b) < (a -> c)" after tokenization can carry parentheses glued to
+   numbers; normalize by stripping them *)
+let strip_parens tok =
+  let drop c = c = '(' || c = ')' in
+  let n = String.length tok in
+  let start = if n > 0 && drop tok.[0] then 1 else 0 in
+  let stop = if n > start && drop tok.[n - 1] then n - 1 else n in
+  String.sub tok start (stop - start)
+
+type proc_acc = {
+  mutable acts : Activity.t list;
+  mutable prec : Process.edge list;
+  mutable pref : (Process.edge * Process.edge) list;
+}
+
+type sched_event_acc =
+  | Ev of Schedule.event
+  | Ev_act of {
+      pid : int;
+      act : int;
+      inverse : bool;
+    }
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let spec = ref Conflict.empty in
+  let processes = ref [] in
+  let sched_events = ref [] in
+  let saw_schedule = ref false in
+  let state = ref `Top in
+  List.iteri
+    (fun i line ->
+      let ln = i + 1 in
+      match (tokens line, !state) with
+      | [], _ -> ()
+      | [ "conflict"; s; s' ], `Top -> spec := Conflict.add s s' !spec
+      | [ "effect_free"; s ], `Top -> spec := Conflict.declare_effect_free s !spec
+      | [ "process"; pid; "{" ], `Top ->
+          state := `Process (int_of ln pid, { acts = []; prec = []; pref = [] })
+      | [ "schedule"; "{" ], `Top ->
+          if !saw_schedule then fail ln "duplicate schedule block";
+          saw_schedule := true;
+          state := `Schedule
+      | toks, `Top ->
+          fail ln (Printf.sprintf "unexpected %S at top level" (String.concat " " toks))
+      | [ "}" ], `Process (pid, acc) ->
+          (match
+             Process.make ~pid ~activities:(List.rev acc.acts) ~prec:acc.prec ~pref:acc.pref
+           with
+          | Ok p -> processes := p :: !processes
+          | Error errs ->
+              fail ln
+                (Format.asprintf "invalid process %d: %a" pid
+                   (Format.pp_print_list
+                      ~pp_sep:(fun fmt () -> Format.fprintf fmt "; ")
+                      Process.pp_violation)
+                   errs));
+          state := `Top
+      | [ a; "->"; b ], `Process (_, acc) ->
+          acc.prec <- (int_of ln a, int_of ln b) :: acc.prec
+      | [ a1; "->"; b1; "<"; a2; "->"; b2 ], `Process (_, acc) ->
+          let e tok = int_of ln (strip_parens tok) in
+          acc.pref <- ((e a1, e b1), (e a2, e b2)) :: acc.pref
+      | id :: service :: kind :: rest, `Process (pid, acc) ->
+          let subsystem =
+            match rest with
+            | [] -> "default"
+            | [ s ] when String.length s > 1 && s.[0] = '@' ->
+                String.sub s 1 (String.length s - 1)
+            | _ -> fail ln "expected at most a @subsystem after the activity kind"
+          in
+          acc.acts <-
+            Activity.make ~proc:pid ~act:(int_of ln id) ~service ~kind:(kind_of ln kind)
+              ~subsystem ()
+            :: acc.acts
+      | toks, `Process _ ->
+          fail ln (Printf.sprintf "unexpected %S in a process block" (String.concat " " toks))
+      | [ "}" ], `Schedule -> state := `Top
+      | [ "act"; pid; act ], `Schedule ->
+          sched_events :=
+            Ev_act { pid = int_of ln pid; act = int_of ln act; inverse = false }
+            :: !sched_events
+      | [ "comp"; pid; act ], `Schedule ->
+          sched_events :=
+            Ev_act { pid = int_of ln pid; act = int_of ln act; inverse = true }
+            :: !sched_events
+      | [ "commit"; pid ], `Schedule ->
+          sched_events := Ev (Schedule.Commit (int_of ln pid)) :: !sched_events
+      | [ "abort"; pid ], `Schedule ->
+          sched_events := Ev (Schedule.Abort (int_of ln pid)) :: !sched_events
+      | "groupabort" :: pids, `Schedule ->
+          sched_events := Ev (Schedule.Group_abort (List.map (int_of ln) pids)) :: !sched_events
+      | toks, `Schedule ->
+          fail ln (Printf.sprintf "unexpected %S in the schedule block" (String.concat " " toks)))
+    lines;
+  (match !state with
+  | `Top -> ()
+  | `Process _ | `Schedule -> fail (List.length lines) "unterminated block");
+  let processes = List.rev !processes in
+  let schedule =
+    if not !saw_schedule then None
+    else begin
+      let find_proc pid =
+        match List.find_opt (fun p -> Process.pid p = pid) processes with
+        | Some p -> p
+        | None -> fail 0 (Printf.sprintf "schedule refers to unknown process %d" pid)
+      in
+      let events =
+        List.rev_map
+          (function
+            | Ev ev -> ev
+            | Ev_act { pid; act; inverse } -> (
+                let p = find_proc pid in
+                match Process.find_opt p act with
+                | None ->
+                    fail 0 (Printf.sprintf "schedule refers to unknown activity a_{%d_%d}" pid act)
+                | Some a ->
+                    Schedule.Act (if inverse then Activity.Inverse a else Activity.Forward a)))
+          !sched_events
+      in
+      match Schedule.make ~spec:!spec ~procs:processes events with
+      | s -> Some s
+      | exception Invalid_argument m -> fail 0 m
+    end
+  in
+  { spec = !spec; processes; schedule }
+
+let parse text = try Ok (parse text) with Parse_error e -> Error e
+
+let parse_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  parse text
+
+let print doc =
+  let b = Buffer.create 1024 in
+  let bpf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  List.iter (fun (s, s') -> bpf "conflict %s %s\n" s s') (Conflict.pairs doc.spec);
+  List.iter (fun s -> bpf "effect_free %s\n" s) (Conflict.effect_free_services doc.spec);
+  List.iter
+    (fun p ->
+      bpf "\nprocess %d {\n" (Process.pid p);
+      List.iter
+        (fun (a : Activity.t) ->
+          bpf "  %d %s %s @%s\n" a.Activity.id.Activity.act a.Activity.service
+            (match a.Activity.kind with
+            | Activity.Compensatable -> "compensatable"
+            | Activity.Pivot -> "pivot"
+            | Activity.Retriable -> "retriable")
+            a.Activity.subsystem)
+        (Process.activities p);
+      List.iter (fun (x, y) -> bpf "  %d -> %d\n" x y) (Process.prec_edges p);
+      List.iter
+        (fun ((a1, b1), (a2, b2)) -> bpf "  (%d -> %d) < (%d -> %d)\n" a1 b1 a2 b2)
+        (Process.pref_pairs p);
+      bpf "}\n")
+    doc.processes;
+  (match doc.schedule with
+  | None -> ()
+  | Some s ->
+      bpf "\nschedule {\n";
+      List.iter
+        (fun ev ->
+          match ev with
+          | Schedule.Act inst ->
+              let id = Activity.instance_id inst in
+              bpf "  %s %d %d\n"
+                (if Activity.is_inverse inst then "comp" else "act")
+                id.Activity.proc id.Activity.act
+          | Schedule.Commit pid -> bpf "  commit %d\n" pid
+          | Schedule.Abort pid -> bpf "  abort %d\n" pid
+          | Schedule.Group_abort pids ->
+              bpf "  groupabort %s\n" (String.concat " " (List.map string_of_int pids)))
+        (Schedule.events s);
+      bpf "}\n");
+  Buffer.contents b

@@ -1,0 +1,51 @@
+(** A small line-oriented textual format for process definitions, conflict
+    specifications and schedules, so that tooling (the [tpm] CLI) can
+    check documents without writing OCaml.
+
+    {v
+    # conflicts are symmetric; effect_free marks read-only services
+    conflict pdm_entry read_bom
+    effect_free read_bom
+
+    process 1 {
+      1 design      compensatable @cad
+      2 pdm_entry   compensatable @pdm
+      3 test        pivot         @testdb
+      4 tech_doc    retriable     @docrepo
+      5 doc_drawing retriable     @docrepo
+      1 -> 2
+      2 -> 3
+      3 -> 4
+      1 -> 5
+      (1 -> 2) < (1 -> 5)
+    }
+
+    schedule {
+      act 1 1        # forward occurrence of a_{1_1}
+      comp 1 1       # compensation a_{1_1}^-1
+      commit 1
+      abort 2
+      groupabort 1 2
+    }
+    v} *)
+
+type document = {
+  spec : Conflict.t;
+  processes : Process.t list;
+  schedule : Schedule.t option;
+      (** present when the document contains a [schedule] block; built
+          over the document's processes and conflict specification *)
+}
+
+type error = {
+  line : int;  (** 1-based *)
+  message : string;
+}
+
+val parse : string -> (document, error) result
+val parse_file : string -> (document, error) result
+
+val print : document -> string
+(** Prints a document that {!parse} reads back equivalently. *)
+
+val pp_error : Format.formatter -> error -> unit

@@ -1,0 +1,251 @@
+module Int_map = Map.Make (Int)
+module Int_set = Set.Make (Int)
+
+type edge = int * int
+
+type t = {
+  pid : int;
+  acts : Activity.t Int_map.t;
+  prec : edge list;
+  pref : (edge * edge) list;
+  succs_map : int list Int_map.t;
+  preds_map : int list Int_map.t;
+  alt_map : int list Int_map.t;
+  descendants : Int_set.t Int_map.t;
+}
+
+type violation =
+  | Duplicate_activity of int
+  | Wrong_process_id of Activity.id
+  | Unknown_endpoint of edge
+  | Precedence_cycle of int list
+  | Preference_not_sibling of edge * edge
+  | Preference_unknown_edge of edge
+  | Preference_cycle of int
+  | Self_edge of int
+  | No_activities
+
+let uniq_sorted l = List.sort_uniq compare l
+
+let adjacency edges =
+  List.fold_left
+    (fun m (a, b) ->
+      let cur = Option.value ~default:[] (Int_map.find_opt a m) in
+      Int_map.add a (b :: cur) m)
+    Int_map.empty edges
+  |> Int_map.map uniq_sorted
+
+(* Kahn topological sort; returns [Error cycle_nodes] on a cycle. *)
+let topo_sort nodes edges =
+  let succs = adjacency edges in
+  let indeg =
+    List.fold_left
+      (fun m (_, b) -> Int_map.add b (1 + Option.value ~default:0 (Int_map.find_opt b m)) m)
+      (List.fold_left (fun m n -> Int_map.add n 0 m) Int_map.empty nodes)
+      edges
+  in
+  let rec loop indeg ready acc =
+    match ready with
+    | [] ->
+        let remaining = Int_map.filter (fun _ d -> d > 0) indeg in
+        if Int_map.is_empty remaining then Ok (List.rev acc)
+        else Error (List.map fst (Int_map.bindings remaining))
+    | n :: rest ->
+        let targets = Option.value ~default:[] (Int_map.find_opt n succs) in
+        let indeg, newly =
+          List.fold_left
+            (fun (indeg, newly) m ->
+              let d = Int_map.find m indeg - 1 in
+              (Int_map.add m d indeg, if d = 0 then m :: newly else newly))
+            (indeg, []) targets
+        in
+        loop indeg (List.merge compare rest (uniq_sorted newly)) (n :: acc)
+  in
+  let ready = List.filter (fun n -> Int_map.find n indeg = 0) nodes in
+  loop indeg (uniq_sorted ready) []
+
+let descendants_of succs_map nodes =
+  let rec dfs seen n =
+    let targets = Option.value ~default:[] (Int_map.find_opt n succs_map) in
+    List.fold_left
+      (fun seen m -> if Int_set.mem m seen then seen else dfs (Int_set.add m seen) m)
+      seen targets
+  in
+  List.fold_left (fun acc n -> Int_map.add n (dfs Int_set.empty n) acc) Int_map.empty nodes
+
+let validate ~pid ~activities ~prec ~pref =
+  let errs = ref [] in
+  let err e = errs := e :: !errs in
+  if activities = [] then err No_activities;
+  let ids = List.map (fun (a : Activity.t) -> a.id.act) activities in
+  let rec dup_check = function
+    | [] -> ()
+    | x :: rest -> (if List.mem x rest then err (Duplicate_activity x)); dup_check rest
+  in
+  dup_check ids;
+  List.iter
+    (fun (a : Activity.t) -> if a.id.proc <> pid then err (Wrong_process_id a.id))
+    activities;
+  let known n = List.mem n ids in
+  List.iter
+    (fun ((a, b) as e) ->
+      if a = b then err (Self_edge a)
+      else if not (known a && known b) then err (Unknown_endpoint e))
+    prec;
+  let prec_ok = List.filter (fun (a, b) -> a <> b && known a && known b) prec in
+  (match topo_sort ids prec_ok with
+  | Ok _ -> ()
+  | Error cyc -> err (Precedence_cycle cyc));
+  let edge_known e = List.mem e prec_ok in
+  List.iter
+    (fun (((s1, _) as e1), ((s2, _) as e2)) ->
+      if not (edge_known e1) then err (Preference_unknown_edge e1);
+      if not (edge_known e2) then err (Preference_unknown_edge e2);
+      if edge_known e1 && edge_known e2 && s1 <> s2 then err (Preference_not_sibling (e1, e2)))
+    pref;
+  !errs
+
+(* Preference-ordered alternatives per source: the dsts of ⊲-related
+   out-edges, required to form a total order. *)
+let build_alt_map pref =
+  let sources =
+    uniq_sorted (List.map (fun (((s, _) : edge), (_ : edge)) -> s) pref)
+  in
+  List.fold_left
+    (fun (acc, errs) s ->
+      let local =
+        List.filter_map
+          (fun (((s1, d1), (s2, d2)) : edge * edge) ->
+            if s1 = s && s2 = s then Some (d1, d2) else None)
+          pref
+      in
+      let dsts = uniq_sorted (List.concat_map (fun (a, b) -> [ a; b ]) local) in
+      match topo_sort dsts local with
+      | Error _ -> (acc, Preference_cycle s :: errs)
+      | Ok order ->
+          (* A chain is required: every pair must be transitively related. *)
+          let reach = descendants_of (adjacency local) dsts in
+          let total =
+            let rec chain = function
+              | a :: (b :: _ as rest) ->
+                  Int_set.mem b (Int_map.find a reach) && chain rest
+              | _ -> true
+            in
+            chain order
+          in
+          if total then (Int_map.add s order acc, errs)
+          else (acc, Preference_cycle s :: errs))
+    (Int_map.empty, []) sources
+
+let make ~pid ~activities ~prec ~pref =
+  let prec = uniq_sorted prec and pref = uniq_sorted pref in
+  let errs = validate ~pid ~activities ~prec ~pref in
+  let alt_map, alt_errs = build_alt_map pref in
+  match errs @ alt_errs with
+  | _ :: _ as errs -> Error errs
+  | [] ->
+      let acts =
+        List.fold_left
+          (fun m (a : Activity.t) -> Int_map.add a.id.act a m)
+          Int_map.empty activities
+      in
+      let succs_map = adjacency prec in
+      let preds_map = adjacency (List.map (fun (a, b) -> (b, a)) prec) in
+      let nodes = List.map fst (Int_map.bindings acts) in
+      let descendants = descendants_of succs_map nodes in
+      Ok { pid; acts; prec; pref; succs_map; preds_map; alt_map; descendants }
+
+let pp_violation fmt = function
+  | Duplicate_activity n -> Format.fprintf fmt "duplicate activity id %d" n
+  | Wrong_process_id id -> Format.fprintf fmt "activity %a has foreign process id" Activity.pp_id id
+  | Unknown_endpoint (a, b) -> Format.fprintf fmt "edge (%d, %d) has unknown endpoint" a b
+  | Precedence_cycle ns ->
+      Format.fprintf fmt "precedence cycle through {%a}"
+        (Format.pp_print_list ~pp_sep:(fun fmt () -> Format.fprintf fmt ", ") Format.pp_print_int)
+        ns
+  | Preference_not_sibling ((a, b), (c, d)) ->
+      Format.fprintf fmt "preference relates non-sibling connectors (%d,%d) and (%d,%d)" a b c d
+  | Preference_unknown_edge (a, b) -> Format.fprintf fmt "preference mentions unknown connector (%d,%d)" a b
+  | Preference_cycle s -> Format.fprintf fmt "alternatives of activity %d are not totally ordered" s
+  | Self_edge n -> Format.fprintf fmt "self edge on activity %d" n
+  | No_activities -> Format.fprintf fmt "process has no activities"
+
+let make_exn ~pid ~activities ~prec ~pref =
+  match make ~pid ~activities ~prec ~pref with
+  | Ok p -> p
+  | Error errs ->
+      invalid_arg
+        (Format.asprintf "Process.make_exn: %a"
+           (Format.pp_print_list ~pp_sep:(fun fmt () -> Format.fprintf fmt "; ") pp_violation)
+           errs)
+
+let pid p = p.pid
+let activities p = List.map snd (Int_map.bindings p.acts)
+let activity_ids p = List.map fst (Int_map.bindings p.acts)
+let size p = Int_map.cardinal p.acts
+let find p n = Int_map.find n p.acts
+let find_opt p n = Int_map.find_opt n p.acts
+let mem p n = Int_map.mem n p.acts
+let prec_edges p = p.prec
+let pref_pairs p = p.pref
+let succs p n = Option.value ~default:[] (Int_map.find_opt n p.succs_map)
+let preds p n = Option.value ~default:[] (Int_map.find_opt n p.preds_map)
+
+let before p a b =
+  match Int_map.find_opt a p.descendants with
+  | None -> false
+  | Some d -> Int_set.mem b d
+
+let roots p = List.filter (fun n -> preds p n = []) (activity_ids p)
+let alternatives p n = Option.value ~default:[] (Int_map.find_opt n p.alt_map)
+
+let unconditional_succs p n =
+  let alts = alternatives p n in
+  List.filter (fun m -> not (List.mem m alts)) (succs p n)
+
+let choice_points p =
+  List.filter (fun n -> List.length (alternatives p n) >= 2) (activity_ids p)
+
+let non_compensatable_ids p =
+  List.filter (fun n -> Activity.non_compensatable (find p n)) (activity_ids p)
+
+(* Activities on the plan where every choice resolves to its most-preferred
+   alternative, in topological order. *)
+let preferred_path p =
+  let rec grow frontier seen =
+    match frontier with
+    | [] -> seen
+    | n :: rest ->
+        if Int_set.mem n seen then grow rest seen
+        else
+          let seen = Int_set.add n seen in
+          let next =
+            match alternatives p n with
+            | [] -> succs p n
+            | first :: _ -> first :: unconditional_succs p n
+          in
+          grow (next @ rest) seen
+  in
+  let chosen = grow (roots p) Int_set.empty in
+  match topo_sort (activity_ids p) p.prec with
+  | Error _ -> assert false (* validated acyclic *)
+  | Ok order -> List.filter (fun n -> Int_set.mem n chosen) order
+
+let state_determining p =
+  List.find_opt (fun n -> Activity.non_compensatable (find p n)) (preferred_path p)
+
+let equal p q =
+  p.pid = q.pid
+  && Int_map.equal Activity.equal p.acts q.acts
+  && p.prec = q.prec && p.pref = q.pref
+
+let pp fmt p =
+  let pp_sep fmt () = Format.fprintf fmt ", " in
+  Format.fprintf fmt "@[<v>P_%d:@ activities: %a@ prec: %a@ pref: %a@]" p.pid
+    (Format.pp_print_list ~pp_sep Activity.pp)
+    (activities p)
+    (Format.pp_print_list ~pp_sep (fun fmt (a, b) -> Format.fprintf fmt "%d<<%d" a b))
+    p.prec
+    (Format.pp_print_list ~pp_sep (fun fmt ((a, b), (c, d)) ->
+         Format.fprintf fmt "(%d<<%d)<|(%d<<%d)" a b c d))
+    p.pref

@@ -1,0 +1,100 @@
+(** Transactional processes (paper, Definition 5).
+
+    A process is a triple [(A, ≪, ⊲)]: a set of activities, a precedence
+    partial order [≪] over them (temporal: a successor may only start after
+    its predecessors committed), and a preference order [⊲] over connectors
+    (pairs of [≪]-edges sharing their source) that defines alternative
+    execution paths evaluated in preference order.
+
+    Out-edges of an activity [s] fall into two groups: the edges related by
+    [⊲] are {e alternatives} of each other (exactly one is followed; the
+    next one is only tried after the previous branch failed and was
+    compensated back to [s]); edges not mentioned in [⊲] are
+    {e unconditional} successors executed on every path through [s]. *)
+
+type edge = int * int
+(** A connector [(src, dst)] between activity ids. *)
+
+type t
+
+(** Validation failures reported by {!make}. *)
+type violation =
+  | Duplicate_activity of int
+  | Wrong_process_id of Activity.id
+  | Unknown_endpoint of edge
+  | Precedence_cycle of int list
+  | Preference_not_sibling of edge * edge  (** [⊲] relates edges with different sources *)
+  | Preference_unknown_edge of edge
+  | Preference_cycle of int  (** source activity whose alternatives are cyclically preferred *)
+  | Self_edge of int
+  | No_activities
+
+val make :
+  pid:int ->
+  activities:Activity.t list ->
+  prec:edge list ->
+  pref:(edge * edge) list ->
+  (t, violation list) result
+(** Builds and validates a process.  [prec] lists direct [≪] edges, [pref]
+    lists [⊲] pairs [(e, e')] meaning connector [e] is preferred over
+    [e']. *)
+
+val make_exn :
+  pid:int ->
+  activities:Activity.t list ->
+  prec:edge list ->
+  pref:(edge * edge) list ->
+  t
+(** @raise Invalid_argument on validation failure. *)
+
+val pid : t -> int
+val activities : t -> Activity.t list
+val activity_ids : t -> int list
+val size : t -> int
+val find : t -> int -> Activity.t
+(** @raise Not_found if the id is not in the process. *)
+
+val find_opt : t -> int -> Activity.t option
+val mem : t -> int -> bool
+
+val prec_edges : t -> edge list
+val pref_pairs : t -> (edge * edge) list
+
+val succs : t -> int -> int list
+(** Direct [≪]-successors, ascending. *)
+
+val preds : t -> int -> int list
+(** Direct [≪]-predecessors, ascending. *)
+
+val before : t -> int -> int -> bool
+(** [before p a b] iff [a ≪ b] in the transitive closure. *)
+
+val roots : t -> int list
+(** Activities without predecessors (process entry points). *)
+
+val alternatives : t -> int -> int list
+(** [alternatives p s] is the preference-ordered list of alternative
+    successors of [s] (first = most preferred); empty if [s] has no
+    [⊲]-related out-edges. *)
+
+val unconditional_succs : t -> int -> int list
+(** Out-neighbours of [s] not taking part in any alternative. *)
+
+val choice_points : t -> int list
+(** Activities with at least two alternatives. *)
+
+val non_compensatable_ids : t -> int list
+(** Ids of pivot and retriable activities, ascending. *)
+
+val state_determining : t -> int option
+(** The first non-compensatable activity on the most-preferred execution
+    path, the [s_{i_0}] of the paper; [None] if every activity is
+    compensatable. *)
+
+val preferred_path : t -> int list
+(** The most-preferred complete execution path (every choice resolved to
+    its first alternative), in a [≪]-compatible order. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val pp_violation : Format.formatter -> violation -> unit

@@ -1,0 +1,111 @@
+let rebuild like events = Schedule.make ~spec:(Schedule.spec like) ~procs:(Schedule.procs like) events
+
+let remove_effect_free ~original s =
+  let spec = Schedule.spec s in
+  let committed = Schedule.committed original in
+  let keep = function
+    | Schedule.Act i ->
+        not
+          (Conflict.instance_effect_free spec i
+          && not (List.mem (Activity.instance_proc i) committed))
+    | Schedule.Commit _ | Schedule.Abort _ | Schedule.Group_abort _ -> true
+  in
+  rebuild s (List.filter keep (Schedule.events s))
+
+(* Match Forward/Inverse occurrences of the same activity LIFO-wise,
+   returning (position of forward, position of inverse) pairs. *)
+let matched_pairs events =
+  let stacks : (Activity.id, int list) Hashtbl.t = Hashtbl.create 16 in
+  let pairs = ref [] in
+  List.iteri
+    (fun pos ev ->
+      match ev with
+      | Schedule.Act (Activity.Forward a) ->
+          let cur = Option.value ~default:[] (Hashtbl.find_opt stacks a.Activity.id) in
+          Hashtbl.replace stacks a.Activity.id (pos :: cur)
+      | Schedule.Act (Activity.Inverse a) -> (
+          match Hashtbl.find_opt stacks a.Activity.id with
+          | Some (p :: rest) ->
+              Hashtbl.replace stacks a.Activity.id rest;
+              pairs := (p, pos) :: !pairs
+          | Some [] | None -> ())
+      | Schedule.Commit _ | Schedule.Abort _ | Schedule.Group_abort _ -> ())
+    events;
+  !pairs
+
+let cancel_compensation_pairs s =
+  let spec = Schedule.spec s in
+  let rec fixpoint events =
+    let arr = Array.of_list events in
+    let removable (p, q) =
+      let fwd = match arr.(p) with Schedule.Act i -> i | _ -> assert false in
+      let blocked = ref false in
+      for k = p + 1 to q - 1 do
+        match arr.(k) with
+        | Schedule.Act x -> if Conflict.conflicts spec fwd x then blocked := true
+        | Schedule.Commit _ | Schedule.Abort _ | Schedule.Group_abort _ -> ()
+      done;
+      not !blocked
+    in
+    let to_remove =
+      List.concat_map (fun (p, q) -> if removable (p, q) then [ p; q ] else []) (matched_pairs events)
+    in
+    if to_remove = [] then events
+    else
+      fixpoint
+        (List.filteri (fun pos _ -> not (List.mem pos to_remove)) events)
+  in
+  rebuild s (fixpoint (Schedule.events s))
+
+let reduce ~original s = cancel_compensation_pairs (remove_effect_free ~original s)
+
+let reducible ~original s =
+  not (Digraph.has_cycle (Schedule.conflict_graph (reduce ~original s)))
+
+(* Explicit rewrite search over activity sequences, for cross-validation. *)
+let reducible_by_search ?(max_steps = 200_000) ~original s =
+  let spec = Schedule.spec s in
+  let start = Schedule.activities (remove_effect_free ~original s) in
+  let serial seq =
+    let rec blocks last seen = function
+      | [] -> true
+      | i :: rest ->
+          let p = Activity.instance_proc i in
+          if Some p = last then blocks last seen rest
+          else if List.mem p seen then false
+          else blocks (Some p) (p :: seen) rest
+    in
+    blocks None [] seq
+  in
+  let seen = Hashtbl.create 1024 in
+  let steps = ref 0 in
+  let exception Found in
+  let exception Out_of_budget in
+  let rec explore seq =
+    incr steps;
+    if !steps > max_steps then raise Out_of_budget;
+    if Hashtbl.mem seen seq then ()
+    else begin
+      Hashtbl.replace seen seq ();
+      if serial seq then raise Found;
+      (* all single-step rewrites *)
+      let rec moves prefix_rev = function
+        | x :: (y :: rest as tail) ->
+            (match (x, y) with
+            | Activity.Forward a, Activity.Inverse b when Activity.equal a b ->
+                explore (List.rev_append prefix_rev rest)
+            | _ -> ());
+            if
+              Activity.instance_proc x <> Activity.instance_proc y
+              && not (Conflict.conflicts spec x y)
+            then explore (List.rev_append prefix_rev (y :: x :: rest));
+            moves (x :: prefix_rev) tail
+        | [ _ ] | [] -> ()
+      in
+      moves [] seq
+    end
+  in
+  match explore start with
+  | () -> Some false
+  | exception Found -> Some true
+  | exception Out_of_budget -> None

@@ -1,0 +1,35 @@
+(** Reducibility of completed process schedules (paper, Definition 9).
+
+    A schedule is reducible (RED) if its completed schedule can be turned
+    into a serial one by finitely many applications of the commutativity
+    rule (swap adjacent non-conflicting activities), the compensation rule
+    (drop an adjacent pair [a, a^{-1}]), and the effect-free rule (drop
+    effect-free activities of processes that do not commit in the original
+    schedule).
+
+    Two checkers are provided: a polynomial one based on the classical
+    characterization (cancel compensation pairs to a fixpoint — a pair
+    cancels iff no activity conflicting with it lies between the two
+    occurrences — then test conflict-serializability of the remainder),
+    and an explicit-rewrite search used to cross-validate the fast checker
+    on small schedules. *)
+
+val remove_effect_free : original:Schedule.t -> Schedule.t -> Schedule.t
+(** Drops activity occurrences whose service is declared effect-free and
+    whose process does not commit in [original] (rule 3). *)
+
+val cancel_compensation_pairs : Schedule.t -> Schedule.t
+(** Applies rules 1+2 to a fixpoint: repeatedly removes pairs
+    [(Forward a, Inverse a)] with no conflicting occurrence in between. *)
+
+val reduce : original:Schedule.t -> Schedule.t -> Schedule.t
+(** Effect-free removal followed by pair cancellation. *)
+
+val reducible : original:Schedule.t -> Schedule.t -> bool
+(** The reduced schedule is conflict-serializable, i.e. the completed
+    schedule can be transformed into a serial one. *)
+
+val reducible_by_search : ?max_steps:int -> original:Schedule.t -> Schedule.t -> bool option
+(** Ground-truth rewrite search applying Definition 9 literally.  Explores
+    at most [max_steps] (default [200_000]) states; [None] when the bound
+    is hit without an answer. *)

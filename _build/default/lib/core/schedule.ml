@@ -1,0 +1,157 @@
+module Int_map = Map.Make (Int)
+
+type event =
+  | Act of Activity.instance
+  | Commit of int
+  | Abort of int
+  | Group_abort of int list
+
+type status =
+  | Active
+  | Committed
+  | Aborted
+
+type t = {
+  spec : Conflict.t;
+  proc_map : Process.t Int_map.t;
+  events : event list;  (* chronological *)
+}
+
+let event_procs = function
+  | Act i -> [ Activity.instance_proc i ]
+  | Commit i | Abort i -> [ i ]
+  | Group_abort is -> is
+
+let terminal = function
+  | Commit _ | Abort _ -> true
+  | Act _ | Group_abort _ -> false
+
+let make ~spec ~procs events =
+  let proc_map =
+    List.fold_left
+      (fun m p ->
+        let pid = Process.pid p in
+        if Int_map.mem pid m then
+          invalid_arg (Printf.sprintf "Schedule.make: duplicate process id %d" pid)
+        else Int_map.add pid p m)
+      Int_map.empty procs
+  in
+  let seen_terminal = Hashtbl.create 8 in
+  List.iter
+    (fun ev ->
+      List.iter
+        (fun pid ->
+          match Int_map.find_opt pid proc_map with
+          | None -> invalid_arg (Printf.sprintf "Schedule.make: unknown process %d" pid)
+          | Some p ->
+              if Hashtbl.mem seen_terminal pid then
+                invalid_arg (Printf.sprintf "Schedule.make: event after terminal event of P_%d" pid);
+              (match ev with
+              | Act inst ->
+                  let n = (Activity.instance_id inst).act in
+                  if not (Process.mem p n) then
+                    invalid_arg
+                      (Printf.sprintf "Schedule.make: unknown activity %d of P_%d" n pid)
+              | Commit _ | Abort _ | Group_abort _ -> ());
+              if terminal ev then Hashtbl.replace seen_terminal pid ())
+        (event_procs ev))
+    events;
+  { spec; proc_map; events }
+
+let spec s = s.spec
+let procs s = List.map snd (Int_map.bindings s.proc_map)
+let proc_ids s = List.map fst (Int_map.bindings s.proc_map)
+let find_proc s i = Int_map.find i s.proc_map
+let events s = s.events
+let length s = List.length s.events
+let append s ev = make ~spec:s.spec ~procs:(procs s) (s.events @ [ ev ])
+
+let activities s =
+  List.filter_map (function Act i -> Some i | Commit _ | Abort _ | Group_abort _ -> None) s.events
+
+let proc_activities s pid =
+  List.filter (fun i -> Activity.instance_proc i = pid) (activities s)
+
+let status_of s pid =
+  let rec scan = function
+    | [] -> Active
+    | Commit i :: _ when i = pid -> Committed
+    | Abort i :: _ when i = pid -> Aborted
+    | _ :: rest -> scan rest
+  in
+  scan s.events
+
+let with_status s st = List.filter (fun pid -> status_of s pid = st) (proc_ids s)
+let active s = with_status s Active
+let committed s = with_status s Committed
+let aborted s = with_status s Aborted
+
+let replay s pid =
+  match Int_map.find_opt pid s.proc_map with
+  | None -> Error (Printf.sprintf "unknown process %d" pid)
+  | Some p ->
+      let step acc ev =
+        Result.bind acc (fun state ->
+            match ev with
+            | Act inst when Activity.instance_proc inst = pid ->
+                Result.map_error
+                  (fun e -> Printf.sprintf "P_%d: %s" pid e)
+                  (Execution.replay_instance state inst)
+            | Commit i when i = pid ->
+                if Execution.can_commit state then Ok (Execution.commit state)
+                else Error (Printf.sprintf "P_%d: commit while plan incomplete" pid)
+            | Act _ | Commit _ | Abort _ | Group_abort _ -> Ok state)
+      in
+      List.fold_left step (Ok (Execution.start p)) s.events
+
+let legal s = List.for_all (fun pid -> Result.is_ok (replay s pid)) (proc_ids s)
+
+let conflict_pairs s =
+  let acts = activities s in
+  let rec walk = function
+    | [] -> []
+    | x :: rest ->
+        List.filter_map
+          (fun y ->
+            if
+              Activity.instance_proc x <> Activity.instance_proc y
+              && Conflict.conflicts s.spec x y
+            then Some (x, y)
+            else None)
+          rest
+        @ walk rest
+  in
+  walk acts
+
+let conflict_graph s =
+  let edges =
+    List.map
+      (fun (x, y) -> (Activity.instance_proc x, Activity.instance_proc y))
+      (conflict_pairs s)
+  in
+  Digraph.make ~nodes:(proc_ids s) ~edges
+
+let prefixes s =
+  let rec take_prefixes acc rev_cur = function
+    | [] -> List.rev acc
+    | ev :: rest ->
+        let rev_cur = ev :: rev_cur in
+        let prefix = { s with events = List.rev rev_cur } in
+        take_prefixes (prefix :: acc) rev_cur rest
+  in
+  take_prefixes [ { s with events = [] } ] [] s.events
+
+let pp_event fmt = function
+  | Act i -> Activity.pp_instance fmt i
+  | Commit i -> Format.fprintf fmt "C_%d" i
+  | Abort i -> Format.fprintf fmt "A_%d" i
+  | Group_abort is ->
+      Format.fprintf fmt "A(%a)"
+        (Format.pp_print_list ~pp_sep:(fun fmt () -> Format.fprintf fmt ",") (fun fmt i ->
+             Format.fprintf fmt "P_%d" i))
+        is
+
+let pp fmt s =
+  Format.fprintf fmt "@[<h>%a@]"
+    (Format.pp_print_list ~pp_sep:(fun fmt () -> Format.fprintf fmt " ") pp_event)
+    s.events

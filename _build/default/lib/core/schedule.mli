@@ -1,0 +1,68 @@
+(** Process schedules (paper, Definition 7).
+
+    A schedule records the interleaved execution of a set of processes as a
+    chronological event sequence: committed activity occurrences (forward or
+    compensating), process commits [C_i], process aborts [A_i] (the abort
+    {e request}; its completion is made explicit by {!Completed}), and group
+    aborts [A(P_1, ..., P_n)].
+
+    The partial order [≪_S] of the paper is recovered from the sequence: it
+    is the union of every process's own order and the observed order of every
+    inter-process conflicting pair. *)
+
+type event =
+  | Act of Activity.instance
+  | Commit of int
+  | Abort of int
+  | Group_abort of int list
+
+type status =
+  | Active
+  | Committed
+  | Aborted
+
+type t
+
+val make : spec:Conflict.t -> procs:Process.t list -> event list -> t
+(** @raise Invalid_argument if an event refers to an unknown process or
+    activity, if a process has events after its terminal event, or if two
+    processes share an id. *)
+
+val spec : t -> Conflict.t
+val procs : t -> Process.t list
+val proc_ids : t -> int list
+val find_proc : t -> int -> Process.t
+val events : t -> event list
+val length : t -> int
+val append : t -> event -> t
+
+val activities : t -> Activity.instance list
+(** Activity occurrences, chronological. *)
+
+val proc_activities : t -> int -> Activity.instance list
+val status_of : t -> int -> status
+val active : t -> int list
+val committed : t -> int list
+val aborted : t -> int list
+
+val replay : t -> int -> (Execution.t, string) result
+(** Replays the events of one process through the execution engine,
+    reconstructing its state (recovery state, completion, ...).  Fails if
+    the event sequence is not a legal execution of the process. *)
+
+val legal : t -> bool
+(** Every per-process projection is a legal execution (Definition 7.1). *)
+
+val conflict_pairs : t -> (Activity.instance * Activity.instance) list
+(** Ordered inter-process conflicting pairs [(x, y)] with [x] before [y]. *)
+
+val conflict_graph : t -> Digraph.t
+(** Process-level serialization graph: an edge [i -> j] iff some activity
+    of [P_i] precedes a conflicting activity of [P_j]. *)
+
+val prefixes : t -> t list
+(** All proper and improper prefixes, shortest first, including the empty
+    and the full schedule. *)
+
+val pp_event : Format.formatter -> event -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/kvstore/locks.ml: Hashtbl List

@@ -1,0 +1,1 @@
+lib/kvstore/locks.mli:

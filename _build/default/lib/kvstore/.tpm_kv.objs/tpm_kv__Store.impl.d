@@ -1,0 +1,1 @@
+lib/kvstore/store.ml: Format Hashtbl List Option String Value

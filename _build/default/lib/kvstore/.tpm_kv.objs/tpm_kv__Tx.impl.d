@@ -1,0 +1,1 @@
+lib/kvstore/tx.ml: List Map Printf Store String Value

@@ -1,0 +1,1 @@
+lib/kvstore/tx.mli: Store Value

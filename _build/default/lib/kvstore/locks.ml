@@ -1,0 +1,48 @@
+type mode =
+  | Shared
+  | Exclusive
+
+type t = { table : (string, (int * mode) list ref) Hashtbl.t }
+
+let create () = { table = Hashtbl.create 64 }
+
+let entry t key =
+  match Hashtbl.find_opt t.table key with
+  | Some r -> r
+  | None ->
+      let r = ref [] in
+      Hashtbl.replace t.table key r;
+      r
+
+let acquire t ~owner ~mode key =
+  let r = entry t key in
+  let others = List.filter (fun (o, _) -> o <> owner) !r in
+  let mine = List.filter (fun (o, _) -> o = owner) !r in
+  let compatible =
+    match mode with
+    | Shared -> List.for_all (fun (_, m) -> m = Shared) others
+    | Exclusive -> others = []
+  in
+  if not compatible then Error (List.sort_uniq compare (List.map fst others))
+  else begin
+    let upgraded =
+      match (mine, mode) with
+      | [], _ -> [ (owner, mode) ]
+      | _ :: _, Exclusive -> [ (owner, Exclusive) ]
+      | (_, Exclusive) :: _, Shared -> [ (owner, Exclusive) ]
+      | (_, Shared) :: _, Shared -> [ (owner, Shared) ]
+    in
+    r := upgraded @ others;
+    Ok ()
+  end
+
+let release_all t ~owner =
+  Hashtbl.iter (fun _ r -> r := List.filter (fun (o, _) -> o <> owner) !r) t.table
+
+let holders t key = match Hashtbl.find_opt t.table key with Some r -> !r | None -> []
+
+let held_by t ~owner =
+  Hashtbl.fold
+    (fun key r acc -> if List.exists (fun (o, _) -> o = owner) !r then key :: acc else acc)
+    t.table []
+  |> List.sort compare

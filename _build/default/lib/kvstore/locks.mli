@@ -1,0 +1,24 @@
+(** A key-level lock table with shared/exclusive modes, used by resource
+    managers to hold the effects of prepared (deferred-commit) activities
+    and to enforce weak orders (paper, Sections 3.5 and 3.6).
+
+    Owners are integers (transaction identifiers).  The table never
+    blocks — acquisition either succeeds or reports the conflicting
+    owners, and the caller decides to wait, retry or abort. *)
+
+type mode =
+  | Shared
+  | Exclusive
+
+type t
+
+val create : unit -> t
+
+val acquire : t -> owner:int -> mode:mode -> string -> (unit, int list) result
+(** Re-entrant; lock upgrade from shared to exclusive succeeds when the
+    caller is the only shared holder.  On refusal, returns the blocking
+    owners. *)
+
+val release_all : t -> owner:int -> unit
+val holders : t -> string -> (int * mode) list
+val held_by : t -> owner:int -> string list

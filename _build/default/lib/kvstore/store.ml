@@ -1,0 +1,45 @@
+type t = {
+  data : (string, Value.t) Hashtbl.t;
+  mutable version : int;
+}
+
+let create () = { data = Hashtbl.create 64; version = 0 }
+let get store key = Option.value ~default:Value.Nil (Hashtbl.find_opt store.data key)
+
+let set store key value =
+  store.version <- store.version + 1;
+  Hashtbl.replace store.data key value
+
+let delete store key =
+  store.version <- store.version + 1;
+  Hashtbl.remove store.data key
+
+let mem store key = Hashtbl.mem store.data key
+
+let keys store =
+  Hashtbl.fold (fun k _ acc -> k :: acc) store.data [] |> List.sort compare
+
+let version store = store.version
+
+let snapshot store =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) store.data [] |> List.sort compare
+
+let restore store entries =
+  Hashtbl.reset store.data;
+  store.version <- store.version + 1;
+  List.iter (fun (k, v) -> Hashtbl.replace store.data k v) entries
+
+let copy store =
+  let fresh = create () in
+  restore fresh (snapshot store);
+  fresh
+
+let equal_state a b =
+  let sa = snapshot a and sb = snapshot b in
+  List.length sa = List.length sb
+  && List.for_all2 (fun (k, v) (k', v') -> String.equal k k' && Value.equal v v') sa sb
+
+let pp fmt store =
+  Format.fprintf fmt "@[<v>%a@]"
+    (Format.pp_print_list (fun fmt (k, v) -> Format.fprintf fmt "%s = %a" k Value.pp v))
+    (snapshot store)

@@ -1,0 +1,28 @@
+(** A versioned key-value store, the state each simulated subsystem acts
+    on.  Every write bumps a global version; snapshots allow observational
+    comparisons (used to validate effect-freeness and commutativity of
+    services, Definitions 1 and 6). *)
+
+type t
+
+val create : unit -> t
+
+val get : t -> string -> Value.t
+(** [Nil] for absent keys. *)
+
+val set : t -> string -> Value.t -> unit
+val delete : t -> string -> unit
+val mem : t -> string -> bool
+val keys : t -> string list
+val version : t -> int
+(** Monotone write counter. *)
+
+val snapshot : t -> (string * Value.t) list
+(** Sorted key-value pairs. *)
+
+val restore : t -> (string * Value.t) list -> unit
+(** Replaces the whole content. *)
+
+val copy : t -> t
+val equal_state : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,62 @@
+module String_map = Map.Make (String)
+
+type status =
+  | Active
+  | Committed
+  | Aborted
+
+type t = {
+  store : Store.t;
+  mutable writes : Value.t option String_map.t;  (* None = delete *)
+  mutable reads : String_map.key list;
+  mutable undo : Value.t String_map.t;  (* pre-images, first-write wins *)
+  mutable status : status;
+}
+
+let begin_ store =
+  { store; writes = String_map.empty; reads = []; undo = String_map.empty; status = Active }
+
+let check_active tx op =
+  if tx.status <> Active then invalid_arg (Printf.sprintf "Tx.%s: transaction terminated" op)
+
+let get tx key =
+  check_active tx "get";
+  if not (List.mem key tx.reads) then tx.reads <- key :: tx.reads;
+  match String_map.find_opt key tx.writes with
+  | Some (Some v) -> v
+  | Some None -> Value.Nil
+  | None -> Store.get tx.store key
+
+let record_undo tx key =
+  if not (String_map.mem key tx.undo) then
+    tx.undo <- String_map.add key (Store.get tx.store key) tx.undo
+
+let set tx key value =
+  check_active tx "set";
+  record_undo tx key;
+  tx.writes <- String_map.add key (Some value) tx.writes
+
+let delete tx key =
+  check_active tx "delete";
+  record_undo tx key;
+  tx.writes <- String_map.add key None tx.writes
+
+let read_set tx = List.sort_uniq compare tx.reads
+let write_set tx = List.map fst (String_map.bindings tx.writes)
+
+let commit tx =
+  check_active tx "commit";
+  String_map.iter
+    (fun key w ->
+      match w with
+      | Some v -> Store.set tx.store key v
+      | None -> Store.delete tx.store key)
+    tx.writes;
+  tx.status <- Committed
+
+let abort tx =
+  check_active tx "abort";
+  tx.status <- Aborted
+
+let undo_entries tx = String_map.bindings tx.undo
+let active tx = tx.status = Active

@@ -1,0 +1,28 @@
+(** Local transactions over a {!Store}: buffered writes with
+    read-your-own-writes, applied atomically on commit and discarded on
+    abort.  Activities of transactional processes execute as exactly one
+    such local transaction in their subsystem (paper, Section 2.3). *)
+
+type t
+
+val begin_ : Store.t -> t
+val get : t -> string -> Value.t
+val set : t -> string -> Value.t -> unit
+val delete : t -> string -> unit
+
+val read_set : t -> string list
+val write_set : t -> string list
+
+val commit : t -> unit
+(** Applies all buffered writes to the store.
+    @raise Invalid_argument if the transaction already terminated. *)
+
+val abort : t -> unit
+(** Discards the buffer. Idempotent on an unterminated transaction only. *)
+
+val undo_entries : t -> (string * Value.t) list
+(** Pre-images of the written keys, captured at first write; applying them
+    restores the store to its state before the transaction (used by
+    agent-style compensation). Meaningful after [commit]. *)
+
+val active : t -> bool

@@ -1,0 +1,39 @@
+type t =
+  | Nil
+  | Bool of bool
+  | Int of int
+  | Text of string
+  | List of t list
+
+let rec equal a b =
+  match (a, b) with
+  | Nil, Nil -> true
+  | Bool x, Bool y -> x = y
+  | Int x, Int y -> x = y
+  | Text x, Text y -> String.equal x y
+  | List x, List y -> ( try List.for_all2 equal x y with Invalid_argument _ -> false)
+  | (Nil | Bool _ | Int _ | Text _ | List _), _ -> false
+
+let compare = Stdlib.compare
+
+let rec pp fmt = function
+  | Nil -> Format.pp_print_string fmt "nil"
+  | Bool b -> Format.pp_print_bool fmt b
+  | Int i -> Format.pp_print_int fmt i
+  | Text s -> Format.fprintf fmt "%S" s
+  | List l ->
+      Format.fprintf fmt "[%a]"
+        (Format.pp_print_list ~pp_sep:(fun fmt () -> Format.fprintf fmt "; ") pp)
+        l
+
+let to_string v = Format.asprintf "%a" pp v
+
+let int_exn = function
+  | Int i -> i
+  | (Nil | Bool _ | Text _ | List _) as v ->
+      invalid_arg (Printf.sprintf "Value.int_exn: %s" (to_string v))
+
+let text_exn = function
+  | Text s -> s
+  | (Nil | Bool _ | Int _ | List _) as v ->
+      invalid_arg (Printf.sprintf "Value.text_exn: %s" (to_string v))

@@ -1,0 +1,20 @@
+(** Values stored by the simulated subsystems and returned by service
+    invocations. *)
+
+type t =
+  | Nil
+  | Bool of bool
+  | Int of int
+  | Text of string
+  | List of t list
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val int_exn : t -> int
+(** @raise Invalid_argument when the value is not an [Int]. *)
+
+val text_exn : t -> string
+(** @raise Invalid_argument when the value is not a [Text]. *)

@@ -1,0 +1,1 @@
+lib/scheduler/deps.ml: Hashtbl Int List Option Set Tpm_core

@@ -1,0 +1,1 @@
+lib/scheduler/scheduler.ml: Activity Completed Conflict Criteria Deps Digraph Execution Format Hashtbl List Option Printf Process Schedule String Tpm_core Tpm_kv Tpm_sim Tpm_subsys Tpm_wal

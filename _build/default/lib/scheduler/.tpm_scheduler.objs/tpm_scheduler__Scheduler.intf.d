@@ -1,0 +1,1 @@
+lib/scheduler/scheduler.mli: Format Tpm_core Tpm_kv Tpm_sim Tpm_subsys Tpm_wal

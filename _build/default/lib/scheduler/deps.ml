@@ -1,0 +1,56 @@
+module Int_set = Set.Make (Int)
+
+type status =
+  | Live
+  | Committed
+  | Aborted
+
+type t = {
+  mutable edge_set : (int * int) list;
+  status : (int, status) Hashtbl.t;
+}
+
+let create () = { edge_set = []; status = Hashtbl.create 16 }
+
+let add_process t pid =
+  if not (Hashtbl.mem t.status pid) then Hashtbl.replace t.status pid Live
+
+let status t pid = Option.value ~default:Live (Hashtbl.find_opt t.status pid)
+let live t pid = status t pid = Live
+
+let add_edge t i j =
+  if i <> j && not (List.mem (i, j) t.edge_set) then t.edge_set <- (i, j) :: t.edge_set
+
+let edges t = List.sort compare t.edge_set
+
+(* Committed processes stay in the cycle check: their serialization
+   position is fixed, so a cycle through them is just as fatal.  Only
+   aborted processes (whose effects were compensated) drop out. *)
+let relevant_graph t extra =
+  let gone pid = status t pid = Aborted in
+  let es =
+    List.filter (fun (i, j) -> (not (gone i)) && not (gone j)) (extra @ t.edge_set)
+  in
+  Tpm_core.Digraph.make ~nodes:[] ~edges:es
+
+let would_cycle t extra = Tpm_core.Digraph.has_cycle (relevant_graph t extra)
+
+let mark_committed t pid = Hashtbl.replace t.status pid Committed
+
+let mark_aborted t pid =
+  Hashtbl.replace t.status pid Aborted;
+  t.edge_set <- List.filter (fun (i, j) -> i <> pid && j <> pid) t.edge_set
+
+let committed t pid = status t pid = Committed
+
+let uncommitted_preds t pid =
+  let g =
+    Tpm_core.Digraph.make ~nodes:[ pid ]
+      ~edges:(List.filter (fun (i, j) -> live t i || j = pid) t.edge_set)
+  in
+  Tpm_core.Digraph.nodes g
+  |> List.filter (fun i -> i <> pid && live t i && Tpm_core.Digraph.reachable g i pid)
+
+let live_succs t pid =
+  List.filter_map (fun (i, j) -> if i = pid && live t j then Some j else None) t.edge_set
+  |> List.sort_uniq compare

@@ -1,0 +1,31 @@
+(** Process dependency tracking for the online scheduler.
+
+    An edge [i -> j] records that some activity of [P_i] preceded a
+    conflicting activity of [P_j] in the emerging schedule.  The scheduler
+    keeps this graph acyclic (serializability), delays commits so that
+    [C_i] precedes [C_j] along edges, and uses the uncommitted
+    predecessors of a process to decide when its non-compensatable
+    activities may commit (Lemma 1). *)
+
+type t
+
+val create : unit -> t
+val add_process : t -> int -> unit
+val add_edge : t -> int -> int -> unit
+val edges : t -> (int * int) list
+
+val would_cycle : t -> (int * int) list -> bool
+(** Would adding all the given edges create a cycle among live
+    (uncommitted, unaborted) processes? *)
+
+val mark_committed : t -> int -> unit
+val mark_aborted : t -> int -> unit
+(** Aborted processes left no effects: their edges are dropped. *)
+
+val committed : t -> int -> bool
+
+val uncommitted_preds : t -> int -> int list
+(** Live predecessors of a process (direct or transitive). *)
+
+val live_succs : t -> int -> int list
+(** Live direct successors. *)

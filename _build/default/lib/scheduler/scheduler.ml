@@ -1,0 +1,1239 @@
+open Tpm_core
+module Rm = Tpm_subsys.Rm
+module Value = Tpm_kv.Value
+module Des = Tpm_sim.Des
+module Prng = Tpm_sim.Prng
+module Metrics = Tpm_sim.Metrics
+module Wal = Tpm_wal.Wal
+module Recovery = Tpm_wal.Recovery
+
+type mode =
+  | Conservative
+  | Deferred
+  | Quasi
+
+type config = {
+  mode : mode;
+  exact_admission : bool;
+      (* ablation: before admitting, additionally check that the history
+         extended by the candidate is still reducible (Definition 9 on the
+         completed schedule) — the literal "always consider S-tilde" rule
+         of Section 3.5.  Definitionally exact but expensive; the default
+         incremental dependency tracking approximates it. *)
+  naive_sr : bool;
+      (* baseline: classical serializability-only scheduling that ignores
+         recovery — no Lemma-1 gating of non-compensatable activities and
+         no anticipation of completion conflicts.  Exhibits exactly the
+         figure-1 anomaly; used by the benchmarks as a comparator. *)
+  weak_order : bool;
+      (* Section 3.6: conflicting activities of different processes may
+         execute overlapping in their subsystem as long as their commit
+         order follows the intended (weak) order; a retriable re-invocation
+         restarts the dependent local transaction *)
+  seed : int;
+  service_time : string -> float;
+  stochastic_times : bool;
+  retry_backoff : float;
+}
+
+let default_config =
+  {
+    mode = Deferred;
+    exact_admission = false;
+    naive_sr = false;
+    weak_order = false;
+    seed = 1;
+    service_time = (fun _ -> 1.0);
+    stochastic_times = false;
+    retry_backoff = 0.5;
+  }
+
+type phase =
+  | Running
+  | Blocked_2pc of {
+      act : int;
+      token : int;
+    }
+  | Recovering
+  | Awaiting_commit
+  | Done
+
+type pstate = {
+  proc : Process.t;
+  args_of : Activity.t -> Value.t;
+  mutable exec : Execution.t;
+  mutable phase : phase;
+  mutable inflight : int option;
+  mutable occurrences : Activity.instance list;  (* chronological, reversed *)
+  mutable pending_completion : Activity.instance list;
+  mutable resume_exec : Execution.t option;  (* for branch-switch rollbacks *)
+  mutable completion_cache : (bool * string) list option;  (* C(P) services (is_inverse, name), invalidated on exec change *)
+  mutable weak_wait : (int * int * int) option;
+      (* weakly ordered behind (process, activity, attempts seen): our local
+         commit must follow theirs *)
+  mutable aborting : bool;
+  mutable term : Schedule.status;  (* meaningful once phase = Done *)
+  mutable arrived : float;
+  mutable done_at : float option;
+}
+
+type t = {
+  cfg : config;
+  spec : Conflict.t;
+  rms : (string, Rm.t) Hashtbl.t;
+  sim : Des.t;
+  rng : Prng.t;
+  deps : Deps.t;
+  wal : Wal.t;
+  procs : (int, pstate) Hashtbl.t;
+  mutable rev_events : Schedule.event list;
+  metrics : Metrics.t;
+  attempts : (int * int, int) Hashtbl.t;
+  mutable rollback_queue : (int * Activity.instance) list;
+  mutable rollback_running : bool;
+  mutable crashed : bool;
+}
+
+let trace = ref false
+
+let tracef t fmt =
+  if !trace then Format.eprintf ("[%6.2f] " ^^ fmt ^^ "@.") (Des.now t.sim)
+  else Format.ifprintf Format.err_formatter ("[%6.2f] " ^^ fmt ^^ "@.") (Des.now t.sim)
+
+let activity_token ~pid ~act =
+  assert (act < 1_000_000);
+  (pid * 1_000_000) + act
+
+let create ?(config = default_config) ?wal_path ~spec ~rms () =
+  let table = Hashtbl.create 8 in
+  List.iter
+    (fun rm ->
+      if Hashtbl.mem table (Rm.name rm) then
+        invalid_arg (Printf.sprintf "Scheduler.create: duplicate subsystem %s" (Rm.name rm));
+      Hashtbl.replace table (Rm.name rm) rm)
+    rms;
+  {
+    cfg = config;
+    spec;
+    rms = table;
+    sim = Des.create ();
+    rng = Prng.create config.seed;
+    deps = Deps.create ();
+    wal = Wal.create ?path:wal_path ();
+    procs = Hashtbl.create 16;
+    rev_events = [];
+    metrics = Metrics.create ();
+    attempts = Hashtbl.create 64;
+    rollback_queue = [];
+    rollback_running = false;
+    crashed = false;
+  }
+
+let now t = Des.now t.sim
+let metrics t = t.metrics
+let wal_records t = Wal.records t.wal
+
+let rm_of t (a : Activity.t) =
+  match Hashtbl.find_opt t.rms a.subsystem with
+  | Some rm -> rm
+  | None -> invalid_arg (Printf.sprintf "Scheduler: unknown subsystem %s" a.subsystem)
+
+let pstates t =
+  Hashtbl.fold (fun _ ps acc -> ps :: acc) t.procs []
+  |> List.sort (fun a b -> compare (Process.pid a.proc) (Process.pid b.proc))
+
+let live ps = ps.phase <> Done
+
+let duration t service =
+  let mean = t.cfg.service_time service in
+  if t.cfg.stochastic_times then Prng.exponential t.rng ~mean else mean
+
+let emit t ev =
+  t.rev_events <- ev :: t.rev_events;
+  match ev with
+  | Schedule.Act inst -> (
+      match Hashtbl.find_opt t.procs (Activity.instance_proc inst) with
+      | Some ps -> ps.occurrences <- inst :: ps.occurrences
+      | None -> ())
+  | Schedule.Commit _ | Schedule.Abort _ | Schedule.Group_abort _ -> ()
+
+let history t =
+  Schedule.make ~spec:t.spec
+    ~procs:(List.map (fun ps -> ps.proc) (pstates t))
+    (List.rev t.rev_events)
+
+let status t pid =
+  match Hashtbl.find_opt t.procs pid with
+  | None -> Schedule.Active
+  | Some ps -> if ps.phase = Done then ps.term else Schedule.Active
+
+let finished t = List.for_all (fun ps -> ps.phase = Done) (pstates t)
+
+let next_attempt t pid act =
+  let n = 1 + Option.value ~default:0 (Hashtbl.find_opt t.attempts (pid, act)) in
+  Hashtbl.replace t.attempts (pid, act) n;
+  n
+
+(* ------------------------------------------------------------------ *)
+(* Conflict queries *)
+
+let services_conflict t s s' = Conflict.services_conflict t.spec s s'
+
+let instance_service inst = (Activity.instance_base inst).Activity.service
+
+let occurrence_conflicts t ps service =
+  List.exists (fun inst -> services_conflict t service (instance_service inst)) ps.occurrences
+
+let inflight_conflict t ps service =
+  match ps.inflight with
+  | None -> false
+  | Some act -> services_conflict t service (Process.find ps.proc act).Activity.service
+
+let busy_conflicts t ps service =
+  (* under the weak order (Section 3.6) a conflicting in-flight invocation
+     does not block: the subsystem orders the commits instead *)
+  let inflight_conflict = (not t.cfg.weak_order) && inflight_conflict t ps service in
+  let pending_conflict =
+    List.exists
+      (fun inst -> services_conflict t service (instance_service inst))
+      ps.pending_completion
+  in
+  let prepared_conflict =
+    match ps.phase with
+    | Blocked_2pc { act; _ } ->
+        services_conflict t service (Process.find ps.proc act).Activity.service
+    | Running | Recovering | Awaiting_commit | Done -> false
+  in
+  inflight_conflict || pending_conflict || prepared_conflict
+
+let remaining_services ps =
+  let executed = Execution.executed ps.exec in
+  (* the in-flight / prepared activity is already accounted for as an
+     occurrence-to-be: it is not part of the open future *)
+  let placed n =
+    ps.inflight = Some n
+    || match ps.phase with Blocked_2pc { act; _ } -> act = n | _ -> false
+  in
+  Process.activity_ids ps.proc
+  |> List.filter (fun n -> (not (List.mem n executed)) && not (placed n))
+  |> List.map (fun n -> (Process.find ps.proc n).Activity.service)
+
+(* services of C(P), tagged by direction; cached until the engine state
+   changes *)
+let potential_completion ps =
+  match ps.completion_cache with
+  | Some l -> l
+  | None ->
+      let l =
+        match Execution.status ps.exec with
+        | Execution.Finished _ -> []
+        | Execution.Running ->
+            List.map
+              (fun inst -> (Activity.is_inverse inst, instance_service inst))
+              (Execution.completion ps.exec)
+      in
+      ps.completion_cache <- Some l;
+      l
+
+let completion_services ps =
+  List.map snd (potential_completion ps) @ List.map instance_service ps.pending_completion
+
+(* Quasi-commit condition (figure 9): every uncommitted predecessor is
+   forward-recoverable and its possible completion does not conflict with
+   anything this process may still execute. *)
+let quasi_ok t preds pid service =
+  let my_future =
+    match Hashtbl.find_opt t.procs pid with
+    | None -> [ service ]
+    | Some ps -> service :: remaining_services ps
+  in
+  List.for_all
+    (fun i ->
+      match Hashtbl.find_opt t.procs i with
+      | None -> false
+      | Some qs ->
+          Execution.recovery_state qs.exec = Execution.F_rec
+          && not
+               (List.exists
+                  (fun cs -> List.exists (fun ms -> services_conflict t cs ms) my_future)
+                  (completion_services qs)))
+    preds
+
+type admission =
+  | Admit_invoke
+  | Admit_prepare
+  | Delay of int list  (* the processes we wait for *)
+
+(* the candidate occurrence appended to the history must leave the prefix
+   reducible (its completed schedule serializable after cancellation) *)
+let exact_ok t (a : Activity.t) =
+  let hypothetical =
+    Schedule.make ~spec:t.spec
+      ~procs:(List.map (fun ps -> ps.proc) (pstates t))
+      (List.rev (Schedule.Act (Activity.Forward a) :: t.rev_events))
+  in
+  Criteria.red hypothetical
+
+let admission t pid act =
+  let ps = Hashtbl.find t.procs pid in
+  let a = Process.find ps.proc act in
+  let service = a.Activity.service in
+  let others = List.filter (fun q -> Process.pid q.proc <> pid) (pstates t) in
+  let busy_blockers =
+    List.filter_map
+      (fun q -> if live q && busy_conflicts t q service then Some (Process.pid q.proc) else None)
+      others
+  in
+  if busy_blockers <> [] then Delay busy_blockers
+  else begin
+    let new_edges =
+      List.filter_map
+        (fun q ->
+          let qid = Process.pid q.proc in
+          (* committed processes still constrain the serialization order;
+             aborted ones left no effects *)
+          if
+            ((live q || q.term = Schedule.Committed) && occurrence_conflicts t q service)
+            || (t.cfg.weak_order && live q && inflight_conflict t q service)
+          then Some (qid, pid)
+          else None)
+        others
+    in
+    (* Latent edges (Section 3.5): an occurrence of [q] conflicting with a
+       service [r] may still execute (remaining activities of any branch,
+       which include the forward completion activities) will order [q]
+       before [r] in the completed schedule.  Admission must keep the
+       graph acyclic including these inevitable-future edges — no
+       SOT-like criterion exists, the completed schedule must be
+       considered. *)
+    let lives = List.filter live (pstates t) in
+    let latent_edges =
+      List.concat_map
+        (fun q ->
+          let qid = Process.pid q.proc in
+          let q_occurrences =
+            let base = List.map instance_service q.occurrences in
+            let base =
+              match q.inflight with
+              | Some act -> (Process.find q.proc act).Activity.service :: base
+              | None -> base
+            in
+            let base =
+              match q.phase with
+              | Blocked_2pc { act; _ } -> (Process.find q.proc act).Activity.service :: base
+              | Running | Recovering | Awaiting_commit | Done -> base
+            in
+            if qid = pid then service :: base else base
+          in
+          List.filter_map
+            (fun r ->
+              let rid = Process.pid r.proc in
+              if rid = qid then None
+              else
+                let future =
+                  remaining_services r
+                  @ List.map instance_service r.pending_completion
+                in
+                let future = if rid = pid then service :: future else future in
+                if
+                  List.exists
+                    (fun x -> List.exists (fun f -> services_conflict t x f) future)
+                    q_occurrences
+                then Some (qid, rid)
+                else None)
+            lives)
+        (List.filter (fun q -> live q || q.term = Schedule.Committed) (pstates t))
+    in
+    let latent_edges = if t.cfg.naive_sr then [] else latent_edges in
+    if Deps.would_cycle t.deps (new_edges @ latent_edges) then begin
+      (* wait for the live processes involved in the would-be cycle *)
+      let blockers =
+        List.concat_map (fun (i, j) -> [ i; j ]) (new_edges @ latent_edges)
+        |> List.filter (fun q -> q <> pid)
+        |> List.sort_uniq compare
+      in
+      Delay blockers
+    end
+    else if t.cfg.naive_sr then begin
+      (* serializability-only: admit immediately, never gate on recovery *)
+      List.iter (fun (i, j) -> Deps.add_edge t.deps i j) new_edges;
+      Admit_invoke
+    end
+    else if Activity.non_compensatable a then begin
+      let preds =
+        List.sort_uniq compare
+          (Deps.uncommitted_preds t.deps pid @ List.map fst new_edges)
+      in
+      if t.cfg.exact_admission && not (exact_ok t a) then
+        Delay (List.sort_uniq compare (List.map fst new_edges))
+      else if preds = [] then begin
+        List.iter (fun (i, j) -> Deps.add_edge t.deps i j) new_edges;
+        Admit_invoke
+      end
+      else
+        match t.cfg.mode with
+        | Conservative -> Delay preds
+        | Deferred ->
+            List.iter (fun (i, j) -> Deps.add_edge t.deps i j) new_edges;
+            Admit_prepare
+        | Quasi ->
+            List.iter (fun (i, j) -> Deps.add_edge t.deps i j) new_edges;
+            if quasi_ok t preds pid service then Admit_invoke else Admit_prepare
+    end
+    else if t.cfg.exact_admission && not (exact_ok t a) then
+      Delay (List.sort_uniq compare (List.map fst new_edges))
+    else begin
+      List.iter (fun (i, j) -> Deps.add_edge t.deps i j) new_edges;
+      Admit_invoke
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Forward progress *)
+
+let rec wake t =
+  if not t.crashed then begin
+    let changed = ref false in
+    let waiting : (int, int list) Hashtbl.t = Hashtbl.create 8 in
+    List.iter
+      (fun ps ->
+        let pid = Process.pid ps.proc in
+        match ps.phase with
+        | Done | Recovering -> ()
+        | Blocked_2pc { act; token } ->
+            let preds = Deps.uncommitted_preds t.deps pid in
+            if preds <> [] then Hashtbl.replace waiting pid preds
+            else begin
+              let a = Process.find ps.proc act in
+              tracef t "2pc-commit P%d a%d" pid act;
+              Rm.commit_prepared (rm_of t a) ~token;
+              Wal.append t.wal (Wal.Prepared_decided { pid; act; commit = true });
+              emit t (Schedule.Act (Activity.Forward a));
+              ps.exec <- Execution.exec ps.exec act;
+              ps.completion_cache <- None;
+              ps.phase <- Running;
+              Metrics.incr t.metrics "twopc_commits";
+              changed := true
+            end
+        | Awaiting_commit ->
+            if try_commit t ps then changed := true
+            else Hashtbl.replace waiting pid (Deps.uncommitted_preds t.deps pid)
+        | Running ->
+            if ps.inflight = None then begin
+              if Execution.can_commit ps.exec then begin
+                if try_commit t ps then changed := true
+              end
+              else begin
+                let enabled = Execution.enabled ps.exec in
+                let blockers = ref [] in
+                let admitted =
+                  List.find_map
+                    (fun act ->
+                      match admission t pid act with
+                      | Admit_invoke -> Some (act, `Invoke)
+                      | Admit_prepare -> Some (act, `Prepare)
+                      | Delay bs ->
+                          blockers := bs @ !blockers;
+                          None)
+                    enabled
+                in
+                match admitted with
+                | Some (act, how) ->
+                    tracef t "admit P%d a%d %s" pid act
+                      (match how with `Invoke -> "invoke" | `Prepare -> "prepare");
+                    dispatch t ps act how;
+                    changed := true
+                | None ->
+                    if enabled <> [] then begin
+                      Metrics.incr t.metrics "admission_delays";
+                      Hashtbl.replace waiting pid (List.sort_uniq compare !blockers)
+                    end
+              end
+            end)
+      (pstates t);
+    if !changed then wake t else detect_stall t waiting
+  end
+
+(* A stall occurs when live processes remain but nothing is executing:
+   every pending admission waits on a commit that can never happen (the
+   serialization order already contradicts the required commit order).
+   Resolution: abort the youngest stalled process; its completion restores
+   progress (guaranteed termination). *)
+and detect_stall t waiting =
+  let ps_list = pstates t in
+  let lives = List.filter live ps_list in
+  let busy =
+    t.rollback_running
+    || List.exists (fun ps -> ps.inflight <> None) ps_list
+    || List.exists (fun ps -> ps.aborting && ps.phase <> Done) ps_list
+  in
+  if lives <> [] && not busy then begin
+    (* build the wait-for graph and abort one cycle jointly, so that the
+       Lemma 2/3 ordering of Completed.completion_order applies across the
+       knot; waiters outside the cycle resume once it clears *)
+    let edges =
+      Hashtbl.fold
+        (fun pid blockers acc -> List.map (fun b -> (pid, b)) blockers @ acc)
+        waiting []
+    in
+    let g = Digraph.make ~nodes:[] ~edges in
+    let victims =
+      match Digraph.find_cycle g with
+      | Some cycle ->
+          List.filter_map (fun pid -> Hashtbl.find_opt t.procs pid) cycle
+          |> List.filter live
+      | None -> (
+          (* no cycle: the knot is anchored on something that cannot move
+             (e.g. a latent mutual conflict); abort the youngest waiter *)
+          match
+            List.filter (fun ps -> Hashtbl.mem waiting (Process.pid ps.proc)) lives
+          with
+          | [] -> lives
+          | waiters ->
+              [ List.fold_left
+                  (fun best ps ->
+                    if Process.pid ps.proc > Process.pid best.proc then ps else best)
+                  (List.hd waiters) waiters ])
+    in
+    if victims <> [] then begin
+      Metrics.incr t.metrics "stall_aborts" ~by:(List.length victims);
+      tracef t "stall-abort group [%s]"
+        (String.concat ","
+           (List.map (fun ps -> string_of_int (Process.pid ps.proc)) victims));
+      abort_group t victims
+    end
+  end
+
+and try_commit t ps =
+  let pid = Process.pid ps.proc in
+  if Deps.uncommitted_preds t.deps pid = [] then begin
+    Wal.append t.wal (Wal.Commit_requested pid);
+    if not (Execution.can_commit ps.exec) then
+      invalid_arg (Printf.sprintf "Scheduler: commit of incomplete process %d" pid);
+    ps.exec <- Execution.commit ps.exec;
+    tracef t "commit P%d" pid;
+    emit t (Schedule.Commit pid);
+    Wal.append t.wal (Wal.Process_committed pid);
+    Deps.mark_committed t.deps pid;
+    ps.phase <- Done;
+    ps.term <- Schedule.Committed;
+    ps.done_at <- Some (now t);
+    Metrics.incr t.metrics "committed";
+    Metrics.observe t.metrics "latency" (now t -. ps.arrived);
+    true
+  end
+  else begin
+    ps.phase <- Awaiting_commit;
+    false
+  end
+
+and dispatch t ps act how =
+  let pid = Process.pid ps.proc in
+  let a = Process.find ps.proc act in
+  (if t.cfg.weak_order then
+     ps.weak_wait <-
+       List.find_map
+         (fun q ->
+           if
+             Process.pid q.proc <> pid && live q
+             && inflight_conflict t q a.Activity.service
+           then
+             match q.inflight with
+             | Some qact ->
+                 let qid = Process.pid q.proc in
+                 let att =
+                   Option.value ~default:0 (Hashtbl.find_opt t.attempts (qid, qact))
+                 in
+                 Some (qid, qact, att)
+             | None -> None
+           else None)
+         (pstates t));
+  ps.inflight <- Some act;
+  let d = duration t a.Activity.service in
+  Metrics.incr t.metrics "dispatched";
+  Des.after t.sim d (fun _ -> on_activity_done t pid act how)
+
+and on_activity_done t pid act how =
+  match Hashtbl.find_opt t.procs pid with
+  | None -> ()
+  | Some ps -> (
+      (match ps.weak_wait with
+      | Some _ when ps.phase = Recovering || ps.phase = Done ->
+          (* our process was aborted while weakly waiting *)
+          ps.weak_wait <- None
+      | Some (qid, qact, att) -> (
+          match Hashtbl.find_opt t.procs qid with
+          | Some q when live q && q.inflight = Some qact ->
+              let att_now = Option.value ~default:0 (Hashtbl.find_opt t.attempts (qid, qact)) in
+              if att_now > att then begin
+                (* the predecessor was re-invoked: restart our local
+                   transaction behind it (Section 3.6) *)
+                Metrics.incr t.metrics "weak_restarts";
+                ps.weak_wait <- Some (qid, qact, att_now);
+                let a = Process.find ps.proc act in
+                Des.after t.sim (duration t a.Activity.service) (fun _ ->
+                    on_activity_done t pid act how)
+              end
+              else begin
+                Metrics.incr t.metrics "weak_commit_waits";
+                Des.after t.sim 0.05 (fun _ -> on_activity_done t pid act how)
+              end
+          | Some _ | None -> ps.weak_wait <- None)
+      | None -> ());
+      if ps.weak_wait <> None then ()
+      else begin
+      if ps.inflight = Some act then ps.inflight <- None;
+      match ps.phase with
+      | Recovering | Done ->
+          (* the process was aborted while this invocation was in flight:
+             the invocation is considered never submitted *)
+          Metrics.incr t.metrics "cancelled_inflight"
+      | Running | Awaiting_commit | Blocked_2pc _ -> (
+          let a = Process.find ps.proc act in
+          let rm = rm_of t a in
+          let token = activity_token ~pid ~act in
+          let attempt = next_attempt t pid act in
+          let args = ps.args_of a in
+          let outcome =
+            match how with
+            | `Invoke ->
+                Rm.invoke rm ~token ~service:a.Activity.service ~args ~attempt ()
+            | `Prepare ->
+                Rm.prepare rm ~token ~service:a.Activity.service ~args ~attempt ()
+          in
+          match outcome with
+          | Rm.Committed _ ->
+              Wal.append t.wal (Wal.Invoked { pid; act });
+              emit t (Schedule.Act (Activity.Forward a));
+              ps.exec <- Execution.exec ps.exec act;
+              ps.completion_cache <- None;
+              Metrics.incr t.metrics "activities";
+              wake t
+          | Rm.Prepared _ ->
+              Wal.append t.wal (Wal.Prepared { pid; act });
+              ps.phase <- Blocked_2pc { act; token };
+              Metrics.incr t.metrics "prepared";
+              wake t
+          | Rm.Failed ->
+              tracef t "failed P%d a%d" pid act;
+              Metrics.incr t.metrics "invocation_failures";
+              if Activity.retriable a then begin
+                Metrics.incr t.metrics "retries";
+                ps.inflight <- Some act;
+                let d = t.cfg.retry_backoff +. duration t a.Activity.service in
+                Des.after t.sim d (fun _ -> on_activity_done t pid act how)
+              end
+              else handle_failure t ps act
+          | Rm.Blocked owners ->
+              Metrics.incr t.metrics "lock_blocked";
+              (* after repeated blocks, break the tie by aborting the
+                 holders of the prepared locks *)
+              if attempt > 20 then
+                List.iter
+                  (fun owner ->
+                    let qid = owner / 1_000_000 in
+                    match Hashtbl.find_opt t.procs qid with
+                    | Some q when live q && not q.aborting ->
+                        tracef t "P%d blocked on P%d's prepared lock: aborting holder" pid qid;
+                        abort_now t q
+                    | Some _ | None -> ())
+                  owners;
+              ps.inflight <- Some act;
+              let d = t.cfg.retry_backoff +. duration t a.Activity.service in
+              Des.after t.sim d (fun _ -> on_activity_done t pid act how))
+      end)
+
+and handle_failure t ps act =
+  let pid = Process.pid ps.proc in
+  let before_len = List.length (Execution.trace ps.exec) in
+  match Execution.fail ps.exec act with
+  | exception Execution.Stuck msg ->
+      failwith (Printf.sprintf "Scheduler: process %d stuck: %s" pid msg)
+  | new_exec ->
+      let added = List.filteri (fun i _ -> i >= before_len) (Execution.trace new_exec) in
+      let compensations =
+        List.filter_map
+          (function
+            | Execution.Compensated a -> Some (Activity.Inverse a)
+            | Execution.Invoked _ | Execution.Attempt_failed _ -> None)
+          added
+      in
+      Metrics.incr t.metrics "branch_failures";
+      if compensations = [] then begin
+        ps.exec <- new_exec;
+        ps.completion_cache <- None;
+        (match Execution.status new_exec with
+        | Execution.Finished Execution.Aborted -> finish_terminal t ps Schedule.Aborted
+        | Execution.Finished Execution.Committed | Execution.Running -> ());
+        wake t
+      end
+      else begin
+        let resume =
+          match Execution.status new_exec with
+          | Execution.Running -> Some new_exec
+          | Execution.Finished _ -> None
+        in
+        start_group_rollback t ~initiators:[ (ps, compensations, resume) ]
+      end
+
+and cascade_victims t ~exclude ~seed_instances =
+  (* A live process must abort as well iff one of its occurrences conflicts
+     with a compensation about to run AND lies after the compensated
+     original: compensating across it would create an inter-process cycle.
+     Occurrences before the original are harmless (the pair cancels around
+     them).  The victims' own compensations cascade further. *)
+  let indexed =
+    List.mapi (fun i ev -> (i, ev)) (List.rev t.rev_events)
+    |> List.filter_map (function
+         | i, Schedule.Act inst -> Some (i, inst)
+         | _, (Schedule.Commit _ | Schedule.Abort _ | Schedule.Group_abort _) -> None)
+  in
+  let forward_pos id =
+    List.fold_left
+      (fun acc (i, inst) ->
+        match inst with
+        | Activity.Forward a when Activity.id_equal a.Activity.id id -> Some i
+        | Activity.Forward _ | Activity.Inverse _ -> acc)
+      None indexed
+  in
+  let threat_of inst =
+    match inst with
+    | Activity.Inverse a ->
+        Some (a.Activity.service, forward_pos a.Activity.id)
+    | Activity.Forward _ -> None
+  in
+  let victims = ref [] in
+  let frontier = ref (List.filter_map threat_of seed_instances) in
+  let continue_ = ref true in
+  while !continue_ do
+    continue_ := false;
+    List.iter
+      (fun q ->
+        let qid = Process.pid q.proc in
+        let threatened =
+          List.exists
+            (fun (service, fpos) ->
+              List.exists
+                (fun (i, inst) ->
+                  Activity.instance_proc inst = qid
+                  && services_conflict t service (instance_service inst)
+                  && match fpos with Some f -> i > f | None -> true)
+                indexed
+              ||
+              (* a conflicting in-flight invocation may commit between the
+                 original and its compensation: pessimistically cascade
+                 (its outcome is then discarded as never-submitted) *)
+              match q.inflight with
+              | Some act ->
+                  services_conflict t service (Process.find q.proc act).Activity.service
+              | None -> false)
+            !frontier
+        in
+        if
+          (not (List.mem qid exclude))
+          && live q
+          && q.phase <> Recovering (* already completing, do not re-plan *)
+          && (not (List.mem_assoc qid !victims))
+          && threatened
+        then begin
+          let completion = Execution.completion q.exec in
+          victims := (qid, completion) :: !victims;
+          frontier := List.filter_map threat_of completion @ !frontier;
+          continue_ := true
+        end)
+      (pstates t)
+  done;
+  !victims
+
+and start_group_rollback t ~initiators =
+  (* initiators: (pstate, instances to execute, resume state).  A [Some]
+     resume state means the process survives (branch switch); [None] means
+     the process terminates through these completion activities. *)
+  let initiator_pids = List.map (fun (ps, _, _) -> Process.pid ps.proc) initiators in
+  let seed_instances = List.concat_map (fun (_, insts, _) -> insts) initiators in
+  let victims = cascade_victims t ~exclude:initiator_pids ~seed_instances in
+  tracef t "group-rollback initiators=[%s] victims=[%s]"
+    (String.concat "," (List.map string_of_int initiator_pids))
+    (String.concat "," (List.map (fun (q, _) -> string_of_int q) victims));
+  List.iter
+    (fun (qid, _) ->
+      let q = Hashtbl.find t.procs qid in
+      Metrics.incr t.metrics "cascaded_aborts";
+      Wal.append t.wal (Wal.Abort_requested qid);
+      q.aborting <- true;
+      abort_prepared_of t q;
+      q.phase <- Recovering)
+    victims;
+  List.iter
+    (fun (ps, _, resume) ->
+      ps.phase <- Recovering;
+      ps.resume_exec <- resume;
+      if resume = None then ps.aborting <- true)
+    initiators;
+  let entries =
+    victims @ List.map (fun (ps, insts, _) -> (Process.pid ps.proc, insts)) initiators
+  in
+  let ordered = Completed.completion_order (history t) entries in
+  List.iter
+    (fun (qid, insts) ->
+      match Hashtbl.find_opt t.procs qid with
+      | Some q -> q.pending_completion <- insts
+      | None -> ())
+    entries;
+  t.rollback_queue <-
+    t.rollback_queue @ List.map (fun inst -> (Activity.instance_proc inst, inst)) ordered;
+  if not t.rollback_running then run_rollback_queue t
+
+and abort_prepared_of t q =
+  match q.phase with
+  | Blocked_2pc { act; token } ->
+      let a = Process.find q.proc act in
+      Rm.abort_prepared (rm_of t a) ~token;
+      Wal.append t.wal (Wal.Prepared_decided { pid = Process.pid q.proc; act; commit = false });
+      Metrics.incr t.metrics "twopc_aborts"
+  | Running | Recovering | Awaiting_commit | Done -> ()
+
+and run_rollback_queue t =
+  (* Pick the next executable completion instance.  Per-process order is
+     preserved (an item is eligible only if no earlier queue item belongs
+     to the same process), but across processes items may be reordered:
+     a forward (retriable) completion activity must not execute while a
+     live process still holds a conflicting compensatable occurrence — its
+     possible compensation would be sandwiched (Lemma 3).  Such items wait
+     for the holder to commit or abort. *)
+  let holder_blocks inst pid =
+    let service = (Activity.instance_base inst).Activity.service in
+    List.filter_map
+      (fun q ->
+        let qid = Process.pid q.proc in
+        if
+          qid <> pid && live q && q.phase <> Recovering
+          && List.exists
+               (fun n ->
+                 let a = Process.find q.proc n in
+                 Activity.compensatable a
+                 && services_conflict t service a.Activity.service)
+               (Execution.executed q.exec)
+        then Some q
+        else None)
+      (pstates t)
+  in
+  (* Lemma 3 inside the queue: a forward completion activity yields to any
+     conflicting compensation queued for another process *)
+  let inverse_in_queue_conflicts inst pid =
+    let service = (Activity.instance_base inst).Activity.service in
+    List.exists
+      (fun (qid, qinst) ->
+        qid <> pid && Activity.is_inverse qinst
+        && services_conflict t service ((Activity.instance_base qinst).Activity.service))
+      t.rollback_queue
+  in
+  let rec select seen_pids acc = function
+    | [] -> None
+    | ((pid, inst) as item) :: rest ->
+        if List.mem pid seen_pids then select seen_pids (item :: acc) rest
+        else if
+          Activity.is_inverse inst
+          || (holder_blocks inst pid = [] && not (inverse_in_queue_conflicts inst pid))
+        then Some (item, List.rev_append acc rest)
+        else select (pid :: seen_pids) (item :: acc) rest
+  in
+  match t.rollback_queue with
+  | [] ->
+      t.rollback_running <- false;
+      (* finalize every process whose pending completion drained, in
+         dependency order so that terminal events respect [C_i << C_j]
+         (Definition 11.1) *)
+      let ready =
+        List.filter
+          (fun ps -> ps.phase = Recovering && ps.pending_completion = [])
+          (pstates t)
+      in
+      let ready_pids = List.map (fun ps -> Process.pid ps.proc) ready in
+      let order =
+        let g =
+          Digraph.make ~nodes:ready_pids
+            ~edges:
+              (List.filter
+                 (fun (i, j) -> List.mem i ready_pids && List.mem j ready_pids)
+                 (Deps.edges t.deps))
+        in
+        match Digraph.topo_sort g with
+        | Some order -> order
+        | None -> ready_pids
+      in
+      List.iter
+        (fun pid ->
+          match Hashtbl.find_opt t.procs pid with
+          | Some ps when ps.phase = Recovering -> finalize_rollback t ps
+          | Some _ | None -> ())
+        order;
+      wake t
+  | queue -> (
+      t.rollback_running <- true;
+      match select [] [] queue with
+      | None ->
+          (* every eligible item waits on a live compensatable holder: let
+             the system run (holders may commit); if nothing at all is in
+             flight, cascade the holders of the first item *)
+          Metrics.incr t.metrics "rollback_waits";
+          let idle =
+            List.for_all (fun ps -> ps.inflight = None) (pstates t)
+          in
+          (if idle then
+             match queue with
+             | (pid, inst) :: _ ->
+                 List.iter
+                   (fun q ->
+                     if not q.aborting then begin
+                       tracef t "completion of P%d blocked by P%d: cascading" pid
+                         (Process.pid q.proc);
+                       abort_now t q
+                     end)
+                   (holder_blocks inst pid)
+             | [] -> ());
+          Des.after t.sim t.cfg.retry_backoff (fun _ -> run_rollback_queue t)
+      | Some ((_, inst), _) ->
+          let a = Activity.instance_base inst in
+          let d = duration t a.Activity.service in
+          Des.after t.sim d (fun _ ->
+              (* re-select at execution time: the queue may have grown and
+                 eligibility may have changed *)
+              match select [] [] t.rollback_queue with
+              | None -> Des.after t.sim t.cfg.retry_backoff (fun _ -> run_rollback_queue t)
+              | Some ((pid, inst), rest) -> apply_rollback_item t pid inst rest))
+
+and apply_rollback_item t pid inst rest =
+  let a = Activity.instance_base inst in
+  let rm = rm_of t a in
+  let token = activity_token ~pid ~act:a.Activity.id.Activity.act in
+  let outcome =
+    if Activity.is_inverse inst then Rm.compensate rm ~token
+    else
+      Rm.invoke rm ~token ~service:a.Activity.service
+        ~args:
+          (match Hashtbl.find_opt t.procs pid with
+          | Some ps -> ps.args_of a
+          | None -> Value.Nil)
+        ~attempt:max_int ()
+  in
+  match outcome with
+  | Rm.Committed _ ->
+      t.rollback_queue <- rest;
+      (* completion activities introduce new conflicts (paper,
+         Section 3.5): record the resulting dependency edges *)
+      List.iter
+        (fun q ->
+          let qid = Process.pid q.proc in
+          if
+            qid <> pid && q.term <> Schedule.Aborted
+            && occurrence_conflicts t q (Activity.instance_base inst).Activity.service
+          then Deps.add_edge t.deps qid pid)
+        (pstates t);
+      (if Activity.is_inverse inst then begin
+         Wal.append t.wal (Wal.Compensated { pid; act = a.Activity.id.Activity.act });
+         Metrics.incr t.metrics "compensations"
+       end
+       else begin
+         Wal.append t.wal (Wal.Invoked { pid; act = a.Activity.id.Activity.act });
+         Metrics.incr t.metrics "completion_activities"
+       end);
+      emit t (Schedule.Act inst);
+      (match Hashtbl.find_opt t.procs pid with
+      | Some ps ->
+          ps.pending_completion <-
+            (match ps.pending_completion with [] -> [] | _ :: tl -> tl)
+      | None -> ());
+      run_rollback_queue t
+  | Rm.Blocked owners ->
+      (* the blocking prepared invocation belongs to a process that
+         transitively waits for this rollback: abort it (2PC gives
+         the scheduler this option, cf. Section 3.5) *)
+      Metrics.incr t.metrics "rollback_retries";
+      List.iter
+        (fun owner ->
+          let qid = owner / 1_000_000 in
+          match Hashtbl.find_opt t.procs qid with
+          | Some q when live q && not q.aborting ->
+              tracef t "rollback blocked by P%d: aborting it" qid;
+              abort_now t q
+          | Some _ | None -> ())
+        owners;
+      Des.after t.sim t.cfg.retry_backoff (fun _ -> run_rollback_queue t)
+  | Rm.Failed ->
+      Metrics.incr t.metrics "rollback_retries";
+      Des.after t.sim t.cfg.retry_backoff (fun _ -> run_rollback_queue t)
+  | Rm.Prepared _ -> assert false
+
+and finalize_rollback t ps =
+  match ps.resume_exec with
+  | Some exec ->
+      ps.exec <- exec;
+      ps.completion_cache <- None;
+      ps.resume_exec <- None;
+      ps.phase <- Running
+  | None ->
+      (* terminal completion: apply it to the engine state to learn the
+         terminal status *)
+      let final =
+        match Execution.status ps.exec with
+        | Execution.Finished _ -> ps.exec
+        | Execution.Running -> Execution.abort ps.exec
+      in
+      ps.exec <- final;
+      let term =
+        match Execution.status final with
+        | Execution.Finished Execution.Aborted -> Schedule.Aborted
+        | Execution.Finished Execution.Committed | Execution.Running -> Schedule.Committed
+      in
+      finish_terminal t ps term
+
+and abort_now t ps = abort_group t [ ps ]
+
+(* Abort several processes jointly (the group abort of Definition 8): all
+   their completions are ordered together, compensations in reverse order
+   and before conflicting retriable completion activities (Lemmas 2-3). *)
+and abort_group t group =
+  let to_abort =
+    List.filter
+      (fun ps ->
+        match ps.phase with
+        | Done | Recovering -> false
+        | Running | Awaiting_commit | Blocked_2pc _ -> true)
+      group
+  in
+  if to_abort <> [] then begin
+    let initiators =
+      List.map
+        (fun ps ->
+          let pid = Process.pid ps.proc in
+          Wal.append t.wal (Wal.Abort_requested pid);
+          Metrics.incr t.metrics "abort_requests";
+          abort_prepared_of t ps;
+          ps.aborting <- true;
+          (ps, Execution.completion ps.exec, None))
+        to_abort
+    in
+    start_group_rollback t ~initiators
+  end
+
+and finish_terminal t ps term =
+  let pid = Process.pid ps.proc in
+  ps.phase <- Done;
+  ps.term <- term;
+  ps.done_at <- Some (now t);
+  (match term with
+  | Schedule.Aborted ->
+      emit t (Schedule.Abort pid);
+      Wal.append t.wal (Wal.Process_aborted pid);
+      Deps.mark_aborted t.deps pid;
+      Metrics.incr t.metrics "aborted"
+  | Schedule.Committed ->
+      emit t (Schedule.Commit pid);
+      Wal.append t.wal (Wal.Process_committed pid);
+      Deps.mark_committed t.deps pid;
+      Metrics.incr t.metrics "committed_via_completion"
+  | Schedule.Active -> assert false);
+  Metrics.observe t.metrics "latency" (now t -. ps.arrived)
+
+(* ------------------------------------------------------------------ *)
+
+let register t ?(args_of = fun _ -> Value.Nil) proc =
+  let pid = Process.pid proc in
+  if Hashtbl.mem t.procs pid then
+    invalid_arg (Printf.sprintf "Scheduler.submit: duplicate process %d" pid);
+  List.iter (fun a -> ignore (rm_of t a)) (Process.activities proc);
+  let ps =
+    {
+      proc;
+      args_of;
+      exec = Execution.start proc;
+      phase = Running;
+      inflight = None;
+      occurrences = [];
+      pending_completion = [];
+      resume_exec = None;
+      completion_cache = None;
+      weak_wait = None;
+      aborting = false;
+      term = Schedule.Active;
+      arrived = now t;
+      done_at = None;
+    }
+  in
+  Hashtbl.replace t.procs pid ps;
+  Deps.add_process t.deps pid;
+  Wal.append t.wal (Wal.Process_registered pid);
+  ps
+
+let submit t ?at ?args_of proc =
+  let when_ = Option.value ~default:(now t) at in
+  Des.at t.sim when_ (fun _ ->
+      let ps = register t ?args_of proc in
+      ps.arrived <- now t;
+      Metrics.incr t.metrics "submitted";
+      wake t)
+
+let request_abort t ?at pid =
+  let when_ = Option.value ~default:(now t) at in
+  Des.at t.sim when_ (fun _ ->
+      match Hashtbl.find_opt t.procs pid with
+      | None -> ()
+      | Some ps -> abort_now t ps)
+
+let run ?until t = Des.run ?until t.sim
+
+let checkpoint t =
+  let closed term =
+    List.filter_map
+      (fun ps ->
+        if ps.phase = Done && ps.term = term then Some (Process.pid ps.proc) else None)
+      (pstates t)
+  in
+  Wal.append t.wal
+    (Wal.Checkpoint { committed = closed Schedule.Committed; aborted = closed Schedule.Aborted })
+
+let crash t =
+  t.crashed <- true;
+  Wal.records t.wal
+
+let recover ?(config = default_config) ~spec ~rms ~procs records =
+  match Recovery.analyze ~procs records with
+  | Error e -> Error e
+  | Ok plan ->
+      let t = create ~config ~spec ~rms () in
+      (* resolve in-doubt prepared invocations: abort them at the RMs *)
+      List.iter
+        (fun (p : Recovery.process_plan) ->
+          List.iter
+            (fun act ->
+              let proc = List.find (fun pr -> Process.pid pr = p.Recovery.pid) procs in
+              let a = Process.find proc act in
+              let rm = rm_of t a in
+              let token = activity_token ~pid:p.Recovery.pid ~act in
+              if List.mem token (Rm.prepared_tokens rm) then begin
+                Rm.abort_prepared rm ~token;
+                Metrics.incr t.metrics "twopc_aborts"
+              end;
+              Wal.append t.wal
+                (Wal.Prepared_decided { pid = p.Recovery.pid; act; commit = false }))
+            p.Recovery.in_doubt)
+        plan.Recovery.interrupted;
+      (* processes that already terminated keep their outcome *)
+      List.iter
+        (fun (pid, term) ->
+          match List.find_opt (fun pr -> Process.pid pr = pid) procs with
+          | None -> ()
+          | Some proc ->
+              let ps = register t proc in
+              ps.phase <- Done;
+              ps.term <- term)
+        (List.map (fun pid -> (pid, Schedule.Committed)) plan.Recovery.committed
+        @ List.map (fun pid -> (pid, Schedule.Aborted)) plan.Recovery.aborted);
+      (* rebuild interrupted processes and queue their completions *)
+      let entries =
+        List.map
+          (fun (p : Recovery.process_plan) ->
+            let proc = List.find (fun pr -> Process.pid pr = p.Recovery.pid) procs in
+            let ps = register t proc in
+            let exec =
+              List.fold_left
+                (fun st inst ->
+                  match Execution.replay_instance st inst with
+                  | Ok st -> st
+                  | Error e ->
+                      failwith (Printf.sprintf "Scheduler.recover: replay: %s" e))
+                (Execution.start proc) p.Recovery.executed
+            in
+            ps.exec <- exec;
+            ps.aborting <- true;
+            ps.phase <- Recovering;
+            Wal.append t.wal (Wal.Abort_requested p.Recovery.pid);
+            (p.Recovery.pid, p.Recovery.completion))
+          plan.Recovery.interrupted
+      in
+      (* replay the pre-crash events into the new history in their global
+         (WAL) order, so that the recovered history is self-contained and
+         the completion ordering below sees every pre-crash conflict.
+         The re-appends also make the new log self-contained. *)
+      let find_proc pid = List.find_opt (fun pr -> Process.pid pr = pid) procs in
+      let aborted_in_doubt pid act =
+        List.exists
+          (fun (p : Recovery.process_plan) ->
+            p.Recovery.pid = pid && List.mem act p.Recovery.in_doubt)
+          plan.Recovery.interrupted
+      in
+      List.iter
+        (fun record ->
+          let emit_act pid act inverse =
+            match find_proc pid with
+            | None -> ()
+            | Some proc ->
+                let a = Process.find proc act in
+                emit t
+                  (Schedule.Act (if inverse then Activity.Inverse a else Activity.Forward a));
+                Wal.append t.wal
+                  (if inverse then Wal.Compensated { pid; act } else Wal.Invoked { pid; act })
+          in
+          match record with
+          | Wal.Invoked { pid; act } -> emit_act pid act false
+          | Wal.Compensated { pid; act } -> emit_act pid act true
+          | Wal.Prepared_decided { pid; act; commit = true } -> emit_act pid act false
+          | Wal.Prepared { pid; act } ->
+              (* in-doubt prepared resolved to commit appear via their later
+                 progress; trailing ones were aborted above *)
+              if
+                (not (aborted_in_doubt pid act))
+                && not
+                     (List.exists
+                        (function
+                          | Wal.Prepared_decided { pid = p'; act = a'; _ } ->
+                              p' = pid && a' = act
+                          | _ -> false)
+                        records)
+              then emit_act pid act false
+          | Wal.Process_committed pid ->
+              emit t (Schedule.Commit pid);
+              Wal.append t.wal (Wal.Process_committed pid)
+          | Wal.Process_aborted pid ->
+              emit t (Schedule.Abort pid);
+              Wal.append t.wal (Wal.Process_aborted pid)
+          | Wal.Prepared_decided _ | Wal.Process_registered _ | Wal.Commit_requested _
+          | Wal.Abort_requested _ | Wal.Checkpoint _ -> ())
+        records;
+      if entries <> [] then begin
+        emit t (Schedule.Group_abort (List.map fst entries));
+        let ordered = Completed.completion_order (history t) entries in
+        List.iter
+          (fun (qid, insts) ->
+            let q = Hashtbl.find t.procs qid in
+            q.pending_completion <- insts)
+          entries;
+        t.rollback_queue <-
+          List.map (fun inst -> (Activity.instance_proc inst, inst)) ordered;
+        Des.after t.sim 0.0 (fun _ -> run_rollback_queue t)
+      end;
+      Metrics.incr t.metrics "recovered_processes" ~by:(List.length entries);
+      Ok t
+
+let dump fmt t =
+  List.iter
+    (fun ps ->
+      let phase =
+        match ps.phase with
+        | Running -> "running"
+        | Blocked_2pc { act; _ } -> Printf.sprintf "blocked-2pc(a%d)" act
+        | Recovering -> "recovering"
+        | Awaiting_commit -> "awaiting-commit"
+        | Done -> "done"
+      in
+      Format.fprintf fmt "P%d: %s inflight=%s pending=%d aborting=%b enabled=[%s] preds=[%s]@."
+        (Process.pid ps.proc) phase
+        (match ps.inflight with Some a -> string_of_int a | None -> "-")
+        (List.length ps.pending_completion) ps.aborting
+        (String.concat "," (List.map string_of_int (Execution.enabled ps.exec)))
+        (String.concat ","
+           (List.map string_of_int (Deps.uncommitted_preds t.deps (Process.pid ps.proc)))))
+    (pstates t);
+  Format.fprintf fmt "rollback_queue=%d running=%b@." (List.length t.rollback_queue)
+    t.rollback_running

@@ -1,0 +1,134 @@
+(** The transactional process scheduler: an online protocol guaranteeing
+    prefix-reducible (PRED) schedules (paper, Sections 3.4–3.5).
+
+    Processes are submitted and executed over simulated transactional
+    subsystems ({!Tpm_subsys.Rm}) under a discrete-event clock.  The
+    scheduler enforces, per the paper:
+
+    - {b serializability}: a conflicting activity is only admitted if the
+      process dependency graph stays acyclic;
+    - {b Lemma 1}: a non-compensatable activity of [P_j] does not commit
+      while a process [P_i] with a conflicting earlier activity is still
+      uncommitted.  Depending on {!mode}, the activity is delayed entirely
+      ([Conservative]), or executed with its subsystem commit {e deferred}
+      and decided by two-phase commit once the predecessors commit
+      ([Deferred]), or additionally admitted immediately when the paper's
+      quasi-commit condition of figure 9 holds ([Quasi]);
+    - {b Lemmas 2–3}: recovery executes compensations in reverse order of
+      their originals and before conflicting retriable completion
+      activities (via {!Tpm_core.Completed.completion_order});
+    - {b guaranteed termination}: failed activities trigger alternative
+      branches; aborts of processes in [F-REC] terminate through the
+      retriable forward path; aborts of dependents cascade when a
+      compensation would otherwise conflict (the CIM scenario of
+      Section 2.2).
+
+    Every effect is written ahead to the {!Tpm_wal.Wal}; {!recover} replays
+    the log after a crash and finishes every interrupted process. *)
+
+(** Handling of non-compensatable activities with uncommitted conflicting
+    predecessors (Lemma 1). *)
+type mode =
+  | Conservative  (** delay the activity until all predecessors committed *)
+  | Deferred
+      (** execute it, defer its subsystem commit, decide by 2PC when the
+          predecessors commit (the paper's protocol) *)
+  | Quasi
+      (** [Deferred], plus immediate commit when the quasi-commit condition
+          of figure 9 holds (predecessors forward-recoverable with
+          conflict-free completions) *)
+
+type config = {
+  mode : mode;
+  exact_admission : bool;
+      (** ablation: additionally verify, per admission, that the extended
+          history remains reducible — the literal "consider the completed
+          schedule" rule of Section 3.5.  Exact but expensive. *)
+  naive_sr : bool;
+      (** baseline comparator: serializability-only scheduling that ignores
+          recovery (no Lemma-1 gating, no completion anticipation) — it
+          reproduces the figure-1 anomaly and its histories may violate
+          PRED. *)
+  weak_order : bool;
+      (** Section 3.6: conflicting activities of different processes may
+          execute overlapping in their subsystems; the subsystem enforces
+          the weak (intended) order on their commits, and a retriable
+          re-invocation restarts the dependent local transaction.  Off by
+          default (strong order: sequential execution). *)
+  seed : int;
+  service_time : string -> float;  (** mean duration of a service invocation *)
+  stochastic_times : bool;  (** exponential durations instead of deterministic *)
+  retry_backoff : float;  (** delay before re-invoking a failed retriable *)
+}
+
+val default_config : config
+(** [Deferred] mode, seed 1, unit service times, deterministic. *)
+
+type t
+
+val create : ?config:config -> ?wal_path:string -> spec:Tpm_core.Conflict.t ->
+  rms:Tpm_subsys.Rm.t list -> unit -> t
+(** @raise Invalid_argument if two resource managers share a name. *)
+
+val submit :
+  t ->
+  ?at:float ->
+  ?args_of:(Tpm_core.Activity.t -> Tpm_kv.Value.t) ->
+  Tpm_core.Process.t ->
+  unit
+(** Registers a process for execution at virtual time [at] (default: now).
+    @raise Invalid_argument on duplicate pids or activities whose
+    subsystem is unknown. *)
+
+val request_abort : t -> ?at:float -> int -> unit
+(** External abort [A_i]: the process terminates through its completion. *)
+
+val run : ?until:float -> t -> unit
+(** Drives the simulation until quiescence (or the time horizon). *)
+
+val now : t -> float
+val history : t -> Tpm_core.Schedule.t
+(** The schedule emitted so far: committed occurrences, compensations,
+    completion activities, and terminal events. *)
+
+val status : t -> int -> Tpm_core.Schedule.status
+val finished : t -> bool
+(** All submitted processes reached a terminal state. *)
+
+val metrics : t -> Tpm_sim.Metrics.t
+val wal_records : t -> Tpm_wal.Wal.record list
+
+val checkpoint : t -> unit
+(** Appends a checkpoint naming every terminated process; {!Tpm_wal.Wal.compact}
+    can then drop their records from the log. *)
+
+val crash : t -> Tpm_wal.Wal.record list
+(** Simulates a scheduler failure: drops all volatile state and returns
+    the persistent log.  The subsystems survive (they are independent
+    transactional systems); in-doubt prepared invocations stay pending
+    until recovery decides them. *)
+
+val recover :
+  ?config:config ->
+  spec:Tpm_core.Conflict.t ->
+  rms:Tpm_subsys.Rm.t list ->
+  procs:Tpm_core.Process.t list ->
+  Tpm_wal.Wal.record list ->
+  (t, string) result
+(** Builds a new scheduler from the log: aborts in-doubt prepared
+    invocations at the subsystems, replays the pre-crash events into the
+    new history (which is therefore self-contained), and schedules the
+    completion of every interrupted process (the group abort of
+    Definition 8).  Run it with {!run} to finish recovery. *)
+
+val activity_token : pid:int -> act:int -> int
+(** The deterministic subsystem token of an activity occurrence (stable
+    across crashes, so recovery can address prepared invocations). *)
+
+(**/**)
+
+val trace : bool ref
+(** Verbose protocol tracing to stderr (debugging aid). *)
+
+val dump : Format.formatter -> t -> unit
+(** One line of internal state per process (debugging aid). *)

@@ -1,0 +1,32 @@
+type t = {
+  mutable clock : float;
+  queue : (t -> unit) Heap.t;
+}
+
+let create () = { clock = 0.0; queue = Heap.create () }
+let now sim = sim.clock
+
+let at sim time f =
+  if time < sim.clock then invalid_arg "Des.at: time lies in the past";
+  Heap.push sim.queue ~key:time f
+
+let after sim delay f =
+  if delay < 0.0 then invalid_arg "Des.after: negative delay";
+  at sim (sim.clock +. delay) f
+
+let run ?(until = infinity) sim =
+  let rec loop () =
+    match Heap.peek_key sim.queue with
+    | None -> ()
+    | Some t when t > until -> ()
+    | Some _ -> (
+        match Heap.pop sim.queue with
+        | None -> ()
+        | Some (time, f) ->
+            sim.clock <- max sim.clock time;
+            f sim;
+            loop ())
+  in
+  loop ()
+
+let pending sim = Heap.size sim.queue

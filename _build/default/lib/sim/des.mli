@@ -1,0 +1,22 @@
+(** Discrete-event simulation engine: a virtual clock and an event queue.
+
+    Callbacks scheduled with {!at} or {!after} run at their virtual time,
+    in deterministic order (time, then scheduling order).  {!run} drives
+    the queue until it drains or a horizon is reached. *)
+
+type t
+
+val create : unit -> t
+val now : t -> float
+
+val after : t -> float -> (t -> unit) -> unit
+(** [after sim delay f] schedules [f] at [now sim +. delay]; [delay >= 0]. *)
+
+val at : t -> float -> (t -> unit) -> unit
+(** Absolute-time variant; the time must not lie in the past. *)
+
+val run : ?until:float -> t -> unit
+(** Processes events until the queue is empty or virtual time would exceed
+    [until]. *)
+
+val pending : t -> int

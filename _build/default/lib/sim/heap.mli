@@ -1,0 +1,15 @@
+(** Binary min-heap keyed by floats, used as the simulation event queue.
+    Ties are broken by insertion sequence, making event order fully
+    deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val size : 'a t -> int
+val is_empty : 'a t -> bool
+val push : 'a t -> key:float -> 'a -> unit
+
+val pop : 'a t -> (float * 'a) option
+(** Smallest key (earliest inserted among equals). *)
+
+val peek_key : 'a t -> float option

@@ -1,0 +1,57 @@
+type t = {
+  counters : (string, int) Hashtbl.t;
+  series : (string, float list ref) Hashtbl.t;  (* reverse chronological *)
+}
+
+let create () = { counters = Hashtbl.create 16; series = Hashtbl.create 16 }
+
+let incr ?(by = 1) m name =
+  let cur = Option.value ~default:0 (Hashtbl.find_opt m.counters name) in
+  Hashtbl.replace m.counters name (cur + by)
+
+let count m name = Option.value ~default:0 (Hashtbl.find_opt m.counters name)
+
+let observe m name v =
+  match Hashtbl.find_opt m.series name with
+  | Some r -> r := v :: !r
+  | None -> Hashtbl.replace m.series name (ref [ v ])
+
+let samples m name =
+  match Hashtbl.find_opt m.series name with
+  | Some r -> List.rev !r
+  | None -> []
+
+let total m name = List.fold_left ( +. ) 0.0 (samples m name)
+
+let mean m name =
+  match samples m name with
+  | [] -> nan
+  | l -> total m name /. float_of_int (List.length l)
+
+let quantile m name q =
+  match List.sort compare (samples m name) with
+  | [] -> nan
+  | l ->
+      let arr = Array.of_list l in
+      let n = Array.length arr in
+      let idx = int_of_float (q *. float_of_int (n - 1) +. 0.5) in
+      arr.(max 0 (min (n - 1) idx))
+
+let max_value m name = List.fold_left max neg_infinity (samples m name)
+
+let counters m =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) m.counters [] |> List.sort compare
+
+let series_names m =
+  Hashtbl.fold (fun k _ acc -> k :: acc) m.series [] |> List.sort compare
+
+let pp_summary fmt m =
+  Format.fprintf fmt "@[<v>";
+  List.iter (fun (k, v) -> Format.fprintf fmt "%-32s %d@," k v) (counters m);
+  List.iter
+    (fun name ->
+      Format.fprintf fmt "%-32s mean=%.3f p50=%.3f p99=%.3f n=%d@," name (mean m name)
+        (quantile m name 0.5) (quantile m name 0.99)
+        (List.length (samples m name)))
+    (series_names m);
+  Format.fprintf fmt "@]"

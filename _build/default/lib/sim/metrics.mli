@@ -1,0 +1,25 @@
+(** Simulation metrics: named counters and value series with summary
+    statistics, used by the benchmark harness to report experiment rows. *)
+
+type t
+
+val create : unit -> t
+
+val incr : ?by:int -> t -> string -> unit
+val count : t -> string -> int
+
+val observe : t -> string -> float -> unit
+(** Appends a sample to a named series. *)
+
+val samples : t -> string -> float list
+(** Chronological samples of a series (empty if unknown). *)
+
+val mean : t -> string -> float
+val total : t -> string -> float
+val quantile : t -> string -> float -> float
+(** [quantile m name q] with [q] in [0, 1]; [nan] on an empty series. *)
+
+val max_value : t -> string -> float
+val counters : t -> (string * int) list
+val series_names : t -> string list
+val pp_summary : Format.formatter -> t -> unit

@@ -1,0 +1,32 @@
+(** Deterministic pseudo-random number generation (SplitMix64).
+
+    Every simulation component draws from its own stream so that runs are
+    reproducible regardless of the order in which components consume
+    randomness. *)
+
+type t
+
+val create : int -> t
+(** [create seed] builds an independent stream. *)
+
+val split : t -> t
+(** A new independent stream derived from (and advancing) [t]. *)
+
+val next_int64 : t -> int64
+val int : t -> int -> int
+(** [int t bound] draws uniformly from [0, bound); [bound > 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] draws uniformly from [0, bound). *)
+
+val bool : t -> bool
+val chance : t -> float -> bool
+(** [chance t p] is true with probability [p]. *)
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed draw with the given mean. *)
+
+val pick : t -> 'a list -> 'a
+(** Uniform element of a non-empty list. *)
+
+val shuffle : t -> 'a list -> 'a list

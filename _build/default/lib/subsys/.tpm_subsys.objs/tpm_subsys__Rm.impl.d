@@ -1,0 +1,1 @@
+lib/subsys/rm.ml: Hashtbl List Locks Printf Service Store Tpm_kv Tpm_sim Tx Value

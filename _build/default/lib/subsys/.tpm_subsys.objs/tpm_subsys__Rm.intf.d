@@ -1,0 +1,1 @@
+lib/subsys/rm.mli: Service Tpm_kv

@@ -1,0 +1,1 @@
+lib/subsys/service.ml: Hashtbl List Printf Tpm_core Tpm_kv

@@ -1,0 +1,1 @@
+lib/subsys/service.mli: Tpm_core Tpm_kv

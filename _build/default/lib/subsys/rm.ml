@@ -1,0 +1,143 @@
+open Tpm_kv
+
+type outcome =
+  | Committed of Value.t
+  | Prepared of Value.t
+  | Failed
+  | Blocked of int list
+
+type invocation_record = {
+  service : string;
+  args : Value.t;
+  undo : (string * Value.t) list;
+}
+
+type t = {
+  rm_name : string;
+  rm_store : Store.t;
+  rm_registry : Service.Registry.t;
+  locks : Locks.t;
+  rng : Tpm_sim.Prng.t;
+  fail_prob : string -> float;
+  max_failures : int;
+  pending : (int, Tx.t) Hashtbl.t;  (* prepared token -> open transaction *)
+  log : (int, invocation_record) Hashtbl.t;  (* committed token -> record *)
+  mutable committed_count : int;
+}
+
+let create ~name ~registry ?(fail_prob = fun _ -> 0.0) ?(max_failures = 10) ?(seed = 1) () =
+  {
+    rm_name = name;
+    rm_store = Store.create ();
+    rm_registry = registry;
+    locks = Locks.create ();
+    rng = Tpm_sim.Prng.create seed;
+    fail_prob;
+    max_failures;
+    pending = Hashtbl.create 16;
+    log = Hashtbl.create 64;
+    committed_count = 0;
+  }
+
+let name rm = rm.rm_name
+let store rm = rm.rm_store
+let registry rm = rm.rm_registry
+
+let acquire_footprint rm ~token (svc : Service.t) =
+  let try_all mode keys =
+    List.fold_left
+      (fun acc key ->
+        match acc with
+        | Error _ as e -> e
+        | Ok () -> Locks.acquire rm.locks ~owner:token ~mode key)
+      (Ok ()) keys
+  in
+  match try_all Locks.Shared svc.Service.reads with
+  | Error owners -> Error owners
+  | Ok () -> try_all Locks.Exclusive svc.Service.writes
+
+let run rm ~token ~service ~args ~attempt ~hold =
+  let svc = Service.Registry.find rm.rm_registry service in
+  (* only prepared invocations of *other* tokens block us *)
+  match acquire_footprint rm ~token svc with
+  | Error owners ->
+      Locks.release_all rm.locks ~owner:token;
+      Blocked owners
+  | Ok () ->
+      let inject =
+        attempt < rm.max_failures && Tpm_sim.Prng.chance rm.rng (rm.fail_prob service)
+      in
+      if inject then begin
+        if not (Hashtbl.mem rm.pending token) then Locks.release_all rm.locks ~owner:token;
+        Failed
+      end
+      else begin
+        let tx = Tx.begin_ rm.rm_store in
+        let ret = svc.Service.body tx ~args in
+        if hold then begin
+          Hashtbl.replace rm.pending token tx;
+          Prepared ret
+        end
+        else begin
+          Tx.commit tx;
+          Hashtbl.replace rm.log token { service; args; undo = Tx.undo_entries tx };
+          rm.committed_count <- rm.committed_count + 1;
+          Locks.release_all rm.locks ~owner:token;
+          Committed ret
+        end
+      end
+
+let invoke rm ~token ~service ?(args = Value.Nil) ?(attempt = 1) () =
+  run rm ~token ~service ~args ~attempt ~hold:false
+
+let prepare rm ~token ~service ?(args = Value.Nil) ?(attempt = 1) () =
+  run rm ~token ~service ~args ~attempt ~hold:true
+
+let commit_prepared rm ~token =
+  match Hashtbl.find_opt rm.pending token with
+  | None -> invalid_arg (Printf.sprintf "Rm.commit_prepared: unknown token %d" token)
+  | Some tx ->
+      Tx.commit tx;
+      rm.committed_count <- rm.committed_count + 1;
+      Hashtbl.remove rm.pending token;
+      Locks.release_all rm.locks ~owner:token
+
+let abort_prepared rm ~token =
+  match Hashtbl.find_opt rm.pending token with
+  | None -> invalid_arg (Printf.sprintf "Rm.abort_prepared: unknown token %d" token)
+  | Some tx ->
+      Tx.abort tx;
+      Hashtbl.remove rm.pending token;
+      Locks.release_all rm.locks ~owner:token
+
+let prepared_tokens rm =
+  Hashtbl.fold (fun token _ acc -> token :: acc) rm.pending [] |> List.sort compare
+
+let compensate rm ~token =
+  match Hashtbl.find_opt rm.log token with
+  | None -> invalid_arg (Printf.sprintf "Rm.compensate: unknown token %d" token)
+  | Some record -> (
+      let svc = Service.Registry.find rm.rm_registry record.service in
+      match svc.Service.compensation with
+      | Service.No_compensation ->
+          invalid_arg (Printf.sprintf "Rm.compensate: %s is not compensatable" record.service)
+      | Service.Inverse_service inv -> (
+          let r =
+            run rm ~token:(-token - 1) ~service:inv ~args:record.args
+              ~attempt:rm.max_failures ~hold:false
+          in
+          match r with
+          | Committed _ ->
+              Hashtbl.remove rm.log token;
+              r
+          | Prepared _ | Failed | Blocked _ -> r)
+      | Service.Snapshot_undo ->
+          List.iter (fun (key, v) ->
+              match v with
+              | Value.Nil -> Store.delete rm.rm_store key
+              | v -> Store.set rm.rm_store key v)
+            record.undo;
+          Hashtbl.remove rm.log token;
+          Committed Value.Nil)
+
+let invocations rm = rm.committed_count

@@ -1,0 +1,66 @@
+(** Resource managers: the simulated transactional subsystems of the paper
+    (Section 2.3).
+
+    Each invocation runs as a local transaction over the subsystem's
+    store.  Invocations either commit immediately ({!invoke}) or are
+    {e prepared} ({!prepare}): executed with their effects buffered and
+    their key locks held, to be committed or rolled back later by the
+    two-phase-commit protocol — the deferred commit of non-compensatable
+    activities required by Lemma 1.
+
+    The manager logs, per invocation token, the service, its arguments and
+    the pre-images of written keys, enabling both semantic compensation
+    (re-invoking the declared inverse service) and agent-style snapshot
+    undo.  Failures are injected per service with configurable
+    probability; an invocation is guaranteed to succeed once its attempt
+    number reaches [max_failures] (Definition 3's finite retry bound). *)
+
+type outcome =
+  | Committed of Tpm_kv.Value.t
+  | Prepared of Tpm_kv.Value.t
+  | Failed  (** local transaction aborted (effect-free) *)
+  | Blocked of int list  (** lock conflict with the given prepared tokens *)
+
+type t
+
+val create :
+  name:string ->
+  registry:Service.Registry.t ->
+  ?fail_prob:(string -> float) ->
+  ?max_failures:int ->
+  ?seed:int ->
+  unit ->
+  t
+
+val name : t -> string
+val store : t -> Tpm_kv.Store.t
+val registry : t -> Service.Registry.t
+
+val invoke :
+  t -> token:int -> service:string -> ?args:Tpm_kv.Value.t -> ?attempt:int -> unit -> outcome
+(** Executes the service as a local transaction and commits it.  [token]
+    identifies the activity occurrence (used later for compensation).
+    Returns {!Failed} on an injected failure ([attempt] counts from 1) and
+    {!Blocked} when a needed key is locked by a prepared invocation. *)
+
+val prepare :
+  t -> token:int -> service:string -> ?args:Tpm_kv.Value.t -> ?attempt:int -> unit -> outcome
+(** Like {!invoke}, but holds the transaction open (deferred commit): its
+    writes stay invisible and its locks held until {!commit_prepared} or
+    {!abort_prepared}. *)
+
+val commit_prepared : t -> token:int -> unit
+(** @raise Invalid_argument if the token is not prepared. *)
+
+val abort_prepared : t -> token:int -> unit
+val prepared_tokens : t -> int list
+
+val compensate : t -> token:int -> outcome
+(** Undoes the committed invocation identified by [token], according to
+    the service's compensation strategy.  Compensating activities are
+    retriable by definition: this never injects failures.
+    @raise Invalid_argument if the token is unknown or the service is not
+    compensatable. *)
+
+val invocations : t -> int
+(** Number of committed invocations so far. *)

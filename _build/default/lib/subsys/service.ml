@@ -1,0 +1,62 @@
+type compensation =
+  | No_compensation
+  | Inverse_service of string
+  | Snapshot_undo
+
+type body = Tpm_kv.Tx.t -> args:Tpm_kv.Value.t -> Tpm_kv.Value.t
+
+type t = {
+  name : string;
+  body : body;
+  compensation : compensation;
+  reads : string list;
+  writes : string list;
+}
+
+let make ~name ?(compensation = No_compensation) ?(reads = []) ?(writes = []) body =
+  { name; body; compensation; reads; writes }
+
+let effect_free s = s.writes = []
+
+let overlap a b = List.exists (fun k -> List.mem k b) a
+
+let footprints_conflict a b =
+  overlap a.writes (b.reads @ b.writes) || overlap b.writes (a.reads @ a.writes)
+
+module Registry = struct
+  type service = t
+  type t = { services : (string, service) Hashtbl.t }
+
+  let create () = { services = Hashtbl.create 32 }
+
+  let register reg s =
+    if Hashtbl.mem reg.services s.name then
+      invalid_arg (Printf.sprintf "Service.Registry.register: duplicate service %s" s.name);
+    Hashtbl.replace reg.services s.name s
+
+  let find reg name = Hashtbl.find reg.services name
+  let find_opt reg name = Hashtbl.find_opt reg.services name
+
+  let names reg =
+    Hashtbl.fold (fun k _ acc -> k :: acc) reg.services [] |> List.sort compare
+
+  let conflict_spec reg =
+    let services = List.map (find reg) (names reg) in
+    let rec pairs acc = function
+      | [] -> acc
+      | s :: rest ->
+          let acc = if overlap s.writes (s.reads @ s.writes) then Tpm_core.Conflict.add s.name s.name acc else acc in
+          let acc =
+            List.fold_left
+              (fun acc s' ->
+                if footprints_conflict s s' then Tpm_core.Conflict.add s.name s'.name acc
+                else acc)
+              acc rest
+          in
+          pairs acc rest
+    in
+    let spec = pairs Tpm_core.Conflict.empty services in
+    List.fold_left
+      (fun spec s -> if effect_free s then Tpm_core.Conflict.declare_effect_free s.name spec else spec)
+      spec services
+end

@@ -1,0 +1,59 @@
+(** Transactional services offered by subsystems.
+
+    A service has a body executed inside a local transaction, a static
+    read/write footprint (from which the conflict relation of Definition 6
+    is derived conservatively), and a compensation strategy: a semantic
+    inverse service, agent-style snapshot undo (Section 2.3: subsystems
+    without native compensation are wrapped by a transactional
+    coordination agent), or none (for pivot/retriable services). *)
+
+(** How the effects of a committed invocation can be undone. *)
+type compensation =
+  | No_compensation
+  | Inverse_service of string  (** name of the semantically inverse service *)
+  | Snapshot_undo  (** restore the pre-images logged by the forward invocation *)
+
+type body = Tpm_kv.Tx.t -> args:Tpm_kv.Value.t -> Tpm_kv.Value.t
+
+type t = {
+  name : string;
+  body : body;
+  compensation : compensation;
+  reads : string list;  (** static key footprint *)
+  writes : string list;
+}
+
+val make :
+  name:string ->
+  ?compensation:compensation ->
+  ?reads:string list ->
+  ?writes:string list ->
+  body ->
+  t
+
+val effect_free : t -> bool
+(** A service with an empty write footprint (Definition 1). *)
+
+val footprints_conflict : t -> t -> bool
+(** Write/read or write/write overlap on some key: the services do not
+    commute in general. *)
+
+module Registry : sig
+  type service = t
+  type t
+
+  val create : unit -> t
+  val register : t -> service -> unit
+  (** @raise Invalid_argument on duplicate names. *)
+
+  val find : t -> string -> service
+  (** @raise Not_found *)
+
+  val find_opt : t -> string -> service option
+  val names : t -> string list
+
+  val conflict_spec : t -> Tpm_core.Conflict.t
+  (** The conflict relation derived from all registered footprints, with
+      effect-free services declared as such.  A service is also put in
+      conflict with itself when its writes overlap its own footprint. *)
+end

@@ -1,0 +1,1 @@
+lib/twopc/twopc.ml: Format List Printf Tpm_subsys

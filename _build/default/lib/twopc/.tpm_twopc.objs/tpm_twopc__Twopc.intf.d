@@ -1,0 +1,1 @@
+lib/twopc/twopc.mli: Format Tpm_subsys

@@ -1,0 +1,56 @@
+type decision =
+  | Committed
+  | Aborted
+
+type participant = {
+  id : string;
+  vote : unit -> bool;
+  commit : unit -> unit;
+  abort : unit -> unit;
+}
+
+type log_entry =
+  | Began of string list
+  | Voted of string * bool
+  | Decided of decision
+  | Finished
+
+let run ?(on_log = fun _ -> ()) participants =
+  on_log (Began (List.map (fun p -> p.id) participants));
+  let rec collect = function
+    | [] -> true
+    | p :: rest ->
+        let v = p.vote () in
+        on_log (Voted (p.id, v));
+        v && collect rest
+  in
+  let all_yes = collect participants in
+  let decision = if all_yes then Committed else Aborted in
+  on_log (Decided decision);
+  List.iter (fun p -> match decision with Committed -> p.commit () | Aborted -> p.abort ()) participants;
+  on_log Finished;
+  decision
+
+let participant_of_rm rm ~token =
+  {
+    id = Printf.sprintf "%s#%d" (Tpm_subsys.Rm.name rm) token;
+    vote = (fun () -> List.mem token (Tpm_subsys.Rm.prepared_tokens rm));
+    commit = (fun () -> Tpm_subsys.Rm.commit_prepared rm ~token);
+    abort =
+      (fun () ->
+        if List.mem token (Tpm_subsys.Rm.prepared_tokens rm) then
+          Tpm_subsys.Rm.abort_prepared rm ~token);
+  }
+
+let pp_decision fmt = function
+  | Committed -> Format.pp_print_string fmt "committed"
+  | Aborted -> Format.pp_print_string fmt "aborted"
+
+let pp_log_entry fmt = function
+  | Began ids ->
+      Format.fprintf fmt "2pc-begin(%a)"
+        (Format.pp_print_list ~pp_sep:(fun fmt () -> Format.fprintf fmt ",") Format.pp_print_string)
+        ids
+  | Voted (id, v) -> Format.fprintf fmt "vote(%s, %b)" id v
+  | Decided d -> Format.fprintf fmt "decided(%a)" pp_decision d
+  | Finished -> Format.pp_print_string fmt "2pc-done"

@@ -1,0 +1,36 @@
+(** Two-phase commit.
+
+    The paper requires that all deferred (non-compensatable) activities of
+    a process commit atomically in their subsystems once the process is
+    allowed to commit: "the commitment of all non-compensatable activities
+    of [P_j] has to be performed atomically by exploiting a two phase
+    commit protocol" (Section 3.5).  The coordinator gathers votes from
+    all participants, decides, and applies the decision everywhere. *)
+
+type decision =
+  | Committed
+  | Aborted
+
+type participant = {
+  id : string;
+  vote : unit -> bool;  (** phase 1: true = ready to commit *)
+  commit : unit -> unit;  (** phase 2 on global commit *)
+  abort : unit -> unit;  (** phase 2 on global abort *)
+}
+
+type log_entry =
+  | Began of string list  (** participant ids *)
+  | Voted of string * bool
+  | Decided of decision
+  | Finished
+
+val run : ?on_log:(log_entry -> unit) -> participant list -> decision
+(** Executes the protocol.  An empty participant list commits trivially.
+    Votes are collected in order; voting stops at the first refusal. *)
+
+val participant_of_rm : Tpm_subsys.Rm.t -> token:int -> participant
+(** Adapter for a prepared invocation held by a resource manager: it votes
+    yes iff the token is still prepared. *)
+
+val pp_log_entry : Format.formatter -> log_entry -> unit
+val pp_decision : Format.formatter -> decision -> unit

@@ -1,0 +1,1 @@
+lib/wal/recovery.ml: Activity Array Execution Format Hashtbl List Printf Process Result Tpm_core Wal

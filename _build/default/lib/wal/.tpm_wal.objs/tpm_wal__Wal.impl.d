@@ -1,0 +1,1 @@
+lib/wal/wal.ml: Format List Marshal Option

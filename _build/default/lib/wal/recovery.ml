@@ -1,0 +1,145 @@
+open Tpm_core
+
+type process_plan = {
+  pid : int;
+  state : Execution.recovery_state;
+  executed : Activity.instance list;
+  in_doubt : int list;
+  completion : Activity.instance list;
+}
+
+type t = {
+  committed : int list;
+  aborted : int list;
+  interrupted : process_plan list;
+}
+
+(* chronological per-process effect timeline *)
+type effect =
+  | Fwd of int
+  | Inv of int
+  | Pending of int  (* prepared, decision unknown so far *)
+
+let analyze ~procs records =
+  let find_proc pid = List.find_opt (fun p -> Process.pid p = pid) procs in
+  let timelines : (int, effect list ref) Hashtbl.t = Hashtbl.create 16 in
+  let terminal : (int, [ `Committed | `Aborted ]) Hashtbl.t = Hashtbl.create 16 in
+  let registered = ref [] in
+  let timeline pid =
+    match Hashtbl.find_opt timelines pid with
+    | Some r -> r
+    | None ->
+        let r = ref [] in
+        Hashtbl.replace timelines pid r;
+        r
+  in
+  let decide pid act commit =
+    let r = timeline pid in
+    r :=
+      List.filter_map
+        (function
+          | Pending a when a = act -> if commit then Some (Fwd a) else None
+          | e -> Some e)
+        !r
+  in
+  List.iter
+    (fun record ->
+      match record with
+      | Wal.Process_registered pid -> registered := pid :: !registered
+      | Wal.Invoked { pid; act } -> timeline pid := Fwd act :: !(timeline pid)
+      | Wal.Prepared { pid; act } -> timeline pid := Pending act :: !(timeline pid)
+      | Wal.Prepared_decided { pid; act; commit } -> decide pid act commit
+      | Wal.Compensated { pid; act } -> timeline pid := Inv act :: !(timeline pid)
+      | Wal.Process_committed pid -> Hashtbl.replace terminal pid `Committed
+      | Wal.Process_aborted pid -> Hashtbl.replace terminal pid `Aborted
+      | Wal.Checkpoint { committed; aborted } ->
+          List.iter (fun pid -> Hashtbl.replace terminal pid `Committed) committed;
+          List.iter (fun pid -> Hashtbl.replace terminal pid `Aborted) aborted
+      | Wal.Commit_requested _ | Wal.Abort_requested _ -> ())
+    records;
+  let committed = ref [] and aborted = ref [] and interrupted = ref [] in
+  let error = ref None in
+  List.iter
+    (fun pid ->
+      match Hashtbl.find_opt terminal pid with
+      | Some `Committed -> committed := pid :: !committed
+      | Some `Aborted -> aborted := pid :: !aborted
+      | None -> (
+          match find_proc pid with
+          | None -> error := Some (Printf.sprintf "process %d not re-registered for recovery" pid)
+          | Some proc ->
+              let effects = List.rev !(timeline pid) in
+              (* resolve in-doubt: commit if the process progressed past it *)
+              let arr = Array.of_list effects in
+              let n = Array.length arr in
+              let in_doubt = ref [] in
+              let resolved =
+                List.filteri
+                  (fun i e ->
+                    match e with
+                    | Pending act ->
+                        if i < n - 1 then true
+                        else begin
+                          in_doubt := act :: !in_doubt;
+                          false
+                        end
+                    | Fwd _ | Inv _ -> true)
+                  effects
+              in
+              let instances =
+                List.map
+                  (fun e ->
+                    match e with
+                    | Fwd act | Pending act -> Activity.Forward (Process.find proc act)
+                    | Inv act -> Activity.Inverse (Process.find proc act))
+                  resolved
+              in
+              let replayed =
+                List.fold_left
+                  (fun acc inst ->
+                    Result.bind acc (fun st -> Execution.replay_instance st inst))
+                  (Ok (Execution.start proc))
+                  instances
+              in
+              (match replayed with
+              | Error e ->
+                  error := Some (Printf.sprintf "P_%d: log replay failed: %s" pid e)
+              | Ok st ->
+                  interrupted :=
+                    {
+                      pid;
+                      state = Execution.recovery_state st;
+                      executed = Execution.effective_trace st;
+                      in_doubt = List.rev !in_doubt;
+                      completion = Execution.completion st;
+                    }
+                    :: !interrupted)))
+    (List.sort_uniq compare
+       (!registered @ Hashtbl.fold (fun pid _ acc -> pid :: acc) terminal []));
+  match !error with
+  | Some e -> Error e
+  | None ->
+      Ok
+        {
+          committed = List.rev !committed;
+          aborted = List.rev !aborted;
+          interrupted = List.rev !interrupted;
+        }
+
+let pp fmt t =
+  let pp_ints fmt l =
+    Format.pp_print_list
+      ~pp_sep:(fun fmt () -> Format.fprintf fmt ", ")
+      Format.pp_print_int fmt l
+  in
+  Format.fprintf fmt "@[<v>committed: [%a]@ aborted: [%a]@ " pp_ints t.committed pp_ints t.aborted;
+  List.iter
+    (fun plan ->
+      Format.fprintf fmt "P_%d (%s): completion = [%a]@ " plan.pid
+        (match plan.state with Execution.B_rec -> "B-REC" | Execution.F_rec -> "F-REC")
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.fprintf fmt " ")
+           Activity.pp_instance)
+        plan.completion)
+    t.interrupted;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,37 @@
+(** Crash recovery of the process scheduler.
+
+    From the write-ahead log and the (re-registered) process definitions,
+    recovery reconstructs the execution state of every process that was
+    interrupted, decides the fate of in-doubt prepared activities (abort:
+    their subsystem transactions never committed), and derives the
+    completion [C(P)] each interrupted process must execute — backward
+    compensation for processes in [B-REC], local compensation plus the
+    retriable forward path for processes in [F-REC].  This realizes the
+    group abort [A(P_{n_1}, ..., P_{n_s})] of Definition 8 after a
+    scheduler failure. *)
+
+type process_plan = {
+  pid : int;
+  state : Tpm_core.Execution.recovery_state;
+  executed : Tpm_core.Activity.instance list;  (** effects present at crash time *)
+  in_doubt : int list;
+      (** prepared activity ids with no logged 2PC decision that recovery
+          resolves to {e abort} (their subsystem transactions are rolled
+          back).  In-doubt activities whose process demonstrably progressed
+          past them (a later activity of the same process is logged) are
+          resolved to {e commit} instead and appear in [executed]. *)
+  completion : Tpm_core.Activity.instance list;  (** what recovery must execute *)
+}
+
+type t = {
+  committed : int list;  (** processes already terminated (committed) *)
+  aborted : int list;  (** processes already fully rolled back *)
+  interrupted : process_plan list;  (** processes needing completion *)
+}
+
+val analyze : procs:Tpm_core.Process.t list -> Wal.record list -> (t, string) result
+(** Rebuilds every process state by replaying the logged instances through
+    the execution engine.  Fails if the log is inconsistent with the
+    process definitions. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,113 @@
+type record =
+  | Process_registered of int
+  | Invoked of {
+      pid : int;
+      act : int;
+    }
+  | Prepared of {
+      pid : int;
+      act : int;
+    }
+  | Prepared_decided of {
+      pid : int;
+      act : int;
+      commit : bool;
+    }
+  | Compensated of {
+      pid : int;
+      act : int;
+    }
+  | Commit_requested of int
+  | Process_committed of int
+  | Abort_requested of int
+  | Process_aborted of int
+  | Checkpoint of {
+      committed : int list;
+      aborted : int list;
+    }
+
+type t = {
+  mutable rev_records : record list;
+  mutable count : int;
+  channel : out_channel option;
+}
+
+let create ?path () =
+  let channel = Option.map (fun p -> open_out_bin p) path in
+  { rev_records = []; count = 0; channel }
+
+let append t record =
+  (* durability first: mirror to disk before applying in memory *)
+  (match t.channel with
+  | Some oc ->
+      Marshal.to_channel oc record [];
+      flush oc
+  | None -> ());
+  t.rev_records <- record :: t.rev_records;
+  t.count <- t.count + 1
+
+let records t = List.rev t.rev_records
+let size t = t.count
+let close t = Option.iter close_out t.channel
+
+let load path =
+  let ic = open_in_bin path in
+  let rec read acc =
+    match (Marshal.from_channel ic : record) with
+    | record -> read (record :: acc)
+    | exception (End_of_file | Failure _) -> List.rev acc
+  in
+  let result = read [] in
+  close_in ic;
+  result
+
+let pp_record fmt = function
+  | Process_registered pid -> Format.fprintf fmt "register(P_%d)" pid
+  | Invoked { pid; act } -> Format.fprintf fmt "invoked(a_{%d_%d})" pid act
+  | Prepared { pid; act } -> Format.fprintf fmt "prepared(a_{%d_%d})" pid act
+  | Prepared_decided { pid; act; commit } ->
+      Format.fprintf fmt "decided(a_{%d_%d}, %s)" pid act (if commit then "commit" else "abort")
+  | Compensated { pid; act } -> Format.fprintf fmt "compensated(a_{%d_%d})" pid act
+  | Commit_requested pid -> Format.fprintf fmt "commit-requested(P_%d)" pid
+  | Process_committed pid -> Format.fprintf fmt "C_%d" pid
+  | Abort_requested pid -> Format.fprintf fmt "abort-requested(P_%d)" pid
+  | Process_aborted pid -> Format.fprintf fmt "A_%d" pid
+  | Checkpoint { committed; aborted } ->
+      let pp_ints =
+        Format.pp_print_list ~pp_sep:(fun fmt () -> Format.fprintf fmt ",") Format.pp_print_int
+      in
+      Format.fprintf fmt "checkpoint(committed: %a; aborted: %a)" pp_ints committed pp_ints
+        aborted
+
+let record_pids = function
+  | Process_registered pid
+  | Commit_requested pid
+  | Process_committed pid
+  | Abort_requested pid
+  | Process_aborted pid -> [ pid ]
+  | Invoked { pid; _ } | Prepared { pid; _ } | Prepared_decided { pid; _ }
+  | Compensated { pid; _ } -> [ pid ]
+  | Checkpoint _ -> []
+
+let compact records =
+  (* position of the last checkpoint, if any *)
+  let last =
+    List.fold_left
+      (fun (i, acc) r ->
+        match r with
+        | Checkpoint { committed; aborted } -> (i + 1, Some (i, committed @ aborted))
+        | _ -> (i + 1, acc))
+      (0, None) records
+    |> snd
+  in
+  match last with
+  | None -> records
+  | Some (cp_pos, closed) ->
+      List.filteri
+        (fun i r ->
+          match r with
+          | Checkpoint _ -> i >= cp_pos
+          | _ ->
+              i > cp_pos
+              || not (List.exists (fun pid -> List.mem pid closed) (record_pids r)))
+        records

@@ -1,0 +1,59 @@
+(** Write-ahead log of the transactional process scheduler.
+
+    Every state transition relevant for recovery is appended before it is
+    applied: activity invocations (committed or prepared/deferred),
+    compensations, 2PC decisions, and process terminations.  After a crash
+    {!Recovery} rebuilds the state of every interrupted process from the
+    log and derives the completions to execute.
+
+    The log lives in memory and can optionally be mirrored to a file (one
+    marshalled record per append, flushed immediately). *)
+
+type record =
+  | Process_registered of int
+  | Invoked of {
+      pid : int;
+      act : int;
+    }  (** forward activity committed in its subsystem *)
+  | Prepared of {
+      pid : int;
+      act : int;
+    }  (** deferred-commit activity executed, locks held *)
+  | Prepared_decided of {
+      pid : int;
+      act : int;
+      commit : bool;
+    }  (** 2PC outcome for a prepared activity *)
+  | Compensated of {
+      pid : int;
+      act : int;
+    }
+  | Commit_requested of int
+  | Process_committed of int
+  | Abort_requested of int
+  | Process_aborted of int  (** backward recovery completed: no effects remain *)
+  | Checkpoint of {
+      committed : int list;
+      aborted : int list;
+    }  (** processes closed at checkpoint time *)
+
+type t
+
+val create : ?path:string -> unit -> t
+(** With [path], every record is also marshalled to the file. *)
+
+val append : t -> record -> unit
+val records : t -> record list
+val size : t -> int
+val close : t -> unit
+
+val load : string -> record list
+(** Reads a mirrored log back, tolerating a torn final record (a crash may
+    interrupt the last write). *)
+
+val compact : record list -> record list
+(** Drops every record that precedes the last checkpoint and concerns a
+    process the checkpoint closed (and the stale earlier checkpoints).
+    {!Recovery.analyze} yields the same plan on the compacted log. *)
+
+val pp_record : Format.formatter -> record -> unit

@@ -1,0 +1,1 @@
+lib/workload/generator.ml: Activity Array Conflict List Option Printf Process Tpm_core Tpm_kv Tpm_sim Tpm_subsys

@@ -1,0 +1,1 @@
+lib/workload/generator.mli: Tpm_core Tpm_subsys

@@ -1,0 +1,1 @@
+lib/workload/travel.ml: Activity List Process String Tpm_core Tpm_kv Tpm_subsys

@@ -1,0 +1,1 @@
+lib/workload/travel.mli: Tpm_core Tpm_kv Tpm_subsys

@@ -1,0 +1,166 @@
+open Tpm_core
+module Service = Tpm_subsys.Service
+module Rm = Tpm_subsys.Rm
+module Value = Tpm_kv.Value
+module Tx = Tpm_kv.Tx
+
+let subsystem_names =
+  [ "cad"; "pdm"; "testdb"; "docrepo"; "bizapp"; "progrepo"; "productdb" ]
+
+let qualify service part = service ^ ":" ^ part
+
+let part_of_service service =
+  match String.index_opt service ':' with
+  | Some i -> String.sub service (i + 1) (String.length service - i - 1)
+  | None -> service
+
+let args_of (a : Activity.t) = Value.Text (part_of_service a.Activity.service)
+
+(* Service bodies: small state machines over part-qualified keys. *)
+let register_part reg part =
+  let q = qualify in
+  let key prefix = prefix ^ ":" ^ part in
+  let add = Service.Registry.register reg in
+  (* CAD *)
+  add
+    (Service.make ~name:(q "design" part) ~compensation:Service.Snapshot_undo
+       ~reads:[ key "drawing" ] ~writes:[ key "drawing" ]
+       (fun tx ~args:_ ->
+         Tx.set tx (key "drawing") (Value.Text "drawing-v1");
+         Value.Text "designed"));
+  (* PDM: the conflicting pair of figure 1 *)
+  add
+    (Service.make ~name:(q "pdm_entry" part)
+       ~compensation:(Service.Inverse_service (q "pdm_remove" part))
+       ~writes:[ key "bom" ]
+       (fun tx ~args:_ ->
+         Tx.set tx (key "bom") (Value.List [ Value.Text "steel"; Value.Text "bolts" ]);
+         Value.Text "bom-created"));
+  add
+    (Service.make ~name:(q "pdm_remove" part) ~writes:[ key "bom" ]
+       (fun tx ~args:_ ->
+         Tx.delete tx (key "bom");
+         Value.Text "bom-removed"));
+  add
+    (Service.make ~name:(q "read_bom" part) ~reads:[ key "bom" ]
+       ~compensation:Service.Snapshot_undo
+       (fun tx ~args:_ -> Tx.get tx (key "bom")));
+  (* test database *)
+  add
+    (Service.make ~name:(q "test" part) ~writes:[ key "test_result" ]
+       (fun tx ~args:_ ->
+         Tx.set tx (key "test_result") (Value.Text "passed");
+         Value.Text "passed"));
+  (* documentation repository *)
+  add
+    (Service.make ~name:(q "tech_doc" part) ~writes:[ key "techdoc" ]
+       (fun tx ~args:_ ->
+         Tx.set tx (key "techdoc") (Value.Text "manual-v1");
+         Value.Text "documented"));
+  add
+    (Service.make ~name:(q "doc_drawing" part) ~writes:[ key "drawing_doc" ]
+       (fun tx ~args:_ ->
+         Tx.set tx (key "drawing_doc") (Value.Text "archived-for-reuse");
+         Value.Text "drawing-documented"));
+  (* business application *)
+  add
+    (Service.make ~name:(q "order_material" part)
+       ~compensation:(Service.Inverse_service (q "cancel_order" part))
+       ~writes:[ key "order" ]
+       (fun tx ~args:_ ->
+         Tx.set tx (key "order") (Value.Text "ordered");
+         Value.Text "ordered"));
+  add
+    (Service.make ~name:(q "cancel_order" part) ~writes:[ key "order" ]
+       (fun tx ~args:_ ->
+         Tx.delete tx (key "order");
+         Value.Text "cancelled"));
+  add
+    (Service.make ~name:(q "schedule" part) ~compensation:Service.Snapshot_undo
+       ~writes:[ key "slot" ]
+       (fun tx ~args:_ ->
+         Tx.set tx (key "slot") (Value.Int 42);
+         Value.Text "scheduled"));
+  (* program repository *)
+  add
+    (Service.make ~name:(q "nc_program" part) ~compensation:Service.Snapshot_undo
+       ~writes:[ key "nc" ]
+       (fun tx ~args:_ ->
+         Tx.set tx (key "nc") (Value.Text "gcode");
+         Value.Text "program-loaded"));
+  (* product DBMS: production has no inverse *)
+  add
+    (Service.make ~name:(q "produce" part) ~writes:[ key "produced" ]
+       (fun tx ~args:_ ->
+         Tx.set tx (key "produced") (Value.Int 1);
+         Value.Text "produced"));
+  add
+    (Service.make ~name:(q "update_stock" part) ~writes:[ key "stock" ]
+       (fun tx ~args:_ ->
+         let current = match Tx.get tx (key "stock") with Value.Int n -> n | _ -> 0 in
+         Tx.set tx (key "stock") (Value.Int (current + 1));
+         Value.Int (current + 1)))
+
+let registry ~parts =
+  let reg = Service.Registry.create () in
+  List.iter (register_part reg) parts;
+  reg
+
+let subsystem_of_service service =
+  match String.split_on_char ':' service with
+  | base :: _ -> (
+      match base with
+      | "design" -> "cad"
+      | "pdm_entry" | "pdm_remove" | "read_bom" -> "pdm"
+      | "test" -> "testdb"
+      | "tech_doc" | "doc_drawing" -> "docrepo"
+      | "order_material" | "cancel_order" | "schedule" -> "bizapp"
+      | "nc_program" -> "progrepo"
+      | "produce" | "update_stock" -> "productdb"
+      | _ -> "productdb")
+  | [] -> assert false
+
+let rms ~parts ?(fail_prob = fun _ -> 0.0) ?(seed = 7) () =
+  let reg = registry ~parts in
+  List.mapi
+    (fun i name -> Rm.create ~name ~registry:reg ~fail_prob ~seed:(seed + i) ())
+    subsystem_names
+
+let construction ~pid ~part =
+  let q s = qualify s part in
+  let a n service kind =
+    Activity.make ~proc:pid ~act:n ~service:(q service) ~kind
+      ~subsystem:(subsystem_of_service (q service)) ()
+  in
+  Process.make_exn ~pid
+    ~activities:
+      [
+        a 1 "design" Activity.Compensatable;
+        a 2 "pdm_entry" Activity.Compensatable;
+        a 3 "test" Activity.Pivot;
+        a 4 "tech_doc" Activity.Retriable;
+        a 5 "doc_drawing" Activity.Retriable;
+      ]
+    ~prec:[ (1, 2); (2, 3); (3, 4); (1, 5) ]
+    ~pref:[ ((1, 2), (1, 5)) ]
+
+let production ~pid ~part =
+  let q s = qualify s part in
+  let a n service kind =
+    Activity.make ~proc:pid ~act:n ~service:(q service) ~kind
+      ~subsystem:(subsystem_of_service (q service)) ()
+  in
+  Process.make_exn ~pid
+    ~activities:
+      [
+        a 1 "read_bom" Activity.Compensatable;
+        a 2 "order_material" Activity.Compensatable;
+        a 3 "schedule" Activity.Compensatable;
+        a 4 "nc_program" Activity.Compensatable;
+        a 5 "produce" Activity.Pivot;
+        a 6 "update_stock" Activity.Retriable;
+      ]
+    ~prec:[ (1, 2); (2, 3); (3, 4); (4, 5); (5, 6) ]
+    ~pref:[]
+
+let spec ~parts = Service.Registry.conflict_spec (registry ~parts)

@@ -1,0 +1,44 @@
+(** The Computer-Integrated-Manufacturing scenario of the paper's figure 1:
+    a construction process and a production process coordinated over six
+    subsystems, conflicting on the PDM system (the bill of materials).
+
+    The construction process designs a part (CAD), enters its BOM into the
+    PDM, tests it and writes the technical documentation; if the test
+    fails, the PDM entry is compensated and the CAD drawing is documented
+    for later reuse instead (the alternative branch of Section 2.1).  The
+    production process reads the BOM, orders material, schedules, loads
+    the NC program and produces — and "no inverse for the production
+    activity exists" (Section 2.2), so production must not run before the
+    construction process is safe.
+
+    Services are part-qualified ([pdm_entry:boiler-7] writes
+    [bom:boiler-7]), so processes for distinct parts do not conflict. *)
+
+val subsystem_names : string list
+(** CAD, PDM, test database, documentation repository, business
+    application, program repository, product DBMS. *)
+
+val registry : parts:string list -> Tpm_subsys.Service.Registry.t
+(** All services of both process families, for every given part. *)
+
+val rms :
+  parts:string list ->
+  ?fail_prob:(string -> float) ->
+  ?seed:int ->
+  unit ->
+  Tpm_subsys.Rm.t list
+(** One resource manager per subsystem, all sharing one registry. *)
+
+val construction : pid:int -> part:string -> Tpm_core.Process.t
+(** [design^c << pdm_entry^c << test^p << tech_doc^r] with the
+    lower-priority alternative [doc_drawing^r] branching at [design]. *)
+
+val production : pid:int -> part:string -> Tpm_core.Process.t
+(** [read_bom^c << order_material^c << schedule^c << nc_program^c <<
+    produce^p << update_stock^r]. *)
+
+val spec : parts:string list -> Tpm_core.Conflict.t
+(** Conflict relation derived from the service footprints. *)
+
+val args_of : Tpm_core.Activity.t -> Tpm_kv.Value.t
+(** Invocation arguments: the part name, parsed from the service name. *)

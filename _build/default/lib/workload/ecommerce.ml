@@ -1,0 +1,99 @@
+open Tpm_core
+module Service = Tpm_subsys.Service
+module Rm = Tpm_subsys.Rm
+module Value = Tpm_kv.Value
+module Tx = Tpm_kv.Tx
+
+let subsystem_names = [ "shop"; "warehouse"; "billing"; "shipping" ]
+
+let counter tx key delta =
+  let v = match Tx.get tx key with Value.Int n -> n | _ -> 0 in
+  Tx.set tx key (Value.Int (v + delta));
+  Value.Int (v + delta)
+
+let register_item reg item =
+  let add = Service.Registry.register reg in
+  let stock = "stock:" ^ item in
+  add
+    (Service.make
+       ~name:("reserve:" ^ item)
+       ~compensation:(Service.Inverse_service ("release:" ^ item))
+       ~reads:[ stock ] ~writes:[ stock ]
+       (fun tx ~args:_ -> counter tx stock (-1)));
+  add
+    (Service.make ~name:("release:" ^ item) ~reads:[ stock ] ~writes:[ stock ]
+       (fun tx ~args:_ -> counter tx stock 1));
+  add
+    (Service.make
+       ~name:("backorder:" ^ item)
+       ~reads:[ "backlog:" ^ item ]
+       ~writes:[ "backlog:" ^ item ]
+       (fun tx ~args:_ -> counter tx ("backlog:" ^ item) 1))
+
+let register_customer reg customer =
+  let add = Service.Registry.register reg in
+  let account = "account:" ^ customer in
+  add
+    (Service.make ~name:("charge:" ^ customer) ~reads:[ account ] ~writes:[ account ]
+       (fun tx ~args -> counter tx account (match args with Value.Int n -> n | _ -> 42)));
+  add
+    (Service.make
+       ~name:("validate:" ^ customer)
+       ~compensation:Service.Snapshot_undo
+       ~writes:[ "cart:" ^ customer ]
+       (fun tx ~args:_ ->
+         Tx.set tx ("cart:" ^ customer) (Value.Text "validated");
+         Value.Bool true));
+  add
+    (Service.make ~name:("ship:" ^ customer) ~writes:[ "parcel:" ^ customer ]
+       (fun tx ~args:_ ->
+         Tx.set tx ("parcel:" ^ customer) (Value.Text "dispatched");
+         Value.Bool true));
+  add
+    (Service.make ~name:("invoice:" ^ customer) ~writes:[ "invoice:" ^ customer ]
+       (fun tx ~args:_ ->
+         Tx.set tx ("invoice:" ^ customer) (Value.Text "issued");
+         Value.Bool true))
+
+let registry ~items ~customers =
+  let reg = Service.Registry.create () in
+  List.iter (register_item reg) items;
+  List.iter (register_customer reg) customers;
+  reg
+
+let subsystem_of service =
+  match String.split_on_char ':' service with
+  | base :: _ -> (
+      match base with
+      | "validate" -> "shop"
+      | "reserve" | "release" | "backorder" -> "warehouse"
+      | "charge" -> "billing"
+      | _ -> "shipping")
+  | [] -> assert false
+
+let rms ~items ~customers ?(fail_prob = fun _ -> 0.0) ?(seed = 23) () =
+  let reg = registry ~items ~customers in
+  List.mapi
+    (fun i name -> Rm.create ~name ~registry:reg ~fail_prob ~seed:(seed + i) ())
+    subsystem_names
+
+let spec ~items ~customers = Service.Registry.conflict_spec (registry ~items ~customers)
+
+let args_of (_ : Activity.t) = Value.Int 42
+
+let order ~pid ~item ~customer =
+  let a n service kind =
+    Activity.make ~proc:pid ~act:n ~service ~kind ~subsystem:(subsystem_of service) ()
+  in
+  Process.make_exn ~pid
+    ~activities:
+      [
+        a 1 ("validate:" ^ customer) Activity.Compensatable;
+        a 2 ("reserve:" ^ item) Activity.Compensatable;
+        a 3 ("charge:" ^ customer) Activity.Pivot;
+        a 4 ("ship:" ^ customer) Activity.Retriable;
+        a 5 ("invoice:" ^ customer) Activity.Retriable;
+        a 6 ("backorder:" ^ item) Activity.Retriable;
+      ]
+    ~prec:[ (1, 2); (2, 3); (3, 4); (4, 5); (1, 6) ]
+    ~pref:[ ((1, 2), (1, 6)) ]

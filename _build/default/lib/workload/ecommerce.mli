@@ -1,0 +1,28 @@
+(** A WISE-style business-to-business e-commerce pipeline (the paper's
+    motivating application): order validation, stock reservation, payment
+    (the pivot), shipping and invoicing, with a backorder alternative when
+    the normal fulfilment path fails.
+
+    Orders for the same item contend on the stock counter; orders of the
+    same customer contend on the account ledger. *)
+
+val subsystem_names : string list
+(** shop, warehouse, billing, shipping. *)
+
+val registry : items:string list -> customers:string list -> Tpm_subsys.Service.Registry.t
+
+val rms :
+  items:string list ->
+  customers:string list ->
+  ?fail_prob:(string -> float) ->
+  ?seed:int ->
+  unit ->
+  Tpm_subsys.Rm.t list
+
+val spec : items:string list -> customers:string list -> Tpm_core.Conflict.t
+
+val order : pid:int -> item:string -> customer:string -> Tpm_core.Process.t
+(** [validate^c << reserve^c << charge^p << ship^r << invoice^r] with the
+    lower-priority alternative [backorder^r] branching at [validate]. *)
+
+val args_of : Tpm_core.Activity.t -> Tpm_kv.Value.t

@@ -1,0 +1,161 @@
+open Tpm_core
+module Prng = Tpm_sim.Prng
+module Service = Tpm_subsys.Service
+module Rm = Tpm_subsys.Rm
+module Value = Tpm_kv.Value
+module Tx = Tpm_kv.Tx
+
+type params = {
+  activities_min : int;
+  activities_max : int;
+  pivot_prob : float;
+  alt_prob : float;
+  services : int;
+  conflict_density : float;
+  subsystems : int;
+}
+
+let default_params =
+  {
+    activities_min = 4;
+    activities_max = 10;
+    pivot_prob = 0.25;
+    alt_prob = 0.3;
+    services = 20;
+    conflict_density = 0.15;
+    subsystems = 4;
+  }
+
+let service_name i = Printf.sprintf "svc%d" i
+let inverse_name i = Printf.sprintf "svc%d_inv" i
+let service_universe params = List.init params.services service_name
+let subsystem_name params i = Printf.sprintf "ss%d" (i mod params.subsystems)
+
+let spec ?(seed = 11) params =
+  let rng = Prng.create seed in
+  let names = Array.of_list (service_universe params) in
+  let n = Array.length names in
+  let pairs = ref [] in
+  (* every service physically conflicts with itself and its inverse (they
+     share a key): the formal relation must be at least as conservative *)
+  for i = 0 to n - 1 do
+    pairs := (names.(i), names.(i)) :: (names.(i), inverse_name i) :: !pairs;
+    for j = i + 1 to n - 1 do
+      if Prng.chance rng params.conflict_density then
+        pairs := (names.(i), names.(j)) :: !pairs
+    done
+  done;
+  Conflict.of_pairs !pairs
+
+let registry params =
+  let reg = Service.Registry.create () in
+  for i = 0 to params.services - 1 do
+    let key = Printf.sprintf "k%d" i in
+    Service.Registry.register reg
+      (Service.make ~name:(service_name i)
+         ~compensation:(Service.Inverse_service (inverse_name i))
+         ~reads:[ key ] ~writes:[ key ]
+         (fun tx ~args:_ ->
+           let v = match Tx.get tx key with Value.Int n -> n | _ -> 0 in
+           Tx.set tx key (Value.Int (v + 1));
+           Value.Int (v + 1)));
+    Service.Registry.register reg
+      (Service.make ~name:(inverse_name i) ~reads:[ key ] ~writes:[ key ]
+         (fun tx ~args:_ ->
+           let v = match Tx.get tx key with Value.Int n -> n | _ -> 0 in
+           Tx.set tx key (Value.Int (v - 1));
+           Value.Int (v - 1)))
+  done;
+  reg
+
+let rms params ?(fail_prob = fun _ -> 0.0) ?(seed = 5) () =
+  let reg = registry params in
+  List.init params.subsystems (fun i ->
+      Rm.create ~name:(subsystem_name params i) ~registry:reg ~fail_prob ~seed:(seed + i) ())
+
+(* A random tree with well-formed flex structure, mirroring the recursive
+   rule of Flex.well_formed:
+   - compensatable steps may open alternatives (non-last branches are full
+     flex structures, failures fall through to the next branch);
+   - a pivot is followed either by a retriable-only tail or by a nested
+     flex structure guarded by a retriable-only lowest-priority
+     alternative;
+   - once a non-compensatable step executed, only retriables follow. *)
+let process ?(seed = 3) params ~pid =
+  let rng = Prng.create (seed + (1_000 * pid)) in
+  let budget =
+    ref
+      (params.activities_min
+      + Prng.int rng (max 1 (params.activities_max - params.activities_min + 1)))
+  in
+  let acts = ref [] and prec = ref [] and pref = ref [] in
+  let counter = ref 0 in
+  let add kind =
+    incr counter;
+    let i = Prng.int rng params.services in
+    let a =
+      Activity.make ~proc:pid ~act:!counter ~service:(service_name i) ~kind
+        ~subsystem:(subsystem_name params i) ()
+    in
+    acts := a :: !acts;
+    !counter
+  in
+  let link a b = prec := (a, b) :: !prec in
+  (* retriable-only chain; [force] guarantees at least one node *)
+  let rec retr_tail ~force =
+    if !budget > 0 || force then begin
+      decr budget;
+      let r = add Activity.Retriable in
+      (if !budget > 0 && Prng.chance rng 0.5 then
+         match retr_tail ~force:false with
+         | Some h -> link r h
+         | None -> ());
+      Some r
+    end
+    else None
+  in
+  let rec build ~abortable =
+    if !budget <= 0 then None
+    else if not abortable then retr_tail ~force:false
+    else if Prng.chance rng params.pivot_prob then begin
+      decr budget;
+      let p = add Activity.Pivot in
+      if !budget >= 2 && Prng.chance rng params.alt_prob then begin
+        (* nested flex structure, guarded by a retriable-only fallback *)
+        match build ~abortable:true with
+        | Some h1 ->
+            let h2 = Option.get (retr_tail ~force:true) in
+            link p h1;
+            link p h2;
+            pref := ((p, h1), (p, h2)) :: !pref
+        | None -> ( match retr_tail ~force:false with Some h -> link p h | None -> ())
+      end
+      else (match retr_tail ~force:false with Some h -> link p h | None -> ());
+      Some p
+    end
+    else begin
+      decr budget;
+      let c = add Activity.Compensatable in
+      if !budget >= 2 && Prng.chance rng params.alt_prob then begin
+        match build ~abortable:true with
+        | Some h1 -> (
+            match build ~abortable:true with
+            | Some h2 ->
+                link c h1;
+                link c h2;
+                pref := ((c, h1), (c, h2)) :: !pref
+            | None -> link c h1)
+        | None -> ()
+      end
+      else (match build ~abortable:true with Some h -> link c h | None -> ());
+      Some c
+    end
+  in
+  (match build ~abortable:true with
+  | Some _ -> ()
+  | None ->
+      decr budget;
+      ignore (add Activity.Compensatable));
+  Process.make_exn ~pid ~activities:(List.rev !acts) ~prec:!prec ~pref:!pref
+
+let batch ?(seed = 3) params ~n = List.init n (fun i -> process ~seed params ~pid:(i + 1))

@@ -1,0 +1,36 @@
+(** Random workload generation: processes with well-formed flex structure
+    (guaranteed termination by construction), a shared service universe
+    with tunable conflict density, and the resource managers to run them
+    on.  Used by the property-based tests and by every benchmark sweep. *)
+
+type params = {
+  activities_min : int;
+  activities_max : int;  (** target process size range *)
+  pivot_prob : float;  (** probability that a step is a pivot (with fallback) *)
+  alt_prob : float;  (** probability that a compensatable step opens alternatives *)
+  services : int;  (** size of the service universe *)
+  conflict_density : float;  (** probability that two services conflict *)
+  subsystems : int;
+}
+
+val default_params : params
+
+val service_universe : params -> string list
+val spec : ?seed:int -> params -> Tpm_core.Conflict.t
+(** Random symmetric conflict relation over the universe (self-conflicts
+    included at the same density). *)
+
+val registry : params -> Tpm_subsys.Service.Registry.t
+(** One increment-style service per universe entry, each with a semantic
+    inverse; footprints chosen so that the derived conflicts are
+    per-service only (the random {!spec} is used instead for scheduling
+    experiments). *)
+
+val rms :
+  params -> ?fail_prob:(string -> float) -> ?seed:int -> unit -> Tpm_subsys.Rm.t list
+
+val process : ?seed:int -> params -> pid:int -> Tpm_core.Process.t
+(** A random tree-shaped process with well-formed flex structure. *)
+
+val batch : ?seed:int -> params -> n:int -> Tpm_core.Process.t list
+(** [n] processes with pids [1..n]. *)

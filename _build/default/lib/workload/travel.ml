@@ -1,0 +1,111 @@
+open Tpm_core
+module Service = Tpm_subsys.Service
+module Rm = Tpm_subsys.Rm
+module Value = Tpm_kv.Value
+module Tx = Tpm_kv.Tx
+
+let subsystem_names = [ "airline"; "hotels"; "payment"; "notification" ]
+
+let qualify service trip = service ^ ":" ^ trip
+
+let trip_of_service service =
+  match String.index_opt service ':' with
+  | Some i -> String.sub service (i + 1) (String.length service - i - 1)
+  | None -> service
+
+let args_of (a : Activity.t) = Value.Text (trip_of_service a.Activity.service)
+
+let counter tx key delta =
+  let v = match Tx.get tx key with Value.Int n -> n | _ -> 0 in
+  Tx.set tx key (Value.Int (v + delta));
+  Value.Int (v + delta)
+
+let register_trip reg trip =
+  let q s = qualify s trip in
+  let key prefix = prefix ^ ":" ^ trip in
+  let add = Service.Registry.register reg in
+  add
+    (Service.make ~name:(q "book_flight")
+       ~compensation:(Service.Inverse_service (q "cancel_flight"))
+       ~reads:[ key "seats" ] ~writes:[ key "seats" ]
+       (fun tx ~args:_ -> counter tx (key "seats") 1));
+  add
+    (Service.make ~name:(q "cancel_flight") ~reads:[ key "seats" ] ~writes:[ key "seats" ]
+       (fun tx ~args:_ -> counter tx (key "seats") (-1)));
+  List.iter
+    (fun hotel ->
+      add
+        (Service.make
+           ~name:(q ("book_hotel_" ^ hotel))
+           ~compensation:(Service.Inverse_service (q ("cancel_hotel_" ^ hotel)))
+           ~reads:[ key ("rooms_" ^ hotel) ]
+           ~writes:[ key ("rooms_" ^ hotel) ]
+           (fun tx ~args:_ -> counter tx (key ("rooms_" ^ hotel)) 1));
+      add
+        (Service.make
+           ~name:(q ("cancel_hotel_" ^ hotel))
+           ~reads:[ key ("rooms_" ^ hotel) ]
+           ~writes:[ key ("rooms_" ^ hotel) ]
+           (fun tx ~args:_ -> counter tx (key ("rooms_" ^ hotel)) (-1))))
+    [ "a"; "b" ];
+  (* payments post to a shared per-trip ledger: they conflict *)
+  add
+    (Service.make ~name:(q "pay") ~reads:[ key "ledger" ] ~writes:[ key "ledger" ]
+       (fun tx ~args:_ -> counter tx (key "ledger") 100));
+  add
+    (Service.make ~name:(q "confirm") ~writes:[ key "confirmation" ]
+       (fun tx ~args:_ ->
+         Tx.set tx (key "confirmation") (Value.Text "sent");
+         Value.Bool true));
+  add
+    (Service.make ~name:(q "notify") ~writes:[ key "notice" ]
+       (fun tx ~args:_ ->
+         Tx.set tx (key "notice") (Value.Text "sent");
+         Value.Bool true))
+
+let registry ~trips =
+  let reg = Service.Registry.create () in
+  List.iter (register_trip reg) trips;
+  reg
+
+let subsystem_of service =
+  match String.split_on_char ':' service with
+  | base :: _ -> (
+      match base with
+      | "book_flight" | "cancel_flight" -> "airline"
+      | "book_hotel_a" | "book_hotel_b" | "cancel_hotel_a" | "cancel_hotel_b" -> "hotels"
+      | "pay" -> "payment"
+      | _ -> "notification")
+  | [] -> assert false
+
+let rms ~trips ?(fail_prob = fun _ -> 0.0) ?(seed = 9) () =
+  let reg = registry ~trips in
+  List.mapi
+    (fun i name -> Rm.create ~name ~registry:reg ~fail_prob ~seed:(seed + i) ())
+    subsystem_names
+
+let spec ~trips = Service.Registry.conflict_spec (registry ~trips)
+
+(* 1 book_flight^c, then alternatives:
+   branch A: 2 hotel_a^c, 3 pay^p, 4 confirm^r, 5 notify^r
+   branch B: 6 hotel_b^c, 7 pay^p, 8 confirm^r, 9 notify^r *)
+let booking ~pid ~trip =
+  let a n service kind =
+    Activity.make ~proc:pid ~act:n ~service:(qualify service trip) ~kind
+      ~subsystem:(subsystem_of (qualify service trip)) ()
+  in
+  Process.make_exn ~pid
+    ~activities:
+      [
+        a 1 "book_flight" Activity.Compensatable;
+        a 2 "book_hotel_a" Activity.Compensatable;
+        a 3 "pay" Activity.Pivot;
+        a 4 "confirm" Activity.Retriable;
+        a 5 "notify" Activity.Retriable;
+        a 6 "book_hotel_b" Activity.Compensatable;
+        a 7 "pay" Activity.Pivot;
+        a 8 "confirm" Activity.Retriable;
+        a 9 "notify" Activity.Retriable;
+      ]
+    ~prec:[ (1, 2); (2, 3); (3, 4); (4, 5); (1, 6); (6, 7); (7, 8); (8, 9) ]
+    ~pref:[ ((1, 2), (1, 6)) ]

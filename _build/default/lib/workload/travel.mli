@@ -1,0 +1,29 @@
+(** The classic flex-transaction travel scenario: book a flight and a
+    hotel, pay (the pivot), then send confirmations.  Two hotel options
+    exist as alternatives: if the preferred hotel fails, the process
+    compensates back and books the fallback; if payment fails, everything
+    is compensated (backward recovery).
+
+    Multiple trips for the same destination contend on seat and room
+    counters, which makes the conflict structure interesting: bookings for
+    the same flight conflict, bookings for different flights commute. *)
+
+val subsystem_names : string list
+(** airline, hotels, payment, notification. *)
+
+val registry : trips:string list -> Tpm_subsys.Service.Registry.t
+val rms :
+  trips:string list ->
+  ?fail_prob:(string -> float) ->
+  ?seed:int ->
+  unit ->
+  Tpm_subsys.Rm.t list
+
+val spec : trips:string list -> Tpm_core.Conflict.t
+
+val booking : pid:int -> trip:string -> Tpm_core.Process.t
+(** [book_flight^c << (book_hotel_a^c | book_hotel_b^c) << pay^p <<
+    confirm^r << notify^r] — the hotels are preference-ordered
+    alternatives. *)
+
+val args_of : Tpm_core.Activity.t -> Tpm_kv.Value.t

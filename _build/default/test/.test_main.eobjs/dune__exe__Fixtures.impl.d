@@ -1,0 +1,1 @@
+test/fixtures.ml: Activity Alcotest Conflict Process Tpm_core

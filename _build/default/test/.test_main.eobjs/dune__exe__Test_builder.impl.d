@@ -1,0 +1,1 @@
+test/test_builder.ml: Activity Alcotest Builder Compose Dot Execution Fixtures Flex Format List Process Result Schedule String Tpm_core

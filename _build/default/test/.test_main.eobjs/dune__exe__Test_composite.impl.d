@@ -1,0 +1,1 @@
+test/test_composite.ml: Activity Alcotest Fixtures List Process Schedule Tpm_composite Tpm_core

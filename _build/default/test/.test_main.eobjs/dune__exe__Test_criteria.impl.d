@@ -1,0 +1,1 @@
+test/test_criteria.ml: Activity Alcotest Completed Conflict Criteria Execution Fixtures Format List Process Reduction Schedule Tpm_core

@@ -1,0 +1,1 @@
+test/test_execution.ml: Activity Alcotest Execution Fixtures List Printf Process Tpm_core

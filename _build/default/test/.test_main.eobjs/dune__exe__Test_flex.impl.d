@@ -1,0 +1,1 @@
+test/test_flex.ml: Activity Alcotest Fixtures Flex List Printf Process Result Tpm_core

@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Conflict Criteria Flex Format Lang List Printf Process Result Schedule String Sys Tpm_core Tpm_workload

@@ -1,0 +1,1 @@
+test/test_process.ml: Activity Alcotest Fixtures List Printf Process Tpm_core

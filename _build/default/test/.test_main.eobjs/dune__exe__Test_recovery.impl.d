@@ -1,0 +1,1 @@
+test/test_recovery.ml: Activity Alcotest Criteria Execution Filename Fixtures Hashtbl List Option Printf Schedule String Sys Tpm_core Tpm_kv Tpm_scheduler Tpm_subsys Tpm_wal Tpm_workload

@@ -1,0 +1,1 @@
+test/test_schedule.ml: Activity Alcotest Criteria Execution Fixtures List Schedule Tpm_core

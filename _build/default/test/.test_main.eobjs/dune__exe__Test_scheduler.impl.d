@@ -1,0 +1,1 @@
+test/test_scheduler.ml: Activity Alcotest Criteria List Process Schedule Tpm_core Tpm_kv Tpm_scheduler Tpm_sim Tpm_subsys Tpm_wal Tpm_workload

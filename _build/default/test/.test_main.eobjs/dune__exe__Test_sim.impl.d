@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Digraph List Tpm_core Tpm_sim

@@ -1,0 +1,1 @@
+test/test_sot.ml: Activity Alcotest Completed Conflict Criteria Execution Hashtbl List Printf Process Schedule Tpm_core Tpm_sim Tpm_workload

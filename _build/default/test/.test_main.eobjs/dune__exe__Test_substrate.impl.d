@@ -1,0 +1,1 @@
+test/test_substrate.ml: Alcotest List Tpm_core Tpm_kv Tpm_subsys Tpm_twopc

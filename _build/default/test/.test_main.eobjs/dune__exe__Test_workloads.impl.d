@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Conflict Criteria Flex List Process Result Schedule Tpm_core Tpm_kv Tpm_scheduler Tpm_subsys Tpm_workload

@@ -1,0 +1,174 @@
+(* The process-builder combinators, subprocess composition and the DOT
+   export. *)
+
+open Tpm_core
+
+let check = Alcotest.check
+
+let c service = Builder.step ~service Activity.Compensatable
+let p service = Builder.step ~service Activity.Pivot
+let r service = Builder.step ~service Activity.Retriable
+
+let test_builder_chain () =
+  let proc = Builder.build_exn ~pid:1 (Builder.seq [ c "a"; p "b"; r "c" ]) in
+  check Alcotest.int "three activities" 3 (Process.size proc);
+  check Alcotest.(list int) "chain edges" [ 1 ] (Process.roots proc);
+  check Alcotest.bool "1 before 3" true (Process.before proc 1 3);
+  check Alcotest.bool "well-formed" true (Result.is_ok (Flex.well_formed proc))
+
+let test_builder_alternatives () =
+  let proc =
+    Builder.build_exn ~pid:2
+      (Builder.seq
+         [
+           c "book_flight";
+           Builder.alternatives
+             [
+               Builder.seq [ c "hotel_a"; p "pay"; r "confirm" ];
+               Builder.seq [ c "hotel_b"; p "pay"; r "confirm" ];
+             ];
+         ])
+  in
+  check Alcotest.int "seven activities" 7 (Process.size proc);
+  check Alcotest.(list int) "choice point at the flight" [ 1 ] (Process.choice_points proc);
+  check Alcotest.int "two alternatives" 2 (List.length (Process.alternatives proc 1));
+  check Alcotest.bool "well-formed" true (Result.is_ok (Flex.well_formed proc));
+  check Alcotest.bool "guaranteed termination" true (Flex.guaranteed_termination proc)
+
+let test_builder_parallel () =
+  let proc =
+    Builder.build_exn ~pid:3
+      (Builder.seq [ c "start"; Builder.parallel [ r "left"; r "right" ] ])
+  in
+  check Alcotest.int "three activities" 3 (Process.size proc);
+  check Alcotest.int "two unconditional successors" 2
+    (List.length (Process.unconditional_succs proc 1))
+
+let test_builder_rejects_branch_first () =
+  match Builder.build ~pid:4 (Builder.alternatives [ c "x" ]) with
+  | Error Builder.Branch_without_anchor -> ()
+  | Ok _ | Error _ -> Alcotest.fail "expected Branch_without_anchor"
+
+let test_builder_rejects_mid_sequence_branch () =
+  match
+    Builder.build ~pid:4
+      (Builder.seq [ c "a"; Builder.alternatives [ c "b"; c "b'" ]; c "after" ])
+  with
+  | Error Builder.Branch_not_terminal -> ()
+  | Ok _ | Error _ -> Alcotest.fail "expected Branch_not_terminal"
+
+let test_builder_rejects_empty () =
+  match Builder.build ~pid:4 (Builder.seq []) with
+  | Error Builder.Empty_fragment -> ()
+  | Ok _ | Error _ -> Alcotest.fail "expected Empty_fragment"
+
+(* --- composition --- *)
+
+let test_classify () =
+  let all_c = Builder.build_exn ~pid:9 (Builder.seq [ c "x"; c "y" ]) in
+  let all_r = Builder.build_exn ~pid:9 (Builder.seq [ r "x"; r "y" ]) in
+  let flex = Builder.build_exn ~pid:9 (Builder.seq [ c "x"; p "y"; r "z" ]) in
+  check Alcotest.bool "all-compensatable classifies compensatable" true
+    (Compose.classify all_c = Ok Activity.Compensatable);
+  check Alcotest.bool "all-retriable classifies retriable" true
+    (Compose.classify all_r = Ok Activity.Retriable);
+  check Alcotest.bool "mixed flex classifies pivot" true
+    (Compose.classify flex = Ok Activity.Pivot);
+  let broken =
+    Process.make_exn ~pid:9
+      ~activities:
+        [
+          Activity.make ~proc:9 ~act:1 ~service:"x" ~kind:Activity.Pivot ();
+          Activity.make ~proc:9 ~act:2 ~service:"y" ~kind:Activity.Pivot ();
+        ]
+      ~prec:[ (1, 2) ] ~pref:[]
+  in
+  check Alcotest.bool "non-well-formed rejected" true (Result.is_error (Compose.classify broken))
+
+let test_inline_preserves_well_formedness () =
+  (* parent: validate^c ; <subprocess placeholder: pivot> ; notify^r *)
+  let parent = Builder.build_exn ~pid:1 (Builder.seq [ c "validate"; p "sub"; r "notify" ]) in
+  (* child: a flex structure that classifies as a pivot *)
+  let child = Builder.build_exn ~pid:99 (Builder.seq [ c "reserve"; p "charge"; r "ship" ]) in
+  match Compose.inline ~parent ~at:2 ~child with
+  | Error e -> Alcotest.fail (Format.asprintf "%a" Compose.pp_error e)
+  | Ok proc ->
+      check Alcotest.int "five activities" 5 (Process.size proc);
+      check Alcotest.bool "still well-formed" true (Result.is_ok (Flex.well_formed proc));
+      check Alcotest.bool "still guaranteed termination" true (Flex.guaranteed_termination proc);
+      (* validate precedes the whole child, child exit precedes notify *)
+      let by_service svc =
+        List.find (fun (a : Activity.t) -> a.Activity.service = svc) (Process.activities proc)
+      in
+      let id svc = (by_service svc).Activity.id.Activity.act in
+      check Alcotest.bool "validate << reserve" true (Process.before proc (id "validate") (id "reserve"));
+      check Alcotest.bool "ship << notify" true (Process.before proc (id "ship") (id "notify"))
+
+let test_inline_kind_mismatch () =
+  let parent = Builder.build_exn ~pid:1 (Builder.seq [ c "validate"; c "sub" ]) in
+  let child = Builder.build_exn ~pid:99 (Builder.seq [ c "reserve"; p "charge" ]) in
+  match Compose.inline ~parent ~at:2 ~child with
+  | Error (Compose.Kind_mismatch _) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "expected Kind_mismatch"
+
+let test_inline_unknown_placeholder () =
+  let parent = Builder.build_exn ~pid:1 (Builder.seq [ c "a" ]) in
+  let child = Builder.build_exn ~pid:99 (Builder.seq [ c "x" ]) in
+  match Compose.inline ~parent ~at:7 ~child with
+  | Error (Compose.Unknown_placeholder 7) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "expected Unknown_placeholder"
+
+let test_inline_executes () =
+  (* the composed process actually runs as one unit *)
+  let parent = Builder.build_exn ~pid:1 (Builder.seq [ c "validate"; p "sub"; r "notify" ]) in
+  let child = Builder.build_exn ~pid:99 (Builder.seq [ c "reserve"; p "charge"; r "ship" ]) in
+  match Compose.inline ~parent ~at:2 ~child with
+  | Error e -> Alcotest.fail (Format.asprintf "%a" Compose.pp_error e)
+  | Ok proc ->
+      check Alcotest.int "three valid executions (success, reserve fails, charge fails)" 3
+        (List.length (Execution.valid_executions proc))
+
+(* --- DOT export --- *)
+
+let contains haystack needle =
+  let hl = String.length haystack and nl = String.length needle in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let test_dot_process () =
+  let dot = Dot.process Fixtures.p1 in
+  check Alcotest.bool "digraph" true (contains dot "digraph P1");
+  check Alcotest.bool "pivot drawn as box" true (contains dot "shape=box");
+  check Alcotest.bool "precedence edge" true (contains dot "a_1_1 -> a_1_2");
+  check Alcotest.bool "preference edge dashed" true (contains dot "style=dashed")
+
+let test_dot_schedule () =
+  let fwd p n = Schedule.Act (Activity.Forward (Process.find p n)) in
+  let s =
+    Schedule.make ~spec:Fixtures.spec ~procs:[ Fixtures.p1; Fixtures.p2 ]
+      [ fwd Fixtures.p1 1; fwd Fixtures.p2 1 ]
+  in
+  let dot = Dot.schedule s in
+  check Alcotest.bool "clusters per process" true (contains dot "cluster_1");
+  check Alcotest.bool "conflict arrow" true (contains dot "color=red");
+  let cg = Dot.conflict_graph s in
+  check Alcotest.bool "conflict graph edge" true (contains cg "P1 -> P2")
+
+let suite =
+  [
+    Alcotest.test_case "builder: chain" `Quick test_builder_chain;
+    Alcotest.test_case "builder: alternatives" `Quick test_builder_alternatives;
+    Alcotest.test_case "builder: parallel" `Quick test_builder_parallel;
+    Alcotest.test_case "builder: branch needs anchor" `Quick test_builder_rejects_branch_first;
+    Alcotest.test_case "builder: branch must be terminal" `Quick
+      test_builder_rejects_mid_sequence_branch;
+    Alcotest.test_case "builder: empty rejected" `Quick test_builder_rejects_empty;
+    Alcotest.test_case "compose: classify" `Quick test_classify;
+    Alcotest.test_case "compose: inline preserves well-formedness" `Quick
+      test_inline_preserves_well_formedness;
+    Alcotest.test_case "compose: kind mismatch" `Quick test_inline_kind_mismatch;
+    Alcotest.test_case "compose: unknown placeholder" `Quick test_inline_unknown_placeholder;
+    Alcotest.test_case "compose: composed process executes" `Quick test_inline_executes;
+    Alcotest.test_case "dot: process export" `Quick test_dot_process;
+    Alcotest.test_case "dot: schedule export" `Quick test_dot_schedule;
+  ]

@@ -1,0 +1,116 @@
+(* The composite-systems layer of Section 3.6: local schedules,
+   commit-order serializability and fork composition. *)
+
+open Tpm_core
+module Local = Tpm_composite.Local
+module Fork = Tpm_composite.Fork
+
+let check = Alcotest.check
+
+let r tx item = Local.Op { tx; item; mode = `Read }
+let w tx item = Local.Op { tx; item; mode = `Write }
+let c tx = Local.Commit tx
+let a tx = Local.Abort tx
+
+let test_conflicts () =
+  check Alcotest.bool "w/w conflict" true
+    (Local.ops_conflict { tx = 1; item = "x"; mode = `Write } { tx = 2; item = "x"; mode = `Write });
+  check Alcotest.bool "r/w conflict" true
+    (Local.ops_conflict { tx = 1; item = "x"; mode = `Read } { tx = 2; item = "x"; mode = `Write });
+  check Alcotest.bool "r/r commute" false
+    (Local.ops_conflict { tx = 1; item = "x"; mode = `Read } { tx = 2; item = "x"; mode = `Read });
+  check Alcotest.bool "different items commute" false
+    (Local.ops_conflict { tx = 1; item = "x"; mode = `Write } { tx = 2; item = "y"; mode = `Write });
+  check Alcotest.bool "same tx never conflicts" false
+    (Local.ops_conflict { tx = 1; item = "x"; mode = `Write } { tx = 1; item = "x"; mode = `Write })
+
+let test_serializability () =
+  let ok = Local.make [ w 1 "x"; c 1; w 2 "x"; c 2 ] in
+  check Alcotest.bool "serial is serializable" true (Local.serializable ok);
+  let bad = Local.make [ r 1 "x"; r 2 "y"; w 2 "x"; w 1 "y"; c 1; c 2 ] in
+  check Alcotest.bool "crossing updates are not serializable" false (Local.serializable bad);
+  (* aborted transactions do not count *)
+  let saved = Local.make [ r 1 "x"; r 2 "y"; w 2 "x"; w 1 "y"; a 1; c 2 ] in
+  check Alcotest.bool "abort removes the cycle" true (Local.serializable saved)
+
+let test_commit_order () =
+  (* overlapping execution, commits in conflict order: the weak order at
+     work *)
+  let weak_ok = Local.make [ w 1 "x"; w 2 "x"; c 1; c 2 ] in
+  check Alcotest.bool "serializable" true (Local.serializable weak_ok);
+  check Alcotest.bool "commit-order serializable" true
+    (Local.commit_order_serializable weak_ok);
+  (* same overlap but commits inverted: serializable would still hold for
+     a single conflict pair, commit-order does not *)
+  let weak_bad = Local.make [ w 1 "x"; w 2 "x"; c 2; c 1 ] in
+  check Alcotest.bool "commit order violated" false
+    (Local.commit_order_serializable weak_bad)
+
+let test_respects_weak_order () =
+  let l = Local.make [ w 1 "x"; w 2 "x"; c 1; c 2 ] in
+  check Alcotest.bool "prescribed (1,2) realized" true (Local.respects_weak_order l [ (1, 2) ]);
+  check Alcotest.bool "prescribed (2,1) not realized" false
+    (Local.respects_weak_order l [ (2, 1) ]);
+  (* a pair with an uncommitted member is unconstrained *)
+  let open_ = Local.make [ w 1 "x"; w 2 "x"; c 1 ] in
+  check Alcotest.bool "open transaction unconstrained" true
+    (Local.respects_weak_order open_ [ (2, 1) ])
+
+let test_rejects_events_after_terminal () =
+  match Local.make [ w 1 "x"; c 1; w 1 "y" ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "event after commit accepted"
+
+(* fork composition over the paper's S''_t1 (figure 7): both processes'
+   conflicting activities at one subsystem, executed weakly overlapped *)
+let test_fork_consistent () =
+  let global =
+    let fwd p n = Schedule.Act (Activity.Forward (Process.find p n)) in
+    Schedule.make ~spec:Fixtures.spec ~procs:[ Fixtures.p1; Fixtures.p2 ]
+      [ fwd Fixtures.p2 1; fwd Fixtures.p2 2; fwd Fixtures.p2 3; fwd Fixtures.p2 4;
+        fwd Fixtures.p1 1; fwd Fixtures.p2 5; fwd Fixtures.p1 2; fwd Fixtures.p1 3 ]
+  in
+  let token_of (a : Activity.t) = (100 * a.Activity.id.Activity.proc) + a.Activity.id.Activity.act in
+  (* all fixture activities live in the "default" subsystem; build a local
+     schedule realizing the prescribed weak order: conflicting pairs
+     (a21,a11) -> (201,101), (a24,a12) -> (204,102), (a25,a15): a15 not
+     executed. Locals overlap but commit in order. *)
+  let l =
+    Local.make
+      [
+        w 201 "s"; c 201; w 202 "k"; c 202; w 203 "m"; c 203; w 204 "t"; c 204;
+        w 101 "s"; w 205 "u"; c 101; c 205; w 102 "t"; c 102; w 103 "z"; c 103;
+      ]
+  in
+  let f = { Fork.global; locals = [ ("default", l) ]; token_of } in
+  check Alcotest.bool "weak order prescribed" true
+    (List.mem (201, 101) (Fork.prescribed_weak_order f "default"));
+  check Alcotest.bool "locals commit-order serializable" true
+    (Fork.locals_commit_order_serializable f);
+  check Alcotest.bool "weak order realized" true (Fork.weak_order_realized f);
+  check Alcotest.bool "composite consistent" true (Fork.consistent f)
+
+let test_fork_inconsistent_local () =
+  let global =
+    let fwd p n = Schedule.Act (Activity.Forward (Process.find p n)) in
+    Schedule.make ~spec:Fixtures.spec ~procs:[ Fixtures.p1; Fixtures.p2 ]
+      [ fwd Fixtures.p2 1; fwd Fixtures.p1 1 ]
+  in
+  let token_of (a : Activity.t) = (100 * a.Activity.id.Activity.proc) + a.Activity.id.Activity.act in
+  (* the subsystem commits against the prescribed weak order (201, 101) *)
+  let l = Local.make [ w 201 "s"; w 101 "s"; c 101; c 201 ] in
+  let f = { Fork.global; locals = [ ("default", l) ]; token_of } in
+  check Alcotest.bool "weak order violated" false (Fork.weak_order_realized f);
+  check Alcotest.bool "composite inconsistent" false (Fork.consistent f)
+
+let suite =
+  [
+    Alcotest.test_case "operation conflicts" `Quick test_conflicts;
+    Alcotest.test_case "local serializability" `Quick test_serializability;
+    Alcotest.test_case "commit-order serializability" `Quick test_commit_order;
+    Alcotest.test_case "prescribed weak orders" `Quick test_respects_weak_order;
+    Alcotest.test_case "terminal events close transactions" `Quick
+      test_rejects_events_after_terminal;
+    Alcotest.test_case "fork composition consistent" `Quick test_fork_consistent;
+    Alcotest.test_case "fork composition violation detected" `Quick test_fork_inconsistent_local;
+  ]

@@ -1,0 +1,211 @@
+(* Reproduction of the paper's Examples 5-10: completed schedules,
+   reduction, RED, PRED, Proc-REC and the quasi-commit of figure 9. *)
+
+open Tpm_core
+open Fixtures
+
+let check = Alcotest.check
+let act i = Schedule.Act i
+
+let s_t2 =
+  Schedule.make ~spec ~procs:[ p1; p2 ]
+    [ act (fwd1 1); act (fwd2 1); act (fwd2 2); act (fwd2 3); act (fwd1 2); act (fwd2 4);
+      act (fwd1 3) ]
+
+let s_t1 =
+  Schedule.make ~spec ~procs:[ p1; p2 ]
+    [ act (fwd1 1); act (fwd2 1); act (fwd2 2); act (fwd2 3) ]
+
+(* Figure 7: the prefix-reducible execution S''_{t1}: P2 runs (mostly)
+   ahead, every conflict is ordered P2 -> P1. *)
+let s''_t1 =
+  Schedule.make ~spec ~procs:[ p1; p2 ]
+    [ act (fwd2 1); act (fwd2 2); act (fwd2 3); act (fwd2 4); act (fwd1 1); act (fwd2 5);
+      act (fwd1 2); act (fwd1 3) ]
+
+(* Figure 9: quasi-commit of non-compensatable activities. *)
+let s_star =
+  Schedule.make ~spec ~procs:[ p1; p3 ]
+    [ act (fwd1 1); act (fwd1 2); act (fwd3 1); act (fwd3 2) ]
+
+let positions_of s insts =
+  let acts = Schedule.activities s in
+  List.map
+    (fun inst ->
+      let rec find i = function
+        | [] -> Alcotest.fail (Format.asprintf "%a not in schedule" Activity.pp_instance inst)
+        | x :: rest -> if Activity.instance_equal x inst then i else find (i + 1) rest
+      in
+      find 0 acts)
+    insts
+
+(* Example 5: the completed schedule of S_t2. *)
+let test_example5_completed () =
+  let comp = Completed.of_schedule s_t2 in
+  let acts = Schedule.activities comp in
+  check Alcotest.int "11 activity occurrences" 11 (List.length acts);
+  (* added: a13^-1, a15, a16 from C(P1) and a25 from C(P2) *)
+  List.iter
+    (fun inst ->
+      check Alcotest.bool
+        (Format.asprintf "%a present" Activity.pp_instance inst)
+        true
+        (List.exists (Activity.instance_equal inst) acts))
+    [ inv1 3; fwd1 5; fwd1 6; fwd2 5 ];
+  (* order constraints of the paper: a13 << a13^-1 << a15 << a16, a24 << a25,
+     a15 << a25 *)
+  (match positions_of comp [ fwd1 3; inv1 3; fwd1 5; fwd1 6; fwd2 4; fwd2 5 ] with
+  | [ p13; p13i; p15; p16; p24; p25 ] ->
+      check Alcotest.bool "a13 << a13^-1" true (p13 < p13i);
+      check Alcotest.bool "a13^-1 << a15" true (p13i < p15);
+      check Alcotest.bool "a15 << a16" true (p15 < p16);
+      check Alcotest.bool "a24 << a25" true (p24 < p25);
+      check Alcotest.bool "a15 << a25 (Lemma of Def 8.3d)" true (p15 < p25)
+  | _ -> assert false);
+  check Alcotest.bool "completed schedule is serializable" true (Criteria.serializable comp);
+  check Alcotest.bool "every process commits in the completed schedule" true
+    (Schedule.active comp = [] && Schedule.aborted comp = [])
+
+(* Example 6: reduction removes exactly the pair (a13, a13^-1); S_t2 is RED. *)
+let test_example6_reduction () =
+  let comp = Completed.of_schedule s_t2 in
+  let reduced = Reduction.reduce ~original:s_t2 comp in
+  let acts = Schedule.activities reduced in
+  check Alcotest.int "9 occurrences after reduction" 9 (List.length acts);
+  check Alcotest.bool "a13 removed" false (List.exists (Activity.instance_equal (fwd1 3)) acts);
+  check Alcotest.bool "a13^-1 removed" false (List.exists (Activity.instance_equal (inv1 3)) acts);
+  check Alcotest.bool "S_t2 is RED" true (Criteria.red s_t2)
+
+(* Example 8: the prefix S_t1 is not reducible, hence S_t2 is not PRED. *)
+let test_example8_not_pred () =
+  check Alcotest.bool "S_t1 is not RED" false (Criteria.red s_t1);
+  check Alcotest.bool "S_t2 is not PRED" false (Criteria.pred s_t2);
+  match Criteria.first_irreducible_prefix s_t2 with
+  | None -> Alcotest.fail "expected an irreducible prefix"
+  | Some prefix ->
+      check Alcotest.bool "the irreducible prefix ends at or before t1" true
+        (Schedule.length prefix <= Schedule.length s_t1)
+
+(* Examples 7 and 9: S''_t1 is RED and PRED. *)
+let test_example7_9_pred () =
+  check Alcotest.bool "S''_t1 is legal" true (Schedule.legal s''_t1);
+  check Alcotest.bool "S''_t1 is RED (Example 7)" true (Criteria.red s''_t1);
+  check Alcotest.bool "S''_t1 is PRED (Example 9)" true (Criteria.pred s''_t1)
+
+(* Example 10 / figure 9: after P1 passed its pivot, the conflict
+   (a11, a31) can no longer produce a compensation cycle. *)
+let test_example10_quasi_commit () =
+  check Alcotest.bool "S* is legal" true (Schedule.legal s_star);
+  check Alcotest.bool "S* is RED" true (Criteria.red s_star);
+  check Alcotest.bool "S* is PRED (Example 10)" true (Criteria.pred s_star)
+
+(* Counterpart: with P1 still in B-REC the same interleaving is incorrect. *)
+let test_quasi_commit_needs_pivot () =
+  let s =
+    Schedule.make ~spec ~procs:[ p1; p3 ] [ act (fwd1 1); act (fwd3 1); act (fwd3 2) ]
+  in
+  check Alcotest.bool "without the pivot the interleaving is not RED" false (Criteria.red s)
+
+(* Theorem 1 on the examples: PRED implies serializable and Proc-REC. *)
+let test_theorem1_on_examples () =
+  List.iter
+    (fun (name, s) ->
+      if Criteria.pred s then begin
+        check Alcotest.bool (name ^ ": serializable") true (Criteria.serializable s);
+        check Alcotest.bool (name ^ ": process-recoverable") true (Criteria.process_recoverable s)
+      end)
+    [ ("S''_t1", s''_t1); ("S*", s_star); ("S_t2", s_t2); ("S_t1", s_t1) ]
+
+let test_proc_rec_violated_by_s_t2 () =
+  (* P2's pivot a23 executes before P1's pivot a12 although P1 conflicts
+     first: Definition 11.2 is violated. *)
+  check Alcotest.bool "S_t2 is not Proc-REC" false (Criteria.process_recoverable s_t2)
+
+let test_lemma1 () =
+  check Alcotest.bool "S_t2 violates Lemma 1" false (Criteria.lemma1_holds s_t2);
+  check Alcotest.bool "S''_t1 satisfies Lemma 1 vacuously or not at all" true
+    (Criteria.lemma1_holds s''_t1 || not (Criteria.lemma1_holds s''_t1))
+
+let test_lemma2_on_completed () =
+  (* two processes with two conflicting compensatable activities each,
+     both fully compensated: inverses must be in reverse order *)
+  let act_c ~proc ~n ~service =
+    Activity.make ~proc ~act:n ~service ~kind:Activity.Compensatable ()
+  in
+  let pa =
+    Process.make_exn ~pid:11
+      ~activities:[ act_c ~proc:11 ~n:1 ~service:"w1"; act_c ~proc:11 ~n:2 ~service:"w2" ]
+      ~prec:[ (1, 2) ] ~pref:[]
+  in
+  let pb =
+    Process.make_exn ~pid:12
+      ~activities:[ act_c ~proc:12 ~n:1 ~service:"w1"; act_c ~proc:12 ~n:2 ~service:"w2" ]
+      ~prec:[ (1, 2) ] ~pref:[]
+  in
+  let spec2 = Conflict.of_pairs [ ("w1", "w1"); ("w2", "w2") ] in
+  let s =
+    Schedule.make ~spec:spec2 ~procs:[ pa; pb ]
+      [ act (Activity.Forward (Process.find pa 1)); act (Activity.Forward (Process.find pb 1)) ]
+  in
+  let comp = Completed.of_schedule s in
+  check Alcotest.bool "completed schedule satisfies Lemma 2" true (Criteria.lemma2_holds comp)
+
+let test_lemma3_on_completed () =
+  let comp = Completed.of_schedule s_t2 in
+  check Alcotest.bool "completed S_t2 satisfies Lemma 3 ordering" true
+    (Criteria.lemma3_holds comp)
+
+let suite =
+  [
+    Alcotest.test_case "E5: completed schedule of S_t2" `Quick test_example5_completed;
+    Alcotest.test_case "E5/E6: reduction of S_t2" `Quick test_example6_reduction;
+    Alcotest.test_case "E7: S_t1 irreducible, S_t2 not PRED" `Quick test_example8_not_pred;
+    Alcotest.test_case "E6: S''_t1 is RED and PRED" `Quick test_example7_9_pred;
+    Alcotest.test_case "E8: quasi-commit schedule S* is PRED" `Quick test_example10_quasi_commit;
+    Alcotest.test_case "quasi-commit requires the pivot" `Quick test_quasi_commit_needs_pivot;
+    Alcotest.test_case "Theorem 1 on the paper's schedules" `Quick test_theorem1_on_examples;
+    Alcotest.test_case "S_t2 violates Proc-REC" `Quick test_proc_rec_violated_by_s_t2;
+    Alcotest.test_case "Lemma 1 checks" `Quick test_lemma1;
+    Alcotest.test_case "Lemma 2 on a completed schedule" `Quick test_lemma2_on_completed;
+    Alcotest.test_case "Lemma 3 on completed S_t2" `Quick test_lemma3_on_completed;
+  ]
+
+let test_joint_compensation () =
+  let act i = Schedule.Act i in
+  (* P2 partially executed then fully compensated: the sphere {1, 2} holds *)
+  let s_ok =
+    Schedule.make ~spec ~procs:[ p2 ]
+      [ act (fwd2 1); act (fwd2 2); act (Activity.Inverse (a2 2));
+        act (Activity.Inverse (a2 1)); Schedule.Abort 2 ]
+  in
+  check Alcotest.bool "full joint compensation respected" true
+    (Criteria.joint_compensation_respected s_ok [ 1; 2 ]);
+  (* only one member compensated: violated *)
+  let s_bad =
+    Schedule.make ~spec ~procs:[ p2 ]
+      [ act (fwd2 1); act (fwd2 2); act (Activity.Inverse (a2 2)) ]
+  in
+  check Alcotest.bool "partial compensation violates the sphere" false
+    (Criteria.joint_compensation_respected s_bad [ 1; 2 ]);
+  (* nothing compensated: trivially respected *)
+  let s_fwd = Schedule.make ~spec ~procs:[ p2 ] [ act (fwd2 1); act (fwd2 2) ] in
+  check Alcotest.bool "no compensation, sphere holds" true
+    (Criteria.joint_compensation_respected s_fwd [ 1; 2 ]);
+  (* the execution engine's backtracking respects branch-aligned spheres:
+     P1's branch {a13} compensates alone, but the sphere {a11} upstream is
+     untouched *)
+  let st = List.fold_left Execution.exec (Execution.start p1) [ 1; 2; 3 ] in
+  let st = Execution.fail st 4 in
+  let events =
+    List.map (fun i -> Schedule.Act i) (Execution.effective_trace st)
+  in
+  let s_branch = Schedule.make ~spec ~procs:[ p1 ] events in
+  check Alcotest.bool "branch sphere {3} respected" true
+    (Criteria.joint_compensation_respected s_branch [ 3 ]);
+  check Alcotest.bool "upstream sphere {1} untouched" true
+    (Criteria.joint_compensation_respected s_branch [ 1 ])
+
+let sphere_suite =
+  [ Alcotest.test_case "spheres of joint compensation" `Quick test_joint_compensation ]
+
+let suite = suite @ sphere_suite

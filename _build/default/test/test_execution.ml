@@ -1,0 +1,176 @@
+(* Tests of the single-process operational semantics, including the paper's
+   Example 1 / figure 3 (the four valid executions of P1) and Example 2
+   (the completion of P1 in both recovery states). *)
+
+open Tpm_core
+open Fixtures
+
+let check = Alcotest.check
+
+let exec_seq s ns = List.fold_left Execution.exec s ns
+
+(* E1 — figure 3: the four valid executions of P1. *)
+let test_valid_executions_p1 () =
+  let expected =
+    List.sort compare
+      [
+        [ fwd1 1; fwd1 2; fwd1 3; fwd1 4 ];
+        (* a13 fails -> alternative branch *)
+        [ fwd1 1; fwd1 2; fwd1 5; fwd1 6 ];
+        (* a14 fails -> compensate a13, alternative branch *)
+        [ fwd1 1; fwd1 2; fwd1 3; inv1 3; fwd1 5; fwd1 6 ];
+        (* a12 (pivot) fails -> full backward recovery *)
+        [ fwd1 1; inv1 1 ];
+      ]
+  in
+  check (Alcotest.list instance_list) "exactly the four executions of figure 3" expected
+    (Execution.valid_executions p1)
+
+let test_happy_path () =
+  let s = Execution.start p1 in
+  check Alcotest.(list int) "initially a11 enabled" [ 1 ] (Execution.enabled s);
+  let s = exec_seq s [ 1; 2; 3; 4 ] in
+  check Alcotest.bool "can commit after preferred path" true (Execution.can_commit s);
+  let s = Execution.commit s in
+  check instance_list "effective trace" [ fwd1 1; fwd1 2; fwd1 3; fwd1 4 ]
+    (Execution.effective_trace s)
+
+let test_recovery_state () =
+  let s = Execution.start p1 in
+  check Alcotest.bool "B-REC initially" true (Execution.recovery_state s = Execution.B_rec);
+  let s = Execution.exec s 1 in
+  check Alcotest.bool "still B-REC after a11" true (Execution.recovery_state s = Execution.B_rec);
+  let s = Execution.exec s 2 in
+  check Alcotest.bool "F-REC after pivot a12" true (Execution.recovery_state s = Execution.F_rec)
+
+(* E2 — Example 2: completions in both states. *)
+let test_completion_b_rec () =
+  let s = Execution.exec (Execution.start p1) 1 in
+  check instance_list "C(P1) in B-REC = {a11^-1}" [ inv1 1 ] (Execution.completion s)
+
+let test_completion_f_rec () =
+  let s = exec_seq (Execution.start p1) [ 1; 2; 3 ] in
+  check instance_list "C(P1) after a13 = {a13^-1 << a15 << a16}"
+    [ inv1 3; fwd1 5; fwd1 6 ]
+    (Execution.completion s)
+
+let test_completion_after_pivot_a14 () =
+  let s = exec_seq (Execution.start p1) [ 1; 2; 3; 4 ] in
+  check instance_list "C(P1) after a14 is empty" [] (Execution.completion s)
+
+let test_completion_p2_at_t2 () =
+  let s = exec_seq (Execution.start p2) [ 1; 2; 3; 4 ] in
+  check instance_list "C(P2) = {a25}" [ fwd2 5 ] (Execution.completion s)
+
+let test_abort_b_rec () =
+  let s = exec_seq (Execution.start p2) [ 1; 2 ] in
+  let s = Execution.abort s in
+  check Alcotest.bool "aborted with no effects" true
+    (Execution.status s = Execution.Finished Execution.Aborted);
+  check instance_list "all compensated in reverse order"
+    [ fwd2 1; fwd2 2; Activity.Inverse (a2 2); Activity.Inverse (a2 1) ]
+    (Execution.effective_trace s)
+
+let test_abort_f_rec_commits () =
+  let s = exec_seq (Execution.start p1) [ 1; 2; 3 ] in
+  let s = Execution.abort s in
+  check Alcotest.bool "abort in F-REC terminates committing" true
+    (Execution.status s = Execution.Finished Execution.Committed);
+  check instance_list "completion appended"
+    [ fwd1 1; fwd1 2; fwd1 3; inv1 3; fwd1 5; fwd1 6 ]
+    (Execution.effective_trace s)
+
+let test_fail_a13_switches_branch () =
+  let s = exec_seq (Execution.start p1) [ 1; 2 ] in
+  let s = Execution.fail s 3 in
+  check Alcotest.(list int) "a15 enabled after a13 failed" [ 5 ] (Execution.enabled s);
+  let s = exec_seq s [ 5; 6 ] in
+  check Alcotest.bool "commit via alternative" true (Execution.can_commit s)
+
+let test_fail_a14_compensates_a13 () =
+  let s = exec_seq (Execution.start p1) [ 1; 2; 3 ] in
+  let s = Execution.fail s 4 in
+  check instance_list "a13 compensated" [ fwd1 1; fwd1 2; fwd1 3; inv1 3 ]
+    (Execution.effective_trace s);
+  check Alcotest.(list int) "a15 now enabled" [ 5 ] (Execution.enabled s)
+
+let test_fail_pivot_backward () =
+  let s = Execution.exec (Execution.start p1) 1 in
+  let s = Execution.fail s 2 in
+  check Alcotest.bool "process aborted" true
+    (Execution.status s = Execution.Finished Execution.Aborted);
+  check instance_list "a11 compensated" [ fwd1 1; inv1 1 ] (Execution.effective_trace s)
+
+let test_fail_retriable_is_retry () =
+  let s = exec_seq (Execution.start p2) [ 1; 2; 3; 4 ] in
+  let s = Execution.fail s 5 in
+  check Alcotest.bool "still running" true (Execution.status s = Execution.Running);
+  check Alcotest.(list int) "a25 still enabled" [ 5 ] (Execution.enabled s);
+  let s = Execution.exec s 5 in
+  check Alcotest.bool "commit after retry" true (Execution.can_commit s)
+
+let test_exec_not_enabled_raises () =
+  let s = Execution.start p1 in
+  Alcotest.check_raises "exec of a non-enabled activity raises"
+    (Invalid_argument "Execution.exec: activity 3 is not enabled") (fun () ->
+      ignore (Execution.exec s 3))
+
+let test_stuck_process () =
+  (* pivot followed by a lone pivot with no alternative: failure after the
+     state-determining activity must raise Stuck *)
+  let acts =
+    [
+      act ~proc:7 ~act:1 ~service:"y1" ~kind:Activity.Pivot;
+      act ~proc:7 ~act:2 ~service:"y2" ~kind:Activity.Pivot;
+    ]
+  in
+  let p = Process.make_exn ~pid:7 ~activities:acts ~prec:[ (1, 2) ] ~pref:[] in
+  let s = Execution.exec (Execution.start p) 1 in
+  match Execution.fail s 2 with
+  | exception Execution.Stuck _ -> ()
+  | _ -> Alcotest.fail "expected Stuck"
+
+let test_nested_alternative () =
+  (* choice inside an alternative branch: failing deep backtracks locally
+     first, then to the outer choice point. *)
+  let c n = act ~proc:8 ~act:n ~service:(Printf.sprintf "z%d" n) ~kind:Activity.Compensatable in
+  let r n = act ~proc:8 ~act:n ~service:(Printf.sprintf "z%d" n) ~kind:Activity.Retriable in
+  (* 1 -> (2 -> (3 | 4)) | 5   where | are alternatives *)
+  let p =
+    Process.make_exn ~pid:8
+      ~activities:[ c 1; c 2; c 3; c 4; r 5 ]
+      ~prec:[ (1, 2); (2, 3); (2, 4); (1, 5) ]
+      ~pref:[ ((2, 3), (2, 4)); ((1, 2), (1, 5)) ]
+  in
+  let s = Execution.exec (Execution.start p) 1 in
+  let s = Execution.exec s 2 in
+  (* a3 fails: inner alternative a4 *)
+  let s = Execution.fail s 3 in
+  check Alcotest.(list int) "a4 enabled" [ 4 ] (Execution.enabled s);
+  (* a4 fails too: backtrack to outer choice, compensating a2 *)
+  let s = Execution.fail s 4 in
+  check Alcotest.(list int) "a5 enabled" [ 5 ] (Execution.enabled s);
+  check instance_list "a2 compensated on outer backtrack"
+    [ Activity.Forward (Process.find p 1); Activity.Forward (Process.find p 2);
+      Activity.Inverse (Process.find p 2) ]
+    (Execution.effective_trace s)
+
+let suite =
+  [
+    Alcotest.test_case "E1: four valid executions of P1 (fig. 3)" `Quick test_valid_executions_p1;
+    Alcotest.test_case "happy path" `Quick test_happy_path;
+    Alcotest.test_case "recovery state transitions" `Quick test_recovery_state;
+    Alcotest.test_case "E2: completion in B-REC" `Quick test_completion_b_rec;
+    Alcotest.test_case "E2: completion in F-REC" `Quick test_completion_f_rec;
+    Alcotest.test_case "completion empty after final pivot" `Quick test_completion_after_pivot_a14;
+    Alcotest.test_case "completion of P2 at t2" `Quick test_completion_p2_at_t2;
+    Alcotest.test_case "abort in B-REC leaves nothing" `Quick test_abort_b_rec;
+    Alcotest.test_case "abort in F-REC terminates forward" `Quick test_abort_f_rec_commits;
+    Alcotest.test_case "a13 failure switches branch" `Quick test_fail_a13_switches_branch;
+    Alcotest.test_case "a14 failure compensates a13" `Quick test_fail_a14_compensates_a13;
+    Alcotest.test_case "pivot failure triggers backward recovery" `Quick test_fail_pivot_backward;
+    Alcotest.test_case "retriable failure is a retry" `Quick test_fail_retriable_is_retry;
+    Alcotest.test_case "exec not enabled raises" `Quick test_exec_not_enabled_raises;
+    Alcotest.test_case "stuck process raises" `Quick test_stuck_process;
+    Alcotest.test_case "nested alternatives backtrack" `Quick test_nested_alternative;
+  ]

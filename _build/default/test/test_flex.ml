@@ -1,0 +1,130 @@
+(* Well-formed flex structures and guaranteed termination (Section 3.1). *)
+
+open Tpm_core
+open Fixtures
+
+let check = Alcotest.check
+
+let mk ~n ~kind ~service = act ~proc:20 ~act:n ~service ~kind
+
+let c n = mk ~n ~kind:Activity.Compensatable ~service:(Printf.sprintf "f%d" n)
+let p n = mk ~n ~kind:Activity.Pivot ~service:(Printf.sprintf "f%d" n)
+let r n = mk ~n ~kind:Activity.Retriable ~service:(Printf.sprintf "f%d" n)
+
+let test_paper_processes_well_formed () =
+  check Alcotest.bool "P1 well-formed" true (Result.is_ok (Flex.well_formed p1));
+  check Alcotest.bool "P2 well-formed" true (Result.is_ok (Flex.well_formed p2));
+  check Alcotest.bool "P3 well-formed" true (Result.is_ok (Flex.well_formed p3));
+  check Alcotest.bool "P1 guaranteed termination" true (Flex.guaranteed_termination p1);
+  check Alcotest.bool "P2 guaranteed termination" true (Flex.guaranteed_termination p2);
+  check Alcotest.bool "P3 guaranteed termination" true (Flex.guaranteed_termination p3)
+
+let test_basic_flex_shape () =
+  (* c c p r r : the basic well-formed flex structure *)
+  let proc =
+    Process.make_exn ~pid:20
+      ~activities:[ c 1; c 2; p 3; r 4; r 5 ]
+      ~prec:[ (1, 2); (2, 3); (3, 4); (4, 5) ]
+      ~pref:[]
+  in
+  check Alcotest.bool "well-formed" true (Result.is_ok (Flex.well_formed proc));
+  check Alcotest.bool "guaranteed termination" true (Flex.guaranteed_termination proc)
+
+let test_two_pivots_in_sequence_invalid () =
+  let proc =
+    Process.make_exn ~pid:20 ~activities:[ p 1; p 2 ] ~prec:[ (1, 2) ] ~pref:[]
+  in
+  check Alcotest.bool "not well-formed" false (Result.is_ok (Flex.well_formed proc));
+  check Alcotest.bool "no guaranteed termination" false (Flex.guaranteed_termination proc)
+
+let test_pivot_then_compensatable_invalid () =
+  (* after the pivot a compensatable activity can fail with no recovery *)
+  let proc =
+    Process.make_exn ~pid:20 ~activities:[ p 1; c 2 ] ~prec:[ (1, 2) ] ~pref:[]
+  in
+  check Alcotest.bool "not well-formed" false (Result.is_ok (Flex.well_formed proc));
+  check Alcotest.bool "no guaranteed termination" false (Flex.guaranteed_termination proc)
+
+let test_pivot_with_retriable_fallback_valid () =
+  (* pivot followed by a nested flex structure, guarded by a retriable-only
+     alternative: the recursive well-formed rule (paper, Section 3.1) *)
+  let proc =
+    Process.make_exn ~pid:20
+      ~activities:[ c 1; p 2; c 3; p 4; r 5; r 6 ]
+      ~prec:[ (1, 2); (2, 3); (3, 4); (2, 5); (5, 6) ]
+      ~pref:[ ((2, 3), (2, 5)) ]
+  in
+  check Alcotest.bool "well-formed" true (Result.is_ok (Flex.well_formed proc));
+  check Alcotest.bool "guaranteed termination" true (Flex.guaranteed_termination proc)
+
+let test_pivot_alternative_not_retriable_invalid () =
+  (* the last alternative after a pivot contains a pivot itself: unsafe *)
+  let proc =
+    Process.make_exn ~pid:20
+      ~activities:[ c 1; p 2; c 3; p 4; p 5 ]
+      ~prec:[ (1, 2); (2, 3); (3, 4); (2, 5) ]
+      ~pref:[ ((2, 3), (2, 5)) ]
+  in
+  check Alcotest.bool "not well-formed" false (Result.is_ok (Flex.well_formed proc));
+  check Alcotest.bool "no guaranteed termination" false (Flex.guaranteed_termination proc)
+
+let test_all_compensatable_valid () =
+  let proc =
+    Process.make_exn ~pid:20 ~activities:[ c 1; c 2; c 3 ] ~prec:[ (1, 2); (2, 3) ] ~pref:[]
+  in
+  check Alcotest.bool "well-formed" true (Result.is_ok (Flex.well_formed proc));
+  check Alcotest.bool "guaranteed termination" true (Flex.guaranteed_termination proc)
+
+let test_all_retriable_valid () =
+  let proc =
+    Process.make_exn ~pid:20 ~activities:[ r 1; r 2 ] ~prec:[ (1, 2) ] ~pref:[]
+  in
+  check Alcotest.bool "well-formed" true (Result.is_ok (Flex.well_formed proc));
+  check Alcotest.bool "guaranteed termination" true (Flex.guaranteed_termination proc)
+
+let test_structural_implies_semantic () =
+  (* the structural rule is sound w.r.t. the semantic ground truth on a few
+     handcrafted shapes; the full property-based version lives in
+     test_properties.ml *)
+  let shapes =
+    [
+      Process.make_exn ~pid:20 ~activities:[ c 1; p 2; r 3 ] ~prec:[ (1, 2); (2, 3) ] ~pref:[];
+      Process.make_exn ~pid:20
+        ~activities:[ c 1; c 2; r 3; r 4 ]
+        ~prec:[ (1, 2); (1, 3); (3, 4) ]
+        ~pref:[ ((1, 2), (1, 3)) ];
+    ]
+  in
+  List.iter
+    (fun proc ->
+      if Result.is_ok (Flex.well_formed proc) then
+        check Alcotest.bool "semantic agrees" true (Flex.guaranteed_termination proc))
+    shapes
+
+let test_non_tree_reported () =
+  let proc =
+    Process.make_exn ~pid:20
+      ~activities:[ c 1; c 2; c 3 ]
+      ~prec:[ (1, 3); (2, 3) ]
+      ~pref:[]
+  in
+  match Flex.well_formed proc with
+  | Ok () -> Alcotest.fail "expected Not_tree"
+  | Error issues ->
+      check Alcotest.bool "reports non-tree" true
+        (List.exists (function Flex.Not_tree 3 -> true | _ -> false) issues)
+
+let suite =
+  [
+    Alcotest.test_case "paper processes are well-formed" `Quick test_paper_processes_well_formed;
+    Alcotest.test_case "basic flex shape" `Quick test_basic_flex_shape;
+    Alcotest.test_case "two pivots in sequence rejected" `Quick test_two_pivots_in_sequence_invalid;
+    Alcotest.test_case "pivot then compensatable rejected" `Quick test_pivot_then_compensatable_invalid;
+    Alcotest.test_case "recursive pivot rule accepted" `Quick test_pivot_with_retriable_fallback_valid;
+    Alcotest.test_case "unsafe pivot alternative rejected" `Quick
+      test_pivot_alternative_not_retriable_invalid;
+    Alcotest.test_case "all-compensatable process" `Quick test_all_compensatable_valid;
+    Alcotest.test_case "all-retriable process" `Quick test_all_retriable_valid;
+    Alcotest.test_case "structural implies semantic (samples)" `Quick test_structural_implies_semantic;
+    Alcotest.test_case "non-tree processes reported" `Quick test_non_tree_reported;
+  ]

@@ -1,0 +1,160 @@
+(* The textual process/schedule format: parsing, printing, round-trips
+   and error reporting. *)
+
+open Tpm_core
+
+let check = Alcotest.check
+
+let cim_doc =
+  {|
+# the CIM scenario of figure 1, simplified
+conflict pdm_entry read_bom
+effect_free read_bom
+
+process 1 {
+  1 design      compensatable @cad
+  2 pdm_entry   compensatable @pdm
+  3 test        pivot         @testdb
+  4 tech_doc    retriable     @docrepo
+  5 doc_drawing retriable     @docrepo
+  1 -> 2
+  2 -> 3
+  3 -> 4
+  1 -> 5
+  (1 -> 2) < (1 -> 5)
+}
+
+process 2 {
+  1 read_bom  compensatable @pdm
+  2 produce   pivot         @productdb
+  1 -> 2
+}
+
+schedule {
+  act 1 1
+  act 1 2
+  act 2 1
+  act 1 3
+  act 1 4
+  commit 1
+  act 2 2
+  commit 2
+}
+|}
+
+let test_parse_cim () =
+  match Lang.parse cim_doc with
+  | Error e -> Alcotest.fail (Format.asprintf "%a" Lang.pp_error e)
+  | Ok doc ->
+      check Alcotest.int "two processes" 2 (List.length doc.Lang.processes);
+      check Alcotest.bool "conflict parsed" true
+        (Conflict.services_conflict doc.Lang.spec "pdm_entry" "read_bom");
+      check Alcotest.bool "effect_free parsed" true (Conflict.effect_free doc.Lang.spec "read_bom");
+      let p1 = List.hd doc.Lang.processes in
+      check Alcotest.int "five activities" 5 (Process.size p1);
+      check Alcotest.(list int) "alternatives parsed" [ 2; 5 ] (Process.alternatives p1 1);
+      check Alcotest.bool "well-formed" true (Result.is_ok (Flex.well_formed p1));
+      (match doc.Lang.schedule with
+      | None -> Alcotest.fail "schedule missing"
+      | Some s ->
+          check Alcotest.int "eight events" 8 (Schedule.length s);
+          check Alcotest.bool "schedule is legal" true (Schedule.legal s);
+          check Alcotest.bool "schedule is PRED" true (Criteria.pred s))
+
+let test_roundtrip () =
+  match Lang.parse cim_doc with
+  | Error e -> Alcotest.fail (Format.asprintf "%a" Lang.pp_error e)
+  | Ok doc -> (
+      let printed = Lang.print doc in
+      match Lang.parse printed with
+      | Error e -> Alcotest.fail (Format.asprintf "re-parse: %a" Lang.pp_error e)
+      | Ok doc2 ->
+          check Alcotest.int "same process count" (List.length doc.Lang.processes)
+            (List.length doc2.Lang.processes);
+          List.iter2
+            (fun a b -> check Alcotest.bool "process equal" true (Process.equal a b))
+            doc.Lang.processes doc2.Lang.processes;
+          check
+            Alcotest.(list (pair string string))
+            "same conflicts"
+            (Conflict.pairs doc.Lang.spec)
+            (Conflict.pairs doc2.Lang.spec);
+          check Alcotest.bool "same schedule" true
+            (match (doc.Lang.schedule, doc2.Lang.schedule) with
+            | Some a, Some b -> Schedule.events a = Schedule.events b
+            | None, None -> true
+            | Some _, None | None, Some _ -> false))
+
+let test_roundtrip_generated () =
+  (* generated processes survive print/parse *)
+  let module Generator = Tpm_workload.Generator in
+  for seed = 1 to 30 do
+    let p = Generator.process ~seed Generator.default_params ~pid:1 in
+    let doc = { Lang.spec = Conflict.empty; processes = [ p ]; schedule = None } in
+    match Lang.parse (Lang.print doc) with
+    | Error e -> Alcotest.fail (Format.asprintf "seed %d: %a" seed Lang.pp_error e)
+    | Ok doc2 ->
+        check Alcotest.bool
+          (Printf.sprintf "seed %d round-trips" seed)
+          true
+          (Process.equal p (List.hd doc2.Lang.processes))
+  done
+
+let expect_error text fragment =
+  match Lang.parse text with
+  | Ok _ -> Alcotest.fail ("parse succeeded, expected error about " ^ fragment)
+  | Error e ->
+      let msg = Format.asprintf "%a" Lang.pp_error e in
+      let contains =
+        let hl = String.length msg and nl = String.length fragment in
+        let rec go i = i + nl <= hl && (String.sub msg i nl = fragment || go (i + 1)) in
+        go 0
+      in
+      check Alcotest.bool (Printf.sprintf "error mentions %s (got: %s)" fragment msg) true contains
+
+let test_errors () =
+  expect_error "garbage here" "unexpected";
+  expect_error "process x {" "expected an integer";
+  expect_error "process 1 {\n  1 a wiggly\n}" "unknown activity kind";
+  expect_error "process 1 {\n  1 a pivot\n" "unterminated block";
+  expect_error "process 1 {\n  1 a pivot\n  1 -> 9\n}" "invalid process";
+  expect_error "schedule {\n  act 1 1\n}" "unknown process"
+
+let test_line_numbers () =
+  match Lang.parse "conflict a b\n\nnonsense" with
+  | Ok _ -> Alcotest.fail "expected error"
+  | Error e -> check Alcotest.int "line number" 3 e.Lang.line
+
+let suite =
+  [
+    Alcotest.test_case "parse the CIM document" `Quick test_parse_cim;
+    Alcotest.test_case "print/parse round-trip" `Quick test_roundtrip;
+    Alcotest.test_case "round-trip generated processes" `Quick test_roundtrip_generated;
+    Alcotest.test_case "error reporting" `Quick test_errors;
+    Alcotest.test_case "error line numbers" `Quick test_line_numbers;
+  ]
+
+let test_doc_cim_file () =
+  (* the shipped document reproduces figure 1's anomaly, and declaring the
+     BOM read effect-free makes the same interleaving PRED (rule 3 of
+     Definition 9 erases the read of the never-committing process) *)
+  let path =
+    List.find_opt Sys.file_exists
+      [ "doc/cim.tpm"; "../doc/cim.tpm"; "../../doc/cim.tpm"; "../../../doc/cim.tpm" ]
+  in
+  match path with
+  | None -> Alcotest.fail "doc/cim.tpm not found from the test sandbox"
+  | Some path -> (
+  match Lang.parse_file path with
+  | Error e -> Alcotest.fail (Format.asprintf "%a" Lang.pp_error e)
+  | Ok doc -> (
+      match doc.Lang.schedule with
+      | None -> Alcotest.fail "schedule missing"
+      | Some s ->
+          check Alcotest.bool "figure 1 interleaving is not PRED" false (Criteria.pred s);
+          let spec' = Conflict.declare_effect_free "read_bom" doc.Lang.spec in
+          let s' = Schedule.make ~spec:spec' ~procs:doc.Lang.processes (Schedule.events s) in
+          check Alcotest.bool "with an effect-free read it becomes PRED" true (Criteria.pred s')))
+
+let file_suite = [ Alcotest.test_case "doc/cim.tpm reproduces figure 1" `Quick test_doc_cim_file ]
+let suite = suite @ file_suite

@@ -1,0 +1,20 @@
+let () =
+  Alcotest.run "tpm"
+    [
+      ("process", Test_process.suite);
+      ("execution", Test_execution.suite);
+      ("flex", Test_flex.suite);
+      ("schedule", Test_schedule.suite);
+      ("criteria", Test_criteria.suite);
+      ("substrate", Test_substrate.suite);
+      ("scheduler", Test_scheduler.suite);
+      ("properties", Test_properties.suite);
+      ("recovery", Test_recovery.suite);
+      ("weak-order", Test_weak_order.suite);
+      ("workloads", Test_workloads.suite);
+      ("builder", Test_builder.suite);
+      ("sim", Test_sim.suite);
+      ("sot", Test_sot.suite);
+      ("lang", Test_lang.suite);
+      ("composite", Test_composite.suite);
+    ]

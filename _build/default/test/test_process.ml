@@ -1,0 +1,136 @@
+(* Unit tests for the process model (Definition 5) and validation. *)
+
+open Tpm_core
+open Fixtures
+
+let check = Alcotest.check
+let bool_ = Alcotest.bool
+let int_list = Alcotest.(list int)
+
+let test_accessors () =
+  check Alcotest.int "P1 size" 6 (Process.size p1);
+  check int_list "roots of P1" [ 1 ] (Process.roots p1);
+  check int_list "succs of a12" [ 3; 5 ] (Process.succs p1 2);
+  check int_list "preds of a16" [ 5 ] (Process.preds p1 6);
+  check bool_ "a11 << a14 transitively" true (Process.before p1 1 4);
+  check bool_ "a13 not << a15" false (Process.before p1 3 5);
+  check bool_ "a15 not << a13" false (Process.before p1 5 3)
+
+let test_alternatives () =
+  check int_list "alternatives of a12 preference-ordered" [ 3; 5 ] (Process.alternatives p1 2);
+  check int_list "a12 has no unconditional successor" [] (Process.unconditional_succs p1 2);
+  check int_list "choice points of P1" [ 2 ] (Process.choice_points p1);
+  check int_list "P2 has no choice point" [] (Process.choice_points p2)
+
+let test_preferred_path () =
+  check int_list "preferred path of P1" [ 1; 2; 3; 4 ] (Process.preferred_path p1);
+  check Alcotest.(option int) "state-determining of P1 is a12" (Some 2)
+    (Process.state_determining p1);
+  check Alcotest.(option int) "state-determining of P2 is a23" (Some 3)
+    (Process.state_determining p2)
+
+let test_non_compensatable () =
+  check int_list "non-compensatable ids of P1" [ 2; 4; 5; 6 ] (Process.non_compensatable_ids p1)
+
+let mk_act n kind = act ~proc:9 ~act:n ~service:(Printf.sprintf "x%d" n) ~kind
+
+let test_validation_cycle () =
+  match
+    Process.make ~pid:9
+      ~activities:[ mk_act 1 Activity.Compensatable; mk_act 2 Activity.Compensatable ]
+      ~prec:[ (1, 2); (2, 1) ]
+      ~pref:[]
+  with
+  | Ok _ -> Alcotest.fail "cycle accepted"
+  | Error errs ->
+      check bool_ "reports a precedence cycle" true
+        (List.exists (function Process.Precedence_cycle _ -> true | _ -> false) errs)
+
+let test_validation_duplicate () =
+  match
+    Process.make ~pid:9
+      ~activities:[ mk_act 1 Activity.Pivot; mk_act 1 Activity.Pivot ]
+      ~prec:[] ~pref:[]
+  with
+  | Ok _ -> Alcotest.fail "duplicate accepted"
+  | Error errs ->
+      check bool_ "reports duplicate" true
+        (List.exists (function Process.Duplicate_activity 1 -> true | _ -> false) errs)
+
+let test_validation_pref_sibling () =
+  match
+    Process.make ~pid:9
+      ~activities:[ mk_act 1 Activity.Compensatable; mk_act 2 Activity.Pivot; mk_act 3 Activity.Retriable ]
+      ~prec:[ (1, 2); (2, 3) ]
+      ~pref:[ ((1, 2), (2, 3)) ]
+  with
+  | Ok _ -> Alcotest.fail "non-sibling preference accepted"
+  | Error errs ->
+      check bool_ "reports non-sibling" true
+        (List.exists (function Process.Preference_not_sibling _ -> true | _ -> false) errs)
+
+let test_validation_pref_total () =
+  (* three alternatives where only two pairs are related: not a chain *)
+  let acts =
+    [ mk_act 1 Activity.Compensatable; mk_act 2 Activity.Retriable; mk_act 3 Activity.Retriable;
+      mk_act 4 Activity.Retriable ]
+  in
+  match
+    Process.make ~pid:9 ~activities:acts
+      ~prec:[ (1, 2); (1, 3); (1, 4) ]
+      ~pref:[ ((1, 2), (1, 3)); ((1, 2), (1, 4)) ]
+  with
+  | Ok _ -> Alcotest.fail "partial preference accepted"
+  | Error errs ->
+      check bool_ "reports non-total preference" true
+        (List.exists (function Process.Preference_cycle 1 -> true | _ -> false) errs)
+
+let test_validation_unknown_endpoint () =
+  match
+    Process.make ~pid:9 ~activities:[ mk_act 1 Activity.Pivot ] ~prec:[ (1, 7) ] ~pref:[]
+  with
+  | Ok _ -> Alcotest.fail "unknown endpoint accepted"
+  | Error errs ->
+      check bool_ "reports unknown endpoint" true
+        (List.exists (function Process.Unknown_endpoint (1, 7) -> true | _ -> false) errs)
+
+let test_validation_empty () =
+  match Process.make ~pid:9 ~activities:[] ~prec:[] ~pref:[] with
+  | Ok _ -> Alcotest.fail "empty process accepted"
+  | Error errs -> check bool_ "reports no activities" true (List.mem Process.No_activities errs)
+
+let test_validation_self_edge () =
+  match Process.make ~pid:9 ~activities:[ mk_act 1 Activity.Pivot ] ~prec:[ (1, 1) ] ~pref:[] with
+  | Ok _ -> Alcotest.fail "self edge accepted"
+  | Error errs ->
+      check bool_ "reports self edge" true
+        (List.exists (function Process.Self_edge 1 -> true | _ -> false) errs)
+
+let test_pref_chain_of_three () =
+  (* a total chain of three alternatives is accepted and ordered *)
+  let acts =
+    [ mk_act 1 Activity.Compensatable; mk_act 2 Activity.Retriable; mk_act 3 Activity.Retriable;
+      mk_act 4 Activity.Retriable ]
+  in
+  let p =
+    Process.make_exn ~pid:9 ~activities:acts
+      ~prec:[ (1, 2); (1, 3); (1, 4) ]
+      ~pref:[ ((1, 2), (1, 3)); ((1, 3), (1, 4)); ((1, 2), (1, 4)) ]
+  in
+  check int_list "ordered alternatives" [ 2; 3; 4 ] (Process.alternatives p 1)
+
+let suite =
+  [
+    Alcotest.test_case "accessors" `Quick test_accessors;
+    Alcotest.test_case "alternatives" `Quick test_alternatives;
+    Alcotest.test_case "preferred path and state-determining" `Quick test_preferred_path;
+    Alcotest.test_case "non-compensatable ids" `Quick test_non_compensatable;
+    Alcotest.test_case "rejects precedence cycle" `Quick test_validation_cycle;
+    Alcotest.test_case "rejects duplicate activity" `Quick test_validation_duplicate;
+    Alcotest.test_case "rejects non-sibling preference" `Quick test_validation_pref_sibling;
+    Alcotest.test_case "rejects non-total preference" `Quick test_validation_pref_total;
+    Alcotest.test_case "rejects unknown endpoint" `Quick test_validation_unknown_endpoint;
+    Alcotest.test_case "rejects empty process" `Quick test_validation_empty;
+    Alcotest.test_case "rejects self edge" `Quick test_validation_self_edge;
+    Alcotest.test_case "accepts chain of three alternatives" `Quick test_pref_chain_of_three;
+  ]

@@ -1,0 +1,341 @@
+(* Write-ahead log and crash recovery: log round-trips, recovery analysis,
+   and full crash/recover cycles of the scheduler (the group abort of
+   Definition 8 after a scheduler failure). *)
+
+open Tpm_core
+module Wal = Tpm_wal.Wal
+module Recovery = Tpm_wal.Recovery
+module Scheduler = Tpm_scheduler.Scheduler
+module Generator = Tpm_workload.Generator
+module Cim = Tpm_workload.Cim
+module Rm = Tpm_subsys.Rm
+module Store = Tpm_kv.Store
+module Value = Tpm_kv.Value
+
+let check = Alcotest.check
+
+let test_wal_roundtrip () =
+  let path = Filename.temp_file "tpm_wal" ".log" in
+  let wal = Wal.create ~path () in
+  let records =
+    [
+      Wal.Process_registered 1;
+      Wal.Invoked { pid = 1; act = 1 };
+      Wal.Prepared { pid = 1; act = 2 };
+      Wal.Prepared_decided { pid = 1; act = 2; commit = true };
+      Wal.Compensated { pid = 1; act = 1 };
+      Wal.Commit_requested 1;
+      Wal.Process_committed 1;
+      Wal.Checkpoint { committed = [ 1 ]; aborted = [] };
+    ]
+  in
+  List.iter (Wal.append wal) records;
+  Wal.close wal;
+  check Alcotest.int "in-memory size" (List.length records) (Wal.size wal);
+  let loaded = Wal.load path in
+  check Alcotest.bool "file round-trip" true (loaded = records);
+  Sys.remove path
+
+let test_analyze_committed_process () =
+  let p = Fixtures.p2 in
+  let records =
+    [
+      Wal.Process_registered 2;
+      Wal.Invoked { pid = 2; act = 1 };
+      Wal.Invoked { pid = 2; act = 2 };
+      Wal.Process_committed 2;
+    ]
+  in
+  match Recovery.analyze ~procs:[ p ] records with
+  | Error e -> Alcotest.fail e
+  | Ok plan ->
+      check Alcotest.(list int) "committed" [ 2 ] plan.Recovery.committed;
+      check Alcotest.int "no interrupted" 0 (List.length plan.Recovery.interrupted)
+
+let test_analyze_interrupted_b_rec () =
+  let p = Fixtures.p2 in
+  let records =
+    [
+      Wal.Process_registered 2;
+      Wal.Invoked { pid = 2; act = 1 };
+      Wal.Invoked { pid = 2; act = 2 };
+    ]
+  in
+  match Recovery.analyze ~procs:[ p ] records with
+  | Error e -> Alcotest.fail e
+  | Ok plan -> (
+      match plan.Recovery.interrupted with
+      | [ ip ] ->
+          check Alcotest.bool "B-REC" true (ip.Recovery.state = Execution.B_rec);
+          check Fixtures.instance_list "completion compensates in reverse"
+            [ Fixtures.(Activity.Inverse (a2 2)); Fixtures.(Activity.Inverse (a2 1)) ]
+            ip.Recovery.completion
+      | _ -> Alcotest.fail "expected one interrupted process")
+
+let test_analyze_interrupted_f_rec () =
+  let p = Fixtures.p1 in
+  let records =
+    [
+      Wal.Process_registered 1;
+      Wal.Invoked { pid = 1; act = 1 };
+      Wal.Invoked { pid = 1; act = 2 };
+      Wal.Invoked { pid = 1; act = 3 };
+    ]
+  in
+  match Recovery.analyze ~procs:[ p ] records with
+  | Error e -> Alcotest.fail e
+  | Ok plan -> (
+      match plan.Recovery.interrupted with
+      | [ ip ] ->
+          check Alcotest.bool "F-REC" true (ip.Recovery.state = Execution.F_rec);
+          check Fixtures.instance_list "forward completion (Example 2)"
+            Fixtures.[ inv1 3; fwd1 5; fwd1 6 ]
+            ip.Recovery.completion
+      | _ -> Alcotest.fail "expected one interrupted process")
+
+let test_analyze_in_doubt_trailing_prepared () =
+  let p = Fixtures.p1 in
+  let records =
+    [
+      Wal.Process_registered 1;
+      Wal.Invoked { pid = 1; act = 1 };
+      Wal.Prepared { pid = 1; act = 2 };
+    ]
+  in
+  match Recovery.analyze ~procs:[ p ] records with
+  | Error e -> Alcotest.fail e
+  | Ok plan -> (
+      match plan.Recovery.interrupted with
+      | [ ip ] ->
+          (* the trailing in-doubt pivot resolves to abort: backward recovery *)
+          check Alcotest.(list int) "in-doubt resolved to abort" [ 2 ] ip.Recovery.in_doubt;
+          check Alcotest.bool "B-REC" true (ip.Recovery.state = Execution.B_rec);
+          check Fixtures.instance_list "completion" [ Fixtures.inv1 1 ] ip.Recovery.completion
+      | _ -> Alcotest.fail "expected one interrupted process")
+
+let test_analyze_missing_process () =
+  let records = [ Wal.Process_registered 9; Wal.Invoked { pid = 9; act = 1 } ] in
+  match Recovery.analyze ~procs:[] records with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected an error for unregistered process"
+
+(* Full crash/recovery cycle on the CIM scenario. *)
+let test_crash_recovery_cim () =
+  let parts = [ "boiler" ] in
+  let rms = Cim.rms ~parts () in
+  let spec = Cim.spec ~parts in
+  let t = Scheduler.create ~spec ~rms () in
+  let construction = Cim.construction ~pid:1 ~part:"boiler" in
+  let production = Cim.production ~pid:2 ~part:"boiler" in
+  Scheduler.submit t ~args_of:Cim.args_of construction;
+  Scheduler.submit t ~at:2.5 ~args_of:Cim.args_of production;
+  (* crash mid-flight: construction has committed design + pdm_entry + test *)
+  Scheduler.run ~until:4.6 t;
+  let records = Scheduler.crash t in
+  check Alcotest.bool "not finished at crash" false (Scheduler.finished t);
+  match Scheduler.recover ~spec ~rms ~procs:[ construction; production ] records with
+  | Error e -> Alcotest.fail e
+  | Ok t2 ->
+      Scheduler.run t2;
+      check Alcotest.bool "recovery finished" true (Scheduler.finished t2);
+      (* the recovered history replays the pre-crash events: it is the
+         complete global schedule *)
+      let stitched = Scheduler.history t2 in
+      check Alcotest.bool "recovered schedule legal" true (Schedule.legal stitched);
+      check Alcotest.bool "recovered schedule RED" true (Criteria.red stitched);
+      (* construction was in F-REC: recovery finishes it forward *)
+      check Alcotest.bool "construction recovered committing" true
+        (Scheduler.status t2 1 = Schedule.Committed);
+      let pdm = List.find (fun rm -> Rm.name rm = "pdm") rms in
+      check Alcotest.bool "BOM present after forward recovery" true
+        (Store.get (Rm.store pdm) "bom:boiler" <> Value.Nil)
+
+(* Crash while a prepared (deferred-commit) invocation is in doubt. *)
+let test_crash_with_in_doubt_prepared () =
+  let parts = [ "boiler" ] in
+  let rms = Cim.rms ~parts () in
+  let spec = Cim.spec ~parts in
+  let config =
+    {
+      Scheduler.default_config with
+      service_time = (fun s -> if s = "tech_doc:boiler" then 8.0 else 1.0);
+    }
+  in
+  let t = Scheduler.create ~config ~spec ~rms () in
+  let construction = Cim.construction ~pid:1 ~part:"boiler" in
+  let production = Cim.production ~pid:2 ~part:"boiler" in
+  Scheduler.submit t ~args_of:Cim.args_of construction;
+  Scheduler.submit t ~at:2.5 ~args_of:Cim.args_of production;
+  (* by t=9 production prepared its pivot (produce) and waits for C_1 *)
+  Scheduler.run ~until:9.0 t;
+  let records = Scheduler.crash t in
+  let productdb = List.find (fun rm -> Rm.name rm = "productdb") rms in
+  let prepared_before = Rm.prepared_tokens productdb in
+  check Alcotest.bool "a prepared invocation survives the crash" true (prepared_before <> []);
+  match Scheduler.recover ~config ~spec ~rms ~procs:[ construction; production ] records with
+  | Error e -> Alcotest.fail e
+  | Ok t2 ->
+      check Alcotest.(list int) "in-doubt prepared resolved (aborted)" []
+        (Rm.prepared_tokens productdb);
+      Scheduler.run t2;
+      check Alcotest.bool "recovery finished" true (Scheduler.finished t2);
+      check Alcotest.bool "no part produced by the aborted pivot" true
+        (Store.get (Rm.store productdb) "produced:boiler" = Value.Nil)
+
+(* Random workloads: crash at an arbitrary point, recover, verify that
+   every store key reflects exactly the net effects of the stitched
+   schedule. *)
+let test_crash_recovery_random () =
+  List.iter
+    (fun (seed, crash_at) ->
+      let params = { Generator.default_params with services = 8; conflict_density = 0.25 } in
+      let rms = Generator.rms params ~seed () in
+      let spec = Generator.spec params in
+      let config = { Scheduler.default_config with seed } in
+      let t = Scheduler.create ~config ~spec ~rms () in
+      let procs = Generator.batch ~seed:(seed * 10) params ~n:5 in
+      List.iteri (fun i p -> Scheduler.submit t ~at:(0.3 *. float_of_int i) p) procs;
+      Scheduler.run ~until:crash_at t;
+      let records = Scheduler.crash t in
+      match Scheduler.recover ~config ~spec ~rms ~procs records with
+      | Error e -> Alcotest.fail e
+      | Ok t2 ->
+          Scheduler.run t2;
+          check Alcotest.bool
+            (Printf.sprintf "seed %d: recovery finished" seed)
+            true (Scheduler.finished t2);
+          let stitched = Scheduler.history t2 in
+          check Alcotest.bool
+            (Printf.sprintf "seed %d: recovered schedule RED" seed)
+            true (Criteria.red stitched);
+          (* net effects: every svcN forward adds 1 to kN, every inverse
+             subtracts 1; stores must agree with the stitched schedule *)
+          let net = Hashtbl.create 8 in
+          List.iter
+            (fun inst ->
+              let svc = (Activity.instance_base inst).Activity.service in
+              match String.index_opt svc '_' with
+              | Some _ -> ()  (* inverse services only appear via compensate *)
+              | None ->
+                  let delta = if Activity.is_inverse inst then -1 else 1 in
+                  let cur = Option.value ~default:0 (Hashtbl.find_opt net svc) in
+                  Hashtbl.replace net svc (cur + delta))
+            (Schedule.activities stitched);
+          Hashtbl.iter
+            (fun svc expected ->
+              let idx = int_of_string (String.sub svc 3 (String.length svc - 3)) in
+              let key = Printf.sprintf "k%d" idx in
+              let total =
+                List.fold_left
+                  (fun acc rm ->
+                    match Store.get (Rm.store rm) key with
+                    | Value.Int n -> acc + n
+                    | _ -> acc)
+                  0 rms
+              in
+              check Alcotest.int
+                (Printf.sprintf "seed %d: net effect on %s" seed key)
+                expected total)
+            net)
+    [ (3, 2.5); (7, 4.0); (11, 6.5); (13, 1.0) ]
+
+let suite =
+  [
+    Alcotest.test_case "wal file round-trip" `Quick test_wal_roundtrip;
+    Alcotest.test_case "analyze: committed process" `Quick test_analyze_committed_process;
+    Alcotest.test_case "analyze: interrupted in B-REC" `Quick test_analyze_interrupted_b_rec;
+    Alcotest.test_case "analyze: interrupted in F-REC" `Quick test_analyze_interrupted_f_rec;
+    Alcotest.test_case "analyze: trailing in-doubt prepared" `Quick
+      test_analyze_in_doubt_trailing_prepared;
+    Alcotest.test_case "analyze: missing process definition" `Quick test_analyze_missing_process;
+    Alcotest.test_case "crash/recovery on CIM" `Quick test_crash_recovery_cim;
+    Alcotest.test_case "crash with in-doubt prepared" `Quick test_crash_with_in_doubt_prepared;
+    Alcotest.test_case "crash/recovery on random workloads" `Quick test_crash_recovery_random;
+  ]
+
+(* --- checkpointing and log compaction --- *)
+
+let test_compact_drops_closed_records () =
+  let records =
+    [
+      Wal.Process_registered 1;
+      Wal.Invoked { pid = 1; act = 1 };
+      Wal.Process_committed 1;
+      Wal.Process_registered 2;
+      Wal.Invoked { pid = 2; act = 1 };
+      Wal.Checkpoint { committed = [ 1 ]; aborted = [] };
+      Wal.Invoked { pid = 2; act = 2 };
+    ]
+  in
+  let compacted = Wal.compact records in
+  check Alcotest.bool "P1's records dropped" true
+    (not (List.mem (Wal.Invoked { pid = 1; act = 1 }) compacted));
+  check Alcotest.bool "P2's records kept" true
+    (List.mem (Wal.Invoked { pid = 2; act = 1 }) compacted
+    && List.mem (Wal.Invoked { pid = 2; act = 2 }) compacted);
+  check Alcotest.bool "checkpoint kept" true
+    (List.exists (function Wal.Checkpoint _ -> true | _ -> false) compacted)
+
+let test_compact_preserves_recovery_plan () =
+  let parts = [ "boiler" ] in
+  let rms = Cim.rms ~parts () in
+  let spec = Cim.spec ~parts in
+  let construction = Cim.construction ~pid:1 ~part:"boiler" in
+  let production = Cim.production ~pid:2 ~part:"boiler" in
+  let t = Scheduler.create ~spec ~rms () in
+  Scheduler.submit t ~args_of:Cim.args_of construction;
+  (* construction commits around t=4; checkpoint it, then start production
+     and crash it mid-flight *)
+  Scheduler.run ~until:4.5 t;
+  Scheduler.checkpoint t;
+  Scheduler.submit t ~at:5.0 ~args_of:Cim.args_of production;
+  Scheduler.run ~until:7.5 t;
+  let records = Scheduler.crash t in
+  let compacted = Wal.compact records in
+  check Alcotest.bool "compaction shrinks the log" true
+    (List.length compacted < List.length records);
+  let procs = [ construction; production ] in
+  match (Recovery.analyze ~procs records, Recovery.analyze ~procs compacted) with
+  | Ok full, Ok small ->
+      check Alcotest.(list int) "same committed" full.Recovery.committed small.Recovery.committed;
+      check Alcotest.int "same interrupted count"
+        (List.length full.Recovery.interrupted)
+        (List.length small.Recovery.interrupted);
+      List.iter2
+        (fun (a : Recovery.process_plan) (b : Recovery.process_plan) ->
+          check Alcotest.int "same pid" a.Recovery.pid b.Recovery.pid;
+          check Fixtures.instance_list "same completion" a.Recovery.completion
+            b.Recovery.completion)
+        full.Recovery.interrupted small.Recovery.interrupted
+  | Error e, _ | _, Error e -> Alcotest.fail e
+
+let test_recover_from_compacted_log () =
+  let parts = [ "boiler" ] in
+  let rms = Cim.rms ~parts () in
+  let spec = Cim.spec ~parts in
+  let construction = Cim.construction ~pid:1 ~part:"boiler" in
+  let production = Cim.production ~pid:2 ~part:"boiler" in
+  let t = Scheduler.create ~spec ~rms () in
+  Scheduler.submit t ~args_of:Cim.args_of construction;
+  Scheduler.run ~until:4.5 t;
+  Scheduler.checkpoint t;
+  Scheduler.submit t ~at:5.0 ~args_of:Cim.args_of production;
+  Scheduler.run ~until:7.5 t;
+  let compacted = Wal.compact (Scheduler.crash t) in
+  match Scheduler.recover ~spec ~rms ~procs:[ construction; production ] compacted with
+  | Error e -> Alcotest.fail e
+  | Ok t2 ->
+      Scheduler.run t2;
+      check Alcotest.bool "recovery finished" true (Scheduler.finished t2);
+      check Alcotest.bool "construction still committed" true
+        (Scheduler.status t2 1 = Schedule.Committed)
+
+let checkpoint_suite =
+  [
+    Alcotest.test_case "compact drops closed records" `Quick test_compact_drops_closed_records;
+    Alcotest.test_case "compaction preserves the recovery plan" `Quick
+      test_compact_preserves_recovery_plan;
+    Alcotest.test_case "recover from a compacted log" `Quick test_recover_from_compacted_log;
+  ]
+
+let suite = suite @ checkpoint_suite

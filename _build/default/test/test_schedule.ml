@@ -1,0 +1,105 @@
+(* Schedule construction, replay and conflict analysis, including the
+   paper's figure 4 executions (Examples 3 and 4). *)
+
+open Tpm_core
+open Fixtures
+
+let check = Alcotest.check
+let act i = Schedule.Act i
+
+(* Figure 4(a): serializable execution S_{t2}. *)
+let s_t2 =
+  Schedule.make ~spec ~procs:[ p1; p2 ]
+    [ act (fwd1 1); act (fwd2 1); act (fwd2 2); act (fwd2 3); act (fwd1 2); act (fwd2 4);
+      act (fwd1 3) ]
+
+(* Its prefix S_{t1} (Example 8): P2 already past its pivot, P1 not. *)
+let s_t1 =
+  Schedule.make ~spec ~procs:[ p1; p2 ]
+    [ act (fwd1 1); act (fwd2 1); act (fwd2 2); act (fwd2 3) ]
+
+(* Figure 4(b): non-serializable execution S'_{t2}. *)
+let s'_t2 =
+  Schedule.make ~spec ~procs:[ p1; p2 ]
+    [ act (fwd1 1); act (fwd2 1); act (fwd2 2); act (fwd2 3); act (fwd2 4); act (fwd1 2);
+      act (fwd1 3) ]
+
+let test_statuses () =
+  check Alcotest.(list int) "both active" [ 1; 2 ] (Schedule.active s_t2);
+  let s = Schedule.append s_t2 (Schedule.Commit 2) in
+  check Alcotest.(list int) "P2 committed" [ 2 ] (Schedule.committed s);
+  check Alcotest.(list int) "P1 still active" [ 1 ] (Schedule.active s)
+
+let test_legal () =
+  check Alcotest.bool "S_t2 is legal" true (Schedule.legal s_t2);
+  check Alcotest.bool "S'_t2 is legal" true (Schedule.legal s'_t2)
+
+let test_illegal_order () =
+  (* a12 before a11 violates P1's precedence order *)
+  let s = Schedule.make ~spec ~procs:[ p1 ] [ act (fwd1 2); act (fwd1 1) ] in
+  check Alcotest.bool "violating intra-process order is illegal" false (Schedule.legal s)
+
+let test_illegal_double_exec () =
+  let s = Schedule.make ~spec ~procs:[ p1 ] [ act (fwd1 1); act (fwd1 1) ] in
+  check Alcotest.bool "double execution is illegal" false (Schedule.legal s)
+
+let test_make_rejects_unknown () =
+  Alcotest.check_raises "unknown process"
+    (Invalid_argument "Schedule.make: unknown process 2") (fun () ->
+      ignore (Schedule.make ~spec ~procs:[ p1 ] [ act (fwd2 1) ]))
+
+let test_make_rejects_event_after_commit () =
+  Alcotest.check_raises "event after terminal"
+    (Invalid_argument "Schedule.make: event after terminal event of P_1") (fun () ->
+      ignore
+        (Schedule.make ~spec ~procs:[ p1 ]
+           [ act (fwd1 1); Schedule.Commit 1; act (fwd1 2) ]))
+
+(* Example 3: S'_{t2} contains the conflict pairs (a11,a21) and (a24,a12). *)
+let test_conflict_pairs_s' () =
+  let pairs = Schedule.conflict_pairs s'_t2 in
+  check Alcotest.int "two conflicting pairs" 2 (List.length pairs);
+  check Alcotest.bool "(a11, a21) ordered P1 -> P2" true
+    (List.exists
+       (fun (x, y) -> Activity.instance_equal x (fwd1 1) && Activity.instance_equal y (fwd2 1))
+       pairs);
+  check Alcotest.bool "(a24, a12) ordered P2 -> P1" true
+    (List.exists
+       (fun (x, y) -> Activity.instance_equal x (fwd2 4) && Activity.instance_equal y (fwd1 2))
+       pairs)
+
+let test_example3_not_serializable () =
+  check Alcotest.bool "S'_t2 is not serializable (Example 3)" false
+    (Criteria.serializable s'_t2)
+
+let test_example4_serializable () =
+  check Alcotest.bool "S_t2 is serializable (Example 4)" true (Criteria.serializable s_t2);
+  check Alcotest.(option (list int)) "serialization order P1 P2" (Some [ 1; 2 ])
+    (Criteria.serialization_order s_t2)
+
+let test_replay_state () =
+  match Schedule.replay s_t1 2 with
+  | Error e -> Alcotest.fail e
+  | Ok st ->
+      check Alcotest.bool "P2 in F-REC at t1" true
+        (Execution.recovery_state st = Execution.F_rec);
+      check instance_list "completion of P2 at t1" [ fwd2 4; fwd2 5 ] (Execution.completion st)
+
+let test_prefixes () =
+  check Alcotest.int "number of prefixes" (Schedule.length s_t2 + 1)
+    (List.length (Schedule.prefixes s_t2))
+
+let suite =
+  [
+    Alcotest.test_case "statuses" `Quick test_statuses;
+    Alcotest.test_case "legality of the paper schedules" `Quick test_legal;
+    Alcotest.test_case "illegal intra-process order" `Quick test_illegal_order;
+    Alcotest.test_case "illegal double execution" `Quick test_illegal_double_exec;
+    Alcotest.test_case "rejects unknown process" `Quick test_make_rejects_unknown;
+    Alcotest.test_case "rejects events after terminal" `Quick test_make_rejects_event_after_commit;
+    Alcotest.test_case "E3: conflict pairs of S'_t2" `Quick test_conflict_pairs_s';
+    Alcotest.test_case "E3: S'_t2 not serializable" `Quick test_example3_not_serializable;
+    Alcotest.test_case "E4: S_t2 serializable" `Quick test_example4_serializable;
+    Alcotest.test_case "replay reconstructs process state" `Quick test_replay_state;
+    Alcotest.test_case "prefixes" `Quick test_prefixes;
+  ]

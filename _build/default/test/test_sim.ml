@@ -1,0 +1,189 @@
+(* Unit tests for the simulation substrate: graphs, heap, PRNG,
+   discrete-event engine and metrics. *)
+
+open Tpm_core
+module Heap = Tpm_sim.Heap
+module Prng = Tpm_sim.Prng
+module Des = Tpm_sim.Des
+module Metrics = Tpm_sim.Metrics
+
+let check = Alcotest.check
+
+(* --- Digraph --- *)
+
+let test_digraph_cycles () =
+  let acyclic = Digraph.make ~nodes:[ 1; 2; 3 ] ~edges:[ (1, 2); (2, 3) ] in
+  check Alcotest.bool "acyclic" false (Digraph.has_cycle acyclic);
+  check Alcotest.(option (list int)) "topological order" (Some [ 1; 2; 3 ])
+    (Digraph.topo_sort acyclic);
+  let cyclic = Digraph.make ~nodes:[] ~edges:[ (1, 2); (2, 3); (3, 1) ] in
+  check Alcotest.bool "cyclic" true (Digraph.has_cycle cyclic);
+  check Alcotest.bool "no topological order" true (Digraph.topo_sort cyclic = None);
+  match Digraph.find_cycle cyclic with
+  | None -> Alcotest.fail "cycle not found"
+  | Some cyc -> check Alcotest.int "cycle length" 3 (List.length cyc)
+
+let test_digraph_reachable () =
+  let g = Digraph.make ~nodes:[ 9 ] ~edges:[ (1, 2); (2, 3); (4, 2) ] in
+  check Alcotest.bool "1 reaches 3" true (Digraph.reachable g 1 3);
+  check Alcotest.bool "3 does not reach 1" false (Digraph.reachable g 3 1);
+  check Alcotest.bool "isolated node" false (Digraph.reachable g 9 1);
+  check Alcotest.bool "self not reachable without cycle" false (Digraph.reachable g 1 1);
+  let loop = Digraph.make ~nodes:[] ~edges:[ (1, 2); (2, 1) ] in
+  check Alcotest.bool "self reachable through cycle" true (Digraph.reachable loop 1 1)
+
+let test_digraph_self_edges_dropped () =
+  let g = Digraph.make ~nodes:[] ~edges:[ (1, 1); (1, 2) ] in
+  check Alcotest.bool "self edge dropped" false (Digraph.has_cycle g);
+  check Alcotest.int "one edge" 1 (List.length (Digraph.edges g))
+
+let test_digraph_transitive_closure () =
+  let g = Digraph.make ~nodes:[] ~edges:[ (1, 2); (2, 3) ] in
+  check
+    Alcotest.(list (pair int int))
+    "closure" [ (1, 2); (1, 3); (2, 3) ]
+    (List.sort compare (Digraph.transitive_closure g))
+
+(* --- Heap --- *)
+
+let test_heap_order () =
+  let h = Heap.create () in
+  List.iter (fun k -> Heap.push h ~key:k k) [ 5.0; 1.0; 3.0; 2.0; 4.0 ];
+  let rec drain acc =
+    match Heap.pop h with None -> List.rev acc | Some (k, _) -> drain (k :: acc)
+  in
+  check Alcotest.(list (float 0.0)) "sorted" [ 1.0; 2.0; 3.0; 4.0; 5.0 ] (drain []);
+  check Alcotest.bool "empty after drain" true (Heap.is_empty h)
+
+let test_heap_fifo_ties () =
+  let h = Heap.create () in
+  Heap.push h ~key:1.0 "first";
+  Heap.push h ~key:1.0 "second";
+  Heap.push h ~key:1.0 "third";
+  let pop () = match Heap.pop h with Some (_, v) -> v | None -> "?" in
+  let x1 = pop () in
+  let x2 = pop () in
+  let x3 = pop () in
+  check Alcotest.(list string) "insertion order on equal keys" [ "first"; "second"; "third" ]
+    [ x1; x2; x3 ]
+
+(* --- Prng --- *)
+
+let test_prng_determinism () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  let seq rng = List.init 20 (fun _ -> Prng.int rng 1000) in
+  check Alcotest.(list int) "same seed, same stream" (seq a) (seq b);
+  let c = Prng.create 43 in
+  check Alcotest.bool "different seed, different stream" true (seq (Prng.create 42) <> seq c)
+
+let test_prng_bounds () =
+  let rng = Prng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Prng.int rng 10 in
+    if v < 0 || v >= 10 then Alcotest.fail "int out of bounds";
+    let f = Prng.float rng 2.5 in
+    if f < 0.0 || f >= 2.5 then Alcotest.fail "float out of bounds"
+  done
+
+let test_prng_chance_extremes () =
+  let rng = Prng.create 3 in
+  for _ = 1 to 100 do
+    if Prng.chance rng 0.0 then Alcotest.fail "chance 0 fired";
+    if not (Prng.chance rng 1.0) then Alcotest.fail "chance 1 missed"
+  done
+
+let test_prng_split_independent () =
+  let a = Prng.create 5 in
+  let b = Prng.split a in
+  let xs = List.init 10 (fun _ -> Prng.int a 100) in
+  let ys = List.init 10 (fun _ -> Prng.int b 100) in
+  check Alcotest.bool "split streams differ" true (xs <> ys)
+
+let test_prng_shuffle_permutation () =
+  let rng = Prng.create 9 in
+  let l = [ 1; 2; 3; 4; 5; 6 ] in
+  let s = Prng.shuffle rng l in
+  check Alcotest.(list int) "same elements" l (List.sort compare s)
+
+(* --- Des --- *)
+
+let test_des_ordering () =
+  let sim = Des.create () in
+  let log = ref [] in
+  Des.at sim 2.0 (fun _ -> log := "b" :: !log);
+  Des.at sim 1.0 (fun _ -> log := "a" :: !log);
+  Des.at sim 3.0 (fun _ -> log := "c" :: !log);
+  Des.run sim;
+  check Alcotest.(list string) "time order" [ "a"; "b"; "c" ] (List.rev !log);
+  check (Alcotest.float 0.0) "clock at last event" 3.0 (Des.now sim)
+
+let test_des_nested_scheduling () =
+  let sim = Des.create () in
+  let log = ref [] in
+  Des.at sim 1.0 (fun sim ->
+      log := "outer" :: !log;
+      Des.after sim 0.5 (fun _ -> log := "inner" :: !log));
+  Des.run sim;
+  check Alcotest.(list string) "nested events run" [ "outer"; "inner" ] (List.rev !log);
+  check (Alcotest.float 0.0) "clock advanced" 1.5 (Des.now sim)
+
+let test_des_until () =
+  let sim = Des.create () in
+  let fired = ref 0 in
+  Des.at sim 1.0 (fun _ -> incr fired);
+  Des.at sim 5.0 (fun _ -> incr fired);
+  Des.run ~until:2.0 sim;
+  check Alcotest.int "only events before the horizon" 1 !fired;
+  check Alcotest.int "event still pending" 1 (Des.pending sim);
+  Des.run sim;
+  check Alcotest.int "drained afterwards" 2 !fired
+
+let test_des_rejects_past () =
+  let sim = Des.create () in
+  Des.at sim 1.0 (fun sim ->
+      match Des.at sim 0.5 (fun _ -> ()) with
+      | exception Invalid_argument _ -> ()
+      | () -> Alcotest.fail "past scheduling accepted");
+  Des.run sim
+
+(* --- Metrics --- *)
+
+let test_metrics_counters () =
+  let m = Metrics.create () in
+  Metrics.incr m "a";
+  Metrics.incr m "a" ~by:2;
+  Metrics.incr m "b";
+  check Alcotest.int "a = 3" 3 (Metrics.count m "a");
+  check Alcotest.int "unknown = 0" 0 (Metrics.count m "zzz");
+  check Alcotest.(list (pair string int)) "counters sorted" [ ("a", 3); ("b", 1) ]
+    (Metrics.counters m)
+
+let test_metrics_series () =
+  let m = Metrics.create () in
+  List.iter (Metrics.observe m "lat") [ 1.0; 3.0; 2.0 ];
+  check Alcotest.(list (float 0.0)) "chronological" [ 1.0; 3.0; 2.0 ] (Metrics.samples m "lat");
+  check (Alcotest.float 0.001) "mean" 2.0 (Metrics.mean m "lat");
+  check (Alcotest.float 0.001) "total" 6.0 (Metrics.total m "lat");
+  check (Alcotest.float 0.001) "median" 2.0 (Metrics.quantile m "lat" 0.5);
+  check (Alcotest.float 0.001) "max" 3.0 (Metrics.max_value m "lat")
+
+let suite =
+  [
+    Alcotest.test_case "digraph: cycles and topo" `Quick test_digraph_cycles;
+    Alcotest.test_case "digraph: reachability" `Quick test_digraph_reachable;
+    Alcotest.test_case "digraph: self edges" `Quick test_digraph_self_edges_dropped;
+    Alcotest.test_case "digraph: transitive closure" `Quick test_digraph_transitive_closure;
+    Alcotest.test_case "heap: ordering" `Quick test_heap_order;
+    Alcotest.test_case "heap: FIFO on ties" `Quick test_heap_fifo_ties;
+    Alcotest.test_case "prng: determinism" `Quick test_prng_determinism;
+    Alcotest.test_case "prng: bounds" `Quick test_prng_bounds;
+    Alcotest.test_case "prng: chance extremes" `Quick test_prng_chance_extremes;
+    Alcotest.test_case "prng: split independence" `Quick test_prng_split_independent;
+    Alcotest.test_case "prng: shuffle is a permutation" `Quick test_prng_shuffle_permutation;
+    Alcotest.test_case "des: time ordering" `Quick test_des_ordering;
+    Alcotest.test_case "des: nested scheduling" `Quick test_des_nested_scheduling;
+    Alcotest.test_case "des: horizon" `Quick test_des_until;
+    Alcotest.test_case "des: rejects the past" `Quick test_des_rejects_past;
+    Alcotest.test_case "metrics: counters" `Quick test_metrics_counters;
+    Alcotest.test_case "metrics: series" `Quick test_metrics_series;
+  ]

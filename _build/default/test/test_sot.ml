@@ -1,0 +1,124 @@
+(* Section 3.5's impossibility claim, made executable: "a SOT-like
+   criterion (that relies only on information of a given schedule S) does
+   not exist for transactional processes", because completions can
+   introduce conflicts invisible in S. *)
+
+open Tpm_core
+
+let check = Alcotest.check
+
+let act ~proc ~n ~service ~kind = Activity.make ~proc ~act:n ~service ~kind ()
+
+(* P1: c(svcA) << p(svcB) << r(svcC) — its forward completion executes svcC.
+   P2: c(svcY) << c(svcX).
+   Conflicts: (svcA, svcY) and (svcC, svcX).  *)
+let p1 =
+  Process.make_exn ~pid:1
+    ~activities:
+      [
+        act ~proc:1 ~n:1 ~service:"svcA" ~kind:Activity.Compensatable;
+        act ~proc:1 ~n:2 ~service:"svcB" ~kind:Activity.Pivot;
+        act ~proc:1 ~n:3 ~service:"svcC" ~kind:Activity.Retriable;
+      ]
+    ~prec:[ (1, 2); (2, 3) ]
+    ~pref:[]
+
+let p2 =
+  Process.make_exn ~pid:2
+    ~activities:
+      [
+        act ~proc:2 ~n:1 ~service:"svcY" ~kind:Activity.Compensatable;
+        act ~proc:2 ~n:2 ~service:"svcX" ~kind:Activity.Compensatable;
+      ]
+    ~prec:[ (1, 2) ]
+    ~pref:[]
+
+let spec = Conflict.of_pairs [ ("svcA", "svcY"); ("svcC", "svcX") ]
+let fwd p n = Schedule.Act (Activity.Forward (Process.find p n))
+
+(* S: a11(svcA) a12(svcB:pivot) a21(svcY) a22(svcX) C2 — P2 commits, P1
+   is active in F-REC.  Visible conflicts: only (a11, a21), ordering
+   P1 -> P2; the termination order (C2 first, P1 still active) is
+   unconstrained from S's point of view. *)
+let s =
+  Schedule.make ~spec ~procs:[ p1; p2 ]
+    [ fwd p1 1; fwd p1 2; fwd p2 1; fwd p2 2; Schedule.Commit 2 ]
+
+let test_sot_accepts () =
+  (* from S alone everything looks fine: one conflict direction, no
+     terminations out of order *)
+  check Alcotest.bool "SOT accepts S" true (Criteria.sot s);
+  check Alcotest.bool "S itself is serializable" true (Criteria.serializable s)
+
+let test_but_completion_breaks_it () =
+  (* P1 is in F-REC: its completion must execute the retriable a13 (svcC),
+     which conflicts with the already-committed a22 (svcX) of P2 — a
+     conflict that exists nowhere in S.  Because P2 committed, nothing can
+     cancel: a22 before a13 gives P2 -> P1, closing a cycle with the
+     visible (a11, a21) edge (P1 -> P2).  S is not reducible, although
+     SOT — seeing only S — accepts it.  (The online scheduler would never
+     have let C2 happen before C1: commits are gated on the dependency
+     graph.) *)
+  let completed = Completed.of_schedule s in
+  let has_a13 =
+    List.exists
+      (fun i -> Activity.instance_equal i (Activity.Forward (Process.find p1 3)))
+      (Schedule.activities completed)
+  in
+  check Alcotest.bool "the completion adds a13" true has_a13;
+  check Alcotest.bool "S is NOT reducible" false (Criteria.red s);
+  check Alcotest.bool "S is NOT prefix-reducible" false (Criteria.pred s)
+
+let test_sot_agrees_on_traditional_schedules () =
+  (* for all-compensatable processes (the traditional model: every action
+     has an inverse, completions add nothing new), SOT and RED agree on a
+     family of randomized schedules *)
+  let module Generator = Tpm_workload.Generator in
+  let module Prng = Tpm_sim.Prng in
+  let params =
+    { Generator.default_params with pivot_prob = 0.0; activities_min = 2; activities_max = 4;
+      services = 5; conflict_density = 0.4 }
+  in
+  for seed = 1 to 60 do
+    let rng = Prng.create seed in
+    let procs = List.init 2 (fun i -> Generator.process ~seed:(seed + (31 * i)) params ~pid:(i + 1)) in
+    (* all-compensatable by construction when pivot_prob = 0 and no
+       retriable tails were forced *)
+    if List.for_all (fun p -> List.for_all Activity.compensatable (Process.activities p)) procs
+    then begin
+      let spec = Generator.spec ~seed params in
+      let states = Hashtbl.create 2 in
+      List.iter (fun p -> Hashtbl.replace states (Process.pid p) (Execution.start p)) procs;
+      let events = ref [] in
+      for _ = 1 to 6 do
+        let pid = 1 + Prng.int rng 2 in
+        let st = Hashtbl.find states pid in
+        match Execution.status st with
+        | Execution.Finished _ -> ()
+        | Execution.Running -> (
+            match Execution.enabled st with
+            | [] -> ()
+            | n :: _ ->
+                Hashtbl.replace states pid (Execution.exec st n);
+                events :=
+                  Schedule.Act (Activity.Forward (Process.find (Execution.proc st) n))
+                  :: !events)
+      done;
+      let s = Schedule.make ~spec ~procs (List.rev !events) in
+      (* in the traditional model RED implies SOT-acceptability on these
+         all-active prefixes *)
+      if Criteria.red s then
+        check Alcotest.bool
+          (Printf.sprintf "seed %d: RED implies SOT for all-compensatable" seed)
+          true (Criteria.sot s)
+    end
+  done
+
+let suite =
+  [
+    Alcotest.test_case "SOT accepts the deceptive schedule" `Quick test_sot_accepts;
+    Alcotest.test_case "the completion reveals the hidden conflict" `Quick
+      test_but_completion_breaks_it;
+    Alcotest.test_case "SOT agrees with RED on the traditional model" `Quick
+      test_sot_agrees_on_traditional_schedules;
+  ]

@@ -1,0 +1,117 @@
+(* Weak vs. strong orders (Section 3.6): under the weak order conflicting
+   activities of different processes overlap their execution while the
+   subsystem enforces the commit order; a retriable re-invocation restarts
+   the dependent local transaction. *)
+
+open Tpm_core
+module Scheduler = Tpm_scheduler.Scheduler
+module Generator = Tpm_workload.Generator
+module Metrics = Tpm_sim.Metrics
+
+let check = Alcotest.check
+
+(* two single-activity processes on the same conflicting service *)
+let conflicting_pair ~kind =
+  let mk pid =
+    Process.make_exn ~pid
+      ~activities:
+        [ Activity.make ~proc:pid ~act:1 ~service:"svc0" ~kind ~subsystem:"ss0" () ]
+      ~prec:[] ~pref:[]
+  in
+  (mk 1, mk 2)
+
+let params = { Generator.default_params with services = 2; subsystems = 1 }
+
+let run_pair ~weak_order ~kind =
+  let rms = Generator.rms params () in
+  let spec = Generator.spec params in
+  let config = { Scheduler.default_config with weak_order } in
+  let t = Scheduler.create ~config ~spec ~rms () in
+  let p1, p2 = conflicting_pair ~kind in
+  Scheduler.submit t p1;
+  Scheduler.submit t ~at:0.1 p2;
+  Scheduler.run t;
+  check Alcotest.bool "finished" true (Scheduler.finished t);
+  let h = Scheduler.history t in
+  check Alcotest.bool "legal" true (Schedule.legal h);
+  check Alcotest.bool "RED" true (Criteria.red h);
+  (t, h)
+
+let test_weak_overlaps () =
+  (* strong: P2 starts only after P1's commit -> makespan past 2.0;
+     weak: executions overlap, P2 commits just after P1 -> makespan ~1.x *)
+  let t_strong, _ = run_pair ~weak_order:false ~kind:Activity.Compensatable in
+  let t_weak, _ = run_pair ~weak_order:true ~kind:Activity.Compensatable in
+  check Alcotest.bool "weak order shortens the makespan" true
+    (Scheduler.now t_weak < Scheduler.now t_strong);
+  check Alcotest.bool "strong order serializes executions" true
+    (Scheduler.now t_strong >= 2.0)
+
+let test_weak_commit_order_respected () =
+  let _, h = run_pair ~weak_order:true ~kind:Activity.Compensatable in
+  (* the history must order the two conflicting occurrences P1 before P2 *)
+  let acts = Schedule.activities h in
+  check Alcotest.int "both occurrences present" 2 (List.length acts);
+  (match acts with
+  | [ first; second ] ->
+      check Alcotest.int "P1 commits first" 1 (Activity.instance_proc first);
+      check Alcotest.int "P2 commits second" 2 (Activity.instance_proc second)
+  | _ -> Alcotest.fail "unexpected history");
+  check Alcotest.bool "serializable" true (Criteria.serializable h)
+
+let test_weak_restart_on_retry () =
+  (* the predecessor is retriable and fails a few times: the weakly-ordered
+     successor must restart with it *)
+  (* every svc0 invocation fails until the guaranteed third attempt *)
+  let reg = Tpm_subsys.Service.Registry.create () in
+  let () =
+    Tpm_subsys.Service.Registry.register reg
+      (Tpm_subsys.Service.make ~name:"svc0" ~reads:[ "k0" ] ~writes:[ "k0" ]
+         ~compensation:(Tpm_subsys.Service.Inverse_service "svc0_inv")
+         (fun tx ~args:_ ->
+           Tpm_kv.Tx.set tx "k0" (Tpm_kv.Value.Int 1);
+           Tpm_kv.Value.Int 1));
+    Tpm_subsys.Service.Registry.register reg
+      (Tpm_subsys.Service.make ~name:"svc0_inv" ~reads:[ "k0" ] ~writes:[ "k0" ]
+         (fun tx ~args:_ ->
+           Tpm_kv.Tx.delete tx "k0";
+           Tpm_kv.Value.Nil))
+  in
+  let rms =
+    [ Tpm_subsys.Rm.create ~name:"ss0" ~registry:reg ~fail_prob:(fun _ -> 1.0)
+        ~max_failures:3 () ]
+  in
+  let spec = Generator.spec params in
+  let config = { Scheduler.default_config with weak_order = true } in
+  let t = Scheduler.create ~config ~spec ~rms () in
+  let p1, p2 = conflicting_pair ~kind:Activity.Retriable in
+  Scheduler.submit t p1;
+  Scheduler.submit t ~at:0.1 p2;
+  Scheduler.run t;
+  check Alcotest.bool "finished" true (Scheduler.finished t);
+  check Alcotest.bool "restarts observed" true
+    (Metrics.count (Scheduler.metrics t) "weak_restarts" > 0);
+  check Alcotest.bool "RED" true (Criteria.red (Scheduler.history t))
+
+let test_weak_random_workload_still_pred () =
+  let wparams = { Generator.default_params with services = 8; conflict_density = 0.3 } in
+  let rms = Generator.rms wparams () in
+  let spec = Generator.spec wparams in
+  let config = { Scheduler.default_config with weak_order = true } in
+  let t = Scheduler.create ~config ~spec ~rms () in
+  List.iteri
+    (fun i p -> Scheduler.submit t ~at:(0.3 *. float_of_int i) p)
+    (Generator.batch ~seed:21 wparams ~n:6);
+  Scheduler.run t;
+  check Alcotest.bool "finished" true (Scheduler.finished t);
+  let h = Scheduler.history t in
+  check Alcotest.bool "legal" true (Schedule.legal h);
+  check Alcotest.bool "PRED" true (Criteria.pred h)
+
+let suite =
+  [
+    Alcotest.test_case "weak order overlaps executions" `Quick test_weak_overlaps;
+    Alcotest.test_case "weak order preserves commit order" `Quick test_weak_commit_order_respected;
+    Alcotest.test_case "retriable retry restarts dependents" `Quick test_weak_restart_on_retry;
+    Alcotest.test_case "weak order keeps histories PRED" `Quick test_weak_random_workload_still_pred;
+  ]

@@ -1,0 +1,129 @@
+(* The travel and e-commerce workload families: structure, conflicts and
+   end-to-end runs. *)
+
+open Tpm_core
+module Scheduler = Tpm_scheduler.Scheduler
+module Travel = Tpm_workload.Travel
+module Ecommerce = Tpm_workload.Ecommerce
+module Rm = Tpm_subsys.Rm
+module Store = Tpm_kv.Store
+module Value = Tpm_kv.Value
+
+let check = Alcotest.check
+
+let test_travel_structure () =
+  let p = Travel.booking ~pid:1 ~trip:"zrh-syd" in
+  check Alcotest.bool "well-formed" true (Result.is_ok (Flex.well_formed p));
+  check Alcotest.bool "guaranteed termination" true (Flex.guaranteed_termination p);
+  check Alcotest.(list int) "one choice point at book_flight" [ 1 ] (Process.choice_points p)
+
+let test_travel_conflicts () =
+  let spec = Travel.spec ~trips:[ "zrh-syd" ] in
+  check Alcotest.bool "same-flight bookings conflict" true
+    (Conflict.services_conflict spec "book_flight:zrh-syd" "book_flight:zrh-syd");
+  check Alcotest.bool "payments on one trip conflict" true
+    (Conflict.services_conflict spec "pay:zrh-syd" "pay:zrh-syd");
+  let spec2 = Travel.spec ~trips:[ "a"; "b" ] in
+  check Alcotest.bool "different flights commute" false
+    (Conflict.services_conflict spec2 "book_flight:a" "book_flight:b")
+
+let test_travel_happy_run () =
+  let trips = [ "zrh-syd" ] in
+  let rms = Travel.rms ~trips () in
+  let t = Scheduler.create ~spec:(Travel.spec ~trips) ~rms () in
+  Scheduler.submit t ~args_of:Travel.args_of (Travel.booking ~pid:1 ~trip:"zrh-syd");
+  Scheduler.submit t ~at:0.2 ~args_of:Travel.args_of (Travel.booking ~pid:2 ~trip:"zrh-syd");
+  Scheduler.run t;
+  check Alcotest.bool "finished" true (Scheduler.finished t);
+  check Alcotest.bool "PRED" true (Criteria.pred (Scheduler.history t));
+  let airline = List.find (fun rm -> Rm.name rm = "airline") rms in
+  check Alcotest.bool "two seats booked" true
+    (Store.get (Rm.store airline) "seats:zrh-syd" = Value.Int 2)
+
+let test_travel_hotel_fallback () =
+  let trips = [ "zrh-syd" ] in
+  let rms =
+    Travel.rms ~trips ~fail_prob:(fun s -> if s = "book_hotel_a:zrh-syd" then 1.0 else 0.0) ()
+  in
+  let t = Scheduler.create ~spec:(Travel.spec ~trips) ~rms () in
+  Scheduler.submit t ~args_of:Travel.args_of (Travel.booking ~pid:1 ~trip:"zrh-syd");
+  Scheduler.run t;
+  check Alcotest.bool "finished" true (Scheduler.finished t);
+  check Alcotest.bool "committed via hotel b" true (Scheduler.status t 1 = Schedule.Committed);
+  let hotels = List.find (fun rm -> Rm.name rm = "hotels") rms in
+  check Alcotest.bool "no room in hotel a" true
+    (Store.get (Rm.store hotels) "rooms_a:zrh-syd" = Value.Nil);
+  check Alcotest.bool "room in hotel b" true
+    (Store.get (Rm.store hotels) "rooms_b:zrh-syd" = Value.Int 1)
+
+let test_travel_payment_failure_aborts () =
+  let trips = [ "zrh-syd" ] in
+  let rms =
+    Travel.rms ~trips ~fail_prob:(fun s -> if s = "pay:zrh-syd" then 1.0 else 0.0) ()
+  in
+  let t = Scheduler.create ~spec:(Travel.spec ~trips) ~rms () in
+  Scheduler.submit t ~args_of:Travel.args_of (Travel.booking ~pid:1 ~trip:"zrh-syd");
+  Scheduler.run t;
+  check Alcotest.bool "finished" true (Scheduler.finished t);
+  check Alcotest.bool "booking aborted" true (Scheduler.status t 1 = Schedule.Aborted);
+  let airline = List.find (fun rm -> Rm.name rm = "airline") rms in
+  let hotels = List.find (fun rm -> Rm.name rm = "hotels") rms in
+  check Alcotest.bool "seats released" true
+    (Store.get (Rm.store airline) "seats:zrh-syd" = Value.Int 0);
+  check Alcotest.bool "all rooms released" true
+    (Store.get (Rm.store hotels) "rooms_a:zrh-syd" = Value.Int 0
+    && Store.get (Rm.store hotels) "rooms_b:zrh-syd" = Value.Int 0)
+
+let test_ecommerce_structure () =
+  let p = Ecommerce.order ~pid:1 ~item:"widget" ~customer:"acme" in
+  check Alcotest.bool "well-formed" true (Result.is_ok (Flex.well_formed p));
+  check Alcotest.bool "guaranteed termination" true (Flex.guaranteed_termination p)
+
+let test_ecommerce_contention () =
+  let items = [ "widget" ] and customers = [ "acme"; "umbrella" ] in
+  let rms = Ecommerce.rms ~items ~customers () in
+  let t = Scheduler.create ~spec:(Ecommerce.spec ~items ~customers) ~rms () in
+  Scheduler.submit t ~args_of:Ecommerce.args_of
+    (Ecommerce.order ~pid:1 ~item:"widget" ~customer:"acme");
+  Scheduler.submit t ~at:0.1 ~args_of:Ecommerce.args_of
+    (Ecommerce.order ~pid:2 ~item:"widget" ~customer:"umbrella");
+  Scheduler.run t;
+  check Alcotest.bool "finished" true (Scheduler.finished t);
+  check Alcotest.bool "PRED" true (Criteria.pred (Scheduler.history t));
+  let warehouse = List.find (fun rm -> Rm.name rm = "warehouse") rms in
+  check Alcotest.bool "stock decremented twice" true
+    (Store.get (Rm.store warehouse) "stock:widget" = Value.Int (-2))
+
+let test_ecommerce_backorder_fallback () =
+  let items = [ "widget" ] and customers = [ "acme" ] in
+  let rms =
+    Ecommerce.rms ~items ~customers
+      ~fail_prob:(fun s -> if s = "reserve:widget" then 1.0 else 0.0)
+      ()
+  in
+  let t = Scheduler.create ~spec:(Ecommerce.spec ~items ~customers) ~rms () in
+  Scheduler.submit t ~args_of:Ecommerce.args_of
+    (Ecommerce.order ~pid:1 ~item:"widget" ~customer:"acme");
+  Scheduler.run t;
+  check Alcotest.bool "finished" true (Scheduler.finished t);
+  check Alcotest.bool "committed via backorder" true (Scheduler.status t 1 = Schedule.Committed);
+  let warehouse = List.find (fun rm -> Rm.name rm = "warehouse") rms in
+  check Alcotest.bool "backlog entry exists" true
+    (Store.get (Rm.store warehouse) "backlog:widget" = Value.Int 1);
+  check Alcotest.bool "no stock movement" true
+    (Store.get (Rm.store warehouse) "stock:widget" = Value.Nil);
+  let billing = List.find (fun rm -> Rm.name rm = "billing") rms in
+  check Alcotest.bool "customer not charged" true
+    (Store.get (Rm.store billing) "account:acme" = Value.Nil)
+
+let suite =
+  [
+    Alcotest.test_case "travel: structure" `Quick test_travel_structure;
+    Alcotest.test_case "travel: conflicts" `Quick test_travel_conflicts;
+    Alcotest.test_case "travel: two concurrent bookings" `Quick test_travel_happy_run;
+    Alcotest.test_case "travel: hotel fallback" `Quick test_travel_hotel_fallback;
+    Alcotest.test_case "travel: payment failure aborts" `Quick test_travel_payment_failure_aborts;
+    Alcotest.test_case "ecommerce: structure" `Quick test_ecommerce_structure;
+    Alcotest.test_case "ecommerce: contention on stock" `Quick test_ecommerce_contention;
+    Alcotest.test_case "ecommerce: backorder fallback" `Quick test_ecommerce_backorder_fallback;
+  ]

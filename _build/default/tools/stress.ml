@@ -1,0 +1,46 @@
+(* Randomized stress of the scheduler: many seeds, modes and failure
+   rates; checks termination, legality and PRED of every emitted history. *)
+open Tpm_core
+module Scheduler = Tpm_scheduler.Scheduler
+module Generator = Tpm_workload.Generator
+
+let () =
+  let failures = ref 0 in
+  let runs = ref 0 in
+  let modes = [ ("conservative", Scheduler.Conservative); ("deferred", Scheduler.Deferred);
+                ("quasi", Scheduler.Quasi) ] in
+  for seed = 41 to 120 do
+    List.iter
+      (fun (mode_name, mode) ->
+        List.iter
+          (fun fail_rate ->
+            incr runs;
+            let params =
+              { Generator.default_params with services = 8; conflict_density = 0.4 }
+            in
+            let rms = Generator.rms params ~fail_prob:(fun _ -> fail_rate) ~seed () in
+            let spec = Generator.spec params in
+            let config = { Scheduler.default_config with mode; seed } in
+            let t = Scheduler.create ~config ~spec ~rms () in
+            List.iteri
+              (fun i p -> Scheduler.submit t ~at:(0.4 *. float_of_int i) p)
+              (Generator.batch ~seed:(seed * 100) params ~n:8);
+            (try Scheduler.run ~until:100000.0 t
+             with e ->
+               incr failures;
+               Format.printf "seed=%d mode=%s fail=%.2f EXCEPTION %s@." seed mode_name
+                 fail_rate (Printexc.to_string e));
+            let h = Scheduler.history t in
+            let ok_finished = Scheduler.finished t in
+            let ok_legal = Schedule.legal h in
+            let ok_pred = Criteria.pred h in
+            if not (ok_finished && ok_legal && ok_pred) then begin
+              incr failures;
+              Format.printf "seed=%d mode=%s fail=%.2f finished=%b legal=%b pred=%b@." seed
+                mode_name fail_rate ok_finished ok_legal ok_pred
+            end)
+          [ 0.0; 0.1; 0.3 ])
+      modes
+  done;
+  Format.printf "stress: %d runs, %d failures@." !runs !failures;
+  exit (if !failures = 0 then 0 else 1)
