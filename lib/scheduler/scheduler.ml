@@ -4,6 +4,7 @@ module Value = Tpm_kv.Value
 module Des = Tpm_sim.Des
 module Prng = Tpm_sim.Prng
 module Metrics = Tpm_sim.Metrics
+module Faults = Tpm_sim.Faults
 module Wal = Tpm_wal.Wal
 module Recovery = Tpm_wal.Recovery
 
@@ -11,6 +12,22 @@ type mode =
   | Conservative
   | Deferred
   | Quasi
+
+type backoff = {
+  base : float;
+  multiplier : float;
+  cap : float;
+  jitter : float;
+  max_attempts : int option;
+      (* transient-failure attempts granted to a non-retriable activity
+         before the scheduler degrades to the next alternative branch;
+         [None] derives the bound from the RM's finite-retry bound
+         (max_failures - 1, i.e. strictly before Definition 3 would force
+         the injected success of a retriable) *)
+}
+
+let default_backoff =
+  { base = 0.5; multiplier = 2.0; cap = 8.0; jitter = 0.0; max_attempts = None }
 
 type config = {
   mode : mode;
@@ -33,7 +50,14 @@ type config = {
   seed : int;
   service_time : string -> float;
   stochastic_times : bool;
-  retry_backoff : float;
+  backoff : backoff;
+  invocation_timeout : float option;
+      (* client-side timeout: an invocation whose (spiked) duration exceeds
+         it is abandoned after the timeout and counted as a failed attempt *)
+  outage_degrade : bool;
+      (* degrade a non-retriable activity to its next alternative branch
+         when its subsystem answers Unavailable; when off, wait out the
+         outage retrying (ablation for the robustness experiments) *)
 }
 
 let default_config =
@@ -45,7 +69,9 @@ let default_config =
     seed = 1;
     service_time = (fun _ -> 1.0);
     stochastic_times = false;
-    retry_backoff = 0.5;
+    backoff = default_backoff;
+    invocation_timeout = None;
+    outage_degrade = true;
   }
 
 type phase =
@@ -80,6 +106,7 @@ type pstate = {
 type t = {
   cfg : config;
   spec : Conflict.t;
+  faults : Faults.t;
   rms : (string, Rm.t) Hashtbl.t;
   sim : Des.t;
   rng : Prng.t;
@@ -104,17 +131,21 @@ let activity_token ~pid ~act =
   assert (act < 1_000_000);
   (pid * 1_000_000) + act
 
-let create ?(config = default_config) ?wal_path ~spec ~rms () =
+let create ?(config = default_config) ?(faults = Faults.none) ?wal_path ~spec ~rms () =
   let table = Hashtbl.create 8 in
   List.iter
     (fun rm ->
       if Hashtbl.mem table (Rm.name rm) then
         invalid_arg (Printf.sprintf "Scheduler.create: duplicate subsystem %s" (Rm.name rm));
-      Hashtbl.replace table (Rm.name rm) rm)
+      Hashtbl.replace table (Rm.name rm) rm;
+      (* the scheduler is the single plug point for the fault plan: every
+         registered subsystem consults the same script *)
+      Rm.set_faults rm faults)
     rms;
   {
     cfg = config;
     spec;
+    faults;
     rms = table;
     sim = Des.create ();
     rng = Prng.create config.seed;
@@ -132,6 +163,20 @@ let create ?(config = default_config) ?wal_path ~spec ~rms () =
 let now t = Des.now t.sim
 let metrics t = t.metrics
 let wal_records t = Wal.records t.wal
+let is_crashed t = t.crashed
+
+(* Every WAL append goes through here so the fault plan's crash trigger
+   ("die right after the Nth append") fires at an exact, reproducible
+   point.  The record that trips the trigger is still written — the crash
+   happens after the append — and once crashed nothing is logged or
+   dispatched any more. *)
+let log t record =
+  if not t.crashed then begin
+    Wal.append t.wal record;
+    match Faults.crash_after t.faults with
+    | Some n when Wal.size t.wal >= n -> t.crashed <- true
+    | Some _ | None -> ()
+  end
 
 let rm_of t (a : Activity.t) =
   match Hashtbl.find_opt t.rms a.subsystem with
@@ -144,9 +189,37 @@ let pstates t =
 
 let live ps = ps.phase <> Done
 
-let duration t service =
-  let mean = t.cfg.service_time service in
+let duration t (a : Activity.t) =
+  let mean = t.cfg.service_time a.Activity.service in
+  let mean =
+    mean *. Faults.latency_factor t.faults ~subsystem:a.Activity.subsystem ~now:(now t)
+  in
   if t.cfg.stochastic_times then Prng.exponential t.rng ~mean else mean
+
+(* Capped exponential backoff: attempt 1 waits [base], doubling (by
+   [multiplier]) up to [cap], with optional symmetric jitter.  The jitter
+   draw is skipped entirely at [jitter = 0] so the default config perturbs
+   no rng stream. *)
+let backoff_delay t ~attempt =
+  let b = t.cfg.backoff in
+  let d = Float.min b.cap (b.base *. (b.multiplier ** float_of_int (attempt - 1))) in
+  let d =
+    if b.jitter > 0.0 then
+      d *. (1.0 -. b.jitter +. (2.0 *. b.jitter *. Prng.float t.rng 1.0))
+    else d
+  in
+  Metrics.observe t.metrics "backoff_wait" d;
+  d
+
+(* Transient-failure attempts granted to a non-retriable activity before
+   the scheduler degrades to an alternative branch.  The derived default
+   stays strictly below the RM's finite retry bound (Definition 3), so a
+   persistently failing pivot is decided by degradation, never by the
+   bound's forced success. *)
+let max_transient_attempts t rm =
+  match t.cfg.backoff.max_attempts with
+  | Some n -> max 1 n
+  | None -> max 1 (Rm.max_failures rm - 1)
 
 let emit t ev =
   t.rev_events <- ev :: t.rev_events;
@@ -397,6 +470,10 @@ let rec wake t =
     let waiting : (int, int list) Hashtbl.t = Hashtbl.create 8 in
     List.iter
       (fun ps ->
+        (* the crash trigger may fire mid-iteration: once crashed, no
+           further subsystem mutation or dispatch is allowed *)
+        if t.crashed then ()
+        else
         let pid = Process.pid ps.proc in
         match ps.phase with
         | Done | Recovering -> ()
@@ -407,7 +484,7 @@ let rec wake t =
               let a = Process.find ps.proc act in
               tracef t "2pc-commit P%d a%d" pid act;
               Rm.commit_prepared (rm_of t a) ~token;
-              Wal.append t.wal (Wal.Prepared_decided { pid; act; commit = true });
+              log t (Wal.Prepared_decided { pid; act; commit = true });
               emit t (Schedule.Act (Activity.Forward a));
               ps.exec <- Execution.exec ps.exec act;
               ps.completion_cache <- None;
@@ -451,7 +528,7 @@ let rec wake t =
               end
             end)
       (pstates t);
-    if !changed then wake t else detect_stall t waiting
+    if !changed then wake t else if not t.crashed then detect_stall t waiting
   end
 
 (* A stall occurs when live processes remain but nothing is executing:
@@ -507,13 +584,13 @@ and detect_stall t waiting =
 and try_commit t ps =
   let pid = Process.pid ps.proc in
   if Deps.uncommitted_preds t.deps pid = [] then begin
-    Wal.append t.wal (Wal.Commit_requested pid);
+    log t (Wal.Commit_requested pid);
     if not (Execution.can_commit ps.exec) then
       invalid_arg (Printf.sprintf "Scheduler: commit of incomplete process %d" pid);
     ps.exec <- Execution.commit ps.exec;
     tracef t "commit P%d" pid;
     emit t (Schedule.Commit pid);
-    Wal.append t.wal (Wal.Process_committed pid);
+    log t (Wal.Process_committed pid);
     Deps.mark_committed t.deps pid;
     ps.phase <- Done;
     ps.term <- Schedule.Committed;
@@ -548,12 +625,53 @@ and dispatch t ps act how =
              | None -> None
            else None)
          (pstates t));
-  ps.inflight <- Some act;
-  let d = duration t a.Activity.service in
   Metrics.incr t.metrics "dispatched";
-  Des.after t.sim d (fun _ -> on_activity_done t pid act how)
+  redispatch t ps act how ~a ~delay:0.0
+
+(* (Re-)submit an invocation after [delay] of backoff wait.  When the
+   (possibly latency-spiked) service duration exceeds the client-side
+   timeout, the invocation is abandoned at the timeout instead and counted
+   as a failed attempt. *)
+and redispatch t ps act how ~a ~delay =
+  let pid = Process.pid ps.proc in
+  ps.inflight <- Some act;
+  let d = duration t a in
+  match t.cfg.invocation_timeout with
+  | Some timeout when d > timeout ->
+      Des.after t.sim (delay +. timeout) (fun _ -> on_activity_timeout t pid act how)
+  | Some _ | None ->
+      Des.after t.sim (delay +. d) (fun _ -> on_activity_done t pid act how)
+
+and on_activity_timeout t pid act how =
+  if t.crashed then ()
+  else
+    match Hashtbl.find_opt t.procs pid with
+    | None -> ()
+    | Some ps -> (
+        if ps.inflight = Some act then ps.inflight <- None;
+        match ps.phase with
+        | Recovering | Done -> Metrics.incr t.metrics "cancelled_inflight"
+        | Running | Awaiting_commit | Blocked_2pc _ ->
+            let a = Process.find ps.proc act in
+            let rm = rm_of t a in
+            let attempt = next_attempt t pid act in
+            tracef t "timeout P%d a%d" pid act;
+            Metrics.incr t.metrics "timeouts";
+            retry_or_degrade t ps act how ~rm ~a ~attempt)
+
+(* A transient failure (injected failure or timeout): retriables always
+   retry with backoff; non-retriables retry up to the transient-attempt
+   bound, then degrade to the next alternative branch. *)
+and retry_or_degrade t ps act how ~rm ~a ~attempt =
+  if Activity.retriable a || attempt < max_transient_attempts t rm then begin
+    Metrics.incr t.metrics "retries";
+    redispatch t ps act how ~a ~delay:(backoff_delay t ~attempt)
+  end
+  else handle_failure t ps act
 
 and on_activity_done t pid act how =
+  if t.crashed then ()
+  else
   match Hashtbl.find_opt t.procs pid with
   | None -> ()
   | Some ps -> (
@@ -571,8 +689,7 @@ and on_activity_done t pid act how =
                 Metrics.incr t.metrics "weak_restarts";
                 ps.weak_wait <- Some (qid, qact, att_now);
                 let a = Process.find ps.proc act in
-                Des.after t.sim (duration t a.Activity.service) (fun _ ->
-                    on_activity_done t pid act how)
+                Des.after t.sim (duration t a) (fun _ -> on_activity_done t pid act how)
               end
               else begin
                 Metrics.incr t.metrics "weak_commit_waits";
@@ -597,33 +714,46 @@ and on_activity_done t pid act how =
           let outcome =
             match how with
             | `Invoke ->
-                Rm.invoke rm ~token ~service:a.Activity.service ~args ~attempt ()
+                Rm.invoke rm ~token ~service:a.Activity.service ~args ~attempt
+                  ~now:(now t) ()
             | `Prepare ->
-                Rm.prepare rm ~token ~service:a.Activity.service ~args ~attempt ()
+                Rm.prepare rm ~token ~service:a.Activity.service ~args ~attempt
+                  ~now:(now t) ()
           in
           match outcome with
           | Rm.Committed _ ->
-              Wal.append t.wal (Wal.Invoked { pid; act });
+              log t (Wal.Invoked { pid; act });
               emit t (Schedule.Act (Activity.Forward a));
               ps.exec <- Execution.exec ps.exec act;
               ps.completion_cache <- None;
               Metrics.incr t.metrics "activities";
               wake t
           | Rm.Prepared _ ->
-              Wal.append t.wal (Wal.Prepared { pid; act });
+              log t (Wal.Prepared { pid; act });
               ps.phase <- Blocked_2pc { act; token };
               Metrics.incr t.metrics "prepared";
               wake t
           | Rm.Failed ->
               tracef t "failed P%d a%d" pid act;
               Metrics.incr t.metrics "invocation_failures";
-              if Activity.retriable a then begin
+              retry_or_degrade t ps act how ~rm ~a ~attempt
+          | Rm.Unavailable ->
+              tracef t "unavailable P%d a%d" pid act;
+              Metrics.incr t.metrics "unavailable";
+              if Activity.retriable a || not t.cfg.outage_degrade then begin
+                (* a retriable activity is guaranteed to succeed
+                   eventually (Definition 3): ride out the outage with
+                   capped backoff *)
                 Metrics.incr t.metrics "retries";
-                ps.inflight <- Some act;
-                let d = t.cfg.retry_backoff +. duration t a.Activity.service in
-                Des.after t.sim d (fun _ -> on_activity_done t pid act how)
+                redispatch t ps act how ~a ~delay:(backoff_delay t ~attempt)
               end
-              else handle_failure t ps act
+              else begin
+                (* non-retriable during a declared outage: deflect to the
+                   next alternative branch of the flex process instead of
+                   gambling on the window closing *)
+                Metrics.incr t.metrics "outage_deflections";
+                handle_failure t ps act
+              end
           | Rm.Blocked owners ->
               Metrics.incr t.metrics "lock_blocked";
               (* after repeated blocks, break the tie by aborting the
@@ -638,9 +768,7 @@ and on_activity_done t pid act how =
                         abort_now t q
                     | Some _ | None -> ())
                   owners;
-              ps.inflight <- Some act;
-              let d = t.cfg.retry_backoff +. duration t a.Activity.service in
-              Des.after t.sim d (fun _ -> on_activity_done t pid act how))
+              redispatch t ps act how ~a ~delay:(backoff_delay t ~attempt))
       end)
 
 and handle_failure t ps act =
@@ -759,7 +887,7 @@ and start_group_rollback t ~initiators =
     (fun (qid, _) ->
       let q = Hashtbl.find t.procs qid in
       Metrics.incr t.metrics "cascaded_aborts";
-      Wal.append t.wal (Wal.Abort_requested qid);
+      log t (Wal.Abort_requested qid);
       q.aborting <- true;
       abort_prepared_of t q;
       q.phase <- Recovering)
@@ -789,11 +917,13 @@ and abort_prepared_of t q =
   | Blocked_2pc { act; token } ->
       let a = Process.find q.proc act in
       Rm.abort_prepared (rm_of t a) ~token;
-      Wal.append t.wal (Wal.Prepared_decided { pid = Process.pid q.proc; act; commit = false });
+      log t (Wal.Prepared_decided { pid = Process.pid q.proc; act; commit = false });
       Metrics.incr t.metrics "twopc_aborts"
   | Running | Recovering | Awaiting_commit | Done -> ()
 
 and run_rollback_queue t =
+  if t.crashed then ()
+  else
   (* Pick the next executable completion instance.  Per-process order is
      preserved (an item is eligible only if no earlier queue item belongs
      to the same process), but across processes items may be reordered:
@@ -892,30 +1022,33 @@ and run_rollback_queue t =
                      end)
                    (holder_blocks inst pid)
              | [] -> ());
-          Des.after t.sim t.cfg.retry_backoff (fun _ -> run_rollback_queue t)
+          Des.after t.sim t.cfg.backoff.base (fun _ -> run_rollback_queue t)
       | Some ((_, inst), _) ->
           let a = Activity.instance_base inst in
-          let d = duration t a.Activity.service in
+          let d = duration t a in
           Des.after t.sim d (fun _ ->
               (* re-select at execution time: the queue may have grown and
                  eligibility may have changed *)
-              match select [] [] t.rollback_queue with
-              | None -> Des.after t.sim t.cfg.retry_backoff (fun _ -> run_rollback_queue t)
-              | Some ((pid, inst), rest) -> apply_rollback_item t pid inst rest))
+              if t.crashed then ()
+              else
+                match select [] [] t.rollback_queue with
+                | None ->
+                    Des.after t.sim t.cfg.backoff.base (fun _ -> run_rollback_queue t)
+                | Some ((pid, inst), rest) -> apply_rollback_item t pid inst rest))
 
 and apply_rollback_item t pid inst rest =
   let a = Activity.instance_base inst in
   let rm = rm_of t a in
   let token = activity_token ~pid ~act:a.Activity.id.Activity.act in
   let outcome =
-    if Activity.is_inverse inst then Rm.compensate rm ~token
+    if Activity.is_inverse inst then Rm.compensate rm ~token ~now:(now t) ()
     else
       Rm.invoke rm ~token ~service:a.Activity.service
         ~args:
           (match Hashtbl.find_opt t.procs pid with
           | Some ps -> ps.args_of a
           | None -> Value.Nil)
-        ~attempt:max_int ()
+        ~attempt:max_int ~now:(now t) ()
   in
   match outcome with
   | Rm.Committed _ ->
@@ -931,11 +1064,11 @@ and apply_rollback_item t pid inst rest =
           then Deps.add_edge t.deps qid pid)
         (pstates t);
       (if Activity.is_inverse inst then begin
-         Wal.append t.wal (Wal.Compensated { pid; act = a.Activity.id.Activity.act });
+         log t (Wal.Compensated { pid; act = a.Activity.id.Activity.act });
          Metrics.incr t.metrics "compensations"
        end
        else begin
-         Wal.append t.wal (Wal.Invoked { pid; act = a.Activity.id.Activity.act });
+         log t (Wal.Invoked { pid; act = a.Activity.id.Activity.act });
          Metrics.incr t.metrics "completion_activities"
        end);
       emit t (Schedule.Act inst);
@@ -959,10 +1092,16 @@ and apply_rollback_item t pid inst rest =
               abort_now t q
           | Some _ | None -> ())
         owners;
-      Des.after t.sim t.cfg.retry_backoff (fun _ -> run_rollback_queue t)
+      Des.after t.sim t.cfg.backoff.base (fun _ -> run_rollback_queue t)
   | Rm.Failed ->
       Metrics.incr t.metrics "rollback_retries";
-      Des.after t.sim t.cfg.retry_backoff (fun _ -> run_rollback_queue t)
+      Des.after t.sim t.cfg.backoff.base (fun _ -> run_rollback_queue t)
+  | Rm.Unavailable ->
+      (* completion activities are retriable by definition: wait out the
+         outage window and try again *)
+      Metrics.incr t.metrics "unavailable";
+      Metrics.incr t.metrics "rollback_retries";
+      Des.after t.sim t.cfg.backoff.cap (fun _ -> run_rollback_queue t)
   | Rm.Prepared _ -> assert false
 
 and finalize_rollback t ps =
@@ -1007,7 +1146,7 @@ and abort_group t group =
       List.map
         (fun ps ->
           let pid = Process.pid ps.proc in
-          Wal.append t.wal (Wal.Abort_requested pid);
+          log t (Wal.Abort_requested pid);
           Metrics.incr t.metrics "abort_requests";
           abort_prepared_of t ps;
           ps.aborting <- true;
@@ -1025,12 +1164,12 @@ and finish_terminal t ps term =
   (match term with
   | Schedule.Aborted ->
       emit t (Schedule.Abort pid);
-      Wal.append t.wal (Wal.Process_aborted pid);
+      log t (Wal.Process_aborted pid);
       Deps.mark_aborted t.deps pid;
       Metrics.incr t.metrics "aborted"
   | Schedule.Committed ->
       emit t (Schedule.Commit pid);
-      Wal.append t.wal (Wal.Process_committed pid);
+      log t (Wal.Process_committed pid);
       Deps.mark_committed t.deps pid;
       Metrics.incr t.metrics "committed_via_completion"
   | Schedule.Active -> assert false);
@@ -1063,23 +1202,26 @@ let register t ?(args_of = fun _ -> Value.Nil) proc =
   in
   Hashtbl.replace t.procs pid ps;
   Deps.add_process t.deps pid;
-  Wal.append t.wal (Wal.Process_registered pid);
+  log t (Wal.Process_registered pid);
   ps
 
 let submit t ?at ?args_of proc =
   let when_ = Option.value ~default:(now t) at in
   Des.at t.sim when_ (fun _ ->
-      let ps = register t ?args_of proc in
-      ps.arrived <- now t;
-      Metrics.incr t.metrics "submitted";
-      wake t)
+      if not t.crashed then begin
+        let ps = register t ?args_of proc in
+        ps.arrived <- now t;
+        Metrics.incr t.metrics "submitted";
+        wake t
+      end)
 
 let request_abort t ?at pid =
   let when_ = Option.value ~default:(now t) at in
   Des.at t.sim when_ (fun _ ->
-      match Hashtbl.find_opt t.procs pid with
-      | None -> ()
-      | Some ps -> abort_now t ps)
+      if not t.crashed then
+        match Hashtbl.find_opt t.procs pid with
+        | None -> ()
+        | Some ps -> abort_now t ps)
 
 let run ?until t = Des.run ?until t.sim
 
@@ -1090,7 +1232,7 @@ let checkpoint t =
         if ps.phase = Done && ps.term = term then Some (Process.pid ps.proc) else None)
       (pstates t)
   in
-  Wal.append t.wal
+  log t
     (Wal.Checkpoint { committed = closed Schedule.Committed; aborted = closed Schedule.Aborted })
 
 let crash t =
@@ -1115,8 +1257,7 @@ let recover ?(config = default_config) ~spec ~rms ~procs records =
                 Rm.abort_prepared rm ~token;
                 Metrics.incr t.metrics "twopc_aborts"
               end;
-              Wal.append t.wal
-                (Wal.Prepared_decided { pid = p.Recovery.pid; act; commit = false }))
+              log t (Wal.Prepared_decided { pid = p.Recovery.pid; act; commit = false }))
             p.Recovery.in_doubt)
         plan.Recovery.interrupted;
       (* processes that already terminated keep their outcome *)
@@ -1148,7 +1289,7 @@ let recover ?(config = default_config) ~spec ~rms ~procs records =
             ps.exec <- exec;
             ps.aborting <- true;
             ps.phase <- Recovering;
-            Wal.append t.wal (Wal.Abort_requested p.Recovery.pid);
+            log t (Wal.Abort_requested p.Recovery.pid);
             (p.Recovery.pid, p.Recovery.completion))
           plan.Recovery.interrupted
       in
@@ -1172,7 +1313,7 @@ let recover ?(config = default_config) ~spec ~rms ~procs records =
                 let a = Process.find proc act in
                 emit t
                   (Schedule.Act (if inverse then Activity.Inverse a else Activity.Forward a));
-                Wal.append t.wal
+                log t
                   (if inverse then Wal.Compensated { pid; act } else Wal.Invoked { pid; act })
           in
           match record with
@@ -1194,10 +1335,10 @@ let recover ?(config = default_config) ~spec ~rms ~procs records =
               then emit_act pid act false
           | Wal.Process_committed pid ->
               emit t (Schedule.Commit pid);
-              Wal.append t.wal (Wal.Process_committed pid)
+              log t (Wal.Process_committed pid)
           | Wal.Process_aborted pid ->
               emit t (Schedule.Abort pid);
-              Wal.append t.wal (Wal.Process_aborted pid)
+              log t (Wal.Process_aborted pid)
           | Wal.Prepared_decided _ | Wal.Process_registered _ | Wal.Commit_requested _
           | Wal.Abort_requested _ | Wal.Checkpoint _ -> ())
         records;

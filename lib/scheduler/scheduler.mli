@@ -38,6 +38,31 @@ type mode =
           of figure 9 holds (predecessors forward-recoverable with
           conflict-free completions) *)
 
+(** Retry policy for transient invocation failures (injected failures,
+    timeouts, outage polls): capped exponential backoff with optional
+    jitter.  Attempt [n] waits [min cap (base * multiplier^(n-1))],
+    multiplied by a factor drawn uniformly from [1 - jitter, 1 + jitter]
+    (the draw is skipped at [jitter = 0], keeping default runs
+    bit-identical to jitter-free ones). *)
+type backoff = {
+  base : float;
+  multiplier : float;
+  cap : float;
+  jitter : float;  (** in [0, 1); 0 disables jitter *)
+  max_attempts : int option;
+      (** transient-failure attempts granted to a {e non-retriable}
+          activity before the scheduler degrades to the next alternative
+          branch; [None] derives [max_failures - 1] from the activity's
+          resource manager — strictly below the finite retry bound of
+          Definition 3, so a persistently failing pivot is decided by
+          degradation rather than by the bound's forced success.
+          Retriables are unaffected: they retry until they succeed. *)
+}
+
+val default_backoff : backoff
+(** [base 0.5, multiplier 2, cap 8, no jitter, derived max_attempts] —
+    the first retry waits exactly the historical fixed backoff. *)
+
 type config = {
   mode : mode;
   exact_admission : bool;
@@ -58,17 +83,30 @@ type config = {
   seed : int;
   service_time : string -> float;  (** mean duration of a service invocation *)
   stochastic_times : bool;  (** exponential durations instead of deterministic *)
-  retry_backoff : float;  (** delay before re-invoking a failed retriable *)
+  backoff : backoff;  (** retry policy for transient failures *)
+  invocation_timeout : float option;
+      (** client-side timeout: an invocation whose (latency-spiked)
+          duration exceeds it is abandoned at the timeout and counted as a
+          failed attempt.  [None] (default) waits invocations out. *)
+  outage_degrade : bool;
+      (** degrade a non-retriable activity to its next alternative branch
+          as soon as its subsystem reports an outage ([true], default);
+          [false] waits the outage out retrying — the ablation arm of the
+          robustness experiments. *)
 }
 
 val default_config : config
-(** [Deferred] mode, seed 1, unit service times, deterministic. *)
+(** [Deferred] mode, seed 1, unit service times, deterministic,
+    {!default_backoff}, no timeout, outage degradation on. *)
 
 type t
 
-val create : ?config:config -> ?wal_path:string -> spec:Tpm_core.Conflict.t ->
-  rms:Tpm_subsys.Rm.t list -> unit -> t
-(** @raise Invalid_argument if two resource managers share a name. *)
+val create : ?config:config -> ?faults:Tpm_sim.Faults.t -> ?wal_path:string ->
+  spec:Tpm_core.Conflict.t -> rms:Tpm_subsys.Rm.t list -> unit -> t
+(** [faults] (default {!Tpm_sim.Faults.none}) is installed into every
+    registered resource manager and consulted by the scheduler for latency
+    spikes and the WAL crash trigger.
+    @raise Invalid_argument if two resource managers share a name. *)
 
 val submit :
   t ->
@@ -107,6 +145,12 @@ val crash : t -> Tpm_wal.Wal.record list
     the persistent log.  The subsystems survive (they are independent
     transactional systems); in-doubt prepared invocations stay pending
     until recovery decides them. *)
+
+val is_crashed : t -> bool
+(** True once {!crash} was called or the fault plan's
+    [crash_after_appends] trigger fired.  A crashed scheduler stops
+    logging and dispatching; drive {!run} to quiescence, then feed
+    {!wal_records} to {!recover}. *)
 
 val recover :
   ?config:config ->

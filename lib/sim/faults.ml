@@ -1,0 +1,166 @@
+type window = {
+  from_ : float;
+  until_ : float;
+}
+
+type outage = {
+  out_subsystem : string;
+  out_window : window;
+}
+
+type burst = {
+  burst_service : string;
+  burst_window : window;
+  burst_prob : float;
+}
+
+type spike = {
+  spike_subsystem : string;
+  spike_window : window;
+  spike_factor : float;
+}
+
+type t = {
+  outages : outage list;
+  bursts : burst list;
+  spikes : spike list;
+  crash_after_appends : int option;
+}
+
+let none = { outages = []; bursts = []; spikes = []; crash_after_appends = None }
+
+let is_none t =
+  t.outages = [] && t.bursts = [] && t.spikes = [] && t.crash_after_appends = None
+
+let window ~from_ ~until_ =
+  if until_ < from_ then invalid_arg "Faults: window ends before it starts";
+  { from_; until_ }
+
+let make ?(outages = []) ?(bursts = []) ?(spikes = []) ?crash_after_appends () =
+  { outages; bursts; spikes; crash_after_appends }
+
+let outage ~subsystem ~from_ ~until_ =
+  { out_subsystem = subsystem; out_window = window ~from_ ~until_ }
+
+let burst ~service ~from_ ~until_ ~prob =
+  { burst_service = service; burst_window = window ~from_ ~until_; burst_prob = prob }
+
+let spike ~subsystem ~from_ ~until_ ~factor =
+  if factor < 1.0 then invalid_arg "Faults.spike: factor must be >= 1";
+  { spike_subsystem = subsystem; spike_window = window ~from_ ~until_; spike_factor = factor }
+
+let in_window w now = now >= w.from_ && now < w.until_
+
+let outage_active t ~subsystem ~now =
+  List.exists
+    (fun o -> o.out_subsystem = subsystem && in_window o.out_window now)
+    t.outages
+
+let burst_probability t ~service ~now =
+  List.fold_left
+    (fun acc b ->
+      if b.burst_service = service && in_window b.burst_window now then
+        Float.max acc b.burst_prob
+      else acc)
+    0.0 t.bursts
+
+let latency_factor t ~subsystem ~now =
+  List.fold_left
+    (fun acc s ->
+      if s.spike_subsystem = subsystem && in_window s.spike_window now then
+        Float.max acc s.spike_factor
+      else acc)
+    1.0 t.spikes
+
+let crash_after t = t.crash_after_appends
+
+let periodic_outage ~subsystem ~period ~duty ?(phase = 0.0) ~horizon () =
+  if period <= 0.0 then invalid_arg "Faults.periodic_outage: period must be positive";
+  if duty < 0.0 || duty >= 1.0 then invalid_arg "Faults.periodic_outage: duty in [0, 1)";
+  if duty = 0.0 then []
+  else
+    let rec windows k acc =
+      let from_ = (float_of_int k *. period) +. phase in
+      if from_ >= horizon then List.rev acc
+      else windows (k + 1) (outage ~subsystem ~from_ ~until_:(from_ +. (duty *. period)) :: acc)
+    in
+    windows 0 []
+
+let random rng ~subsystems ?(services = []) ~horizon ?(outage_duty = 0.0)
+    ?(outage_mean = 4.0) ?(burst_prob = 0.0) ?(burst_mean = 5.0) ?(spike_factor = 1.0)
+    ?(spike_mean = 5.0) () =
+  let outages =
+    if outage_duty <= 0.0 then []
+    else
+      let mean_gap = outage_mean *. (1.0 -. outage_duty) /. outage_duty in
+      List.concat_map
+        (fun subsystem ->
+          let rec walk t acc =
+            if t >= horizon then List.rev acc
+            else
+              let gap = Prng.exponential rng ~mean:mean_gap in
+              let len = Prng.exponential rng ~mean:outage_mean in
+              let from_ = t +. gap in
+              if from_ >= horizon then List.rev acc
+              else
+                let until_ = Float.min horizon (from_ +. len) in
+                walk until_ (outage ~subsystem ~from_ ~until_ :: acc)
+          in
+          walk 0.0 [])
+        subsystems
+  in
+  let bursts =
+    if burst_prob <= 0.0 then []
+    else
+      List.map
+        (fun service ->
+          let from_ = Prng.float rng horizon in
+          let until_ = Float.min horizon (from_ +. Prng.exponential rng ~mean:burst_mean) in
+          burst ~service ~from_ ~until_ ~prob:burst_prob)
+        services
+  in
+  let spikes =
+    if spike_factor <= 1.0 then []
+    else
+      List.map
+        (fun subsystem ->
+          let from_ = Prng.float rng horizon in
+          let until_ = Float.min horizon (from_ +. Prng.exponential rng ~mean:spike_mean) in
+          spike ~subsystem ~from_ ~until_ ~factor:spike_factor)
+        subsystems
+  in
+  { outages; bursts; spikes; crash_after_appends = None }
+
+let pp fmt t =
+  if is_none t then Format.fprintf fmt "no-faults"
+  else begin
+    let sep = ref false in
+    let item f =
+      if !sep then Format.fprintf fmt " ";
+      sep := true;
+      f ()
+    in
+    List.iter
+      (fun o ->
+        item (fun () ->
+            Format.fprintf fmt "outage(%s,[%.2f,%.2f))" o.out_subsystem o.out_window.from_
+              o.out_window.until_))
+      t.outages;
+    List.iter
+      (fun b ->
+        item (fun () ->
+            Format.fprintf fmt "burst(%s,[%.2f,%.2f),p=%.2f)" b.burst_service
+              b.burst_window.from_ b.burst_window.until_ b.burst_prob))
+      t.bursts;
+    List.iter
+      (fun s ->
+        item (fun () ->
+            Format.fprintf fmt "spike(%s,[%.2f,%.2f),x%.1f)" s.spike_subsystem
+              s.spike_window.from_ s.spike_window.until_ s.spike_factor))
+      t.spikes;
+    match t.crash_after_appends with
+    | Some n -> item (fun () -> Format.fprintf fmt "crash@%d" n)
+    | None -> ()
+  end
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,116 @@
+(** Deterministic fault plans ("chaos scripts") for the simulation.
+
+    A plan is pure data describing {e when} and {e where} the environment
+    misbehaves: subsystem outage windows, per-service transient failure
+    bursts, invocation latency spikes, and a scheduler crash trigger
+    ("crash after the Nth WAL append").  Components consult the plan
+    against the virtual clock; the plan itself never mutates, so a seeded
+    run is exactly reproducible and every plan can be printed as a repro
+    line.
+
+    Windows are half-open intervals [[from_, until_)] of virtual time. *)
+
+type window = {
+  from_ : float;
+  until_ : float;
+}
+
+type outage = {
+  out_subsystem : string;
+  out_window : window;
+}
+(** The whole subsystem refuses invocations during the window. *)
+
+type burst = {
+  burst_service : string;
+  burst_window : window;
+  burst_prob : float;  (** transient failure probability inside the window *)
+}
+
+type spike = {
+  spike_subsystem : string;
+  spike_window : window;
+  spike_factor : float;  (** multiplier on invocation durations, >= 1 *)
+}
+
+type t = {
+  outages : outage list;
+  bursts : burst list;
+  spikes : spike list;
+  crash_after_appends : int option;
+      (** scheduler crash trigger: die right after the Nth WAL append *)
+}
+
+val none : t
+(** The empty plan: nothing ever fails. *)
+
+val is_none : t -> bool
+
+val make :
+  ?outages:outage list ->
+  ?bursts:burst list ->
+  ?spikes:spike list ->
+  ?crash_after_appends:int ->
+  unit ->
+  t
+
+val outage : subsystem:string -> from_:float -> until_:float -> outage
+val burst : service:string -> from_:float -> until_:float -> prob:float -> burst
+val spike : subsystem:string -> from_:float -> until_:float -> factor:float -> spike
+
+val in_window : window -> float -> bool
+
+val outage_active : t -> subsystem:string -> now:float -> bool
+(** Is the subsystem inside a declared outage window at [now]? *)
+
+val burst_probability : t -> service:string -> now:float -> float
+(** Largest failure probability among the service's active bursts
+    (0 when none is active). *)
+
+val latency_factor : t -> subsystem:string -> now:float -> float
+(** Largest duration multiplier among the subsystem's active spikes
+    (1 when none is active). *)
+
+val crash_after : t -> int option
+
+val periodic_outage :
+  subsystem:string ->
+  period:float ->
+  duty:float ->
+  ?phase:float ->
+  horizon:float ->
+  unit ->
+  outage list
+(** Regular outage windows [[k*period + phase, k*period + phase +
+    duty*period)] for every period start below [horizon] — the
+    "20%-duty-cycle outage" of the robustness experiments.  [duty] in
+    [[0, 1)]. *)
+
+val random :
+  Prng.t ->
+  subsystems:string list ->
+  ?services:string list ->
+  horizon:float ->
+  ?outage_duty:float ->
+  ?outage_mean:float ->
+  ?burst_prob:float ->
+  ?burst_mean:float ->
+  ?spike_factor:float ->
+  ?spike_mean:float ->
+  unit ->
+  t
+(** A randomized plan drawn from the given stream (deterministic per
+    seed).  Each subsystem alternates up-time and outages so that roughly
+    an [outage_duty] fraction of [[0, horizon)] is covered, with
+    exponentially distributed outage lengths of mean [outage_mean]
+    (default 4).  When [burst_prob] > 0 each listed service receives one
+    failure burst of mean length [burst_mean] (default 5) at a random
+    start; when [spike_factor] > 1 each subsystem receives one latency
+    spike of mean length [spike_mean] (default 5).  Defaults leave bursts
+    and spikes off. *)
+
+val pp : Format.formatter -> t -> unit
+(** Compact single-plan rendering for repro lines, e.g.
+    [outage(ss0,[2.0,7.5)) burst(svc3,[1.0,4.0),p=0.80) crash@12]. *)
+
+val to_string : t -> string

@@ -5,6 +5,7 @@ type outcome =
   | Prepared of Value.t
   | Failed
   | Blocked of int list
+  | Unavailable
 
 type invocation_record = {
   service : string;
@@ -20,12 +21,14 @@ type t = {
   rng : Tpm_sim.Prng.t;
   fail_prob : string -> float;
   max_failures : int;
+  mutable faults : Tpm_sim.Faults.t;
   pending : (int, Tx.t) Hashtbl.t;  (* prepared token -> open transaction *)
   log : (int, invocation_record) Hashtbl.t;  (* committed token -> record *)
   mutable committed_count : int;
 }
 
-let create ~name ~registry ?(fail_prob = fun _ -> 0.0) ?(max_failures = 10) ?(seed = 1) () =
+let create ~name ~registry ?(fail_prob = fun _ -> 0.0) ?(max_failures = 10)
+    ?(faults = Tpm_sim.Faults.none) ?(seed = 1) () =
   {
     rm_name = name;
     rm_store = Store.create ();
@@ -34,6 +37,7 @@ let create ~name ~registry ?(fail_prob = fun _ -> 0.0) ?(max_failures = 10) ?(se
     rng = Tpm_sim.Prng.create seed;
     fail_prob;
     max_failures;
+    faults;
     pending = Hashtbl.create 16;
     log = Hashtbl.create 64;
     committed_count = 0;
@@ -42,6 +46,8 @@ let create ~name ~registry ?(fail_prob = fun _ -> 0.0) ?(max_failures = 10) ?(se
 let name rm = rm.rm_name
 let store rm = rm.rm_store
 let registry rm = rm.rm_registry
+let max_failures rm = rm.max_failures
+let set_faults rm faults = rm.faults <- faults
 
 let acquire_footprint rm ~token (svc : Service.t) =
   let try_all mode keys =
@@ -56,7 +62,9 @@ let acquire_footprint rm ~token (svc : Service.t) =
   | Error owners -> Error owners
   | Ok () -> try_all Locks.Exclusive svc.Service.writes
 
-let run rm ~token ~service ~args ~attempt ~hold =
+let run rm ~token ~service ~args ~attempt ~now ~hold =
+  if Tpm_sim.Faults.outage_active rm.faults ~subsystem:rm.rm_name ~now then Unavailable
+  else
   let svc = Service.Registry.find rm.rm_registry service in
   (* only prepared invocations of *other* tokens block us *)
   match acquire_footprint rm ~token svc with
@@ -64,9 +72,11 @@ let run rm ~token ~service ~args ~attempt ~hold =
       Locks.release_all rm.locks ~owner:token;
       Blocked owners
   | Ok () ->
-      let inject =
-        attempt < rm.max_failures && Tpm_sim.Prng.chance rm.rng (rm.fail_prob service)
+      let p =
+        Float.max (rm.fail_prob service)
+          (Tpm_sim.Faults.burst_probability rm.faults ~service ~now)
       in
+      let inject = attempt < rm.max_failures && Tpm_sim.Prng.chance rm.rng p in
       if inject then begin
         if not (Hashtbl.mem rm.pending token) then Locks.release_all rm.locks ~owner:token;
         Failed
@@ -87,11 +97,11 @@ let run rm ~token ~service ~args ~attempt ~hold =
         end
       end
 
-let invoke rm ~token ~service ?(args = Value.Nil) ?(attempt = 1) () =
-  run rm ~token ~service ~args ~attempt ~hold:false
+let invoke rm ~token ~service ?(args = Value.Nil) ?(attempt = 1) ?(now = 0.0) () =
+  run rm ~token ~service ~args ~attempt ~now ~hold:false
 
-let prepare rm ~token ~service ?(args = Value.Nil) ?(attempt = 1) () =
-  run rm ~token ~service ~args ~attempt ~hold:true
+let prepare rm ~token ~service ?(args = Value.Nil) ?(attempt = 1) ?(now = 0.0) () =
+  run rm ~token ~service ~args ~attempt ~now ~hold:true
 
 let commit_prepared rm ~token =
   match Hashtbl.find_opt rm.pending token with
@@ -113,7 +123,7 @@ let abort_prepared rm ~token =
 let prepared_tokens rm =
   Hashtbl.fold (fun token _ acc -> token :: acc) rm.pending [] |> List.sort compare
 
-let compensate rm ~token =
+let compensate rm ~token ?(now = 0.0) () =
   match Hashtbl.find_opt rm.log token with
   | None -> invalid_arg (Printf.sprintf "Rm.compensate: unknown token %d" token)
   | Some record -> (
@@ -124,13 +134,13 @@ let compensate rm ~token =
       | Service.Inverse_service inv -> (
           let r =
             run rm ~token:(-token - 1) ~service:inv ~args:record.args
-              ~attempt:rm.max_failures ~hold:false
+              ~attempt:rm.max_failures ~now ~hold:false
           in
           match r with
           | Committed _ ->
               Hashtbl.remove rm.log token;
               r
-          | Prepared _ | Failed | Blocked _ -> r)
+          | Prepared _ | Failed | Blocked _ | Unavailable -> r)
       | Service.Snapshot_undo ->
           List.iter (fun (key, v) ->
               match v with

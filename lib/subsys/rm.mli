@@ -13,13 +13,22 @@
     (re-invoking the declared inverse service) and agent-style snapshot
     undo.  Failures are injected per service with configurable
     probability; an invocation is guaranteed to succeed once its attempt
-    number reaches [max_failures] (Definition 3's finite retry bound). *)
+    number reaches [max_failures] (Definition 3's finite retry bound).
+
+    A {!Tpm_sim.Faults} plan models dynamic failure regimes: during a
+    declared outage window the whole subsystem answers {!Unavailable}
+    (effect-free, before any locking), and active failure bursts raise the
+    per-service transient failure probability.  Invocations carry the
+    virtual time [now] so the manager can consult the plan. *)
 
 type outcome =
   | Committed of Tpm_kv.Value.t
   | Prepared of Tpm_kv.Value.t
   | Failed  (** local transaction aborted (effect-free) *)
   | Blocked of int list  (** lock conflict with the given prepared tokens *)
+  | Unavailable
+      (** the subsystem is inside an outage window: the invocation was
+          never submitted (effect-free, no locks taken) *)
 
 type t
 
@@ -28,6 +37,7 @@ val create :
   registry:Service.Registry.t ->
   ?fail_prob:(string -> float) ->
   ?max_failures:int ->
+  ?faults:Tpm_sim.Faults.t ->
   ?seed:int ->
   unit ->
   t
@@ -36,15 +46,37 @@ val name : t -> string
 val store : t -> Tpm_kv.Store.t
 val registry : t -> Service.Registry.t
 
+val max_failures : t -> int
+(** The finite retry bound of Definition 3. *)
+
+val set_faults : t -> Tpm_sim.Faults.t -> unit
+(** Installs (or clears, with {!Tpm_sim.Faults.none}) the fault plan. *)
+
 val invoke :
-  t -> token:int -> service:string -> ?args:Tpm_kv.Value.t -> ?attempt:int -> unit -> outcome
+  t ->
+  token:int ->
+  service:string ->
+  ?args:Tpm_kv.Value.t ->
+  ?attempt:int ->
+  ?now:float ->
+  unit ->
+  outcome
 (** Executes the service as a local transaction and commits it.  [token]
     identifies the activity occurrence (used later for compensation).
-    Returns {!Failed} on an injected failure ([attempt] counts from 1) and
-    {!Blocked} when a needed key is locked by a prepared invocation. *)
+    Returns {!Failed} on an injected failure ([attempt] counts from 1),
+    {!Blocked} when a needed key is locked by a prepared invocation, and
+    {!Unavailable} when the fault plan declares an outage at virtual time
+    [now] (default 0). *)
 
 val prepare :
-  t -> token:int -> service:string -> ?args:Tpm_kv.Value.t -> ?attempt:int -> unit -> outcome
+  t ->
+  token:int ->
+  service:string ->
+  ?args:Tpm_kv.Value.t ->
+  ?attempt:int ->
+  ?now:float ->
+  unit ->
+  outcome
 (** Like {!invoke}, but holds the transaction open (deferred commit): its
     writes stay invisible and its locks held until {!commit_prepared} or
     {!abort_prepared}. *)
@@ -55,10 +87,12 @@ val commit_prepared : t -> token:int -> unit
 val abort_prepared : t -> token:int -> unit
 val prepared_tokens : t -> int list
 
-val compensate : t -> token:int -> outcome
+val compensate : t -> token:int -> ?now:float -> unit -> outcome
 (** Undoes the committed invocation identified by [token], according to
     the service's compensation strategy.  Compensating activities are
-    retriable by definition: this never injects failures.
+    retriable by definition: this never injects failures, but it does
+    answer {!Unavailable} during an outage window (retry once the window
+    closes).
     @raise Invalid_argument if the token is unknown or the service is not
     compensatable. *)
 

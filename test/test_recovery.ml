@@ -330,12 +330,94 @@ let test_recover_from_compacted_log () =
       check Alcotest.bool "construction still committed" true
         (Scheduler.status t2 1 = Schedule.Committed)
 
+(* A crash can tear the final record of the mirrored log file; load must
+   return the intact prefix instead of failing. *)
+let test_load_tolerates_torn_tail () =
+  let records =
+    [
+      Wal.Process_registered 1;
+      Wal.Invoked { pid = 1; act = 1 };
+      Wal.Prepared { pid = 1; act = 2 };
+    ]
+  in
+  let torn_suffixes =
+    (* a sliced marshalled record (header complete, payload cut) and a cut
+       that does not even cover the marshal header *)
+    let whole = Marshal.to_string (Wal.Process_committed 1) [] in
+    [ String.sub whole 0 (String.length whole - 3); String.sub whole 0 5 ]
+  in
+  List.iter
+    (fun torn ->
+      let path = Filename.temp_file "tpm_wal_torn" ".log" in
+      let wal = Wal.create ~path () in
+      List.iter (Wal.append wal) records;
+      Wal.close wal;
+      let oc = open_out_gen [ Open_append; Open_binary ] 0o644 path in
+      output_string oc torn;
+      close_out oc;
+      check Alcotest.bool "torn tail dropped, prefix intact" true
+        (Wal.load path = records);
+      Sys.remove path)
+    torn_suffixes
+
+(* The crash may land anywhere around a checkpoint; on every prefix of the
+   log, compacting first must not change the recovery plan. *)
+let test_compact_analyze_equivalent_on_all_prefixes () =
+  let parts = [ "boiler" ] in
+  let rms = Cim.rms ~parts () in
+  let spec = Cim.spec ~parts in
+  let construction = Cim.construction ~pid:1 ~part:"boiler" in
+  let production = Cim.production ~pid:2 ~part:"boiler" in
+  let t = Scheduler.create ~spec ~rms () in
+  Scheduler.submit t ~args_of:Cim.args_of construction;
+  Scheduler.run ~until:4.5 t;
+  Scheduler.checkpoint t;
+  Scheduler.submit t ~at:5.0 ~args_of:Cim.args_of production;
+  Scheduler.run t;
+  Scheduler.checkpoint t;
+  let records = Scheduler.crash t in
+  let procs = [ construction; production ] in
+  let n = List.length records in
+  check Alcotest.bool "log spans two checkpoints" true
+    (List.length (List.filter (function Wal.Checkpoint _ -> true | _ -> false) records) = 2);
+  for len = 0 to n do
+    let prefix = List.filteri (fun i _ -> i < len) records in
+    match (Recovery.analyze ~procs prefix, Recovery.analyze ~procs (Wal.compact prefix)) with
+    | Ok full, Ok small ->
+        check Alcotest.(list int)
+          (Printf.sprintf "prefix %d: same committed" len)
+          full.Recovery.committed small.Recovery.committed;
+        check Alcotest.(list int)
+          (Printf.sprintf "prefix %d: same aborted" len)
+          full.Recovery.aborted small.Recovery.aborted;
+        check Alcotest.(list int)
+          (Printf.sprintf "prefix %d: same interrupted pids" len)
+          (List.map (fun (p : Recovery.process_plan) -> p.Recovery.pid)
+             full.Recovery.interrupted)
+          (List.map (fun (p : Recovery.process_plan) -> p.Recovery.pid)
+             small.Recovery.interrupted);
+        List.iter2
+          (fun (a : Recovery.process_plan) (b : Recovery.process_plan) ->
+            check Fixtures.instance_list
+              (Printf.sprintf "prefix %d: same completion for P%d" len a.Recovery.pid)
+              a.Recovery.completion b.Recovery.completion;
+            check Alcotest.(list int)
+              (Printf.sprintf "prefix %d: same in-doubt for P%d" len a.Recovery.pid)
+              a.Recovery.in_doubt b.Recovery.in_doubt)
+          full.Recovery.interrupted small.Recovery.interrupted
+    | Error e, _ | _, Error e ->
+        Alcotest.fail (Printf.sprintf "prefix %d: analyze failed: %s" len e)
+  done
+
 let checkpoint_suite =
   [
     Alcotest.test_case "compact drops closed records" `Quick test_compact_drops_closed_records;
     Alcotest.test_case "compaction preserves the recovery plan" `Quick
       test_compact_preserves_recovery_plan;
     Alcotest.test_case "recover from a compacted log" `Quick test_recover_from_compacted_log;
+    Alcotest.test_case "load tolerates a torn final record" `Quick test_load_tolerates_torn_tail;
+    Alcotest.test_case "compact/analyze agree on every crash prefix" `Quick
+      test_compact_analyze_equivalent_on_all_prefixes;
   ]
 
 let suite = suite @ checkpoint_suite

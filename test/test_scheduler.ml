@@ -353,3 +353,187 @@ let late_suite =
   ]
 
 let suite = suite @ late_suite
+
+(* --- fault injection: outages, backoff, timeouts, crash trigger --- *)
+
+module Faults = Tpm_sim.Faults
+module Metrics = Tpm_sim.Metrics
+
+let cim_setup_faults ?config ?(faults = Faults.none) part =
+  let parts = [ part ] in
+  let rms = Cim.rms ~parts () in
+  let spec = Cim.spec ~parts in
+  let t = Scheduler.create ?config ~faults ~spec ~rms () in
+  (t, rms)
+
+let summary_of t = Format.asprintf "%a" Metrics.pp_summary (Scheduler.metrics t)
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+(* An outage spanning the pivot's subsystem: the non-retriable test
+   activity is deflected to the alternative branch (doc_drawing) instead
+   of waiting for a window that outlives the process. *)
+let test_outage_deflects_pivot () =
+  let faults =
+    Faults.make
+      ~outages:[ Faults.outage ~subsystem:"testdb" ~from_:0.0 ~until_:1000.0 ]
+      ()
+  in
+  let t, rms = cim_setup_faults ~faults "boiler" in
+  Scheduler.submit t ~args_of:Cim.args_of (Cim.construction ~pid:1 ~part:"boiler");
+  Scheduler.run t;
+  check Alcotest.bool "finished" true (Scheduler.finished t);
+  check Alcotest.bool "committed via the alternative branch" true
+    (Scheduler.status t 1 = Schedule.Committed);
+  let h = Scheduler.history t in
+  check Alcotest.bool "history legal" true (Schedule.legal h);
+  check Alcotest.bool "history RED" true (Criteria.red h);
+  let pdm = find_rm rms "pdm" in
+  let docrepo = find_rm rms "docrepo" in
+  check Alcotest.bool "BOM compensated on the way to the alternative" true
+    (Store.get (Rm.store pdm) "bom:boiler" = Value.Nil);
+  check Alcotest.bool "alternative documented the drawing" true
+    (Store.get (Rm.store docrepo) "drawing_doc:boiler" <> Value.Nil);
+  check Alcotest.bool "deflection counted" true
+    (Metrics.count (Scheduler.metrics t) "outage_deflections" >= 1);
+  check Alcotest.bool "deflections in the metrics summary" true
+    (contains ~needle:"outage_deflections" (summary_of t))
+
+(* The ablation arm: with degradation off, the pivot polls through the
+   outage with capped backoff and commits on the preferred path once the
+   window closes. *)
+let test_outage_wait_ablation () =
+  let faults =
+    Faults.make ~outages:[ Faults.outage ~subsystem:"testdb" ~from_:0.0 ~until_:30.0 ] ()
+  in
+  let config = { Scheduler.default_config with outage_degrade = false } in
+  let t, rms = cim_setup_faults ~config ~faults "boiler" in
+  Scheduler.submit t ~args_of:Cim.args_of (Cim.construction ~pid:1 ~part:"boiler");
+  Scheduler.run t;
+  check Alcotest.bool "finished" true (Scheduler.finished t);
+  check Alcotest.bool "committed on the preferred path" true
+    (Scheduler.status t 1 = Schedule.Committed);
+  let docrepo = find_rm rms "docrepo" in
+  check Alcotest.bool "tech doc written (preferred path)" true
+    (Store.get (Rm.store docrepo) "techdoc:boiler" <> Value.Nil);
+  check Alcotest.bool "outage polls counted" true
+    (Metrics.count (Scheduler.metrics t) "unavailable" >= 1);
+  check Alcotest.bool "run outlives the outage window" true (Scheduler.now t > 30.0)
+
+(* A retriable activity keeps retrying past the outage (Definition 3
+   guarantees its eventual success): no deflection, just backoff. *)
+let test_retriable_rides_out_outage () =
+  let faults =
+    Faults.make ~outages:[ Faults.outage ~subsystem:"docrepo" ~from_:3.5 ~until_:20.0 ] ()
+  in
+  let t, rms = cim_setup_faults ~faults "boiler" in
+  Scheduler.submit t ~args_of:Cim.args_of (Cim.construction ~pid:1 ~part:"boiler");
+  Scheduler.run t;
+  check Alcotest.bool "finished" true (Scheduler.finished t);
+  check Alcotest.bool "committed on the preferred path" true
+    (Scheduler.status t 1 = Schedule.Committed);
+  let docrepo = find_rm rms "docrepo" in
+  check Alcotest.bool "tech doc written after the outage" true
+    (Store.get (Rm.store docrepo) "techdoc:boiler" <> Value.Nil);
+  check Alcotest.bool "no deflection for retriables" true
+    (Metrics.count (Scheduler.metrics t) "outage_deflections" = 0);
+  check Alcotest.bool "retries counted" true
+    (Metrics.count (Scheduler.metrics t) "retries" >= 1);
+  check Alcotest.bool "retries in the metrics summary" true
+    (contains ~needle:"retries" (summary_of t));
+  check Alcotest.bool "run outlives the outage window" true (Scheduler.now t > 20.0)
+
+(* A latency spike pushing the invocation past the client-side timeout:
+   the attempt is abandoned, backed off, and eventually succeeds once the
+   spike window closes. *)
+let test_latency_spike_timeout () =
+  let faults =
+    Faults.make
+      ~spikes:[ Faults.spike ~subsystem:"docrepo" ~from_:0.0 ~until_:50.0 ~factor:10.0 ]
+      ()
+  in
+  let config = { Scheduler.default_config with invocation_timeout = Some 3.0 } in
+  let t, rms = cim_setup_faults ~config ~faults "boiler" in
+  Scheduler.submit t ~args_of:Cim.args_of (Cim.construction ~pid:1 ~part:"boiler");
+  Scheduler.run t;
+  check Alcotest.bool "finished" true (Scheduler.finished t);
+  check Alcotest.bool "committed" true (Scheduler.status t 1 = Schedule.Committed);
+  let docrepo = find_rm rms "docrepo" in
+  check Alcotest.bool "tech doc written after the spike" true
+    (Store.get (Rm.store docrepo) "techdoc:boiler" <> Value.Nil);
+  check Alcotest.bool "timeouts counted" true
+    (Metrics.count (Scheduler.metrics t) "timeouts" >= 1);
+  check Alcotest.bool "retries counted" true
+    (Metrics.count (Scheduler.metrics t) "retries" >= 1);
+  check Alcotest.bool "backoff waits observed" true
+    (Metrics.samples (Scheduler.metrics t) "backoff_wait" <> [])
+
+(* The scripted crash trigger: die right after the third WAL append, then
+   recover from the truncated log. *)
+let test_crash_trigger_fault_plan () =
+  let faults = Faults.make ~crash_after_appends:3 () in
+  let parts = [ "boiler" ] in
+  let rms = Cim.rms ~parts () in
+  let spec = Cim.spec ~parts in
+  let t = Scheduler.create ~faults ~spec ~rms () in
+  let construction = Cim.construction ~pid:1 ~part:"boiler" in
+  Scheduler.submit t ~args_of:Cim.args_of construction;
+  Scheduler.run t;
+  check Alcotest.bool "crash trigger fired" true (Scheduler.is_crashed t);
+  check Alcotest.int "log truncated exactly at the trigger" 3
+    (List.length (Scheduler.wal_records t));
+  check Alcotest.bool "not finished at the crash" false (Scheduler.finished t);
+  match Scheduler.recover ~spec ~rms ~procs:[ construction ] (Scheduler.wal_records t) with
+  | Error e -> Alcotest.fail e
+  | Ok t2 ->
+      Scheduler.run t2;
+      check Alcotest.bool "recovery finished" true (Scheduler.finished t2);
+      let h = Scheduler.history t2 in
+      check Alcotest.bool "recovered history legal" true (Schedule.legal h);
+      check Alcotest.bool "recovered history RED" true (Criteria.red h)
+
+(* Jittered backoff still comes from the seeded stream: two identical runs
+   must agree event for event. *)
+let test_jitter_is_deterministic () =
+  let run () =
+    let params = { Generator.default_params with services = 8; conflict_density = 0.3 } in
+    let rms = Generator.rms params ~fail_prob:(fun _ -> 0.3) ~seed:5 () in
+    let spec = Generator.spec params in
+    let config =
+      {
+        Scheduler.default_config with
+        seed = 5;
+        backoff = { Scheduler.default_backoff with jitter = 0.4 };
+      }
+    in
+    let t = Scheduler.create ~config ~spec ~rms () in
+    List.iteri
+      (fun i p -> Scheduler.submit t ~at:(0.3 *. float_of_int i) p)
+      (Generator.batch ~seed:50 params ~n:5);
+    Scheduler.run t;
+    check Alcotest.bool "finished" true (Scheduler.finished t);
+    (Scheduler.now t, List.length (Schedule.events (Scheduler.history t)))
+  in
+  let t1, e1 = run () in
+  let t2, e2 = run () in
+  check (Alcotest.float 0.0) "same makespan" t1 t2;
+  check Alcotest.int "same event count" e1 e2
+
+let fault_suite =
+  [
+    Alcotest.test_case "outage over the pivot deflects to the alternative" `Quick
+      test_outage_deflects_pivot;
+    Alcotest.test_case "outage wait-out ablation (no degradation)" `Quick
+      test_outage_wait_ablation;
+    Alcotest.test_case "retriable rides out an outage" `Quick test_retriable_rides_out_outage;
+    Alcotest.test_case "latency spike hits the invocation timeout" `Quick
+      test_latency_spike_timeout;
+    Alcotest.test_case "scripted crash trigger and recovery" `Quick
+      test_crash_trigger_fault_plan;
+    Alcotest.test_case "jittered backoff is deterministic" `Quick test_jitter_is_deterministic;
+  ]
+
+let suite = suite @ fault_suite

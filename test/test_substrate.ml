@@ -134,7 +134,7 @@ let test_rm_invoke_and_compensate () =
   | Rm.Committed v -> check value "returned 2" (Value.Int 2) v
   | _ -> Alcotest.fail "invoke failed");
   (* semantic compensation via the inverse service *)
-  (match Rm.compensate rm ~token:2 with
+  (match Rm.compensate rm ~token:2 () with
   | Rm.Committed _ -> ()
   | _ -> Alcotest.fail "compensate failed");
   check value "counter back to 1" (Value.Int 1) (Store.get (Rm.store rm) "n")
@@ -143,7 +143,7 @@ let test_rm_snapshot_compensation () =
   let rm = Rm.create ~name:"db" ~registry:(counter_registry ()) () in
   ignore (Rm.invoke rm ~token:5 ~service:"set_flag" ~args:(Value.Text "on") ());
   check value "flag set" (Value.Text "on") (Store.get (Rm.store rm) "flag");
-  ignore (Rm.compensate rm ~token:5);
+  ignore (Rm.compensate rm ~token:5 ());
   check value "flag restored" Value.Nil (Store.get (Rm.store rm) "flag")
 
 let test_rm_failure_injection () =

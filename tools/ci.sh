@@ -1,0 +1,9 @@
+#!/bin/sh
+# Build everything, run the full test suite (includes the crash-point
+# sweep), then a reduced randomized stress with and without outages.
+set -eu
+cd "$(dirname "$0")/.."
+
+dune build @all
+dune runtest
+dune exec tools/stress.exe -- --seeds 41-50 --outages 0.0,0.2

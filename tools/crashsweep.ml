@@ -1,0 +1,150 @@
+(* Deterministic crash-point sweep: run a workload once to count its WAL
+   appends, then re-run it crashing right after every k-th append (via the
+   fault plan's crash trigger), recover from the log, finish, and assert
+   on every crash position that
+
+   - the crash fired exactly where scripted (the log has k records),
+   - every process reaches a terminal state after recovery,
+   - the recovered history is legal and prefix-reducible,
+   - no prepared (in-doubt 2PC) invocation leaks at any subsystem,
+   - the surviving subsystem stores are exactly explained by the recovered
+     history: replaying it into fresh subsystems yields equal stores.
+
+   Runs as part of `dune runtest` (see tools/dune); knobs are compiled in
+   and kept small so the sweep stays fast. *)
+open Tpm_core
+module Scheduler = Tpm_scheduler.Scheduler
+module Generator = Tpm_workload.Generator
+module Faults = Tpm_sim.Faults
+module Rm = Tpm_subsys.Rm
+module Service = Tpm_subsys.Service
+module Store = Tpm_kv.Store
+
+let params =
+  {
+    Generator.default_params with
+    activities_min = 3;
+    activities_max = 6;
+    services = 6;
+    conflict_density = 0.3;
+    subsystems = 3;
+  }
+
+let horizon = 100000.0
+let n_procs = 3
+let fail_rate = 0.2
+let seeds = [ 11; 12; 13 ]
+
+let modes =
+  [
+    ("conservative", Scheduler.Conservative);
+    ("deferred", Scheduler.Deferred);
+    ("quasi", Scheduler.Quasi);
+  ]
+
+let fresh_rms seed = Generator.rms params ~fail_prob:(fun _ -> fail_rate) ~seed ()
+let procs_of seed = Generator.batch ~seed:(seed * 100) params ~n:n_procs
+
+let submit_all t procs =
+  List.iteri (fun i p -> Scheduler.submit t ~at:(0.4 *. float_of_int i) p) procs
+
+(* Replay every occurrence of the history, in emission (= effect) order,
+   into fresh subsystems; compensations re-invoke the declared inverse.
+   The sweep's processes carry no invocation arguments, so the replayed
+   invocations are argument-identical to the originals. *)
+let replay_explains history rms ~seed =
+  let reg = Generator.registry params in
+  let fresh = Generator.rms params ~seed () in
+  let find name l = List.find (fun rm -> Rm.name rm = name) l in
+  let token = ref 0 in
+  let ok = ref true in
+  List.iter
+    (function
+      | Schedule.Act inst ->
+          let a = Activity.instance_base inst in
+          let service =
+            if Activity.is_inverse inst then
+              match (Service.Registry.find reg a.Activity.service).Service.compensation with
+              | Service.Inverse_service inv -> inv
+              | Service.No_compensation | Service.Snapshot_undo ->
+                  failwith "crashsweep: history replay needs inverse services"
+            else a.Activity.service
+          in
+          incr token;
+          (match
+             Rm.invoke (find a.Activity.subsystem fresh) ~token:!token ~service
+               ~attempt:max_int ()
+           with
+          | Rm.Committed _ -> ()
+          | Rm.Prepared _ | Rm.Failed | Rm.Blocked _ | Rm.Unavailable -> ok := false)
+      | Schedule.Commit _ | Schedule.Abort _ | Schedule.Group_abort _ -> ())
+    (Schedule.events history);
+  !ok
+  && List.for_all
+       (fun rm -> Store.equal_state (Rm.store rm) (Rm.store (find (Rm.name rm) fresh)))
+       rms
+
+(* one fault-free run to learn the total number of WAL appends *)
+let count_appends ~seed ~mode =
+  let t =
+    Scheduler.create
+      ~config:{ Scheduler.default_config with mode; seed }
+      ~spec:(Generator.spec params) ~rms:(fresh_rms seed) ()
+  in
+  submit_all t (procs_of seed);
+  Scheduler.run ~until:horizon t;
+  if not (Scheduler.finished t) then
+    failwith (Printf.sprintf "crashsweep: baseline seed=%d did not finish" seed);
+  List.length (Scheduler.wal_records t)
+
+let sweep ~seed ~mode_name ~mode =
+  let appends = count_appends ~seed ~mode in
+  let spec = Generator.spec params in
+  let procs = procs_of seed in
+  let config = { Scheduler.default_config with mode; seed } in
+  let failures = ref 0 in
+  for k = 1 to appends do
+    let complain name =
+      incr failures;
+      Format.printf "seed=%d mode=%s crash@%d: %s@." seed mode_name k name
+    in
+    let check name cond = if not cond then complain name in
+    let rms = fresh_rms seed in
+    let t =
+      Scheduler.create ~config
+        ~faults:(Faults.make ~crash_after_appends:k ())
+        ~spec ~rms ()
+    in
+    submit_all t procs;
+    Scheduler.run ~until:horizon t;
+    let records = Scheduler.wal_records t in
+    check "crash trigger did not fire" (Scheduler.is_crashed t);
+    check "log longer than the crash point" (List.length records = k);
+    match Scheduler.recover ~config ~spec ~rms ~procs records with
+    | Error e -> complain ("recovery failed: " ^ e)
+    | Ok t2 ->
+        Scheduler.run ~until:horizon t2;
+        let h = Scheduler.history t2 in
+        check "not finished after recovery" (Scheduler.finished t2);
+        check "illegal recovered history" (Schedule.legal h);
+        check "recovered history not PRED" (Criteria.pred h);
+        check "leaked prepared invocation"
+          (List.for_all (fun rm -> Rm.prepared_tokens rm = []) rms);
+        check "stores not explained by recovered history" (replay_explains h rms ~seed)
+  done;
+  Format.printf "crashsweep: seed=%d mode=%s %d crash points, %d failures@." seed
+    mode_name appends !failures;
+  !failures
+
+let () =
+  let failures =
+    List.fold_left
+      (fun acc seed ->
+        List.fold_left
+          (fun acc (mode_name, mode) -> acc + sweep ~seed ~mode_name ~mode)
+          acc modes)
+      0 seeds
+  in
+  if failures = 0 then Format.printf "crashsweep: all crash points recovered@."
+  else Format.printf "crashsweep: %d FAILURES@." failures;
+  exit (if failures = 0 then 0 else 1)

@@ -1,46 +1,129 @@
-(* Randomized stress of the scheduler: many seeds, modes and failure
-   rates; checks termination, legality and PRED of every emitted history. *)
+(* Randomized stress of the scheduler: many seeds, modes, failure rates
+   and outage plans; checks termination, legality and PRED of every
+   emitted history.  Every failing combination prints a one-line repro
+   including the fault plan.
+
+   dune exec tools/stress.exe -- \
+     --seeds 41-120 --modes deferred,quasi --fail-rates 0.1 --outages 0.2 *)
 open Tpm_core
 module Scheduler = Tpm_scheduler.Scheduler
 module Generator = Tpm_workload.Generator
+module Faults = Tpm_sim.Faults
+module Prng = Tpm_sim.Prng
+module Rm = Tpm_subsys.Rm
+
+let mode_of_name = function
+  | "conservative" -> Scheduler.Conservative
+  | "deferred" -> Scheduler.Deferred
+  | "quasi" -> Scheduler.Quasi
+  | s -> raise (Arg.Bad (Printf.sprintf "unknown mode %S" s))
+
+let split_commas s = String.split_on_char ',' s |> List.filter (fun x -> x <> "")
+
+let parse_floats s =
+  List.map
+    (fun x ->
+      match float_of_string_opt x with
+      | Some f -> f
+      | None -> raise (Arg.Bad (Printf.sprintf "bad number %S" x)))
+    (split_commas s)
+
+(* "41-120" (inclusive range) or "3,7,11" *)
+let parse_seeds s =
+  let bad () = raise (Arg.Bad (Printf.sprintf "bad seed spec %S" s)) in
+  let int x = match int_of_string_opt x with Some n -> n | None -> bad () in
+  match String.index_opt s '-' with
+  | Some i ->
+      let lo = int (String.sub s 0 i) in
+      let hi = int (String.sub s (i + 1) (String.length s - i - 1)) in
+      if hi < lo then bad ();
+      List.init (hi - lo + 1) (fun k -> lo + k)
+  | None -> List.map int (split_commas s)
+
+let seeds = ref (parse_seeds "41-120")
+let modes = ref [ "conservative"; "deferred"; "quasi" ]
+let fail_rates = ref [ 0.0; 0.1; 0.3 ]
+let outages = ref [ 0.0 ]
+let n_procs = ref 8
+let horizon = ref 50.0
+
+let speclist =
+  [
+    ( "--seeds",
+      Arg.String (fun s -> seeds := parse_seeds s),
+      "RANGE workload seeds, \"41-120\" or \"3,7,11\" (default 41-120)" );
+    ( "--modes",
+      Arg.String
+        (fun s ->
+          let l = split_commas s in
+          List.iter (fun m -> ignore (mode_of_name m)) l;
+          modes := l),
+      "LIST scheduler modes among conservative,deferred,quasi (default all)" );
+    ( "--fail-rates",
+      Arg.String (fun s -> fail_rates := parse_floats s),
+      "LIST per-invocation failure probabilities (default 0.0,0.1,0.3)" );
+    ( "--outages",
+      Arg.String (fun s -> outages := parse_floats s),
+      "LIST outage duty cycles in [0,1); 0 disables the plan (default 0.0)" );
+    ("--procs", Arg.Set_int n_procs, "N processes per run (default 8)");
+    ( "--horizon",
+      Arg.Set_float horizon,
+      "T virtual-time span the random fault plans cover (default 50)" );
+  ]
 
 let () =
+  Arg.parse speclist
+    (fun s -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" s)))
+    "stress [options]";
   let failures = ref 0 in
   let runs = ref 0 in
-  let modes = [ ("conservative", Scheduler.Conservative); ("deferred", Scheduler.Deferred);
-                ("quasi", Scheduler.Quasi) ] in
-  for seed = 41 to 120 do
-    List.iter
-      (fun (mode_name, mode) ->
-        List.iter
-          (fun fail_rate ->
-            incr runs;
-            let params =
-              { Generator.default_params with services = 8; conflict_density = 0.4 }
-            in
-            let rms = Generator.rms params ~fail_prob:(fun _ -> fail_rate) ~seed () in
-            let spec = Generator.spec params in
-            let config = { Scheduler.default_config with mode; seed } in
-            let t = Scheduler.create ~config ~spec ~rms () in
-            List.iteri
-              (fun i p -> Scheduler.submit t ~at:(0.4 *. float_of_int i) p)
-              (Generator.batch ~seed:(seed * 100) params ~n:8);
-            (try Scheduler.run ~until:100000.0 t
-             with e ->
-               incr failures;
-               Format.printf "seed=%d mode=%s fail=%.2f EXCEPTION %s@." seed mode_name
-                 fail_rate (Printexc.to_string e));
-            let h = Scheduler.history t in
-            let ok_finished = Scheduler.finished t in
-            let ok_legal = Schedule.legal h in
-            let ok_pred = Criteria.pred h in
-            if not (ok_finished && ok_legal && ok_pred) then begin
-              incr failures;
-              Format.printf "seed=%d mode=%s fail=%.2f finished=%b legal=%b pred=%b@." seed
-                mode_name fail_rate ok_finished ok_legal ok_pred
-            end)
-          [ 0.0; 0.1; 0.3 ])
-      modes
-  done;
+  List.iter
+    (fun seed ->
+      List.iter
+        (fun mode_name ->
+          let mode = mode_of_name mode_name in
+          List.iter
+            (fun fail_rate ->
+              List.iter
+                (fun outage_duty ->
+                  incr runs;
+                  let params =
+                    { Generator.default_params with services = 8; conflict_density = 0.4 }
+                  in
+                  let rms = Generator.rms params ~fail_prob:(fun _ -> fail_rate) ~seed () in
+                  let faults =
+                    if outage_duty <= 0.0 then Faults.none
+                    else
+                      Faults.random
+                        (Prng.create (seed * 7919))
+                        ~subsystems:(List.map Rm.name rms) ~horizon:!horizon ~outage_duty ()
+                  in
+                  let spec = Generator.spec params in
+                  let config = { Scheduler.default_config with mode; seed } in
+                  let t = Scheduler.create ~config ~faults ~spec ~rms () in
+                  List.iteri
+                    (fun i p -> Scheduler.submit t ~at:(0.4 *. float_of_int i) p)
+                    (Generator.batch ~seed:(seed * 100) params ~n:!n_procs);
+                  let repro () =
+                    Printf.sprintf "seed=%d mode=%s fail=%.2f outage=%.2f plan=%s" seed
+                      mode_name fail_rate outage_duty (Faults.to_string faults)
+                  in
+                  (try Scheduler.run ~until:100000.0 t
+                   with e ->
+                     incr failures;
+                     Format.printf "%s EXCEPTION %s@." (repro ()) (Printexc.to_string e));
+                  let h = Scheduler.history t in
+                  let ok_finished = Scheduler.finished t in
+                  let ok_legal = Schedule.legal h in
+                  let ok_pred = Criteria.pred h in
+                  if not (ok_finished && ok_legal && ok_pred) then begin
+                    incr failures;
+                    Format.printf "%s finished=%b legal=%b pred=%b@." (repro ()) ok_finished
+                      ok_legal ok_pred
+                  end)
+                !outages)
+            !fail_rates)
+        !modes)
+    !seeds;
   Format.printf "stress: %d runs, %d failures@." !runs !failures;
   exit (if !failures = 0 then 0 else 1)
