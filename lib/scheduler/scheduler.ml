@@ -5,8 +5,10 @@ module Des = Tpm_sim.Des
 module Prng = Tpm_sim.Prng
 module Metrics = Tpm_sim.Metrics
 module Faults = Tpm_sim.Faults
+module Bus = Tpm_sim.Bus
 module Wal = Tpm_wal.Wal
 module Recovery = Tpm_wal.Recovery
+module Coordinator = Tpm_twopc.Coordinator
 
 type mode =
   | Conservative
@@ -58,6 +60,14 @@ type config = {
       (* degrade a non-retriable activity to its next alternative branch
          when its subsystem answers Unavailable; when off, wait out the
          outage retrying (ablation for the robustness experiments) *)
+  twopc_retransmit : float;
+      (* retransmission timer period of the 2PC coordinator: unanswered
+         PREPARE/DECISION messages are re-sent this often *)
+  twopc_inquiry : float option;
+      (* participant-side termination protocol: an in-doubt participant
+         re-inquires the coordinator after this long without a decision;
+         [None] disables inquiries (the participant waits passively for
+         coordinator retransmission) *)
 }
 
 let default_config =
@@ -72,6 +82,8 @@ let default_config =
     backoff = default_backoff;
     invocation_timeout = None;
     outage_degrade = true;
+    twopc_retransmit = 1.0;
+    twopc_inquiry = Some 3.0;
   }
 
 type phase =
@@ -80,6 +92,15 @@ type phase =
       act : int;
       token : int;
     }
+  | Deciding_2pc of {
+      act : int;
+      token : int;
+      cid : int;
+    }
+      (* a 2PC coordinator instance is deciding the prepared activity: the
+         process's fate for this activity is in the protocol's hands (the
+         commit decision may already be durable), so abort paths must not
+         touch the token *)
   | Recovering
   | Awaiting_commit
   | Done
@@ -118,7 +139,12 @@ type t = {
   attempts : (int * int, int) Hashtbl.t;
   mutable rollback_queue : (int * Activity.instance) list;
   mutable rollback_running : bool;
-  mutable crashed : bool;
+  crashed : bool ref;
+      (* a ref, not a mutable field: the bus crash hook and the
+         coordinator's halted probe capture it before [t] exists *)
+  bus : Coordinator.msg Bus.t;
+  coord : Coordinator.t;
+  logf : Wal.record -> unit;
 }
 
 let trace = ref false
@@ -142,41 +168,75 @@ let create ?(config = default_config) ?(faults = Faults.none) ?wal_path ~spec ~r
          registered subsystem consults the same script *)
       Rm.set_faults rm faults)
     rms;
+  let sim = Des.create () in
+  let metrics = Metrics.create () in
+  let wal = Wal.create ?path:wal_path () in
+  let crashed = ref false in
+  (* the message layer draws from its own stream so enabling message
+     faults never perturbs the scheduler's service-time / backoff draws *)
+  let msg_rng = Prng.create ((config.seed * 31) + 7) in
+  let bus = Bus.create ~sim ~rng:msg_rng ~metrics ~faults () in
+  Bus.set_crash_hook bus (fun () -> crashed := true);
+  (* Every WAL append goes through here so the fault plan's crash trigger
+     ("die right after the Nth append") fires at an exact, reproducible
+     point.  The record that trips the trigger is still written — the
+     crash happens after the append — and a crash silences the bus so no
+     message outlives the scheduler. *)
+  let logf record =
+    if not !crashed then begin
+      Wal.append wal record;
+      match Faults.crash_after faults with
+      | Some n when Wal.size wal >= n ->
+          crashed := true;
+          Bus.halt bus
+      | Some _ | None -> ()
+    end
+  in
+  let halted () = !crashed in
+  Metrics.incr metrics ~by:0 "indoubt_resolved";
+  let coord =
+    Coordinator.create ~sim ~bus ~log:logf ~metrics
+      ~retransmit_after:config.twopc_retransmit ~halted ()
+  in
+  List.iter
+    (fun rm ->
+      Coordinator.Participant.attach ~sim ~bus ~rm ~metrics
+        ?inquiry_after:config.twopc_inquiry
+        ~on_resolved:(fun ~token ~commit ->
+          (* participant-side durable mark, written in the same synchronous
+             block as the subsystem commit/abort of the token *)
+          logf
+            (Wal.Prepared_decided
+               { pid = token / 1_000_000; act = token mod 1_000_000; commit }))
+        ~halted ())
+    rms;
   {
     cfg = config;
     spec;
     faults;
     rms = table;
-    sim = Des.create ();
+    sim;
     rng = Prng.create config.seed;
     deps = Deps.create ();
-    wal = Wal.create ?path:wal_path ();
+    wal;
     procs = Hashtbl.create 16;
     rev_events = [];
-    metrics = Metrics.create ();
+    metrics;
     attempts = Hashtbl.create 64;
     rollback_queue = [];
     rollback_running = false;
-    crashed = false;
+    crashed;
+    bus;
+    coord;
+    logf;
   }
 
 let now t = Des.now t.sim
 let metrics t = t.metrics
 let wal_records t = Wal.records t.wal
-let is_crashed t = t.crashed
-
-(* Every WAL append goes through here so the fault plan's crash trigger
-   ("die right after the Nth append") fires at an exact, reproducible
-   point.  The record that trips the trigger is still written — the crash
-   happens after the append — and once crashed nothing is logged or
-   dispatched any more. *)
-let log t record =
-  if not t.crashed then begin
-    Wal.append t.wal record;
-    match Faults.crash_after t.faults with
-    | Some n when Wal.size t.wal >= n -> t.crashed <- true
-    | Some _ | None -> ()
-  end
+let is_crashed t = !(t.crashed)
+let msg_deliveries t = Bus.deliveries t.bus
+let log t record = t.logf record
 
 let rm_of t (a : Activity.t) =
   match Hashtbl.find_opt t.rms a.subsystem with
@@ -273,7 +333,7 @@ let busy_conflicts t ps service =
   in
   let prepared_conflict =
     match ps.phase with
-    | Blocked_2pc { act; _ } ->
+    | Blocked_2pc { act; _ } | Deciding_2pc { act; _ } ->
         services_conflict t service (Process.find ps.proc act).Activity.service
     | Running | Recovering | Awaiting_commit | Done -> false
   in
@@ -285,7 +345,10 @@ let remaining_services ps =
      occurrence-to-be: it is not part of the open future *)
   let placed n =
     ps.inflight = Some n
-    || match ps.phase with Blocked_2pc { act; _ } -> act = n | _ -> false
+    ||
+    match ps.phase with
+    | Blocked_2pc { act; _ } | Deciding_2pc { act; _ } -> act = n
+    | _ -> false
   in
   Process.activity_ids ps.proc
   |> List.filter (fun n -> (not (List.mem n executed)) && not (placed n))
@@ -393,7 +456,8 @@ let admission t pid act =
             in
             let base =
               match q.phase with
-              | Blocked_2pc { act; _ } -> (Process.find q.proc act).Activity.service :: base
+              | Blocked_2pc { act; _ } | Deciding_2pc { act; _ } ->
+                  (Process.find q.proc act).Activity.service :: base
               | Running | Recovering | Awaiting_commit | Done -> base
             in
             if qid = pid then service :: base else base
@@ -465,31 +529,43 @@ let admission t pid act =
 (* Forward progress *)
 
 let rec wake t =
-  if not t.crashed then begin
+  if not !(t.crashed) then begin
     let changed = ref false in
     let waiting : (int, int list) Hashtbl.t = Hashtbl.create 8 in
     List.iter
       (fun ps ->
         (* the crash trigger may fire mid-iteration: once crashed, no
            further subsystem mutation or dispatch is allowed *)
-        if t.crashed then ()
+        if !(t.crashed) then ()
         else
         let pid = Process.pid ps.proc in
         match ps.phase with
         | Done | Recovering -> ()
+        | Deciding_2pc _ -> ()  (* the coordinator instance drives it *)
         | Blocked_2pc { act; token } ->
             let preds = Deps.uncommitted_preds t.deps pid in
             if preds <> [] then Hashtbl.replace waiting pid preds
             else begin
+              (* every conflicting predecessor committed: hand the prepared
+                 activity to the crash-tolerant coordinator.  The commit is
+                 applied (and the history event emitted) in [on_twopc_done]
+                 once the decision round-trips the message bus. *)
               let a = Process.find ps.proc act in
-              tracef t "2pc-commit P%d a%d" pid act;
-              Rm.commit_prepared (rm_of t a) ~token;
-              log t (Wal.Prepared_decided { pid; act; commit = true });
-              emit t (Schedule.Act (Activity.Forward a));
-              ps.exec <- Execution.exec ps.exec act;
-              ps.completion_cache <- None;
-              ps.phase <- Running;
-              Metrics.incr t.metrics "twopc_commits";
+              tracef t "2pc-start P%d a%d" pid act;
+              (* enter the deciding phase before starting the instance:
+                 under synchronous (fault-free) delivery [on_done] fires
+                 inside [start], and it must find the phase in place.  The
+                 instance id is patched in afterwards if still deciding. *)
+              ps.phase <- Deciding_2pc { act; token; cid = 0 };
+              let cid =
+                Coordinator.start t.coord ~pid ~act
+                  ~participants:[ (rm_of t a, token) ]
+                  ~on_done:(fun ~commit -> on_twopc_done t pid act ~commit)
+              in
+              (match ps.phase with
+              | Deciding_2pc { act = act'; token = token'; cid = 0 } when act' = act ->
+                  ps.phase <- Deciding_2pc { act = act'; token = token'; cid }
+              | _ -> ());
               changed := true
             end
         | Awaiting_commit ->
@@ -528,8 +604,41 @@ let rec wake t =
               end
             end)
       (pstates t);
-    if !changed then wake t else if not t.crashed then detect_stall t waiting
+    if !changed then wake t else if not !(t.crashed) then detect_stall t waiting
   end
+
+(* Decision callback of a coordinator instance: fires once every
+   participant acknowledged.  On commit the activity's effects are already
+   durable in its subsystem (the participant applied them before acking);
+   on abort the token was rolled back everywhere and the activity counts
+   as a failed attempt. *)
+and on_twopc_done t pid act ~commit =
+  if !(t.crashed) then ()
+  else
+    match Hashtbl.find_opt t.procs pid with
+    | None -> ()
+    | Some ps -> (
+        match ps.phase with
+        | Deciding_2pc { act = act'; _ } when act' = act ->
+            let a = Process.find ps.proc act in
+            if commit then begin
+              tracef t "2pc-commit P%d a%d" pid act;
+              emit t (Schedule.Act (Activity.Forward a));
+              ps.exec <- Execution.exec ps.exec act;
+              ps.completion_cache <- None;
+              ps.phase <- Running;
+              Metrics.incr t.metrics "twopc_commits";
+              wake t
+            end
+            else begin
+              tracef t "2pc-abort P%d a%d" pid act;
+              Metrics.incr t.metrics "twopc_aborts";
+              ps.phase <- Running;
+              handle_failure t ps act
+            end
+        | Running | Blocked_2pc _ | Deciding_2pc _ | Recovering | Awaiting_commit
+        | Done ->
+            ()  (* stale decision for a process that moved on *))
 
 (* A stall occurs when live processes remain but nothing is executing:
    every pending admission waits on a commit that can never happen (the
@@ -543,6 +652,11 @@ and detect_stall t waiting =
     t.rollback_running
     || List.exists (fun ps -> ps.inflight <> None) ps_list
     || List.exists (fun ps -> ps.aborting && ps.phase <> Done) ps_list
+    (* a 2PC decision in flight counts as progress: its messages and
+       retransmission timers are pending DES events *)
+    || List.exists
+         (fun ps -> match ps.phase with Deciding_2pc _ -> true | _ -> false)
+         ps_list
   in
   if lives <> [] && not busy then begin
     (* build the wait-for graph and abort one cycle jointly, so that the
@@ -643,14 +757,15 @@ and redispatch t ps act how ~a ~delay =
       Des.after t.sim (delay +. d) (fun _ -> on_activity_done t pid act how)
 
 and on_activity_timeout t pid act how =
-  if t.crashed then ()
+  if !(t.crashed) then ()
   else
     match Hashtbl.find_opt t.procs pid with
     | None -> ()
     | Some ps -> (
         if ps.inflight = Some act then ps.inflight <- None;
         match ps.phase with
-        | Recovering | Done -> Metrics.incr t.metrics "cancelled_inflight"
+        | Recovering | Done | Deciding_2pc _ ->
+            Metrics.incr t.metrics "cancelled_inflight"
         | Running | Awaiting_commit | Blocked_2pc _ ->
             let a = Process.find ps.proc act in
             let rm = rm_of t a in
@@ -670,7 +785,7 @@ and retry_or_degrade t ps act how ~rm ~a ~attempt =
   else handle_failure t ps act
 
 and on_activity_done t pid act how =
-  if t.crashed then ()
+  if !(t.crashed) then ()
   else
   match Hashtbl.find_opt t.procs pid with
   | None -> ()
@@ -701,9 +816,10 @@ and on_activity_done t pid act how =
       else begin
       if ps.inflight = Some act then ps.inflight <- None;
       match ps.phase with
-      | Recovering | Done ->
-          (* the process was aborted while this invocation was in flight:
-             the invocation is considered never submitted *)
+      | Recovering | Done | Deciding_2pc _ ->
+          (* the process was aborted (or its fate handed to a 2PC
+             coordinator) while this invocation was in flight: the
+             invocation is considered never submitted *)
           Metrics.incr t.metrics "cancelled_inflight"
       | Running | Awaiting_commit | Blocked_2pc _ -> (
           let a = Process.find ps.proc act in
@@ -861,6 +977,13 @@ and cascade_victims t ~exclude ~seed_instances =
           (not (List.mem qid exclude))
           && live q
           && q.phase <> Recovering (* already completing, do not re-plan *)
+          (* a process whose activity is mid-decision cannot be a cascade
+             victim: any conflicting earlier occurrence of a live process
+             would have created a dependency edge at admission, so the
+             process would still have uncommitted predecessors and never
+             have entered 2PC.  Excluded defensively — its locks clear the
+             moment the decision lands. *)
+          && (match q.phase with Deciding_2pc _ -> false | _ -> true)
           && (not (List.mem_assoc qid !victims))
           && threatened
         then begin
@@ -919,10 +1042,15 @@ and abort_prepared_of t q =
       Rm.abort_prepared (rm_of t a) ~token;
       log t (Wal.Prepared_decided { pid = Process.pid q.proc; act; commit = false });
       Metrics.incr t.metrics "twopc_aborts"
+  | Deciding_2pc _ ->
+      (* unreachable: abort paths exclude deciding processes (the commit
+         decision may already be durable at the coordinator).  Never touch
+         the token behind the protocol's back. *)
+      ()
   | Running | Recovering | Awaiting_commit | Done -> ()
 
 and run_rollback_queue t =
-  if t.crashed then ()
+  if !(t.crashed) then ()
   else
   (* Pick the next executable completion instance.  Per-process order is
      preserved (an item is eligible only if no earlier queue item belongs
@@ -1029,7 +1157,7 @@ and run_rollback_queue t =
           Des.after t.sim d (fun _ ->
               (* re-select at execution time: the queue may have grown and
                  eligibility may have changed *)
-              if t.crashed then ()
+              if !(t.crashed) then ()
               else
                 match select [] [] t.rollback_queue with
                 | None ->
@@ -1138,6 +1266,12 @@ and abort_group t group =
       (fun ps ->
         match ps.phase with
         | Done | Recovering -> false
+        (* mid-decision: the coordinator owns the token's fate and the
+           commit may already be durably logged, so the process cannot be
+           aborted here.  Callers that must make progress (blocked waiters,
+           the rollback queue) retry with backoff; the window closes as
+           soon as the decision lands. *)
+        | Deciding_2pc _ -> false
         | Running | Awaiting_commit | Blocked_2pc _ -> true)
       group
   in
@@ -1208,20 +1342,26 @@ let register t ?(args_of = fun _ -> Value.Nil) proc =
 let submit t ?at ?args_of proc =
   let when_ = Option.value ~default:(now t) at in
   Des.at t.sim when_ (fun _ ->
-      if not t.crashed then begin
+      if not !(t.crashed) then begin
         let ps = register t ?args_of proc in
         ps.arrived <- now t;
         Metrics.incr t.metrics "submitted";
         wake t
       end)
 
-let request_abort t ?at pid =
+let rec request_abort t ?at pid =
   let when_ = Option.value ~default:(now t) at in
   Des.at t.sim when_ (fun _ ->
-      if not t.crashed then
+      if not !(t.crashed) then
         match Hashtbl.find_opt t.procs pid with
         | None -> ()
-        | Some ps -> abort_now t ps)
+        | Some ps -> (
+            match ps.phase with
+            | Deciding_2pc _ ->
+                (* the decision window is short (it closes when the 2PC
+                   round completes): retry the abort after it *)
+                request_abort t ~at:(now t +. t.cfg.backoff.base) pid
+            | _ -> abort_now t ps))
 
 let run ?until t = Des.run ?until t.sim
 
@@ -1236,30 +1376,97 @@ let checkpoint t =
     (Wal.Checkpoint { committed = closed Schedule.Committed; aborted = closed Schedule.Aborted })
 
 let crash t =
-  t.crashed <- true;
+  t.crashed := true;
+  Bus.halt t.bus;
   Wal.records t.wal
 
-let recover ?(config = default_config) ~spec ~rms ~procs records =
+let recover ?(config = default_config) ?(amnesia = false) ~spec ~rms ~procs records =
+  (* Coordinator amnesia: the coordinator's side of the log is declared
+     lost.  Strip its records and fall back to cooperative termination —
+     an in-doubt participant's instance commits iff some sibling resource
+     manager remembers the commit decision; only then is abort presumed.
+     A remembered commit is synthesized into the log as the participant's
+     own decided record so analysis treats it like a delivered decision. *)
+  let records, termination_commits =
+    if not amnesia then (records, [])
+    else begin
+      let stripped =
+        List.filter
+          (function
+            | Wal.Coord_begin _ | Wal.Coord_committed _ | Wal.Coord_forgotten _ ->
+                false
+            | _ -> true)
+          records
+      in
+      let commits =
+        List.concat_map
+          (fun rm ->
+            List.filter_map
+              (fun (token, cid) ->
+                if Coordinator.cooperative_decision ~rms ~cid then
+                  Some (token / 1_000_000, token mod 1_000_000)
+                else None)
+              (Rm.in_doubt rm))
+          rms
+        |> List.sort_uniq compare
+      in
+      ( stripped
+        @ List.map
+            (fun (pid, act) -> Wal.Prepared_decided { pid; act; commit = true })
+            commits,
+        commits )
+    end
+  in
   match Recovery.analyze ~procs records with
   | Error e -> Error e
   | Ok plan ->
       let t = create ~config ~spec ~rms () in
-      (* resolve in-doubt prepared invocations: abort them at the RMs *)
+      let find_proc pid = List.find_opt (fun pr -> Process.pid pr = pid) procs in
+      (* apply the cooperatively recovered commit decisions to the tokens
+         still prepared at the resource managers *)
+      List.iter
+        (fun (pid, act) ->
+          match find_proc pid with
+          | None -> ()
+          | Some proc ->
+              let rm = rm_of t (Process.find proc act) in
+              let token = activity_token ~pid ~act in
+              if Rm.is_prepared rm ~token then begin
+                Rm.commit_prepared rm ~token;
+                Metrics.incr t.metrics "indoubt_resolved";
+                Metrics.incr t.metrics "twopc_commits"
+              end)
+        termination_commits;
+      (* Resolve in-doubt prepared invocations.  Durably committed ones
+         (the coordinator logged [Coord_committed] but the DECISION message
+         was lost in the crash) are re-delivered: committed at their
+         subsystems, never aborted.  All others are presumed aborted. *)
       List.iter
         (fun (p : Recovery.process_plan) ->
-          List.iter
-            (fun act ->
-              let proc = List.find (fun pr -> Process.pid pr = p.Recovery.pid) procs in
-              let a = Process.find proc act in
-              let rm = rm_of t a in
-              let token = activity_token ~pid:p.Recovery.pid ~act in
-              if List.mem token (Rm.prepared_tokens rm) then begin
-                Rm.abort_prepared rm ~token;
-                Metrics.incr t.metrics "twopc_aborts"
-              end;
-              log t (Wal.Prepared_decided { pid = p.Recovery.pid; act; commit = false }))
-            p.Recovery.in_doubt)
+          let pid = p.Recovery.pid in
+          let proc = List.find (fun pr -> Process.pid pr = pid) procs in
+          let resolve act ~commit =
+            let rm = rm_of t (Process.find proc act) in
+            let token = activity_token ~pid ~act in
+            (if Rm.is_prepared rm ~token then
+               if commit then begin
+                 Rm.commit_prepared rm ~token;
+                 Metrics.incr t.metrics "indoubt_resolved";
+                 Metrics.incr t.metrics "twopc_commits"
+               end
+               else begin
+                 Rm.abort_prepared rm ~token;
+                 Metrics.incr t.metrics "twopc_aborts"
+               end);
+            log t (Wal.Prepared_decided { pid; act; commit })
+          in
+          List.iter (fun act -> resolve act ~commit:true) p.Recovery.in_doubt_commit;
+          List.iter (fun act -> resolve act ~commit:false) p.Recovery.in_doubt)
         plan.Recovery.interrupted;
+      (* the pre-crash coordination state is now fully resolved: clear the
+         in-doubt tags and remembered decisions so the fresh coordinator's
+         instance ids cannot be confused with pre-crash ones *)
+      List.iter Rm.reset_coordination rms;
       (* processes that already terminated keep their outcome *)
       List.iter
         (fun (pid, term) ->
@@ -1297,13 +1504,22 @@ let recover ?(config = default_config) ~spec ~rms ~procs records =
          (WAL) order, so that the recovered history is self-contained and
          the completion ordering below sees every pre-crash conflict.
          The re-appends also make the new log self-contained. *)
-      let find_proc pid = List.find_opt (fun pr -> Process.pid pr = pid) procs in
       let aborted_in_doubt pid act =
         List.exists
           (fun (p : Recovery.process_plan) ->
             p.Recovery.pid = pid && List.mem act p.Recovery.in_doubt)
           plan.Recovery.interrupted
       in
+      let in_doubt_commit pid act =
+        List.exists
+          (fun (p : Recovery.process_plan) ->
+            p.Recovery.pid = pid && List.mem act p.Recovery.in_doubt_commit)
+          plan.Recovery.interrupted
+      in
+      (* [Coord_begin] names the activity each instance decides, so the
+         re-delivered commit of an in-doubt token can be emitted at the
+         position where its decision became durable *)
+      let coord_acts : (int, int * int) Hashtbl.t = Hashtbl.create 8 in
       List.iter
         (fun record ->
           let emit_act pid act inverse =
@@ -1322,9 +1538,13 @@ let recover ?(config = default_config) ~spec ~rms ~procs records =
           | Wal.Prepared_decided { pid; act; commit = true } -> emit_act pid act false
           | Wal.Prepared { pid; act } ->
               (* in-doubt prepared resolved to commit appear via their later
-                 progress; trailing ones were aborted above *)
+                 progress; trailing ones were aborted above; durably
+                 committed ones are emitted at their [Coord_committed]
+                 position (the commit happened there, after the
+                 predecessors' process commits, never at prepare time) *)
               if
                 (not (aborted_in_doubt pid act))
+                && (not (in_doubt_commit pid act))
                 && not
                      (List.exists
                         (function
@@ -1333,6 +1553,12 @@ let recover ?(config = default_config) ~spec ~rms ~procs records =
                           | _ -> false)
                         records)
               then emit_act pid act false
+          | Wal.Coord_begin { cid; pid; act; _ } ->
+              Hashtbl.replace coord_acts cid (pid, act)
+          | Wal.Coord_committed { cid; _ } -> (
+              match Hashtbl.find_opt coord_acts cid with
+              | Some (pid, act) when in_doubt_commit pid act -> emit_act pid act false
+              | Some _ | None -> ())
           | Wal.Process_committed pid ->
               emit t (Schedule.Commit pid);
               log t (Wal.Process_committed pid)
@@ -1340,7 +1566,7 @@ let recover ?(config = default_config) ~spec ~rms ~procs records =
               emit t (Schedule.Abort pid);
               log t (Wal.Process_aborted pid)
           | Wal.Prepared_decided _ | Wal.Process_registered _ | Wal.Commit_requested _
-          | Wal.Abort_requested _ | Wal.Checkpoint _ -> ())
+          | Wal.Abort_requested _ | Wal.Checkpoint _ | Wal.Coord_forgotten _ -> ())
         records;
       if entries <> [] then begin
         emit t (Schedule.Group_abort (List.map fst entries));
@@ -1364,6 +1590,7 @@ let dump fmt t =
         match ps.phase with
         | Running -> "running"
         | Blocked_2pc { act; _ } -> Printf.sprintf "blocked-2pc(a%d)" act
+        | Deciding_2pc { act; cid; _ } -> Printf.sprintf "deciding-2pc(a%d,c%d)" act cid
         | Recovering -> "recovering"
         | Awaiting_commit -> "awaiting-commit"
         | Done -> "done"

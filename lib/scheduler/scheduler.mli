@@ -93,11 +93,24 @@ type config = {
           as soon as its subsystem reports an outage ([true], default);
           [false] waits the outage out retrying — the ablation arm of the
           robustness experiments. *)
+  twopc_retransmit : float;
+      (** retransmission period of the 2PC coordinator: unanswered PREPARE
+          and DECISION messages are re-sent this often (default 1.0).  Only
+          observable under message faults — a fault-free exchange completes
+          instantly in virtual time. *)
+  twopc_inquiry : float option;
+      (** the participant-side termination protocol: a resource manager
+          left in doubt this long re-inquires the coordinator until the
+          decision arrives (default [Some 3.0]).  [None] disables
+          inquiries; the participant then waits passively for coordinator
+          retransmission — the ablation arm of the message-fault
+          experiments. *)
 }
 
 val default_config : config
 (** [Deferred] mode, seed 1, unit service times, deterministic,
-    {!default_backoff}, no timeout, outage degradation on. *)
+    {!default_backoff}, no timeout, outage degradation on, 2PC
+    retransmission every 1.0, in-doubt inquiry after 3.0. *)
 
 type t
 
@@ -136,6 +149,10 @@ val finished : t -> bool
 val metrics : t -> Tpm_sim.Metrics.t
 val wal_records : t -> Tpm_wal.Wal.record list
 
+val msg_deliveries : t -> int
+(** 2PC messages delivered so far on the scheduler's bus — the axis along
+    which the crash sweep places delivery-point crashes. *)
+
 val checkpoint : t -> unit
 (** Appends a checkpoint naming every terminated process; {!Tpm_wal.Wal.compact}
     can then drop their records from the log. *)
@@ -154,16 +171,24 @@ val is_crashed : t -> bool
 
 val recover :
   ?config:config ->
+  ?amnesia:bool ->
   spec:Tpm_core.Conflict.t ->
   rms:Tpm_subsys.Rm.t list ->
   procs:Tpm_core.Process.t list ->
   Tpm_wal.Wal.record list ->
   (t, string) result
-(** Builds a new scheduler from the log: aborts in-doubt prepared
-    invocations at the subsystems, replays the pre-crash events into the
-    new history (which is therefore self-contained), and schedules the
+(** Builds a new scheduler from the log: decides in-doubt prepared
+    invocations at the subsystems (presumed abort — except tokens whose
+    coordinator durably logged [Coord_committed], whose lost DECISION is
+    re-delivered as a commit), replays the pre-crash events into the new
+    history (which is therefore self-contained), and schedules the
     completion of every interrupted process (the group abort of
-    Definition 8).  Run it with {!run} to finish recovery. *)
+    Definition 8).  Run it with {!run} to finish recovery.
+
+    [amnesia] declares the coordinator's log records lost: recovery then
+    ignores them and resolves in-doubt tokens by cooperative termination —
+    commit iff a sibling resource manager remembers the commit decision,
+    presumed abort otherwise. *)
 
 val activity_token : pid:int -> act:int -> int
 (** The deterministic subsystem token of an activity occurrence (stable

@@ -1,0 +1,88 @@
+type 'msg t = {
+  sim : Des.t;
+  rng : Prng.t;
+  metrics : Metrics.t option;
+  faults : Faults.t;
+  sync : bool;
+      (* no message fault and no delivery-crash trigger configured: deliver
+         synchronously inside [send], so a fault-free exchange is
+         indistinguishable (event order included) from direct calls *)
+  handlers : (string, src:string -> 'msg -> unit) Hashtbl.t;
+  mutable halted : bool;
+  mutable delivered : int;
+  mutable crash_hook : unit -> unit;
+}
+
+let mincr ?by t name =
+  match t.metrics with None -> () | Some m -> Metrics.incr ?by m name
+
+let create ~sim ~rng ?metrics ?(faults = Faults.none) () =
+  let t =
+    {
+      sim;
+      rng;
+      metrics;
+      faults;
+      sync =
+        faults.Faults.msg_faults = [] && Faults.crash_after_delivery faults = None;
+      handlers = Hashtbl.create 16;
+      halted = false;
+      delivered = 0;
+      crash_hook = ignore;
+    }
+  in
+  (* Seed the message counters so they always show in summaries. *)
+  mincr ~by:0 t "msg_sent";
+  mincr ~by:0 t "msg_dropped";
+  mincr ~by:0 t "msg_retransmits";
+  t
+
+let register t name handler =
+  if Hashtbl.mem t.handlers name then
+    invalid_arg (Printf.sprintf "Bus.register: duplicate endpoint %S" name);
+  Hashtbl.replace t.handlers name handler
+
+let set_crash_hook t hook = t.crash_hook <- hook
+let halt t = t.halted <- true
+let halted t = t.halted
+let deliveries t = t.delivered
+
+let deliver t ~src ~dst msg _sim =
+  if not t.halted then begin
+    match Hashtbl.find_opt t.handlers dst with
+    | None -> ()
+    | Some handler ->
+        t.delivered <- t.delivered + 1;
+        mincr t "msg_delivered";
+        handler ~src msg;
+        (match Faults.crash_after_delivery t.faults with
+        | Some n when t.delivered >= n && not t.halted ->
+            (* Crash right after the Nth delivery: its handler has run (and
+               its sends are queued), nothing later is delivered. *)
+            t.halted <- true;
+            t.crash_hook ()
+        | _ -> ())
+  end
+
+let send t ~src ~dst msg =
+  if not t.halted then begin
+    mincr t "msg_sent";
+    if t.sync then deliver t ~src ~dst msg t.sim
+    else begin
+      let drop, dup, max_delay =
+        Faults.msg_plan t.faults ~src ~dst ~now:(Des.now t.sim)
+      in
+      let enqueue () =
+        let delay = if max_delay > 0.0 then Prng.float t.rng max_delay else 0.0 in
+        Des.after t.sim delay (deliver t ~src ~dst msg)
+      in
+      if drop > 0.0 && Prng.chance t.rng drop then mincr t "msg_dropped"
+      else begin
+        enqueue ();
+        if dup > 0.0 && Prng.chance t.rng dup then begin
+          mincr t "msg_duplicated";
+          enqueue ()
+        end
+      end
+    end
+  end

@@ -1,0 +1,41 @@
+(** Unreliable message bus on the DES virtual clock.
+
+    Named endpoints register handlers; {!send} routes a message through
+    the fault plan's {!Faults.link_fault}s, which may drop, duplicate or
+    delay it (delays reorder deliveries).  When the plan has no message
+    fault and no delivery-crash trigger, {!send} invokes the destination
+    handler synchronously — a fault-free run is indistinguishable, event
+    order included, from direct calls.
+
+    The bus counts deliveries and supports the plan's
+    [crash_after_deliveries] trigger: the handler of the Nth delivery
+    still runs, then the bus halts and invokes the crash hook.  A halted
+    bus silently discards sends and queued deliveries — the moral
+    equivalent of the process hosting all endpoints dying. *)
+
+type 'msg t
+
+val create :
+  sim:Des.t -> rng:Prng.t -> ?metrics:Metrics.t -> ?faults:Faults.t -> unit -> 'msg t
+(** Message-fault draws come from [rng]; counters [msg_sent],
+    [msg_dropped], [msg_delivered], [msg_duplicated] are maintained when
+    [metrics] is given. *)
+
+val register : 'msg t -> string -> (src:string -> 'msg -> unit) -> unit
+(** Attach the handler for an endpoint name.  Raises [Invalid_argument]
+    on a duplicate name. *)
+
+val send : 'msg t -> src:string -> dst:string -> 'msg -> unit
+(** Fire-and-forget.  Sends to unregistered endpoints are dropped at
+    delivery time; sends on a halted bus are dropped immediately. *)
+
+val set_crash_hook : 'msg t -> (unit -> unit) -> unit
+(** Invoked (once) when [crash_after_deliveries] fires, after the bus
+    halted itself. *)
+
+val halt : 'msg t -> unit
+val halted : 'msg t -> bool
+
+val deliveries : 'msg t -> int
+(** Messages delivered so far — the crash-sweep axis for delivery-point
+    crashes. *)

@@ -1,6 +1,11 @@
 type t = {
   mutable clock : float;
-  queue : (t -> unit) Heap.t;
+  queue : cell Heap.t;
+}
+
+and cell = {
+  mutable live : bool;
+  fn : t -> unit;
 }
 
 let create () = { clock = 0.0; queue = Heap.create () }
@@ -8,11 +13,17 @@ let now sim = sim.clock
 
 let at sim time f =
   if time < sim.clock then invalid_arg "Des.at: time lies in the past";
-  Heap.push sim.queue ~key:time f
+  Heap.push sim.queue ~key:time { live = true; fn = f }
 
 let after sim delay f =
   if delay < 0.0 then invalid_arg "Des.after: negative delay";
   at sim (sim.clock +. delay) f
+
+let after_cancellable sim delay f =
+  if delay < 0.0 then invalid_arg "Des.after_cancellable: negative delay";
+  let cell = { live = true; fn = f } in
+  Heap.push sim.queue ~key:(sim.clock +. delay) cell;
+  fun () -> cell.live <- false
 
 let run ?(until = infinity) sim =
   let rec loop () =
@@ -22,9 +33,13 @@ let run ?(until = infinity) sim =
     | Some _ -> (
         match Heap.pop sim.queue with
         | None -> ()
-        | Some (time, f) ->
-            sim.clock <- max sim.clock time;
-            f sim;
+        | Some (time, cell) ->
+            (* Cancelled events are skipped without advancing the clock, so
+               a defused retransmission timer leaves no trace in the run. *)
+            if cell.live then begin
+              sim.clock <- max sim.clock time;
+              cell.fn sim
+            end;
             loop ())
   in
   loop ()

@@ -15,6 +15,12 @@ val after : t -> float -> (t -> unit) -> unit
 val at : t -> float -> (t -> unit) -> unit
 (** Absolute-time variant; the time must not lie in the past. *)
 
+val after_cancellable : t -> float -> (t -> unit) -> unit -> unit
+(** Like {!after}, but returns a cancel thunk.  A cancelled event is
+    discarded without running and without advancing the clock, so
+    speculative timers (retransmission, in-doubt inquiry) do not stretch
+    the virtual timeline of runs that never need them. *)
+
 val run : ?until:float -> t -> unit
 (** Processes events until the queue is empty or virtual time would exceed
     [until]. *)

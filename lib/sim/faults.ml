@@ -20,24 +20,46 @@ type spike = {
   spike_factor : float;
 }
 
+type link_fault = {
+  lf_src : string option;
+  lf_dst : string option;
+  lf_window : window;
+  lf_drop : float;
+  lf_dup : float;
+  lf_delay : float;
+}
+
 type t = {
   outages : outage list;
   bursts : burst list;
   spikes : spike list;
+  msg_faults : link_fault list;
   crash_after_appends : int option;
+  crash_after_deliveries : int option;
 }
 
-let none = { outages = []; bursts = []; spikes = []; crash_after_appends = None }
+let none =
+  {
+    outages = [];
+    bursts = [];
+    spikes = [];
+    msg_faults = [];
+    crash_after_appends = None;
+    crash_after_deliveries = None;
+  }
 
 let is_none t =
-  t.outages = [] && t.bursts = [] && t.spikes = [] && t.crash_after_appends = None
+  t.outages = [] && t.bursts = [] && t.spikes = [] && t.msg_faults = []
+  && t.crash_after_appends = None
+  && t.crash_after_deliveries = None
 
 let window ~from_ ~until_ =
   if until_ < from_ then invalid_arg "Faults: window ends before it starts";
   { from_; until_ }
 
-let make ?(outages = []) ?(bursts = []) ?(spikes = []) ?crash_after_appends () =
-  { outages; bursts; spikes; crash_after_appends }
+let make ?(outages = []) ?(bursts = []) ?(spikes = []) ?(msg_faults = [])
+    ?crash_after_appends ?crash_after_deliveries () =
+  { outages; bursts; spikes; msg_faults; crash_after_appends; crash_after_deliveries }
 
 let outage ~subsystem ~from_ ~until_ =
   { out_subsystem = subsystem; out_window = window ~from_ ~until_ }
@@ -72,7 +94,38 @@ let latency_factor t ~subsystem ~now =
       else acc)
     1.0 t.spikes
 
+let prob p name = if p < 0.0 || p > 1.0 then invalid_arg name else p
+
+let link_fault ?src ?dst ~from_ ~until_ ?(drop = 0.0) ?(dup = 0.0) ?(delay = 0.0) () =
+  if delay < 0.0 then invalid_arg "Faults.link_fault: negative delay";
+  {
+    lf_src = src;
+    lf_dst = dst;
+    lf_window = window ~from_ ~until_;
+    lf_drop = prob drop "Faults.link_fault: drop probability";
+    lf_dup = prob dup "Faults.link_fault: dup probability";
+    lf_delay = delay;
+  }
+
+let uniform_msg_faults ?(drop = 0.0) ?(dup = 0.0) ?(delay = 0.0) ~horizon () =
+  if drop <= 0.0 && dup <= 0.0 && delay <= 0.0 then []
+  else [ link_fault ~from_:0.0 ~until_:horizon ~drop ~dup ~delay () ]
+
+let link_matches lf ~src ~dst ~now =
+  (match lf.lf_src with None -> true | Some s -> s = src)
+  && (match lf.lf_dst with None -> true | Some d -> d = dst)
+  && in_window lf.lf_window now
+
+let msg_plan t ~src ~dst ~now =
+  List.fold_left
+    (fun (drop, dup, delay) lf ->
+      if link_matches lf ~src ~dst ~now then
+        (Float.max drop lf.lf_drop, Float.max dup lf.lf_dup, Float.max delay lf.lf_delay)
+      else (drop, dup, delay))
+    (0.0, 0.0, 0.0) t.msg_faults
+
 let crash_after t = t.crash_after_appends
+let crash_after_delivery t = t.crash_after_deliveries
 
 let periodic_outage ~subsystem ~period ~duty ?(phase = 0.0) ~horizon () =
   if period <= 0.0 then invalid_arg "Faults.periodic_outage: period must be positive";
@@ -129,7 +182,14 @@ let random rng ~subsystems ?(services = []) ~horizon ?(outage_duty = 0.0)
           spike ~subsystem ~from_ ~until_ ~factor:spike_factor)
         subsystems
   in
-  { outages; bursts; spikes; crash_after_appends = None }
+  {
+    outages;
+    bursts;
+    spikes;
+    msg_faults = [];
+    crash_after_appends = None;
+    crash_after_deliveries = None;
+  }
 
 let pp fmt t =
   if is_none t then Format.fprintf fmt "no-faults"
@@ -158,8 +218,19 @@ let pp fmt t =
             Format.fprintf fmt "spike(%s,[%.2f,%.2f),x%.1f)" s.spike_subsystem
               s.spike_window.from_ s.spike_window.until_ s.spike_factor))
       t.spikes;
-    match t.crash_after_appends with
+    List.iter
+      (fun lf ->
+        item (fun () ->
+            Format.fprintf fmt "msg(%s->%s,[%.2f,%.2f),drop=%.2f,dup=%.2f,delay=%.2f)"
+              (Option.value lf.lf_src ~default:"*")
+              (Option.value lf.lf_dst ~default:"*")
+              lf.lf_window.from_ lf.lf_window.until_ lf.lf_drop lf.lf_dup lf.lf_delay))
+      t.msg_faults;
+    (match t.crash_after_appends with
     | Some n -> item (fun () -> Format.fprintf fmt "crash@%d" n)
+    | None -> ());
+    match t.crash_after_deliveries with
+    | Some n -> item (fun () -> Format.fprintf fmt "crash-delivery@%d" n)
     | None -> ()
   end
 

@@ -33,12 +33,30 @@ type spike = {
   spike_factor : float;  (** multiplier on invocation durations, >= 1 *)
 }
 
+type link_fault = {
+  lf_src : string option;  (** sending endpoint; [None] matches any *)
+  lf_dst : string option;  (** receiving endpoint; [None] matches any *)
+  lf_window : window;
+  lf_drop : float;  (** per-message drop probability in [0,1] *)
+  lf_dup : float;  (** per-message duplication probability in [0,1] *)
+  lf_delay : float;
+      (** max extra delivery delay; each affected message is delayed by a
+          uniform draw in [[0, lf_delay)], which also reorders messages *)
+}
+(** Message-layer misbehaviour on a (src, dst) link during a window:
+    PREPARE/VOTE/DECISION/ACK traffic on the bus is dropped, duplicated
+    and delayed (hence reordered) according to the active faults. *)
+
 type t = {
   outages : outage list;
   bursts : burst list;
   spikes : spike list;
+  msg_faults : link_fault list;
   crash_after_appends : int option;
       (** scheduler crash trigger: die right after the Nth WAL append *)
+  crash_after_deliveries : int option;
+      (** scheduler crash trigger: die right after the Nth bus message
+          delivery (the handler for delivery N still runs) *)
 }
 
 val none : t
@@ -50,13 +68,33 @@ val make :
   ?outages:outage list ->
   ?bursts:burst list ->
   ?spikes:spike list ->
+  ?msg_faults:link_fault list ->
   ?crash_after_appends:int ->
+  ?crash_after_deliveries:int ->
   unit ->
   t
 
 val outage : subsystem:string -> from_:float -> until_:float -> outage
 val burst : service:string -> from_:float -> until_:float -> prob:float -> burst
 val spike : subsystem:string -> from_:float -> until_:float -> factor:float -> spike
+
+val link_fault :
+  ?src:string ->
+  ?dst:string ->
+  from_:float ->
+  until_:float ->
+  ?drop:float ->
+  ?dup:float ->
+  ?delay:float ->
+  unit ->
+  link_fault
+(** Omitted [src]/[dst] match every endpoint; probabilities default to 0
+    and [delay] to 0 (no effect). *)
+
+val uniform_msg_faults :
+  ?drop:float -> ?dup:float -> ?delay:float -> horizon:float -> unit -> link_fault list
+(** One fault covering every link over [[0, horizon)] — the "5% loss with
+    duplication and reordering" stress plan.  Empty when all knobs are 0. *)
 
 val in_window : window -> float -> bool
 
@@ -71,7 +109,13 @@ val latency_factor : t -> subsystem:string -> now:float -> float
 (** Largest duration multiplier among the subsystem's active spikes
     (1 when none is active). *)
 
+val msg_plan : t -> src:string -> dst:string -> now:float -> float * float * float
+(** [(drop, dup, max_delay)] for a message leaving [src] for [dst] at
+    [now]: the component-wise maximum over the active matching link
+    faults, [(0, 0, 0)] when none match. *)
+
 val crash_after : t -> int option
+val crash_after_delivery : t -> int option
 
 val periodic_outage :
   subsystem:string ->

@@ -23,6 +23,8 @@ type t = {
   max_failures : int;
   mutable faults : Tpm_sim.Faults.t;
   pending : (int, Tx.t) Hashtbl.t;  (* prepared token -> open transaction *)
+  indoubt : (int, int) Hashtbl.t;  (* prepared token -> 2PC coordinator id *)
+  decisions : (int, bool) Hashtbl.t;  (* coordinator id -> applied decision *)
   log : (int, invocation_record) Hashtbl.t;  (* committed token -> record *)
   mutable committed_count : int;
 }
@@ -39,6 +41,8 @@ let create ~name ~registry ?(fail_prob = fun _ -> 0.0) ?(max_failures = 10)
     max_failures;
     faults;
     pending = Hashtbl.create 16;
+    indoubt = Hashtbl.create 16;
+    decisions = Hashtbl.create 16;
     log = Hashtbl.create 64;
     committed_count = 0;
   }
@@ -110,6 +114,7 @@ let commit_prepared rm ~token =
       Tx.commit tx;
       rm.committed_count <- rm.committed_count + 1;
       Hashtbl.remove rm.pending token;
+      Hashtbl.remove rm.indoubt token;
       Locks.release_all rm.locks ~owner:token
 
 let abort_prepared rm ~token =
@@ -118,10 +123,43 @@ let abort_prepared rm ~token =
   | Some tx ->
       Tx.abort tx;
       Hashtbl.remove rm.pending token;
+      Hashtbl.remove rm.indoubt token;
       Locks.release_all rm.locks ~owner:token
 
 let prepared_tokens rm =
   Hashtbl.fold (fun token _ acc -> token :: acc) rm.pending [] |> List.sort compare
+
+let is_prepared rm ~token = Hashtbl.mem rm.pending token
+
+let mark_in_doubt rm ~token ~cid =
+  if is_prepared rm ~token then Hashtbl.replace rm.indoubt token cid
+
+let in_doubt rm =
+  Hashtbl.fold (fun token cid acc -> (token, cid) :: acc) rm.indoubt [] |> List.sort compare
+
+let in_doubt_cid rm ~token = Hashtbl.find_opt rm.indoubt token
+
+let in_doubt_token rm ~cid =
+  Hashtbl.fold
+    (fun token c acc -> if c = cid then Some token else acc)
+    rm.indoubt None
+
+let record_decision rm ~cid ~commit = Hashtbl.replace rm.decisions cid commit
+let known_decision rm ~cid = Hashtbl.find_opt rm.decisions cid
+
+let resolve_prepared rm ~token ~commit =
+  (match Hashtbl.find_opt rm.indoubt token with
+  | Some cid -> record_decision rm ~cid ~commit
+  | None -> ());
+  if is_prepared rm ~token then begin
+    if commit then commit_prepared rm ~token else abort_prepared rm ~token;
+    true
+  end
+  else false
+
+let reset_coordination rm =
+  Hashtbl.reset rm.indoubt;
+  Hashtbl.reset rm.decisions
 
 let compensate rm ~token ?(now = 0.0) () =
   match Hashtbl.find_opt rm.log token with

@@ -87,6 +87,39 @@ val commit_prepared : t -> token:int -> unit
 val abort_prepared : t -> token:int -> unit
 val prepared_tokens : t -> int list
 
+val is_prepared : t -> token:int -> bool
+(** Constant-time membership test on the prepared set (replaces scanning
+    {!prepared_tokens}). *)
+
+val mark_in_doubt : t -> token:int -> cid:int -> unit
+(** Tags a prepared token with the 2PC coordinator instance it voted in:
+    from the participant's yes-vote until the decision arrives, the token
+    is {e in doubt} and its locks stay held.  No-op if the token is not
+    prepared. *)
+
+val in_doubt : t -> (int * int) list
+(** All [(token, cid)] pairs currently in doubt, sorted. *)
+
+val in_doubt_cid : t -> token:int -> int option
+val in_doubt_token : t -> cid:int -> int option
+
+val record_decision : t -> cid:int -> commit:bool -> unit
+(** Remembers the decision applied for a coordinator instance, making
+    duplicate DECISION messages idempotent and letting sibling
+    participants answer cooperative-termination inquiries. *)
+
+val known_decision : t -> cid:int -> bool option
+
+val resolve_prepared : t -> token:int -> commit:bool -> bool
+(** Idempotent decision application: commits or aborts the token if it is
+    still prepared (returning [true]), records the decision for its
+    in-doubt cid, and is a no-op returning [false] otherwise. *)
+
+val reset_coordination : t -> unit
+(** Clears in-doubt tags and remembered decisions — called once recovery
+    has resolved every in-doubt token, so a recovered scheduler's fresh
+    coordinator can reuse instance ids. *)
+
 val compensate : t -> token:int -> ?now:float -> unit -> outcome
 (** Undoes the committed invocation identified by [token], according to
     the service's compensation strategy.  Compensating activities are

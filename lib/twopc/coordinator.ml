@@ -1,0 +1,299 @@
+module Rm = Tpm_subsys.Rm
+module Des = Tpm_sim.Des
+module Bus = Tpm_sim.Bus
+module Metrics = Tpm_sim.Metrics
+module Wal = Tpm_wal.Wal
+
+type msg =
+  | Prepare of {
+      cid : int;
+      token : int;
+    }
+  | Vote of {
+      cid : int;
+      rm : string;
+      yes : bool;
+    }
+  | Decision of {
+      cid : int;
+      commit : bool;
+    }
+  | Ack of {
+      cid : int;
+      rm : string;
+    }
+  | Inquiry of {
+      cid : int;
+      rm : string;
+    }
+
+let pp_msg fmt = function
+  | Prepare { cid; token } -> Format.fprintf fmt "PREPARE(c%d,#%d)" cid token
+  | Vote { cid; rm; yes } -> Format.fprintf fmt "VOTE(c%d,%s,%b)" cid rm yes
+  | Decision { cid; commit } ->
+      Format.fprintf fmt "DECISION(c%d,%s)" cid (if commit then "commit" else "abort")
+  | Ack { cid; rm } -> Format.fprintf fmt "ACK(c%d,%s)" cid rm
+  | Inquiry { cid; rm } -> Format.fprintf fmt "INQUIRY(c%d,%s)" cid rm
+
+type part = {
+  p_name : string;
+  p_token : int;
+  mutable p_vote : bool option;
+  mutable p_acked : bool;
+}
+
+type phase =
+  | Voting
+  | Deciding of bool  (* the decision, while acks are outstanding *)
+
+type instance = {
+  i_cid : int;
+  i_pid : int;
+  i_act : int;
+  i_parts : part list;
+  i_started : float;
+  mutable i_phase : phase;
+  i_on_done : commit:bool -> unit;
+  mutable i_cancel : unit -> unit;
+}
+
+type t = {
+  name : string;
+  sim : Des.t;
+  bus : msg Bus.t;
+  log : Wal.record -> unit;
+  halted : unit -> bool;
+  metrics : Metrics.t option;
+  retransmit_after : float;
+  instances : (int, instance) Hashtbl.t;
+  mutable next_cid : int;
+}
+
+let mincr t name = match t.metrics with None -> () | Some m -> Metrics.incr m name
+
+let mobserve t name v =
+  match t.metrics with None -> () | Some m -> Metrics.observe m name v
+
+let send t ~dst msg = Bus.send t.bus ~src:t.name ~dst msg
+
+let retransmit t inst =
+  List.iter
+    (fun p ->
+      match inst.i_phase with
+      | Voting ->
+          if p.p_vote = None then begin
+            mincr t "msg_retransmits";
+            send t ~dst:p.p_name (Prepare { cid = inst.i_cid; token = p.p_token })
+          end
+      | Deciding commit ->
+          if not p.p_acked then begin
+            mincr t "msg_retransmits";
+            send t ~dst:p.p_name (Decision { cid = inst.i_cid; commit })
+          end)
+    inst.i_parts
+
+let rec arm_timer t inst =
+  inst.i_cancel <-
+    Des.after_cancellable t.sim t.retransmit_after (fun _ ->
+        if (not (t.halted ())) && Hashtbl.mem t.instances inst.i_cid then begin
+          retransmit t inst;
+          arm_timer t inst
+        end)
+
+let finish t inst commit =
+  inst.i_cancel ();
+  Hashtbl.remove t.instances inst.i_cid;
+  (* every participant has applied and acknowledged the decision: the
+     instance needs no recovery attention any more *)
+  t.log (Wal.Coord_forgotten { cid = inst.i_cid; pid = inst.i_pid });
+  mobserve t "twopc_decide_latency" (Des.now t.sim -. inst.i_started);
+  inst.i_on_done ~commit
+
+let decide t inst commit =
+  (* presumed abort: only the commit decision is made durable — and it is
+     durable *before* any DECISION message leaves the coordinator *)
+  if commit then t.log (Wal.Coord_committed { cid = inst.i_cid; pid = inst.i_pid });
+  inst.i_phase <- Deciding commit;
+  List.iter (fun p -> send t ~dst:p.p_name (Decision { cid = inst.i_cid; commit }))
+    inst.i_parts
+
+let on_vote t cid rm yes =
+  match Hashtbl.find_opt t.instances cid with
+  | None -> ()  (* late duplicate of a forgotten instance *)
+  | Some inst -> (
+      match inst.i_phase with
+      | Deciding _ -> ()  (* votes already counted; duplicates are no-ops *)
+      | Voting -> (
+          (match List.find_opt (fun p -> p.p_name = rm) inst.i_parts with
+          | Some p -> p.p_vote <- Some yes
+          | None -> ());
+          match List.filter_map (fun p -> p.p_vote) inst.i_parts with
+          | votes when List.length votes = List.length inst.i_parts ->
+              decide t inst (List.for_all Fun.id votes)
+          | _ -> ()))
+
+let on_ack t cid rm =
+  match Hashtbl.find_opt t.instances cid with
+  | None -> ()
+  | Some inst -> (
+      match inst.i_phase with
+      | Voting -> ()
+      | Deciding commit ->
+          (match List.find_opt (fun p -> p.p_name = rm) inst.i_parts with
+          | Some p -> p.p_acked <- true
+          | None -> ());
+          if List.for_all (fun p -> p.p_acked) inst.i_parts then finish t inst commit)
+
+let on_inquiry t cid rm =
+  match Hashtbl.find_opt t.instances cid with
+  | Some { i_phase = Deciding commit; _ } -> send t ~dst:rm (Decision { cid; commit })
+  | Some { i_phase = Voting; _ } -> ()  (* still undecided; retransmission will drive it *)
+  | None ->
+      (* no durable trace of this instance: the presumed-abort answer *)
+      send t ~dst:rm (Decision { cid; commit = false })
+
+let handle t ~src:_ msg =
+  if not (t.halted ()) then
+    match msg with
+    | Vote { cid; rm; yes } -> on_vote t cid rm yes
+    | Ack { cid; rm } -> on_ack t cid rm
+    | Inquiry { cid; rm } -> on_inquiry t cid rm
+    | Prepare _ | Decision _ -> ()  (* participant-addressed; not for us *)
+
+let create ~sim ~bus ~log ?metrics ?(retransmit_after = 1.0) ?(halted = fun () -> false)
+    ?(name = "coord") () =
+  if retransmit_after <= 0.0 then
+    invalid_arg "Coordinator.create: retransmit_after must be positive";
+  let t =
+    {
+      name;
+      sim;
+      bus;
+      log;
+      halted;
+      metrics;
+      retransmit_after;
+      instances = Hashtbl.create 16;
+      next_cid = 1;
+    }
+  in
+  Bus.register bus name (handle t);
+  t
+
+let name t = t.name
+let open_instances t = Hashtbl.length t.instances
+let set_first_cid t cid = t.next_cid <- max t.next_cid cid
+
+let start t ~pid ~act ~participants ~on_done =
+  let cid = t.next_cid in
+  t.next_cid <- cid + 1;
+  let parts =
+    List.map
+      (fun (rm, token) ->
+        { p_name = Rm.name rm; p_token = token; p_vote = None; p_acked = false })
+      participants
+  in
+  let inst =
+    {
+      i_cid = cid;
+      i_pid = pid;
+      i_act = act;
+      i_parts = parts;
+      i_started = Des.now t.sim;
+      i_phase = Voting;
+      i_on_done = on_done;
+      i_cancel = ignore;
+    }
+  in
+  t.log
+    (Wal.Coord_begin { cid; pid; act; parts = List.map (fun p -> p.p_name) parts });
+  Hashtbl.replace t.instances cid inst;
+  (match parts with
+  | [] ->
+      (* no participants: trivially committed, nothing to deliver *)
+      decide t inst true;
+      finish t inst true
+  | _ ->
+      List.iter (fun p -> send t ~dst:p.p_name (Prepare { cid; token = p.p_token })) parts;
+      (* under synchronous (fault-free) delivery the whole round may have
+         completed inside the sends: only arm the retransmission timer for
+         an instance that is still open *)
+      if Hashtbl.mem t.instances cid then arm_timer t inst);
+  cid
+
+let cooperative_decision ~rms ~cid =
+  List.exists (fun rm -> Rm.known_decision rm ~cid = Some true) rms
+
+module Participant = struct
+  let attach ~sim ~bus ~rm ?metrics ?inquiry_after
+      ?(on_resolved = fun ~token:_ ~commit:_ -> ()) ?(halted = fun () -> false) () =
+    let name = Rm.name rm in
+    let mincr n = match metrics with None -> () | Some m -> Metrics.incr m n in
+    let inquiry_cancels : (int, unit -> unit) Hashtbl.t = Hashtbl.create 8 in
+    let cancel_inquiry cid =
+      match Hashtbl.find_opt inquiry_cancels cid with
+      | Some cancel ->
+          cancel ();
+          Hashtbl.remove inquiry_cancels cid
+      | None -> ()
+    in
+    let arm_inquiry cid coord =
+      match inquiry_after with
+      | None -> ()
+      | Some d ->
+          let rec arm () =
+            let cancel =
+              Des.after_cancellable sim d (fun _ ->
+                  if
+                    (not (halted ()))
+                    && Rm.known_decision rm ~cid = None
+                    && Rm.in_doubt_token rm ~cid <> None
+                  then begin
+                    (* in doubt for too long: run the termination protocol
+                       by re-inquiring the coordinator *)
+                    mincr "msg_inquiries";
+                    Bus.send bus ~src:name ~dst:coord (Inquiry { cid; rm = name });
+                    arm ()
+                  end
+                  else Hashtbl.remove inquiry_cancels cid)
+            in
+            Hashtbl.replace inquiry_cancels cid cancel
+          in
+          arm ()
+    in
+    let handle ~src msg =
+      if not (halted ()) then
+        match msg with
+        | Prepare { cid; token } -> (
+            match Rm.known_decision rm ~cid with
+            | Some _ ->
+                (* duplicate PREPARE arriving after the decision was applied:
+                   the coordinator can only be missing our ack *)
+                Bus.send bus ~src:name ~dst:src (Ack { cid; rm = name })
+            | None ->
+                let yes = Rm.is_prepared rm ~token in
+                if yes then begin
+                  Rm.mark_in_doubt rm ~token ~cid;
+                  if not (Hashtbl.mem inquiry_cancels cid) then arm_inquiry cid src
+                end;
+                Bus.send bus ~src:name ~dst:src (Vote { cid; rm = name; yes }))
+        | Decision { cid; commit } ->
+            cancel_inquiry cid;
+            (match Rm.known_decision rm ~cid with
+            | Some _ -> ()  (* duplicate DECISION: already applied *)
+            | None -> (
+                match Rm.in_doubt_token rm ~cid with
+                | Some token ->
+                    if Rm.resolve_prepared rm ~token ~commit then begin
+                      mincr "indoubt_resolved";
+                      on_resolved ~token ~commit
+                    end
+                | None ->
+                    (* we voted no (or never prepared): nothing to apply,
+                       but remember the decision for idempotence *)
+                    Rm.record_decision rm ~cid ~commit));
+            Bus.send bus ~src:name ~dst:src (Ack { cid; rm = name })
+        | Vote _ | Ack _ | Inquiry _ -> ()  (* coordinator-addressed *)
+    in
+    Bus.register bus name handle
+end

@@ -1,0 +1,121 @@
+(** Message-driven, durably-logged, presumed-abort two-phase commit.
+
+    This is the crash-tolerant form of the protocol Lemma 1 relies on:
+    the commit of a non-compensatable (prepared) activity is driven by an
+    explicit coordinator exchanging [PREPARE] / [VOTE] / [DECISION] /
+    [ACK] messages with the owning resource managers over an unreliable
+    {!Tpm_sim.Bus}, on the virtual clock.
+
+    {b Presumed abort.}  The coordinator write-ahead-logs only three
+    records: [Coord_begin] when an instance opens, [Coord_committed] when
+    all votes are yes — {e before} any DECISION message is sent — and
+    [Coord_forgotten] once every participant acknowledged.  Abort
+    decisions are never logged: recovery (and the coordinator answering
+    an {!msg.Inquiry} for an unknown instance) presumes abort exactly
+    when no commit record exists.
+
+    {b Fault tolerance.}  Messages may be dropped, duplicated, delayed
+    and reordered by the bus fault plan.  A per-instance retransmission
+    timer re-sends PREPARE to unvoted and DECISION to unacknowledged
+    participants; every handler is idempotent (duplicate votes, decisions
+    and acks are absorbed), so the protocol terminates under any fault
+    plan that eventually delivers.  Participants that stay in doubt too
+    long re-inquire the coordinator (the termination protocol);
+    cooperative termination across sibling participants covers
+    coordinator amnesia during recovery ({!cooperative_decision}). *)
+
+type msg =
+  | Prepare of {
+      cid : int;
+      token : int;
+    }
+  | Vote of {
+      cid : int;
+      rm : string;
+      yes : bool;
+    }
+  | Decision of {
+      cid : int;
+      commit : bool;
+    }
+  | Ack of {
+      cid : int;
+      rm : string;
+    }
+  | Inquiry of {
+      cid : int;
+      rm : string;
+    }  (** participant-initiated termination protocol probe *)
+
+val pp_msg : Format.formatter -> msg -> unit
+
+type t
+
+val create :
+  sim:Tpm_sim.Des.t ->
+  bus:msg Tpm_sim.Bus.t ->
+  log:(Tpm_wal.Wal.record -> unit) ->
+  ?metrics:Tpm_sim.Metrics.t ->
+  ?retransmit_after:float ->
+  ?halted:(unit -> bool) ->
+  ?name:string ->
+  unit ->
+  t
+(** Registers the coordinator endpoint (default name ["coord"]) on the
+    bus.  [log] must append durably (it is the scheduler's WAL append).
+    [retransmit_after] is the timer period for re-sending unanswered
+    messages (default 1.0 virtual time units); [halted] silences the
+    coordinator after a crash. *)
+
+val start :
+  t ->
+  pid:int ->
+  act:int ->
+  participants:(Tpm_subsys.Rm.t * int) list ->
+  on_done:(commit:bool -> unit) ->
+  int
+(** Opens an instance for the prepared activity [(pid, act)] whose tokens
+    are held by the given resource managers, logs [Coord_begin], sends
+    PREPAREs and returns the instance id.  [on_done] fires (once) when
+    every participant has acknowledged the decision — for a commit, after
+    the activity's effects are durable at every participant.  An empty
+    participant list commits immediately. *)
+
+val name : t -> string
+val open_instances : t -> int
+
+val set_first_cid : t -> int -> unit
+(** Raises the next instance id (never lowers it): a recovered scheduler
+    skips the id range of the pre-crash coordinator so stale remembered
+    decisions cannot be confused with new instances. *)
+
+val cooperative_decision : rms:Tpm_subsys.Rm.t list -> cid:int -> bool
+(** Cooperative termination under coordinator amnesia: an in-doubt
+    participant's instance commits iff {e some} sibling resource manager
+    remembers a commit decision for [cid]; otherwise abort is presumed.
+    Sound because a commit decision reaches participants only after it
+    was durably logged, and complete up to the genuinely undecidable case
+    (no participant ever saw the decision), where presuming abort agrees
+    with every participant's subsequent behaviour. *)
+
+module Participant : sig
+  val attach :
+    sim:Tpm_sim.Des.t ->
+    bus:msg Tpm_sim.Bus.t ->
+    rm:Tpm_subsys.Rm.t ->
+    ?metrics:Tpm_sim.Metrics.t ->
+    ?inquiry_after:float ->
+    ?on_resolved:(token:int -> commit:bool -> unit) ->
+    ?halted:(unit -> bool) ->
+    unit ->
+    unit
+  (** Registers the resource manager's participant endpoint (named
+      {!Tpm_subsys.Rm.name}).  On PREPARE it votes yes iff the token is
+      still prepared, marking it in doubt; on DECISION it applies the
+      outcome idempotently ({!Tpm_subsys.Rm.resolve_prepared}), invokes
+      [on_resolved] in the same synchronous block (the scheduler logs the
+      participant-side [Prepared_decided] record there), and
+      acknowledges.  With [inquiry_after] set, a participant left in
+      doubt that long sends INQUIRY probes to the coordinator until the
+      decision arrives — the termination protocol. *)
+end

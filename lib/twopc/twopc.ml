@@ -17,14 +17,17 @@ type log_entry =
 
 let run ?(on_log = fun _ -> ()) participants =
   on_log (Began (List.map (fun p -> p.id) participants));
-  let rec collect = function
-    | [] -> true
-    | p :: rest ->
+  (* collect every vote: a refusal must not silence later participants
+     (their votes are part of the audit trail) *)
+  let votes =
+    List.map
+      (fun p ->
         let v = p.vote () in
         on_log (Voted (p.id, v));
-        v && collect rest
+        v)
+      participants
   in
-  let all_yes = collect participants in
+  let all_yes = List.for_all Fun.id votes in
   let decision = if all_yes then Committed else Aborted in
   on_log (Decided decision);
   List.iter (fun p -> match decision with Committed -> p.commit () | Aborted -> p.abort ()) participants;
@@ -34,11 +37,11 @@ let run ?(on_log = fun _ -> ()) participants =
 let participant_of_rm rm ~token =
   {
     id = Printf.sprintf "%s#%d" (Tpm_subsys.Rm.name rm) token;
-    vote = (fun () -> List.mem token (Tpm_subsys.Rm.prepared_tokens rm));
+    vote = (fun () -> Tpm_subsys.Rm.is_prepared rm ~token);
     commit = (fun () -> Tpm_subsys.Rm.commit_prepared rm ~token);
     abort =
       (fun () ->
-        if List.mem token (Tpm_subsys.Rm.prepared_tokens rm) then
+        if Tpm_subsys.Rm.is_prepared rm ~token then
           Tpm_subsys.Rm.abort_prepared rm ~token);
   }
 

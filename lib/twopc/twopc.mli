@@ -25,8 +25,11 @@ type log_entry =
   | Finished
 
 val run : ?on_log:(log_entry -> unit) -> participant list -> decision
-(** Executes the protocol.  An empty participant list commits trivially.
-    Votes are collected in order; voting stops at the first refusal. *)
+(** Executes the protocol synchronously (the legacy single-call form; the
+    message-driven, crash-tolerant protocol lives in {!Coordinator}).  An
+    empty participant list commits trivially.  Every participant votes and
+    every vote is logged, even after a refusal has already forced the
+    abort decision. *)
 
 val participant_of_rm : Tpm_subsys.Rm.t -> token:int -> participant
 (** Adapter for a prepared invocation held by a resource manager: it votes

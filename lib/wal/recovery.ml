@@ -5,6 +5,7 @@ type process_plan = {
   state : Execution.recovery_state;
   executed : Activity.instance list;
   in_doubt : int list;
+  in_doubt_commit : int list;
   completion : Activity.instance list;
 }
 
@@ -25,6 +26,20 @@ let analyze ~procs records =
   let timelines : (int, effect list ref) Hashtbl.t = Hashtbl.create 16 in
   let terminal : (int, [ `Committed | `Aborted ]) Hashtbl.t = Hashtbl.create 16 in
   let registered = ref [] in
+  (* presumed-abort coordinator state: cid -> (pid, act), plus the cids
+     whose commit decision is durable *)
+  let coord_acts : (int, int * int) Hashtbl.t = Hashtbl.create 16 in
+  let coord_committed : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+  let durably_committed pid act =
+    Hashtbl.fold
+      (fun cid () acc ->
+        acc
+        ||
+        match Hashtbl.find_opt coord_acts cid with
+        | Some (p, a) -> p = pid && a = act
+        | None -> false)
+      coord_committed false
+  in
   let timeline pid =
     match Hashtbl.find_opt timelines pid with
     | Some r -> r
@@ -55,7 +70,9 @@ let analyze ~procs records =
       | Wal.Checkpoint { committed; aborted } ->
           List.iter (fun pid -> Hashtbl.replace terminal pid `Committed) committed;
           List.iter (fun pid -> Hashtbl.replace terminal pid `Aborted) aborted
-      | Wal.Commit_requested _ | Wal.Abort_requested _ -> ())
+      | Wal.Coord_begin { cid; pid; act; _ } -> Hashtbl.replace coord_acts cid (pid, act)
+      | Wal.Coord_committed { cid; _ } -> Hashtbl.replace coord_committed cid ()
+      | Wal.Coord_forgotten _ | Wal.Commit_requested _ | Wal.Abort_requested _ -> ())
     records;
   let committed = ref [] and aborted = ref [] and interrupted = ref [] in
   let error = ref None in
@@ -69,16 +86,23 @@ let analyze ~procs records =
           | None -> error := Some (Printf.sprintf "process %d not re-registered for recovery" pid)
           | Some proc ->
               let effects = List.rev !(timeline pid) in
-              (* resolve in-doubt: commit if the process progressed past it *)
+              (* resolve in-doubt: commit if the coordinator durably decided
+                 commit or the process demonstrably progressed past it;
+                 presume abort otherwise *)
               let arr = Array.of_list effects in
               let n = Array.length arr in
               let in_doubt = ref [] in
+              let in_doubt_commit = ref [] in
               let resolved =
                 List.filteri
                   (fun i e ->
                     match e with
                     | Pending act ->
                         if i < n - 1 then true
+                        else if durably_committed pid act then begin
+                          in_doubt_commit := act :: !in_doubt_commit;
+                          true
+                        end
                         else begin
                           in_doubt := act :: !in_doubt;
                           false
@@ -111,6 +135,7 @@ let analyze ~procs records =
                       state = Execution.recovery_state st;
                       executed = Execution.effective_trace st;
                       in_doubt = List.rev !in_doubt;
+                      in_doubt_commit = List.rev !in_doubt_commit;
                       completion = Execution.completion st;
                     }
                     :: !interrupted)))

@@ -17,9 +17,15 @@ type process_plan = {
   in_doubt : int list;
       (** prepared activity ids with no logged 2PC decision that recovery
           resolves to {e abort} (their subsystem transactions are rolled
-          back).  In-doubt activities whose process demonstrably progressed
-          past them (a later activity of the same process is logged) are
-          resolved to {e commit} instead and appear in [executed]. *)
+          back) — the presumed-abort rule.  In-doubt activities whose
+          process demonstrably progressed past them (a later activity of
+          the same process is logged) are resolved to {e commit} instead
+          and appear in [executed]. *)
+  in_doubt_commit : int list;
+      (** prepared activity ids whose coordinator durably logged
+          [Coord_committed] before the crash: the decision message must be
+          re-delivered — recovery commits them at their subsystems, never
+          aborts them.  They also appear in [executed]. *)
   completion : Tpm_core.Activity.instance list;  (** what recovery must execute *)
 }
 

@@ -25,6 +25,20 @@ type record =
       committed : int list;
       aborted : int list;
     }
+  | Coord_begin of {
+      cid : int;
+      pid : int;
+      act : int;
+      parts : string list;
+    }
+  | Coord_committed of {
+      cid : int;
+      pid : int;
+    }
+  | Coord_forgotten of {
+      cid : int;
+      pid : int;
+    }
 
 type t = {
   mutable rev_records : record list;
@@ -78,6 +92,11 @@ let pp_record fmt = function
       in
       Format.fprintf fmt "checkpoint(committed: %a; aborted: %a)" pp_ints committed pp_ints
         aborted
+  | Coord_begin { cid; pid; act; parts } ->
+      Format.fprintf fmt "coord-begin(c%d, a_{%d_%d}, [%s])" cid pid act
+        (String.concat "," parts)
+  | Coord_committed { cid; pid } -> Format.fprintf fmt "coord-committed(c%d, P_%d)" cid pid
+  | Coord_forgotten { cid; pid } -> Format.fprintf fmt "coord-forgotten(c%d, P_%d)" cid pid
 
 let record_pids = function
   | Process_registered pid
@@ -87,6 +106,8 @@ let record_pids = function
   | Process_aborted pid -> [ pid ]
   | Invoked { pid; _ } | Prepared { pid; _ } | Prepared_decided { pid; _ }
   | Compensated { pid; _ } -> [ pid ]
+  | Coord_begin { pid; _ } | Coord_committed { pid; _ } | Coord_forgotten { pid; _ } ->
+      [ pid ]
   | Checkpoint _ -> []
 
 let compact records =

@@ -36,6 +36,27 @@ type record =
       committed : int list;
       aborted : int list;
     }  (** processes closed at checkpoint time *)
+  | Coord_begin of {
+      cid : int;
+      pid : int;
+      act : int;
+      parts : string list;
+    }
+      (** presumed-abort 2PC coordinator opened instance [cid] for the
+          prepared activity [(pid, act)] with the named participants *)
+  | Coord_committed of {
+      cid : int;
+      pid : int;
+    }
+      (** the commit decision is durable; it must be (re)delivered to all
+          participants, never reversed.  Aborts are presumed: no decision
+          record means abort. *)
+  | Coord_forgotten of {
+      cid : int;
+      pid : int;
+    }
+      (** every participant acknowledged the decision; the instance needs
+          no recovery attention *)
 
 type t
 

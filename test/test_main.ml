@@ -10,6 +10,7 @@ let () =
       ("scheduler", Test_scheduler.suite);
       ("properties", Test_properties.suite);
       ("recovery", Test_recovery.suite);
+      ("twopc-coord", Test_twopc_coord.suite);
       ("weak-order", Test_weak_order.suite);
       ("workloads", Test_workloads.suite);
       ("builder", Test_builder.suite);

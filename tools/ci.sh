@@ -1,9 +1,15 @@
 #!/bin/sh
-# Build everything, run the full test suite (includes the crash-point
-# sweep), then a reduced randomized stress with and without outages.
+# Build everything, run the full test suite (includes the crash-point and
+# message-delivery sweeps), then a reduced randomized stress: outages,
+# message faults (loss/dup/reorder with the fault-free-twin store check),
+# and coordinator amnesia (cooperative termination).  Finally regenerate
+# the committed reference bench output.
 set -eu
 cd "$(dirname "$0")/.."
 
 dune build @all
 dune runtest
 dune exec tools/stress.exe -- --seeds 41-50 --outages 0.0,0.2
+dune exec tools/stress.exe -- --seeds 41-50 --fail-rates 0.0,0.1 --msg-faults 0.05
+dune exec tools/stress.exe -- --seeds 41-50 --modes deferred,quasi --fail-rates 0.1 --amnesia
+dune exec bench/main.exe > bench/bench_output.txt 2>&1

@@ -1,12 +1,17 @@
 (* Deterministic crash-point sweep: run a workload once to count its WAL
-   appends, then re-run it crashing right after every k-th append (via the
-   fault plan's crash trigger), recover from the log, finish, and assert
+   appends and 2PC message deliveries, then re-run it crashing right after
+   every k-th append AND right after every k-th message delivery (via the
+   fault plan's crash triggers), recover from the log, finish, and assert
    on every crash position that
 
-   - the crash fired exactly where scripted (the log has k records),
+   - the crash fired exactly where scripted,
    - every process reaches a terminal state after recovery,
    - the recovered history is legal and prefix-reducible,
    - no prepared (in-doubt 2PC) invocation leaks at any subsystem,
+   - recovery never contradicts a durable coordinator decision: an
+     activity whose coordinator logged [Coord_committed] before the crash
+     is re-delivered and committed, never aborted (presumed-abort
+     soundness at every message-loss point),
    - the surviving subsystem stores are exactly explained by the recovered
      history: replaying it into fresh subsystems yields equal stores.
 
@@ -19,6 +24,7 @@ module Faults = Tpm_sim.Faults
 module Rm = Tpm_subsys.Rm
 module Service = Tpm_subsys.Service
 module Store = Tpm_kv.Store
+module Wal = Tpm_wal.Wal
 
 let params =
   {
@@ -84,8 +90,9 @@ let replay_explains history rms ~seed =
        (fun rm -> Store.equal_state (Rm.store rm) (Rm.store (find (Rm.name rm) fresh)))
        rms
 
-(* one fault-free run to learn the total number of WAL appends *)
-let count_appends ~seed ~mode =
+(* one fault-free run to learn the total number of WAL appends and 2PC
+   message deliveries — the two crash-point axes *)
+let baseline ~seed ~mode =
   let t =
     Scheduler.create
       ~config:{ Scheduler.default_config with mode; seed }
@@ -95,14 +102,75 @@ let count_appends ~seed ~mode =
   Scheduler.run ~until:horizon t;
   if not (Scheduler.finished t) then
     failwith (Printf.sprintf "crashsweep: baseline seed=%d did not finish" seed);
-  List.length (Scheduler.wal_records t)
+  (List.length (Scheduler.wal_records t), Scheduler.msg_deliveries t)
+
+(* (pid, act) pairs whose coordinator durably logged the commit decision
+   before the crash: [Coord_begin] names the activity, [Coord_committed]
+   seals its fate *)
+let durable_commits records =
+  let acts = Hashtbl.create 8 in
+  List.iter
+    (function
+      | Wal.Coord_begin { cid; pid; act; _ } -> Hashtbl.replace acts cid (pid, act)
+      | _ -> ())
+    records;
+  List.filter_map
+    (function
+      | Wal.Coord_committed { cid; _ } -> Hashtbl.find_opt acts cid
+      | _ -> None)
+    records
+  |> List.sort_uniq compare
+
+let aborted_after_recovery t2 pid act =
+  List.exists
+    (function
+      | Wal.Prepared_decided { pid = p; act = a; commit = false } -> p = pid && a = act
+      | _ -> false)
+    (Scheduler.wal_records t2)
+
+let forward_in_history h pid act =
+  List.exists
+    (function
+      | Schedule.Act inst ->
+          (not (Activity.is_inverse inst))
+          && Activity.instance_proc inst = pid
+          && (Activity.instance_base inst).Activity.id.Activity.act = act
+      | Schedule.Commit _ | Schedule.Abort _ | Schedule.Group_abort _ -> false)
+    (Schedule.events h)
+
+let recover_and_check ~complain ~check ~config ~spec ~rms ~procs ~seed records =
+  let durable = durable_commits records in
+  match Scheduler.recover ~config ~spec ~rms ~procs records with
+  | Error e -> complain ("recovery failed: " ^ e)
+  | Ok t2 ->
+      Scheduler.run ~until:horizon t2;
+      let h = Scheduler.history t2 in
+      check "not finished after recovery" (Scheduler.finished t2);
+      check "illegal recovered history" (Schedule.legal h);
+      check "recovered history not PRED" (Criteria.pred h);
+      check "leaked prepared invocation"
+        (List.for_all (fun rm -> Rm.prepared_tokens rm = []) rms);
+      check "stores not explained by recovered history" (replay_explains h rms ~seed);
+      (* presumed-abort soundness: a decision the coordinator made durable
+         must never be contradicted by recovery, however many messages
+         were lost in the crash *)
+      List.iter
+        (fun (pid, act) ->
+          check
+            (Printf.sprintf "durably committed a_{%d,%d} aborted by recovery" pid act)
+            (not (aborted_after_recovery t2 pid act));
+          check
+            (Printf.sprintf "durably committed a_{%d,%d} missing from history" pid act)
+            (forward_in_history h pid act))
+        durable
 
 let sweep ~seed ~mode_name ~mode =
-  let appends = count_appends ~seed ~mode in
+  let appends, deliveries = baseline ~seed ~mode in
   let spec = Generator.spec params in
   let procs = procs_of seed in
   let config = { Scheduler.default_config with mode; seed } in
   let failures = ref 0 in
+  (* axis 1: crash after every WAL append *)
   for k = 1 to appends do
     let complain name =
       incr failures;
@@ -120,20 +188,34 @@ let sweep ~seed ~mode_name ~mode =
     let records = Scheduler.wal_records t in
     check "crash trigger did not fire" (Scheduler.is_crashed t);
     check "log longer than the crash point" (List.length records = k);
-    match Scheduler.recover ~config ~spec ~rms ~procs records with
-    | Error e -> complain ("recovery failed: " ^ e)
-    | Ok t2 ->
-        Scheduler.run ~until:horizon t2;
-        let h = Scheduler.history t2 in
-        check "not finished after recovery" (Scheduler.finished t2);
-        check "illegal recovered history" (Schedule.legal h);
-        check "recovered history not PRED" (Criteria.pred h);
-        check "leaked prepared invocation"
-          (List.for_all (fun rm -> Rm.prepared_tokens rm = []) rms);
-        check "stores not explained by recovered history" (replay_explains h rms ~seed)
+    recover_and_check ~complain ~check ~config ~spec ~rms ~procs ~seed records
   done;
-  Format.printf "crashsweep: seed=%d mode=%s %d crash points, %d failures@." seed
-    mode_name appends !failures;
+  (* axis 2: crash after every 2PC message delivery.  The trigger routes
+     messages through the event queue, so the delivery count may differ
+     slightly from the synchronous baseline; positions past the end simply
+     never fire and the run must finish normally. *)
+  for k = 1 to deliveries do
+    let complain name =
+      incr failures;
+      Format.printf "seed=%d mode=%s crash-delivery@%d: %s@." seed mode_name k name
+    in
+    let check name cond = if not cond then complain name in
+    let rms = fresh_rms seed in
+    let t =
+      Scheduler.create ~config
+        ~faults:(Faults.make ~crash_after_deliveries:k ())
+        ~spec ~rms ()
+    in
+    submit_all t procs;
+    Scheduler.run ~until:horizon t;
+    if Scheduler.is_crashed t then
+      recover_and_check ~complain ~check ~config ~spec ~rms ~procs ~seed
+        (Scheduler.wal_records t)
+    else check "no crash and not finished" (Scheduler.finished t)
+  done;
+  Format.printf
+    "crashsweep: seed=%d mode=%s %d append + %d delivery crash points, %d failures@."
+    seed mode_name appends deliveries !failures;
   !failures
 
 let () =

@@ -1,16 +1,24 @@
-(* Randomized stress of the scheduler: many seeds, modes, failure rates
-   and outage plans; checks termination, legality and PRED of every
-   emitted history.  Every failing combination prints a one-line repro
-   including the fault plan.
+(* Randomized stress of the scheduler: many seeds, modes, failure rates,
+   outage plans and message-fault plans; checks termination, legality and
+   PRED of every emitted history.  Under pure message faults (loss,
+   duplication, reordering — no invocation failures) the final subsystem
+   stores must additionally be identical to a fault-free run of the same
+   seed: the 2PC retransmission and termination protocol may delay
+   commits but never change outcomes.  With --amnesia each run is crashed
+   mid-log and recovered with the coordinator records declared lost
+   (cooperative termination).  Every failing combination prints a
+   one-line repro including the fault plan.
 
    dune exec tools/stress.exe -- \
-     --seeds 41-120 --modes deferred,quasi --fail-rates 0.1 --outages 0.2 *)
+     --seeds 41-120 --modes deferred,quasi --fail-rates 0.1 --outages 0.2 \
+     --msg-faults 0.05 *)
 open Tpm_core
 module Scheduler = Tpm_scheduler.Scheduler
 module Generator = Tpm_workload.Generator
 module Faults = Tpm_sim.Faults
 module Prng = Tpm_sim.Prng
 module Rm = Tpm_subsys.Rm
+module Store = Tpm_kv.Store
 
 let mode_of_name = function
   | "conservative" -> Scheduler.Conservative
@@ -44,8 +52,19 @@ let seeds = ref (parse_seeds "41-120")
 let modes = ref [ "conservative"; "deferred"; "quasi" ]
 let fail_rates = ref [ 0.0; 0.1; 0.3 ]
 let outages = ref [ 0.0 ]
+let msg_rates = ref [ 0.0 ]
+let amnesia = ref false
 let n_procs = ref 8
 let horizon = ref 50.0
+
+let parse_probs name s =
+  let l = parse_floats s in
+  List.iter
+    (fun p ->
+      if p < 0.0 || p >= 1.0 then
+        raise (Arg.Bad (Printf.sprintf "%s: probability %g out of [0,1)" name p)))
+    l;
+  l
 
 let speclist =
   [
@@ -63,8 +82,17 @@ let speclist =
       Arg.String (fun s -> fail_rates := parse_floats s),
       "LIST per-invocation failure probabilities (default 0.0,0.1,0.3)" );
     ( "--outages",
-      Arg.String (fun s -> outages := parse_floats s),
+      Arg.String (fun s -> outages := parse_probs "--outages" s),
       "LIST outage duty cycles in [0,1); 0 disables the plan (default 0.0)" );
+    ( "--msg-faults",
+      Arg.String (fun s -> msg_rates := parse_probs "--msg-faults" s),
+      "LIST message loss/duplication rates in [0,1) applied to every 2PC \
+       link over the horizon, with delay-induced reordering; 0 disables \
+       (default 0.0)" );
+    ( "--amnesia",
+      Arg.Set amnesia,
+      " crash each run mid-log and recover with the coordinator records \
+       declared lost (cooperative termination)" );
     ("--procs", Arg.Set_int n_procs, "N processes per run (default 8)");
     ( "--horizon",
       Arg.Set_float horizon,
@@ -86,41 +114,119 @@ let () =
             (fun fail_rate ->
               List.iter
                 (fun outage_duty ->
-                  incr runs;
-                  let params =
-                    { Generator.default_params with services = 8; conflict_density = 0.4 }
-                  in
-                  let rms = Generator.rms params ~fail_prob:(fun _ -> fail_rate) ~seed () in
-                  let faults =
-                    if outage_duty <= 0.0 then Faults.none
-                    else
-                      Faults.random
-                        (Prng.create (seed * 7919))
-                        ~subsystems:(List.map Rm.name rms) ~horizon:!horizon ~outage_duty ()
-                  in
-                  let spec = Generator.spec params in
-                  let config = { Scheduler.default_config with mode; seed } in
-                  let t = Scheduler.create ~config ~faults ~spec ~rms () in
-                  List.iteri
-                    (fun i p -> Scheduler.submit t ~at:(0.4 *. float_of_int i) p)
-                    (Generator.batch ~seed:(seed * 100) params ~n:!n_procs);
-                  let repro () =
-                    Printf.sprintf "seed=%d mode=%s fail=%.2f outage=%.2f plan=%s" seed
-                      mode_name fail_rate outage_duty (Faults.to_string faults)
-                  in
-                  (try Scheduler.run ~until:100000.0 t
-                   with e ->
-                     incr failures;
-                     Format.printf "%s EXCEPTION %s@." (repro ()) (Printexc.to_string e));
-                  let h = Scheduler.history t in
-                  let ok_finished = Scheduler.finished t in
-                  let ok_legal = Schedule.legal h in
-                  let ok_pred = Criteria.pred h in
-                  if not (ok_finished && ok_legal && ok_pred) then begin
-                    incr failures;
-                    Format.printf "%s finished=%b legal=%b pred=%b@." (repro ()) ok_finished
-                      ok_legal ok_pred
-                  end)
+                  List.iter
+                    (fun msg_rate ->
+                      incr runs;
+                      let params =
+                        {
+                          Generator.default_params with
+                          services = 8;
+                          conflict_density = 0.4;
+                        }
+                      in
+                      let rms =
+                        Generator.rms params ~fail_prob:(fun _ -> fail_rate) ~seed ()
+                      in
+                      let base =
+                        if outage_duty <= 0.0 then Faults.none
+                        else
+                          Faults.random
+                            (Prng.create (seed * 7919))
+                            ~subsystems:(List.map Rm.name rms) ~horizon:!horizon
+                            ~outage_duty ()
+                      in
+                      (* message faults cover [0, horizon): traffic past the
+                         horizon is clean, so every 2PC round eventually
+                         terminates via retransmission *)
+                      let faults =
+                        {
+                          base with
+                          Faults.msg_faults =
+                            (if msg_rate <= 0.0 then []
+                             else
+                               Faults.uniform_msg_faults ~drop:msg_rate ~dup:msg_rate
+                                 ~delay:0.5 ~horizon:!horizon ());
+                          crash_after_appends =
+                            (if !amnesia then Some 12 else base.Faults.crash_after_appends);
+                        }
+                      in
+                      let spec = Generator.spec params in
+                      let config = { Scheduler.default_config with mode; seed } in
+                      let procs = Generator.batch ~seed:(seed * 100) params ~n:!n_procs in
+                      let t = Scheduler.create ~config ~faults ~spec ~rms () in
+                      List.iteri
+                        (fun i p -> Scheduler.submit t ~at:(0.4 *. float_of_int i) p)
+                        procs;
+                      let repro () =
+                        Printf.sprintf "seed=%d mode=%s fail=%.2f outage=%.2f msg=%.2f%s plan=%s"
+                          seed mode_name fail_rate outage_duty msg_rate
+                          (if !amnesia then " amnesia" else "")
+                          (Faults.to_string faults)
+                      in
+                      let guarded f =
+                        try f ()
+                        with e ->
+                          incr failures;
+                          Format.printf "%s EXCEPTION %s@." (repro ())
+                            (Printexc.to_string e)
+                      in
+                      guarded (fun () -> Scheduler.run ~until:100000.0 t);
+                      let t =
+                        (* amnesia arm: the run crashed mid-log; recover it
+                           with the coordinator records declared lost and
+                           judge the recovered scheduler instead *)
+                        if !amnesia && Scheduler.is_crashed t then begin
+                          match
+                            Scheduler.recover ~config ~amnesia:true ~spec ~rms ~procs
+                              (Scheduler.wal_records t)
+                          with
+                          | Error e ->
+                              incr failures;
+                              Format.printf "%s RECOVERY-ERROR %s@." (repro ()) e;
+                              t
+                          | Ok t2 ->
+                              guarded (fun () -> Scheduler.run ~until:100000.0 t2);
+                              t2
+                        end
+                        else t
+                      in
+                      let h = Scheduler.history t in
+                      let ok_finished = Scheduler.finished t in
+                      let ok_legal = Schedule.legal h in
+                      let ok_pred = Criteria.pred h in
+                      let ok_tokens =
+                        List.for_all (fun rm -> Rm.prepared_tokens rm = []) rms
+                      in
+                      if not (ok_finished && ok_legal && ok_pred && ok_tokens) then begin
+                        incr failures;
+                        Format.printf "%s finished=%b legal=%b pred=%b tokens=%b@."
+                          (repro ()) ok_finished ok_legal ok_pred ok_tokens
+                      end;
+                      (* pure message faults never change outcomes: the final
+                         stores must equal a fault-free run of the same seed *)
+                      if
+                        msg_rate > 0.0 && fail_rate = 0.0 && outage_duty <= 0.0
+                        && not !amnesia
+                      then begin
+                        let rms0 = Generator.rms params ~seed () in
+                        let t0 = Scheduler.create ~config ~spec ~rms:rms0 () in
+                        List.iteri
+                          (fun i p -> Scheduler.submit t0 ~at:(0.4 *. float_of_int i) p)
+                          procs;
+                        guarded (fun () -> Scheduler.run ~until:100000.0 t0);
+                        let same =
+                          List.for_all2
+                            (fun rm rm0 ->
+                              Store.equal_state (Rm.store rm) (Rm.store rm0))
+                            rms rms0
+                        in
+                        if not same then begin
+                          incr failures;
+                          Format.printf "%s STORE-DIVERGENCE from fault-free twin@."
+                            (repro ())
+                        end
+                      end)
+                    !msg_rates)
                 !outages)
             !fail_rates)
         !modes)
