@@ -1,0 +1,81 @@
+type t = { mutable bits : Bytes.t }
+
+let create ?(capacity = 64) () =
+  let nbytes = max 1 ((capacity + 7) / 8) in
+  { bits = Bytes.make nbytes '\000' }
+
+let capacity b = Bytes.length b.bits * 8
+
+(* grow (doubling) so that bit [i] is addressable; new bytes are zero *)
+let ensure b i =
+  let need = (i / 8) + 1 in
+  let len = Bytes.length b.bits in
+  if need > len then begin
+    let len' = max need (2 * len) in
+    let bits' = Bytes.make len' '\000' in
+    Bytes.blit b.bits 0 bits' 0 len;
+    b.bits <- bits'
+  end
+
+let set b i =
+  ensure b i;
+  let byte = i / 8 and bit = i land 7 in
+  Bytes.unsafe_set b.bits byte
+    (Char.chr (Char.code (Bytes.unsafe_get b.bits byte) lor (1 lsl bit)))
+
+let unset b i =
+  if i / 8 < Bytes.length b.bits then begin
+    let byte = i / 8 and bit = i land 7 in
+    Bytes.unsafe_set b.bits byte
+      (Char.chr (Char.code (Bytes.unsafe_get b.bits byte) land lnot (1 lsl bit)))
+  end
+
+(* out-of-range bits read as 0, so sets of different capacities compare
+   as if padded with zeros *)
+let mem b i =
+  let byte = i / 8 in
+  byte < Bytes.length b.bits
+  && Char.code (Bytes.unsafe_get b.bits byte) land (1 lsl (i land 7)) <> 0
+
+let clear b = Bytes.fill b.bits 0 (Bytes.length b.bits) '\000'
+
+let is_empty b =
+  let n = Bytes.length b.bits in
+  let rec go i = i >= n || (Bytes.unsafe_get b.bits i = '\000' && go (i + 1)) in
+  go 0
+
+(* dst := src (dst grows if needed; surplus dst bytes are zeroed) *)
+let assign ~into:dst src =
+  let n = Bytes.length src.bits in
+  if Bytes.length dst.bits < n then dst.bits <- Bytes.make n '\000';
+  Bytes.blit src.bits 0 dst.bits 0 n;
+  if Bytes.length dst.bits > n then
+    Bytes.fill dst.bits n (Bytes.length dst.bits - n) '\000'
+
+(* dst := dst ∪ src *)
+let union ~into:dst src =
+  let n = Bytes.length src.bits in
+  if n > 0 then ensure dst ((n * 8) - 1);
+  for i = 0 to n - 1 do
+    Bytes.unsafe_set dst.bits i
+      (Char.chr
+         (Char.code (Bytes.unsafe_get dst.bits i)
+         lor Char.code (Bytes.unsafe_get src.bits i)))
+  done
+
+let inter_nonempty a b =
+  let n = min (Bytes.length a.bits) (Bytes.length b.bits) in
+  let rec go i =
+    i < n
+    && (Char.code (Bytes.unsafe_get a.bits i) land Char.code (Bytes.unsafe_get b.bits i)
+        <> 0
+       || go (i + 1))
+  in
+  go 0
+
+let elements b =
+  let acc = ref [] in
+  for i = (Bytes.length b.bits * 8) - 1 downto 0 do
+    if mem b i then acc := i :: !acc
+  done;
+  !acc

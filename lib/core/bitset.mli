@@ -1,0 +1,30 @@
+(** Growable bit sets over small dense integer ids (interned service
+    names, process ids).  All operations treat bits beyond a set's
+    current capacity as 0, so sets of different capacities mix freely;
+    mutating operations grow the backing [Bytes] by doubling. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Fresh empty set; [capacity] is in bits (default 64). *)
+
+val capacity : t -> int
+val set : t -> int -> unit
+val unset : t -> int -> unit
+val mem : t -> int -> bool
+val clear : t -> unit
+val is_empty : t -> bool
+
+val assign : into:t -> t -> unit
+(** [assign ~into:dst src] makes [dst] equal to [src] (reusing [dst]'s
+    storage when large enough). *)
+
+val union : into:t -> t -> unit
+(** [union ~into:dst src] adds every element of [src] to [dst]. *)
+
+val inter_nonempty : t -> t -> bool
+(** Do the two sets share an element?  The hot-loop primitive: one word
+    test per 8 ids, no allocation. *)
+
+val elements : t -> int list
+(** Sorted elements (diagnostics and tests). *)

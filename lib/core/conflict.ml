@@ -38,6 +38,84 @@ let instance_effect_free spec i =
 let pairs spec = Pair_set.elements spec.conflicting
 let effect_free_services spec = String_set.elements spec.effect_free_services
 
+(* Interned, bit-compiled view of the relation: service names are mapped
+   to dense ints and the symmetric conflict matrix is materialized as one
+   bitset row per service.  [services_conflict] then costs one bit probe
+   instead of a set lookup on a normalized string pair, and set-vs-set
+   conflict tests become word-wise intersections.  New services may be
+   interned after [make]; their row is computed once against the string
+   spec, so the compiled view always agrees with it. *)
+module Compiled = struct
+  type spec = t
+
+  type t = {
+    spec : spec;
+    ids : (string, int) Hashtbl.t;
+    mutable names : string array;  (* id -> name; capacity >= n *)
+    mutable rows : Bitset.t array;
+    mutable n : int;
+    effect_free : Bitset.t;
+  }
+
+  let size c = c.n
+  let name c i = c.names.(i)
+  let find_opt c s = Hashtbl.find_opt c.ids s
+  let row c i = c.rows.(i)
+  let conflict c i j = Bitset.mem c.rows.(i) j
+  let effect_free c i = Bitset.mem c.effect_free i
+
+  let grow c =
+    let cap = Array.length c.names in
+    if c.n >= cap then begin
+      let cap' = max 8 (2 * cap) in
+      let names' = Array.make cap' "" in
+      let rows' = Array.make cap' (Bitset.create ~capacity:0 ()) in
+      Array.blit c.names 0 names' 0 cap;
+      Array.blit c.rows 0 rows' 0 cap;
+      c.names <- names';
+      c.rows <- rows'
+    end
+
+  let intern c s =
+    match Hashtbl.find_opt c.ids s with
+    | Some i -> i
+    | None ->
+        let i = c.n in
+        grow c;
+        c.names.(i) <- s;
+        c.rows.(i) <- Bitset.create ~capacity:(i + 1) ();
+        Hashtbl.add c.ids s i;
+        c.n <- i + 1;
+        for k = 0 to i do
+          if services_conflict c.spec s c.names.(k) then begin
+            Bitset.set c.rows.(i) k;
+            Bitset.set c.rows.(k) i
+          end
+        done;
+        if String_set.mem s c.spec.effect_free_services then Bitset.set c.effect_free i;
+        i
+
+  let make spec =
+    let c =
+      {
+        spec;
+        ids = Hashtbl.create 32;
+        names = Array.make 8 "";
+        rows = Array.make 8 (Bitset.create ~capacity:0 ());
+        n = 0;
+        effect_free = Bitset.create ();
+      }
+    in
+    (* dense ids for every service the spec mentions, in sorted order *)
+    List.iter
+      (fun (s, s') ->
+        ignore (intern c s);
+        ignore (intern c s'))
+      (pairs spec);
+    List.iter (fun s -> ignore (intern c s)) (effect_free_services spec);
+    c
+end
+
 let pp fmt spec =
   let pp_pair fmt (s, s') = Format.fprintf fmt "(%s, %s)" s s' in
   Format.fprintf fmt "{%a}"

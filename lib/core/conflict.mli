@@ -47,3 +47,35 @@ val effect_free_services : t -> string list
 (** The services declared effect-free, sorted. *)
 
 val pp : Format.formatter -> t -> unit
+
+(** Interned, bit-compiled view of the relation: service names mapped to
+    dense ints, conflict matrix materialized as one {!Bitset} row per
+    service.  Compiled once per scheduler; services first seen later
+    (dynamic workloads) are interned on demand, with their row computed
+    against the string spec so both views always agree. *)
+module Compiled : sig
+  type spec := t
+  type t
+
+  val make : spec -> t
+  (** Interns every service the spec mentions (conflict pairs and
+      effect-free declarations), in sorted order. *)
+
+  val intern : t -> string -> int
+  (** The dense id of a service name, allocating (and filling the new
+      matrix row/column) on first sight. *)
+
+  val find_opt : t -> string -> int option
+  val size : t -> int
+  val name : t -> int -> string
+
+  val conflict : t -> int -> int -> bool
+  (** One bit probe; agrees with {!services_conflict} on the names. *)
+
+  val row : t -> int -> Bitset.t
+  (** The set of services conflicting with [i].  Shared, do not mutate;
+      the union of rows over a service set is its "conflict closure",
+      letting set-vs-set conflict tests run as one intersection. *)
+
+  val effect_free : t -> int -> bool
+end

@@ -64,12 +64,6 @@ let pred s = List.for_all red (Schedule.prefixes s)
 let first_irreducible_prefix s =
   List.find_opt (fun prefix -> not (red prefix)) (Schedule.prefixes s)
 
-let commit_pos s pid =
-  List.mapi (fun i ev -> (i, ev)) (Schedule.events s)
-  |> List.find_map (function
-       | i, Schedule.Commit j when j = pid -> Some i
-       | _ -> None)
-
 (* indexed activity occurrences *)
 let indexed_activities s =
   List.mapi (fun i ev -> (i, ev)) (Schedule.events s)
@@ -103,6 +97,16 @@ let ordered_conflict_pairs s =
     acts
 
 let process_recoverable s =
+  (* commit positions indexed once: the per-pair lookups below would
+     otherwise rescan the event list quadratically *)
+  let commit_tbl = Hashtbl.create 16 in
+  List.iteri
+    (fun i ev ->
+      match ev with
+      | Schedule.Commit j -> Hashtbl.replace commit_tbl j i
+      | Schedule.Act _ | Schedule.Abort _ | Schedule.Group_abort _ -> ())
+    (Schedule.events s);
+  let commit_pos pid = Hashtbl.find_opt commit_tbl pid in
   ordered_conflict_pairs s
   |> List.for_all (fun ((p, x), (q, y)) ->
          let pi = Activity.instance_proc x and pj = Activity.instance_proc y in
@@ -110,9 +114,9 @@ let process_recoverable s =
          then true
          else
          let commits_ok =
-           match commit_pos s pj with
+           match commit_pos pj with
            | None -> true
-           | Some cj -> ( match commit_pos s pi with None -> false | Some ci -> ci < cj)
+           | Some cj -> ( match commit_pos pi with None -> false | Some ci -> ci < cj)
          in
          let pivots_ok =
            (* vacuous when either next non-compensatable activity does not
@@ -205,13 +209,15 @@ let lemma3_holds s =
         acts
 
 let sot s =
-  let terminal_pos pid =
-    List.mapi (fun i ev -> (i, ev)) (Schedule.events s)
-    |> List.find_map (function
-         | i, Schedule.Commit j when j = pid -> Some i
-         | i, Schedule.Abort j when j = pid -> Some i
-         | _ -> None)
-  in
+  let terminal_tbl = Hashtbl.create 16 in
+  List.iteri
+    (fun i ev ->
+      match ev with
+      | Schedule.Commit j | Schedule.Abort j ->
+          if not (Hashtbl.mem terminal_tbl j) then Hashtbl.replace terminal_tbl j i
+      | Schedule.Act _ | Schedule.Group_abort _ -> ())
+    (Schedule.events s);
+  let terminal_pos pid = Hashtbl.find_opt terminal_tbl pid in
   committed_serializable s
   && ordered_conflict_pairs s
      |> List.for_all (fun ((_, x), (_, y)) ->

@@ -35,25 +35,89 @@ let matched_pairs events =
 
 let cancel_compensation_pairs s =
   let spec = Schedule.spec s in
+  (* conflict adjacency on service names, built once from the declared
+     pairs: the services whose occurrences can block a cancellation *)
+  let neighbors : (string, string list) Hashtbl.t = Hashtbl.create 16 in
+  let add_neighbor a b =
+    let cur = Option.value ~default:[] (Hashtbl.find_opt neighbors a) in
+    if not (List.mem b cur) then Hashtbl.replace neighbors a (b :: cur)
+  in
+  List.iter
+    (fun (a, b) ->
+      add_neighbor a b;
+      add_neighbor b a)
+    (Conflict.pairs spec);
+  (* Each pass decides every matched pair against the pass-start event
+     sequence, then removes all removable pairs at once (the historical
+     simultaneous-removal semantics).  A pair (p, q) is blocked iff some
+     occurrence of a conflicting service with a different base activity
+     lies strictly between them — found via the per-service position
+     index (binary search to the interval) instead of scanning every
+     event of the interval. *)
   let rec fixpoint events =
     let arr = Array.of_list events in
-    let removable (p, q) =
-      let fwd = match arr.(p) with Schedule.Act i -> i | _ -> assert false in
-      let blocked = ref false in
-      for k = p + 1 to q - 1 do
-        match arr.(k) with
-        | Schedule.Act x -> if Conflict.conflicts spec fwd x then blocked := true
-        | Schedule.Commit _ | Schedule.Abort _ | Schedule.Group_abort _ -> ()
+    let m = Array.length arr in
+    let index : (string, (int * Activity.id) list ref) Hashtbl.t = Hashtbl.create 16 in
+    for k = m - 1 downto 0 do
+      match arr.(k) with
+      | Schedule.Act inst ->
+          let a = Activity.instance_base inst in
+          let cell =
+            match Hashtbl.find_opt index a.Activity.service with
+            | Some c -> c
+            | None ->
+                let c = ref [] in
+                Hashtbl.add index a.Activity.service c;
+                c
+          in
+          cell := (k, a.Activity.id) :: !cell
+      | Schedule.Commit _ | Schedule.Abort _ | Schedule.Group_abort _ -> ()
+    done;
+    let positions : (string, (int * Activity.id) array) Hashtbl.t = Hashtbl.create 16 in
+    Hashtbl.iter (fun svc cell -> Hashtbl.replace positions svc (Array.of_list !cell)) index;
+    let blocked_between p q ~service ~id =
+      List.exists
+        (fun svc' ->
+          match Hashtbl.find_opt positions svc' with
+          | None -> false
+          | Some a ->
+              (* first indexed position strictly after p *)
+              let lo = ref 0 and hi = ref (Array.length a) in
+              while !lo < !hi do
+                let mid = (!lo + !hi) / 2 in
+                if fst a.(mid) <= p then lo := mid + 1 else hi := mid
+              done;
+              let rec scan i =
+                i < Array.length a
+                && fst a.(i) < q
+                && ((not (Activity.id_equal (snd a.(i)) id)) || scan (i + 1))
+              in
+              scan !lo)
+        (Option.value ~default:[] (Hashtbl.find_opt neighbors service))
+    in
+    let remove = Array.make (max 1 m) false in
+    let any = ref false in
+    List.iter
+      (fun (p, q) ->
+        let a =
+          match arr.(p) with
+          | Schedule.Act i -> Activity.instance_base i
+          | Schedule.Commit _ | Schedule.Abort _ | Schedule.Group_abort _ -> assert false
+        in
+        if not (blocked_between p q ~service:a.Activity.service ~id:a.Activity.id) then begin
+          remove.(p) <- true;
+          remove.(q) <- true;
+          any := true
+        end)
+      (matched_pairs events);
+    if not !any then events
+    else begin
+      let keep = ref [] in
+      for k = m - 1 downto 0 do
+        if not remove.(k) then keep := arr.(k) :: !keep
       done;
-      not !blocked
-    in
-    let to_remove =
-      List.concat_map (fun (p, q) -> if removable (p, q) then [ p; q ] else []) (matched_pairs events)
-    in
-    if to_remove = [] then events
-    else
-      fixpoint
-        (List.filteri (fun pos _ -> not (List.mem pos to_remove)) events)
+      fixpoint !keep
+    end
   in
   rebuild s (fixpoint (Schedule.events s))
 

@@ -11,10 +11,20 @@ type status =
   | Committed
   | Aborted
 
+(* Events are held newest-first so [append] is O(1) amortized: only the
+   new event is validated, and the terminal map gives [status_of] an
+   indexed lookup.  The chronological views ([events], [activities],
+   [proc_activities]) are memoized lazily per value — a schedule is
+   immutable, so each is computed at most once. *)
 type t = {
   spec : Conflict.t;
   proc_map : Process.t Int_map.t;
-  events : event list;  (* chronological *)
+  rev_events : event list;  (* newest first *)
+  n_events : int;
+  terminals : status Int_map.t;  (* Commit/Abort seen, per process *)
+  events_memo : event list Lazy.t;  (* chronological *)
+  acts_memo : Activity.instance list Lazy.t;
+  proc_acts_memo : Activity.instance list Int_map.t Lazy.t;
 }
 
 let event_procs = function
@@ -22,11 +32,61 @@ let event_procs = function
   | Commit i | Abort i -> [ i ]
   | Group_abort is -> is
 
-let terminal = function
-  | Commit _ | Abort _ -> true
-  | Act _ | Group_abort _ -> false
+let build spec proc_map rev_events n_events terminals =
+  let events_memo = lazy (List.rev rev_events) in
+  let acts_memo =
+    lazy
+      (List.filter_map
+         (function Act i -> Some i | Commit _ | Abort _ | Group_abort _ -> None)
+         (Lazy.force events_memo))
+  in
+  let proc_acts_memo =
+    lazy
+      (List.fold_left
+         (fun m i ->
+           let pid = Activity.instance_proc i in
+           Int_map.update pid
+             (fun l -> Some (i :: Option.value ~default:[] l))
+             m)
+         Int_map.empty (Lazy.force acts_memo)
+      |> Int_map.map List.rev)
+  in
+  { spec; proc_map; rev_events; n_events; terminals; events_memo; acts_memo; proc_acts_memo }
 
-let make ~spec ~procs events =
+let validate s ev =
+  List.iter
+    (fun pid ->
+      match Int_map.find_opt pid s.proc_map with
+      | None -> invalid_arg (Printf.sprintf "Schedule.make: unknown process %d" pid)
+      | Some p -> (
+          if Int_map.mem pid s.terminals then
+            invalid_arg
+              (Printf.sprintf "Schedule.make: event after terminal event of P_%d" pid);
+          match ev with
+          | Act inst ->
+              let n = (Activity.instance_id inst).act in
+              if not (Process.mem p n) then
+                invalid_arg
+                  (Printf.sprintf "Schedule.make: unknown activity %d of P_%d" n pid)
+          | Commit _ | Abort _ | Group_abort _ -> ()))
+    (event_procs ev)
+
+(* terminal statuses recorded by the event (validation already ran) *)
+let extend_terminals terminals ev =
+  match ev with
+  | Commit i -> Int_map.add i Committed terminals
+  | Abort i -> Int_map.add i Aborted terminals
+  | Act _ | Group_abort _ -> terminals
+
+let unsafe_append s ev =
+  build s.spec s.proc_map (ev :: s.rev_events) (s.n_events + 1)
+    (extend_terminals s.terminals ev)
+
+let append s ev =
+  validate s ev;
+  unsafe_append s ev
+
+let empty ~spec ~procs =
   let proc_map =
     List.fold_left
       (fun m p ->
@@ -36,50 +96,28 @@ let make ~spec ~procs events =
         else Int_map.add pid p m)
       Int_map.empty procs
   in
-  let seen_terminal = Hashtbl.create 8 in
-  List.iter
-    (fun ev ->
-      List.iter
-        (fun pid ->
-          match Int_map.find_opt pid proc_map with
-          | None -> invalid_arg (Printf.sprintf "Schedule.make: unknown process %d" pid)
-          | Some p ->
-              if Hashtbl.mem seen_terminal pid then
-                invalid_arg (Printf.sprintf "Schedule.make: event after terminal event of P_%d" pid);
-              (match ev with
-              | Act inst ->
-                  let n = (Activity.instance_id inst).act in
-                  if not (Process.mem p n) then
-                    invalid_arg
-                      (Printf.sprintf "Schedule.make: unknown activity %d of P_%d" n pid)
-              | Commit _ | Abort _ | Group_abort _ -> ());
-              if terminal ev then Hashtbl.replace seen_terminal pid ())
-        (event_procs ev))
-    events;
-  { spec; proc_map; events }
+  build spec proc_map [] 0 Int_map.empty
+
+let make ~spec ~procs events = List.fold_left append (empty ~spec ~procs) events
+
+let add_proc s p =
+  let pid = Process.pid p in
+  if Int_map.mem pid s.proc_map then
+    invalid_arg (Printf.sprintf "Schedule.add_proc: duplicate process id %d" pid)
+  else { s with proc_map = Int_map.add pid p s.proc_map }
 
 let spec s = s.spec
 let procs s = List.map snd (Int_map.bindings s.proc_map)
 let proc_ids s = List.map fst (Int_map.bindings s.proc_map)
 let find_proc s i = Int_map.find i s.proc_map
-let events s = s.events
-let length s = List.length s.events
-let append s ev = make ~spec:s.spec ~procs:(procs s) (s.events @ [ ev ])
-
-let activities s =
-  List.filter_map (function Act i -> Some i | Commit _ | Abort _ | Group_abort _ -> None) s.events
+let events s = Lazy.force s.events_memo
+let length s = s.n_events
+let activities s = Lazy.force s.acts_memo
 
 let proc_activities s pid =
-  List.filter (fun i -> Activity.instance_proc i = pid) (activities s)
+  Option.value ~default:[] (Int_map.find_opt pid (Lazy.force s.proc_acts_memo))
 
-let status_of s pid =
-  let rec scan = function
-    | [] -> Active
-    | Commit i :: _ when i = pid -> Committed
-    | Abort i :: _ when i = pid -> Aborted
-    | _ :: rest -> scan rest
-  in
-  scan s.events
+let status_of s pid = Option.value ~default:Active (Int_map.find_opt pid s.terminals)
 
 let with_status s st = List.filter (fun pid -> status_of s pid = st) (proc_ids s)
 let active s = with_status s Active
@@ -102,7 +140,7 @@ let replay s pid =
                 else Error (Printf.sprintf "P_%d: commit while plan incomplete" pid)
             | Act _ | Commit _ | Abort _ | Group_abort _ -> Ok state)
       in
-      List.fold_left step (Ok (Execution.start p)) s.events
+      List.fold_left step (Ok (Execution.start p)) (events s)
 
 let legal s = List.for_all (fun pid -> Result.is_ok (replay s pid)) (proc_ids s)
 
@@ -132,14 +170,16 @@ let conflict_graph s =
   Digraph.make ~nodes:(proc_ids s) ~edges
 
 let prefixes s =
-  let rec take_prefixes acc rev_cur = function
+  (* events are already valid: rebuild incrementally, sharing nothing but
+     the (persistent) proc map *)
+  let base = build s.spec s.proc_map [] 0 Int_map.empty in
+  let rec take acc cur = function
     | [] -> List.rev acc
     | ev :: rest ->
-        let rev_cur = ev :: rev_cur in
-        let prefix = { s with events = List.rev rev_cur } in
-        take_prefixes (prefix :: acc) rev_cur rest
+        let cur = unsafe_append cur ev in
+        take (cur :: acc) cur rest
   in
-  take_prefixes [ { s with events = [] } ] [] s.events
+  take [ base ] base (events s)
 
 let pp_event fmt = function
   | Act i -> Activity.pp_instance fmt i
@@ -154,4 +194,4 @@ let pp_event fmt = function
 let pp fmt s =
   Format.fprintf fmt "@[<h>%a@]"
     (Format.pp_print_list ~pp_sep:(fun fmt () -> Format.fprintf fmt " ") pp_event)
-    s.events
+    (events s)

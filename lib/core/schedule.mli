@@ -34,7 +34,14 @@ val proc_ids : t -> int list
 val find_proc : t -> int -> Process.t
 val events : t -> event list
 val length : t -> int
+
 val append : t -> event -> t
+(** O(1) amortized: only the appended event is validated (the prefix is
+    already a valid schedule).  Raises as {!make} does. *)
+
+val add_proc : t -> Process.t -> t
+(** Extends the process set without revalidating events.
+    @raise Invalid_argument on a duplicate pid. *)
 
 val activities : t -> Activity.instance list
 (** Activity occurrences, chronological. *)

@@ -1,4 +1,24 @@
-module Int_set = Set.Make (Int)
+(* Incremental dependency graph.
+
+   The scheduler asks [would_cycle] on every admission; rebuilding a
+   [Digraph] and running DFS from scratch made that O(V + E) per query.
+   Instead we maintain a dynamic topological order over the acyclic part
+   of the graph (Pearce & Kelly, "A Dynamic Topological Sort Algorithm
+   for Directed Acyclic Graphs", JEA 2006): inserting an edge that
+   already respects the order is O(1); otherwise only the affected
+   region — nodes between the endpoints in the order — is discovered by
+   two bounded DFS passes and locally reindexed.  [would_cycle extra]
+   then has a constant-time fast path: if every extra edge runs forward
+   in the maintained order, the union is acyclic by construction.
+
+   One caller inserts edges without asking first: completion activities
+   of a rolling-back process ([apply_rollback_item]) may legitimately
+   close a cycle — the victim is already aborting, and its abort event
+   will erase the edges.  Such cycle-closing inserts cannot enter the
+   DAG (they have no valid position in the order); they are parked in
+   [back] and retried whenever an abort removes edges.  While [back] is
+   non-empty the graph *is* cyclic, and [would_cycle] answers [true]
+   outright, which keeps its verdicts exact. *)
 
 type status =
   | Live
@@ -6,51 +26,271 @@ type status =
   | Aborted
 
 type t = {
-  mutable edge_set : (int * int) list;
   status : (int, status) Hashtbl.t;
+  succ : (int, (int, unit) Hashtbl.t) Hashtbl.t;  (* DAG adjacency *)
+  pred : (int, (int, unit) Hashtbl.t) Hashtbl.t;
+  ord : (int, int) Hashtbl.t;  (* topological index; DAG edges increase it *)
+  back : (int * int, unit) Hashtbl.t;  (* parked cycle-closing edges *)
+  mutable next_ord : int;
+  mutable sorted_edges : (int * int) list option;  (* memoized [edges] view *)
+  mutable check : bool;  (* cross-check every verdict against the oracle *)
 }
 
-let create () = { edge_set = []; status = Hashtbl.create 16 }
+let create () =
+  {
+    status = Hashtbl.create 16;
+    succ = Hashtbl.create 16;
+    pred = Hashtbl.create 16;
+    ord = Hashtbl.create 16;
+    back = Hashtbl.create 4;
+    next_ord = 0;
+    sorted_edges = None;
+    check = false;
+  }
+
+let set_check t b = t.check <- b
+
+let adj tbl n =
+  match Hashtbl.find_opt tbl n with
+  | Some h -> h
+  | None ->
+      let h = Hashtbl.create 4 in
+      Hashtbl.add tbl n h;
+      h
+
+let ensure_node t n =
+  if not (Hashtbl.mem t.ord n) then begin
+    Hashtbl.replace t.ord n t.next_ord;
+    t.next_ord <- t.next_ord + 1
+  end
 
 let add_process t pid =
+  ensure_node t pid;
   if not (Hashtbl.mem t.status pid) then Hashtbl.replace t.status pid Live
 
 let status t pid = Option.value ~default:Live (Hashtbl.find_opt t.status pid)
 let live t pid = status t pid = Live
+let committed t pid = status t pid = Committed
+let mark_committed t pid = Hashtbl.replace t.status pid Committed
 
-let add_edge t i j =
-  if i <> j && not (List.mem (i, j) t.edge_set) then t.edge_set <- (i, j) :: t.edge_set
+let dag_mem t i j =
+  match Hashtbl.find_opt t.succ i with Some h -> Hashtbl.mem h j | None -> false
 
-let edges t = List.sort compare t.edge_set
+let mem_edge t i j = dag_mem t i j || Hashtbl.mem t.back (i, j)
+let ord t n = Hashtbl.find t.ord n
+
+let insert_dag t i j =
+  Hashtbl.replace (adj t.succ i) j ();
+  Hashtbl.replace (adj t.pred j) i ()
+
+exception Cycle
+
+(* nodes reachable from [start] along DAG edges within ord < ub;
+   raises [Cycle] on reaching [target] (whose ord is ub) *)
+let discover_forward t ~target ~ub start =
+  let seen = Hashtbl.create 8 in
+  let rec go n =
+    Hashtbl.replace seen n ();
+    match Hashtbl.find_opt t.succ n with
+    | None -> ()
+    | Some h ->
+        Hashtbl.iter
+          (fun k () ->
+            if k = target then raise Cycle;
+            if ord t k < ub && not (Hashtbl.mem seen k) then go k)
+          h
+  in
+  go start;
+  seen
+
+(* nodes reaching [start] along DAG edges within ord > lb *)
+let discover_backward t ~lb start =
+  let seen = Hashtbl.create 8 in
+  let rec go n =
+    Hashtbl.replace seen n ();
+    match Hashtbl.find_opt t.pred n with
+    | None -> ()
+    | Some h ->
+        Hashtbl.iter (fun k () -> if ord t k > lb && not (Hashtbl.mem seen k) then go k) h
+  in
+  go start;
+  seen
+
+let rec add_edge t i j =
+  (* aborted processes left no effects and never rejoin: such edges would
+     be filtered by every query, so never store them *)
+  if i <> j && status t i <> Aborted && status t j <> Aborted && not (mem_edge t i j)
+  then begin
+    t.sorted_edges <- None;
+    ensure_node t i;
+    ensure_node t j;
+    let oi = ord t i and oj = ord t j in
+    if oi < oj then insert_dag t i j
+    else
+      (* the edge runs against the order: discover the affected region
+         (forward from j, backward from i, both bounded by [oj, oi]) and
+         reallocate its index pool so the region becomes order-consistent *)
+      match discover_forward t ~target:i ~ub:oi j with
+      | exception Cycle -> Hashtbl.replace t.back (i, j) ()
+      | fwd ->
+          let bwd = discover_backward t ~lb:oj i in
+          let by_ord seen =
+            Hashtbl.fold (fun n () acc -> n :: acc) seen []
+            |> List.sort (fun a b -> compare (ord t a) (ord t b))
+          in
+          let chain = by_ord bwd @ by_ord fwd in
+          let pool = List.sort compare (List.map (ord t) chain) in
+          List.iter2 (fun n o -> Hashtbl.replace t.ord n o) chain pool;
+          insert_dag t i j
+  end
+
+and mark_aborted t pid =
+  Hashtbl.replace t.status pid Aborted;
+  t.sorted_edges <- None;
+  (* aborted processes left no effects: drop their edges *)
+  (match Hashtbl.find_opt t.succ pid with
+  | Some h ->
+      Hashtbl.iter (fun k () -> Hashtbl.remove (adj t.pred k) pid) h;
+      Hashtbl.reset h
+  | None -> ());
+  (match Hashtbl.find_opt t.pred pid with
+  | Some h ->
+      Hashtbl.iter (fun k () -> Hashtbl.remove (adj t.succ k) pid) h;
+      Hashtbl.reset h
+  | None -> ());
+  (* with edges gone, parked cycle-closing edges may have become
+     insertable: retry them all (the table is almost always empty) *)
+  if Hashtbl.length t.back > 0 then begin
+    let parked =
+      Hashtbl.fold (fun e () acc -> e :: acc) t.back [] |> List.sort compare
+    in
+    Hashtbl.reset t.back;
+    List.iter (fun (i, j) -> if i <> pid && j <> pid then add_edge t i j) parked
+  end
+
+let all_edges_unsorted t =
+  let acc = Hashtbl.fold (fun e () acc -> e :: acc) t.back [] in
+  Hashtbl.fold
+    (fun i h acc -> Hashtbl.fold (fun j () acc -> (i, j) :: acc) h acc)
+    t.succ acc
+
+let edges t =
+  match t.sorted_edges with
+  | Some l -> l
+  | None ->
+      let l = List.sort compare (all_edges_unsorted t) in
+      t.sorted_edges <- Some l;
+      l
 
 (* Committed processes stay in the cycle check: their serialization
    position is fixed, so a cycle through them is just as fatal.  Only
    aborted processes (whose effects were compensated) drop out. *)
-let relevant_graph t extra =
+let would_cycle_reference t extra =
   let gone pid = status t pid = Aborted in
   let es =
-    List.filter (fun (i, j) -> (not (gone i)) && not (gone j)) (extra @ t.edge_set)
+    List.filter
+      (fun (i, j) -> (not (gone i)) && not (gone j))
+      (extra @ all_edges_unsorted t)
   in
-  Tpm_core.Digraph.make ~nodes:[] ~edges:es
+  Tpm_core.Digraph.has_cycle (Tpm_core.Digraph.make ~nodes:[] ~edges:es)
 
-let would_cycle t extra = Tpm_core.Digraph.has_cycle (relevant_graph t extra)
+let would_cycle_incremental t extra =
+  (* a parked edge means the stored graph is already cyclic *)
+  if Hashtbl.length t.back > 0 then true
+  else begin
+    let gone pid = status t pid = Aborted in
+    let extra =
+      List.filter
+        (fun (i, j) -> i <> j && (not (gone i)) && (not (gone j)) && not (dag_mem t i j))
+        extra
+    in
+    let ordv n = Option.value ~default:max_int (Hashtbl.find_opt t.ord n) in
+    if List.for_all (fun (i, j) -> ordv i < ordv j) extra then
+      (* every extra edge runs forward in the maintained order, and so
+         does every stored edge: the union is acyclic *)
+      false
+    else begin
+      (* any cycle must traverse an order-violating extra edge (stored
+         and forward extra edges strictly increase ord): 3-color DFS over
+         DAG ∪ extra from the tails of the violating edges *)
+      let xsucc = Hashtbl.create 8 in
+      List.iter
+        (fun (i, j) ->
+          Hashtbl.replace xsucc i (j :: Option.value ~default:[] (Hashtbl.find_opt xsucc i)))
+        extra;
+      let color = Hashtbl.create 16 in
+      let exception Found in
+      let rec visit n =
+        match Hashtbl.find_opt color n with
+        | Some `Gray -> raise Found
+        | Some `Black -> ()
+        | None ->
+            Hashtbl.replace color n `Gray;
+            (match Hashtbl.find_opt t.succ n with
+            | Some h -> Hashtbl.iter (fun k () -> visit k) h
+            | None -> ());
+            List.iter visit (Option.value ~default:[] (Hashtbl.find_opt xsucc n));
+            Hashtbl.replace color n `Black
+      in
+      try
+        List.iter (fun (i, j) -> if ordv i >= ordv j then visit i) extra;
+        false
+      with Found -> true
+    end
+  end
 
-let mark_committed t pid = Hashtbl.replace t.status pid Committed
+let would_cycle t extra =
+  let v = would_cycle_incremental t extra in
+  if t.check then begin
+    let r = would_cycle_reference t extra in
+    if v <> r then
+      failwith (Printf.sprintf "Deps.would_cycle: incremental=%b reference=%b" v r)
+  end;
+  v
 
-let mark_aborted t pid =
-  Hashtbl.replace t.status pid Aborted;
-  t.edge_set <- List.filter (fun (i, j) -> i <> pid && j <> pid) t.edge_set
-
-let committed t pid = status t pid = Committed
-
+(* Reverse reachability from [pid] over exactly the edges the reference
+   implementation kept: (i, j) participates iff [live i || j = pid] —
+   committed processes relay only as the last hop into [pid]. *)
 let uncommitted_preds t pid =
-  let g =
-    Tpm_core.Digraph.make ~nodes:[ pid ]
-      ~edges:(List.filter (fun (i, j) -> live t i || j = pid) t.edge_set)
+  let seen = Hashtbl.create 8 in
+  Hashtbl.replace seen pid ();
+  let acc = ref [] in
+  let preds_of j =
+    let base =
+      match Hashtbl.find_opt t.pred j with
+      | Some h -> Hashtbl.fold (fun i () l -> i :: l) h []
+      | None -> []
+    in
+    if Hashtbl.length t.back = 0 then base
+    else Hashtbl.fold (fun (bi, bj) () l -> if bj = j then bi :: l else l) t.back base
   in
-  Tpm_core.Digraph.nodes g
-  |> List.filter (fun i -> i <> pid && live t i && Tpm_core.Digraph.reachable g i pid)
+  let rec go j =
+    List.iter
+      (fun i ->
+        if (live t i || j = pid) && not (Hashtbl.mem seen i) then begin
+          Hashtbl.replace seen i ();
+          if live t i then acc := i :: !acc;
+          go i
+        end)
+      (preds_of j)
+  in
+  go pid;
+  List.sort compare !acc
 
 let live_succs t pid =
-  List.filter_map (fun (i, j) -> if i = pid && live t j then Some j else None) t.edge_set
-  |> List.sort_uniq compare
+  let base =
+    match Hashtbl.find_opt t.succ pid with
+    | Some h -> Hashtbl.fold (fun j () l -> j :: l) h []
+    | None -> []
+  in
+  let all =
+    if Hashtbl.length t.back = 0 then base
+    else Hashtbl.fold (fun (bi, bj) () l -> if bi = pid then bj :: l else l) t.back base
+  in
+  List.filter (live t) all |> List.sort_uniq compare
+
+let order t =
+  Hashtbl.fold
+    (fun n o acc -> if status t n <> Aborted then (o, n) :: acc else acc)
+    t.ord []
+  |> List.sort compare |> List.map snd

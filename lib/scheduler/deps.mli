@@ -5,18 +5,41 @@
     keeps this graph acyclic (serializability), delays commits so that
     [C_i] precedes [C_j] along edges, and uses the uncommitted
     predecessors of a process to decide when its non-compensatable
-    activities may commit (Lemma 1). *)
+    activities may commit (Lemma 1).
+
+    The implementation maintains a dynamic topological order
+    (Pearce–Kelly): edge inserts are O(1) amortized and {!would_cycle}
+    usually answers from the order alone, without graph traversal. *)
 
 type t
 
 val create : unit -> t
 val add_process : t -> int -> unit
+
 val add_edge : t -> int -> int -> unit
+(** O(1) amortized (hash-set duplicate detection; a bounded local reorder
+    when the edge runs against the maintained order).  An edge that
+    closes a cycle — only rollback completions insert unchecked — is
+    parked and reflected by {!would_cycle} until an abort clears it. *)
+
 val edges : t -> (int * int) list
+(** Sorted view, memoized until the next mutation. *)
 
 val would_cycle : t -> (int * int) list -> bool
 (** Would adding all the given edges create a cycle among live
-    (uncommitted, unaborted) processes? *)
+    (uncommitted, unaborted) processes?  Fast path: every extra edge
+    running forward in the maintained topological order proves
+    acyclicity; otherwise a DFS bounded to the violating region decides. *)
+
+val would_cycle_reference : t -> (int * int) list -> bool
+(** The pre-incremental oracle — rebuilds a {!Tpm_core.Digraph} from
+    scratch and runs full-graph cycle detection.  Kept as the reference
+    implementation for differential checking ({!set_check},
+    [tools/stress.exe --check-admission]). *)
+
+val set_check : t -> bool -> unit
+(** Cross-check every {!would_cycle} verdict against
+    {!would_cycle_reference}, failing loudly on divergence. *)
 
 val mark_committed : t -> int -> unit
 val mark_aborted : t -> int -> unit
@@ -29,3 +52,8 @@ val uncommitted_preds : t -> int -> int list
 
 val live_succs : t -> int -> int list
 (** Live direct successors. *)
+
+val order : t -> int list
+(** The maintained topological order over non-aborted processes —
+    serialization-order queries read it off directly.  Meaningful while
+    the graph is acyclic (no parked cycle-closing edges). *)

@@ -31,6 +31,18 @@ type backoff = {
 let default_backoff =
   { base = 0.5; multiplier = 2.0; cap = 8.0; jitter = 0.0; max_attempts = None }
 
+type admission_engine =
+  | Incremental
+      (* interned-service bitmatrix + cached per-process service bitsets +
+         Pearce-Kelly cycle detection (the default) *)
+  | Reference
+      (* the pre-incremental path: string-keyed conflict tests, per-pair
+         future recomputation, full-graph cycle detection.  Kept as the
+         comparison oracle and as the old arm of bench P11. *)
+  | Checked
+      (* run both on every admission and fail loudly unless the decisions
+         (and recorded dependency edges) are bit-identical *)
+
 type config = {
   mode : mode;
   exact_admission : bool;
@@ -68,6 +80,10 @@ type config = {
          re-inquires the coordinator after this long without a decision;
          [None] disables inquiries (the participant waits passively for
          coordinator retransmission) *)
+  admission_engine : admission_engine;
+  admission_clock : (unit -> float) option;
+      (* wall-clock source for admission-latency metrics ("admission_time"
+         observations); [None] (default) skips the measurement *)
 }
 
 let default_config =
@@ -84,6 +100,8 @@ let default_config =
     outage_degrade = true;
     twopc_retransmit = 1.0;
     twopc_inquiry = Some 3.0;
+    admission_engine = Incremental;
+    admission_clock = None;
   }
 
 type phase =
@@ -105,9 +123,26 @@ type phase =
   | Awaiting_commit
   | Done
 
+(* Cached view of the services a process may still execute
+   ([remaining_services] of the reference path), keyed on the engine
+   state that determines it: recomputed only when the execution state,
+   the in-flight activity or the prepared activity changed since. *)
+type future_cache = {
+  f_exec : Execution.t;  (* compared physically: every step makes a new value *)
+  f_inflight : int option;
+  f_placed : int option;
+  f_bits : Tpm_core.Bitset.t;  (* interned services still executable *)
+  f_conf : Tpm_core.Bitset.t;  (* their conflict closure (union of rows) *)
+}
+
 type pstate = {
   proc : Process.t;
   args_of : Activity.t -> Value.t;
+  svc_ids : (int, int) Hashtbl.t;  (* activity number -> interned service id *)
+  occ_bits : Tpm_core.Bitset.t;  (* interned services of [occurrences] *)
+  occ_conf : Tpm_core.Bitset.t;  (* their conflict closure *)
+  pending_bits : Tpm_core.Bitset.t;  (* services of [pending_completion] *)
+  mutable future_cache : future_cache option;
   mutable exec : Execution.t;
   mutable phase : phase;
   mutable inflight : int option;
@@ -124,9 +159,27 @@ type pstate = {
   mutable done_at : float option;
 }
 
+(* Candidate-independent part of the latent-edge computation (Section
+   3.5), plus a topological order of the combined graph (stored
+   dependency edges ∪ base latent edges).  Admissions come in bursts —
+   every simulation event retries every waiting process on an unchanged
+   engine state — so the all-pairs scan and the topological sort are paid
+   once per state change ([bump] drops the cache) instead of once per
+   admission; each admission then only contributes the O(n) edges that
+   involve the candidate itself. *)
+type latent_cache = {
+  l_edges : (int * int) list;  (* base latent edges of the current state *)
+  l_qconf : (int, Tpm_core.Bitset.t) Hashtbl.t;
+      (* per-source conflict closure (occurrences ∪ in-flight ∪ prepared) *)
+  l_pos : (int, int) Hashtbl.t option;
+      (* topological position in deps ∪ base; [None] = already cyclic *)
+  l_succ : (int, int list) Hashtbl.t;  (* deps ∪ base adjacency (DFS fallback) *)
+}
+
 type t = {
   cfg : config;
   spec : Conflict.t;
+  cspec : Conflict.Compiled.t;  (* interned bit-compiled conflict matrix *)
   faults : Faults.t;
   rms : (string, Rm.t) Hashtbl.t;
   sim : Des.t;
@@ -134,6 +187,10 @@ type t = {
   deps : Deps.t;
   wal : Wal.t;
   procs : (int, pstate) Hashtbl.t;
+  mutable plist : pstate list;  (* the pstates sorted by pid, maintained at register *)
+  mutable hist : Schedule.t;  (* the emitted schedule, appended at [emit] *)
+  scratch : Tpm_core.Bitset.t;  (* per-admission working set (single-threaded) *)
+  mutable latent_cache : latent_cache option;  (* dropped by [bump] *)
   mutable rev_events : Schedule.event list;
   metrics : Metrics.t;
   attempts : (int * int, int) Hashtbl.t;
@@ -210,16 +267,23 @@ let create ?(config = default_config) ?(faults = Faults.none) ?wal_path ~spec ~r
                { pid = token / 1_000_000; act = token mod 1_000_000; commit }))
         ~halted ())
     rms;
+  let deps = Deps.create () in
+  if config.admission_engine = Checked then Deps.set_check deps true;
   {
     cfg = config;
     spec;
+    cspec = Conflict.Compiled.make spec;
     faults;
     rms = table;
     sim;
     rng = Prng.create config.seed;
-    deps = Deps.create ();
+    deps;
     wal;
     procs = Hashtbl.create 16;
+    plist = [];
+    hist = Schedule.make ~spec ~procs:[] [];
+    scratch = Bitset.create ();
+    latent_cache = None;
     rev_events = [];
     metrics;
     attempts = Hashtbl.create 64;
@@ -243,9 +307,14 @@ let rm_of t (a : Activity.t) =
   | Some rm -> rm
   | None -> invalid_arg (Printf.sprintf "Scheduler: unknown subsystem %s" a.subsystem)
 
-let pstates t =
-  Hashtbl.fold (fun _ ps acc -> ps :: acc) t.procs []
-  |> List.sort (fun a b -> compare (Process.pid a.proc) (Process.pid b.proc))
+let pstates t = t.plist
+
+(* every mutation of admission-relevant state (occurrences, in-flight /
+   prepared activities, execution steps, pending completions, phases,
+   terminations, dependency edges, registrations) must drop the cached
+   latent base; the differential stress (--check-admission) would catch a
+   missed site as an engine divergence *)
+let bump t = t.latent_cache <- None
 
 let live ps = ps.phase <> Done
 
@@ -281,19 +350,29 @@ let max_transient_attempts t rm =
   | Some n -> max 1 n
   | None -> max 1 (Rm.max_failures rm - 1)
 
+let sid t s = Conflict.Compiled.intern t.cspec s
+let instance_service inst = (Activity.instance_base inst).Activity.service
+
 let emit t ev =
+  bump t;
   t.rev_events <- ev :: t.rev_events;
+  t.hist <- Schedule.append t.hist ev;
   match ev with
   | Schedule.Act inst -> (
       match Hashtbl.find_opt t.procs (Activity.instance_proc inst) with
-      | Some ps -> ps.occurrences <- inst :: ps.occurrences
+      | Some ps ->
+          ps.occurrences <- inst :: ps.occurrences;
+          let k = sid t (instance_service inst) in
+          Bitset.set ps.occ_bits k;
+          Bitset.union ~into:ps.occ_conf (Conflict.Compiled.row t.cspec k)
       | None -> ())
   | Schedule.Commit _ | Schedule.Abort _ | Schedule.Group_abort _ -> ()
 
-let history t =
-  Schedule.make ~spec:t.spec
-    ~procs:(List.map (fun ps -> ps.proc) (pstates t))
-    (List.rev t.rev_events)
+let history t = t.hist
+
+(* the maintained topological order of the dependency graph (aborted
+   processes dropped), a valid serialization order at any instant *)
+let serialization_order t = Deps.order t.deps
 
 let status t pid =
   match Hashtbl.find_opt t.procs pid with
@@ -308,51 +387,74 @@ let next_attempt t pid act =
   n
 
 (* ------------------------------------------------------------------ *)
-(* Conflict queries *)
+(* Conflict queries — interned services, bitmatrix rows, cached bitsets *)
 
-let services_conflict t s s' = Conflict.services_conflict t.spec s s'
-
-let instance_service inst = (Activity.instance_base inst).Activity.service
+let services_conflict t s s' = Conflict.Compiled.conflict t.cspec (sid t s) (sid t s')
 
 let occurrence_conflicts t ps service =
-  List.exists (fun inst -> services_conflict t service (instance_service inst)) ps.occurrences
+  Bitset.inter_nonempty (Conflict.Compiled.row t.cspec (sid t service)) ps.occ_bits
 
 let inflight_conflict t ps service =
   match ps.inflight with
   | None -> false
   | Some act -> services_conflict t service (Process.find ps.proc act).Activity.service
 
-let busy_conflicts t ps service =
+let placed_act ps =
+  match ps.phase with
+  | Blocked_2pc { act; _ } | Deciding_2pc { act; _ } -> Some act
+  | Running | Recovering | Awaiting_commit | Done -> None
+
+let inflight_sid ps = Option.map (Hashtbl.find ps.svc_ids) ps.inflight
+let prepared_sid ps = Option.map (Hashtbl.find ps.svc_ids) (placed_act ps)
+
+(* busy test against the candidate's conflict row: one bit probe per
+   in-flight / prepared activity, one intersection for the pending set *)
+let busy_conflicts_bits t ps ~row =
   (* under the weak order (Section 3.6) a conflicting in-flight invocation
      does not block: the subsystem orders the commits instead *)
-  let inflight_conflict = (not t.cfg.weak_order) && inflight_conflict t ps service in
-  let pending_conflict =
-    List.exists
-      (fun inst -> services_conflict t service (instance_service inst))
-      ps.pending_completion
-  in
-  let prepared_conflict =
-    match ps.phase with
-    | Blocked_2pc { act; _ } | Deciding_2pc { act; _ } ->
-        services_conflict t service (Process.find ps.proc act).Activity.service
-    | Running | Recovering | Awaiting_commit | Done -> false
-  in
-  inflight_conflict || pending_conflict || prepared_conflict
+  ((not t.cfg.weak_order)
+  && match inflight_sid ps with Some k -> Bitset.mem row k | None -> false)
+  || Bitset.inter_nonempty row ps.pending_bits
+  || (match prepared_sid ps with Some k -> Bitset.mem row k | None -> false)
 
-let remaining_services ps =
-  let executed = Execution.executed ps.exec in
-  (* the in-flight / prepared activity is already accounted for as an
-     occurrence-to-be: it is not part of the open future *)
-  let placed n =
-    ps.inflight = Some n
-    ||
-    match ps.phase with
-    | Blocked_2pc { act; _ } | Deciding_2pc { act; _ } -> act = n
-    | _ -> false
-  in
-  Process.activity_ids ps.proc
-  |> List.filter (fun n -> (not (List.mem n executed)) && not (placed n))
-  |> List.map (fun n -> (Process.find ps.proc n).Activity.service)
+(* the pending-completion services mirror [pending_completion]; every
+   assignment site goes through here *)
+let set_pending t ps insts =
+  bump t;
+  ps.pending_completion <- insts;
+  Bitset.clear ps.pending_bits;
+  List.iter (fun inst -> Bitset.set ps.pending_bits (sid t (instance_service inst))) insts
+
+(* the services this process may still execute (and their conflict
+   closure), recomputed only when the determining state changed: the
+   in-flight / prepared activity is already accounted for as an
+   occurrence-to-be, it is not part of the open future *)
+let future_of t ps =
+  let placed = placed_act ps in
+  match ps.future_cache with
+  | Some c when c.f_exec == ps.exec && c.f_inflight = ps.inflight && c.f_placed = placed
+    ->
+      c
+  | Some _ | None ->
+      let bits = Bitset.create () and conf = Bitset.create () in
+      let executed = Execution.executed ps.exec in
+      List.iter
+        (fun n ->
+          if
+            (not (List.mem n executed))
+            && ps.inflight <> Some n
+            && placed <> Some n
+          then begin
+            let k = Hashtbl.find ps.svc_ids n in
+            Bitset.set bits k;
+            Bitset.union ~into:conf (Conflict.Compiled.row t.cspec k)
+          end)
+        (Process.activity_ids ps.proc);
+      let c =
+        { f_exec = ps.exec; f_inflight = ps.inflight; f_placed = placed; f_bits = bits; f_conf = conf }
+      in
+      ps.future_cache <- Some c;
+      c
 
 (* services of C(P), tagged by direction; cached until the engine state
    changes *)
@@ -371,29 +473,128 @@ let potential_completion ps =
       ps.completion_cache <- Some l;
       l
 
-let completion_services ps =
-  List.map snd (potential_completion ps) @ List.map instance_service ps.pending_completion
-
 (* Quasi-commit condition (figure 9): every uncommitted predecessor is
    forward-recoverable and its possible completion does not conflict with
-   anything this process may still execute. *)
-let quasi_ok t preds pid service =
-  let my_future =
-    match Hashtbl.find_opt t.procs pid with
-    | None -> [ service ]
-    | Some ps -> service :: remaining_services ps
-  in
+   anything this process may still execute.  The candidate's closure is
+   unioned into the future closure; each predecessor then costs one bit
+   probe per completion service. *)
+let quasi_ok_bits t preds ~row ps =
+  let my_conf = t.scratch in
+  Bitset.assign ~into:my_conf (future_of t ps).f_conf;
+  Bitset.union ~into:my_conf row;
   List.for_all
     (fun i ->
       match Hashtbl.find_opt t.procs i with
       | None -> false
       | Some qs ->
           Execution.recovery_state qs.exec = Execution.F_rec
-          && not
-               (List.exists
-                  (fun cs -> List.exists (fun ms -> services_conflict t cs ms) my_future)
-                  (completion_services qs)))
+          && (not
+                (List.exists (fun (_, s) -> Bitset.mem my_conf (sid t s)) (potential_completion qs)))
+          && not (Bitset.inter_nonempty my_conf qs.pending_bits))
     preds
+
+(* Build (or reuse) the candidate-independent latent base: the all-pairs
+   latent edges of the current state, each source's conflict closure, and
+   a topological order of deps ∪ base.  O(n²) bitset intersections plus
+   one DFS — amortized over the whole admission burst. *)
+let latent_base t =
+  match t.latent_cache with
+  | Some c -> c
+  | None ->
+      let sources =
+        List.filter (fun q -> live q || q.term = Schedule.Committed) (pstates t)
+      in
+      let targets = List.filter live (pstates t) in
+      let qconfs = Hashtbl.create 32 in
+      let edges =
+        List.concat_map
+          (fun q ->
+            let qid = Process.pid q.proc in
+            let qconf = Bitset.create () in
+            Bitset.assign ~into:qconf q.occ_conf;
+            (match inflight_sid q with
+            | Some k -> Bitset.union ~into:qconf (Conflict.Compiled.row t.cspec k)
+            | None -> ());
+            (match prepared_sid q with
+            | Some k -> Bitset.union ~into:qconf (Conflict.Compiled.row t.cspec k)
+            | None -> ());
+            Hashtbl.replace qconfs qid qconf;
+            List.filter_map
+              (fun r ->
+                let rid = Process.pid r.proc in
+                if rid = qid then None
+                else if
+                  Bitset.inter_nonempty qconf (future_of t r).f_bits
+                  || Bitset.inter_nonempty qconf r.pending_bits
+                then Some (qid, rid)
+                else None)
+              targets)
+          sources
+      in
+      let succ = Hashtbl.create 64 in
+      let add_succ (i, j) =
+        Hashtbl.replace succ i (j :: Option.value ~default:[] (Hashtbl.find_opt succ i))
+      in
+      (* [Deps.edges] includes parked cycle-closing edges, so a parked
+         edge shows up here as a combined-graph cycle — exactly
+         [Deps.would_cycle]'s "parked means cyclic" answer *)
+      List.iter add_succ (Deps.edges t.deps);
+      List.iter add_succ edges;
+      let color = Hashtbl.create 64 in
+      let order = ref [] in
+      let cyclic = ref false in
+      let rec visit n =
+        match Hashtbl.find_opt color n with
+        | Some `Gray -> cyclic := true
+        | Some `Black -> ()
+        | None ->
+            Hashtbl.replace color n `Gray;
+            List.iter visit (Option.value ~default:[] (Hashtbl.find_opt succ n));
+            Hashtbl.replace color n `Black;
+            order := n :: !order
+      in
+      List.iter (fun q -> visit (Process.pid q.proc)) sources;
+      let pos =
+        if !cyclic then None
+        else begin
+          let h = Hashtbl.create 64 in
+          List.iteri (fun i n -> Hashtbl.replace h n i) !order;
+          Some h
+        end
+      in
+      let c = { l_edges = edges; l_qconf = qconfs; l_pos = pos; l_succ = succ } in
+      t.latent_cache <- Some c;
+      c
+
+(* Is deps ∪ base ∪ extras cyclic?  Every extra edge is incident to the
+   candidate [pid], so when the combined graph is acyclic a new cycle
+   must pass through [pid]: all-forward extras in the maintained order is
+   an O(extras) "no", otherwise one DFS from [pid]'s successors decides. *)
+let latent_would_cycle c ~pid extras =
+  match c.l_pos with
+  | None -> true
+  | Some pos ->
+      let posv n = Option.value ~default:max_int (Hashtbl.find_opt pos n) in
+      if List.for_all (fun (i, j) -> posv i < posv j) extras then false
+      else begin
+        let into = Hashtbl.create 8 in
+        List.iter (fun (i, j) -> if j = pid && i <> pid then Hashtbl.replace into i ()) extras;
+        let seen = Hashtbl.create 32 in
+        let exception Found in
+        let rec go n =
+          if n = pid then raise Found;
+          if not (Hashtbl.mem seen n) then begin
+            Hashtbl.replace seen n ();
+            if Hashtbl.mem into n then raise Found;
+            List.iter go (Option.value ~default:[] (Hashtbl.find_opt c.l_succ n))
+          end
+        in
+        try
+          List.iter (fun (i, j) -> if i = pid then go j) extras;
+          List.iter go (Option.value ~default:[] (Hashtbl.find_opt c.l_succ pid));
+          false
+        with Found -> true
+      end
 
 type admission =
   | Admit_invoke
@@ -401,26 +602,30 @@ type admission =
   | Delay of int list  (* the processes we wait for *)
 
 (* the candidate occurrence appended to the history must leave the prefix
-   reducible (its completed schedule serializable after cancellation) *)
+   reducible (its completed schedule serializable after cancellation);
+   O(1) to build thanks to the incremental [hist] *)
 let exact_ok t (a : Activity.t) =
-  let hypothetical =
-    Schedule.make ~spec:t.spec
-      ~procs:(List.map (fun ps -> ps.proc) (pstates t))
-      (List.rev (Schedule.Act (Activity.Forward a) :: t.rev_events))
-  in
-  Criteria.red hypothetical
+  Criteria.red (Schedule.append t.hist (Schedule.Act (Activity.Forward a)))
 
-let admission t pid act =
+(* Admission is split into pure decision functions returning the decision
+   plus the dependency edges to record, applied by [admission] below only
+   when the activity is admitted — so the incremental engine and the
+   reference oracle can be run side by side on identical state. *)
+
+let admission_decision t pid act =
   let ps = Hashtbl.find t.procs pid in
   let a = Process.find ps.proc act in
-  let service = a.Activity.service in
+  let sidc = Hashtbl.find ps.svc_ids act in
+  let crow = Conflict.Compiled.row t.cspec sidc in
   let others = List.filter (fun q -> Process.pid q.proc <> pid) (pstates t) in
   let busy_blockers =
     List.filter_map
-      (fun q -> if live q && busy_conflicts t q service then Some (Process.pid q.proc) else None)
+      (fun q ->
+        if live q && busy_conflicts_bits t q ~row:crow then Some (Process.pid q.proc)
+        else None)
       others
   in
-  if busy_blockers <> [] then Delay busy_blockers
+  if busy_blockers <> [] then (Delay busy_blockers, [])
   else begin
     let new_edges =
       List.filter_map
@@ -429,8 +634,10 @@ let admission t pid act =
           (* committed processes still constrain the serialization order;
              aborted ones left no effects *)
           if
-            ((live q || q.term = Schedule.Committed) && occurrence_conflicts t q service)
-            || (t.cfg.weak_order && live q && inflight_conflict t q service)
+            ((live q || q.term = Schedule.Committed)
+            && Bitset.inter_nonempty crow q.occ_bits)
+            || (t.cfg.weak_order && live q
+               && match inflight_sid q with Some k -> Bitset.mem crow k | None -> false)
           then Some (qid, pid)
           else None)
         others
@@ -441,89 +648,291 @@ let admission t pid act =
        before [r] in the completed schedule.  Admission must keep the
        graph acyclic including these inevitable-future edges — no
        SOT-like criterion exists, the completed schedule must be
-       considered. *)
-    let lives = List.filter live (pstates t) in
-    let latent_edges =
-      List.concat_map
-        (fun q ->
-          let qid = Process.pid q.proc in
-          let q_occurrences =
-            let base = List.map instance_service q.occurrences in
-            let base =
-              match q.inflight with
-              | Some act -> (Process.find q.proc act).Activity.service :: base
-              | None -> base
-            in
-            let base =
-              match q.phase with
-              | Blocked_2pc { act; _ } | Deciding_2pc { act; _ } ->
-                  (Process.find q.proc act).Activity.service :: base
-              | Running | Recovering | Awaiting_commit | Done -> base
-            in
-            if qid = pid then service :: base else base
-          in
+       considered.  The candidate-independent bulk comes from the cached
+       [latent_base]; only the edges the candidate itself induces (its
+       conflict row against other futures, its service against other
+       closures) are computed here, O(n) bitset probes per admission. *)
+    let latent_edges, would =
+      if t.cfg.naive_sr then ([], Deps.would_cycle t.deps new_edges)
+      else begin
+        let c = latent_base t in
+        (* the candidate's row widens its process's closure: extra edges
+           pid -> r wherever crow meets r's future or pending services *)
+        let extra_out =
           List.filter_map
             (fun r ->
               let rid = Process.pid r.proc in
-              if rid = qid then None
-              else
-                let future =
-                  remaining_services r
-                  @ List.map instance_service r.pending_completion
-                in
-                let future = if rid = pid then service :: future else future in
-                if
-                  List.exists
-                    (fun x -> List.exists (fun f -> services_conflict t x f) future)
-                    q_occurrences
-                then Some (qid, rid)
-                else None)
-            lives)
-        (List.filter (fun q -> live q || q.term = Schedule.Committed) (pstates t))
+              if rid = pid || not (live r) then None
+              else if
+                Bitset.inter_nonempty crow (future_of t r).f_bits
+                || Bitset.inter_nonempty crow r.pending_bits
+              then Some (pid, rid)
+              else None)
+            (pstates t)
+        in
+        (* the candidate's service joins its process's future: extra edges
+           q -> pid wherever q's closure contains it *)
+        let extra_in =
+          Hashtbl.fold
+            (fun qid qconf acc ->
+              if qid <> pid && Bitset.mem qconf sidc then (qid, pid) :: acc else acc)
+            c.l_qconf []
+        in
+        ( c.l_edges @ extra_out @ extra_in,
+          latent_would_cycle c ~pid (new_edges @ extra_out @ extra_in) )
+      end
     in
-    let latent_edges = if t.cfg.naive_sr then [] else latent_edges in
-    if Deps.would_cycle t.deps (new_edges @ latent_edges) then begin
+    if would then begin
       (* wait for the live processes involved in the would-be cycle *)
       let blockers =
         List.concat_map (fun (i, j) -> [ i; j ]) (new_edges @ latent_edges)
         |> List.filter (fun q -> q <> pid)
         |> List.sort_uniq compare
       in
-      Delay blockers
+      (Delay blockers, [])
     end
-    else if t.cfg.naive_sr then begin
+    else if t.cfg.naive_sr then
       (* serializability-only: admit immediately, never gate on recovery *)
-      List.iter (fun (i, j) -> Deps.add_edge t.deps i j) new_edges;
-      Admit_invoke
-    end
+      (Admit_invoke, new_edges)
     else if Activity.non_compensatable a then begin
       let preds =
         List.sort_uniq compare
           (Deps.uncommitted_preds t.deps pid @ List.map fst new_edges)
       in
       if t.cfg.exact_admission && not (exact_ok t a) then
-        Delay (List.sort_uniq compare (List.map fst new_edges))
-      else if preds = [] then begin
-        List.iter (fun (i, j) -> Deps.add_edge t.deps i j) new_edges;
-        Admit_invoke
-      end
+        (Delay (List.sort_uniq compare (List.map fst new_edges)), [])
+      else if preds = [] then (Admit_invoke, new_edges)
       else
         match t.cfg.mode with
-        | Conservative -> Delay preds
-        | Deferred ->
-            List.iter (fun (i, j) -> Deps.add_edge t.deps i j) new_edges;
-            Admit_prepare
+        | Conservative -> (Delay preds, [])
+        | Deferred -> (Admit_prepare, new_edges)
         | Quasi ->
-            List.iter (fun (i, j) -> Deps.add_edge t.deps i j) new_edges;
-            if quasi_ok t preds pid service then Admit_invoke else Admit_prepare
+            ( (if quasi_ok_bits t preds ~row:crow ps then Admit_invoke else Admit_prepare),
+              new_edges )
     end
     else if t.cfg.exact_admission && not (exact_ok t a) then
-      Delay (List.sort_uniq compare (List.map fst new_edges))
-    else begin
-      List.iter (fun (i, j) -> Deps.add_edge t.deps i j) new_edges;
-      Admit_invoke
-    end
+      (Delay (List.sort_uniq compare (List.map fst new_edges)), [])
+    else (Admit_invoke, new_edges)
   end
+
+(* The pre-incremental admission path, kept verbatim (string-keyed
+   conflict tests over the raw spec, per-pair future recomputation,
+   full-graph cycle detection) as the differential-testing oracle and the
+   "old" arm of bench P11.  Pure like [admission_decision]. *)
+module Reference = struct
+  let services_conflict t s s' = Conflict.services_conflict t.spec s s'
+
+  let occurrence_conflicts t ps service =
+    List.exists (fun inst -> services_conflict t service (instance_service inst)) ps.occurrences
+
+  let inflight_conflict t ps service =
+    match ps.inflight with
+    | None -> false
+    | Some act -> services_conflict t service (Process.find ps.proc act).Activity.service
+
+  let busy_conflicts t ps service =
+    let inflight_conflict = (not t.cfg.weak_order) && inflight_conflict t ps service in
+    let pending_conflict =
+      List.exists
+        (fun inst -> services_conflict t service (instance_service inst))
+        ps.pending_completion
+    in
+    let prepared_conflict =
+      match ps.phase with
+      | Blocked_2pc { act; _ } | Deciding_2pc { act; _ } ->
+          services_conflict t service (Process.find ps.proc act).Activity.service
+      | Running | Recovering | Awaiting_commit | Done -> false
+    in
+    inflight_conflict || pending_conflict || prepared_conflict
+
+  let remaining_services ps =
+    let executed = Execution.executed ps.exec in
+    let placed n =
+      ps.inflight = Some n
+      ||
+      match ps.phase with
+      | Blocked_2pc { act; _ } | Deciding_2pc { act; _ } -> act = n
+      | _ -> false
+    in
+    Process.activity_ids ps.proc
+    |> List.filter (fun n -> (not (List.mem n executed)) && not (placed n))
+    |> List.map (fun n -> (Process.find ps.proc n).Activity.service)
+
+  let completion_services ps =
+    List.map snd (potential_completion ps) @ List.map instance_service ps.pending_completion
+
+  let quasi_ok t preds pid service =
+    let my_future =
+      match Hashtbl.find_opt t.procs pid with
+      | None -> [ service ]
+      | Some ps -> service :: remaining_services ps
+    in
+    List.for_all
+      (fun i ->
+        match Hashtbl.find_opt t.procs i with
+        | None -> false
+        | Some qs ->
+            Execution.recovery_state qs.exec = Execution.F_rec
+            && not
+                 (List.exists
+                    (fun cs -> List.exists (fun ms -> services_conflict t cs ms) my_future)
+                    (completion_services qs)))
+      preds
+
+  let exact_ok t (a : Activity.t) =
+    let hypothetical =
+      Schedule.make ~spec:t.spec
+        ~procs:(List.map (fun ps -> ps.proc) (pstates t))
+        (List.rev (Schedule.Act (Activity.Forward a) :: t.rev_events))
+    in
+    Criteria.red hypothetical
+
+  let admission_decision t pid act =
+    let ps = Hashtbl.find t.procs pid in
+    let a = Process.find ps.proc act in
+    let service = a.Activity.service in
+    let others = List.filter (fun q -> Process.pid q.proc <> pid) (pstates t) in
+    let busy_blockers =
+      List.filter_map
+        (fun q -> if live q && busy_conflicts t q service then Some (Process.pid q.proc) else None)
+        others
+    in
+    if busy_blockers <> [] then (Delay busy_blockers, [])
+    else begin
+      let new_edges =
+        List.filter_map
+          (fun q ->
+            let qid = Process.pid q.proc in
+            if
+              ((live q || q.term = Schedule.Committed) && occurrence_conflicts t q service)
+              || (t.cfg.weak_order && live q && inflight_conflict t q service)
+            then Some (qid, pid)
+            else None)
+          others
+      in
+      let latent_edges =
+        if t.cfg.naive_sr then []
+        else begin
+          let lives = List.filter live (pstates t) in
+          List.concat_map
+            (fun q ->
+              let qid = Process.pid q.proc in
+              let q_occurrences =
+                let base = List.map instance_service q.occurrences in
+                let base =
+                  match q.inflight with
+                  | Some act -> (Process.find q.proc act).Activity.service :: base
+                  | None -> base
+                in
+                let base =
+                  match q.phase with
+                  | Blocked_2pc { act; _ } | Deciding_2pc { act; _ } ->
+                      (Process.find q.proc act).Activity.service :: base
+                  | Running | Recovering | Awaiting_commit | Done -> base
+                in
+                if qid = pid then service :: base else base
+              in
+              List.filter_map
+                (fun r ->
+                  let rid = Process.pid r.proc in
+                  if rid = qid then None
+                  else
+                    let future =
+                      remaining_services r
+                      @ List.map instance_service r.pending_completion
+                    in
+                    let future = if rid = pid then service :: future else future in
+                    if
+                      List.exists
+                        (fun x -> List.exists (fun f -> services_conflict t x f) future)
+                        q_occurrences
+                    then Some (qid, rid)
+                    else None)
+                lives)
+            (List.filter (fun q -> live q || q.term = Schedule.Committed) (pstates t))
+        end
+      in
+      if Deps.would_cycle_reference t.deps (new_edges @ latent_edges) then begin
+        let blockers =
+          List.concat_map (fun (i, j) -> [ i; j ]) (new_edges @ latent_edges)
+          |> List.filter (fun q -> q <> pid)
+          |> List.sort_uniq compare
+        in
+        (Delay blockers, [])
+      end
+      else if t.cfg.naive_sr then (Admit_invoke, new_edges)
+      else if Activity.non_compensatable a then begin
+        let preds =
+          List.sort_uniq compare
+            (Deps.uncommitted_preds t.deps pid @ List.map fst new_edges)
+        in
+        if t.cfg.exact_admission && not (exact_ok t a) then
+          (Delay (List.sort_uniq compare (List.map fst new_edges)), [])
+        else if preds = [] then (Admit_invoke, new_edges)
+        else
+          match t.cfg.mode with
+          | Conservative -> (Delay preds, [])
+          | Deferred -> (Admit_prepare, new_edges)
+          | Quasi ->
+              ( (if quasi_ok t preds pid service then Admit_invoke else Admit_prepare),
+                new_edges )
+      end
+      else if t.cfg.exact_admission && not (exact_ok t a) then
+        (Delay (List.sort_uniq compare (List.map fst new_edges)), [])
+      else (Admit_invoke, new_edges)
+    end
+end
+
+let admission_to_string = function
+  | Admit_invoke -> "invoke"
+  | Admit_prepare -> "prepare"
+  | Delay l -> Printf.sprintf "delay[%s]" (String.concat "," (List.map string_of_int l))
+
+let same_admission a b =
+  match (a, b) with
+  | Admit_invoke, Admit_invoke | Admit_prepare, Admit_prepare -> true
+  | Delay xs, Delay ys -> xs = ys
+  | (Admit_invoke | Admit_prepare | Delay _), _ -> false
+
+(* benchmarking hook: compute and discard the pure decision with a chosen
+   engine — no state is mutated, no edges applied (bench P11 probes both
+   engines on identical mid-run states) *)
+let probe_admission t engine ~pid ~act =
+  match engine with
+  | Incremental | Checked -> ignore (admission_decision t pid act)
+  | Reference -> ignore (Reference.admission_decision t pid act)
+
+let admission t pid act =
+  let t0 = match t.cfg.admission_clock with Some f -> f () | None -> 0.0 in
+  let decision, edges =
+    match t.cfg.admission_engine with
+    | Incremental -> admission_decision t pid act
+    | Reference -> Reference.admission_decision t pid act
+    | Checked ->
+        let d_inc, e_inc = admission_decision t pid act in
+        let d_ref, e_ref = Reference.admission_decision t pid act in
+        if not (same_admission d_inc d_ref && e_inc = e_ref) then
+          failwith
+            (Printf.sprintf
+               "Scheduler.admission: engine mismatch on P%d a%d: incremental %s \
+                edges=[%s] vs reference %s edges=[%s]"
+               pid act (admission_to_string d_inc)
+               (String.concat ";"
+                  (List.map (fun (i, j) -> Printf.sprintf "%d->%d" i j) e_inc))
+               (admission_to_string d_ref)
+               (String.concat ";"
+                  (List.map (fun (i, j) -> Printf.sprintf "%d->%d" i j) e_ref)));
+        (d_inc, e_inc)
+  in
+  (match t.cfg.admission_clock with
+  | Some f -> Metrics.observe t.metrics "admission_time" (f () -. t0)
+  | None -> ());
+  Metrics.incr t.metrics "admissions";
+  if edges <> [] then begin
+    bump t;
+    List.iter (fun (i, j) -> Deps.add_edge t.deps i j) edges
+  end;
+  decision
 
 (* ------------------------------------------------------------------ *)
 (* Forward progress *)
@@ -556,6 +965,7 @@ let rec wake t =
                  under synchronous (fault-free) delivery [on_done] fires
                  inside [start], and it must find the phase in place.  The
                  instance id is patched in afterwards if still deciding. *)
+              bump t;
               ps.phase <- Deciding_2pc { act; token; cid = 0 };
               let cid =
                 Coordinator.start t.coord ~pid ~act
@@ -633,6 +1043,7 @@ and on_twopc_done t pid act ~commit =
             else begin
               tracef t "2pc-abort P%d a%d" pid act;
               Metrics.incr t.metrics "twopc_aborts";
+              bump t;
               ps.phase <- Running;
               handle_failure t ps act
             end
@@ -748,6 +1159,7 @@ and dispatch t ps act how =
    as a failed attempt. *)
 and redispatch t ps act how ~a ~delay =
   let pid = Process.pid ps.proc in
+  bump t;
   ps.inflight <- Some act;
   let d = duration t a in
   match t.cfg.invocation_timeout with
@@ -762,7 +1174,7 @@ and on_activity_timeout t pid act how =
     match Hashtbl.find_opt t.procs pid with
     | None -> ()
     | Some ps -> (
-        if ps.inflight = Some act then ps.inflight <- None;
+        if ps.inflight = Some act then begin bump t; ps.inflight <- None end;
         match ps.phase with
         | Recovering | Done | Deciding_2pc _ ->
             Metrics.incr t.metrics "cancelled_inflight"
@@ -814,7 +1226,7 @@ and on_activity_done t pid act how =
       | None -> ());
       if ps.weak_wait <> None then ()
       else begin
-      if ps.inflight = Some act then ps.inflight <- None;
+      if ps.inflight = Some act then begin bump t; ps.inflight <- None end;
       match ps.phase with
       | Recovering | Done | Deciding_2pc _ ->
           (* the process was aborted (or its fate handed to a 2PC
@@ -846,6 +1258,7 @@ and on_activity_done t pid act how =
               wake t
           | Rm.Prepared _ ->
               log t (Wal.Prepared { pid; act });
+              bump t;
               ps.phase <- Blocked_2pc { act; token };
               Metrics.incr t.metrics "prepared";
               wake t
@@ -904,6 +1317,7 @@ and handle_failure t ps act =
       in
       Metrics.incr t.metrics "branch_failures";
       if compensations = [] then begin
+        bump t;
         ps.exec <- new_exec;
         ps.completion_cache <- None;
         (match Execution.status new_exec with
@@ -1013,10 +1427,12 @@ and start_group_rollback t ~initiators =
       log t (Wal.Abort_requested qid);
       q.aborting <- true;
       abort_prepared_of t q;
+      bump t;
       q.phase <- Recovering)
     victims;
   List.iter
     (fun (ps, _, resume) ->
+      bump t;
       ps.phase <- Recovering;
       ps.resume_exec <- resume;
       if resume = None then ps.aborting <- true)
@@ -1028,7 +1444,7 @@ and start_group_rollback t ~initiators =
   List.iter
     (fun (qid, insts) ->
       match Hashtbl.find_opt t.procs qid with
-      | Some q -> q.pending_completion <- insts
+      | Some q -> set_pending t q insts
       | None -> ())
     entries;
   t.rollback_queue <-
@@ -1189,7 +1605,7 @@ and apply_rollback_item t pid inst rest =
           if
             qid <> pid && q.term <> Schedule.Aborted
             && occurrence_conflicts t q (Activity.instance_base inst).Activity.service
-          then Deps.add_edge t.deps qid pid)
+          then begin bump t; Deps.add_edge t.deps qid pid end)
         (pstates t);
       (if Activity.is_inverse inst then begin
          log t (Wal.Compensated { pid; act = a.Activity.id.Activity.act });
@@ -1202,7 +1618,7 @@ and apply_rollback_item t pid inst rest =
       emit t (Schedule.Act inst);
       (match Hashtbl.find_opt t.procs pid with
       | Some ps ->
-          ps.pending_completion <-
+          set_pending t ps
             (match ps.pending_completion with [] -> [] | _ :: tl -> tl)
       | None -> ());
       run_rollback_queue t
@@ -1233,6 +1649,7 @@ and apply_rollback_item t pid inst rest =
   | Rm.Prepared _ -> assert false
 
 and finalize_rollback t ps =
+  bump t;
   match ps.resume_exec with
   | Some exec ->
       ps.exec <- exec;
@@ -1316,6 +1733,14 @@ let register t ?(args_of = fun _ -> Value.Nil) proc =
   if Hashtbl.mem t.procs pid then
     invalid_arg (Printf.sprintf "Scheduler.submit: duplicate process %d" pid);
   List.iter (fun a -> ignore (rm_of t a)) (Process.activities proc);
+  (* intern every service of the process once, so the hot admission path
+     never touches a string again *)
+  let svc_ids = Hashtbl.create 16 in
+  List.iter
+    (fun (a : Activity.t) ->
+      Hashtbl.replace svc_ids a.Activity.id.Activity.act
+        (Conflict.Compiled.intern t.cspec a.Activity.service))
+    (Process.activities proc);
   let ps =
     {
       proc;
@@ -1332,9 +1757,20 @@ let register t ?(args_of = fun _ -> Value.Nil) proc =
       term = Schedule.Active;
       arrived = now t;
       done_at = None;
+      svc_ids;
+      occ_bits = Bitset.create ();
+      occ_conf = Bitset.create ();
+      pending_bits = Bitset.create ();
+      future_cache = None;
     }
   in
   Hashtbl.replace t.procs pid ps;
+  bump t;
+  t.plist <-
+    List.merge
+      (fun a b -> compare (Process.pid a.proc) (Process.pid b.proc))
+      [ ps ] t.plist;
+  t.hist <- Schedule.add_proc t.hist proc;
   Deps.add_process t.deps pid;
   log t (Wal.Process_registered pid);
   ps
@@ -1493,6 +1929,7 @@ let recover ?(config = default_config) ?(amnesia = false) ~spec ~rms ~procs reco
                       failwith (Printf.sprintf "Scheduler.recover: replay: %s" e))
                 (Execution.start proc) p.Recovery.executed
             in
+            bump t;
             ps.exec <- exec;
             ps.aborting <- true;
             ps.phase <- Recovering;
@@ -1574,7 +2011,7 @@ let recover ?(config = default_config) ?(amnesia = false) ~spec ~rms ~procs reco
         List.iter
           (fun (qid, insts) ->
             let q = Hashtbl.find t.procs qid in
-            q.pending_completion <- insts)
+            set_pending t q insts)
           entries;
         t.rollback_queue <-
           List.map (fun inst -> (Activity.instance_proc inst, inst)) ordered;

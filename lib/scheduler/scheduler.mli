@@ -63,6 +63,21 @@ val default_backoff : backoff
 (** [base 0.5, multiplier 2, cap 8, no jitter, derived max_attempts] —
     the first retry waits exactly the historical fixed backoff. *)
 
+(** Which implementation decides admissions.  Both compute identical
+    decisions; they differ only in cost. *)
+type admission_engine =
+  | Incremental
+      (** interned services, conflict bitmatrix, cached future/occurrence
+          bitsets, Pearce–Kelly incremental cycle detection (default) *)
+  | Reference
+      (** the pre-optimization path: string conflict tests over the raw
+          spec and full-graph cycle checks — the oracle and the "old" arm
+          of bench P11 *)
+  | Checked
+      (** run both on every admission and [failwith] on any divergence in
+          the decision or the recorded dependency edges (differential
+          testing; also cross-checks every [Deps.would_cycle] verdict) *)
+
 type config = {
   mode : mode;
   exact_admission : bool;
@@ -105,6 +120,11 @@ type config = {
           inquiries; the participant then waits passively for coordinator
           retransmission — the ablation arm of the message-fault
           experiments. *)
+  admission_engine : admission_engine;
+      (** which admission implementation runs (default [Incremental]) *)
+  admission_clock : (unit -> float) option;
+      (** wall-clock source for the ["admission_time"] metric (e.g.
+          [Unix.gettimeofday]); [None] (default) skips the measurement *)
 }
 
 val default_config : config
@@ -141,6 +161,12 @@ val now : t -> float
 val history : t -> Tpm_core.Schedule.t
 (** The schedule emitted so far: committed occurrences, compensations,
     completion activities, and terminal events. *)
+
+val serialization_order : t -> int list
+(** The maintained topological order of the process dependency graph
+    (aborted processes excluded) — a valid serialization order at any
+    instant, read off the Pearce–Kelly ordering in O(n log n) without a
+    graph traversal. *)
 
 val status : t -> int -> Tpm_core.Schedule.status
 val finished : t -> bool
@@ -198,6 +224,15 @@ val activity_token : pid:int -> act:int -> int
 
 val trace : bool ref
 (** Verbose protocol tracing to stderr (debugging aid). *)
+
+val probe_admission : t -> admission_engine -> pid:int -> act:int -> unit
+(** Computes and discards the pure admission decision of the given engine
+    on the current state — nothing is mutated, no dependency edges are
+    recorded.  Benchmarking hook: bench P11 times both engines on
+    identical mid-run states this way (running the reference engine live
+    at large scales is exactly what the optimization removed).
+    @raise Not_found if [pid] is unknown, [Invalid_argument] if [act] is
+    not an activity of the process. *)
 
 val dump : Format.formatter -> t -> unit
 (** One line of internal state per process (debugging aid). *)

@@ -1,0 +1,215 @@
+(* The incremental admission engine's building blocks:
+   - the compiled conflict bitmatrix agrees with the string-keyed spec
+     (all pairs, self-conflicts, effect-free marks, late interning);
+   - Pearce–Kelly dependency tracking ([Deps]) agrees with the
+     from-scratch Digraph oracle on would-cycle verdicts and maintains a
+     valid topological order across inserts, aborts and commits;
+   - the indexed [Reduction.cancel_compensation_pairs] handles a
+     1000-event schedule well under a second (the old implementation
+     rescanned the interval per pair, quadratically). *)
+
+open Tpm_core
+module Deps = Tpm_scheduler.Deps
+module Prng = Tpm_sim.Prng
+
+let services = [| "s0"; "s1"; "s2"; "s3"; "s4"; "s5" |]
+
+(* random spec over the fixed pool: conflict pairs (possibly reflexive)
+   plus an effect-free subset *)
+let spec_of_seed seed =
+  let rng = Prng.create seed in
+  let n_pairs = Prng.int rng 10 in
+  let spec =
+    Conflict.of_pairs
+      (List.init n_pairs (fun _ ->
+           ( services.(Prng.int rng (Array.length services)),
+             services.(Prng.int rng (Array.length services)) )))
+  in
+  Array.fold_left
+    (fun spec s -> if Prng.chance rng 0.3 then Conflict.declare_effect_free s spec else spec)
+    spec services
+
+let arb_seed = QCheck.make ~print:string_of_int (QCheck.Gen.int_bound 100_000)
+
+let compiled_agrees =
+  QCheck.Test.make ~count:200 ~name:"compiled matrix agrees with the string spec"
+    arb_seed (fun seed ->
+      let spec = spec_of_seed seed in
+      let c = Conflict.Compiled.make spec in
+      (* every service of the pool, interned — some lazily, after [make] *)
+      let ids = Array.map (fun s -> Conflict.Compiled.intern c s) services in
+      Array.iteri
+        (fun i s ->
+          Array.iteri
+            (fun j s' ->
+              let expect = Conflict.services_conflict spec s s' in
+              let got = Conflict.Compiled.conflict c ids.(i) ids.(j) in
+              if got <> expect then
+                QCheck.Test.fail_reportf "conflict(%s,%s): compiled %b, spec %b" s s'
+                  got expect)
+            services;
+          if Conflict.Compiled.effect_free c ids.(i) <> Conflict.effect_free spec s then
+            QCheck.Test.fail_reportf "effect_free(%s) disagrees" s;
+          if Conflict.Compiled.name c ids.(i) <> s then
+            QCheck.Test.fail_reportf "name(intern %s) <> %s" s s)
+        services;
+      (* row-based set test equals the pairwise disjunction *)
+      let set = Tpm_core.Bitset.create () in
+      Array.iteri (fun i _ -> if i mod 2 = 0 then Tpm_core.Bitset.set set ids.(i)) services;
+      Array.iteri
+        (fun i s ->
+          let expect =
+            Array.exists
+              (fun j ->
+                Tpm_core.Bitset.mem set ids.(j)
+                && Conflict.services_conflict spec s services.(j))
+              (Array.init (Array.length services) Fun.id)
+          in
+          let got = Tpm_core.Bitset.inter_nonempty (Conflict.Compiled.row c ids.(i)) set in
+          if got <> expect then QCheck.Test.fail_reportf "row(%s) vs set disagrees" s)
+        services;
+      true)
+
+(* ------------------------------------------------------------------ *)
+(* Deps / Pearce–Kelly *)
+
+let pk_agrees_with_oracle =
+  QCheck.Test.make ~count:300
+    ~name:"PK would_cycle and order agree with the Digraph oracle" arb_seed
+    (fun seed ->
+      let rng = Prng.create seed in
+      let n = 3 + Prng.int rng 6 in
+      let t = Deps.create () in
+      Deps.set_check t true (* every would_cycle self-checks vs the oracle *);
+      for pid = 1 to n do
+        Deps.add_process t pid
+      done;
+      let steps = 5 + Prng.int rng 25 in
+      for _ = 1 to steps do
+        let i = 1 + Prng.int rng n and j = 1 + Prng.int rng n in
+        match Prng.int rng 10 with
+        | 0 -> Deps.mark_aborted t i
+        | 1 -> Deps.mark_committed t i
+        | _ ->
+            if i <> j then begin
+              (* mirror the scheduler: check first, insert only safe edges
+                 (the unchecked rollback path is exercised separately) *)
+              if not (Deps.would_cycle t [ (i, j) ]) then Deps.add_edge t i j
+            end;
+            (* a random would-cycle batch, cross-checked by set_check *)
+            let batch =
+              List.init (Prng.int rng 3) (fun _ ->
+                  (1 + Prng.int rng n, 1 + Prng.int rng n))
+              |> List.filter (fun (a, b) -> a <> b)
+            in
+            ignore (Deps.would_cycle t batch)
+      done;
+      (* the maintained order topologically sorts the surviving edges *)
+      if not (Deps.would_cycle t []) then begin
+        let order = Deps.order t in
+        let pos = Hashtbl.create 16 in
+        List.iteri (fun k pid -> Hashtbl.replace pos pid k) order;
+        List.iter
+          (fun (i, j) ->
+            match (Hashtbl.find_opt pos i, Hashtbl.find_opt pos j) with
+            | Some pi, Some pj ->
+                if pi >= pj then
+                  QCheck.Test.fail_reportf "order violates edge %d->%d" i j
+            | None, _ | _, None -> () (* aborted endpoint *))
+          (Deps.edges t)
+      end;
+      true)
+
+let parked_back_edge () =
+  let t = Deps.create () in
+  Deps.set_check t true;
+  List.iter (Deps.add_process t) [ 1; 2; 3 ];
+  Deps.add_edge t 1 2;
+  Deps.add_edge t 2 3;
+  (* the rollback path inserts unchecked: 3 -> 1 closes a cycle *)
+  Deps.add_edge t 3 1;
+  Alcotest.(check bool) "graph reports cyclic" true (Deps.would_cycle t []);
+  Alcotest.(check bool) "any batch is cyclic" true (Deps.would_cycle t [ (1, 3) ]);
+  (* aborting a participant clears the parked edge *)
+  Deps.mark_aborted t 2;
+  Alcotest.(check bool) "acyclic after abort" false (Deps.would_cycle t []);
+  Alcotest.(check (list (pair int int))) "surviving edge retried into the DAG"
+    [ (3, 1) ] (Deps.edges t)
+
+let pk_preds_and_succs () =
+  let t = Deps.create () in
+  List.iter (Deps.add_process t) [ 1; 2; 3; 4 ];
+  Deps.add_edge t 1 2;
+  Deps.add_edge t 2 3;
+  Deps.add_edge t 4 3;
+  Alcotest.(check (list int)) "transitive live preds" [ 1; 2; 4 ]
+    (Deps.uncommitted_preds t 3);
+  Deps.mark_committed t 1;
+  Alcotest.(check (list int)) "committed pred dropped" [ 2; 4 ]
+    (Deps.uncommitted_preds t 3);
+  Deps.mark_aborted t 4;
+  Alcotest.(check (list int)) "aborted pred dropped" [ 2 ] (Deps.uncommitted_preds t 3);
+  Alcotest.(check (list int)) "live succs of 2" [ 3 ] (Deps.live_succs t 2)
+
+let pk_reorder_stress () =
+  (* adversarial insertion order: edges always run against the current
+     ord (each new source interned late), forcing PK reorders throughout *)
+  let t = Deps.create () in
+  Deps.set_check t true;
+  let n = 200 in
+  for pid = 1 to n do
+    Deps.add_process t pid
+  done;
+  for i = n downto 2 do
+    Alcotest.(check bool)
+      (Printf.sprintf "edge %d->%d acyclic" i (i - 1))
+      false
+      (Deps.would_cycle t [ (i, i - 1) ]);
+    Deps.add_edge t i (i - 1)
+  done;
+  Alcotest.(check (list int)) "order is n..1" (List.init n (fun k -> n - k)) (Deps.order t);
+  Alcotest.(check bool) "closing edge would cycle" true (Deps.would_cycle t [ (1, n) ])
+
+(* ------------------------------------------------------------------ *)
+(* Reduction at scale *)
+
+let reduction_1k_events () =
+  let act ~proc ~act:n ~service =
+    Activity.make ~proc ~act:n ~service ~kind:Activity.Compensatable ()
+  in
+  let p1 = Process.make_exn ~pid:1 ~activities:[ act ~proc:1 ~act:1 ~service:"x" ] ~prec:[] ~pref:[] in
+  let p2 = Process.make_exn ~pid:2 ~activities:[ act ~proc:2 ~act:1 ~service:"y" ] ~prec:[] ~pref:[] in
+  let spec = Conflict.of_pairs [ ("x", "y") ] in
+  let a1 = Process.find p1 1 and b1 = Process.find p2 1 in
+  (* 250 nested quadruples: the outer (x, x') pair is blocked by the inner
+     conflicting (y, y') pair until the inner cancels — two fixpoint
+     passes over 1000 events *)
+  let events =
+    List.concat
+      (List.init 250 (fun _ ->
+           [
+             Schedule.Act (Activity.Forward a1);
+             Schedule.Act (Activity.Forward b1);
+             Schedule.Act (Activity.Inverse b1);
+             Schedule.Act (Activity.Inverse a1);
+           ]))
+  in
+  let s = Schedule.make ~spec ~procs:[ p1; p2 ] events in
+  Alcotest.(check int) "1000 events" 1000 (Schedule.length s);
+  let t0 = Sys.time () in
+  let reduced = Reduction.cancel_compensation_pairs s in
+  let dt = Sys.time () -. t0 in
+  Alcotest.(check int) "everything cancels" 0 (Schedule.length reduced);
+  if dt > 1.0 then
+    Alcotest.failf "cancel_compensation_pairs took %.2fs on 1000 events (budget 1s)" dt
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest compiled_agrees;
+    QCheck_alcotest.to_alcotest pk_agrees_with_oracle;
+    Alcotest.test_case "deps: parked cycle-closing edge" `Quick parked_back_edge;
+    Alcotest.test_case "deps: preds/succs across terminals" `Quick pk_preds_and_succs;
+    Alcotest.test_case "deps: adversarial reorder chain" `Quick pk_reorder_stress;
+    Alcotest.test_case "reduction: 1000-event schedule in budget" `Quick
+      reduction_1k_events;
+  ]

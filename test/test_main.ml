@@ -9,6 +9,7 @@ let () =
       ("substrate", Test_substrate.suite);
       ("scheduler", Test_scheduler.suite);
       ("properties", Test_properties.suite);
+      ("engine", Test_engine.suite);
       ("recovery", Test_recovery.suite);
       ("twopc-coord", Test_twopc_coord.suite);
       ("weak-order", Test_weak_order.suite);

@@ -12,4 +12,12 @@ dune runtest
 dune exec tools/stress.exe -- --seeds 41-50 --outages 0.0,0.2
 dune exec tools/stress.exe -- --seeds 41-50 --fail-rates 0.0,0.1 --msg-faults 0.05
 dune exec tools/stress.exe -- --seeds 41-50 --modes deferred,quasi --fail-rates 0.1 --amnesia
+# differential admission testing: incremental engine vs the string-based
+# reference oracle, bit-identical decisions/edges/cycle-verdicts required
+dune exec tools/stress.exe -- --seeds 41-60 --check-admission
+dune exec tools/stress.exe -- --seeds 41-46 --modes deferred,quasi --fail-rates 0.1 --check-admission --amnesia
+# perf smoke: admission throughput at the quick scales must stay within
+# 5x of the recorded floor (~25k admissions/s at 32 processes)
+dune exec bench/main.exe -- p11 --quick --min-throughput 5000
+# full bench regenerates the reference output and bench/BENCH_P11.json
 dune exec bench/main.exe > bench/bench_output.txt 2>&1

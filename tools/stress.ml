@@ -54,6 +54,7 @@ let fail_rates = ref [ 0.0; 0.1; 0.3 ]
 let outages = ref [ 0.0 ]
 let msg_rates = ref [ 0.0 ]
 let amnesia = ref false
+let check_admission = ref false
 let n_procs = ref 8
 let horizon = ref 50.0
 
@@ -93,6 +94,12 @@ let speclist =
       Arg.Set amnesia,
       " crash each run mid-log and recover with the coordinator records \
        declared lost (cooperative termination)" );
+    ( "--check-admission",
+      Arg.Set check_admission,
+      " differential admission testing: run the incremental engine and the \
+       string-based reference oracle side by side on every admission and \
+       fail on any divergence in decisions, dependency edges, or \
+       would-cycle verdicts" );
     ("--procs", Arg.Set_int n_procs, "N processes per run (default 8)");
     ( "--horizon",
       Arg.Set_float horizon,
@@ -151,7 +158,16 @@ let () =
                         }
                       in
                       let spec = Generator.spec params in
-                      let config = { Scheduler.default_config with mode; seed } in
+                      let config =
+                        {
+                          Scheduler.default_config with
+                          mode;
+                          seed;
+                          admission_engine =
+                            (if !check_admission then Scheduler.Checked
+                             else Scheduler.Incremental);
+                        }
+                      in
                       let procs = Generator.batch ~seed:(seed * 100) params ~n:!n_procs in
                       let t = Scheduler.create ~config ~faults ~spec ~rms () in
                       List.iteri
@@ -162,6 +178,7 @@ let () =
                           seed mode_name fail_rate outage_duty msg_rate
                           (if !amnesia then " amnesia" else "")
                           (Faults.to_string faults)
+                        ^ if !check_admission then " check-admission" else ""
                       in
                       let guarded f =
                         try f ()
