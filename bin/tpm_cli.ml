@@ -111,7 +111,7 @@ let run_cim fail_test =
   0
 
 (* --- tpm random --- *)
-let run_random n conflict_density fail_rate mode weak seed =
+let run_random n conflict_density fail_rate mode weak trace seed =
   let mode =
     match mode with
     | "conservative" -> Scheduler.Conservative
@@ -122,7 +122,14 @@ let run_random n conflict_density fail_rate mode weak seed =
   let rms = Generator.rms params ~fail_prob:(fun _ -> fail_rate) ~seed () in
   let spec = Generator.spec params in
   let config = { Scheduler.default_config with mode; weak_order = weak; seed } in
-  let t = Scheduler.create ~config ~spec ~rms () in
+  let tracer =
+    (* compat form of the old global trace flag: pretty-print every event
+       to stderr (equivalent to TPM_TRACE=1) *)
+    if trace then
+      Tpm_obs.Obs.Tracer.create ~sinks:[ Tpm_obs.Obs.Sink.stderr_pretty () ] ()
+    else Tpm_obs.Obs.Tracer.disabled
+  in
+  let t = Scheduler.create ~config ~tracer ~spec ~rms () in
   List.iteri
     (fun i p -> Scheduler.submit t ~at:(0.4 *. float_of_int i) p)
     (Generator.batch ~seed:(seed * 100) params ~n);
@@ -229,9 +236,17 @@ let random_cmd =
       & info [ "mode" ] ~doc:"Scheduler mode: conservative, deferred or quasi")
   in
   let weak = Arg.(value & flag & info [ "weak" ] ~doc:"Enable the weak order (Section 3.6)") in
+  let trace =
+    Arg.(
+      value & flag
+      & info [ "trace" ]
+          ~doc:
+            "Pretty-print every scheduler trace event to stderr (same as \
+             setting TPM_TRACE=1)")
+  in
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed") in
   Cmd.v (Cmd.info "random" ~doc:"Run a random workload through the scheduler")
-    Term.(const run_random $ n $ density $ fail_rate $ mode $ weak $ seed)
+    Term.(const run_random $ n $ density $ fail_rate $ mode $ weak $ trace $ seed)
 
 let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"A .tpm document")

@@ -1,0 +1,379 @@
+(* Typed trace events over the simulation's virtual clock, with pluggable
+   sinks.  The tracer itself is a bounded ring buffer (cheap enough to
+   leave on); sinks fan every event out to stderr, a JSONL file, or a
+   Chrome trace_event export. *)
+
+type decision =
+  | Invoke
+  | Prepare
+  | Delay of int list
+
+type reason =
+  | Clear
+  | Ordered
+  | Busy
+  | Would_cycle
+  | Conservative_wait
+  | Deferred_prepare
+  | Quasi_commit
+  | Exact_reject
+
+type msg_dir = Send | Deliver | Drop | Duplicate | Retransmit
+
+type event =
+  | Admission of {
+      pid : int;
+      act : int;
+      service : string;
+      decision : decision;
+      reason : reason;
+      edges : (int * int) list;
+    }
+  | Dispatch of { pid : int; act : int; service : string; prepare_only : bool }
+  | Occurrence of { pid : int; act : int; service : string; inverse : bool }
+  | Prepared of { pid : int; act : int }
+  | Commit of int
+  | Abort of int
+  | Group_abort of int list
+  | Backoff of { pid : int; act : int; attempt : int; delay : float }
+  | Deflect of { pid : int; act : int; service : string; outage : bool }
+  | Msg of { dir : msg_dir; src : string; dst : string; payload : string Lazy.t }
+      (** [payload] is lazy: formatting a 2PC message is far more
+          expensive than storing the event, and ring-only tracing never
+          reads it unless forensics fire *)
+  | Wal_append of { index : int; record : string Lazy.t }
+  | Recovery_step of string
+  | Note of string Lazy.t
+      (** free-form protocol trace line; lazy for the same reason as
+          [Msg.payload] — ring-only tracing never renders it *)
+
+let reason_label = function
+  | Clear -> "clear"
+  | Ordered -> "ordered"
+  | Busy -> "busy"
+  | Would_cycle -> "would-cycle"
+  | Conservative_wait -> "conservative-wait"
+  | Deferred_prepare -> "lemma1-defer"
+  | Quasi_commit -> "quasi-commit"
+  | Exact_reject -> "exact-reject"
+
+let dir_label = function
+  | Send -> "send"
+  | Deliver -> "deliver"
+  | Drop -> "drop"
+  | Duplicate -> "dup"
+  | Retransmit -> "retransmit"
+
+let pp_ints fmt l =
+  Format.pp_print_list
+    ~pp_sep:(fun fmt () -> Format.fprintf fmt ",")
+    Format.pp_print_int fmt l
+
+let pp_decision fmt = function
+  | Invoke -> Format.pp_print_string fmt "invoke"
+  | Prepare -> Format.pp_print_string fmt "prepare"
+  | Delay blockers -> Format.fprintf fmt "delay[%a]" pp_ints blockers
+
+let pp_edges fmt edges =
+  Format.pp_print_list
+    ~pp_sep:(fun fmt () -> Format.fprintf fmt ",")
+    (fun fmt (i, j) -> Format.fprintf fmt "%d->%d" i j)
+    fmt edges
+
+let pp_event fmt = function
+  | Admission { pid; act; service; decision; reason; edges } ->
+      Format.fprintf fmt "admission P_%d a%d (%s): %a reason=%s edges=[%a]" pid act
+        service pp_decision decision (reason_label reason) pp_edges edges
+  | Dispatch { pid; act; service; prepare_only } ->
+      Format.fprintf fmt "dispatch P_%d a%d (%s)%s" pid act service
+        (if prepare_only then " [prepare]" else "")
+  | Occurrence { pid; act; service; inverse } ->
+      Format.fprintf fmt "%s P_%d a%d (%s)"
+        (if inverse then "compensated" else "executed")
+        pid act service
+  | Prepared { pid; act } -> Format.fprintf fmt "prepared P_%d a%d" pid act
+  | Commit pid -> Format.fprintf fmt "commit P_%d" pid
+  | Abort pid -> Format.fprintf fmt "abort P_%d" pid
+  | Group_abort pids -> Format.fprintf fmt "group-abort [%a]" pp_ints pids
+  | Backoff { pid; act; attempt; delay } ->
+      Format.fprintf fmt "backoff P_%d a%d attempt=%d delay=%.3f" pid act attempt delay
+  | Deflect { pid; act; service; outage } ->
+      Format.fprintf fmt "deflect P_%d a%d (%s)%s" pid act service
+        (if outage then " [outage]" else "")
+  | Msg { dir; src; dst; payload } ->
+      Format.fprintf fmt "msg %s %s->%s %s" (dir_label dir) src dst
+        (Lazy.force payload)
+  | Wal_append { index; record } ->
+      Format.fprintf fmt "wal[%d] %s" index (Lazy.force record)
+  | Recovery_step step -> Format.fprintf fmt "recovery %s" step
+  | Note s -> Format.pp_print_string fmt (Lazy.force s)
+
+(* the process a timeline event belongs to, for the Chrome export lanes *)
+let pid_of = function
+  | Admission { pid; _ }
+  | Dispatch { pid; _ }
+  | Occurrence { pid; _ }
+  | Prepared { pid; _ }
+  | Backoff { pid; _ }
+  | Deflect { pid; _ } ->
+      Some pid
+  | Commit pid | Abort pid -> Some pid
+  | Group_abort _ | Msg _ | Wal_append _ | Recovery_step _ | Note _ -> None
+
+let kind_label = function
+  | Admission _ -> "admission"
+  | Dispatch _ -> "dispatch"
+  | Occurrence _ -> "occurrence"
+  | Prepared _ -> "prepared"
+  | Commit _ -> "commit"
+  | Abort _ -> "abort"
+  | Group_abort _ -> "group_abort"
+  | Backoff _ -> "backoff"
+  | Deflect _ -> "deflect"
+  | Msg _ -> "msg"
+  | Wal_append _ -> "wal_append"
+  | Recovery_step _ -> "recovery_step"
+  | Note _ -> "note"
+
+(* --- minimal JSON emission (no external dependency) --- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_fields ev =
+  let str k v = Printf.sprintf "%S:\"%s\"" k (json_escape v) in
+  let int k v = Printf.sprintf "%S:%d" k v in
+  let ints k l =
+    Printf.sprintf "%S:[%s]" k (String.concat "," (List.map string_of_int l))
+  in
+  let base = [ str "ev" (kind_label ev) ] in
+  base
+  @
+  match ev with
+  | Admission { pid; act; service; decision; reason; edges } ->
+      [
+        int "pid" pid;
+        int "act" act;
+        str "service" service;
+        str "decision"
+          (match decision with
+          | Invoke -> "invoke"
+          | Prepare -> "prepare"
+          | Delay _ -> "delay");
+        (match decision with
+        | Delay blockers -> ints "blockers" blockers
+        | Invoke | Prepare -> ints "blockers" []);
+        str "reason" (reason_label reason);
+        Printf.sprintf "\"edges\":[%s]"
+          (String.concat ","
+             (List.map (fun (i, j) -> Printf.sprintf "[%d,%d]" i j) edges));
+      ]
+  | Dispatch { pid; act; service; prepare_only } ->
+      [
+        int "pid" pid;
+        int "act" act;
+        str "service" service;
+        Printf.sprintf "\"prepare_only\":%b" prepare_only;
+      ]
+  | Occurrence { pid; act; service; inverse } ->
+      [
+        int "pid" pid;
+        int "act" act;
+        str "service" service;
+        Printf.sprintf "\"inverse\":%b" inverse;
+      ]
+  | Prepared { pid; act } -> [ int "pid" pid; int "act" act ]
+  | Commit pid | Abort pid -> [ int "pid" pid ]
+  | Group_abort pids -> [ ints "pids" pids ]
+  | Backoff { pid; act; attempt; delay } ->
+      [
+        int "pid" pid;
+        int "act" act;
+        int "attempt" attempt;
+        Printf.sprintf "\"delay\":%.9g" delay;
+      ]
+  | Deflect { pid; act; service; outage } ->
+      [
+        int "pid" pid;
+        int "act" act;
+        str "service" service;
+        Printf.sprintf "\"outage\":%b" outage;
+      ]
+  | Msg { dir; src; dst; payload } ->
+      [
+        str "dir" (dir_label dir);
+        str "src" src;
+        str "dst" dst;
+        str "payload" (Lazy.force payload);
+      ]
+  | Wal_append { index; record } ->
+      [ int "index" index; str "record" (Lazy.force record) ]
+  | Recovery_step step -> [ str "step" step ]
+  | Note s -> [ str "note" (Lazy.force s) ]
+
+let event_json ts ev =
+  Printf.sprintf "{\"ts\":%.9g,%s}" ts (String.concat "," (json_fields ev))
+
+(* --- Chrome trace_event / Perfetto export ---
+
+   Events are keyed by process id: each process is a Chrome "thread"
+   (tid = pid) inside one synthetic "process" (pid 1), so a schedule
+   renders as one timeline lane per transactional process.  Dispatch and
+   the matching occurrence of the same activity become a complete-span
+   ["ph":"X"] event; everything else is an instant event.  The virtual
+   clock (seconds) maps to trace microseconds. *)
+let chrome_json events =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"traceEvents\":[\n";
+  let first = ref true in
+  let emit_obj s =
+    if not !first then Buffer.add_string buf ",\n";
+    first := false;
+    Buffer.add_string buf s
+  in
+  let lane ev = match pid_of ev with Some pid -> pid | None -> 0 in
+  let us ts = ts *. 1e6 in
+  let starts : (int * int, float) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (ts, ev) ->
+      match ev with
+      | Dispatch { pid; act; _ } -> Hashtbl.replace starts (pid, act) ts
+      | Occurrence { pid; act; service; inverse } ->
+          let t0 =
+            match Hashtbl.find_opt starts (pid, act) with
+            | Some t0 ->
+                Hashtbl.remove starts (pid, act);
+                t0
+            | None -> ts
+          in
+          emit_obj
+            (Printf.sprintf
+               "{\"name\":\"%s%s\",\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f}"
+               (if inverse then "undo " else "")
+               (json_escape service) pid (us t0)
+               (us (ts -. t0)))
+      | ev ->
+          emit_obj
+            (Printf.sprintf
+               "{\"name\":\"%s\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":%d,\"ts\":%.3f,\"args\":{\"detail\":\"%s\"}}"
+               (kind_label ev) (lane ev) (us ts)
+               (json_escape (Format.asprintf "%a" pp_event ev))))
+    events;
+  Buffer.add_string buf "\n]}\n";
+  Buffer.contents buf
+
+module Sink = struct
+  type t = {
+    emit : float -> event -> unit;
+    close : unit -> unit;
+  }
+
+  let make ?(close = fun () -> ()) emit = { emit; close }
+
+  let stderr_pretty () =
+    make (fun ts ev -> Format.eprintf "[%8.2f] %a@." ts pp_event ev)
+
+  let formatter fmt = make (fun ts ev -> Format.fprintf fmt "[%8.2f] %a@." ts pp_event ev)
+
+  let jsonl path =
+    let oc = open_out path in
+    make
+      ~close:(fun () -> close_out oc)
+      (fun ts ev ->
+        output_string oc (event_json ts ev);
+        output_char oc '\n')
+
+  let chrome path =
+    let events = ref [] in
+    make
+      ~close:(fun () ->
+        let oc = open_out path in
+        output_string oc (chrome_json (List.rev !events));
+        close_out oc)
+      (fun ts ev -> events := (ts, ev) :: !events)
+end
+
+module Tracer = struct
+  (* the ring is two parallel arrays — an unboxed float array for the
+     stamps and an event array — so an emit into the ring allocates
+     nothing beyond the event itself (no tuple, no boxed float) *)
+  type t = {
+    active : bool;
+    cap : int;
+    ts_ring : float array;
+    ev_ring : event array;
+    mutable total : int;
+    mutable clock : unit -> float;
+    sinks : Sink.t list;
+    has_sinks : bool;
+  }
+
+  let disabled =
+    {
+      active = false;
+      cap = 0;
+      ts_ring = [||];
+      ev_ring = [||];
+      total = 0;
+      clock = (fun () -> 0.0);
+      sinks = [];
+      has_sinks = false;
+    }
+
+  let create ?(ring_capacity = 512) ?(sinks = []) () =
+    let cap = max 0 ring_capacity in
+    {
+      active = true;
+      cap;
+      ts_ring = (if cap = 0 then [||] else Array.make cap 0.0);
+      ev_ring = (if cap = 0 then [||] else Array.make cap (Note (lazy "")));
+      total = 0;
+      clock = (fun () -> 0.0);
+      sinks;
+      has_sinks = sinks <> [];
+    }
+
+  let active t = t.active
+  let emitted t = t.total
+  let set_clock t clock = if t.active then t.clock <- clock
+
+  let emit t ev =
+    if t.active then begin
+      let ts = t.clock () in
+      if t.cap > 0 then begin
+        let i = t.total mod t.cap in
+        t.ts_ring.(i) <- ts;
+        t.ev_ring.(i) <- ev
+      end;
+      t.total <- t.total + 1;
+      if t.has_sinks then List.iter (fun (s : Sink.t) -> s.emit ts ev) t.sinks
+    end
+
+  let recent ?n t =
+    let avail = min t.total t.cap in
+    let n = match n with None -> avail | Some n -> max 0 (min n avail) in
+    List.init n (fun i ->
+        let j = (t.total - n + i) mod t.cap in
+        (t.ts_ring.(j), t.ev_ring.(j)))
+
+  let close t = List.iter (fun (s : Sink.t) -> s.close ()) t.sinks
+
+  let pp_recent ?n fmt t =
+    let events = recent ?n t in
+    Format.fprintf fmt "@[<v>";
+    List.iter (fun (ts, ev) -> Format.fprintf fmt "[%8.2f] %a@," ts pp_event ev) events;
+    Format.fprintf fmt "@]"
+end

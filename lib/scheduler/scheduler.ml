@@ -9,6 +9,7 @@ module Bus = Tpm_sim.Bus
 module Wal = Tpm_wal.Wal
 module Recovery = Tpm_wal.Recovery
 module Coordinator = Tpm_twopc.Coordinator
+module Obs = Tpm_obs.Obs
 
 type mode =
   | Conservative
@@ -202,19 +203,41 @@ type t = {
   bus : Coordinator.msg Bus.t;
   coord : Coordinator.t;
   logf : Wal.record -> unit;
+  obs : Obs.Tracer.t;  (* per-instance tracer: no state leaks across schedulers *)
 }
 
-let trace = ref false
+let tracer t = t.obs
 
+(* Free-form protocol trace lines become [Note] events on the tracer:
+   with tracing disabled the format arguments are consumed without
+   rendering (one branch, no allocation).  With tracing active,
+   [kdprintf] captures the arguments in a printer closure without
+   formatting them — the lazy renders only when a sink or forensics
+   dump reads the note. *)
 let tracef t fmt =
-  if !trace then Format.eprintf ("[%6.2f] " ^^ fmt ^^ "@.") (Des.now t.sim)
-  else Format.ifprintf Format.err_formatter ("[%6.2f] " ^^ fmt ^^ "@.") (Des.now t.sim)
+  if Obs.Tracer.active t.obs then
+    Format.kdprintf
+      (fun printer ->
+        Obs.Tracer.emit t.obs (Obs.Note (lazy (Format.asprintf "%t" printer))))
+      fmt
+  else Format.ikfprintf ignore Format.err_formatter fmt
+
+(* Compat for the removed global [trace] flag: [TPM_TRACE] (non-empty,
+   non-"0") gives every scheduler created without an explicit tracer a
+   stderr pretty-printing sink. *)
+let tracer_from_env () =
+  match Sys.getenv_opt "TPM_TRACE" with
+  | Some v when v <> "" && v <> "0" ->
+      Obs.Tracer.create ~sinks:[ Obs.Sink.stderr_pretty () ] ()
+  | Some _ | None -> Obs.Tracer.disabled
 
 let activity_token ~pid ~act =
   assert (act < 1_000_000);
   (pid * 1_000_000) + act
 
-let create ?(config = default_config) ?(faults = Faults.none) ?wal_path ~spec ~rms () =
+let create ?(config = default_config) ?(faults = Faults.none) ?tracer ?wal_path ~spec
+    ~rms () =
+  let obs = match tracer with Some tr -> tr | None -> tracer_from_env () in
   let table = Hashtbl.create 8 in
   List.iter
     (fun rm ->
@@ -226,6 +249,7 @@ let create ?(config = default_config) ?(faults = Faults.none) ?wal_path ~spec ~r
       Rm.set_faults rm faults)
     rms;
   let sim = Des.create () in
+  Obs.Tracer.set_clock obs (fun () -> Des.now sim);
   let metrics = Metrics.create () in
   let wal = Wal.create ?path:wal_path () in
   let crashed = ref false in
@@ -234,6 +258,8 @@ let create ?(config = default_config) ?(faults = Faults.none) ?wal_path ~spec ~r
   let msg_rng = Prng.create ((config.seed * 31) + 7) in
   let bus = Bus.create ~sim ~rng:msg_rng ~metrics ~faults () in
   Bus.set_crash_hook bus (fun () -> crashed := true);
+  if Obs.Tracer.active obs then
+    Bus.set_tracer bus obs ~pp:(fun msg -> Format.asprintf "%a" Coordinator.pp_msg msg);
   (* Every WAL append goes through here so the fault plan's crash trigger
      ("die right after the Nth append") fires at an exact, reproducible
      point.  The record that trips the trigger is still written — the
@@ -242,6 +268,13 @@ let create ?(config = default_config) ?(faults = Faults.none) ?wal_path ~spec ~r
   let logf record =
     if not !crashed then begin
       Wal.append wal record;
+      if Obs.Tracer.active obs then
+        Obs.Tracer.emit obs
+          (Obs.Wal_append
+             {
+               index = Wal.size wal - 1;
+               record = lazy (Format.asprintf "%a" Wal.pp_record record);
+             });
       match Faults.crash_after faults with
       | Some n when Wal.size wal >= n ->
           crashed := true;
@@ -252,7 +285,7 @@ let create ?(config = default_config) ?(faults = Faults.none) ?wal_path ~spec ~r
   let halted () = !crashed in
   Metrics.incr metrics ~by:0 "indoubt_resolved";
   let coord =
-    Coordinator.create ~sim ~bus ~log:logf ~metrics
+    Coordinator.create ~sim ~bus ~log:logf ~metrics ~tracer:obs
       ~retransmit_after:config.twopc_retransmit ~halted ()
   in
   List.iter
@@ -293,6 +326,7 @@ let create ?(config = default_config) ?(faults = Faults.none) ?wal_path ~spec ~r
     bus;
     coord;
     logf;
+    obs;
   }
 
 let now t = Des.now t.sim
@@ -329,7 +363,7 @@ let duration t (a : Activity.t) =
    [multiplier]) up to [cap], with optional symmetric jitter.  The jitter
    draw is skipped entirely at [jitter = 0] so the default config perturbs
    no rng stream. *)
-let backoff_delay t ~attempt =
+let backoff_delay t ~pid ~act ~attempt =
   let b = t.cfg.backoff in
   let d = Float.min b.cap (b.base *. (b.multiplier ** float_of_int (attempt - 1))) in
   let d =
@@ -338,6 +372,8 @@ let backoff_delay t ~attempt =
     else d
   in
   Metrics.observe t.metrics "backoff_wait" d;
+  if Obs.Tracer.active t.obs then
+    Obs.Tracer.emit t.obs (Obs.Backoff { pid; act; attempt; delay = d });
   d
 
 (* Transient-failure attempts granted to a non-retriable activity before
@@ -357,6 +393,21 @@ let emit t ev =
   bump t;
   t.rev_events <- ev :: t.rev_events;
   t.hist <- Schedule.append t.hist ev;
+  if Obs.Tracer.active t.obs then
+    Obs.Tracer.emit t.obs
+      (match ev with
+      | Schedule.Act inst ->
+          let a = Activity.instance_base inst in
+          Obs.Occurrence
+            {
+              pid = a.Activity.id.Activity.proc;
+              act = a.Activity.id.Activity.act;
+              service = a.Activity.service;
+              inverse = Activity.is_inverse inst;
+            }
+      | Schedule.Commit pid -> Obs.Commit pid
+      | Schedule.Abort pid -> Obs.Abort pid
+      | Schedule.Group_abort pids -> Obs.Group_abort pids);
   match ev with
   | Schedule.Act inst -> (
       match Hashtbl.find_opt t.procs (Activity.instance_proc inst) with
@@ -610,7 +661,10 @@ let exact_ok t (a : Activity.t) =
 (* Admission is split into pure decision functions returning the decision
    plus the dependency edges to record, applied by [admission] below only
    when the activity is admitted — so the incremental engine and the
-   reference oracle can be run side by side on identical state. *)
+   reference oracle can be run side by side on identical state.  The
+   incremental engine additionally returns the {!Obs.reason} code of its
+   decision (the explain payload); the reference oracle is kept verbatim
+   and the [Checked] engine compares decisions and edges only. *)
 
 let admission_decision t pid act =
   let ps = Hashtbl.find t.procs pid in
@@ -625,7 +679,7 @@ let admission_decision t pid act =
         else None)
       others
   in
-  if busy_blockers <> [] then (Delay busy_blockers, [])
+  if busy_blockers <> [] then (Delay busy_blockers, [], Obs.Busy)
   else begin
     let new_edges =
       List.filter_map
@@ -642,6 +696,7 @@ let admission_decision t pid act =
           else None)
         others
     in
+    let admit_reason () = if new_edges = [] then Obs.Clear else Obs.Ordered in
     (* Latent edges (Section 3.5): an occurrence of [q] conflicting with a
        service [r] may still execute (remaining activities of any branch,
        which include the forward completion activities) will order [q]
@@ -689,30 +744,31 @@ let admission_decision t pid act =
         |> List.filter (fun q -> q <> pid)
         |> List.sort_uniq compare
       in
-      (Delay blockers, [])
+      (Delay blockers, [], Obs.Would_cycle)
     end
     else if t.cfg.naive_sr then
       (* serializability-only: admit immediately, never gate on recovery *)
-      (Admit_invoke, new_edges)
+      (Admit_invoke, new_edges, admit_reason ())
     else if Activity.non_compensatable a then begin
       let preds =
         List.sort_uniq compare
           (Deps.uncommitted_preds t.deps pid @ List.map fst new_edges)
       in
       if t.cfg.exact_admission && not (exact_ok t a) then
-        (Delay (List.sort_uniq compare (List.map fst new_edges)), [])
-      else if preds = [] then (Admit_invoke, new_edges)
+        (Delay (List.sort_uniq compare (List.map fst new_edges)), [], Obs.Exact_reject)
+      else if preds = [] then (Admit_invoke, new_edges, admit_reason ())
       else
         match t.cfg.mode with
-        | Conservative -> (Delay preds, [])
-        | Deferred -> (Admit_prepare, new_edges)
+        | Conservative -> (Delay preds, [], Obs.Conservative_wait)
+        | Deferred -> (Admit_prepare, new_edges, Obs.Deferred_prepare)
         | Quasi ->
-            ( (if quasi_ok_bits t preds ~row:crow ps then Admit_invoke else Admit_prepare),
-              new_edges )
+            if quasi_ok_bits t preds ~row:crow ps then
+              (Admit_invoke, new_edges, Obs.Quasi_commit)
+            else (Admit_prepare, new_edges, Obs.Deferred_prepare)
     end
     else if t.cfg.exact_admission && not (exact_ok t a) then
-      (Delay (List.sort_uniq compare (List.map fst new_edges)), [])
-    else (Admit_invoke, new_edges)
+      (Delay (List.sort_uniq compare (List.map fst new_edges)), [], Obs.Exact_reject)
+    else (Admit_invoke, new_edges, admit_reason ())
   end
 
 (* The pre-incremental admission path, kept verbatim (string-keyed
@@ -904,12 +960,20 @@ let probe_admission t engine ~pid ~act =
 
 let admission t pid act =
   let t0 = match t.cfg.admission_clock with Some f -> f () | None -> 0.0 in
-  let decision, edges =
+  let decision, edges, reason =
     match t.cfg.admission_engine with
     | Incremental -> admission_decision t pid act
-    | Reference -> Reference.admission_decision t pid act
+    | Reference ->
+        (* the oracle computes no reason code; classify its decision *)
+        let d, e = Reference.admission_decision t pid act in
+        ( d,
+          e,
+          match d with
+          | Admit_invoke -> if e = [] then Obs.Clear else Obs.Ordered
+          | Admit_prepare -> Obs.Deferred_prepare
+          | Delay _ -> Obs.Busy )
     | Checked ->
-        let d_inc, e_inc = admission_decision t pid act in
+        let d_inc, e_inc, r_inc = admission_decision t pid act in
         let d_ref, e_ref = Reference.admission_decision t pid act in
         if not (same_admission d_inc d_ref && e_inc = e_ref) then
           failwith
@@ -922,12 +986,31 @@ let admission t pid act =
                (admission_to_string d_ref)
                (String.concat ";"
                   (List.map (fun (i, j) -> Printf.sprintf "%d->%d" i j) e_ref)));
-        (d_inc, e_inc)
+        (d_inc, e_inc, r_inc)
   in
   (match t.cfg.admission_clock with
   | Some f -> Metrics.observe t.metrics "admission_time" (f () -. t0)
   | None -> ());
   Metrics.incr t.metrics "admissions";
+  (* the explain payload: decision, blocking edges and reason code of this
+     admission, straight from the pure decision function *)
+  if Obs.Tracer.active t.obs then begin
+    let ps = Hashtbl.find t.procs pid in
+    Obs.Tracer.emit t.obs
+      (Obs.Admission
+         {
+           pid;
+           act;
+           service = (Process.find ps.proc act).Activity.service;
+           decision =
+             (match decision with
+             | Admit_invoke -> Obs.Invoke
+             | Admit_prepare -> Obs.Prepare
+             | Delay blockers -> Obs.Delay blockers);
+           reason;
+           edges;
+         })
+  end;
   if edges <> [] then begin
     bump t;
     List.iter (fun (i, j) -> Deps.add_edge t.deps i j) edges
@@ -1002,8 +1085,8 @@ let rec wake t =
                 in
                 match admitted with
                 | Some (act, how) ->
-                    tracef t "admit P%d a%d %s" pid act
-                      (match how with `Invoke -> "invoke" | `Prepare -> "prepare");
+                    (* no trace line here: the [Admission] event already
+                       carries the decision plus its explain payload *)
                     dispatch t ps act how;
                     changed := true
                 | None ->
@@ -1151,6 +1234,10 @@ and dispatch t ps act how =
            else None)
          (pstates t));
   Metrics.incr t.metrics "dispatched";
+  if Obs.Tracer.active t.obs then
+    Obs.Tracer.emit t.obs
+      (Obs.Dispatch
+         { pid; act; service = a.Activity.service; prepare_only = how = `Prepare });
   redispatch t ps act how ~a ~delay:0.0
 
 (* (Re-)submit an invocation after [delay] of backoff wait.  When the
@@ -1190,11 +1277,18 @@ and on_activity_timeout t pid act how =
    retry with backoff; non-retriables retry up to the transient-attempt
    bound, then degrade to the next alternative branch. *)
 and retry_or_degrade t ps act how ~rm ~a ~attempt =
+  let pid = Process.pid ps.proc in
   if Activity.retriable a || attempt < max_transient_attempts t rm then begin
     Metrics.incr t.metrics "retries";
-    redispatch t ps act how ~a ~delay:(backoff_delay t ~attempt)
+    redispatch t ps act how ~a ~delay:(backoff_delay t ~pid ~act ~attempt)
   end
-  else handle_failure t ps act
+  else begin
+    (* transient attempts exhausted: degrade to the next alternative branch *)
+    if Obs.Tracer.active t.obs then
+      Obs.Tracer.emit t.obs
+        (Obs.Deflect { pid; act; service = a.Activity.service; outage = false });
+    handle_failure t ps act
+  end
 
 and on_activity_done t pid act how =
   if !(t.crashed) then ()
@@ -1261,6 +1355,8 @@ and on_activity_done t pid act how =
               bump t;
               ps.phase <- Blocked_2pc { act; token };
               Metrics.incr t.metrics "prepared";
+              if Obs.Tracer.active t.obs then
+                Obs.Tracer.emit t.obs (Obs.Prepared { pid; act });
               wake t
           | Rm.Failed ->
               tracef t "failed P%d a%d" pid act;
@@ -1274,13 +1370,17 @@ and on_activity_done t pid act how =
                    eventually (Definition 3): ride out the outage with
                    capped backoff *)
                 Metrics.incr t.metrics "retries";
-                redispatch t ps act how ~a ~delay:(backoff_delay t ~attempt)
+                redispatch t ps act how ~a ~delay:(backoff_delay t ~pid ~act ~attempt)
               end
               else begin
                 (* non-retriable during a declared outage: deflect to the
                    next alternative branch of the flex process instead of
                    gambling on the window closing *)
                 Metrics.incr t.metrics "outage_deflections";
+                if Obs.Tracer.active t.obs then
+                  Obs.Tracer.emit t.obs
+                    (Obs.Deflect
+                       { pid; act; service = a.Activity.service; outage = true });
                 handle_failure t ps act
               end
           | Rm.Blocked owners ->
@@ -1297,7 +1397,7 @@ and on_activity_done t pid act how =
                         abort_now t q
                     | Some _ | None -> ())
                   owners;
-              redispatch t ps act how ~a ~delay:(backoff_delay t ~attempt))
+              redispatch t ps act how ~a ~delay:(backoff_delay t ~pid ~act ~attempt))
       end)
 
 and handle_failure t ps act =
@@ -1816,7 +1916,9 @@ let crash t =
   Bus.halt t.bus;
   Wal.records t.wal
 
-let recover ?(config = default_config) ?(amnesia = false) ~spec ~rms ~procs records =
+let recover ?(config = default_config) ?(amnesia = false) ?tracer ~spec ~rms ~procs
+    records =
+  let obs = match tracer with Some tr -> tr | None -> tracer_from_env () in
   (* Coordinator amnesia: the coordinator's side of the log is declared
      lost.  Strip its records and fall back to cooperative termination —
      an in-doubt participant's instance commits iff some sibling resource
@@ -1853,10 +1955,14 @@ let recover ?(config = default_config) ?(amnesia = false) ~spec ~rms ~procs reco
         commits )
     end
   in
-  match Recovery.analyze ~procs records with
+  let on_step step =
+    if Obs.Tracer.active obs then Obs.Tracer.emit obs (Obs.Recovery_step step)
+  in
+  if amnesia then on_step "coordinator amnesia: cooperative termination";
+  match Recovery.analyze ~on_step ~procs records with
   | Error e -> Error e
   | Ok plan ->
-      let t = create ~config ~spec ~rms () in
+      let t = create ~config ~tracer:obs ~spec ~rms () in
       let find_proc pid = List.find_opt (fun pr -> Process.pid pr = pid) procs in
       (* apply the cooperatively recovered commit decisions to the tokens
          still prepared at the resource managers *)
@@ -2019,6 +2125,23 @@ let recover ?(config = default_config) ?(amnesia = false) ~spec ~rms ~procs reco
       end;
       Metrics.incr t.metrics "recovered_processes" ~by:(List.length entries);
       Ok t
+
+(* Failure forensics: the last [n] ring-buffer events plus the metrics
+   snapshot, in one block a CI log can be diagnosed from.  With an
+   inactive tracer the event section records that tracing was off. *)
+let forensics ?(n = 40) fmt t =
+  Format.fprintf fmt "=== forensics: last trace events (t=%.2f) ===@." (now t);
+  if Obs.Tracer.active t.obs then begin
+    let events = Obs.Tracer.recent ~n t.obs in
+    if events = [] then Format.fprintf fmt "(no events recorded)@."
+    else
+      List.iter
+        (fun (ts, ev) -> Format.fprintf fmt "[%8.2f] %a@." ts Obs.pp_event ev)
+        events
+  end
+  else Format.fprintf fmt "(tracing disabled; enable the ring sink for event history)@.";
+  Format.fprintf fmt "=== forensics: metrics snapshot ===@.%a@." Metrics.pp_summary
+    t.metrics
 
 let dump fmt t =
   List.iter

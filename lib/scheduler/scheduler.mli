@@ -134,11 +134,21 @@ val default_config : config
 
 type t
 
-val create : ?config:config -> ?faults:Tpm_sim.Faults.t -> ?wal_path:string ->
+val create : ?config:config -> ?faults:Tpm_sim.Faults.t ->
+  ?tracer:Tpm_obs.Obs.Tracer.t -> ?wal_path:string ->
   spec:Tpm_core.Conflict.t -> rms:Tpm_subsys.Rm.t list -> unit -> t
 (** [faults] (default {!Tpm_sim.Faults.none}) is installed into every
     registered resource manager and consulted by the scheduler for latency
     spikes and the WAL crash trigger.
+
+    [tracer] is this scheduler's private observability plane: admissions
+    (with explain payloads), dispatches, occurrences, backoff waits,
+    deflections, 2PC bus traffic, WAL appends and recovery steps are
+    emitted as typed {!Tpm_obs.Obs.event}s on the simulation's virtual
+    clock.  Defaults to {!Tpm_obs.Obs.Tracer.disabled} — unless the
+    [TPM_TRACE] environment variable is set non-empty (and not ["0"]),
+    which enables a stderr pretty-printing tracer (the compat form of
+    the removed global [trace] flag).
     @raise Invalid_argument if two resource managers share a name. *)
 
 val submit :
@@ -175,6 +185,16 @@ val finished : t -> bool
 val metrics : t -> Tpm_sim.Metrics.t
 val wal_records : t -> Tpm_wal.Wal.record list
 
+val tracer : t -> Tpm_obs.Obs.Tracer.t
+(** The scheduler's tracer (possibly {!Tpm_obs.Obs.Tracer.disabled}).
+    Close it after the run to flush file sinks. *)
+
+val forensics : ?n:int -> Format.formatter -> t -> unit
+(** Failure forensics: the last [n] (default 40) ring-buffer trace
+    events plus the metrics snapshot — dumped by the stress and
+    crash-sweep harnesses on any invariant failure so CI logs alone
+    suffice to diagnose it. *)
+
 val msg_deliveries : t -> int
 (** 2PC messages delivered so far on the scheduler's bus — the axis along
     which the crash sweep places delivery-point crashes. *)
@@ -198,6 +218,7 @@ val is_crashed : t -> bool
 val recover :
   ?config:config ->
   ?amnesia:bool ->
+  ?tracer:Tpm_obs.Obs.Tracer.t ->
   spec:Tpm_core.Conflict.t ->
   rms:Tpm_subsys.Rm.t list ->
   procs:Tpm_core.Process.t list ->
@@ -221,9 +242,6 @@ val activity_token : pid:int -> act:int -> int
     across crashes, so recovery can address prepared invocations). *)
 
 (**/**)
-
-val trace : bool ref
-(** Verbose protocol tracing to stderr (debugging aid). *)
 
 val probe_admission : t -> admission_engine -> pid:int -> act:int -> unit
 (** Computes and discards the pure admission decision of the given engine

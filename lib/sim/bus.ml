@@ -1,3 +1,5 @@
+module Obs = Tpm_obs.Obs
+
 type 'msg t = {
   sim : Des.t;
   rng : Prng.t;
@@ -11,10 +13,19 @@ type 'msg t = {
   mutable halted : bool;
   mutable delivered : int;
   mutable crash_hook : unit -> unit;
+  (* the bus is polymorphic in 'msg, so the owner injects the tracer
+     together with a message formatter *)
+  mutable obs : (Obs.Tracer.t * ('msg -> string)) option;
 }
 
 let mincr ?by t name =
   match t.metrics with None -> () | Some m -> Metrics.incr ?by m name
+
+let trace_msg t dir ~src ~dst msg =
+  match t.obs with
+  | Some (tracer, pp) when Obs.Tracer.active tracer ->
+      Obs.Tracer.emit tracer (Obs.Msg { dir; src; dst; payload = lazy (pp msg) })
+  | _ -> ()
 
 let create ~sim ~rng ?metrics ?(faults = Faults.none) () =
   let t =
@@ -29,6 +40,7 @@ let create ~sim ~rng ?metrics ?(faults = Faults.none) () =
       halted = false;
       delivered = 0;
       crash_hook = ignore;
+      obs = None;
     }
   in
   (* Seed the message counters so they always show in summaries. *)
@@ -43,6 +55,7 @@ let register t name handler =
   Hashtbl.replace t.handlers name handler
 
 let set_crash_hook t hook = t.crash_hook <- hook
+let set_tracer t tracer ~pp = t.obs <- Some (tracer, pp)
 let halt t = t.halted <- true
 let halted t = t.halted
 let deliveries t = t.delivered
@@ -54,6 +67,7 @@ let deliver t ~src ~dst msg _sim =
     | Some handler ->
         t.delivered <- t.delivered + 1;
         mincr t "msg_delivered";
+        trace_msg t Obs.Deliver ~src ~dst msg;
         handler ~src msg;
         (match Faults.crash_after_delivery t.faults with
         | Some n when t.delivered >= n && not t.halted ->
@@ -67,6 +81,7 @@ let deliver t ~src ~dst msg _sim =
 let send t ~src ~dst msg =
   if not t.halted then begin
     mincr t "msg_sent";
+    trace_msg t Obs.Send ~src ~dst msg;
     if t.sync then deliver t ~src ~dst msg t.sim
     else begin
       let drop, dup, max_delay =
@@ -76,11 +91,15 @@ let send t ~src ~dst msg =
         let delay = if max_delay > 0.0 then Prng.float t.rng max_delay else 0.0 in
         Des.after t.sim delay (deliver t ~src ~dst msg)
       in
-      if drop > 0.0 && Prng.chance t.rng drop then mincr t "msg_dropped"
+      if drop > 0.0 && Prng.chance t.rng drop then begin
+        mincr t "msg_dropped";
+        trace_msg t Obs.Drop ~src ~dst msg
+      end
       else begin
         enqueue ();
         if dup > 0.0 && Prng.chance t.rng dup then begin
           mincr t "msg_duplicated";
+          trace_msg t Obs.Duplicate ~src ~dst msg;
           enqueue ()
         end
       end

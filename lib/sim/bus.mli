@@ -33,6 +33,12 @@ val set_crash_hook : 'msg t -> (unit -> unit) -> unit
 (** Invoked (once) when [crash_after_deliveries] fires, after the bus
     halted itself. *)
 
+val set_tracer : 'msg t -> Tpm_obs.Obs.Tracer.t -> pp:('msg -> string) -> unit
+(** Installs a trace sink for bus traffic: every send, delivery, drop
+    and duplication emits an {!Tpm_obs.Obs.Msg} event.  The bus is
+    polymorphic in its message type, so the owner supplies the message
+    formatter [pp]. *)
+
 val halt : 'msg t -> unit
 val halted : 'msg t -> bool
 

@@ -4,8 +4,10 @@ type 'a entry = {
   value : 'a;
 }
 
+(* Slots at or beyond [len] are [None]: a popped entry (and the closure
+   it holds) must not stay reachable from the backing array. *)
 type 'a t = {
-  mutable data : 'a entry array;
+  mutable data : 'a entry option array;
   mutable len : int;
   mutable next_seq : int;
 }
@@ -16,6 +18,8 @@ let is_empty h = h.len = 0
 
 let less a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
 
+let get h i = match h.data.(i) with Some e -> e | None -> assert false
+
 let swap h i j =
   let tmp = h.data.(i) in
   h.data.(i) <- h.data.(j);
@@ -24,7 +28,7 @@ let swap h i j =
 let rec sift_up h i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if less h.data.(i) h.data.(parent) then begin
+    if less (get h i) (get h parent) then begin
       swap h i parent;
       sift_up h parent
     end
@@ -33,8 +37,8 @@ let rec sift_up h i =
 let rec sift_down h i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
   let smallest = ref i in
-  if l < h.len && less h.data.(l) h.data.(!smallest) then smallest := l;
-  if r < h.len && less h.data.(r) h.data.(!smallest) then smallest := r;
+  if l < h.len && less (get h l) (get h !smallest) then smallest := l;
+  if r < h.len && less (get h r) (get h !smallest) then smallest := r;
   if !smallest <> i then begin
     swap h i !smallest;
     sift_down h !smallest
@@ -45,24 +49,26 @@ let push h ~key value =
   h.next_seq <- h.next_seq + 1;
   if h.len = Array.length h.data then begin
     let cap = max 16 (2 * Array.length h.data) in
-    let data = Array.make cap entry in
+    let data = Array.make cap None in
     Array.blit h.data 0 data 0 h.len;
     h.data <- data
   end;
-  h.data.(h.len) <- entry;
+  h.data.(h.len) <- Some entry;
   h.len <- h.len + 1;
   sift_up h (h.len - 1)
 
 let pop h =
   if h.len = 0 then None
   else begin
-    let top = h.data.(0) in
+    let top = get h 0 in
     h.len <- h.len - 1;
     if h.len > 0 then begin
       h.data.(0) <- h.data.(h.len);
+      h.data.(h.len) <- None;
       sift_down h 0
-    end;
+    end
+    else h.data.(0) <- None;
     Some (top.key, top.value)
   end
 
-let peek_key h = if h.len = 0 then None else Some h.data.(0).key
+let peek_key h = if h.len = 0 then None else Some (get h 0).key

@@ -1,6 +1,46 @@
+(* Named counters and value series.  Each series keeps the exact samples
+   (for exact quantiles, one sort per snapshot) alongside O(1) running
+   aggregates and a fixed-bucket log-scale histogram (O(1) observe,
+   constant-time bucketed quantile estimates). *)
+
+(* Shared histogram geometry: 4 buckets per decade over [1e-9, 1e6),
+   right-open [lo, hi) intervals, plus an underflow bucket (everything
+   below 1e-9, including 0 and negatives) and an overflow bucket. *)
+let bounds = Array.init 61 (fun i -> 10.0 ** ((float_of_int i /. 4.0) -. 9.0))
+let nbuckets = Array.length bounds + 1
+
+(* smallest [i] with [v < bounds.(i)]; [Array.length bounds] if none
+   (overflow).  Bucket [i >= 1] therefore holds [bounds.(i-1) <= v <
+   bounds.(i)]. *)
+let bucket_index v =
+  let n = Array.length bounds in
+  if v < bounds.(0) then 0
+  else if not (v < bounds.(n - 1)) then n
+  else begin
+    let lo = ref 0 and hi = ref (n - 1) in
+    (* invariant: bounds.(!lo) <= v < bounds.(!hi) *)
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if v < bounds.(mid) then hi := mid else lo := mid
+    done;
+    !hi
+  end
+
+let bucket_lo i = if i = 0 then 0.0 else bounds.(i - 1)
+let bucket_hi i = if i = nbuckets - 1 then infinity else bounds.(i)
+
+type series = {
+  mutable rev : float list;  (* reverse chronological, exact *)
+  mutable n : int;
+  mutable sum : float;
+  mutable mn : float;
+  mutable mx : float;
+  hist : int array;
+}
+
 type t = {
   counters : (string, int) Hashtbl.t;
-  series : (string, float list ref) Hashtbl.t;  (* reverse chronological *)
+  series : (string, series) Hashtbl.t;
 }
 
 let create () = { counters = Hashtbl.create 16; series = Hashtbl.create 16 }
@@ -12,32 +52,85 @@ let incr ?(by = 1) m name =
 let count m name = Option.value ~default:0 (Hashtbl.find_opt m.counters name)
 
 let observe m name v =
-  match Hashtbl.find_opt m.series name with
-  | Some r -> r := v :: !r
-  | None -> Hashtbl.replace m.series name (ref [ v ])
+  let s =
+    match Hashtbl.find_opt m.series name with
+    | Some s -> s
+    | None ->
+        let s =
+          { rev = []; n = 0; sum = 0.0; mn = nan; mx = nan; hist = Array.make nbuckets 0 }
+        in
+        Hashtbl.replace m.series name s;
+        s
+  in
+  s.rev <- v :: s.rev;
+  s.n <- s.n + 1;
+  s.sum <- s.sum +. v;
+  if s.n = 1 || v < s.mn then s.mn <- v;
+  if s.n = 1 || v > s.mx then s.mx <- v;
+  let b = bucket_index v in
+  s.hist.(b) <- s.hist.(b) + 1
 
-let samples m name =
-  match Hashtbl.find_opt m.series name with
-  | Some r -> List.rev !r
-  | None -> []
-
-let total m name = List.fold_left ( +. ) 0.0 (samples m name)
+let find m name = Hashtbl.find_opt m.series name
+let samples m name = match find m name with Some s -> List.rev s.rev | None -> []
+let total m name = match find m name with Some s -> s.sum | None -> 0.0
 
 let mean m name =
-  match samples m name with
-  | [] -> nan
-  | l -> total m name /. float_of_int (List.length l)
+  match find m name with
+  | Some s when s.n > 0 -> s.sum /. float_of_int s.n
+  | _ -> nan
+
+(* the historical (and deliberately simple) nearest-rank estimator *)
+let rank q n = max 0 (min (n - 1) (int_of_float ((q *. float_of_int (n - 1)) +. 0.5)))
+
+let sorted_samples s =
+  let arr = Array.of_list s.rev in
+  Array.sort Float.compare arr;
+  arr
+
+let quantile_of_sorted arr q =
+  let n = Array.length arr in
+  if n = 0 then nan else arr.(rank q n)
 
 let quantile m name q =
-  match List.sort compare (samples m name) with
-  | [] -> nan
-  | l ->
-      let arr = Array.of_list l in
-      let n = Array.length arr in
-      let idx = int_of_float (q *. float_of_int (n - 1) +. 0.5) in
-      arr.(max 0 (min (n - 1) idx))
+  match find m name with
+  | Some s when s.n > 0 -> quantile_of_sorted (sorted_samples s) q
+  | _ -> nan
 
-let max_value m name = List.fold_left max neg_infinity (samples m name)
+let hquantile m name q =
+  match find m name with
+  | None -> nan
+  | Some s when s.n = 0 -> nan
+  | Some s ->
+      let target = rank q s.n in
+      let i = ref 0 and cum = ref 0 in
+      while !cum + s.hist.(!i) <= target do
+        cum := !cum + s.hist.(!i);
+        i := !i + 1
+      done;
+      (* geometric midpoint of the bucket, clamped into the observed
+         range so degenerate distributions stay exact *)
+      let est =
+        if !i = 0 then s.mn
+        else if !i = nbuckets - 1 then s.mx
+        else sqrt (bucket_lo !i *. bucket_hi !i)
+      in
+      Float.max s.mn (Float.min s.mx est)
+
+let max_value m name =
+  match find m name with Some s when s.n > 0 -> s.mx | _ -> nan
+
+let min_value m name =
+  match find m name with Some s when s.n > 0 -> s.mn | _ -> nan
+
+let hist_buckets m name =
+  match find m name with
+  | None -> []
+  | Some s ->
+      let acc = ref [] in
+      for i = nbuckets - 1 downto 0 do
+        if s.hist.(i) > 0 then acc := (bucket_lo i, bucket_hi i, s.hist.(i)) :: !acc
+      done;
+      !acc
 
 let counters m =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) m.counters [] |> List.sort compare
@@ -50,8 +143,56 @@ let pp_summary fmt m =
   List.iter (fun (k, v) -> Format.fprintf fmt "%-32s %d@," k v) (counters m);
   List.iter
     (fun name ->
-      Format.fprintf fmt "%-32s mean=%.3f p50=%.3f p99=%.3f n=%d@," name (mean m name)
-        (quantile m name 0.5) (quantile m name 0.99)
-        (List.length (samples m name)))
+      (* materialize (and sort) each series exactly once per summary *)
+      let s = Hashtbl.find m.series name in
+      let arr = sorted_samples s in
+      Format.fprintf fmt "%-32s mean=%.3f p50=%.3f p99=%.3f n=%d@," name
+        (if s.n = 0 then nan else s.sum /. float_of_int s.n)
+        (quantile_of_sorted arr 0.5) (quantile_of_sorted arr 0.99) s.n)
     (series_names m);
   Format.fprintf fmt "@]"
+
+(* --- JSON snapshot --- *)
+
+let json_float fmt v =
+  if Float.is_nan v then Format.pp_print_string fmt "null"
+  else if Float.is_integer v && Float.abs v < 1e15 then
+    Format.fprintf fmt "%.0f" v
+  else Format.fprintf fmt "%.9g" v
+
+let pp_json fmt m =
+  Format.fprintf fmt "{\"counters\":{";
+  List.iteri
+    (fun i (k, v) -> Format.fprintf fmt "%s\"%s\":%d" (if i > 0 then "," else "") k v)
+    (counters m);
+  Format.fprintf fmt "},\"series\":{";
+  List.iteri
+    (fun i name ->
+      let s = Hashtbl.find m.series name in
+      let arr = sorted_samples s in
+      Format.fprintf fmt
+        "%s\"%s\":{\"n\":%d,\"sum\":%a,\"mean\":%a,\"min\":%a,\"max\":%a,\"p50\":%a,\"p90\":%a,\"p99\":%a,\"hist\":["
+        (if i > 0 then "," else "")
+        name s.n json_float s.sum json_float
+        (if s.n = 0 then nan else s.sum /. float_of_int s.n)
+        json_float s.mn json_float s.mx json_float
+        (quantile_of_sorted arr 0.5)
+        json_float
+        (quantile_of_sorted arr 0.9)
+        json_float
+        (quantile_of_sorted arr 0.99);
+      List.iteri
+        (fun j (lo, hi, n) ->
+          Format.fprintf fmt "%s{\"lo\":%a,\"hi\":%s,\"n\":%d}"
+            (if j > 0 then "," else "")
+            json_float lo
+            (if Float.is_integer hi && hi < 1e15 then Printf.sprintf "%.0f" hi
+             else if hi = infinity then "null"
+             else Printf.sprintf "%.9g" hi)
+            n)
+        (hist_buckets m name);
+      Format.fprintf fmt "]}")
+    (series_names m);
+  Format.fprintf fmt "}}"
+
+let json_string m = Format.asprintf "%a" pp_json m

@@ -1,5 +1,12 @@
 (** Simulation metrics: named counters and value series with summary
-    statistics, used by the benchmark harness to report experiment rows. *)
+    statistics, used by the benchmark harness to report experiment rows.
+
+    Each series maintains O(1) running aggregates (count, sum, min, max)
+    and a fixed-bucket log-scale histogram (4 buckets per decade over
+    [1e-9, 1e6), with underflow and overflow buckets) updated in O(1)
+    per {!observe}.  The exact samples are kept too: exact quantiles
+    sort once per call, and {!pp_summary}/{!pp_json} sort each series
+    exactly once per snapshot. *)
 
 type t
 
@@ -9,17 +16,45 @@ val incr : ?by:int -> t -> string -> unit
 val count : t -> string -> int
 
 val observe : t -> string -> float -> unit
-(** Appends a sample to a named series. *)
+(** Appends a sample to a named series: O(1) (aggregates + histogram
+    bucket + cons). *)
 
 val samples : t -> string -> float list
 (** Chronological samples of a series (empty if unknown). *)
 
 val mean : t -> string -> float
 val total : t -> string -> float
+
 val quantile : t -> string -> float -> float
-(** [quantile m name q] with [q] in [0, 1]; [nan] on an empty series. *)
+(** [quantile m name q] with [q] in [0, 1]: the exact nearest-rank
+    sample (one nan-safe sort per call); [nan] on an empty series. *)
+
+val hquantile : t -> string -> float -> float
+(** Bucketed quantile estimate from the histogram, O(buckets) and
+    allocation-free: the geometric midpoint of the bucket holding the
+    nearest-rank sample, clamped into the observed [min, max] range (so
+    the estimate is within one bucket width — a factor [10^0.125] —
+    of {!quantile}); [nan] on an empty series. *)
 
 val max_value : t -> string -> float
+(** Largest observed sample; [nan] on an empty/unknown series (like
+    {!mean} and {!quantile}). *)
+
+val min_value : t -> string -> float
+(** Smallest observed sample; [nan] on an empty/unknown series. *)
+
+val hist_buckets : t -> string -> (float * float * int) list
+(** Non-empty histogram buckets of a series as [(lo, hi, count)], in
+    increasing order; intervals are right-open [lo, hi), the underflow
+    bucket reports [lo = 0.], the overflow bucket [hi = infinity]. *)
+
 val counters : t -> (string * int) list
 val series_names : t -> string list
 val pp_summary : Format.formatter -> t -> unit
+
+val pp_json : Format.formatter -> t -> unit
+(** Machine-readable snapshot: counters, per-series aggregates with
+    exact p50/p90/p99, and the non-empty histogram buckets.  Strictly
+    valid JSON ([nan]/infinite values map to [null]). *)
+
+val json_string : t -> string

@@ -3,6 +3,7 @@ module Des = Tpm_sim.Des
 module Bus = Tpm_sim.Bus
 module Metrics = Tpm_sim.Metrics
 module Wal = Tpm_wal.Wal
+module Obs = Tpm_obs.Obs
 
 type msg =
   | Prepare of {
@@ -64,6 +65,7 @@ type t = {
   log : Wal.record -> unit;
   halted : unit -> bool;
   metrics : Metrics.t option;
+  tracer : Obs.Tracer.t;
   retransmit_after : float;
   instances : (int, instance) Hashtbl.t;
   mutable next_cid : int;
@@ -76,6 +78,17 @@ let mobserve t name v =
 
 let send t ~dst msg = Bus.send t.bus ~src:t.name ~dst msg
 
+let trace_retransmit t ~dst msg =
+  if Obs.Tracer.active t.tracer then
+    Obs.Tracer.emit t.tracer
+      (Obs.Msg
+         {
+           dir = Obs.Retransmit;
+           src = t.name;
+           dst;
+           payload = lazy (Format.asprintf "%a" pp_msg msg);
+         })
+
 let retransmit t inst =
   List.iter
     (fun p ->
@@ -83,12 +96,16 @@ let retransmit t inst =
       | Voting ->
           if p.p_vote = None then begin
             mincr t "msg_retransmits";
-            send t ~dst:p.p_name (Prepare { cid = inst.i_cid; token = p.p_token })
+            let msg = Prepare { cid = inst.i_cid; token = p.p_token } in
+            trace_retransmit t ~dst:p.p_name msg;
+            send t ~dst:p.p_name msg
           end
       | Deciding commit ->
           if not p.p_acked then begin
             mincr t "msg_retransmits";
-            send t ~dst:p.p_name (Decision { cid = inst.i_cid; commit })
+            let msg = Decision { cid = inst.i_cid; commit } in
+            trace_retransmit t ~dst:p.p_name msg;
+            send t ~dst:p.p_name msg
           end)
     inst.i_parts
 
@@ -160,8 +177,8 @@ let handle t ~src:_ msg =
     | Inquiry { cid; rm } -> on_inquiry t cid rm
     | Prepare _ | Decision _ -> ()  (* participant-addressed; not for us *)
 
-let create ~sim ~bus ~log ?metrics ?(retransmit_after = 1.0) ?(halted = fun () -> false)
-    ?(name = "coord") () =
+let create ~sim ~bus ~log ?metrics ?(tracer = Obs.Tracer.disabled)
+    ?(retransmit_after = 1.0) ?(halted = fun () -> false) ?(name = "coord") () =
   if retransmit_after <= 0.0 then
     invalid_arg "Coordinator.create: retransmit_after must be positive";
   let t =
@@ -172,6 +189,7 @@ let create ~sim ~bus ~log ?metrics ?(retransmit_after = 1.0) ?(halted = fun () -
       log;
       halted;
       metrics;
+      tracer;
       retransmit_after;
       instances = Hashtbl.create 16;
       next_cid = 1;

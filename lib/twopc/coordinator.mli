@@ -56,6 +56,7 @@ val create :
   bus:msg Tpm_sim.Bus.t ->
   log:(Tpm_wal.Wal.record -> unit) ->
   ?metrics:Tpm_sim.Metrics.t ->
+  ?tracer:Tpm_obs.Obs.Tracer.t ->
   ?retransmit_after:float ->
   ?halted:(unit -> bool) ->
   ?name:string ->
@@ -65,7 +66,9 @@ val create :
     bus.  [log] must append durably (it is the scheduler's WAL append).
     [retransmit_after] is the timer period for re-sending unanswered
     messages (default 1.0 virtual time units); [halted] silences the
-    coordinator after a crash. *)
+    coordinator after a crash.  [tracer] (default disabled) records a
+    retransmission event for every re-sent PREPARE/DECISION — ordinary
+    traffic is traced by the bus itself ({!Tpm_sim.Bus.set_tracer}). *)
 
 val start :
   t ->

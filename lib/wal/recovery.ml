@@ -21,7 +21,9 @@ type effect =
   | Inv of int
   | Pending of int  (* prepared, decision unknown so far *)
 
-let analyze ~procs records =
+let analyze ?(on_step = fun _ -> ()) ~procs records =
+  on_step (Printf.sprintf "analyze: %d log records, %d process definitions"
+       (List.length records) (List.length procs));
   let find_proc pid = List.find_opt (fun p -> Process.pid p = pid) procs in
   let timelines : (int, effect list ref) Hashtbl.t = Hashtbl.create 16 in
   let terminal : (int, [ `Committed | `Aborted ]) Hashtbl.t = Hashtbl.create 16 in
@@ -100,10 +102,16 @@ let analyze ~procs records =
                     | Pending act ->
                         if i < n - 1 then true
                         else if durably_committed pid act then begin
+                          on_step
+                            (Printf.sprintf
+                               "P_%d a%d in doubt: durable Coord_committed, re-deliver commit"
+                               pid act);
                           in_doubt_commit := act :: !in_doubt_commit;
                           true
                         end
                         else begin
+                          on_step
+                            (Printf.sprintf "P_%d a%d in doubt: presume abort" pid act);
                           in_doubt := act :: !in_doubt;
                           false
                         end
@@ -129,6 +137,13 @@ let analyze ~procs records =
               | Error e ->
                   error := Some (Printf.sprintf "P_%d: log replay failed: %s" pid e)
               | Ok st ->
+                  on_step
+                    (Printf.sprintf "P_%d interrupted (%s): completion of %d activities"
+                       pid
+                       (match Execution.recovery_state st with
+                       | Execution.B_rec -> "B-REC"
+                       | Execution.F_rec -> "F-REC")
+                       (List.length (Execution.completion st)));
                   interrupted :=
                     {
                       pid;
@@ -144,6 +159,10 @@ let analyze ~procs records =
   match !error with
   | Some e -> Error e
   | None ->
+      on_step
+        (Printf.sprintf "analyze done: %d committed, %d aborted, %d interrupted"
+           (List.length !committed) (List.length !aborted)
+           (List.length !interrupted));
       Ok
         {
           committed = List.rev !committed;

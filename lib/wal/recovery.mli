@@ -35,9 +35,16 @@ type t = {
   interrupted : process_plan list;  (** processes needing completion *)
 }
 
-val analyze : procs:Tpm_core.Process.t list -> Wal.record list -> (t, string) result
+val analyze :
+  ?on_step:(string -> unit) ->
+  procs:Tpm_core.Process.t list ->
+  Wal.record list ->
+  (t, string) result
 (** Rebuilds every process state by replaying the logged instances through
     the execution engine.  Fails if the log is inconsistent with the
-    process definitions. *)
+    process definitions.  [on_step] (default: ignore) receives a
+    human-readable line per analysis step — in-doubt resolutions and
+    per-process plans — which the scheduler forwards to its tracer as
+    [Recovery_step] events. *)
 
 val pp : Format.formatter -> t -> unit

@@ -16,6 +16,7 @@ let () =
       ("workloads", Test_workloads.suite);
       ("builder", Test_builder.suite);
       ("sim", Test_sim.suite);
+      ("obs", Test_obs.suite);
       ("sot", Test_sot.suite);
       ("lang", Test_lang.suite);
       ("composite", Test_composite.suite);

@@ -1,0 +1,256 @@
+(* Unit tests of the observability layer: the tracer's ring buffer,
+   sink fan-out against the virtual clock, the fixed-bucket histogram in
+   Metrics, and the scheduler's admission explain payloads. *)
+
+module Obs = Tpm_obs.Obs
+module Metrics = Tpm_sim.Metrics
+module Scheduler = Tpm_scheduler.Scheduler
+module Cim = Tpm_workload.Cim
+module Faults = Tpm_sim.Faults
+
+let check = Alcotest.check
+
+(* --- ring buffer --- *)
+
+let note_texts events =
+  List.map (function _, Obs.Note s -> Lazy.force s | _ -> "?") events
+
+let test_ring_wraparound () =
+  let tr = Obs.Tracer.create ~ring_capacity:4 () in
+  for i = 1 to 10 do
+    Obs.Tracer.emit tr (Obs.Note (lazy (string_of_int i)))
+  done;
+  check Alcotest.int "all emissions counted" 10 (Obs.Tracer.emitted tr);
+  check Alcotest.(list string) "last cap events, oldest first"
+    [ "7"; "8"; "9"; "10" ]
+    (note_texts (Obs.Tracer.recent tr));
+  check Alcotest.(list string) "recent ~n keeps the newest" [ "9"; "10" ]
+    (note_texts (Obs.Tracer.recent ~n:2 tr));
+  check Alcotest.(list string) "~n larger than cap is clamped"
+    [ "7"; "8"; "9"; "10" ]
+    (note_texts (Obs.Tracer.recent ~n:99 tr))
+
+let test_disabled_tracer_inert () =
+  let tr = Obs.Tracer.disabled in
+  Obs.Tracer.emit tr (Obs.Note (lazy "dropped"));
+  check Alcotest.bool "not active" false (Obs.Tracer.active tr);
+  check Alcotest.int "nothing counted" 0 (Obs.Tracer.emitted tr);
+  check Alcotest.(list string) "nothing recorded" [] (note_texts (Obs.Tracer.recent tr))
+
+(* --- sinks vs. the virtual clock --- *)
+
+let test_sink_sees_virtual_clock () =
+  let seen = ref [] in
+  let sink = Obs.Sink.make (fun ts ev -> seen := (ts, ev) :: !seen) in
+  let tr = Obs.Tracer.create ~ring_capacity:2 ~sinks:[ sink ] () in
+  let now = ref 0.0 in
+  Obs.Tracer.set_clock tr (fun () -> !now);
+  Obs.Tracer.emit tr (Obs.Note (lazy "a"));
+  now := 1.5;
+  Obs.Tracer.emit tr (Obs.Note (lazy "b"));
+  now := 7.25;
+  Obs.Tracer.emit tr (Obs.Commit 3);
+  let seen = List.rev !seen in
+  check
+    Alcotest.(list (float 0.0))
+    "sink timestamps follow the clock" [ 0.0; 1.5; 7.25 ] (List.map fst seen);
+  check Alcotest.int "sink saw every event" 3 (List.length seen);
+  (* the ring (capacity 2) holds the same stamps for the newest events *)
+  check
+    Alcotest.(list (float 0.0))
+    "ring agrees on the tail" [ 1.5; 7.25 ]
+    (List.map fst (Obs.Tracer.recent tr))
+
+let read_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+(* the file sinks: one JSON object per line for JSONL; dispatch→occurrence
+   pairs become complete spans ("ph":"X") in the Chrome export, with the
+   process id as the timeline lane *)
+let test_file_sinks () =
+  let jsonl_path = Filename.temp_file "tpm_obs_test" ".jsonl" in
+  let chrome_path = Filename.temp_file "tpm_obs_test" ".chrome.json" in
+  let tr =
+    Obs.Tracer.create ~ring_capacity:8
+      ~sinks:[ Obs.Sink.jsonl jsonl_path; Obs.Sink.chrome chrome_path ]
+      ()
+  in
+  let now = ref 1.0 in
+  Obs.Tracer.set_clock tr (fun () -> !now);
+  Obs.Tracer.emit tr
+    (Obs.Dispatch { pid = 4; act = 2; service = "svc"; prepare_only = false });
+  now := 3.5;
+  Obs.Tracer.emit tr
+    (Obs.Occurrence { pid = 4; act = 2; service = "svc"; inverse = false });
+  Obs.Tracer.emit tr (Obs.Commit 4);
+  Obs.Tracer.close tr;
+  let jsonl = read_file jsonl_path in
+  let chrome = read_file chrome_path in
+  Sys.remove jsonl_path;
+  Sys.remove chrome_path;
+  let lines = String.split_on_char '\n' (String.trim jsonl) in
+  check Alcotest.int "one JSONL line per event" 3 (List.length lines);
+  check Alcotest.bool "JSONL carries the virtual timestamp" true
+    (contains ~needle:"\"ts\":1," (List.nth lines 0)
+    && contains ~needle:"\"ts\":3.5," (List.nth lines 1));
+  check Alcotest.bool "JSONL names the event kind" true
+    (contains ~needle:"\"ev\":\"dispatch\"" (List.nth lines 0));
+  check Alcotest.bool "chrome pairs dispatch/occurrence into a span" true
+    (contains ~needle:"\"ph\":\"X\"" chrome);
+  check Alcotest.bool "chrome span lives in the process lane" true
+    (contains ~needle:"\"tid\":4" chrome);
+  check Alcotest.bool "chrome span duration is the gap" true
+    (contains ~needle:"\"dur\":2500000" chrome)
+
+(* --- histogram buckets --- *)
+
+let test_histogram_boundaries () =
+  let m = Metrics.create () in
+  (* 1.0 = 10^0 is an exact bucket bound; intervals are right-open, so
+     the sample must land in [1.0, 10^0.25), not below it *)
+  Metrics.observe m "s" 1.0;
+  Metrics.observe m "s" 1e-12 (* underflow *);
+  Metrics.observe m "s" 1e7 (* overflow *);
+  match Metrics.hist_buckets m "s" with
+  | [ (lo0, hi0, n0); (lo1, hi1, n1); (lo2, hi2, n2) ] ->
+      check (Alcotest.float 0.0) "underflow lo" 0.0 lo0;
+      check Alcotest.bool "underflow hi = 1e-9" true (abs_float (hi0 -. 1e-9) < 1e-18);
+      check Alcotest.int "underflow count" 1 n0;
+      check (Alcotest.float 0.0) "bucket holding 1.0 starts exactly at 1.0" 1.0 lo1;
+      check Alcotest.bool "its hi is 10^0.25" true
+        (abs_float (hi1 -. (10.0 ** 0.25)) < 1e-9);
+      check Alcotest.int "unit count" 1 n1;
+      check Alcotest.bool "overflow lo = 1e6" true (abs_float (lo2 -. 1e6) < 1e-3);
+      check Alcotest.bool "overflow hi infinite" true (hi2 = infinity);
+      check Alcotest.int "overflow count" 1 n2
+  | buckets ->
+      Alcotest.fail
+        (Printf.sprintf "expected 3 non-empty buckets, got %d" (List.length buckets))
+
+(* The bucketed estimate is the geometric midpoint of the bucket holding
+   the exact nearest-rank sample, so it is within one half-bucket — a
+   factor 10^0.125 ~ 1.334 — of the exact quantile. *)
+let test_hquantile_tolerance () =
+  let m = Metrics.create () in
+  (* deterministic pseudo-random samples spanning [0.1, 10) — two decades *)
+  let x = ref 123456789 in
+  for _ = 1 to 1000 do
+    x := ((!x * 1103515245) + 12345) land 0x3FFFFFFF;
+    let u = float_of_int !x /. float_of_int 0x40000000 in
+    Metrics.observe m "lat" (0.1 *. (10.0 ** (2.0 *. u)))
+  done;
+  List.iter
+    (fun q ->
+      let exact = Metrics.quantile m "lat" q in
+      let est = Metrics.hquantile m "lat" q in
+      let ratio = est /. exact in
+      if ratio < 0.74 || ratio > 1.34 then
+        Alcotest.fail
+          (Printf.sprintf "q=%.2f: hquantile %g vs exact %g (ratio %.3f)" q est
+             exact ratio))
+    [ 0.01; 0.1; 0.25; 0.5; 0.75; 0.9; 0.99 ]
+
+(* --- admission explain payloads --- *)
+
+let events_of t = List.map snd (Obs.Tracer.recent (Scheduler.tracer t))
+
+let cim_setup ?(config = Scheduler.default_config) ?(faults = Faults.none) part =
+  let parts = [ part ] in
+  let rms = Cim.rms ~parts () in
+  let spec = Cim.spec ~parts in
+  let tracer = Obs.Tracer.create ~ring_capacity:4096 () in
+  Scheduler.create ~config ~faults ~tracer ~spec ~rms ()
+
+let test_explain_admit () =
+  let t = cim_setup "p1" in
+  Scheduler.submit t ~args_of:Cim.args_of (Cim.construction ~pid:1 ~part:"p1");
+  Scheduler.run t;
+  check Alcotest.bool "finished" true (Scheduler.finished t);
+  let admits =
+    List.filter_map
+      (function
+        | Obs.Admission { decision = Obs.Invoke; reason; edges; _ } ->
+            Some (reason, edges)
+        | _ -> None)
+      (events_of t)
+  in
+  check Alcotest.bool "at least one invoke admission" true (admits <> []);
+  List.iter
+    (fun (reason, edges) ->
+      check Alcotest.bool "a lone process admits clear" true (reason = Obs.Clear);
+      check Alcotest.bool "with no dependency edges" true (edges = []))
+    admits
+
+(* figure-1 scenario under Conservative mode: the production pivot has an
+   uncommitted conflicting predecessor, so its admission is a Delay whose
+   explain payload names the blocker *)
+let test_explain_reject () =
+  let config =
+    {
+      Scheduler.default_config with
+      Scheduler.mode = Scheduler.Conservative;
+      service_time = (fun s -> if s = "tech_doc:boiler" then 5.0 else 1.0);
+    }
+  in
+  let t = cim_setup ~config "boiler" in
+  Scheduler.submit t ~args_of:Cim.args_of (Cim.construction ~pid:1 ~part:"boiler");
+  Scheduler.submit t ~at:2.5 ~args_of:Cim.args_of (Cim.production ~pid:2 ~part:"boiler");
+  Scheduler.run t;
+  check Alcotest.bool "finished" true (Scheduler.finished t);
+  let delays =
+    List.filter_map
+      (function
+        | Obs.Admission { pid; decision = Obs.Delay blockers; reason; _ } ->
+            Some (pid, blockers, reason)
+        | _ -> None)
+      (events_of t)
+  in
+  check Alcotest.bool "the production process was delayed" true
+    (List.exists (fun (pid, _, _) -> pid = 2) delays);
+  List.iter
+    (fun (_, blockers, _) ->
+      check Alcotest.bool "a delay names its blockers" true (blockers <> []))
+    delays;
+  check Alcotest.bool "at least one delay is the conservative wait" true
+    (List.exists (fun (_, _, reason) -> reason = Obs.Conservative_wait) delays)
+
+let test_explain_deflect () =
+  let faults =
+    Faults.make
+      ~outages:[ Faults.outage ~subsystem:"testdb" ~from_:0.0 ~until_:1000.0 ]
+      ()
+  in
+  let t = cim_setup ~faults "boiler" in
+  Scheduler.submit t ~args_of:Cim.args_of (Cim.construction ~pid:1 ~part:"boiler");
+  Scheduler.run t;
+  check Alcotest.bool "finished" true (Scheduler.finished t);
+  check Alcotest.bool "outage deflection traced with its flag" true
+    (List.exists
+       (function
+         | Obs.Deflect { pid = 1; outage = true; _ } -> true
+         | _ -> false)
+       (events_of t))
+
+let suite =
+  [
+    Alcotest.test_case "ring: wraparound keeps the newest" `Quick test_ring_wraparound;
+    Alcotest.test_case "ring: disabled tracer is inert" `Quick test_disabled_tracer_inert;
+    Alcotest.test_case "sink: timestamps follow the virtual clock" `Quick
+      test_sink_sees_virtual_clock;
+    Alcotest.test_case "sink: jsonl and chrome file exports" `Quick test_file_sinks;
+    Alcotest.test_case "histogram: bucket boundaries" `Quick test_histogram_boundaries;
+    Alcotest.test_case "histogram: hquantile within one bucket of exact" `Quick
+      test_hquantile_tolerance;
+    Alcotest.test_case "explain: clean admit" `Quick test_explain_admit;
+    Alcotest.test_case "explain: conservative delay" `Quick test_explain_reject;
+    Alcotest.test_case "explain: outage deflection" `Quick test_explain_deflect;
+  ]

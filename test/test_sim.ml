@@ -67,6 +67,30 @@ let test_heap_fifo_ties () =
   check Alcotest.(list string) "insertion order on equal keys" [ "first"; "second"; "third" ]
     [ x1; x2; x3 ]
 
+(* Regression: [pop] used to leave the popped entry (and the swapped-down
+   tail slot) reachable from the backing array, pinning arbitrarily large
+   payloads until the slot happened to be overwritten.  The payloads are
+   watched through weak pointers: after popping, a major GC must collect
+   them while the remaining element stays alive. *)
+let test_heap_pop_clears_slots () =
+  let h = Heap.create () in
+  let w = Weak.create 3 in
+  List.iteri
+    (fun i k ->
+      let v = ref (k * 100) in
+      Weak.set w i (Some v);
+      Heap.push h ~key:(float_of_int k) v)
+    [ 0; 1; 2 ];
+  ignore (Heap.pop h);
+  ignore (Heap.pop h);
+  Gc.full_major ();
+  check Alcotest.bool "popped payload 0 collected" false (Weak.check w 0);
+  check Alcotest.bool "popped payload 1 collected" false (Weak.check w 1);
+  check Alcotest.bool "remaining payload alive" true (Weak.check w 2);
+  match Heap.pop h with
+  | Some (_, v) -> check Alcotest.int "remaining value intact" 200 !v
+  | None -> Alcotest.fail "heap lost its element"
+
 (* --- Prng --- *)
 
 let test_prng_determinism () =
@@ -167,6 +191,20 @@ let test_metrics_series () =
   check (Alcotest.float 0.001) "median" 2.0 (Metrics.quantile m "lat" 0.5);
   check (Alcotest.float 0.001) "max" 3.0 (Metrics.max_value m "lat")
 
+(* Regression: [max_value] of an unknown/empty series returned
+   [neg_infinity] (the fold seed); it now returns [nan] like [mean] and
+   [quantile]. *)
+let test_metrics_empty_series () =
+  let m = Metrics.create () in
+  check Alcotest.bool "max of empty is nan" true
+    (Float.is_nan (Metrics.max_value m "none"));
+  check Alcotest.bool "min of empty is nan" true
+    (Float.is_nan (Metrics.min_value m "none"));
+  check Alcotest.bool "quantile of empty is nan" true
+    (Float.is_nan (Metrics.quantile m "none" 0.5));
+  check Alcotest.bool "hquantile of empty is nan" true
+    (Float.is_nan (Metrics.hquantile m "none" 0.5))
+
 let suite =
   [
     Alcotest.test_case "digraph: cycles and topo" `Quick test_digraph_cycles;
@@ -175,6 +213,7 @@ let suite =
     Alcotest.test_case "digraph: transitive closure" `Quick test_digraph_transitive_closure;
     Alcotest.test_case "heap: ordering" `Quick test_heap_order;
     Alcotest.test_case "heap: FIFO on ties" `Quick test_heap_fifo_ties;
+    Alcotest.test_case "heap: pop clears its slots" `Quick test_heap_pop_clears_slots;
     Alcotest.test_case "prng: determinism" `Quick test_prng_determinism;
     Alcotest.test_case "prng: bounds" `Quick test_prng_bounds;
     Alcotest.test_case "prng: chance extremes" `Quick test_prng_chance_extremes;
@@ -186,4 +225,5 @@ let suite =
     Alcotest.test_case "des: rejects the past" `Quick test_des_rejects_past;
     Alcotest.test_case "metrics: counters" `Quick test_metrics_counters;
     Alcotest.test_case "metrics: series" `Quick test_metrics_series;
+    Alcotest.test_case "metrics: empty series are nan" `Quick test_metrics_empty_series;
   ]

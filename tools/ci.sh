@@ -16,8 +16,27 @@ dune exec tools/stress.exe -- --seeds 41-50 --modes deferred,quasi --fail-rates 
 # reference oracle, bit-identical decisions/edges/cycle-verdicts required
 dune exec tools/stress.exe -- --seeds 41-60 --check-admission
 dune exec tools/stress.exe -- --seeds 41-46 --modes deferred,quasi --fail-rates 0.1 --check-admission --amnesia
+# forensics: a stress arm with the ring tracer enabled (failures would
+# dump the last trace events + metrics snapshot into this log)
+dune exec tools/stress.exe -- --seeds 41-45 --fail-rates 0.1 --trace-ring
+# forensics self-test: inject an artificial invariant failure and assert
+# the dump machinery actually fires (the run exits 1 by design)
+out=$(dune exec tools/stress.exe -- --seeds 41 --modes deferred --fail-rates 0.0 \
+        --trace-ring --inject-failure) && {
+  echo "ci: injected failure did not fail the stress run"; exit 1; } || true
+case "$out" in
+  *"forensics: last trace events"*) ;;
+  *) echo "ci: forensics dump missing from injected-failure output"; exit 1 ;;
+esac
 # perf smoke: admission throughput at the quick scales must stay within
 # 5x of the recorded floor (~25k admissions/s at 32 processes)
 dune exec bench/main.exe -- p11 --quick --min-throughput 5000
-# full bench regenerates the reference output and bench/BENCH_P11.json
+# tracing-overhead smoke: the ring sink measures ~5-10% over the
+# tracing-disabled baseline (the committed bench/BENCH_P12.json is the
+# precise <=10% record); the smoke ceiling leaves headroom for the
+# +/-6% run-to-run noise of shared hardware and exists to catch gross
+# regressions such as an instrumentation site formatting eagerly again
+dune exec bench/main.exe -- p12 --quick --max-overhead 0.20
+# full bench regenerates the reference output, bench/BENCH_P11.json and
+# bench/BENCH_P12.json
 dune exec bench/main.exe > bench/bench_output.txt 2>&1

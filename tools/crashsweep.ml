@@ -25,6 +25,11 @@ module Rm = Tpm_subsys.Rm
 module Service = Tpm_subsys.Service
 module Store = Tpm_kv.Store
 module Wal = Tpm_wal.Wal
+module Obs = Tpm_obs.Obs
+
+(* every sweep run carries a small ring tracer so a failing crash point
+   dumps its last trace events + metrics snapshot straight into the CI log *)
+let mk_tracer () = Obs.Tracer.create ~ring_capacity:256 ()
 
 let params =
   {
@@ -140,9 +145,14 @@ let forward_in_history h pid act =
 
 let recover_and_check ~complain ~check ~config ~spec ~rms ~procs ~seed records =
   let durable = durable_commits records in
-  match Scheduler.recover ~config ~spec ~rms ~procs records with
+  match Scheduler.recover ~config ~tracer:(mk_tracer ()) ~spec ~rms ~procs records with
   | Error e -> complain ("recovery failed: " ^ e)
   | Ok t2 ->
+      let failed = ref false in
+      let check name cond =
+        if not cond then failed := true;
+        check name cond
+      in
       Scheduler.run ~until:horizon t2;
       let h = Scheduler.history t2 in
       check "not finished after recovery" (Scheduler.finished t2);
@@ -162,7 +172,8 @@ let recover_and_check ~complain ~check ~config ~spec ~rms ~procs ~seed records =
           check
             (Printf.sprintf "durably committed a_{%d,%d} missing from history" pid act)
             (forward_in_history h pid act))
-        durable
+        durable;
+      if !failed then Scheduler.forensics Format.std_formatter t2
 
 let sweep ~seed ~mode_name ~mode =
   let appends, deliveries = baseline ~seed ~mode in
@@ -181,13 +192,19 @@ let sweep ~seed ~mode_name ~mode =
     let t =
       Scheduler.create ~config
         ~faults:(Faults.make ~crash_after_appends:k ())
-        ~spec ~rms ()
+        ~tracer:(mk_tracer ()) ~spec ~rms ()
     in
     submit_all t procs;
     Scheduler.run ~until:horizon t;
     let records = Scheduler.wal_records t in
-    check "crash trigger did not fire" (Scheduler.is_crashed t);
-    check "log longer than the crash point" (List.length records = k);
+    let pre_failed = ref false in
+    let pre_check name cond =
+      if not cond then pre_failed := true;
+      check name cond
+    in
+    pre_check "crash trigger did not fire" (Scheduler.is_crashed t);
+    pre_check "log longer than the crash point" (List.length records = k);
+    if !pre_failed then Scheduler.forensics Format.std_formatter t;
     recover_and_check ~complain ~check ~config ~spec ~rms ~procs ~seed records
   done;
   (* axis 2: crash after every 2PC message delivery.  The trigger routes
@@ -204,14 +221,17 @@ let sweep ~seed ~mode_name ~mode =
     let t =
       Scheduler.create ~config
         ~faults:(Faults.make ~crash_after_deliveries:k ())
-        ~spec ~rms ()
+        ~tracer:(mk_tracer ()) ~spec ~rms ()
     in
     submit_all t procs;
     Scheduler.run ~until:horizon t;
     if Scheduler.is_crashed t then
       recover_and_check ~complain ~check ~config ~spec ~rms ~procs ~seed
         (Scheduler.wal_records t)
-    else check "no crash and not finished" (Scheduler.finished t)
+    else if not (Scheduler.finished t) then begin
+      complain "no crash and not finished";
+      Scheduler.forensics Format.std_formatter t
+    end
   done;
   Format.printf
     "crashsweep: seed=%d mode=%s %d append + %d delivery crash points, %d failures@."

@@ -19,6 +19,7 @@ module Faults = Tpm_sim.Faults
 module Prng = Tpm_sim.Prng
 module Rm = Tpm_subsys.Rm
 module Store = Tpm_kv.Store
+module Obs = Tpm_obs.Obs
 
 let mode_of_name = function
   | "conservative" -> Scheduler.Conservative
@@ -57,6 +58,8 @@ let amnesia = ref false
 let check_admission = ref false
 let n_procs = ref 8
 let horizon = ref 50.0
+let trace_ring = ref false
+let inject_failure = ref false
 
 let parse_probs name s =
   let l = parse_floats s in
@@ -104,6 +107,15 @@ let speclist =
     ( "--horizon",
       Arg.Set_float horizon,
       "T virtual-time span the random fault plans cover (default 50)" );
+    ( "--trace-ring",
+      Arg.Set trace_ring,
+      " run every scheduler with a ring-buffer tracer; any invariant \
+       failure then dumps the last trace events and the metrics snapshot \
+       (failure forensics)" );
+    ( "--inject-failure",
+      Arg.Set inject_failure,
+      " artificially fail the first run's invariant check (CI self-test: \
+       asserts the forensics dump machinery fires)" );
   ]
 
 let () =
@@ -169,7 +181,14 @@ let () =
                         }
                       in
                       let procs = Generator.batch ~seed:(seed * 100) params ~n:!n_procs in
-                      let t = Scheduler.create ~config ~faults ~spec ~rms () in
+                      let mk_tracer () =
+                        if !trace_ring then Obs.Tracer.create ~ring_capacity:256 ()
+                        else Obs.Tracer.disabled
+                      in
+                      let t =
+                        Scheduler.create ~config ~faults ~tracer:(mk_tracer ()) ~spec
+                          ~rms ()
+                      in
                       List.iteri
                         (fun i p -> Scheduler.submit t ~at:(0.4 *. float_of_int i) p)
                         procs;
@@ -180,29 +199,36 @@ let () =
                           (Faults.to_string faults)
                         ^ if !check_admission then " check-admission" else ""
                       in
-                      let guarded f =
+                      let dump_forensics sched =
+                        if !trace_ring then
+                          Scheduler.forensics Format.std_formatter sched
+                      in
+                      let guarded sched f =
                         try f ()
                         with e ->
                           incr failures;
                           Format.printf "%s EXCEPTION %s@." (repro ())
-                            (Printexc.to_string e)
+                            (Printexc.to_string e);
+                          dump_forensics sched
                       in
-                      guarded (fun () -> Scheduler.run ~until:100000.0 t);
+                      guarded t (fun () -> Scheduler.run ~until:100000.0 t);
                       let t =
                         (* amnesia arm: the run crashed mid-log; recover it
                            with the coordinator records declared lost and
                            judge the recovered scheduler instead *)
                         if !amnesia && Scheduler.is_crashed t then begin
                           match
-                            Scheduler.recover ~config ~amnesia:true ~spec ~rms ~procs
+                            Scheduler.recover ~config ~amnesia:true
+                              ~tracer:(mk_tracer ()) ~spec ~rms ~procs
                               (Scheduler.wal_records t)
                           with
                           | Error e ->
                               incr failures;
                               Format.printf "%s RECOVERY-ERROR %s@." (repro ()) e;
+                              dump_forensics t;
                               t
                           | Ok t2 ->
-                              guarded (fun () -> Scheduler.run ~until:100000.0 t2);
+                              guarded t2 (fun () -> Scheduler.run ~until:100000.0 t2);
                               t2
                         end
                         else t
@@ -214,10 +240,14 @@ let () =
                       let ok_tokens =
                         List.for_all (fun rm -> Rm.prepared_tokens rm = []) rms
                       in
-                      if not (ok_finished && ok_legal && ok_pred && ok_tokens) then begin
+                      let injected = !inject_failure && !runs = 1 in
+                      if injected || not (ok_finished && ok_legal && ok_pred && ok_tokens)
+                      then begin
                         incr failures;
-                        Format.printf "%s finished=%b legal=%b pred=%b tokens=%b@."
+                        Format.printf "%s finished=%b legal=%b pred=%b tokens=%b%s@."
                           (repro ()) ok_finished ok_legal ok_pred ok_tokens
+                          (if injected then " INJECTED-FAILURE" else "");
+                        dump_forensics t
                       end;
                       (* pure message faults never change outcomes: the final
                          stores must equal a fault-free run of the same seed *)
@@ -230,7 +260,7 @@ let () =
                         List.iteri
                           (fun i p -> Scheduler.submit t0 ~at:(0.4 *. float_of_int i) p)
                           procs;
-                        guarded (fun () -> Scheduler.run ~until:100000.0 t0);
+                        guarded t0 (fun () -> Scheduler.run ~until:100000.0 t0);
                         let same =
                           List.for_all2
                             (fun rm rm0 ->
@@ -240,7 +270,8 @@ let () =
                         if not same then begin
                           incr failures;
                           Format.printf "%s STORE-DIVERGENCE from fault-free twin@."
-                            (repro ())
+                            (repro ());
+                          dump_forensics t
                         end
                       end)
                     !msg_rates)
