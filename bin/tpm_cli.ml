@@ -207,6 +207,75 @@ let run_dot path =
       | None -> ());
       0
 
+(* --- systematic interleaving exploration (DPOR-lite) --- *)
+
+let run_explore list_scenarios scenario no_prune max_branches trace_out replay
+    expect_violation =
+  let module E = Tpm_explore.Explore in
+  let pp_script s = "[" ^ String.concat "," (List.map string_of_int s) ^ "]" in
+  if list_scenarios then begin
+    List.iter (fun (s : E.scenario) -> Printf.printf "%-14s %s\n" s.name s.descr)
+      E.scenarios;
+    0
+  end
+  else
+    match replay with
+    | Some file -> (
+        match E.load_trace file with
+        | Error e ->
+            Printf.eprintf "tpm explore: cannot read %s: %s\n" file e;
+            2
+        | Ok (name, script) -> (
+            match E.find_scenario name with
+            | None ->
+                Printf.eprintf "tpm explore: unknown scenario %s\n" name;
+                2
+            | Some sc -> (
+                let out = E.run_branch sc ~script in
+                Printf.printf "replay %s: scenario %s, script %s\n" file name
+                  (pp_script script);
+                match out.E.violations with
+                | [] ->
+                    Printf.printf "no violation reproduced\n";
+                    1
+                | vs ->
+                    Printf.printf "reproduced: %s\n" (String.concat "; " vs);
+                    print_string (Lazy.force out.E.forensics);
+                    0)))
+    | None -> (
+        match E.find_scenario scenario with
+        | None ->
+            Printf.eprintf "tpm explore: unknown scenario %s (try --list)\n" scenario;
+            2
+        | Some sc ->
+            let r =
+              E.explore ~prune:(not no_prune) ~max_branches
+                ~log:(fun m -> Printf.printf "  %s\n%!" m)
+                sc
+            in
+            Printf.printf
+              "%s: %d branches explored (depth <= %d), pruned %d symmetric / %d \
+               sleep / %d visited, %d violating%s\n"
+              sc.E.name r.E.stats.E.explored r.E.stats.E.max_depth
+              r.E.stats.E.pruned_symmetry r.E.stats.E.pruned_sleep
+              r.E.stats.E.pruned_visited (List.length r.E.found)
+              (if r.E.stats.E.truncated then " [TRUNCATED]" else "");
+            (match r.E.found with
+            | [] -> ()
+            | first :: _ ->
+                List.iter
+                  (fun (f : E.found) ->
+                    Printf.printf "  VIOLATION at %s (minimized %s): %s\n"
+                      (pp_script f.E.script) (pp_script f.E.minimized)
+                      (String.concat "; " f.E.violations))
+                  r.E.found;
+                E.save_trace ~path:trace_out sc first.E.minimized;
+                Printf.printf "  minimized trace written to %s\n" trace_out;
+                let out = E.run_branch sc ~script:first.E.minimized in
+                print_string (Lazy.force out.E.forensics));
+            let bad = r.E.found <> [] in
+            if expect_violation then if bad then 0 else 1 else if bad then 1 else 0)
+
 (* --- command line --- *)
 open Cmdliner
 
@@ -260,8 +329,60 @@ let dot_cmd =
   Cmd.v (Cmd.info "dot" ~doc:"Render a .tpm document as Graphviz DOT")
     Term.(const run_dot $ file_arg)
 
+let explore_cmd =
+  let list_scenarios =
+    Arg.(value & flag & info [ "list" ] ~doc:"List the built-in scenarios")
+  in
+  let scenario =
+    Arg.(
+      value & opt string "lemma1"
+      & info [ "scenario" ] ~docv:"NAME" ~doc:"Scenario to explore (see --list)")
+  in
+  let no_prune =
+    Arg.(
+      value & flag
+      & info [ "no-prune" ]
+          ~doc:"Enumerate the full interleaving tree (cross-validation mode)")
+  in
+  let max_branches =
+    Arg.(value & opt int 20000 & info [ "max-branches" ] ~doc:"Branch cap")
+  in
+  let trace_out =
+    Arg.(
+      value
+      & opt string "explore-trace.txt"
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:"Where the minimized violating trace is written")
+  in
+  let replay =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:
+            "Replay a recorded trace instead of exploring; exits 0 iff the \
+             violation reproduces")
+  in
+  let expect_violation =
+    Arg.(
+      value & flag
+      & info [ "expect-violation" ]
+          ~doc:
+            "Invert the exit sense: succeed iff a violation was found (the \
+             mutation self-test)")
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:
+         "Systematically explore scheduler interleavings (DPOR-lite) and check \
+          every branch against the correctness oracles")
+    Term.(
+      const run_explore $ list_scenarios $ scenario $ no_prune $ max_branches
+      $ trace_out $ replay $ expect_violation)
+
 let () =
   let doc = "transactional process management (PODS'99 reproduction)" in
   exit
     (Cmd.eval'
-       (Cmd.group (Cmd.info "tpm" ~doc) [ paper_cmd; cim_cmd; random_cmd; check_cmd; dot_cmd ]))
+       (Cmd.group (Cmd.info "tpm" ~doc)
+          [ paper_cmd; cim_cmd; random_cmd; check_cmd; dot_cmd; explore_cmd ]))

@@ -46,6 +46,7 @@ type event =
   | Note of string Lazy.t
       (** free-form protocol trace line; lazy for the same reason as
           [Msg.payload] — ring-only tracing never renders it *)
+  | Choice of { tag : string; arity : int; chosen : int }
 
 let reason_label = function
   | Clear -> "clear"
@@ -107,6 +108,8 @@ let pp_event fmt = function
       Format.fprintf fmt "wal[%d] %s" index (Lazy.force record)
   | Recovery_step step -> Format.fprintf fmt "recovery %s" step
   | Note s -> Format.pp_print_string fmt (Lazy.force s)
+  | Choice { tag; arity; chosen } ->
+      Format.fprintf fmt "choice %s %d/%d" tag chosen arity
 
 (* the process a timeline event belongs to, for the Chrome export lanes *)
 let pid_of = function
@@ -118,7 +121,7 @@ let pid_of = function
   | Deflect { pid; _ } ->
       Some pid
   | Commit pid | Abort pid -> Some pid
-  | Group_abort _ | Msg _ | Wal_append _ | Recovery_step _ | Note _ -> None
+  | Group_abort _ | Msg _ | Wal_append _ | Recovery_step _ | Note _ | Choice _ -> None
 
 let kind_label = function
   | Admission _ -> "admission"
@@ -134,6 +137,7 @@ let kind_label = function
   | Wal_append _ -> "wal_append"
   | Recovery_step _ -> "recovery_step"
   | Note _ -> "note"
+  | Choice _ -> "choice"
 
 (* --- minimal JSON emission (no external dependency) --- *)
 
@@ -223,6 +227,8 @@ let json_fields ev =
       [ int "index" index; str "record" (Lazy.force record) ]
   | Recovery_step step -> [ str "step" step ]
   | Note s -> [ str "note" (Lazy.force s) ]
+  | Choice { tag; arity; chosen } ->
+      [ str "tag" tag; int "arity" arity; int "chosen" chosen ]
 
 let event_json ts ev =
   Printf.sprintf "{\"ts\":%.9g,%s}" ts (String.concat "," (json_fields ev))

@@ -57,6 +57,10 @@ type event =
   | Note of string Lazy.t
       (** free-form protocol trace line; lazy for the same reason as
           [Msg.payload] *)
+  | Choice of { tag : string; arity : int; chosen : int }
+      (** a recorded controlled-nondeterminism decision
+          ({!Tpm_sim.Choice} under a driven strategy): which of [arity]
+          options the strategy selected at the named choice point *)
 
 val pp_event : Format.formatter -> event -> unit
 val pid_of : event -> int option

@@ -10,6 +10,7 @@ module Wal = Tpm_wal.Wal
 module Recovery = Tpm_wal.Recovery
 module Coordinator = Tpm_twopc.Coordinator
 module Obs = Tpm_obs.Obs
+module Choice = Tpm_sim.Choice
 
 type mode =
   | Conservative
@@ -85,6 +86,12 @@ type config = {
   admission_clock : (unit -> float) option;
       (* wall-clock source for admission-latency metrics ("admission_time"
          observations); [None] (default) skips the measurement *)
+  debug_no_lemma1 : bool;
+      (* MUTATION FLAG, tests only: skip the Lemma-1 gating of
+         non-compensatable activities entirely (commit them immediately
+         even with uncommitted conflicting predecessors).  Exists to prove
+         the explorer finds the resulting PRED violation; never set it in
+         real configurations. *)
 }
 
 let default_config =
@@ -103,6 +110,7 @@ let default_config =
     twopc_inquiry = Some 3.0;
     admission_engine = Incremental;
     admission_clock = None;
+    debug_no_lemma1 = false;
   }
 
 type phase =
@@ -235,8 +243,8 @@ let activity_token ~pid ~act =
   assert (act < 1_000_000);
   (pid * 1_000_000) + act
 
-let create ?(config = default_config) ?(faults = Faults.none) ?tracer ?wal_path ~spec
-    ~rms () =
+let create ?(config = default_config) ?(faults = Faults.none)
+    ?(choice = Choice.passive) ?tracer ?wal_path ~spec ~rms () =
   let obs = match tracer with Some tr -> tr | None -> tracer_from_env () in
   let table = Hashtbl.create 8 in
   List.iter
@@ -244,9 +252,11 @@ let create ?(config = default_config) ?(faults = Faults.none) ?tracer ?wal_path 
       if Hashtbl.mem table (Rm.name rm) then
         invalid_arg (Printf.sprintf "Scheduler.create: duplicate subsystem %s" (Rm.name rm));
       Hashtbl.replace table (Rm.name rm) rm;
-      (* the scheduler is the single plug point for the fault plan: every
-         registered subsystem consults the same script *)
-      Rm.set_faults rm faults)
+      (* the scheduler is the single plug point for the fault plan and the
+         decision strategy: every registered subsystem consults the same
+         script and the same choice stream *)
+      Rm.set_faults rm faults;
+      Rm.set_choice rm choice)
     rms;
   let sim = Des.create () in
   Obs.Tracer.set_clock obs (fun () -> Des.now sim);
@@ -256,10 +266,28 @@ let create ?(config = default_config) ?(faults = Faults.none) ?tracer ?wal_path 
   (* the message layer draws from its own stream so enabling message
      faults never perturbs the scheduler's service-time / backoff draws *)
   let msg_rng = Prng.create ((config.seed * 31) + 7) in
-  let bus = Bus.create ~sim ~rng:msg_rng ~metrics ~faults () in
+  let bus = Bus.create ~sim ~rng:msg_rng ~metrics ~faults ~choice () in
   Bus.set_crash_hook bus (fun () -> crashed := true);
   if Obs.Tracer.active obs then
     Bus.set_tracer bus obs ~pp:(fun msg -> Format.asprintf "%a" Coordinator.pp_msg msg);
+  (* delivery-order options are labelled "<dst>:c<cid>" — the explorer's
+     dependence heuristic treats messages of distinct endpoints AND
+     distinct 2PC instances as commuting *)
+  Bus.set_choice_descr bus (fun ~dst msg ->
+      let cid =
+        match (msg : Coordinator.msg) with
+        | Prepare { cid; _ }
+        | Vote { cid; _ }
+        | Decision { cid; _ }
+        | Ack { cid; _ }
+        | Inquiry { cid; _ } ->
+            cid
+      in
+      Printf.sprintf "%s:c%d" dst cid);
+  if Obs.Tracer.active obs then
+    Choice.set_observer choice (fun (d : Choice.decision) ->
+        Obs.Tracer.emit obs
+          (Obs.Choice { tag = d.Choice.tag; arity = d.Choice.arity; chosen = d.Choice.chosen }));
   (* Every WAL append goes through here so the fault plan's crash trigger
      ("die right after the Nth append") fires at an exact, reproducible
      point.  The record that trips the trigger is still written — the
@@ -279,7 +307,20 @@ let create ?(config = default_config) ?(faults = Faults.none) ?tracer ?wal_path 
       | Some n when Wal.size wal >= n ->
           crashed := true;
           Bus.halt bus
-      | Some _ | None -> ()
+      | Some _ | None ->
+          (* systematic crash placement: under a driven strategy with
+             [crash_explore] set, every append is a potential crash point
+             (the record just written survives, like the counted trigger) *)
+          if
+            Faults.crash_explore faults
+            && (not (Choice.is_passive choice))
+            && Choice.flag choice
+                 ~tag:(Printf.sprintf "crash:%d" (Wal.size wal - 1))
+                 ~default:(fun () -> false)
+          then begin
+            crashed := true;
+            Bus.halt bus
+          end
     end
   in
   let halted () = !crashed in
@@ -431,6 +472,68 @@ let status t pid =
   | Some ps -> if ps.phase = Done then ps.term else Schedule.Active
 
 let finished t = List.for_all (fun ps -> ps.phase = Done) (pstates t)
+
+(* Canonical rendering of the explorable state: per-process phase,
+   in-flight / pending work and execution position, the rollback queue,
+   attempt counters, every subsystem's {!Rm.fingerprint}, the 2PC
+   coordinator's protocol state, and the bus's undelivered pool.  Two
+   branches with equal fingerprints behave identically under identical
+   future decisions, so the explorer prunes the second — with one
+   deliberate coarsening: virtual time is excluded (states differing
+   only in clock value are merged; sound for the oracles checked, which
+   are all time-independent). *)
+let state_fingerprint t =
+  let b = Buffer.create 512 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  List.iter
+    (fun ps ->
+      add "P%d:" (Process.pid ps.proc);
+      (match ps.phase with
+      | Running -> add "run"
+      | Blocked_2pc { act; token } -> add "b2pc(%d,%d)" act token
+      | Deciding_2pc { act; token; cid } -> add "d2pc(%d,%d,%d)" act token cid
+      | Recovering -> add "rec"
+      | Awaiting_commit -> add "await"
+      | Done ->
+          add "done(%s)"
+            (match ps.term with
+            | Schedule.Committed -> "C"
+            | Schedule.Aborted -> "A"
+            | Schedule.Active -> "?"));
+      (match ps.inflight with None -> () | Some act -> add ",in%d" act);
+      if ps.aborting then add ",ab";
+      add ",x[";
+      List.iter
+        (fun inst -> add "%s;" (Format.asprintf "%a" Activity.pp_instance inst))
+        (List.rev ps.occurrences);
+      add "],e[";
+      List.iter
+        (fun step -> add "%s;" (Format.asprintf "%a" Execution.pp_step step))
+        (Execution.trace ps.exec);
+      add "],c[";
+      List.iter
+        (fun inst -> add "%s;" (Format.asprintf "%a" Activity.pp_instance inst))
+        ps.pending_completion;
+      add "]|")
+    (pstates t);
+  add "rb[";
+  List.iter
+    (fun (pid, inst) ->
+      add "%d:%s;" pid (Format.asprintf "%a" Activity.pp_instance inst))
+    t.rollback_queue;
+  add "]at[";
+  Hashtbl.fold (fun k n acc -> (k, n) :: acc) t.attempts []
+  |> List.sort compare
+  |> List.iter (fun ((pid, act), n) -> add "%d.%d=%d;" pid act n);
+  add "]";
+  Hashtbl.fold (fun _ rm acc -> rm :: acc) t.rms []
+  |> List.sort (fun a b -> compare (Rm.name a) (Rm.name b))
+  |> List.iter (fun rm -> add "{%s}" (Rm.fingerprint rm));
+  add "{%s}" (Coordinator.fingerprint t.coord);
+  add "bus[%s]" (Bus.pending_summary t.bus);
+  add ";q%d" (Des.pending t.sim);
+  if !(t.crashed) then add ";CRASHED";
+  Buffer.contents b
 
 let next_attempt t pid act =
   let n = 1 + Option.value ~default:0 (Hashtbl.find_opt t.attempts (pid, act)) in
@@ -749,7 +852,7 @@ let admission_decision t pid act =
     else if t.cfg.naive_sr then
       (* serializability-only: admit immediately, never gate on recovery *)
       (Admit_invoke, new_edges, admit_reason ())
-    else if Activity.non_compensatable a then begin
+    else if Activity.non_compensatable a && not t.cfg.debug_no_lemma1 then begin
       let preds =
         List.sort_uniq compare
           (Deps.uncommitted_preds t.deps pid @ List.map fst new_edges)
@@ -917,7 +1020,7 @@ module Reference = struct
         (Delay blockers, [])
       end
       else if t.cfg.naive_sr then (Admit_invoke, new_edges)
-      else if Activity.non_compensatable a then begin
+      else if Activity.non_compensatable a && not t.cfg.debug_no_lemma1 then begin
         let preds =
           List.sort_uniq compare
             (Deps.uncommitted_preds t.deps pid @ List.map fst new_edges)

@@ -125,6 +125,12 @@ type config = {
   admission_clock : (unit -> float) option;
       (** wall-clock source for the ["admission_time"] metric (e.g.
           [Unix.gettimeofday]); [None] (default) skips the measurement *)
+  debug_no_lemma1 : bool;
+      (** MUTATION FLAG, tests only: skip the Lemma-1 gating of
+          non-compensatable activities entirely, committing them
+          immediately even while conflicting predecessors are uncommitted.
+          Exists so the explorer's self-test can prove it detects the
+          resulting PRED violation; never set it in real configurations. *)
 }
 
 val default_config : config
@@ -135,11 +141,20 @@ val default_config : config
 type t
 
 val create : ?config:config -> ?faults:Tpm_sim.Faults.t ->
+  ?choice:Tpm_sim.Choice.t ->
   ?tracer:Tpm_obs.Obs.Tracer.t -> ?wal_path:string ->
   spec:Tpm_core.Conflict.t -> rms:Tpm_subsys.Rm.t list -> unit -> t
 (** [faults] (default {!Tpm_sim.Faults.none}) is installed into every
     registered resource manager and consulted by the scheduler for latency
     spikes and the WAL crash trigger.
+
+    [choice] (default {!Tpm_sim.Choice.passive}) is the controlled-
+    nondeterminism strategy, installed into every resource manager and
+    the message bus: under the passive strategy all randomness comes from
+    the PRNGs exactly as before (bit-identical streams); under a driven
+    strategy failure injection, message delivery order and — with
+    {!Tpm_sim.Faults.t} [crash_explore] — crash placement become recorded
+    choice points the explorer enumerates.
 
     [tracer] is this scheduler's private observability plane: admissions
     (with explain payloads), dispatches, occurrences, backoff waits,
@@ -198,6 +213,17 @@ val forensics : ?n:int -> Format.formatter -> t -> unit
 val msg_deliveries : t -> int
 (** 2PC messages delivered so far on the scheduler's bus — the axis along
     which the crash sweep places delivery-point crashes. *)
+
+val state_fingerprint : t -> string
+(** Canonical rendering of the explorable state: per-process phase,
+    in-flight and pending work, execution position, the rollback queue,
+    attempt counters, every subsystem's {!Tpm_subsys.Rm.fingerprint}, the
+    2PC coordinator's protocol state ({!Tpm_twopc.Coordinator.fingerprint})
+    and the bus's undelivered message pool.  Equal fingerprints mean the
+    two states behave identically under identical future decisions — the
+    explorer's state-deduplication key.  Virtual time is deliberately
+    excluded (states differing only in clock value are merged; sound for
+    the time-independent oracles the explorer checks). *)
 
 val checkpoint : t -> unit
 (** Appends a checkpoint naming every terminated process; {!Tpm_wal.Wal.compact}

@@ -5,10 +5,12 @@ type 'msg t = {
   rng : Prng.t;
   metrics : Metrics.t option;
   faults : Faults.t;
+  choice : Choice.t;
   sync : bool;
-      (* no message fault and no delivery-crash trigger configured: deliver
-         synchronously inside [send], so a fault-free exchange is
-         indistinguishable (event order included) from direct calls *)
+      (* no message fault, no delivery-crash trigger and no driven choice
+         strategy configured: deliver synchronously inside [send], so a
+         fault-free exchange is indistinguishable (event order included)
+         from direct calls *)
   handlers : (string, src:string -> 'msg -> unit) Hashtbl.t;
   mutable halted : bool;
   mutable delivered : int;
@@ -16,6 +18,10 @@ type 'msg t = {
   (* the bus is polymorphic in 'msg, so the owner injects the tracer
      together with a message formatter *)
   mutable obs : (Obs.Tracer.t * ('msg -> string)) option;
+  (* driven mode: sends wait here until the strategy picks them *)
+  mutable pending : (string * string * 'msg) list;
+  mutable pump_scheduled : bool;
+  mutable descr : dst:string -> 'msg -> string;
 }
 
 let mincr ?by t name =
@@ -27,20 +33,26 @@ let trace_msg t dir ~src ~dst msg =
       Obs.Tracer.emit tracer (Obs.Msg { dir; src; dst; payload = lazy (pp msg) })
   | _ -> ()
 
-let create ~sim ~rng ?metrics ?(faults = Faults.none) () =
+let create ~sim ~rng ?metrics ?(faults = Faults.none) ?(choice = Choice.passive) () =
   let t =
     {
       sim;
       rng;
       metrics;
       faults;
+      choice;
       sync =
-        faults.Faults.msg_faults = [] && Faults.crash_after_delivery faults = None;
+        faults.Faults.msg_faults = []
+        && Faults.crash_after_delivery faults = None
+        && Choice.is_passive choice;
       handlers = Hashtbl.create 16;
       halted = false;
       delivered = 0;
       crash_hook = ignore;
       obs = None;
+      pending = [];
+      pump_scheduled = false;
+      descr = (fun ~dst _ -> dst);
     }
   in
   (* Seed the message counters so they always show in summaries. *)
@@ -56,9 +68,18 @@ let register t name handler =
 
 let set_crash_hook t hook = t.crash_hook <- hook
 let set_tracer t tracer ~pp = t.obs <- Some (tracer, pp)
-let halt t = t.halted <- true
+let set_choice_descr t descr = t.descr <- descr
+
+let halt t =
+  t.halted <- true;
+  t.pending <- []
+
 let halted t = t.halted
 let deliveries t = t.delivered
+
+let pending_summary t =
+  String.concat ","
+    (List.map (fun (_, dst, msg) -> t.descr ~dst msg) t.pending)
 
 let deliver t ~src ~dst msg _sim =
   if not t.halted then begin
@@ -78,11 +99,69 @@ let deliver t ~src ~dst msg _sim =
         | _ -> ())
   end
 
+(* Driven delivery: pending sends drain one per simulation event; each
+   event asks the strategy which pending message goes next, so the DFS
+   explorer enumerates delivery orders.  A choice point with a single
+   pending message has arity 1 and is taken silently. *)
+let rec schedule_pump t =
+  if (not t.pump_scheduled) && not t.halted then begin
+    t.pump_scheduled <- true;
+    Des.after t.sim 0.0 (fun _ -> pump t)
+  end
+
+and pump t =
+  t.pump_scheduled <- false;
+  if (not t.halted) && t.pending <> [] then begin
+    let arr = Array.of_list t.pending in
+    let n = Array.length arr in
+    let k =
+      Choice.index t.choice ~tag:"deliver" ~arity:n
+        ~descr:(fun i ->
+          let _, dst, msg = arr.(i) in
+          t.descr ~dst msg)
+        ~default:(fun () -> 0) ()
+    in
+    let src, dst, msg = arr.(k) in
+    t.pending <- List.filteri (fun i _ -> i <> k) t.pending;
+    deliver t ~src ~dst msg t.sim;
+    if t.pending <> [] then schedule_pump t
+  end
+
 let send t ~src ~dst msg =
   if not t.halted then begin
     mincr t "msg_sent";
     trace_msg t Obs.Send ~src ~dst msg;
     if t.sync then deliver t ~src ~dst msg t.sim
+    else if not (Choice.is_passive t.choice) then begin
+      let drop, dup, _delay = Faults.msg_plan t.faults ~src ~dst ~now:(Des.now t.sim) in
+      let enqueue () =
+        t.pending <- t.pending @ [ (src, dst, msg) ];
+        schedule_pump t
+      in
+      let dropped =
+        drop > 0.0
+        && Choice.flag t.choice
+             ~tag:(Printf.sprintf "drop:%s->%s" src dst)
+             ~default:(fun () -> false)
+      in
+      if dropped then begin
+        mincr t "msg_dropped";
+        trace_msg t Obs.Drop ~src ~dst msg
+      end
+      else begin
+        enqueue ();
+        if
+          dup > 0.0
+          && Choice.flag t.choice
+               ~tag:(Printf.sprintf "dup:%s->%s" src dst)
+               ~default:(fun () -> false)
+        then begin
+          mincr t "msg_duplicated";
+          trace_msg t Obs.Duplicate ~src ~dst msg;
+          enqueue ()
+        end
+      end
+    end
     else begin
       let drop, dup, max_delay =
         Faults.msg_plan t.faults ~src ~dst ~now:(Des.now t.sim)

@@ -16,10 +16,24 @@
 type 'msg t
 
 val create :
-  sim:Des.t -> rng:Prng.t -> ?metrics:Metrics.t -> ?faults:Faults.t -> unit -> 'msg t
+  sim:Des.t ->
+  rng:Prng.t ->
+  ?metrics:Metrics.t ->
+  ?faults:Faults.t ->
+  ?choice:Choice.t ->
+  unit ->
+  'msg t
 (** Message-fault draws come from [rng]; counters [msg_sent],
     [msg_dropped], [msg_delivered], [msg_duplicated] are maintained when
-    [metrics] is given. *)
+    [metrics] is given.
+
+    With a {e driven} [choice] strategy (default {!Choice.passive}) the
+    bus switches to explored delivery: sends park in a pending pool and
+    one message is delivered per simulation event, picked by a
+    ["deliver"] choice point over the pool (drop/duplication become
+    binary choice points where the fault plan allows them; delays are
+    subsumed by order choice).  Under the passive strategy behaviour is
+    bit-identical to a bus without the parameter. *)
 
 val register : 'msg t -> string -> (src:string -> 'msg -> unit) -> unit
 (** Attach the handler for an endpoint name.  Raises [Invalid_argument]
@@ -45,3 +59,13 @@ val halted : 'msg t -> bool
 val deliveries : 'msg t -> int
 (** Messages delivered so far — the crash-sweep axis for delivery-point
     crashes. *)
+
+val set_choice_descr : 'msg t -> (dst:string -> 'msg -> string) -> unit
+(** Installs the per-message descriptor used to label delivery-order
+    options in recorded choice traces (default: the destination name).
+    The explorer's dependence heuristics parse these labels. *)
+
+val pending_summary : 'msg t -> string
+(** Descriptors of the messages currently parked in the driven-mode
+    pending pool (empty string outside driven mode) — part of the
+    explorer's state fingerprint. *)

@@ -1,0 +1,68 @@
+type decision = {
+  tag : string;
+  arity : int;
+  chosen : int;
+  options : string array;
+  fp : string;
+}
+
+type driven_state = {
+  mutable script : int list;
+  mutable rev_trace : decision list;
+  mutable count : int;
+  mutable observer : decision -> unit;
+  mutable fingerprinter : (unit -> string) option;
+}
+
+type t =
+  | Passive
+  | Driven of driven_state
+
+let passive = Passive
+let is_passive = function Passive -> true | Driven _ -> false
+
+let driven ?(script = []) () =
+  Driven { script; rev_trace = []; count = 0; observer = ignore; fingerprinter = None }
+
+let record d ~tag ~arity ~options =
+  let chosen =
+    match d.script with
+    | c :: rest ->
+        d.script <- rest;
+        if c < 0 then 0 else if c >= arity then arity - 1 else c
+    | [] -> 0
+  in
+  let fp = match d.fingerprinter with None -> "" | Some f -> f () in
+  let dec = { tag; arity; chosen; options; fp } in
+  d.rev_trace <- dec :: d.rev_trace;
+  d.count <- d.count + 1;
+  d.observer dec;
+  chosen
+
+let flag t ~tag ~default =
+  match t with
+  | Passive -> default ()
+  | Driven d -> record d ~tag ~arity:2 ~options:[| "no"; "yes" |] = 1
+
+let index t ~tag ~arity ?descr ~default () =
+  if arity <= 0 then invalid_arg "Choice.index: arity must be positive";
+  match t with
+  | Passive -> default ()
+  | Driven d ->
+      if arity = 1 then 0
+      else
+        let options =
+          match descr with
+          | Some f -> Array.init arity f
+          | None -> Array.init arity string_of_int
+        in
+        record d ~tag ~arity ~options
+
+let trace = function Passive -> [] | Driven d -> List.rev d.rev_trace
+let decisions = function Passive -> 0 | Driven d -> d.count
+
+let set_observer t f =
+  match t with Passive -> () | Driven d -> d.observer <- f
+
+let set_fingerprinter t f =
+  match t with Passive -> () | Driven d -> d.fingerprinter <- Some f

@@ -1,0 +1,82 @@
+(** Controlled nondeterminism: pluggable decision strategies for the
+    simulation's branch points.
+
+    Every place the simulation branches on something other than its
+    inputs — an injected RM failure, the delivery order of bus messages,
+    the placement of a crash trigger — is a {e choice point}.  A choice
+    point names itself with a [tag], states how many options it has, and
+    supplies a [default] thunk that reproduces the historical randomized
+    behaviour.
+
+    Two strategies exist:
+
+    - {!passive} (the default everywhere): every choice point runs its
+      [default] thunk.  Since the thunks contain the exact pre-existing
+      PRNG draws, a passive run is bit-identical to the code before
+      choice points existed — seeded stress runs reproduce unchanged.
+    - {!driven}: decisions come from a prescribed script (a list of
+      option indices).  Once the script is exhausted, every further
+      choice takes option 0 (the canonical default: no failure, no
+      crash, oldest pending message first).  Every decision of arity
+      [>= 2] is recorded with its tag, arity, per-option descriptors and
+      an optional state fingerprint — the raw material of the DFS
+      explorer ([lib/explore]): re-running with a recorded prefix
+      replays that branch of the execution tree deterministically.
+
+    Arity-1 choice points are taken silently in both modes: they cannot
+    branch, so recording them would only bloat traces. *)
+
+type decision = {
+  tag : string;  (** choice-point identity, e.g. ["fail:ss0:2000001"] *)
+  arity : int;  (** number of options (>= 2 for recorded decisions) *)
+  chosen : int;  (** selected option, in [[0, arity)] *)
+  options : string array;
+      (** per-option descriptors (used by the explorer's dependence
+          heuristics); length [arity] *)
+  fp : string;
+      (** state fingerprint at the decision point, [""] unless a
+          fingerprinter is installed *)
+}
+
+type t
+
+val passive : t
+(** The strategy that changes nothing: all defaults, nothing recorded. *)
+
+val is_passive : t -> bool
+
+val driven : ?script:int list -> unit -> t
+(** A fresh driven strategy.  The first [List.length script] recorded
+    decisions take the scripted option (clamped into [[0, arity)]);
+    later ones take option 0. *)
+
+val flag : t -> tag:string -> default:(unit -> bool) -> bool
+(** A binary choice point ([false] = option 0).  Driven default:
+    [false]. *)
+
+val index :
+  t ->
+  tag:string ->
+  arity:int ->
+  ?descr:(int -> string) ->
+  default:(unit -> int) ->
+  unit ->
+  int
+(** An [arity]-way choice point.  [descr] labels each option for the
+    recorded trace (defaults to the option number).  Driven default:
+    option 0.
+    @raise Invalid_argument if [arity <= 0]. *)
+
+val trace : t -> decision list
+(** Recorded decisions, chronological.  Empty for {!passive}. *)
+
+val decisions : t -> int
+(** [List.length (trace t)] without the allocation. *)
+
+val set_observer : t -> (decision -> unit) -> unit
+(** Called on every recorded decision (e.g. to emit an
+    {!Tpm_obs.Obs.event}).  No-op on {!passive}. *)
+
+val set_fingerprinter : t -> (unit -> string) -> unit
+(** Installed by the explorer: called {e before} each recorded decision
+    to stamp it with the current model state.  No-op on {!passive}. *)

@@ -36,6 +36,7 @@ type t = {
   msg_faults : link_fault list;
   crash_after_appends : int option;
   crash_after_deliveries : int option;
+  crash_explore : bool;
 }
 
 let none =
@@ -46,20 +47,30 @@ let none =
     msg_faults = [];
     crash_after_appends = None;
     crash_after_deliveries = None;
+    crash_explore = false;
   }
 
 let is_none t =
   t.outages = [] && t.bursts = [] && t.spikes = [] && t.msg_faults = []
   && t.crash_after_appends = None
   && t.crash_after_deliveries = None
+  && not t.crash_explore
 
 let window ~from_ ~until_ =
   if until_ < from_ then invalid_arg "Faults: window ends before it starts";
   { from_; until_ }
 
 let make ?(outages = []) ?(bursts = []) ?(spikes = []) ?(msg_faults = [])
-    ?crash_after_appends ?crash_after_deliveries () =
-  { outages; bursts; spikes; msg_faults; crash_after_appends; crash_after_deliveries }
+    ?crash_after_appends ?crash_after_deliveries ?(crash_explore = false) () =
+  {
+    outages;
+    bursts;
+    spikes;
+    msg_faults;
+    crash_after_appends;
+    crash_after_deliveries;
+    crash_explore;
+  }
 
 let outage ~subsystem ~from_ ~until_ =
   { out_subsystem = subsystem; out_window = window ~from_ ~until_ }
@@ -126,6 +137,7 @@ let msg_plan t ~src ~dst ~now =
 
 let crash_after t = t.crash_after_appends
 let crash_after_delivery t = t.crash_after_deliveries
+let crash_explore t = t.crash_explore
 
 let periodic_outage ~subsystem ~period ~duty ?(phase = 0.0) ~horizon () =
   if period <= 0.0 then invalid_arg "Faults.periodic_outage: period must be positive";
@@ -189,6 +201,7 @@ let random rng ~subsystems ?(services = []) ~horizon ?(outage_duty = 0.0)
     msg_faults = [];
     crash_after_appends = None;
     crash_after_deliveries = None;
+    crash_explore = false;
   }
 
 let pp fmt t =
@@ -229,9 +242,10 @@ let pp fmt t =
     (match t.crash_after_appends with
     | Some n -> item (fun () -> Format.fprintf fmt "crash@%d" n)
     | None -> ());
-    match t.crash_after_deliveries with
+    (match t.crash_after_deliveries with
     | Some n -> item (fun () -> Format.fprintf fmt "crash-delivery@%d" n)
-    | None -> ()
+    | None -> ());
+    if t.crash_explore then item (fun () -> Format.fprintf fmt "crash-explore")
   end
 
 let to_string t = Format.asprintf "%a" pp t

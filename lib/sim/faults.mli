@@ -57,6 +57,11 @@ type t = {
   crash_after_deliveries : int option;
       (** scheduler crash trigger: die right after the Nth bus message
           delivery (the handler for delivery N still runs) *)
+  crash_explore : bool;
+      (** systematic crash placement: under a {e driven} {!Choice}
+          strategy, the scheduler offers a binary crash choice point at
+          every WAL append instead of (or in addition to) the counted
+          triggers above.  Inert under the passive strategy. *)
 }
 
 val none : t
@@ -71,6 +76,7 @@ val make :
   ?msg_faults:link_fault list ->
   ?crash_after_appends:int ->
   ?crash_after_deliveries:int ->
+  ?crash_explore:bool ->
   unit ->
   t
 
@@ -116,6 +122,7 @@ val msg_plan : t -> src:string -> dst:string -> now:float -> float * float * flo
 
 val crash_after : t -> int option
 val crash_after_delivery : t -> int option
+val crash_explore : t -> bool
 
 val periodic_outage :
   subsystem:string ->

@@ -35,6 +35,8 @@ let pick t = function
   | [] -> invalid_arg "Prng.pick: empty list"
   | l -> List.nth l (int t (List.length l))
 
+let mix64 = mix
+
 let shuffle t l =
   let arr = Array.of_list l in
   for i = Array.length arr - 1 downto 1 do

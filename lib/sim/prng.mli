@@ -30,3 +30,8 @@ val pick : t -> 'a list -> 'a
 (** Uniform element of a non-empty list. *)
 
 val shuffle : t -> 'a list -> 'a list
+
+val mix64 : int64 -> int64
+(** The stateless SplitMix64 finalizer — a strong 64-bit mixing function,
+    usable as a standalone hash (the explorer fingerprints states with
+    it). *)

@@ -22,6 +22,7 @@ type t = {
   fail_prob : string -> float;
   max_failures : int;
   mutable faults : Tpm_sim.Faults.t;
+  mutable choice : Tpm_sim.Choice.t;
   pending : (int, Tx.t) Hashtbl.t;  (* prepared token -> open transaction *)
   indoubt : (int, int) Hashtbl.t;  (* prepared token -> 2PC coordinator id *)
   decisions : (int, bool) Hashtbl.t;  (* coordinator id -> applied decision *)
@@ -40,6 +41,7 @@ let create ~name ~registry ?(fail_prob = fun _ -> 0.0) ?(max_failures = 10)
     fail_prob;
     max_failures;
     faults;
+    choice = Tpm_sim.Choice.passive;
     pending = Hashtbl.create 16;
     indoubt = Hashtbl.create 16;
     decisions = Hashtbl.create 16;
@@ -52,6 +54,7 @@ let store rm = rm.rm_store
 let registry rm = rm.rm_registry
 let max_failures rm = rm.max_failures
 let set_faults rm faults = rm.faults <- faults
+let set_choice rm choice = rm.choice <- choice
 
 let acquire_footprint rm ~token (svc : Service.t) =
   let try_all mode keys =
@@ -80,7 +83,18 @@ let run rm ~token ~service ~args ~attempt ~now ~hold =
         Float.max (rm.fail_prob service)
           (Tpm_sim.Faults.burst_probability rm.faults ~service ~now)
       in
-      let inject = attempt < rm.max_failures && Tpm_sim.Prng.chance rm.rng p in
+      let inject =
+        (* passive: the exact historical draw (streams stay bit-identical);
+           driven: a binary choice point, offered only where a failure is
+           actually possible so the explorer's branching stays bounded *)
+        if Tpm_sim.Choice.is_passive rm.choice then
+          attempt < rm.max_failures && Tpm_sim.Prng.chance rm.rng p
+        else
+          attempt < rm.max_failures && p > 0.0
+          && Tpm_sim.Choice.flag rm.choice
+               ~tag:(Printf.sprintf "fail:%s:%d" rm.rm_name token)
+               ~default:(fun () -> false)
+      in
       if inject then begin
         if not (Hashtbl.mem rm.pending token) then Locks.release_all rm.locks ~owner:token;
         Failed
@@ -140,9 +154,13 @@ let in_doubt rm =
 let in_doubt_cid rm ~token = Hashtbl.find_opt rm.indoubt token
 
 let in_doubt_token rm ~cid =
-  Hashtbl.fold
-    (fun token c acc -> if c = cid then Some token else acc)
-    rm.indoubt None
+  (* early exit: stop at the first match instead of folding the whole
+     table (participants call this on every DECISION and inquiry tick) *)
+  let exception Found of int in
+  try
+    Hashtbl.iter (fun token c -> if c = cid then raise (Found token)) rm.indoubt;
+    None
+  with Found token -> Some token
 
 let record_decision rm ~cid ~commit = Hashtbl.replace rm.decisions cid commit
 let known_decision rm ~cid = Hashtbl.find_opt rm.decisions cid
@@ -180,12 +198,59 @@ let compensate rm ~token ?(now = 0.0) () =
               r
           | Prepared _ | Failed | Blocked _ | Unavailable -> r)
       | Service.Snapshot_undo ->
-          List.iter (fun (key, v) ->
-              match v with
-              | Value.Nil -> Store.delete rm.rm_store key
-              | v -> Store.set rm.rm_store key v)
-            record.undo;
-          Hashtbl.remove rm.log token;
-          Committed Value.Nil)
+          (* same discipline as the inverse-service path: refuse during an
+             outage window and take exclusive locks on the undo footprint,
+             so the undo cannot clobber keys a concurrent prepared
+             transaction holds *)
+          if Tpm_sim.Faults.outage_active rm.faults ~subsystem:rm.rm_name ~now then
+            Unavailable
+          else
+            let owner = -token - 1 in
+            let acquire =
+              List.fold_left
+                (fun acc (key, _) ->
+                  match acc with
+                  | Error _ as e -> e
+                  | Ok () -> Locks.acquire rm.locks ~owner ~mode:Locks.Exclusive key)
+                (Ok ()) record.undo
+            in
+            (match acquire with
+            | Error owners ->
+                Locks.release_all rm.locks ~owner;
+                Blocked owners
+            | Ok () ->
+                List.iter
+                  (fun (key, v) ->
+                    match v with
+                    | Value.Nil -> Store.delete rm.rm_store key
+                    | v -> Store.set rm.rm_store key v)
+                  record.undo;
+                Hashtbl.remove rm.log token;
+                Locks.release_all rm.locks ~owner;
+                Committed Value.Nil))
 
 let invocations rm = rm.committed_count
+
+let fingerprint rm =
+  let b = Buffer.create 128 in
+  Buffer.add_string b rm.rm_name;
+  List.iter
+    (fun (k, v) -> Buffer.add_string b (Printf.sprintf "|%s=%s" k (Value.to_string v)))
+    (Store.snapshot rm.rm_store);
+  Buffer.add_string b "|p:";
+  List.iter (fun tk -> Buffer.add_string b (Printf.sprintf "%d," tk)) (prepared_tokens rm);
+  Buffer.add_string b "|d:";
+  List.iter
+    (fun (tk, cid) -> Buffer.add_string b (Printf.sprintf "%d@%d," tk cid))
+    (in_doubt rm);
+  Buffer.add_string b "|k:";
+  Hashtbl.fold (fun cid commit acc -> (cid, commit) :: acc) rm.decisions []
+  |> List.sort compare
+  |> List.iter (fun (cid, commit) ->
+         Buffer.add_string b (Printf.sprintf "%d=%b," cid commit));
+  Buffer.add_string b "|l:";
+  Hashtbl.fold (fun tk _ acc -> tk :: acc) rm.log []
+  |> List.sort compare
+  |> List.iter (fun tk -> Buffer.add_string b (Printf.sprintf "%d," tk));
+  Buffer.add_string b (Printf.sprintf "|c%d" rm.committed_count);
+  Buffer.contents b

@@ -52,6 +52,13 @@ val max_failures : t -> int
 val set_faults : t -> Tpm_sim.Faults.t -> unit
 (** Installs (or clears, with {!Tpm_sim.Faults.none}) the fault plan. *)
 
+val set_choice : t -> Tpm_sim.Choice.t -> unit
+(** Installs the decision strategy for failure injection.  Under the
+    default {!Tpm_sim.Choice.passive} strategy failures are drawn from
+    the manager's PRNG exactly as before; a driven strategy turns each
+    possible injection (probability > 0, attempt below the retry bound)
+    into a binary choice point tagged ["fail:<rm>:<token>"]. *)
+
 val invoke :
   t ->
   token:int ->
@@ -125,9 +132,19 @@ val compensate : t -> token:int -> ?now:float -> unit -> outcome
     the service's compensation strategy.  Compensating activities are
     retriable by definition: this never injects failures, but it does
     answer {!Unavailable} during an outage window (retry once the window
-    closes).
+    closes) and {!Blocked} when the undo footprint is locked by a
+    concurrent prepared transaction — both compensation paths
+    (inverse service and snapshot undo) share this lock/outage
+    discipline.
     @raise Invalid_argument if the token is unknown or the service is not
     compensatable. *)
 
 val invocations : t -> int
 (** Number of committed invocations so far. *)
+
+val fingerprint : t -> string
+(** Canonical rendering of the manager's model-relevant state: store
+    contents, prepared and in-doubt tokens, remembered decisions,
+    compensation log keys and the commit counter.  Equal fingerprints
+    mean observably equal managers — the explorer's state-deduplication
+    key. *)

@@ -202,6 +202,27 @@ let name t = t.name
 let open_instances t = Hashtbl.length t.instances
 let set_first_cid t cid = t.next_cid <- max t.next_cid cid
 
+let fingerprint t =
+  let b = Buffer.create 64 in
+  Buffer.add_string b (Printf.sprintf "next=%d" t.next_cid);
+  Hashtbl.fold (fun cid inst acc -> (cid, inst) :: acc) t.instances []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.iter (fun (cid, inst) ->
+         Buffer.add_string b
+           (Printf.sprintf "|c%d:a_{%d_%d}:%s" cid inst.i_pid inst.i_act
+              (match inst.i_phase with
+              | Voting -> "V"
+              | Deciding true -> "DC"
+              | Deciding false -> "DA"));
+         List.iter
+           (fun p ->
+             Buffer.add_string b
+               (Printf.sprintf ";%s%s%s" p.p_name
+                  (match p.p_vote with None -> "?" | Some true -> "y" | Some false -> "n")
+                  (if p.p_acked then "+" else "-")))
+           inst.i_parts);
+  Buffer.contents b
+
 let start t ~pid ~act ~participants ~on_done =
   let cid = t.next_cid in
   t.next_cid <- cid + 1;

@@ -87,6 +87,12 @@ val start :
 val name : t -> string
 val open_instances : t -> int
 
+val fingerprint : t -> string
+(** Canonical rendering of the coordinator's protocol state: every open
+    instance with its phase (voting / deciding), per-participant votes
+    and acknowledgements, plus the next instance id.  Part of the
+    explorer's state-deduplication key. *)
+
 val set_first_cid : t -> int -> unit
 (** Raises the next instance id (never lowers it): a recovered scheduler
     skips the id range of the pre-crash coordinator so stale remembered

@@ -88,20 +88,24 @@ let analyze ?(on_step = fun _ -> ()) ~procs records =
           | None -> error := Some (Printf.sprintf "process %d not re-registered for recovery" pid)
           | Some proc ->
               let effects = List.rev !(timeline pid) in
-              (* resolve in-doubt: commit if the coordinator durably decided
-                 commit or the process demonstrably progressed past it;
-                 presume abort otherwise *)
-              let arr = Array.of_list effects in
-              let n = Array.length arr in
+              (* resolve in-doubt, presumed abort: a surviving [Pending]
+                 commits iff its coordinator durably logged the commit
+                 decision.  Every Pending is resolved this way regardless
+                 of its timeline position — an earlier revision treated
+                 any non-final Pending as committed merely because later
+                 effects followed it, which is unsound: with two
+                 concurrent prepares the first one's 2PC may still be
+                 undecided when a later activity logs, and replaying it
+                 forward would resurrect an effect the subsystem will
+                 presume aborted. *)
               let in_doubt = ref [] in
               let in_doubt_commit = ref [] in
               let resolved =
-                List.filteri
-                  (fun i e ->
+                List.filter
+                  (fun e ->
                     match e with
                     | Pending act ->
-                        if i < n - 1 then true
-                        else if durably_committed pid act then begin
+                        if durably_committed pid act then begin
                           on_step
                             (Printf.sprintf
                                "P_%d a%d in doubt: durable Coord_committed, re-deliver commit"

@@ -17,10 +17,11 @@ type process_plan = {
   in_doubt : int list;
       (** prepared activity ids with no logged 2PC decision that recovery
           resolves to {e abort} (their subsystem transactions are rolled
-          back) — the presumed-abort rule.  In-doubt activities whose
-          process demonstrably progressed past them (a later activity of
-          the same process is logged) are resolved to {e commit} instead
-          and appear in [executed]. *)
+          back) — the presumed-abort rule.  Every undecided prepare is
+          resolved this way regardless of its position in the process's
+          timeline: with two concurrent prepares an earlier one may still
+          be undecided when a later activity logs, so "later effects
+          exist" is no evidence of commit. *)
   in_doubt_commit : int list;
       (** prepared activity ids whose coordinator durably logged
           [Coord_committed] before the crash: the decision message must be

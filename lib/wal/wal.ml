@@ -64,16 +64,46 @@ let records t = List.rev t.rev_records
 let size t = t.count
 let close t = Option.iter close_out t.channel
 
+exception Corrupt of {
+  index : int;
+  reason : string;
+}
+
+let () =
+  Printexc.register_printer (function
+    | Corrupt { index; reason } ->
+        Some (Printf.sprintf "Wal.Corrupt(record %d: %s)" index reason)
+    | _ -> None)
+
 let load path =
   let ic = open_in_bin path in
-  let rec read acc =
-    match (Marshal.from_channel ic : record) with
-    | record -> read (record :: acc)
-    | exception (End_of_file | Failure _) -> List.rev acc
-  in
-  let result = read [] in
-  close_in ic;
-  result
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let total = in_channel_length ic in
+      (* Record boundaries are recovered from the marshal headers, so a
+         record cut short by the crash (torn tail: fewer bytes remain than
+         the header, or than the header's declared payload) is
+         distinguishable from corruption *within* a fully present record —
+         the former is tolerated, the latter reported with its index. *)
+      let rec read i acc =
+        let pos = pos_in ic in
+        if pos >= total then List.rev acc
+        else if total - pos < Marshal.header_size then List.rev acc (* torn tail *)
+        else
+          let header = really_input_string ic Marshal.header_size in
+          match Marshal.data_size (Bytes.of_string header) 0 with
+          | exception Failure reason -> raise (Corrupt { index = i; reason })
+          | data_size ->
+              if total - pos - Marshal.header_size < data_size then List.rev acc
+                (* torn tail: payload cut short by the crash *)
+              else
+                let payload = really_input_string ic data_size in
+                match (Marshal.from_string (header ^ payload) 0 : record) with
+                | record -> read (i + 1) (record :: acc)
+                | exception Failure reason -> raise (Corrupt { index = i; reason })
+      in
+      read 0 [])
 
 let pp_record fmt = function
   | Process_registered pid -> Format.fprintf fmt "register(P_%d)" pid
@@ -124,11 +154,15 @@ let compact records =
   match last with
   | None -> records
   | Some (cp_pos, closed) ->
+      (* hash-set membership: the old per-record [List.mem] over the
+         closed pids made compaction quadratic in checkpoint width *)
+      let closed_set = Hashtbl.create (List.length closed) in
+      List.iter (fun pid -> Hashtbl.replace closed_set pid ()) closed;
       List.filteri
         (fun i r ->
           match r with
           | Checkpoint _ -> i >= cp_pos
           | _ ->
               i > cp_pos
-              || not (List.exists (fun pid -> List.mem pid closed) (record_pids r)))
+              || not (List.exists (fun pid -> Hashtbl.mem closed_set pid) (record_pids r)))
         records

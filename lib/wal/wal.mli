@@ -68,9 +68,22 @@ val records : t -> record list
 val size : t -> int
 val close : t -> unit
 
+exception Corrupt of {
+  index : int;  (** zero-based index of the unreadable record *)
+  reason : string;
+}
+(** Raised by {!load} on corruption strictly inside the log — bytes that
+    are present but not a well-formed record.  Distinct from a torn tail,
+    which is expected after a crash and silently tolerated. *)
+
 val load : string -> record list
-(** Reads a mirrored log back, tolerating a torn final record (a crash may
-    interrupt the last write). *)
+(** Reads a mirrored log back.  A torn final record — the crash cut the
+    write short, so fewer bytes remain than its marshal header declares —
+    is tolerated: the intact prefix is returned.  Corruption {e within}
+    the log (a fully present record that does not unmarshal) is never
+    silently dropped: it raises {!Corrupt} with the record's index, since
+    truncating there would discard arbitrarily many valid records after
+    it and unsoundly shrink the recovery plan. *)
 
 val compact : record list -> record list
 (** Drops every record that precedes the last checkpoint and concerns a

@@ -1,0 +1,100 @@
+(* Systematic interleaving exploration (lib/explore): exhaustiveness on
+   the small built-in scenarios, pruned-vs-unpruned cross-validation, the
+   Lemma-1 mutation self-test, replay determinism and the passive
+   strategy's bit-identity with the historical randomized behaviour. *)
+
+module E = Tpm_explore.Explore
+module Scheduler = Tpm_scheduler.Scheduler
+module Schedule = Tpm_core.Schedule
+
+let check = Alcotest.check
+
+let scenario name =
+  match E.find_scenario name with
+  | Some s -> s
+  | None -> Alcotest.fail ("unknown scenario " ^ name)
+
+let test_lemma1_exhaustive_clean () =
+  let r = E.explore (scenario "lemma1") in
+  check Alcotest.bool "not truncated" false r.E.stats.E.truncated;
+  check Alcotest.int "zero violations" 0 (List.length r.E.found);
+  check Alcotest.bool "at least the root and the failure branch" true
+    (r.E.stats.E.explored >= 2)
+
+let test_pruned_agrees_with_unpruned () =
+  let sc = scenario "twopc3" in
+  let p = E.explore sc in
+  let u = E.explore ~prune:false sc in
+  check Alcotest.bool "pruned not truncated" false p.E.stats.E.truncated;
+  check Alcotest.bool "unpruned not truncated" false u.E.stats.E.truncated;
+  check Alcotest.int "pruned finds no violations" 0 (List.length p.E.found);
+  check Alcotest.int "unpruned finds no violations" 0 (List.length u.E.found);
+  check Alcotest.bool "pruning shrinks the tree" true
+    (p.E.stats.E.explored < u.E.stats.E.explored)
+
+let test_mutation_caught_with_replayable_trace () =
+  let sc = scenario "lemma1-mut" in
+  let r = E.explore sc in
+  check Alcotest.bool "violation found" true (r.E.found <> []);
+  check Alcotest.bool "it is a PRED violation" true
+    (List.exists (fun (f : E.found) -> List.mem "PRED violated" f.E.violations) r.E.found);
+  match r.E.found with
+  | [] -> ()
+  | f :: _ ->
+      let out = E.run_branch sc ~script:f.E.minimized in
+      check Alcotest.bool "minimized trace still violates" true (out.E.violations <> [])
+
+let test_driven_replay_deterministic () =
+  let sc = scenario "lemma1" in
+  let a = E.run_branch sc ~script:[ 1 ] in
+  let b = E.run_branch sc ~script:[ 1 ] in
+  check Alcotest.int "same decision count" (List.length a.E.decisions)
+    (List.length b.E.decisions);
+  List.iter2
+    (fun (da : Tpm_sim.Choice.decision) (db : Tpm_sim.Choice.decision) ->
+      check Alcotest.string "same tag" da.tag db.tag;
+      check Alcotest.int "same chosen" da.chosen db.chosen;
+      check Alcotest.string "same fingerprint" da.fp db.fp)
+    a.E.decisions b.E.decisions;
+  check Alcotest.(list string) "same verdict" a.E.violations b.E.violations
+
+(* The passive strategy must leave seeded runs bit-identical: two passive
+   executions of the same scenario (same seed, fresh RMs) agree on the
+   final model state and the produced history. *)
+let test_passive_runs_bit_identical () =
+  let sc = scenario "lemma1" in
+  let run () =
+    let rms = sc.E.make_rms () in
+    let t = Scheduler.create ~config:sc.E.config ~spec:sc.E.spec ~rms () in
+    List.iteri (fun i p -> Scheduler.submit t ~at:(sc.E.submit_at i) p) sc.E.procs;
+    Scheduler.run t;
+    ( Scheduler.state_fingerprint t,
+      Format.asprintf "%a" Schedule.pp (Scheduler.history t) )
+  in
+  let fp1, h1 = run () in
+  let fp2, h2 = run () in
+  check Alcotest.string "same state fingerprint" fp1 fp2;
+  check Alcotest.string "same history" h1 h2
+
+let test_trace_file_round_trip () =
+  let sc = scenario "lemma1" in
+  let tmp = Filename.temp_file "tpm_explore" ".trace" in
+  E.save_trace ~path:tmp sc [ 1 ];
+  (match E.load_trace tmp with
+  | Error e -> Alcotest.fail e
+  | Ok (name, script) ->
+      check Alcotest.string "scenario name" "lemma1" name;
+      check Alcotest.(list int) "script survives" [ 1 ] script);
+  Sys.remove tmp
+
+let suite =
+  [
+    Alcotest.test_case "lemma1 exhaustive, all oracles clean" `Quick
+      test_lemma1_exhaustive_clean;
+    Alcotest.test_case "pruned agrees with unpruned" `Quick test_pruned_agrees_with_unpruned;
+    Alcotest.test_case "Lemma-1 mutation caught, trace replayable" `Quick
+      test_mutation_caught_with_replayable_trace;
+    Alcotest.test_case "driven replay is deterministic" `Quick test_driven_replay_deterministic;
+    Alcotest.test_case "passive runs are bit-identical" `Quick test_passive_runs_bit_identical;
+    Alcotest.test_case "trace file round-trip" `Quick test_trace_file_round_trip;
+  ]

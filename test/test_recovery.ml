@@ -113,6 +113,87 @@ let test_analyze_in_doubt_trailing_prepared () =
           check Fixtures.instance_list "completion" [ Fixtures.inv1 1 ] ip.Recovery.completion
       | _ -> Alcotest.fail "expected one interrupted process")
 
+(* Regression: a Pending followed by later effects of the same process is
+   still undecided.  An earlier revision resolved any non-final Pending to
+   commit merely because later records followed it — with two concurrent
+   prepares the first one's 2PC may be undecided when the second activity
+   logs, and replaying it forward would resurrect an effect its subsystem
+   presumes aborted. *)
+let parallel_prepares =
+  (* two parallel retriable (non-compensatable) activities — each gets its
+     commit deferred through 2PC when a conflicting predecessor is still
+     uncommitted, so both can be prepared-but-undecided at once *)
+  Process.make_exn ~pid:7
+    ~activities:
+      [
+        Fixtures.act ~proc:7 ~act:1 ~service:"w1" ~kind:Activity.Retriable;
+        Fixtures.act ~proc:7 ~act:2 ~service:"w2" ~kind:Activity.Retriable;
+      ]
+    ~prec:[] ~pref:[]
+
+let analyze_one records =
+  match Recovery.analyze ~procs:[ parallel_prepares ] records with
+  | Error e -> Alcotest.fail e
+  | Ok plan -> (
+      match plan.Recovery.interrupted with
+      | [ ip ] -> ip
+      | _ -> Alcotest.fail "expected one interrupted process")
+
+let test_analyze_non_final_pending_presumed_abort () =
+  (* a1 prepared (2PC undecided), then the parallel a2 logged its effect
+     and the scheduler crashed *)
+  let ip =
+    analyze_one
+      [
+        Wal.Process_registered 7;
+        Wal.Prepared { pid = 7; act = 1 };
+        Wal.Invoked { pid = 7; act = 2 };
+      ]
+  in
+  check Alcotest.(list int) "non-final pending presumed aborted" [ 1 ] ip.Recovery.in_doubt;
+  check Alcotest.(list int) "no durable decision, nothing re-committed" []
+    ip.Recovery.in_doubt_commit;
+  check Fixtures.instance_list "only a2's effect survives"
+    [ Activity.Forward (Process.find parallel_prepares 2) ]
+    ip.Recovery.executed
+
+let test_analyze_two_concurrent_prepares () =
+  (* both activities prepared concurrently, neither decided: both presumed
+     aborted, regardless of log order *)
+  let ip =
+    analyze_one
+      [
+        Wal.Process_registered 7;
+        Wal.Prepared { pid = 7; act = 1 };
+        Wal.Prepared { pid = 7; act = 2 };
+      ]
+  in
+  check Alcotest.(list int) "both prepares presumed aborted" [ 1; 2 ] ip.Recovery.in_doubt;
+  check Fixtures.instance_list "no surviving effects" [] ip.Recovery.executed;
+  check Alcotest.bool "B-REC: nothing committed" true (ip.Recovery.state = Execution.B_rec)
+
+let test_analyze_non_final_pending_durable_commit () =
+  (* same shape, but a1's coordinator durably logged the commit decision:
+     the pending resolves to commit and must be re-delivered *)
+  let ip =
+    analyze_one
+      [
+        Wal.Process_registered 7;
+        Wal.Coord_begin { cid = 1; pid = 7; act = 1; parts = [ "A" ] };
+        Wal.Prepared { pid = 7; act = 1 };
+        Wal.Coord_committed { cid = 1; pid = 7 };
+        Wal.Invoked { pid = 7; act = 2 };
+      ]
+  in
+  check Alcotest.(list int) "durable decision re-committed" [ 1 ] ip.Recovery.in_doubt_commit;
+  check Alcotest.(list int) "nothing presumed aborted" [] ip.Recovery.in_doubt;
+  check Fixtures.instance_list "both effects survive"
+    [
+      Activity.Forward (Process.find parallel_prepares 1);
+      Activity.Forward (Process.find parallel_prepares 2);
+    ]
+    ip.Recovery.executed
+
 let test_analyze_missing_process () =
   let records = [ Wal.Process_registered 9; Wal.Invoked { pid = 9; act = 1 } ] in
   match Recovery.analyze ~procs:[] records with
@@ -247,6 +328,12 @@ let suite =
     Alcotest.test_case "analyze: interrupted in F-REC" `Quick test_analyze_interrupted_f_rec;
     Alcotest.test_case "analyze: trailing in-doubt prepared" `Quick
       test_analyze_in_doubt_trailing_prepared;
+    Alcotest.test_case "analyze: non-final pending presumed aborted" `Quick
+      test_analyze_non_final_pending_presumed_abort;
+    Alcotest.test_case "analyze: two concurrent prepares" `Quick
+      test_analyze_two_concurrent_prepares;
+    Alcotest.test_case "analyze: non-final pending with durable commit" `Quick
+      test_analyze_non_final_pending_durable_commit;
     Alcotest.test_case "analyze: missing process definition" `Quick test_analyze_missing_process;
     Alcotest.test_case "crash/recovery on CIM" `Quick test_crash_recovery_cim;
     Alcotest.test_case "crash with in-doubt prepared" `Quick test_crash_with_in_doubt_prepared;
@@ -360,6 +447,30 @@ let test_load_tolerates_torn_tail () =
       Sys.remove path)
     torn_suffixes
 
+(* Mid-log corruption is not a torn tail: load must refuse the log and name
+   the damaged record instead of silently returning a truncated prefix (which
+   recovery would then treat as a complete, shorter history). *)
+let test_load_raises_on_midlog_corruption () =
+  let records =
+    [ Wal.Process_registered 1; Wal.Invoked { pid = 1; act = 1 }; Wal.Process_committed 1 ]
+  in
+  let path = Filename.temp_file "tpm_wal_corrupt" ".log" in
+  let wal = Wal.create ~path () in
+  List.iter (Wal.append wal) records;
+  Wal.close wal;
+  (* clobber the marshal header of the second record in place *)
+  let offset = String.length (Marshal.to_string (List.hd records) []) in
+  let oc = open_out_gen [ Open_wronly; Open_binary ] 0o644 path in
+  seek_out oc offset;
+  output_string oc "\xff\xff\xff\xff";
+  close_out oc;
+  (match Wal.load path with
+  | exception Wal.Corrupt { index; _ } -> check Alcotest.int "damaged record named" 1 index
+  | loaded ->
+      Alcotest.fail
+        (Printf.sprintf "expected Wal.Corrupt, got %d records" (List.length loaded)));
+  Sys.remove path
+
 (* The crash may land anywhere around a checkpoint; on every prefix of the
    log, compacting first must not change the recovery plan. *)
 let test_compact_analyze_equivalent_on_all_prefixes () =
@@ -409,6 +520,68 @@ let test_compact_analyze_equivalent_on_all_prefixes () =
         Alcotest.fail (Printf.sprintf "prefix %d: analyze failed: %s" len e)
   done
 
+(* Property: compaction never changes the recovery plan.  Randomized
+   workload logs, crashed at arbitrary points, with synthetic checkpoints
+   spliced in at random positions — each checkpoint names exactly the
+   processes the records before it closed, which is what
+   [Scheduler.checkpoint] would have logged there. *)
+let test_compact_analyze_random_checkpoints () =
+  let rand = Random.State.make [| 0xC0FFEE |] in
+  let splice cuts records =
+    let rec go i ~committed ~aborted = function
+      | [] -> if List.mem i cuts then [ Wal.Checkpoint { committed; aborted } ] else []
+      | r :: rest ->
+          let cp = if List.mem i cuts then [ Wal.Checkpoint { committed; aborted } ] else [] in
+          let committed, aborted =
+            match r with
+            | Wal.Process_committed pid -> (pid :: committed, aborted)
+            | Wal.Process_aborted pid -> (committed, pid :: aborted)
+            | _ -> (committed, aborted)
+          in
+          cp @ (r :: go (i + 1) ~committed ~aborted rest)
+    in
+    go 0 ~committed:[] ~aborted:[] records
+  in
+  List.iter
+    (fun seed ->
+      let params = { Generator.default_params with services = 8; conflict_density = 0.3 } in
+      let rms = Generator.rms params ~seed () in
+      let spec = Generator.spec params in
+      let config = { Scheduler.default_config with seed } in
+      let t = Scheduler.create ~config ~spec ~rms () in
+      let procs = Generator.batch ~seed:(seed * 17) params ~n:4 in
+      List.iteri (fun i p -> Scheduler.submit t ~at:(0.4 *. float_of_int i) p) procs;
+      Scheduler.run ~until:(1.0 +. Random.State.float rand 7.0) t;
+      let organic = Scheduler.crash t in
+      let n = List.length organic in
+      for trial = 0 to 3 do
+        let cuts = List.init 2 (fun _ -> Random.State.int rand (n + 1)) in
+        let log = splice cuts organic in
+        let tag = Printf.sprintf "seed %d trial %d" seed trial in
+        match (Recovery.analyze ~procs log, Recovery.analyze ~procs (Wal.compact log)) with
+        | Ok full, Ok small ->
+            check Alcotest.(list int) (tag ^ ": same committed")
+              full.Recovery.committed small.Recovery.committed;
+            check Alcotest.(list int) (tag ^ ": same aborted")
+              full.Recovery.aborted small.Recovery.aborted;
+            check Alcotest.(list int) (tag ^ ": same interrupted pids")
+              (List.map (fun (p : Recovery.process_plan) -> p.Recovery.pid)
+                 full.Recovery.interrupted)
+              (List.map (fun (p : Recovery.process_plan) -> p.Recovery.pid)
+                 small.Recovery.interrupted);
+            List.iter2
+              (fun (a : Recovery.process_plan) (b : Recovery.process_plan) ->
+                check Fixtures.instance_list
+                  (Printf.sprintf "%s: same completion for P%d" tag a.Recovery.pid)
+                  a.Recovery.completion b.Recovery.completion;
+                check Alcotest.(list int)
+                  (Printf.sprintf "%s: same in-doubt for P%d" tag a.Recovery.pid)
+                  a.Recovery.in_doubt b.Recovery.in_doubt)
+              full.Recovery.interrupted small.Recovery.interrupted
+        | Error e, _ | _, Error e -> Alcotest.fail (tag ^ ": analyze failed: " ^ e)
+      done)
+    [ 21; 23; 29; 31 ]
+
 let checkpoint_suite =
   [
     Alcotest.test_case "compact drops closed records" `Quick test_compact_drops_closed_records;
@@ -416,8 +589,12 @@ let checkpoint_suite =
       test_compact_preserves_recovery_plan;
     Alcotest.test_case "recover from a compacted log" `Quick test_recover_from_compacted_log;
     Alcotest.test_case "load tolerates a torn final record" `Quick test_load_tolerates_torn_tail;
+    Alcotest.test_case "load raises on mid-log corruption" `Quick
+      test_load_raises_on_midlog_corruption;
     Alcotest.test_case "compact/analyze agree on every crash prefix" `Quick
       test_compact_analyze_equivalent_on_all_prefixes;
+    Alcotest.test_case "compact/analyze agree on random checkpointed logs" `Quick
+      test_compact_analyze_random_checkpoints;
   ]
 
 let suite = suite @ checkpoint_suite

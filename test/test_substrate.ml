@@ -146,6 +146,44 @@ let test_rm_snapshot_compensation () =
   ignore (Rm.compensate rm ~token:5 ());
   check value "flag restored" Value.Nil (Store.get (Rm.store rm) "flag")
 
+(* Regression: snapshot undo used to write its pre-images to the store
+   without taking exclusive locks or consulting the outage plan, so it
+   could silently clobber a key a concurrent prepared transaction held —
+   both compensation paths must share the lock/outage discipline. *)
+let test_rm_snapshot_undo_blocked_by_prepared_writer () =
+  let rm = Rm.create ~name:"db" ~registry:(counter_registry ()) () in
+  ignore (Rm.invoke rm ~token:5 ~service:"set_flag" ~args:(Value.Text "on") ());
+  (* a prepared writer holds the exclusive lock on "flag" *)
+  (match Rm.prepare rm ~token:6 ~service:"set_flag" ~args:(Value.Text "off") () with
+  | Rm.Prepared _ -> ()
+  | _ -> Alcotest.fail "prepare failed");
+  (match Rm.compensate rm ~token:5 () with
+  | Rm.Blocked [ 6 ] -> ()
+  | Rm.Committed _ -> Alcotest.fail "snapshot undo ignored the prepared writer's lock"
+  | _ -> Alcotest.fail "expected Blocked [6]");
+  check value "store untouched while blocked" (Value.Text "on") (Store.get (Rm.store rm) "flag");
+  (* the undo log must survive a blocked attempt: retry once unblocked *)
+  Rm.abort_prepared rm ~token:6;
+  (match Rm.compensate rm ~token:5 () with
+  | Rm.Committed _ -> ()
+  | _ -> Alcotest.fail "retry after unblock failed");
+  check value "flag restored" Value.Nil (Store.get (Rm.store rm) "flag")
+
+let test_rm_snapshot_undo_respects_outage () =
+  let faults =
+    Tpm_sim.Faults.make ~outages:[ Tpm_sim.Faults.outage ~subsystem:"db" ~from_:2.0 ~until_:5.0 ] ()
+  in
+  let rm = Rm.create ~name:"db" ~registry:(counter_registry ()) ~faults () in
+  ignore (Rm.invoke rm ~token:5 ~service:"set_flag" ~args:(Value.Text "on") ~now:1.0 ());
+  (match Rm.compensate rm ~token:5 ~now:3.0 () with
+  | Rm.Unavailable -> ()
+  | _ -> Alcotest.fail "snapshot undo ignored the outage window");
+  check value "store untouched during outage" (Value.Text "on") (Store.get (Rm.store rm) "flag");
+  (match Rm.compensate rm ~token:5 ~now:6.0 () with
+  | Rm.Committed _ -> ()
+  | _ -> Alcotest.fail "retry after the window failed");
+  check value "flag restored" Value.Nil (Store.get (Rm.store rm) "flag")
+
 let test_rm_failure_injection () =
   (* fail with certainty below the retry bound, succeed at the bound *)
   let rm =
@@ -181,6 +219,23 @@ let test_rm_prepare_abort_rolls_back () =
   Rm.abort_prepared rm ~token:1;
   check value "no effects" Value.Nil (Store.get (Rm.store rm) "n");
   check Alcotest.(list int) "nothing prepared" [] (Rm.prepared_tokens rm)
+
+let test_rm_in_doubt_token_lookup () =
+  let rm = Rm.create ~name:"db" ~registry:(counter_registry ()) () in
+  ignore (Rm.prepare rm ~token:1 ~service:"incr" ());
+  ignore (Rm.prepare rm ~token:2 ~service:"set_flag" ~args:(Value.Text "x") ());
+  Rm.mark_in_doubt rm ~token:1 ~cid:10;
+  Rm.mark_in_doubt rm ~token:2 ~cid:20;
+  check (Alcotest.option Alcotest.int) "cid 10 -> token 1" (Some 1)
+    (Rm.in_doubt_token rm ~cid:10);
+  check (Alcotest.option Alcotest.int) "cid 20 -> token 2" (Some 2)
+    (Rm.in_doubt_token rm ~cid:20);
+  check (Alcotest.option Alcotest.int) "unknown cid" None (Rm.in_doubt_token rm ~cid:99);
+  (* resolving one instance must not disturb the other's mapping *)
+  ignore (Rm.resolve_prepared rm ~token:1 ~commit:true);
+  check (Alcotest.option Alcotest.int) "resolved cid gone" None (Rm.in_doubt_token rm ~cid:10);
+  check (Alcotest.option Alcotest.int) "other cid intact" (Some 2)
+    (Rm.in_doubt_token rm ~cid:20)
 
 let test_twopc_commit_and_abort () =
   let rm1 = Rm.create ~name:"db1" ~registry:(counter_registry ()) () in
@@ -226,9 +281,14 @@ let suite =
     Alcotest.test_case "footprint-derived conflicts" `Quick test_registry_conflicts;
     Alcotest.test_case "rm invoke and semantic compensation" `Quick test_rm_invoke_and_compensate;
     Alcotest.test_case "rm snapshot compensation" `Quick test_rm_snapshot_compensation;
+    Alcotest.test_case "snapshot undo blocked by a prepared writer" `Quick
+      test_rm_snapshot_undo_blocked_by_prepared_writer;
+    Alcotest.test_case "snapshot undo respects outage windows" `Quick
+      test_rm_snapshot_undo_respects_outage;
     Alcotest.test_case "rm failure injection with retry bound" `Quick test_rm_failure_injection;
     Alcotest.test_case "prepared invocations block conflicts" `Quick test_rm_prepare_blocks_conflicts;
     Alcotest.test_case "prepared abort rolls back" `Quick test_rm_prepare_abort_rolls_back;
+    Alcotest.test_case "in-doubt token lookup by cid" `Quick test_rm_in_doubt_token_lookup;
     Alcotest.test_case "two-phase commit" `Quick test_twopc_commit_and_abort;
     Alcotest.test_case "empty 2PC commits" `Quick test_twopc_empty_commits;
   ]

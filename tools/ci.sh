@@ -28,6 +28,22 @@ case "$out" in
   *"forensics: last trace events"*) ;;
   *) echo "ci: forensics dump missing from injected-failure output"; exit 1 ;;
 esac
+# systematic exploration: exhaust the built-in scenarios (also regenerates
+# the P13 state-count record), then the mutation self-test — disabling the
+# Lemma-1 commit deferral must yield a PRED violation whose minimized
+# trace replays from the file
+dune exec tools/explore.exe -- --quiet --bench-json bench/BENCH_P13.json
+out=$(dune exec tools/explore.exe -- --quiet --scenario lemma1-mut \
+        --expect-violation --trace-out _build/explore-mut.trace)
+case "$out" in
+  *"PRED violated"*) ;;
+  *) echo "ci: Lemma-1 mutation did not produce a PRED violation"; exit 1 ;;
+esac
+out=$(dune exec tools/explore.exe -- --quiet --replay _build/explore-mut.trace)
+case "$out" in
+  *"reproduced:"*) ;;
+  *) echo "ci: minimized mutation trace did not replay"; exit 1 ;;
+esac
 # perf smoke: admission throughput at the quick scales must stay within
 # 5x of the recorded floor (~25k admissions/s at 32 processes)
 dune exec bench/main.exe -- p11 --quick --min-throughput 5000
