@@ -42,6 +42,8 @@ type event =
           expensive than storing the event, and ring-only tracing never
           reads it unless forensics fire *)
   | Wal_append of { index : int; record : string Lazy.t }
+  | Wal_fsync of { batch : int }
+  | Wal_salvage of { segment : int; bytes : int }
   | Recovery_step of string
   | Note of string Lazy.t
       (** free-form protocol trace line; lazy for the same reason as
@@ -106,6 +108,9 @@ let pp_event fmt = function
         (Lazy.force payload)
   | Wal_append { index; record } ->
       Format.fprintf fmt "wal[%d] %s" index (Lazy.force record)
+  | Wal_fsync { batch } -> Format.fprintf fmt "wal fsync (batch %d)" batch
+  | Wal_salvage { segment; bytes } ->
+      Format.fprintf fmt "wal salvage: quarantined %d bytes of segment %d" bytes segment
   | Recovery_step step -> Format.fprintf fmt "recovery %s" step
   | Note s -> Format.pp_print_string fmt (Lazy.force s)
   | Choice { tag; arity; chosen } ->
@@ -121,7 +126,9 @@ let pid_of = function
   | Deflect { pid; _ } ->
       Some pid
   | Commit pid | Abort pid -> Some pid
-  | Group_abort _ | Msg _ | Wal_append _ | Recovery_step _ | Note _ | Choice _ -> None
+  | Group_abort _ | Msg _ | Wal_append _ | Wal_fsync _ | Wal_salvage _ | Recovery_step _
+  | Note _ | Choice _ ->
+      None
 
 let kind_label = function
   | Admission _ -> "admission"
@@ -135,6 +142,8 @@ let kind_label = function
   | Deflect _ -> "deflect"
   | Msg _ -> "msg"
   | Wal_append _ -> "wal_append"
+  | Wal_fsync _ -> "wal_fsync"
+  | Wal_salvage _ -> "wal_salvage"
   | Recovery_step _ -> "recovery_step"
   | Note _ -> "note"
   | Choice _ -> "choice"
@@ -225,6 +234,8 @@ let json_fields ev =
       ]
   | Wal_append { index; record } ->
       [ int "index" index; str "record" (Lazy.force record) ]
+  | Wal_fsync { batch } -> [ int "batch" batch ]
+  | Wal_salvage { segment; bytes } -> [ int "segment" segment; int "bytes" bytes ]
   | Recovery_step step -> [ str "step" step ]
   | Note s -> [ str "note" (Lazy.force s) ]
   | Choice { tag; arity; chosen } ->

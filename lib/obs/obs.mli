@@ -53,6 +53,11 @@ type event =
           tracing stays cheap. *)
   | Wal_append of { index : int; record : string Lazy.t }
       (** [record] lazy for the same reason as [Msg.payload] *)
+  | Wal_fsync of { batch : int }
+      (** the log fsynced; [batch] records became durable together (the
+          group-commit coalescing observable) *)
+  | Wal_salvage of { segment : int; bytes : int }
+      (** a salvage load quarantined [bytes] of a damaged segment *)
   | Recovery_step of string
   | Note of string Lazy.t
       (** free-form protocol trace line; lazy for the same reason as

@@ -86,6 +86,13 @@ type config = {
   admission_clock : (unit -> float) option;
       (* wall-clock source for admission-latency metrics ("admission_time"
          observations); [None] (default) skips the measurement *)
+  wal_sync : Wal.sync_policy;
+      (* durability of the mirrored log: [Sync_each] (default) fsyncs
+         every append; [Group w] coalesces concurrent durable appends —
+         2PC commit decisions, process commits — into one fsync per
+         [w]-long batch window; [No_sync] never fsyncs.  Irrelevant
+         without [wal_path]. *)
+  wal_segment_bytes : int;  (* segment roll size of the mirrored log *)
   debug_no_lemma1 : bool;
       (* MUTATION FLAG, tests only: skip the Lemma-1 gating of
          non-compensatable activities entirely (commit them immediately
@@ -110,6 +117,8 @@ let default_config =
     twopc_inquiry = Some 3.0;
     admission_engine = Incremental;
     admission_clock = None;
+    wal_sync = Wal.Sync_each;
+    wal_segment_bytes = 1 lsl 20;
     debug_no_lemma1 = false;
   }
 
@@ -211,6 +220,7 @@ type t = {
   bus : Coordinator.msg Bus.t;
   coord : Coordinator.t;
   logf : Wal.record -> unit;
+  mutable ckpt_seq : int;  (* fuzzy checkpoint ids, unique per scheduler *)
   obs : Obs.Tracer.t;  (* per-instance tracer: no state leaks across schedulers *)
 }
 
@@ -261,7 +271,14 @@ let create ?(config = default_config) ?(faults = Faults.none)
   let sim = Des.create () in
   Obs.Tracer.set_clock obs (fun () -> Des.now sim);
   let metrics = Metrics.create () in
-  let wal = Wal.create ?path:wal_path () in
+  let wal =
+    Wal.create ?path:wal_path ~sync:config.wal_sync ~segment_bytes:config.wal_segment_bytes ()
+  in
+  Wal.set_on_sync wal (fun batch ->
+      Metrics.incr metrics "wal_fsyncs";
+      Metrics.observe metrics "wal_batch" (float_of_int batch);
+      if Obs.Tracer.active obs then Obs.Tracer.emit obs (Obs.Wal_fsync { batch }));
+  Wal.set_lie_probe wal (fun () -> Faults.lying_fsync faults ~now:(Des.now sim));
   let crashed = ref false in
   (* the message layer draws from its own stream so enabling message
      faults never perturbs the scheduler's service-time / backoff draws *)
@@ -293,9 +310,36 @@ let create ?(config = default_config) ?(faults = Faults.none)
      point.  The record that trips the trigger is still written — the
      crash happens after the append — and a crash silences the bus so no
      message outlives the scheduler. *)
+  (* Group commit: under [Group w] appends buffer in the OS and one Des
+     event per window fsyncs the whole batch, releasing every durability
+     continuation (waiter) that accumulated meanwhile.  The flush event
+     is armed at the first buffered append of a window, so quiescence
+     always drains it. *)
+  let waiters = ref [] in
+  let flush_armed = ref false in
+  let group_window =
+    match (config.wal_sync, wal_path) with Wal.Group w, Some _ -> Some w | _ -> None
+  in
+  let rec arm_flush () =
+    match group_window with
+    | Some w when not !flush_armed ->
+        flush_armed := true;
+        Des.at sim (Des.now sim +. w) (fun _ ->
+            flush_armed := false;
+            if not !crashed then begin
+              ignore (Wal.sync wal);
+              let ks = List.rev !waiters in
+              waiters := [];
+              List.iter (fun k -> k ()) ks;
+              (* a continuation may have appended again *)
+              if Wal.pending wal > 0 || !waiters <> [] then arm_flush ()
+            end)
+    | Some _ | None -> ()
+  in
   let logf record =
     if not !crashed then begin
       Wal.append wal record;
+      if group_window <> None && Wal.pending wal > 0 then arm_flush ();
       if Obs.Tracer.active obs then
         Obs.Tracer.emit obs
           (Obs.Wal_append
@@ -323,10 +367,27 @@ let create ?(config = default_config) ?(faults = Faults.none)
           end
     end
   in
+  (* [log_durable record k]: append and run [k] once the record is
+     durable.  Synchronous policies are durable (or declaredly unsafe)
+     when [append] returns; under group commit [k] waits for the batch
+     window's fsync.  A crash drops pending continuations — their effects
+     must not outlive the scheduler, exactly like undelivered messages. *)
+  let log_durable record k =
+    if not !crashed then begin
+      logf record;
+      match group_window with
+      | Some _ ->
+          if not !crashed then begin
+            waiters := k :: !waiters;
+            arm_flush ()
+          end
+      | None -> k ()
+    end
+  in
   let halted () = !crashed in
   Metrics.incr metrics ~by:0 "indoubt_resolved";
   let coord =
-    Coordinator.create ~sim ~bus ~log:logf ~metrics ~tracer:obs
+    Coordinator.create ~sim ~bus ~log:logf ~log_durable ~metrics ~tracer:obs
       ~retransmit_after:config.twopc_retransmit ~halted ()
   in
   List.iter
@@ -367,6 +428,7 @@ let create ?(config = default_config) ?(faults = Faults.none)
     bus;
     coord;
     logf;
+    ckpt_seq = 0;
     obs;
   }
 
@@ -2004,19 +2066,46 @@ let rec request_abort t ?at pid =
 
 let run ?until t = Des.run ?until t.sim
 
+let closed_pids t term =
+  List.filter_map
+    (fun ps ->
+      if ps.phase = Done && ps.term = term then Some (Process.pid ps.proc) else None)
+    (pstates t)
+
 let checkpoint t =
-  let closed term =
-    List.filter_map
-      (fun ps ->
-        if ps.phase = Done && ps.term = term then Some (Process.pid ps.proc) else None)
-      (pstates t)
-  in
   log t
-    (Wal.Checkpoint { committed = closed Schedule.Committed; aborted = closed Schedule.Aborted })
+    (Wal.Checkpoint
+       { committed = closed_pids t Schedule.Committed; aborted = closed_pids t Schedule.Aborted })
+
+(* Fuzzy checkpoint: log [Ckpt_begin] now and seal the span with a
+   [Ckpt_end] one [window] later, naming the processes closed at {e end}
+   time.  Appends keep flowing between the two records — compaction cuts
+   at the begin of the last complete span, so the records written while
+   the checkpoint was being taken survive. *)
+let checkpoint_fuzzy ?(window = 0.5) t =
+  if window < 0.0 then invalid_arg "Scheduler.checkpoint_fuzzy: negative window";
+  t.ckpt_seq <- t.ckpt_seq + 1;
+  let ckpt = t.ckpt_seq in
+  log t (Wal.Ckpt_begin { ckpt });
+  Des.at t.sim (now t +. window) (fun _ ->
+      if not !(t.crashed) then
+        log t
+          (Wal.Ckpt_end
+             {
+               ckpt;
+               committed = closed_pids t Schedule.Committed;
+               aborted = closed_pids t Schedule.Aborted;
+             }))
+
+let wal t = t.wal
 
 let crash t =
   t.crashed := true;
   Bus.halt t.bus;
+  (* power loss at the disk too: the mirrored segments are truncated to
+     the honest durable point (a no-op for in-memory logs), so a harness
+     reloading from disk sees exactly what a real restart would *)
+  Wal.crash_image t.wal;
   Wal.records t.wal
 
 let recover ?(config = default_config) ?(amnesia = false) ?tracer ~spec ~rms ~procs
@@ -2212,7 +2301,8 @@ let recover ?(config = default_config) ?(amnesia = false) ?tracer ~spec ~rms ~pr
               emit t (Schedule.Abort pid);
               log t (Wal.Process_aborted pid)
           | Wal.Prepared_decided _ | Wal.Process_registered _ | Wal.Commit_requested _
-          | Wal.Abort_requested _ | Wal.Checkpoint _ | Wal.Coord_forgotten _ -> ())
+          | Wal.Abort_requested _ | Wal.Checkpoint _ | Wal.Ckpt_begin _ | Wal.Ckpt_end _
+          | Wal.Coord_forgotten _ -> ())
         records;
       if entries <> [] then begin
         emit t (Schedule.Group_abort (List.map fst entries));

@@ -125,6 +125,15 @@ type config = {
   admission_clock : (unit -> float) option;
       (** wall-clock source for the ["admission_time"] metric (e.g.
           [Unix.gettimeofday]); [None] (default) skips the measurement *)
+  wal_sync : Tpm_wal.Wal.sync_policy;
+      (** durability of the mirrored log ([wal_path]): [Sync_each]
+          (default) fsyncs every append; [Group w] coalesces concurrent
+          durable appends — 2PC commit decisions, process commits — into
+          one fsync per [w]-long batch window, with DECISION messages
+          held until their record's fsync; [No_sync] never fsyncs.
+          Irrelevant without [wal_path]. *)
+  wal_segment_bytes : int;
+      (** segment roll size of the mirrored log (default 1 MiB) *)
   debug_no_lemma1 : bool;
       (** MUTATION FLAG, tests only: skip the Lemma-1 gating of
           non-compensatable activities entirely, committing them
@@ -228,6 +237,17 @@ val state_fingerprint : t -> string
 val checkpoint : t -> unit
 (** Appends a checkpoint naming every terminated process; {!Tpm_wal.Wal.compact}
     can then drop their records from the log. *)
+
+val checkpoint_fuzzy : ?window:float -> t -> unit
+(** Fuzzy checkpoint: appends [Ckpt_begin] now and seals the span with a
+    [Ckpt_end] after [window] (default 0.5) of virtual time, naming the
+    processes closed by then.  Appends keep flowing in between; a crash
+    before the end record leaves the span incomplete and compaction falls
+    back to the previous complete checkpoint. *)
+
+val wal : t -> Tpm_wal.Wal.t
+(** The scheduler's write-ahead log (for stats, sync and crash imaging
+    by test/sweep harnesses). *)
 
 val crash : t -> Tpm_wal.Wal.record list
 (** Simulates a scheduler failure: drops all volatile state and returns

@@ -29,6 +29,26 @@ type link_fault = {
   lf_delay : float;
 }
 
+(* Scripted byte-level damage to the mirrored WAL.  The plan is purely
+   declarative: the sweep/test harness applies each fault to the log's
+   segment files (via [Tpm_wal.Wal.Chaos]) at its chosen point and then
+   exercises load/recovery.  Offsets are bytes into the named segment. *)
+type disk_fault =
+  | Torn_write of {
+      segment : int;
+      byte : int;
+    }  (* cut the segment at the offset, as a crash mid-append would *)
+  | Bit_flip of {
+      segment : int;
+      byte : int;
+      bit : int;
+    }
+  | Short_read of {
+      segment : int;
+      byte : int;
+    }  (* the tail of the segment is unreadable: same image as a cut *)
+  | Truncate_segment of { segment : int }  (* the whole segment file is gone *)
+
 type t = {
   outages : outage list;
   bursts : burst list;
@@ -37,6 +57,9 @@ type t = {
   crash_after_appends : int option;
   crash_after_deliveries : int option;
   crash_explore : bool;
+  disk_faults : disk_fault list;
+  lying_fsync_windows : window list;
+      (* while inside a window, fsync acknowledges without persisting *)
 }
 
 let none =
@@ -48,20 +71,25 @@ let none =
     crash_after_appends = None;
     crash_after_deliveries = None;
     crash_explore = false;
+    disk_faults = [];
+    lying_fsync_windows = [];
   }
 
 let is_none t =
   t.outages = [] && t.bursts = [] && t.spikes = [] && t.msg_faults = []
   && t.crash_after_appends = None
   && t.crash_after_deliveries = None
-  && not t.crash_explore
+  && (not t.crash_explore)
+  && t.disk_faults = []
+  && t.lying_fsync_windows = []
 
 let window ~from_ ~until_ =
   if until_ < from_ then invalid_arg "Faults: window ends before it starts";
   { from_; until_ }
 
 let make ?(outages = []) ?(bursts = []) ?(spikes = []) ?(msg_faults = [])
-    ?crash_after_appends ?crash_after_deliveries ?(crash_explore = false) () =
+    ?crash_after_appends ?crash_after_deliveries ?(crash_explore = false)
+    ?(disk_faults = []) ?(lying_fsync = []) () =
   {
     outages;
     bursts;
@@ -70,6 +98,8 @@ let make ?(outages = []) ?(bursts = []) ?(spikes = []) ?(msg_faults = [])
     crash_after_appends;
     crash_after_deliveries;
     crash_explore;
+    disk_faults;
+    lying_fsync_windows = lying_fsync;
   }
 
 let outage ~subsystem ~from_ ~until_ =
@@ -138,6 +168,8 @@ let msg_plan t ~src ~dst ~now =
 let crash_after t = t.crash_after_appends
 let crash_after_delivery t = t.crash_after_deliveries
 let crash_explore t = t.crash_explore
+let disk_faults t = t.disk_faults
+let lying_fsync t ~now = List.exists (fun w -> in_window w now) t.lying_fsync_windows
 
 let periodic_outage ~subsystem ~period ~duty ?(phase = 0.0) ~horizon () =
   if period <= 0.0 then invalid_arg "Faults.periodic_outage: period must be positive";
@@ -202,7 +234,16 @@ let random rng ~subsystems ?(services = []) ~horizon ?(outage_duty = 0.0)
     crash_after_appends = None;
     crash_after_deliveries = None;
     crash_explore = false;
+    disk_faults = [];
+    lying_fsync_windows = [];
   }
+
+let pp_disk_fault fmt = function
+  | Torn_write { segment; byte } -> Format.fprintf fmt "torn-write(seg %d @%d)" segment byte
+  | Bit_flip { segment; byte; bit } ->
+      Format.fprintf fmt "bit-flip(seg %d @%d.%d)" segment byte bit
+  | Short_read { segment; byte } -> Format.fprintf fmt "short-read(seg %d @%d)" segment byte
+  | Truncate_segment { segment } -> Format.fprintf fmt "truncate-segment(%d)" segment
 
 let pp fmt t =
   if is_none t then Format.fprintf fmt "no-faults"
@@ -245,7 +286,12 @@ let pp fmt t =
     (match t.crash_after_deliveries with
     | Some n -> item (fun () -> Format.fprintf fmt "crash-delivery@%d" n)
     | None -> ());
-    if t.crash_explore then item (fun () -> Format.fprintf fmt "crash-explore")
+    if t.crash_explore then item (fun () -> Format.fprintf fmt "crash-explore");
+    List.iter (fun d -> item (fun () -> pp_disk_fault fmt d)) t.disk_faults;
+    List.iter
+      (fun w ->
+        item (fun () -> Format.fprintf fmt "lying-fsync([%.2f,%.2f))" w.from_ w.until_))
+      t.lying_fsync_windows
   end
 
 let to_string t = Format.asprintf "%a" pp t

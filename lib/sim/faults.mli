@@ -47,6 +47,26 @@ type link_fault = {
     PREPARE/VOTE/DECISION/ACK traffic on the bus is dropped, duplicated
     and delayed (hence reordered) according to the active faults. *)
 
+(** Scripted byte-level damage to the mirrored WAL.  Purely declarative:
+    a sweep or test harness applies each fault to the log's segment files
+    (via [Tpm_wal.Wal.Chaos]) at its chosen point and then exercises
+    load/recovery.  Offsets are bytes into the named segment. *)
+type disk_fault =
+  | Torn_write of {
+      segment : int;
+      byte : int;
+    }  (** cut the segment at the offset, as a crash mid-append would *)
+  | Bit_flip of {
+      segment : int;
+      byte : int;
+      bit : int;
+    }  (** flip one bit in place *)
+  | Short_read of {
+      segment : int;
+      byte : int;
+    }  (** the segment's tail is unreadable: same image as a cut *)
+  | Truncate_segment of { segment : int }  (** the whole segment file is gone *)
+
 type t = {
   outages : outage list;
   bursts : burst list;
@@ -62,6 +82,12 @@ type t = {
           strategy, the scheduler offers a binary crash choice point at
           every WAL append instead of (or in addition to) the counted
           triggers above.  Inert under the passive strategy. *)
+  disk_faults : disk_fault list;
+  lying_fsync_windows : window list;
+      (** while the clock is inside one of these, the WAL's fsync
+          acknowledges its batch without persisting it
+          ({!Tpm_wal.Wal.set_lie_probe}); a subsequent crash image
+          exposes the loss *)
 }
 
 val none : t
@@ -77,6 +103,8 @@ val make :
   ?crash_after_appends:int ->
   ?crash_after_deliveries:int ->
   ?crash_explore:bool ->
+  ?disk_faults:disk_fault list ->
+  ?lying_fsync:window list ->
   unit ->
   t
 
@@ -123,6 +151,12 @@ val msg_plan : t -> src:string -> dst:string -> now:float -> float * float * flo
 val crash_after : t -> int option
 val crash_after_delivery : t -> int option
 val crash_explore : t -> bool
+val disk_faults : t -> disk_fault list
+
+val lying_fsync : t -> now:float -> bool
+(** Is [now] inside a lying-fsync window? *)
+
+val pp_disk_fault : Format.formatter -> disk_fault -> unit
 
 val periodic_outage :
   subsystem:string ->

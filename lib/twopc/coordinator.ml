@@ -54,6 +54,12 @@ type instance = {
   i_parts : part list;
   i_started : float;
   mutable i_phase : phase;
+  mutable i_durable : bool;
+      (* the decision may be (re)sent: true once the commit record's fsync
+         completed (aborts are presumed — durable immediately).  Under
+         group commit an instance sits in [Deciding] undurable until the
+         batch window closes; retransmission and inquiry replies must
+         stay silent meanwhile or a DECISION could outrun its record. *)
   i_on_done : commit:bool -> unit;
   mutable i_cancel : unit -> unit;
 }
@@ -63,6 +69,7 @@ type t = {
   sim : Des.t;
   bus : msg Bus.t;
   log : Wal.record -> unit;
+  log_durable : Wal.record -> (unit -> unit) -> unit;
   halted : unit -> bool;
   metrics : Metrics.t option;
   tracer : Obs.Tracer.t;
@@ -101,7 +108,7 @@ let retransmit t inst =
             send t ~dst:p.p_name msg
           end
       | Deciding commit ->
-          if not p.p_acked then begin
+          if inst.i_durable && not p.p_acked then begin
             mincr t "msg_retransmits";
             let msg = Decision { cid = inst.i_cid; commit } in
             trace_retransmit t ~dst:p.p_name msg;
@@ -128,11 +135,22 @@ let finish t inst commit =
 
 let decide t inst commit =
   (* presumed abort: only the commit decision is made durable — and it is
-     durable *before* any DECISION message leaves the coordinator *)
-  if commit then t.log (Wal.Coord_committed { cid = inst.i_cid; pid = inst.i_pid });
+     durable *before* any DECISION message leaves the coordinator.  The
+     phase flips to [Deciding] at once (late votes are no-ops), but under
+     group commit the messages wait in the continuation the WAL runs when
+     the batch's fsync covers the record; until then [i_durable] keeps
+     retransmission and inquiry replies silent. *)
   inst.i_phase <- Deciding commit;
-  List.iter (fun p -> send t ~dst:p.p_name (Decision { cid = inst.i_cid; commit }))
-    inst.i_parts
+  let deliver () =
+    inst.i_durable <- true;
+    List.iter (fun p -> send t ~dst:p.p_name (Decision { cid = inst.i_cid; commit }))
+      inst.i_parts;
+    (* no participants: trivially complete, nothing to deliver or await *)
+    if inst.i_parts = [] then finish t inst commit
+  in
+  if commit then
+    t.log_durable (Wal.Coord_committed { cid = inst.i_cid; pid = inst.i_pid }) deliver
+  else deliver ()
 
 let on_vote t cid rm yes =
   match Hashtbl.find_opt t.instances cid with
@@ -163,7 +181,10 @@ let on_ack t cid rm =
 
 let on_inquiry t cid rm =
   match Hashtbl.find_opt t.instances cid with
-  | Some { i_phase = Deciding commit; _ } -> send t ~dst:rm (Decision { cid; commit })
+  | Some { i_phase = Deciding commit; i_durable = true; _ } ->
+      send t ~dst:rm (Decision { cid; commit })
+  | Some { i_phase = Deciding _; i_durable = false; _ } ->
+      ()  (* decision not yet durable: answering now could outrun its record *)
   | Some { i_phase = Voting; _ } -> ()  (* still undecided; retransmission will drive it *)
   | None ->
       (* no durable trace of this instance: the presumed-abort answer *)
@@ -177,16 +198,27 @@ let handle t ~src:_ msg =
     | Inquiry { cid; rm } -> on_inquiry t cid rm
     | Prepare _ | Decision _ -> ()  (* participant-addressed; not for us *)
 
-let create ~sim ~bus ~log ?metrics ?(tracer = Obs.Tracer.disabled)
+let create ~sim ~bus ~log ?log_durable ?metrics ?(tracer = Obs.Tracer.disabled)
     ?(retransmit_after = 1.0) ?(halted = fun () -> false) ?(name = "coord") () =
   if retransmit_after <= 0.0 then
     invalid_arg "Coordinator.create: retransmit_after must be positive";
+  let log_durable =
+    match log_durable with
+    | Some f -> f
+    | None ->
+        (* without a group-commit scheduler the plain log is synchronous:
+           the record is durable when [log] returns *)
+        fun record k ->
+          log record;
+          k ()
+  in
   let t =
     {
       name;
       sim;
       bus;
       log;
+      log_durable;
       halted;
       metrics;
       tracer;
@@ -212,7 +244,7 @@ let fingerprint t =
            (Printf.sprintf "|c%d:a_{%d_%d}:%s" cid inst.i_pid inst.i_act
               (match inst.i_phase with
               | Voting -> "V"
-              | Deciding true -> "DC"
+              | Deciding true -> if inst.i_durable then "DC" else "DCu"
               | Deciding false -> "DA"));
          List.iter
            (fun p ->
@@ -240,6 +272,7 @@ let start t ~pid ~act ~participants ~on_done =
       i_parts = parts;
       i_started = Des.now t.sim;
       i_phase = Voting;
+      i_durable = false;
       i_on_done = on_done;
       i_cancel = ignore;
     }
@@ -249,9 +282,9 @@ let start t ~pid ~act ~participants ~on_done =
   Hashtbl.replace t.instances cid inst;
   (match parts with
   | [] ->
-      (* no participants: trivially committed, nothing to deliver *)
-      decide t inst true;
-      finish t inst true
+      (* no participants: trivially committed; [decide]'s durable
+         continuation closes the instance out *)
+      decide t inst true
   | _ ->
       List.iter (fun p -> send t ~dst:p.p_name (Prepare { cid; token = p.p_token })) parts;
       (* under synchronous (fault-free) delivery the whole round may have

@@ -55,6 +55,7 @@ val create :
   sim:Tpm_sim.Des.t ->
   bus:msg Tpm_sim.Bus.t ->
   log:(Tpm_wal.Wal.record -> unit) ->
+  ?log_durable:(Tpm_wal.Wal.record -> (unit -> unit) -> unit) ->
   ?metrics:Tpm_sim.Metrics.t ->
   ?tracer:Tpm_obs.Obs.Tracer.t ->
   ?retransmit_after:float ->
@@ -64,6 +65,11 @@ val create :
   t
 (** Registers the coordinator endpoint (default name ["coord"]) on the
     bus.  [log] must append durably (it is the scheduler's WAL append).
+    [log_durable record k] appends [record] and runs [k] once the record
+    is actually durable — the group-commit scheduler passes a batching
+    implementation so DECISION messages only leave after the decision
+    record's fsync; the default runs [k] synchronously (a plain [log] is
+    durable on return).
     [retransmit_after] is the timer period for re-sending unanswered
     messages (default 1.0 virtual time units); [halted] silences the
     coordinator after a crash.  [tracer] (default disabled) records a

@@ -1,0 +1,8 @@
+(** CRC-32 (IEEE 802.3) checksums guarding every WAL frame. *)
+
+val string : string -> int32
+(** Checksum of a whole string. *)
+
+val update : int32 -> string -> pos:int -> len:int -> int32
+(** Incremental update: [update (update 0l a ...) b ...] equals the
+    checksum of [a ^ b]. *)

@@ -69,12 +69,13 @@ let analyze ?(on_step = fun _ -> ()) ~procs records =
       | Wal.Compensated { pid; act } -> timeline pid := Inv act :: !(timeline pid)
       | Wal.Process_committed pid -> Hashtbl.replace terminal pid `Committed
       | Wal.Process_aborted pid -> Hashtbl.replace terminal pid `Aborted
-      | Wal.Checkpoint { committed; aborted } ->
+      | Wal.Checkpoint { committed; aborted } | Wal.Ckpt_end { committed; aborted; _ } ->
           List.iter (fun pid -> Hashtbl.replace terminal pid `Committed) committed;
           List.iter (fun pid -> Hashtbl.replace terminal pid `Aborted) aborted
       | Wal.Coord_begin { cid; pid; act; _ } -> Hashtbl.replace coord_acts cid (pid, act)
       | Wal.Coord_committed { cid; _ } -> Hashtbl.replace coord_committed cid ()
-      | Wal.Coord_forgotten _ | Wal.Commit_requested _ | Wal.Abort_requested _ -> ())
+      | Wal.Ckpt_begin _ | Wal.Coord_forgotten _ | Wal.Commit_requested _
+      | Wal.Abort_requested _ -> ())
     records;
   let committed = ref [] and aborted = ref [] and interrupted = ref [] in
   let error = ref None in

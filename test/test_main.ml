@@ -11,6 +11,7 @@ let () =
       ("properties", Test_properties.suite);
       ("engine", Test_engine.suite);
       ("recovery", Test_recovery.suite);
+      ("wal-corruption", Test_wal_corruption.suite);
       ("explore", Test_explore.suite);
       ("twopc-coord", Test_twopc_coord.suite);
       ("weak-order", Test_weak_order.suite);

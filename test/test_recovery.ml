@@ -14,6 +14,10 @@ module Value = Tpm_kv.Value
 
 let check = Alcotest.check
 
+let rm_log path =
+  List.iter Sys.remove (Wal.segment_files path);
+  if Sys.file_exists path then Sys.remove path
+
 let test_wal_roundtrip () =
   let path = Filename.temp_file "tpm_wal" ".log" in
   let wal = Wal.create ~path () in
@@ -32,9 +36,55 @@ let test_wal_roundtrip () =
   List.iter (Wal.append wal) records;
   Wal.close wal;
   check Alcotest.int "in-memory size" (List.length records) (Wal.size wal);
-  let loaded = Wal.load path in
-  check Alcotest.bool "file round-trip" true (loaded = records);
-  Sys.remove path
+  let report = Wal.load path in
+  check Alcotest.bool "file round-trip" true (report.Wal.records = records);
+  check Alcotest.int "clean log has no anomalies" 0 (List.length report.Wal.anomalies);
+  check Alcotest.int "every record has an extent" (List.length records)
+    (List.length report.Wal.extents);
+  rm_log path
+
+(* Regression: [Wal.create] used to open the mirror with [open_out_bin],
+   silently truncating — and thereby destroying — an existing log.  It must
+   refuse unless the caller explicitly asks for a fresh log. *)
+let test_create_refuses_existing_log () =
+  let path = Filename.temp_file "tpm_wal_reopen" ".log" in
+  let wal = Wal.create ~path () in
+  Wal.append wal (Wal.Process_registered 1);
+  Wal.close wal;
+  (match Wal.create ~path () with
+  | exception Invalid_argument _ -> ()
+  | (_ : Wal.t) -> Alcotest.fail "reopening a nonempty log must be refused");
+  check Alcotest.bool "refused create left the log intact" true
+    (Wal.load_records path = [ Wal.Process_registered 1 ]);
+  let wal2 = Wal.create ~path ~fresh:true () in
+  Wal.append wal2 (Wal.Process_registered 2);
+  Wal.close wal2;
+  check Alcotest.bool "fresh:true starts over" true
+    (Wal.load_records path = [ Wal.Process_registered 2 ]);
+  rm_log path
+
+(* The default sync policy must actually fsync: every append is durable the
+   moment it returns, so a crash image (power loss) loses nothing. *)
+let test_default_sync_is_durable () =
+  let path = Filename.temp_file "tpm_wal_durable" ".log" in
+  let records = [ Wal.Process_registered 1; Wal.Invoked { pid = 1; act = 1 } ] in
+  let wal = Wal.create ~path () in
+  List.iter (Wal.append wal) records;
+  let st = Wal.stats wal in
+  check Alcotest.int "one fsync per append" 2 st.Wal.fsyncs;
+  check Alcotest.int "all records durable" 2 st.Wal.durable_records;
+  Wal.crash_image wal;
+  check Alcotest.bool "power loss loses nothing under Sync_each" true
+    (Wal.load_records path = records);
+  rm_log path;
+  (* under No_sync the same crash image loses the buffered tail *)
+  let path2 = Filename.temp_file "tpm_wal_nosync" ".log" in
+  let wal2 = Wal.create ~path:path2 ~sync:Wal.No_sync () in
+  List.iter (Wal.append wal2) records;
+  check Alcotest.int "No_sync never fsyncs" 0 (Wal.stats wal2).Wal.fsyncs;
+  Wal.crash_image wal2;
+  check Alcotest.bool "power loss erases unsynced appends" true (Wal.load_records path2 = []);
+  rm_log path2
 
 let test_analyze_committed_process () =
   let p = Fixtures.p2 in
@@ -323,6 +373,8 @@ let test_crash_recovery_random () =
 let suite =
   [
     Alcotest.test_case "wal file round-trip" `Quick test_wal_roundtrip;
+    Alcotest.test_case "create refuses an existing log" `Quick test_create_refuses_existing_log;
+    Alcotest.test_case "default sync policy is durable" `Quick test_default_sync_is_durable;
     Alcotest.test_case "analyze: committed process" `Quick test_analyze_committed_process;
     Alcotest.test_case "analyze: interrupted in B-REC" `Quick test_analyze_interrupted_b_rec;
     Alcotest.test_case "analyze: interrupted in F-REC" `Quick test_analyze_interrupted_f_rec;
@@ -417,35 +469,37 @@ let test_recover_from_compacted_log () =
       check Alcotest.bool "construction still committed" true
         (Scheduler.status t2 1 = Schedule.Committed)
 
-(* A crash can tear the final record of the mirrored log file; load must
-   return the intact prefix instead of failing. *)
+(* A crash can tear the final record of the mirrored log; load must return
+   the intact prefix instead of failing.  Cut the real writer's bytes at
+   two points inside the final frame: mid-payload and mid-header. *)
 let test_load_tolerates_torn_tail () =
   let records =
     [
       Wal.Process_registered 1;
       Wal.Invoked { pid = 1; act = 1 };
       Wal.Prepared { pid = 1; act = 2 };
+      Wal.Process_committed 1;
     ]
   in
-  let torn_suffixes =
-    (* a sliced marshalled record (header complete, payload cut) and a cut
-       that does not even cover the marshal header *)
-    let whole = Marshal.to_string (Wal.Process_committed 1) [] in
-    [ String.sub whole 0 (String.length whole - 3); String.sub whole 0 5 ]
-  in
+  let kept = List.filteri (fun i _ -> i < 3) records in
   List.iter
-    (fun torn ->
+    (fun cut_back ->
       let path = Filename.temp_file "tpm_wal_torn" ".log" in
       let wal = Wal.create ~path () in
       List.iter (Wal.append wal) records;
       Wal.close wal;
-      let oc = open_out_gen [ Open_append; Open_binary ] 0o644 path in
-      output_string oc torn;
-      close_out oc;
-      check Alcotest.bool "torn tail dropped, prefix intact" true
-        (Wal.load path = records);
-      Sys.remove path)
-    torn_suffixes
+      let report = Wal.load path in
+      let seg, off, len =
+        List.nth report.Wal.extents (List.length report.Wal.extents - 1)
+      in
+      let seg_file = List.nth (Wal.segment_files path) seg in
+      Wal.Chaos.truncate ~path:seg_file ~bytes:(off + len - cut_back);
+      let torn = Wal.load path in
+      check Alcotest.bool "torn tail dropped, prefix intact" true (torn.Wal.records = kept);
+      check Alcotest.bool "classified as torn" true
+        (match torn.Wal.anomalies with [ Wal.Torn_tail _ ] -> true | _ -> false);
+      rm_log path)
+    [ 3; (* mid-payload *) 11 (* header only partially present *) ]
 
 (* Mid-log corruption is not a torn tail: load must refuse the log and name
    the damaged record instead of silently returning a truncated prefix (which
@@ -458,18 +512,29 @@ let test_load_raises_on_midlog_corruption () =
   let wal = Wal.create ~path () in
   List.iter (Wal.append wal) records;
   Wal.close wal;
-  (* clobber the marshal header of the second record in place *)
-  let offset = String.length (Marshal.to_string (List.hd records) []) in
-  let oc = open_out_gen [ Open_wronly; Open_binary ] 0o644 path in
-  seek_out oc offset;
-  output_string oc "\xff\xff\xff\xff";
-  close_out oc;
+  (* flip one payload bit of the second record in place *)
+  let seg, off, _len = List.nth (Wal.load path).Wal.extents 1 in
+  let seg_file = List.nth (Wal.segment_files path) seg in
+  Wal.Chaos.flip_bit ~path:seg_file ~byte:(off + 8) ~bit:3;
   (match Wal.load path with
-  | exception Wal.Corrupt { index; _ } -> check Alcotest.int "damaged record named" 1 index
-  | loaded ->
+  | exception Wal.Corrupt { segment; index; _ } ->
+      check Alcotest.int "damaged record named" 1 index;
+      check Alcotest.int "damaged segment named" 0 segment
+  | report ->
       Alcotest.fail
-        (Printf.sprintf "expected Wal.Corrupt, got %d records" (List.length loaded)));
-  Sys.remove path
+        (Printf.sprintf "expected Wal.Corrupt, got %d records"
+           (List.length report.Wal.records)));
+  (* salvage quarantines from the damage to the segment's end *)
+  let salvaged = Wal.load ~policy:Wal.Salvage path in
+  check Alcotest.bool "salvage keeps the intact prefix" true
+    (salvaged.Wal.records = [ Wal.Process_registered 1 ]);
+  check Alcotest.bool "salvage reports the corruption" true
+    (List.exists
+       (function Wal.Corrupt_record { index = 1; _ } -> true | _ -> false)
+       salvaged.Wal.anomalies);
+  check Alcotest.bool "salvage quarantined the damaged bytes" true
+    (salvaged.Wal.quarantined_bytes > 0);
+  rm_log path
 
 (* The crash may land anywhere around a checkpoint; on every prefix of the
    log, compacting first must not change the recovery plan. *)
@@ -582,6 +647,194 @@ let test_compact_analyze_random_checkpoints () =
       done)
     [ 21; 23; 29; 31 ]
 
+(* shared plan-equivalence assertion for the fuzzy-span property tests *)
+let check_same_plan tag full small =
+  check Alcotest.(list int) (tag ^ ": same committed") full.Recovery.committed
+    small.Recovery.committed;
+  check Alcotest.(list int) (tag ^ ": same aborted") full.Recovery.aborted
+    small.Recovery.aborted;
+  check
+    Alcotest.(list int)
+    (tag ^ ": same interrupted pids")
+    (List.map (fun (p : Recovery.process_plan) -> p.Recovery.pid) full.Recovery.interrupted)
+    (List.map (fun (p : Recovery.process_plan) -> p.Recovery.pid) small.Recovery.interrupted);
+  List.iter2
+    (fun (a : Recovery.process_plan) (b : Recovery.process_plan) ->
+      check Fixtures.instance_list
+        (Printf.sprintf "%s: same completion for P%d" tag a.Recovery.pid)
+        a.Recovery.completion b.Recovery.completion;
+      check
+        Alcotest.(list int)
+        (Printf.sprintf "%s: same in-doubt for P%d" tag a.Recovery.pid)
+        a.Recovery.in_doubt b.Recovery.in_doubt)
+    full.Recovery.interrupted small.Recovery.interrupted
+
+let with_tmp_wal_dir f =
+  let dir = Filename.temp_file "tpm_seg" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun e -> Sys.remove (Filename.concat dir e)) (Sys.readdir dir);
+      Unix.rmdir dir)
+    (fun () -> f (Filename.concat dir "wal.log"))
+
+(* Property: fuzzy checkpoint spans — [Ckpt_begin]/[Ckpt_end] pairs whose
+   span may cover records, other spans, and (on disk) segment boundaries —
+   never change the recovery plan, whether the log is analyzed directly,
+   compacted first, or round-tripped through a real segmented on-disk WAL.
+   Spans are spliced at random positions, so across trials they land at,
+   inside, and across segment boundaries of the tiny segments used here. *)
+let test_compact_analyze_fuzzy_spans_segmented () =
+  let rand = Random.State.make [| 0xF422 |] in
+  let terminals_before records e =
+    List.filteri (fun i _ -> i < e) records
+    |> List.fold_left
+         (fun (c, a) r ->
+           match r with
+           | Wal.Process_committed pid -> (pid :: c, a)
+           | Wal.Process_aborted pid -> (c, pid :: a)
+           | _ -> (c, a))
+         ([], [])
+  in
+  let splice_span rand ~ckpt records =
+    let n = List.length records in
+    let b = Random.State.int rand (n + 1) in
+    let e = b + Random.State.int rand (n + 1 - b) in
+    let committed, aborted = terminals_before records e in
+    let rec go i rs =
+      let here =
+        (if i = b then [ Wal.Ckpt_begin { ckpt } ] else [])
+        @ if i = e then [ Wal.Ckpt_end { ckpt; committed; aborted } ] else []
+      in
+      match rs with [] -> here | r :: rest -> here @ (r :: go (i + 1) rest)
+    in
+    go 0 records
+  in
+  List.iter
+    (fun seed ->
+      let params = { Generator.default_params with services = 8; conflict_density = 0.3 } in
+      let rms = Generator.rms params ~seed () in
+      let spec = Generator.spec params in
+      let config = { Scheduler.default_config with seed } in
+      let t = Scheduler.create ~config ~spec ~rms () in
+      let procs = Generator.batch ~seed:(seed * 17) params ~n:4 in
+      List.iteri (fun i p -> Scheduler.submit t ~at:(0.4 *. float_of_int i) p) procs;
+      Scheduler.run ~until:(1.0 +. Random.State.float rand 7.0) t;
+      let organic = Scheduler.crash t in
+      for trial = 0 to 3 do
+        let log = splice_span rand ~ckpt:2 (splice_span rand ~ckpt:1 organic) in
+        let tag = Printf.sprintf "seed %d trial %d" seed trial in
+        (* memory: compaction preserves the plan across fuzzy spans *)
+        (match (Recovery.analyze ~procs log, Recovery.analyze ~procs (Wal.compact log)) with
+        | Ok full, Ok small -> check_same_plan tag full small
+        | Error e, _ | _, Error e -> Alcotest.fail (tag ^ ": analyze failed: " ^ e));
+        (* disk: the same log through a real segmented WAL, spans landing
+           wherever the tiny segment size puts them *)
+        with_tmp_wal_dir @@ fun path ->
+        let wal = Wal.create ~path ~segment_bytes:160 ~sync:Wal.No_sync () in
+        List.iter (Wal.append wal) log;
+        Wal.close wal;
+        check Alcotest.bool (tag ^ ": log spans several segments") true
+          (List.length (Wal.segment_files path) >= 2);
+        let report = Wal.load path in
+        check Alcotest.int (tag ^ ": clean disk round-trip") 0
+          (List.length report.Wal.anomalies);
+        check Alcotest.bool (tag ^ ": records survive the disk round-trip") true
+          (report.Wal.records = log);
+        match
+          ( Recovery.analyze ~procs report.Wal.records,
+            Recovery.analyze ~procs (Wal.compact report.Wal.records) )
+        with
+        | Ok full, Ok small -> check_same_plan (tag ^ " (disk)") full small
+        | Error e, _ | _, Error e -> Alcotest.fail (tag ^ ": disk analyze failed: " ^ e)
+      done)
+    [ 41; 43; 47 ]
+
+(* Organic fuzzy checkpoint: [Scheduler.checkpoint_fuzzy] logs the
+   begin/end span on the virtual clock while the workload keeps running
+   inside it; a crash after the span must recover identically from the
+   full and the compacted log, and a crash *inside* the span (end never
+   logged) must leave the plan unchanged too. *)
+let test_fuzzy_checkpoint_scheduler () =
+  let parts = [ "boiler" ] in
+  let rms = Cim.rms ~parts () in
+  let spec = Cim.spec ~parts in
+  let construction = Cim.construction ~pid:1 ~part:"boiler" in
+  let production = Cim.production ~pid:2 ~part:"boiler" in
+  let t = Scheduler.create ~spec ~rms () in
+  Scheduler.submit t ~args_of:Cim.args_of construction;
+  Scheduler.run ~until:4.5 t;
+  Scheduler.checkpoint_fuzzy ~window:0.8 t;
+  Scheduler.submit t ~at:5.0 ~args_of:Cim.args_of production;
+  Scheduler.run t;
+  let records = Scheduler.crash t in
+  let begins = List.filter (function Wal.Ckpt_begin _ -> true | _ -> false) records in
+  let ends =
+    List.filter_map
+      (function Wal.Ckpt_end { committed; _ } -> Some committed | _ -> None)
+      records
+  in
+  check Alcotest.int "one fuzzy begin" 1 (List.length begins);
+  (match ends with
+  | [ committed ] ->
+      check Alcotest.(list int) "end names the closed process" [ 1 ] committed
+  | _ -> Alcotest.fail "expected exactly one Ckpt_end");
+  let procs = [ construction; production ] in
+  (* full vs compacted agree, and recovery from the compacted log finishes *)
+  (match (Recovery.analyze ~procs records, Recovery.analyze ~procs (Wal.compact records)) with
+  | Ok full, Ok small -> check_same_plan "organic fuzzy span" full small
+  | Error e, _ | _, Error e -> Alcotest.fail ("analyze failed: " ^ e));
+  (match Scheduler.recover ~spec ~rms ~procs (Wal.compact records) with
+  | Ok t2 ->
+      Scheduler.run t2;
+      check Alcotest.bool "recovered run finishes both processes" true
+        (Scheduler.finished t2)
+  | Error e -> Alcotest.fail ("recover failed: " ^ e));
+  (* crash inside the span: drop the Ckpt_end and every later record *)
+  let inside =
+    let n = ref 0 in
+    List.filter
+      (fun r ->
+        (match r with Wal.Ckpt_end _ -> incr n | _ -> ());
+        !n = 0)
+      records
+  in
+  match (Recovery.analyze ~procs inside, Recovery.analyze ~procs (Wal.compact inside)) with
+  | Ok full, Ok small -> check_same_plan "crash inside the span" full small
+  | Error e, _ | _, Error e -> Alcotest.fail ("analyze failed inside span: " ^ e)
+
+(* Group commit must change only durability batching, never the log
+   contents: the record stream is identical across sync policies, and the
+   batched policy reaches it with strictly fewer fsyncs. *)
+let test_group_commit_scheduler () =
+  let run_policy sync =
+    with_tmp_wal_dir @@ fun path ->
+    let parts = [ "boiler" ] in
+    let rms = Cim.rms ~parts () in
+    let spec = Cim.spec ~parts in
+    let config = { Scheduler.default_config with wal_sync = sync } in
+    let t = Scheduler.create ~config ~spec ~rms ~wal_path:path () in
+    Scheduler.submit t ~args_of:Cim.args_of (Cim.construction ~pid:1 ~part:"boiler");
+    Scheduler.submit t ~at:0.3 ~args_of:Cim.args_of (Cim.production ~pid:2 ~part:"boiler");
+    Scheduler.run t;
+    let stats = Wal.stats (Scheduler.wal t) in
+    let records = Scheduler.crash t in
+    let on_disk = Wal.load_records path in
+    check Alcotest.bool "disk image matches memory after quiescent run" true
+      (on_disk = records);
+    (records, stats)
+  in
+  let each, each_stats = run_policy Wal.Sync_each in
+  let group, group_stats = run_policy (Wal.Group 0.2) in
+  check Alcotest.bool "identical record stream across sync policies" true (each = group);
+  check Alcotest.bool "group commit coalesces fsyncs" true
+    (group_stats.Wal.fsyncs < each_stats.Wal.fsyncs);
+  check Alcotest.bool "some batch held more than one record" true
+    (group_stats.Wal.max_batch > 1);
+  check Alcotest.int "group commit loses nothing once quiescent"
+    each_stats.Wal.durable_records group_stats.Wal.durable_records
+
 let checkpoint_suite =
   [
     Alcotest.test_case "compact drops closed records" `Quick test_compact_drops_closed_records;
@@ -595,6 +848,12 @@ let checkpoint_suite =
       test_compact_analyze_equivalent_on_all_prefixes;
     Alcotest.test_case "compact/analyze agree on random checkpointed logs" `Quick
       test_compact_analyze_random_checkpoints;
+    Alcotest.test_case "fuzzy spans on segmented logs preserve the plan" `Quick
+      test_compact_analyze_fuzzy_spans_segmented;
+    Alcotest.test_case "scheduler fuzzy checkpoint crash/recover" `Quick
+      test_fuzzy_checkpoint_scheduler;
+    Alcotest.test_case "group commit: same log, fewer fsyncs" `Quick
+      test_group_commit_scheduler;
   ]
 
 let suite = suite @ checkpoint_suite

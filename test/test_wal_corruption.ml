@@ -1,0 +1,216 @@
+(* Exhaustive single-byte corruption fuzz of the CRC-framed segmented WAL.
+
+   Record a multi-segment log once, then for EVERY byte offset of every
+   segment (a) flip one bit in place and (b) truncate the segment at that
+   offset, and load each mutated image.  The contract under test:
+
+   - no load ever returns a record differing from one that was written
+     (in salvage mode: the result is an order-preserving subsequence of
+     the original records — damage only ever {e removes} records);
+   - a truncation of the final segment is always classified as a torn
+     tail (or loads clean, when the cut lands exactly on a frame
+     boundary);
+   - a bit flip is always detected — fail-stop load either raises
+     {!Wal.Corrupt} or, when the flip lands in the final record's length
+     prefix making it claim more bytes than remain, degrades to a torn
+     tail.  It never silently returns the full original log with a
+     mutated record inside. *)
+
+module Wal = Tpm_wal.Wal
+
+let check = Alcotest.check
+
+(* a workload-shaped record mix, sized to roll across several segments *)
+let base_records =
+  List.concat_map
+    (fun pid ->
+      [
+        Wal.Process_registered pid;
+        Wal.Invoked { pid; act = 1 };
+        Wal.Prepared { pid; act = 2 };
+        Wal.Coord_begin { cid = pid; pid; act = 2; parts = [ "ss0"; "ss1" ] };
+        Wal.Coord_committed { cid = pid; pid };
+        Wal.Prepared_decided { pid; act = 2; commit = true };
+        Wal.Coord_forgotten { cid = pid; pid };
+        Wal.Process_committed pid;
+      ])
+    [ 1; 2; 3; 4; 5 ]
+
+let write_log dir =
+  let path = Filename.concat dir "wal.log" in
+  let wal = Wal.create ~path ~segment_bytes:128 () in
+  List.iter (Wal.append wal) base_records;
+  Wal.close wal;
+  path
+
+let with_tmpdir f =
+  let dir = Filename.temp_file "tpm_fuzz" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun e -> Sys.remove (Filename.concat dir e)) (Sys.readdir dir);
+      Unix.rmdir dir)
+    (fun () -> f dir)
+
+(* is [sub] an order-preserving subsequence of [full]? *)
+let rec subsequence sub full =
+  match (sub, full) with
+  | [], _ -> true
+  | _, [] -> false
+  | s :: sub', f :: full' -> if s = f then subsequence sub' full' else subsequence sub full'
+
+let file_size p =
+  let ic = open_in_bin p in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> in_channel_length ic)
+
+(* copy the recorded segments into a scratch dir for one mutation *)
+let clone_log src_path dst_dir =
+  let dst_path = Filename.concat dst_dir "wal.log" in
+  List.iter
+    (fun seg ->
+      Wal.Chaos.copy ~src:seg ~dst:(Filename.concat dst_dir (Filename.basename seg)))
+    (Wal.segment_files src_path);
+  dst_path
+
+let test_truncation_every_offset () =
+  with_tmpdir @@ fun dir ->
+  let path = write_log dir in
+  let segs = Wal.segment_files path in
+  let n_segs = List.length segs in
+  check Alcotest.bool "log spans several segments" true (n_segs >= 3);
+  let clean = Wal.load path in
+  let frame_boundaries =
+    (* per segment: the set of offsets where a frame starts or the tail ends *)
+    Hashtbl.create 8
+  in
+  List.iter
+    (fun (seg, off, len) ->
+      Hashtbl.replace frame_boundaries (seg, off) ();
+      Hashtbl.replace frame_boundaries (seg, off + len) ())
+    clean.Wal.extents;
+  List.iteri
+    (fun seg_idx seg_file ->
+      let size = file_size seg_file in
+      let is_last = seg_idx = n_segs - 1 in
+      for cut = 0 to size - 1 do
+        with_tmpdir @@ fun scratch ->
+        let mpath = clone_log path scratch in
+        let mseg = List.nth (Wal.segment_files mpath) seg_idx in
+        Wal.Chaos.truncate ~path:mseg ~bytes:cut;
+        let tag = Printf.sprintf "truncate seg %d at %d" seg_idx cut in
+        if is_last then begin
+          (* final segment: always a tolerated torn tail (clean iff the
+             cut lands on a frame boundary) *)
+          let report = Wal.load mpath in
+          check Alcotest.bool (tag ^ ": subsequence") true
+            (subsequence report.Wal.records base_records);
+          let on_boundary = Hashtbl.mem frame_boundaries (seg_idx, cut) in
+          check Alcotest.bool
+            (tag ^ ": torn iff mid-frame")
+            (not on_boundary)
+            (List.exists
+               (function Wal.Torn_tail _ -> true | _ -> false)
+               report.Wal.anomalies);
+          (* every record whose frame lies fully below the cut survives *)
+          let expected_prefix =
+            List.length
+              (List.filter
+                 (fun (s, o, l) -> s < seg_idx || (s = seg_idx && o + l <= cut))
+                 clean.Wal.extents)
+          in
+          check Alcotest.int (tag ^ ": exact prefix") expected_prefix
+            (List.length report.Wal.records)
+        end
+        else begin
+          (* non-final segment: damage.  Fail-stop refuses (except a cut
+             exactly at the segment's full size, which is the clean image);
+             salvage quarantines and resumes at the next segment. *)
+          (match Wal.load mpath with
+          | exception Wal.Corrupt _ -> ()
+          | report ->
+              check Alcotest.bool (tag ^ ": fail-stop accepted only clean") true
+                (report.Wal.records = base_records));
+          let salvage = Wal.load ~policy:Wal.Salvage mpath in
+          check Alcotest.bool (tag ^ ": salvage subsequence") true
+            (subsequence salvage.Wal.records base_records);
+          check Alcotest.bool (tag ^ ": salvage classified the damage") true
+            (cut = size
+            || List.exists
+                 (function
+                   | Wal.Short_segment { segment; _ } | Wal.Corrupt_record { segment; _ } ->
+                       segment = seg_idx
+                   | _ -> false)
+                 salvage.Wal.anomalies)
+        end
+      done)
+    segs
+
+let test_bitflip_every_byte () =
+  with_tmpdir @@ fun dir ->
+  let path = write_log dir in
+  let segs = Wal.segment_files path in
+  let n_segs = List.length segs in
+  List.iteri
+    (fun seg_idx seg_file ->
+      let size = file_size seg_file in
+      for byte = 0 to size - 1 do
+        (* one bit per byte offset keeps the sweep quadratic-free; the CRC
+           argument is bit-position independent *)
+        let bit = byte mod 8 in
+        with_tmpdir @@ fun scratch ->
+        let mpath = clone_log path scratch in
+        let mseg = List.nth (Wal.segment_files mpath) seg_idx in
+        Wal.Chaos.flip_bit ~path:mseg ~byte ~bit;
+        let tag = Printf.sprintf "flip seg %d byte %d bit %d" seg_idx byte bit in
+        (* fail-stop: the flip must be detected — Corrupt, or a torn tail
+           when a final-segment length prefix now overruns the remaining
+           bytes.  Never the full log with a silently mutated record. *)
+        (match Wal.load mpath with
+        | exception Wal.Corrupt _ -> ()
+        | report ->
+            check Alcotest.bool (tag ^ ": no silent mutation") true
+              (subsequence report.Wal.records base_records);
+            check Alcotest.bool (tag ^ ": shorter only via torn tail") true
+              (List.length report.Wal.records < List.length base_records
+              && seg_idx = n_segs - 1
+              && List.exists
+                   (function Wal.Torn_tail _ -> true | _ -> false)
+                   report.Wal.anomalies));
+        (* salvage: still only ever a subsequence *)
+        let salvage = Wal.load ~policy:Wal.Salvage mpath in
+        check Alcotest.bool (tag ^ ": salvage subsequence") true
+          (subsequence salvage.Wal.records base_records);
+        check Alcotest.bool (tag ^ ": salvage flagged something") true
+          (salvage.Wal.anomalies <> [])
+      done)
+    segs
+
+let test_missing_segment () =
+  with_tmpdir @@ fun dir ->
+  let path = write_log dir in
+  let n_segs = List.length (Wal.segment_files path) in
+  check Alcotest.bool "several segments" true (n_segs >= 3);
+  (* drop a middle segment entirely *)
+  with_tmpdir @@ fun scratch ->
+  let mpath = clone_log path scratch in
+  let victim = List.nth (Wal.segment_files mpath) 1 in
+  Sys.remove victim;
+  (match Wal.load mpath with
+  | exception Wal.Corrupt { segment; _ } -> check Alcotest.int "names the gap" 1 segment
+  | _ -> Alcotest.fail "fail-stop must refuse a log with a missing segment");
+  let salvage = Wal.load ~policy:Wal.Salvage mpath in
+  check Alcotest.bool "salvage reports the gap" true
+    (List.exists
+       (function Wal.Missing_segment { segment } -> segment = 1 | _ -> false)
+       salvage.Wal.anomalies);
+  check Alcotest.bool "salvage keeps the other segments' records" true
+    (subsequence salvage.Wal.records base_records
+    && List.length salvage.Wal.records > 0)
+
+let suite =
+  [
+    Alcotest.test_case "truncation at every byte offset" `Quick test_truncation_every_offset;
+    Alcotest.test_case "bit flip at every byte offset" `Quick test_bitflip_every_byte;
+    Alcotest.test_case "missing middle segment" `Quick test_missing_segment;
+  ]

@@ -44,6 +44,16 @@ case "$out" in
   *"reproduced:"*) ;;
   *) echo "ci: minimized mutation trace did not replay"; exit 1 ;;
 esac
+# disk-fault sweep: full byte-level axis (torn tails at every strided
+# crash point, a bit flip at every byte of a multi-segment image, lying
+# fsync windows) across all seed x mode combos; every fault must be
+# tolerated as a torn tail or detected as corruption -- zero silent
+# misreads, zero oracle violations
+dune exec tools/crashsweep.exe -- --disk-only
+# stress with the WAL on real disk under each sync policy; after each run
+# the on-disk log must load clean and match the in-memory record stream
+dune exec tools/stress.exe -- --seeds 41-45 --fail-rates 0.1 --sync-policy group:0.2
+dune exec tools/stress.exe -- --seeds 41-43 --sync-policy each
 # perf smoke: admission throughput at the quick scales must stay within
 # 5x of the recorded floor (~25k admissions/s at 32 processes)
 dune exec bench/main.exe -- p11 --quick --min-throughput 5000
@@ -53,6 +63,10 @@ dune exec bench/main.exe -- p11 --quick --min-throughput 5000
 # +/-6% run-to-run noise of shared hardware and exists to catch gross
 # regressions such as an instrumentation site formatting eagerly again
 dune exec bench/main.exe -- p12 --quick --max-overhead 0.20
-# full bench regenerates the reference output, bench/BENCH_P11.json and
-# bench/BENCH_P12.json
+# group-commit smoke: the storage-level axis must show batched fsyncs
+# multiplying durable-commit throughput (batch-32 >= 2x fsync-per-record
+# and above an absolute floor; measured ~210k rec/s vs the 20k floor)
+dune exec bench/main.exe -- p14 --quick --min-throughput 20000
+# full bench regenerates the reference output, bench/BENCH_P11.json,
+# bench/BENCH_P12.json and bench/BENCH_P14.json
 dune exec bench/main.exe > bench/bench_output.txt 2>&1

@@ -20,6 +20,7 @@ module Prng = Tpm_sim.Prng
 module Rm = Tpm_subsys.Rm
 module Store = Tpm_kv.Store
 module Obs = Tpm_obs.Obs
+module Wal = Tpm_wal.Wal
 
 let mode_of_name = function
   | "conservative" -> Scheduler.Conservative
@@ -60,6 +61,24 @@ let n_procs = ref 8
 let horizon = ref 50.0
 let trace_ring = ref false
 let inject_failure = ref false
+
+(* [None] = in-memory log only (the historical default); [Some policy]
+   mirrors every run's WAL to a scratch directory under that sync policy
+   and cross-checks the on-disk image against memory after the run *)
+let sync_policy : (string * Wal.sync_policy) option ref = ref None
+
+let parse_sync_policy s =
+  let policy =
+    match s with
+    | "none" -> Wal.No_sync
+    | "each" -> Wal.Sync_each
+    | _ when String.length s > 6 && String.sub s 0 6 = "group:" -> (
+        match float_of_string_opt (String.sub s 6 (String.length s - 6)) with
+        | Some w when w >= 0.0 -> Wal.Group w
+        | _ -> raise (Arg.Bad (Printf.sprintf "bad group window in %S" s)))
+    | _ -> raise (Arg.Bad (Printf.sprintf "unknown sync policy %S (none|each|group:W)" s))
+  in
+  sync_policy := Some (s, policy)
 
 let parse_probs name s =
   let l = parse_floats s in
@@ -116,6 +135,11 @@ let speclist =
       Arg.Set inject_failure,
       " artificially fail the first run's invariant check (CI self-test: \
        asserts the forensics dump machinery fires)" );
+    ( "--sync-policy",
+      Arg.String parse_sync_policy,
+      "P mirror every run's WAL to disk under sync policy none|each|group:W \
+       (e.g. group:0.2) and cross-check the on-disk image against memory \
+       after each run (default: in-memory log only)" );
   ]
 
 let () =
@@ -178,7 +202,23 @@ let () =
                           admission_engine =
                             (if !check_admission then Scheduler.Checked
                              else Scheduler.Incremental);
+                          wal_sync =
+                            (match !sync_policy with
+                            | Some (_, p) -> p
+                            | None -> Scheduler.default_config.Scheduler.wal_sync);
                         }
+                      in
+                      let wal_dir =
+                        Option.map
+                          (fun _ ->
+                            let dir = Filename.temp_file "tpm_stress" "" in
+                            Sys.remove dir;
+                            Unix.mkdir dir 0o755;
+                            dir)
+                          !sync_policy
+                      in
+                      let wal_path =
+                        Option.map (fun d -> Filename.concat d "wal.log") wal_dir
                       in
                       let procs = Generator.batch ~seed:(seed * 100) params ~n:!n_procs in
                       let mk_tracer () =
@@ -187,7 +227,7 @@ let () =
                       in
                       let t =
                         Scheduler.create ~config ~faults ~tracer:(mk_tracer ()) ~spec
-                          ~rms ()
+                          ~rms ?wal_path ()
                       in
                       List.iteri
                         (fun i p -> Scheduler.submit t ~at:(0.4 *. float_of_int i) p)
@@ -197,7 +237,11 @@ let () =
                           seed mode_name fail_rate outage_duty msg_rate
                           (if !amnesia then " amnesia" else "")
                           (Faults.to_string faults)
-                        ^ if !check_admission then " check-admission" else ""
+                        ^ (if !check_admission then " check-admission" else "")
+                        ^
+                        match !sync_policy with
+                        | Some (name, _) -> " sync=" ^ name
+                        | None -> ""
                       in
                       let dump_forensics sched =
                         if !trace_ring then
@@ -212,6 +256,27 @@ let () =
                           dump_forensics sched
                       in
                       guarded t (fun () -> Scheduler.run ~until:100000.0 t);
+                      (* with a mirrored WAL: once quiescent (and synced),
+                         the on-disk image must load cleanly and match the
+                         in-memory record stream bit for bit, whatever the
+                         batching policy did along the way *)
+                      (match wal_path with
+                      | Some path when not (Scheduler.is_crashed t) -> (
+                          ignore (Wal.sync (Scheduler.wal t));
+                          match Wal.load path with
+                          | exception e ->
+                              incr failures;
+                              Format.printf "%s WAL-LOAD-EXCEPTION %s@." (repro ())
+                                (Printexc.to_string e)
+                          | report ->
+                              if
+                                report.Wal.anomalies <> []
+                                || report.Wal.records <> Scheduler.wal_records t
+                              then begin
+                                incr failures;
+                                Format.printf "%s WAL-DISK-DIVERGENCE@." (repro ())
+                              end)
+                      | Some _ | None -> ());
                       let t =
                         (* amnesia arm: the run crashed mid-log; recover it
                            with the coordinator records declared lost and
@@ -273,7 +338,15 @@ let () =
                             (repro ());
                           dump_forensics t
                         end
-                      end)
+                      end;
+                      Option.iter
+                        (fun dir ->
+                          Array.iter
+                            (fun e ->
+                              try Sys.remove (Filename.concat dir e) with Sys_error _ -> ())
+                            (Sys.readdir dir);
+                          try Unix.rmdir dir with Unix.Unix_error _ -> ())
+                        wal_dir)
                     !msg_rates)
                 !outages)
             !fail_rates)
