@@ -21,6 +21,25 @@ module Obs = Tpm_obs.Obs
 module Wal = Tpm_wal.Wal
 
 (* ------------------------------------------------------------------ *)
+(* run metadata, embedded in every BENCH_*.json artifact: enough to tell
+   exactly which tree produced the numbers and on what kind of clock *)
+
+let git_commit () =
+  try
+    let ic = Unix.open_process_in "git rev-parse HEAD 2>/dev/null" in
+    let line = try input_line ic with End_of_file -> "unknown" in
+    ignore (Unix.close_process_in ic);
+    line
+  with _ -> "unknown"
+
+let meta_json ?(knobs = "") ~experiment () =
+  Printf.sprintf
+    "{\"git_commit\": %S, \"experiment\": %S, \"clock\": \
+     \"virtual-discrete-event\", \"harness\": \"bench/main.exe\"%s}"
+    (git_commit ()) experiment
+    (if knobs = "" then "" else ", \"knobs\": " ^ knobs)
+
+(* ------------------------------------------------------------------ *)
 (* table printing *)
 
 let rule = String.make 78 '-'
@@ -939,12 +958,14 @@ let section_p11 ?(quick = false) ?json () =
       let oc = open_out path in
       Printf.fprintf oc
         "{\n  \"experiment\": \"P11 incremental admission engine\",\n\
+        \  \"meta\": %s,\n\
         \  \"workload\": {\"services\": %d, \"conflict_density\": %.2f, \
          \"activities\": \"%d-%d\", \"seed\": %d},\n\
         \  \"scale_axis\": [\n    %s\n  ],\n\
         \  \"probe_axis\": [\n    %s\n  ],\n\
         \  \"history_axis\": [\n    %s\n  ],\n\
         \  \"speedup_mean\": {%s}\n}\n"
+        (meta_json ~experiment:"P11" ())
         params.Generator.services params.Generator.conflict_density
         params.Generator.activities_min params.Generator.activities_max seed
         (String.concat ",\n    " (List.map p11_json_point !points))
@@ -1132,11 +1153,13 @@ let section_p12 ?(quick = false) ?json () =
       let oc = open_out path in
       Printf.fprintf oc
         "{\n  \"experiment\": \"P12 tracing overhead\",\n\
+        \  \"meta\": %s,\n\
         \  \"workload\": {\"services\": %d, \"conflict_density\": %.2f, \
          \"activities\": \"%d-%d\", \"processes\": %d, \"seed\": %d, \
          \"reps\": %d},\n\
         \  \"arms\": [\n    %s\n  ],\n\
         \  \"metrics_snapshot\": %s\n}\n"
+        (meta_json ~experiment:"P12" ())
         p12_params.Generator.services p12_params.Generator.conflict_density
         p12_params.Generator.activities_min p12_params.Generator.activities_max
         n seed reps
@@ -1395,11 +1418,13 @@ let section_p14 ?(quick = false) ?json () =
       let oc = open_out path in
       Printf.fprintf oc
         "{\n  \"experiment\": \"P14 group commit\",\n\
+        \  \"meta\": %s,\n\
         \  \"workload\": {\"services\": %d, \"conflict_density\": %.2f, \
          \"activities\": \"%d-%d\", \"subsystems\": %d, \"processes\": %d, \
          \"seed\": %d, \"reps\": %d},\n\
         \  \"end_to_end\": [\n    %s\n  ],\n\
         \  \"storage\": {\"records\": %d, \"reps\": %d, \"arms\": [\n    %s\n  ]}\n}\n"
+        (meta_json ~experiment:"P14" ())
         p14_params.Generator.services p14_params.Generator.conflict_density
         p14_params.Generator.activities_min p14_params.Generator.activities_max
         p14_params.Generator.subsystems n seed reps
@@ -1459,6 +1484,248 @@ let p14_main args =
               batched floor (batched /. each)
       | _ -> ())
 
+(* P15: open-world serving under overload — saturation curves.  The
+   offered load (open-loop Poisson arrivals per unit of virtual time) is
+   swept across the server's capacity for each overload policy.  At every
+   point the run must stay civilized: the shed-accounting invariant holds
+   exactly, the queue is empty after drain, and every admitted process
+   reaches a terminal state.  Goodput counts committed processes per unit
+   of virtual time; admission latency is the virtual-time wait between a
+   submission and its hand-off to the scheduler. *)
+
+module Server = Tpm_server.Server
+
+type p15_point = {
+  s_policy : string;
+  s_rate : float;
+  s_offered : int;
+  s_admitted : int;  (* preferred-branch admits *)
+  s_degraded : int;
+  s_rejected : int;
+  s_expired : int;
+  s_committed : int;
+  s_goodput : float;  (* committed per unit virtual time *)
+  s_shed_rate : float;  (* (rejected+expired) / offered *)
+  s_p95_wait : float;  (* virtual-time admission wait, p95 *)
+  s_p99_wait : float;
+  s_ok : bool;  (* accounting exact, queue drained, scheduler finished *)
+}
+
+let p15_params =
+  {
+    Generator.default_params with
+    services = 8;
+    conflict_density = 0.4;
+    alt_prob = 0.8;
+    activities_min = 3;
+    activities_max = 6;
+  }
+
+let p15_max_live = 4
+let p15_queue_capacity = 8
+let p15_deadline = 4.0
+let p15_saturation = 2
+let p15_seed = 7
+
+let p15_knobs_json =
+  Printf.sprintf
+    "{\"max_live\": %d, \"queue_capacity\": %d, \"default_deadline\": %.1f, \
+     \"saturation_limit\": %d, \"service_time\": 1.0, \"seed\": %d}"
+    p15_max_live p15_queue_capacity p15_deadline p15_saturation p15_seed
+
+let p15_run ~policy ~rate ~horizon =
+  let seed = p15_seed in
+  let spec = Generator.spec p15_params in
+  let rms = Generator.rms p15_params ~seed () in
+  let sched =
+    Scheduler.create ~config:{ Scheduler.default_config with seed } ~spec ~rms ()
+  in
+  let srv =
+    Server.create
+      ~config:
+        {
+          Server.default_config with
+          policy;
+          max_live = p15_max_live;
+          queue_capacity = p15_queue_capacity;
+          default_deadline = p15_deadline;
+          saturation_limit = p15_saturation;
+        }
+      sched
+  in
+  let script = Generator.arrivals p15_params ~seed:(seed * 100) ~rate ~horizon in
+  Server.play srv script;
+  Server.run srv;
+  Server.drain srv;
+  let c = Server.counters srv in
+  let committed =
+    List.length
+      (List.filter
+         (fun p -> Scheduler.status sched (Process.pid p) = Schedule.Committed)
+         (Server.admitted_procs srv))
+  in
+  let m = Scheduler.metrics sched in
+  {
+    s_policy = Server.policy_label policy;
+    s_rate = rate;
+    s_offered = c.Server.offered;
+    s_admitted = c.Server.admitted;
+    s_degraded = c.Server.degraded;
+    s_rejected = c.Server.rejected;
+    s_expired = c.Server.expired;
+    s_committed = committed;
+    s_goodput = float_of_int committed /. horizon;
+    s_shed_rate =
+      (if c.Server.offered = 0 then 0.0
+       else
+         float_of_int (c.Server.rejected + c.Server.expired)
+         /. float_of_int c.Server.offered);
+    s_p95_wait = Metrics.hquantile m "srv_admission_wait" 0.95;
+    s_p99_wait = Metrics.hquantile m "srv_admission_wait" 0.99;
+    s_ok =
+      Server.accounting_ok srv && Server.queue_depth srv = 0
+      && Scheduler.finished sched;
+  }
+
+let section_p15 ?(quick = false) ?json () =
+  section
+    (if quick then "P15 — open-world serving under overload (quick)"
+     else "P15 — open-world serving under overload: saturation curves");
+  let loads = if quick then [ 2.0; 8.0; 16.0 ] else [ 0.5; 1.0; 2.0; 4.0; 8.0; 16.0 ] in
+  let horizon = if quick then 12.0 else 30.0 in
+  let policies = [ Server.Reject; Server.Queue; Server.Degrade ] in
+  let fnan f = if Float.is_nan f then "-" else Printf.sprintf "%.2f" f in
+  let curves =
+    List.map
+      (fun policy ->
+        let points =
+          List.map
+            (fun rate ->
+              let p = p15_run ~policy ~rate ~horizon in
+              Printf.eprintf "  [p15] %s load=%.1f: goodput %.2f, shed %.0f%%\n%!"
+                p.s_policy rate p.s_goodput (100.0 *. p.s_shed_rate);
+              p)
+            loads
+        in
+        (Server.policy_label policy, points))
+      policies
+  in
+  List.iter
+    (fun (policy, points) ->
+      Format.printf "@.policy %s (window %d, queue %d, deadline %.1f):@." policy
+        p15_max_live p15_queue_capacity p15_deadline;
+      print_table
+        [ "offered/s"; "offered"; "admit"; "degrade"; "reject"; "expire";
+          "committed"; "goodput/s"; "shed"; "p95 wait"; "p99 wait"; "ok" ]
+        (List.map
+           (fun p ->
+             [
+               Printf.sprintf "%.1f" p.s_rate; string_of_int p.s_offered;
+               string_of_int p.s_admitted; string_of_int p.s_degraded;
+               string_of_int p.s_rejected; string_of_int p.s_expired;
+               string_of_int p.s_committed; Printf.sprintf "%.2f" p.s_goodput;
+               Printf.sprintf "%.0f%%" (100.0 *. p.s_shed_rate);
+               fnan p.s_p95_wait; fnan p.s_p99_wait;
+               (if p.s_ok then "yes" else "NO");
+             ])
+           points))
+    curves;
+  Format.printf
+    "@.shape: goodput climbs with offered load until the %d-deep admission window@."
+    p15_max_live;
+  Format.printf
+    "saturates (multi-activity processes at unit service time under conflicts),@.";
+  Format.printf
+    "then plateaus while the shed rate absorbs the excess — the server degrades@.";
+  Format.printf "by shedding, never by collapsing.@.";
+  (match json with
+  | None -> ()
+  | Some path ->
+      let jf f = if Float.is_nan f then "null" else Printf.sprintf "%.4f" f in
+      let point_json p =
+        Printf.sprintf
+          "{\"offered_per_s\": %.2f, \"offered\": %d, \"admitted\": %d, \
+           \"degraded\": %d, \"rejected\": %d, \"expired\": %d, \
+           \"committed\": %d, \"goodput_per_s\": %.4f, \"shed_rate\": %.4f, \
+           \"p95_wait\": %s, \"p99_wait\": %s, \"invariants_ok\": %b}"
+          p.s_rate p.s_offered p.s_admitted p.s_degraded p.s_rejected p.s_expired
+          p.s_committed p.s_goodput p.s_shed_rate (jf p.s_p95_wait)
+          (jf p.s_p99_wait) p.s_ok
+      in
+      let curve_json (policy, points) =
+        Printf.sprintf "{\"policy\": %S, \"points\": [\n      %s\n    ]}" policy
+          (String.concat ",\n      " (List.map point_json points))
+      in
+      let oc = open_out path in
+      Printf.fprintf oc
+        "{\n  \"experiment\": \"P15 open-world serving under overload\",\n\
+        \  \"meta\": %s,\n\
+        \  \"workload\": {\"services\": %d, \"conflict_density\": %.2f, \
+         \"activities\": \"%d-%d\", \"arrivals\": \"poisson\", \
+         \"horizon\": %.1f, \"seed\": %d},\n\
+        \  \"curves\": [\n    %s\n  ]\n}\n"
+        (meta_json ~experiment:"P15" ~knobs:p15_knobs_json ())
+        p15_params.Generator.services p15_params.Generator.conflict_density
+        p15_params.Generator.activities_min p15_params.Generator.activities_max
+        horizon p15_seed
+        (String.concat ",\n    " (List.map curve_json curves));
+      close_out oc;
+      Format.printf "@.wrote %s@." path);
+  curves
+
+let p15_main args =
+  let quick = ref false in
+  let json = ref None in
+  let min_goodput = ref None in
+  let rec parse = function
+    | [] -> ()
+    | "--quick" :: rest ->
+        quick := true;
+        parse rest
+    | "--json" :: path :: rest ->
+        json := Some path;
+        parse rest
+    | "--min-goodput" :: x :: rest ->
+        min_goodput := Some (float_of_string x);
+        parse rest
+    | arg :: _ -> failwith (Printf.sprintf "p15: unknown argument %S" arg)
+  in
+  parse args;
+  let curves = section_p15 ~quick:!quick ?json:!json () in
+  (* the shed-accounting invariant and drain/termination must hold at
+     every measured point, whatever the load *)
+  let all_ok =
+    List.for_all (fun (_, points) -> List.for_all (fun p -> p.s_ok) points) curves
+  in
+  if not all_ok then begin
+    Format.printf "P15 SMOKE FAILED: invariant violation at some load point@.";
+    exit 1
+  end;
+  match !min_goodput with
+  | None -> ()
+  | Some floor ->
+      (* saturation gate: at the highest offered load (deep overload),
+         every policy must still push at least [floor] committed
+         processes per unit of virtual time — shedding, not collapsing *)
+      List.iter
+        (fun (policy, points) ->
+          let worst =
+            List.fold_left
+              (fun acc p -> if p.s_rate >= 8.0 then min acc p.s_goodput else acc)
+              infinity points
+          in
+          if worst < floor then begin
+            Format.printf
+              "P15 SMOKE FAILED: policy %s goodput %.2f/s under overload < floor \
+               %.2f/s@."
+              policy worst floor;
+            exit 1
+          end
+          else
+            Format.printf "P15 smoke ok: policy %s goodput %.2f/s >= floor %.2f/s@."
+              policy worst floor)
+        curves
+
 let () =
   if Array.length Sys.argv > 1 && Sys.argv.(1) = "p11" then begin
     Format.printf "Transactional Process Management — experiment harness@.";
@@ -1473,6 +1740,11 @@ let () =
   if Array.length Sys.argv > 1 && Sys.argv.(1) = "p14" then begin
     Format.printf "Transactional Process Management — experiment harness@.";
     p14_main (List.tl (List.tl (Array.to_list Sys.argv)));
+    exit 0
+  end;
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "p15" then begin
+    Format.printf "Transactional Process Management — experiment harness@.";
+    p15_main (List.tl (List.tl (Array.to_list Sys.argv)));
     exit 0
   end;
   Format.printf "Transactional Process Management — experiment harness@.";
@@ -1491,6 +1763,7 @@ let () =
   ignore (section_p11 ~json:"bench/BENCH_P11.json" ());
   ignore (section_p12 ~json:"bench/BENCH_P12.json" ());
   ignore (section_p14 ~json:"bench/BENCH_P14.json" ());
+  ignore (section_p15 ~json:"bench/BENCH_P15.json" ());
   Format.printf "@.%s@." rule;
   Format.printf "scenario reproduction: %s@." (if ok then "ALL REPRODUCED" else "FAILURES ABOVE");
   if not ok then exit 1

@@ -3,6 +3,7 @@
      tpm paper               reproduce the paper's worked examples
      tpm cim                 run the CIM scenario of figure 1
      tpm random [options]    run a random workload and report metrics
+     tpm serve [options]     open-world server over a Unix socket
      tpm check FILE          not provided: schedules come from the library
 
    See README.md for the full tour. *)
@@ -207,6 +208,68 @@ let run_dot path =
       | None -> ());
       0
 
+(* --- tpm serve --- *)
+
+let run_serve socket_path policy max_live queue_capacity deadline conflict_density
+    fail_rate seed =
+  match Tpm_server.Server.policy_of_string policy with
+  | None ->
+      Format.eprintf "tpm serve: unknown overload policy %S (reject|queue|degrade)@." policy;
+      2
+  | Some policy ->
+      let module Server = Tpm_server.Server in
+      let params = { Generator.default_params with conflict_density } in
+      let rms = Generator.rms params ~fail_prob:(fun _ -> fail_rate) ~seed () in
+      let spec = Generator.spec params in
+      let config = { Scheduler.default_config with seed } in
+      let sched = Scheduler.create ~config ~spec ~rms () in
+      let scfg =
+        {
+          Server.default_config with
+          policy;
+          max_live;
+          queue_capacity;
+          default_deadline = deadline;
+        }
+      in
+      let srv = Server.create ~config:scfg sched in
+      if Sys.file_exists socket_path then Sys.remove socket_path;
+      let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind sock (Unix.ADDR_UNIX socket_path);
+      Unix.listen sock 8;
+      let stop = ref false in
+      let on_signal _ = stop := true in
+      Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+      Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+      Format.printf "tpm serve: listening on %s (policy %s, window %d, queue %d)@."
+        socket_path (Server.policy_label policy) max_live queue_capacity;
+      Format.printf "  send Lang documents terminated by a '.' line, e.g.:@.";
+      Format.printf "    printf 'process 1 {\\n  1 svc0 retriable @@ss0\\n}\\n.\\n' | nc -U %s@."
+        socket_path;
+      (try
+         while not !stop do
+           match Unix.accept sock with
+           | fd, _ ->
+               (try Server.handle_connection srv fd
+                with e ->
+                  Format.eprintf "tpm serve: connection error: %s@." (Printexc.to_string e));
+               Unix.close fd
+           | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+         done
+       with Unix.Unix_error (Unix.EBADF, _, _) -> ());
+      Format.printf "@.tpm serve: draining (stop intake, settle in-flight, seal WAL)...@.";
+      Server.drain srv;
+      let c = Server.counters srv in
+      Format.printf
+        "tpm serve: done.  offered=%d admitted=%d rejected=%d expired=%d degraded=%d@."
+        c.Server.offered c.Server.admitted c.Server.rejected c.Server.expired
+        c.Server.degraded;
+      verdict "shed accounting exact" (Server.accounting_ok srv);
+      verdict "in-flight settled" (Scheduler.finished sched);
+      (try Unix.close sock with _ -> ());
+      (try Sys.remove socket_path with _ -> ());
+      0
+
 (* --- systematic interleaving exploration (DPOR-lite) --- *)
 
 let run_explore list_scenarios scenario no_prune max_branches trace_out replay
@@ -329,6 +392,45 @@ let dot_cmd =
   Cmd.v (Cmd.info "dot" ~doc:"Render a .tpm document as Graphviz DOT")
     Term.(const run_dot $ file_arg)
 
+let serve_cmd =
+  let socket =
+    Arg.(
+      value & opt string "/tmp/tpm.sock"
+      & info [ "socket" ] ~docv:"PATH" ~doc:"Unix socket to listen on")
+  in
+  let policy =
+    Arg.(
+      value & opt string "queue"
+      & info [ "policy" ] ~docv:"POLICY" ~doc:"Overload policy: reject, queue or degrade")
+  in
+  let max_live =
+    Arg.(value & opt int 32 & info [ "max-live" ] ~doc:"In-flight admission window")
+  in
+  let queue_capacity =
+    Arg.(value & opt int 64 & info [ "queue-capacity" ] ~doc:"Bounded admission queue size")
+  in
+  let deadline =
+    Arg.(
+      value & opt float 10.0
+      & info [ "deadline" ] ~doc:"Virtual-time budget before a queued submission is shed")
+  in
+  let density =
+    Arg.(value & opt float 0.2 & info [ "conflicts" ] ~doc:"Conflict density in [0,1]")
+  in
+  let fail_rate =
+    Arg.(value & opt float 0.0 & info [ "failures" ] ~doc:"Failure injection rate in [0,1]")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed") in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the open-world process server: accept Lang documents over a Unix \
+          socket under a bounded admission window with an explicit overload \
+          policy; SIGTERM/SIGINT drains gracefully")
+    Term.(
+      const run_serve $ socket $ policy $ max_live $ queue_capacity $ deadline $ density
+      $ fail_rate $ seed)
+
 let explore_cmd =
   let list_scenarios =
     Arg.(value & flag & info [ "list" ] ~doc:"List the built-in scenarios")
@@ -385,4 +487,4 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group (Cmd.info "tpm" ~doc)
-          [ paper_cmd; cim_cmd; random_cmd; check_cmd; dot_cmd; explore_cmd ]))
+          [ paper_cmd; cim_cmd; random_cmd; check_cmd; dot_cmd; serve_cmd; explore_cmd ]))

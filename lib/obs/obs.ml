@@ -49,6 +49,11 @@ type event =
       (** free-form protocol trace line; lazy for the same reason as
           [Msg.payload] — ring-only tracing never renders it *)
   | Choice of { tag : string; arity : int; chosen : int }
+  | Arrival of { pid : int }
+  | Shed of { pid : int; why : string }
+  | Degraded of { pid : int; pruned : int }
+  | Breaker of { subsystem : string; state : string }
+  | Drain of { stage : string }
 
 let reason_label = function
   | Clear -> "clear"
@@ -115,6 +120,13 @@ let pp_event fmt = function
   | Note s -> Format.pp_print_string fmt (Lazy.force s)
   | Choice { tag; arity; chosen } ->
       Format.fprintf fmt "choice %s %d/%d" tag chosen arity
+  | Arrival { pid } -> Format.fprintf fmt "arrival P_%d" pid
+  | Shed { pid; why } -> Format.fprintf fmt "shed P_%d (%s)" pid why
+  | Degraded { pid; pruned } ->
+      Format.fprintf fmt "degraded P_%d (pruned %d preferred activities)" pid pruned
+  | Breaker { subsystem; state } ->
+      Format.fprintf fmt "breaker %s -> %s" subsystem state
+  | Drain { stage } -> Format.fprintf fmt "drain: %s" stage
 
 (* the process a timeline event belongs to, for the Chrome export lanes *)
 let pid_of = function
@@ -123,11 +135,14 @@ let pid_of = function
   | Occurrence { pid; _ }
   | Prepared { pid; _ }
   | Backoff { pid; _ }
-  | Deflect { pid; _ } ->
+  | Deflect { pid; _ }
+  | Arrival { pid; _ }
+  | Shed { pid; _ }
+  | Degraded { pid; _ } ->
       Some pid
   | Commit pid | Abort pid -> Some pid
   | Group_abort _ | Msg _ | Wal_append _ | Wal_fsync _ | Wal_salvage _ | Recovery_step _
-  | Note _ | Choice _ ->
+  | Note _ | Choice _ | Breaker _ | Drain _ ->
       None
 
 let kind_label = function
@@ -147,6 +162,11 @@ let kind_label = function
   | Recovery_step _ -> "recovery_step"
   | Note _ -> "note"
   | Choice _ -> "choice"
+  | Arrival _ -> "arrival"
+  | Shed _ -> "shed"
+  | Degraded _ -> "degraded"
+  | Breaker _ -> "breaker"
+  | Drain _ -> "drain"
 
 (* --- minimal JSON emission (no external dependency) --- *)
 
@@ -240,6 +260,11 @@ let json_fields ev =
   | Note s -> [ str "note" (Lazy.force s) ]
   | Choice { tag; arity; chosen } ->
       [ str "tag" tag; int "arity" arity; int "chosen" chosen ]
+  | Arrival { pid } -> [ int "pid" pid ]
+  | Shed { pid; why } -> [ int "pid" pid; str "why" why ]
+  | Degraded { pid; pruned } -> [ int "pid" pid; int "pruned" pruned ]
+  | Breaker { subsystem; state } -> [ str "subsystem" subsystem; str "state" state ]
+  | Drain { stage } -> [ str "stage" stage ]
 
 let event_json ts ev =
   Printf.sprintf "{\"ts\":%.9g,%s}" ts (String.concat "," (json_fields ev))

@@ -66,6 +66,20 @@ type event =
       (** a recorded controlled-nondeterminism decision
           ({!Tpm_sim.Choice} under a driven strategy): which of [arity]
           options the strategy selected at the named choice point *)
+  | Arrival of { pid : int }
+      (** an open-world submission reached the server front door *)
+  | Shed of { pid : int; why : string }
+      (** the server refused the submission ([why] is the typed reject /
+          expiry reason label) *)
+  | Degraded of { pid : int; pruned : int }
+      (** the server admitted the submission via its alternative branch,
+          pruning [pruned] preferred activities *)
+  | Breaker of { subsystem : string; state : string }
+      (** a per-subsystem circuit breaker changed state
+          (closed / open / half-open) *)
+  | Drain of { stage : string }
+      (** graceful-drain progress (intake stopped, in-flight settled,
+          WAL sealed) *)
 
 val pp_event : Format.formatter -> event -> unit
 val pid_of : event -> int option

@@ -222,6 +222,10 @@ type t = {
   logf : Wal.record -> unit;
   mutable ckpt_seq : int;  (* fuzzy checkpoint ids, unique per scheduler *)
   obs : Obs.Tracer.t;  (* per-instance tracer: no state leaks across schedulers *)
+  mutable subsys_observer : (subsystem:string -> ok:bool -> unit) option;
+      (* availability feedback for the serving layer's circuit breakers:
+         [ok:false] on Unavailable / invocation timeout, [ok:true] on a
+         successful subsystem answer *)
 }
 
 let tracer t = t.obs
@@ -430,10 +434,13 @@ let create ?(config = default_config) ?(faults = Faults.none)
     logf;
     ckpt_seq = 0;
     obs;
+    subsys_observer = None;
   }
 
 let now t = Des.now t.sim
+let sim t = t.sim
 let metrics t = t.metrics
+let set_subsystem_observer t f = t.subsys_observer <- Some f
 let wal_records t = Wal.records t.wal
 let is_crashed t = !(t.crashed)
 let msg_deliveries t = Bus.deliveries t.bus
@@ -443,6 +450,14 @@ let rm_of t (a : Activity.t) =
   match Hashtbl.find_opt t.rms a.subsystem with
   | Some rm -> rm
   | None -> invalid_arg (Printf.sprintf "Scheduler: unknown subsystem %s" a.subsystem)
+
+let subsystems t =
+  List.sort compare (Hashtbl.fold (fun name _ acc -> name :: acc) t.rms [])
+
+let notify_subsys t rm ~ok =
+  match t.subsys_observer with
+  | None -> ()
+  | Some f -> f ~subsystem:(Rm.name rm) ~ok
 
 let pstates t = t.plist
 
@@ -454,6 +469,9 @@ let pstates t = t.plist
 let bump t = t.latent_cache <- None
 
 let live ps = ps.phase <> Done
+
+let live_count t =
+  List.fold_left (fun n ps -> if live ps then n + 1 else n) 0 t.plist
 
 let duration t (a : Activity.t) =
   let mean = t.cfg.service_time a.Activity.service in
@@ -614,6 +632,19 @@ let inflight_conflict t ps service =
   match ps.inflight with
   | None -> false
   | Some act -> services_conflict t service (Process.find ps.proc act).Activity.service
+
+(* How many live processes hold state conflicting with [service]: an
+   occurrence (tested against the cached conflict closure) or a
+   conflicting in-flight invocation.  The serving layer probes this to
+   decide whether a submission's preferred branch is saturated. *)
+let service_pressure t service =
+  let id = sid t service in
+  List.fold_left
+    (fun n ps ->
+      if live ps && (Bitset.mem ps.occ_conf id || inflight_conflict t ps service) then
+        n + 1
+      else n)
+    0 t.plist
 
 let placed_act ps =
   match ps.phase with
@@ -1436,6 +1467,7 @@ and on_activity_timeout t pid act how =
             let attempt = next_attempt t pid act in
             tracef t "timeout P%d a%d" pid act;
             Metrics.incr t.metrics "timeouts";
+            notify_subsys t rm ~ok:false;
             retry_or_degrade t ps act how ~rm ~a ~attempt)
 
 (* A transient failure (injected failure or timeout): retriables always
@@ -1509,6 +1541,7 @@ and on_activity_done t pid act how =
           in
           match outcome with
           | Rm.Committed _ ->
+              notify_subsys t rm ~ok:true;
               log t (Wal.Invoked { pid; act });
               emit t (Schedule.Act (Activity.Forward a));
               ps.exec <- Execution.exec ps.exec act;
@@ -1516,6 +1549,7 @@ and on_activity_done t pid act how =
               Metrics.incr t.metrics "activities";
               wake t
           | Rm.Prepared _ ->
+              notify_subsys t rm ~ok:true;
               log t (Wal.Prepared { pid; act });
               bump t;
               ps.phase <- Blocked_2pc { act; token };
@@ -1530,6 +1564,7 @@ and on_activity_done t pid act how =
           | Rm.Unavailable ->
               tracef t "unavailable P%d a%d" pid act;
               Metrics.incr t.metrics "unavailable";
+              notify_subsys t rm ~ok:false;
               if Activity.retriable a || not t.cfg.outage_degrade then begin
                 (* a retriable activity is guaranteed to succeed
                    eventually (Definition 3): ride out the outage with

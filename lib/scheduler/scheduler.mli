@@ -192,6 +192,33 @@ val run : ?until:float -> t -> unit
 (** Drives the simulation until quiescence (or the time horizon). *)
 
 val now : t -> float
+
+val sim : t -> Tpm_sim.Des.t
+(** The scheduler's discrete-event simulation.  The serving layer
+    ({!Tpm_server.Server}) schedules its own arrival, shed-scan and
+    drain events on the same virtual clock, so server runs stay
+    deterministic and explorable. *)
+
+val live_count : t -> int
+(** Processes submitted but not yet terminal — the server's in-flight
+    window occupancy. *)
+
+val service_pressure : t -> string -> int
+(** How many live processes hold state conflicting with the service: a
+    committed occurrence (tested against the cached conflict closure) or
+    a conflicting in-flight invocation.  The serving layer's saturation
+    probe for the [Degrade] overload policy. *)
+
+val subsystems : t -> string list
+(** Names of the registered resource managers, sorted — the server
+    validates untrusted submissions against it before admission. *)
+
+val set_subsystem_observer : t -> (subsystem:string -> ok:bool -> unit) -> unit
+(** Installs an availability observer: called with [ok:false] on every
+    [Rm.Unavailable] answer and client-side invocation timeout, and
+    [ok:true] on every successful (committed or prepared) answer.  The
+    server's per-subsystem circuit breakers feed on it. *)
+
 val history : t -> Tpm_core.Schedule.t
 (** The schedule emitted so far: committed occurrences, compensations,
     completion activities, and terminal events. *)

@@ -25,6 +25,11 @@ let after_cancellable sim delay f =
   Heap.push sim.queue ~key:(sim.clock +. delay) cell;
   fun () -> cell.live <- false
 
+let every sim ~period f =
+  if period <= 0.0 then invalid_arg "Des.every: period must be positive";
+  let rec tick sim = if f sim then at sim (sim.clock +. period) tick in
+  at sim (sim.clock +. period) tick
+
 let run ?(until = infinity) sim =
   let rec loop () =
     match Heap.peek_key sim.queue with

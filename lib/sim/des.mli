@@ -21,6 +21,12 @@ val after_cancellable : t -> float -> (t -> unit) -> unit -> unit
     speculative timers (retransmission, in-doubt inquiry) do not stretch
     the virtual timeline of runs that never need them. *)
 
+val every : t -> period:float -> (t -> bool) -> unit
+(** [every sim ~period f] runs [f] once per [period] of virtual time
+    (first firing one period from now) for as long as [f] returns [true].
+    Returning [false] stops the series; no event stays queued, so a
+    stopped ticker never holds the simulation away from quiescence. *)
+
 val run : ?until:float -> t -> unit
 (** Processes events until the queue is empty or virtual time would exceed
     [until]. *)

@@ -159,3 +159,52 @@ let process ?(seed = 3) params ~pid =
   Process.make_exn ~pid ~activities:(List.rev !acts) ~prec:!prec ~pref:!pref
 
 let batch ?(seed = 3) params ~n = List.init n (fun i -> process ~seed params ~pid:(i + 1))
+
+(* --- open-loop arrivals --- *)
+
+type arrival_pattern =
+  | Poisson
+  | Bursty of { burst : int; spread : float }
+
+(* The arrival stream draws from its own PRNG so the offered-load script
+   is independent of the per-process structure seeds: the same (seed,
+   rate, horizon, pattern) always yields the same submission script, and
+   process [pid] is the same process it would be in a closed [batch]. *)
+let arrivals ?(seed = 3) ?(pattern = Poisson) params ~rate ~horizon =
+  if rate <= 0.0 then invalid_arg "Generator.arrivals: rate must be positive";
+  if horizon < 0.0 then invalid_arg "Generator.arrivals: negative horizon";
+  let rng = Prng.create (seed + 771_237) in
+  let acc = ref [] and pid = ref 0 and t = ref 0.0 in
+  let push at =
+    incr pid;
+    acc := (at, process ~seed params ~pid:!pid) :: !acc
+  in
+  (match pattern with
+  | Poisson ->
+      let mean = 1.0 /. rate in
+      let rec loop () =
+        t := !t +. Prng.exponential rng ~mean;
+        if !t <= horizon then begin
+          push !t;
+          loop ()
+        end
+      in
+      loop ()
+  | Bursty { burst; spread } ->
+      (* same average offered load, delivered as back-to-back volleys of
+         [burst] submissions [spread] apart — the tail-stress pattern *)
+      let burst = max 1 burst in
+      if spread < 0.0 then invalid_arg "Generator.arrivals: negative spread";
+      let mean = float_of_int burst /. rate in
+      let rec loop () =
+        t := !t +. Prng.exponential rng ~mean;
+        if !t <= horizon then begin
+          for k = 0 to burst - 1 do
+            let at = !t +. (spread *. float_of_int k) in
+            if at <= horizon then push at
+          done;
+          loop ()
+        end
+      in
+      loop ());
+  List.rev !acc

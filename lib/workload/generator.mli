@@ -34,3 +34,24 @@ val process : ?seed:int -> params -> pid:int -> Tpm_core.Process.t
 
 val batch : ?seed:int -> params -> n:int -> Tpm_core.Process.t list
 (** [n] processes with pids [1..n]. *)
+
+(** Shape of an open-loop arrival stream. *)
+type arrival_pattern =
+  | Poisson  (** exponential inter-arrival times at the offered rate *)
+  | Bursty of { burst : int; spread : float }
+      (** volleys of [burst] submissions [spread] apart, burst gaps
+          exponential — same average offered load, heavier tail *)
+
+val arrivals :
+  ?seed:int ->
+  ?pattern:arrival_pattern ->
+  params ->
+  rate:float ->
+  horizon:float ->
+  (float * Tpm_core.Process.t) list
+(** Open-loop submission script at fixed offered load [rate] (processes
+    per unit of virtual time) up to [horizon]: arrival times paired with
+    the process to submit, pids assigned 1.. in arrival order.  The
+    stream draws from its own PRNG stream, so it is deterministic in
+    [(seed, pattern, rate, horizon)] and — unlike a closed loop — never
+    slows down when the server backs up. *)

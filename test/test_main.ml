@@ -22,4 +22,5 @@ let () =
       ("sot", Test_sot.suite);
       ("lang", Test_lang.suite);
       ("composite", Test_composite.suite);
+      ("server", Test_server.suite);
     ]

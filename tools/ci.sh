@@ -54,6 +54,20 @@ dune exec tools/crashsweep.exe -- --disk-only
 # the on-disk log must load clean and match the in-memory record stream
 dune exec tools/stress.exe -- --seeds 41-45 --fail-rates 0.1 --sync-policy group:0.2
 dune exec tools/stress.exe -- --seeds 41-43 --sync-policy each
+# server-mode stress: open-loop arrivals against the bounded-admission
+# server under every overload policy; checks shed accounting, drain, and
+# that the final stores equal a closed-batch run of the admitted subset
+dune exec tools/stress.exe -- --serve --seeds 41-48
+# server crash sweep: kill the scheduler at EVERY server-loop step
+# (arrival decisions, enqueues, deadline sheds, queue pumps, all four
+# drain stages) for every policy, and recover through the full oracle
+# suite replaying exactly the admitted (possibly degraded) processes
+dune exec tools/crashsweep.exe -- --serve-only
+# p15 smoke: under deep overload (>= 8x the admission window's capacity)
+# every policy must keep pushing committed work — shed, never collapse —
+# with the shed-accounting invariant exact at every measured point
+# (offered = admitted + rejected + expired + degraded, queue drained)
+dune exec bench/main.exe -- p15 --quick --min-goodput 0.3
 # perf smoke: admission throughput at the quick scales must stay within
 # 5x of the recorded floor (~25k admissions/s at 32 processes)
 dune exec bench/main.exe -- p11 --quick --min-throughput 5000
@@ -68,5 +82,5 @@ dune exec bench/main.exe -- p12 --quick --max-overhead 0.20
 # and above an absolute floor; measured ~210k rec/s vs the 20k floor)
 dune exec bench/main.exe -- p14 --quick --min-throughput 20000
 # full bench regenerates the reference output, bench/BENCH_P11.json,
-# bench/BENCH_P12.json and bench/BENCH_P14.json
+# bench/BENCH_P12.json, bench/BENCH_P14.json and bench/BENCH_P15.json
 dune exec bench/main.exe > bench/bench_output.txt 2>&1

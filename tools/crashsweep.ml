@@ -475,8 +475,94 @@ let disk_sweep ~seed ~mode_name ~mode ~stride ~flip_stride =
     seed mode_name !torn_points !flip_points (List.length lie_ks) !failures;
   !failures
 
+(* ------------------------------------------------------------------ *)
+(* Axis 4: crash at every server-loop step of an open-world serving run.
+   The driver plays an open-loop arrival script into the bounded-admission
+   server, runs partway, then drains — so the step counter walks through
+   arrival decisions, enqueues, deadline sheds, queue pumps and all four
+   drain stages.  A hook kills the scheduler at each step in turn; the
+   recovered image must satisfy the full oracle suite, replaying exactly
+   the processes the server admitted (degraded variants included — under
+   [Degrade] the admitted process is not the offered one). *)
+
+module Server = Tpm_server.Server
+
+let serve_policies =
+  [
+    ("reject", Server.Reject);
+    ("queue", Server.Queue);
+    ("degrade", Server.Degrade);
+  ]
+
+let serve_config seed = { Scheduler.default_config with seed }
+let serve_script seed = Generator.arrivals params ~seed:(seed * 100) ~rate:3.0 ~horizon:6.0
+
+let make_server ~seed ~policy ~crash_at =
+  let rms = fresh_rms seed in
+  let sched =
+    Scheduler.create ~config:(serve_config seed) ~tracer:(mk_tracer ())
+      ~spec:(Generator.spec params) ~rms ()
+  in
+  let srv =
+    Server.create
+      ~config:
+        {
+          Server.default_config with
+          policy;
+          max_live = 2;
+          queue_capacity = 4;
+          default_deadline = 2.0;
+          scan_period = 0.5;
+        }
+      sched
+  in
+  (match crash_at with
+  | Some k ->
+      Server.set_step_hook srv (fun ~stage:_ ~step ->
+          if step = k then ignore (Scheduler.crash sched))
+  | None -> ());
+  (sched, srv, rms)
+
+let serve_drive srv script =
+  Server.play srv script;
+  Server.run ~until:3.0 srv;
+  Server.drain srv
+
+let serve_sweep ~seed ~policy_name ~policy ~stride =
+  let script = serve_script seed in
+  let sched0, srv0, _ = make_server ~seed ~policy ~crash_at:None in
+  serve_drive srv0 script;
+  if not (Scheduler.finished sched0) then
+    failwith (Printf.sprintf "crashsweep: server baseline seed=%d did not finish" seed);
+  let nsteps = Server.steps srv0 in
+  let failures = ref 0 in
+  let points = ref 0 in
+  let k = ref 1 in
+  while !k <= nsteps do
+    let kk = !k in
+    incr points;
+    let complain name =
+      incr failures;
+      Format.printf "seed=%d policy=%s serve-crash@%d: %s@." seed policy_name kk name
+    in
+    let check name cond = if not cond then complain name in
+    let sched, srv, rms = make_server ~seed ~policy ~crash_at:(Some kk) in
+    serve_drive srv script;
+    check "crash trigger did not fire" (Scheduler.is_crashed sched);
+    check "shed accounting violated at the crash point" (Server.accounting_ok srv);
+    recover_and_check ~complain ~check ~config:(serve_config seed)
+      ~spec:(Generator.spec params) ~rms ~procs:(Server.admitted_procs srv) ~seed
+      (Scheduler.wal_records sched);
+    k := !k + stride
+  done;
+  Format.printf
+    "crashsweep: seed=%d policy=%s server axis: %d of %d crash points, %d failures@."
+    seed policy_name !points nsteps !failures;
+  !failures
+
 let () =
   let disk_only = Array.exists (( = ) "--disk-only") Sys.argv in
+  let serve_only = Array.exists (( = ) "--serve-only") Sys.argv in
   let failures =
     if disk_only then
       (* full-coverage disk sweep: every crash point, every byte *)
@@ -486,6 +572,15 @@ let () =
             (fun acc (mode_name, mode) ->
               acc + disk_sweep ~seed ~mode_name ~mode ~stride:1 ~flip_stride:1)
             acc modes)
+        0 seeds
+    else if serve_only then
+      (* full-coverage server sweep: every seed, every policy, every step *)
+      List.fold_left
+        (fun acc seed ->
+          List.fold_left
+            (fun acc (policy_name, policy) ->
+              acc + serve_sweep ~seed ~policy_name ~policy ~stride:1)
+            acc serve_policies)
         0 seeds
     else
       List.fold_left
@@ -498,6 +593,10 @@ let () =
          sweep runs behind [--disk-only] in CI *)
       + disk_sweep ~seed:11 ~mode_name:"conservative" ~mode:Scheduler.Conservative ~stride:2
           ~flip_stride:13
+      (* strided server axis likewise; the full sweep runs behind
+         [--serve-only] in CI *)
+      + serve_sweep ~seed:11 ~policy_name:"queue" ~policy:Server.Queue ~stride:3
+      + serve_sweep ~seed:12 ~policy_name:"degrade" ~policy:Server.Degrade ~stride:5
   in
   if failures = 0 then Format.printf "crashsweep: all crash points recovered@."
   else Format.printf "crashsweep: %d FAILURES@." failures;

@@ -14,6 +14,7 @@
      --msg-faults 0.05 *)
 open Tpm_core
 module Scheduler = Tpm_scheduler.Scheduler
+module Server = Tpm_server.Server
 module Generator = Tpm_workload.Generator
 module Faults = Tpm_sim.Faults
 module Prng = Tpm_sim.Prng
@@ -50,6 +51,9 @@ let parse_seeds s =
       List.init (hi - lo + 1) (fun k -> lo + k)
   | None -> List.map int (split_commas s)
 
+let serve_mode = ref false
+let offered_loads = ref [ 2.0; 8.0 ]
+let overload_policies = ref [ "reject"; "queue"; "degrade" ]
 let seeds = ref (parse_seeds "41-120")
 let modes = ref [ "conservative"; "deferred"; "quasi" ]
 let fail_rates = ref [ 0.0; 0.1; 0.3 ]
@@ -140,12 +144,154 @@ let speclist =
       "P mirror every run's WAL to disk under sync policy none|each|group:W \
        (e.g. group:0.2) and cross-check the on-disk image against memory \
        after each run (default: in-memory log only)" );
+    ( "--serve",
+      Arg.Set serve_mode,
+      " server-mode stress: drive the open-world server with open-loop \
+       arrival scripts instead of closed batches; checks the shed-accounting \
+       invariant, drain, and that the final stores equal a closed-batch run \
+       of exactly the admitted subset" );
+    ( "--offered-load",
+      Arg.String
+        (fun s ->
+          let l = parse_floats s in
+          List.iter
+            (fun r -> if r <= 0.0 then raise (Arg.Bad "offered load must be positive"))
+            l;
+          offered_loads := l),
+      "LIST offered loads (arrivals per unit virtual time) for --serve \
+       (default 2.0,8.0)" );
+    ( "--overload-policy",
+      Arg.String
+        (fun s ->
+          let l = split_commas s in
+          List.iter
+            (fun p ->
+              if Server.policy_of_string p = None then
+                raise (Arg.Bad (Printf.sprintf "unknown overload policy %S" p)))
+            l;
+          overload_policies := l),
+      "LIST overload policies among reject,queue,degrade for --serve \
+       (default all)" );
   ]
+
+(* --- server-mode stress ---
+
+   Open-loop arrivals against the bounded-admission server.  Fault-free on
+   purpose: the oracle is that serving is {e transparent} — the subsystem
+   stores after a served run must equal a closed-batch run of exactly the
+   processes the server admitted (degraded variants included).  Overload
+   may shed work; it must never corrupt what was admitted. *)
+let serve_stress () =
+  let failures = ref 0 in
+  let runs = ref 0 in
+  List.iter
+    (fun seed ->
+      List.iter
+        (fun policy_name ->
+          let policy = Option.get (Server.policy_of_string policy_name) in
+          List.iter
+            (fun rate ->
+              incr runs;
+              let params =
+                { Generator.default_params with services = 8; conflict_density = 0.4 }
+              in
+              let spec = Generator.spec params in
+              let config = { Scheduler.default_config with seed } in
+              let mk_tracer () =
+                if !trace_ring then Obs.Tracer.create ~ring_capacity:256 ()
+                else Obs.Tracer.disabled
+              in
+              let rms = Generator.rms params ~seed () in
+              let sched =
+                Scheduler.create ~config ~tracer:(mk_tracer ()) ~spec ~rms ()
+              in
+              let srv =
+                Server.create
+                  ~config:
+                    {
+                      Server.default_config with
+                      policy;
+                      max_live = 4;
+                      queue_capacity = 8;
+                      default_deadline = 4.0;
+                    }
+                  sched
+              in
+              let horizon = 20.0 in
+              let script =
+                Generator.arrivals params ~seed:(seed * 100) ~rate ~horizon
+              in
+              let repro () =
+                Printf.sprintf "seed=%d serve policy=%s load=%.1f" seed policy_name
+                  rate
+              in
+              let dump_forensics () =
+                if !trace_ring then Scheduler.forensics Format.std_formatter sched
+              in
+              (try
+                 Server.play srv script;
+                 Server.run srv;
+                 Server.drain srv
+               with e ->
+                 incr failures;
+                 Format.printf "%s EXCEPTION %s@." (repro ()) (Printexc.to_string e);
+                 dump_forensics ());
+              let c = Server.counters srv in
+              let h = Scheduler.history sched in
+              let ok_finished = Scheduler.finished sched in
+              let ok_legal = Schedule.legal h in
+              let ok_pred = Criteria.pred h in
+              let ok_account = Server.accounting_ok srv in
+              let ok_offered = c.Server.offered = List.length script in
+              let ok_tokens = List.for_all (fun rm -> Rm.prepared_tokens rm = []) rms in
+              if
+                not
+                  (ok_finished && ok_legal && ok_pred && ok_account && ok_offered
+                 && ok_tokens)
+              then begin
+                incr failures;
+                Format.printf
+                  "%s finished=%b legal=%b pred=%b accounting=%b offered=%b tokens=%b@."
+                  (repro ()) ok_finished ok_legal ok_pred ok_account ok_offered
+                  ok_tokens;
+                dump_forensics ()
+              end;
+              (* the transparency oracle: closed-batch twin of the admitted
+                 subset (fault-free, so every admitted process commits in
+                 both worlds and the stores must agree exactly) *)
+              let admitted = Server.admitted_procs srv in
+              let rms0 = Generator.rms params ~seed () in
+              let t0 = Scheduler.create ~config ~spec ~rms:rms0 () in
+              List.iteri
+                (fun i p -> Scheduler.submit t0 ~at:(0.4 *. float_of_int i) p)
+                admitted;
+              (try Scheduler.run ~until:100000.0 t0
+               with e ->
+                 incr failures;
+                 Format.printf "%s TWIN-EXCEPTION %s@." (repro ())
+                   (Printexc.to_string e));
+              let same =
+                List.for_all2
+                  (fun rm rm0 -> Store.equal_state (Rm.store rm) (Rm.store rm0))
+                  rms rms0
+              in
+              if not same then begin
+                incr failures;
+                Format.printf "%s STORE-DIVERGENCE from closed-batch twin (%d admitted)@."
+                  (repro ()) (List.length admitted);
+                dump_forensics ()
+              end)
+            !offered_loads)
+        !overload_policies)
+    !seeds;
+  Format.printf "stress --serve: %d runs, %d failures@." !runs !failures;
+  exit (if !failures = 0 then 0 else 1)
 
 let () =
   Arg.parse speclist
     (fun s -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" s)))
     "stress [options]";
+  if !serve_mode then serve_stress ();
   let failures = ref 0 in
   let runs = ref 0 in
   List.iter
