@@ -38,6 +38,12 @@ let instance_effect_free spec i =
 let pairs spec = Pair_set.elements spec.conflicting
 let effect_free_services spec = String_set.elements spec.effect_free_services
 
+let union a b =
+  {
+    conflicting = Pair_set.union a.conflicting b.conflicting;
+    effect_free_services = String_set.union a.effect_free_services b.effect_free_services;
+  }
+
 (* Interned, bit-compiled view of the relation: service names are mapped
    to dense ints and the symmetric conflict matrix is materialized as one
    bitset row per service.  [services_conflict] then costs one bit probe

@@ -18,6 +18,11 @@ val add : string -> string -> t -> t
 
 val of_pairs : (string * string) list -> t
 
+val union : t -> t -> t
+(** Pointwise union of two specs (conflict pairs and effect-free sets) —
+    composing the specs of independent workload clusters into the one
+    relation a sharded run partitions by connected component. *)
+
 val services_conflict : t -> string -> string -> bool
 
 val conflicts : t -> Activity.instance -> Activity.instance -> bool

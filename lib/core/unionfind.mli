@@ -1,0 +1,18 @@
+(** Growable disjoint-set forest (union by rank, path halving).
+
+    Elements are dense non-negative ints and spring into existence as
+    singletons on first touch — the structure grows transparently, so
+    callers interning new services never pre-size it.  Union-only: the
+    shard map layered on top handles retirement by periodic rebuild. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+val ensure : t -> int -> unit
+(** Grow to cover element [i]. Implicit in {!find}/{!union}/{!same}. *)
+
+val find : t -> int -> int
+(** Canonical representative of [i]'s set; effectively O(α). *)
+
+val union : t -> int -> int -> unit
+val same : t -> int -> int -> bool

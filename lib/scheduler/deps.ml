@@ -277,6 +277,46 @@ let uncommitted_preds t pid =
   go pid;
   List.sort compare !acc
 
+(* every stored successor of [pid], parked cycle-closing edges included —
+   the scheduler's combined-graph (deps ∪ latent base) DFS walks the live
+   tables instead of copying the adjacency *)
+let iter_succs t pid f =
+  (match Hashtbl.find_opt t.succ pid with
+  | Some h -> Hashtbl.iter (fun j () -> f j) h
+  | None -> ());
+  if Hashtbl.length t.back > 0 then
+    Hashtbl.iter (fun (bi, bj) () -> if bi = pid then f bj) t.back
+
+let succs t pid =
+  let l = ref [] in
+  iter_succs t pid (fun j -> l := j :: !l);
+  !l
+
+(* GC for parked cycle-closing edges both of whose endpoints terminated.
+   Such an edge records a serialization-order violation that is now pure
+   history: a terminated process never gains in-edges again (admission and
+   completion edges always target a live process), so no *new* cycle can
+   route through it — but while parked it forces [would_cycle] to answer
+   [true] for every admission, wedging a long-lived server.  Edges with a
+   live endpoint are kept: they still constrain future admissions.
+   (Aborted endpoints never reach here — [mark_aborted] already drops
+   their edges.)  Returns the number of edges dropped. *)
+let compact t =
+  if Hashtbl.length t.back = 0 then 0
+  else begin
+    let dead pid = status t pid <> Live in
+    let victims =
+      Hashtbl.fold
+        (fun (i, j) () acc -> if dead i && dead j then (i, j) :: acc else acc)
+        t.back []
+    in
+    if victims <> [] then begin
+      List.iter (fun e -> Hashtbl.remove t.back e) victims;
+      t.sorted_edges <- None
+    end;
+    List.length victims
+  end
+
 let live_succs t pid =
   let base =
     match Hashtbl.find_opt t.succ pid with

@@ -53,6 +53,23 @@ val uncommitted_preds : t -> int -> int list
 val live_succs : t -> int -> int list
 (** Live direct successors. *)
 
+val succs : t -> int -> int list
+(** Every direct successor, parked cycle-closing edges included — the
+    adjacency the scheduler's combined-graph (deps ∪ latent base) DFS
+    walks.  May contain duplicates; no status filter. *)
+
+val iter_succs : t -> int -> (int -> unit) -> unit
+(** Allocation-free {!succs} — the admission DFS walks adjacency once per
+    visited node, so it must not build a list per visit. *)
+
+val compact : t -> int
+(** Drop parked cycle-closing edges both of whose endpoints terminated.
+    A terminated process never gains in-edges again, so such an edge can
+    no longer participate in a new cycle — but while parked it forces
+    {!would_cycle} to answer [true] for every admission.  Returns the
+    number of edges dropped; [0] almost always (the parked table is
+    normally empty). *)
+
 val order : t -> int list
 (** The maintained topological order over non-aborted processes —
     serialization-order queries read it off directly.  Meaningful while

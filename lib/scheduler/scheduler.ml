@@ -178,21 +178,58 @@ type pstate = {
 }
 
 (* Candidate-independent part of the latent-edge computation (Section
-   3.5), plus a topological order of the combined graph (stored
-   dependency edges ∪ base latent edges).  Admissions come in bursts —
-   every simulation event retries every waiting process on an unchanged
-   engine state — so the all-pairs scan and the topological sort are paid
-   once per state change ([bump] drops the cache) instead of once per
-   admission; each admission then only contributes the O(n) edges that
-   involve the candidate itself. *)
-type latent_cache = {
-  l_edges : (int * int) list;  (* base latent edges of the current state *)
-  l_qconf : (int, Tpm_core.Bitset.t) Hashtbl.t;
-      (* per-source conflict closure (occurrences ∪ in-flight ∪ prepared) *)
-  l_pos : (int, int) Hashtbl.t option;
-      (* topological position in deps ∪ base; [None] = already cyclic *)
-  l_succ : (int, int list) Hashtbl.t;  (* deps ∪ base adjacency (DFS fallback) *)
+   3.5): per-source conflict closures and per-source latent out-edge
+   sets, maintained *incrementally*.  A mutation of process [p]'s
+   admission-relevant state marks [p] dirty ([bump_pid]); the next
+   admission re-derives only [p]'s closure, [p]'s out-edges and [p]'s
+   membership in every other source's out-set — O(dirty × procs) bitset
+   probes instead of the old drop-everything-and-rescan O(procs²).
+   Structural events that invalidate cached bitsets wholesale (a new
+   service growing the conflict matrix, recovery) set [lt_full].
+
+   The topological order of the combined graph (stored dependency edges
+   ∪ base latent edges) is kept as a Pearce–Kelly-style state machine:
+   [Order_valid pos] survives edge *removals* unconditionally (removing
+   an edge never invalidates a topological order) and survives additions
+   that run forward in [pos]; a backward addition degrades to
+   [Order_stale], resolved by one DFS on the next cycle query.
+   [Order_cyclic] survives additions and degrades to [Order_stale] on
+   removals. *)
+type order_state =
+  | Order_stale  (* recompute on next cycle query *)
+  | Order_cyclic  (* combined graph known cyclic; removals invalidate *)
+  | Order_valid of (int, int) Hashtbl.t
+      (* topological position of every non-aborted process; forward
+         additions keep it, removals keep it, new nodes append at the end *)
+
+type latent = {
+  lt_dirty : (int, unit) Hashtbl.t;  (* pids whose state changed since the last patch *)
+  mutable lt_full : bool;  (* structural invalidation: rebuild everything *)
+  lt_qconf : (int, Tpm_core.Bitset.t) Hashtbl.t;
+      (* per-source conflict closure (occurrences ∪ in-flight ∪ prepared);
+         key set = exactly the current sources (live ∪ committed) *)
+  lt_out : (int, (int, unit) Hashtbl.t) Hashtbl.t;
+      (* per-source latent out-edges into live targets; same key set *)
+  mutable lt_edges : (int * int) list option;  (* memoized flat view of [lt_out] *)
+  mutable lt_ends : int list option;
+      (* memoized sorted endpoint set of the base edges — the Delay path
+         reports blockers as an endpoint set, which must not cost O(edges)
+         per delayed admission *)
+  mutable lt_order : order_state;
+  mutable lt_next_pos : int;  (* append position for newly registered pids *)
 }
+
+let latent_create () =
+  {
+    lt_dirty = Hashtbl.create 16;
+    lt_full = true;
+    lt_qconf = Hashtbl.create 32;
+    lt_out = Hashtbl.create 32;
+    lt_edges = None;
+    lt_ends = None;
+    lt_order = Order_stale;
+    lt_next_pos = 0;
+  }
 
 type t = {
   cfg : config;
@@ -208,7 +245,7 @@ type t = {
   mutable plist : pstate list;  (* the pstates sorted by pid, maintained at register *)
   mutable hist : Schedule.t;  (* the emitted schedule, appended at [emit] *)
   scratch : Tpm_core.Bitset.t;  (* per-admission working set (single-threaded) *)
-  mutable latent_cache : latent_cache option;  (* dropped by [bump] *)
+  latent : latent;  (* incrementally maintained latent base *)
   mutable rev_events : Schedule.event list;
   metrics : Metrics.t;
   attempts : (int * int, int) Hashtbl.t;
@@ -422,7 +459,7 @@ let create ?(config = default_config) ?(faults = Faults.none)
     plist = [];
     hist = Schedule.make ~spec ~procs:[] [];
     scratch = Bitset.create ();
-    latent_cache = None;
+    latent = latent_create ();
     rev_events = [];
     metrics;
     attempts = Hashtbl.create 64;
@@ -461,12 +498,45 @@ let notify_subsys t rm ~ok =
 
 let pstates t = t.plist
 
-(* every mutation of admission-relevant state (occurrences, in-flight /
+(* Every mutation of admission-relevant state (occurrences, in-flight /
    prepared activities, execution steps, pending completions, phases,
-   terminations, dependency edges, registrations) must drop the cached
-   latent base; the differential stress (--check-admission) would catch a
-   missed site as an engine divergence *)
-let bump t = t.latent_cache <- None
+   terminations, registrations) must mark the mutated process dirty —
+   the next admission re-derives exactly its latent contribution.  The
+   differential stress (--check-admission) and {!latent_self_check}
+   would catch a missed site as an engine divergence. *)
+let bump_pid t pid =
+  if not t.latent.lt_full then Hashtbl.replace t.latent.lt_dirty pid ()
+
+(* structural invalidation: cached closures embed conflict-matrix rows,
+   so anything that mutates existing rows (late service interning) or
+   rebuilds the world (recovery) must drop the whole base *)
+let bump t = t.latent.lt_full <- true
+
+(* A dependency edge joined the combined graph the topological order is
+   maintained over.  Forward in a valid order: nothing to do.  Backward
+   (or an endpoint unknown): the order is stale.  A parked cycle-closing
+   edge always runs backward — deps alone already contain the opposite
+   path — so it degrades to stale here and the next resolution answers
+   cyclic, matching the from-scratch build. *)
+let latent_dep_added t i j =
+  match t.latent.lt_order with
+  | Order_stale | Order_cyclic -> ()  (* additions cannot uncycle *)
+  | Order_valid pos -> (
+      match (Hashtbl.find_opt pos i, Hashtbl.find_opt pos j) with
+      | Some pi, Some pj when pi < pj -> ()
+      | _ -> t.latent.lt_order <- Order_stale)
+
+(* A dependency edge left the combined graph (process abort, parked-edge
+   GC).  A valid topological order survives any removal; a known-cyclic
+   verdict does not. *)
+let latent_dep_removed t =
+  match t.latent.lt_order with
+  | Order_cyclic -> t.latent.lt_order <- Order_stale
+  | Order_stale | Order_valid _ -> ()
+
+let add_dep_edge t i j =
+  Deps.add_edge t.deps i j;
+  latent_dep_added t i j
 
 let live ps = ps.phase <> Done
 
@@ -511,7 +581,10 @@ let sid t s = Conflict.Compiled.intern t.cspec s
 let instance_service inst = (Activity.instance_base inst).Activity.service
 
 let emit t ev =
-  bump t;
+  (match ev with
+  | Schedule.Act inst -> bump_pid t (Activity.instance_proc inst)
+  | Schedule.Commit pid | Schedule.Abort pid -> bump_pid t pid
+  | Schedule.Group_abort pids -> List.iter (bump_pid t) pids);
   t.rev_events <- ev :: t.rev_events;
   t.hist <- Schedule.append t.hist ev;
   if Obs.Tracer.active t.obs then
@@ -667,7 +740,7 @@ let busy_conflicts_bits t ps ~row =
 (* the pending-completion services mirror [pending_completion]; every
    assignment site goes through here *)
 let set_pending t ps insts =
-  bump t;
+  bump_pid t (Process.pid ps.proc);
   ps.pending_completion <- insts;
   Bitset.clear ps.pending_bits;
   List.iter (fun inst -> Bitset.set ps.pending_bits (sid t (instance_service inst))) insts
@@ -740,90 +813,275 @@ let quasi_ok_bits t preds ~row ps =
           && not (Bitset.inter_nonempty my_conf qs.pending_bits))
     preds
 
-(* Build (or reuse) the candidate-independent latent base: the all-pairs
-   latent edges of the current state, each source's conflict closure, and
-   a topological order of deps ∪ base.  O(n²) bitset intersections plus
-   one DFS — amortized over the whole admission burst. *)
-let latent_base t =
-  match t.latent_cache with
-  | Some c -> c
-  | None ->
-      let sources =
-        List.filter (fun q -> live q || q.term = Schedule.Committed) (pstates t)
-      in
-      let targets = List.filter live (pstates t) in
-      let qconfs = Hashtbl.create 32 in
-      let edges =
-        List.concat_map
-          (fun q ->
-            let qid = Process.pid q.proc in
-            let qconf = Bitset.create () in
-            Bitset.assign ~into:qconf q.occ_conf;
-            (match inflight_sid q with
-            | Some k -> Bitset.union ~into:qconf (Conflict.Compiled.row t.cspec k)
-            | None -> ());
-            (match prepared_sid q with
-            | Some k -> Bitset.union ~into:qconf (Conflict.Compiled.row t.cspec k)
-            | None -> ());
-            Hashtbl.replace qconfs qid qconf;
-            List.filter_map
+(* ------------------------------------------------------------------ *)
+(* Latent base — incremental maintenance *)
+
+let latent_sources t =
+  List.filter (fun q -> live q || q.term = Schedule.Committed) (pstates t)
+
+(* a source's conflict closure: occurrences ∪ in-flight row ∪ prepared
+   row, written over [into] (surplus bits zeroed by [Bitset.assign]) *)
+let latent_qconf_into t q ~into =
+  Bitset.assign ~into q.occ_conf;
+  (match inflight_sid q with
+  | Some k -> Bitset.union ~into (Conflict.Compiled.row t.cspec k)
+  | None -> ());
+  match prepared_sid q with
+  | Some k -> Bitset.union ~into (Conflict.Compiled.row t.cspec k)
+  | None -> ()
+
+(* the latent-edge predicate: does [qconf] meet target [r]'s open future
+   or pending completions? *)
+let latent_hits t qconf r =
+  Bitset.inter_nonempty qconf (future_of t r).f_bits
+  || Bitset.inter_nonempty qconf r.pending_bits
+
+(* profiling hook: the same opt-in monotonic clock the admission path
+   uses; without it the breakdown costs nothing but the counters *)
+let latent_timed t key f =
+  match t.cfg.admission_clock with
+  | None -> f ()
+  | Some clock ->
+      let t0 = clock () in
+      let r = f () in
+      Metrics.observe t.metrics key (clock () -. t0);
+      r
+
+(* full rebuild: O(sources × targets) bitset probes; only after
+   structural invalidation ([lt_full]) or when the dirty set covers most
+   of the world anyway *)
+let latent_rebuild t lt =
+  Metrics.incr t.metrics "latent_rebuilds";
+  Hashtbl.reset lt.lt_qconf;
+  Hashtbl.reset lt.lt_out;
+  lt.lt_edges <- None;
+  lt.lt_ends <- None;
+  let targets = List.filter live (pstates t) in
+  List.iter
+    (fun q ->
+      let qid = Process.pid q.proc in
+      let qconf = Bitset.create () in
+      latent_qconf_into t q ~into:qconf;
+      Hashtbl.replace lt.lt_qconf qid qconf;
+      let out = Hashtbl.create 8 in
+      List.iter
+        (fun r ->
+          let rid = Process.pid r.proc in
+          if rid <> qid && latent_hits t qconf r then Hashtbl.replace out rid ())
+        targets;
+      Hashtbl.replace lt.lt_out qid out)
+    (latent_sources t);
+  lt.lt_order <- Order_stale;
+  Hashtbl.reset lt.lt_dirty;
+  lt.lt_full <- false
+
+(* Patch the base for the dirty pids only.  Pass 1 re-derives each dirty
+   pid's source side (closure + out-edges against all live targets, or
+   removal if no longer a source); pass 2 reconciles each dirty pid's
+   target side against every source's closure.  Edges with no dirty
+   endpoint are untouched: their predicate inputs did not change (that is
+   the invalidation contract of [bump_pid]).  The order state machine
+   absorbs the diff: removals keep a valid order valid, additions keep it
+   if they run forward. *)
+let latent_patch t lt =
+  Metrics.incr t.metrics "latent_patches";
+  Metrics.observe t.metrics "latent_dirty" (float_of_int (Hashtbl.length lt.lt_dirty));
+  let lives = List.filter live (pstates t) in
+  let removed = ref false in
+  let added = ref [] in
+  Hashtbl.iter
+    (fun p () ->
+      match Hashtbl.find_opt t.procs p with
+      | None -> ()
+      | Some ps ->
+          if live ps || ps.term = Schedule.Committed then begin
+            let qconf =
+              match Hashtbl.find_opt lt.lt_qconf p with
+              | Some b -> b
+              | None ->
+                  let b = Bitset.create () in
+                  Hashtbl.replace lt.lt_qconf p b;
+                  b
+            in
+            latent_qconf_into t ps ~into:qconf;
+            let old =
+              match Hashtbl.find_opt lt.lt_out p with
+              | Some h -> h
+              | None -> Hashtbl.create 1
+            in
+            let fresh = Hashtbl.create (max 4 (Hashtbl.length old)) in
+            List.iter
               (fun r ->
                 let rid = Process.pid r.proc in
-                if rid = qid then None
-                else if
-                  Bitset.inter_nonempty qconf (future_of t r).f_bits
-                  || Bitset.inter_nonempty qconf r.pending_bits
-                then Some (qid, rid)
-                else None)
-              targets)
-          sources
+                if rid <> p && latent_hits t qconf r then begin
+                  Hashtbl.replace fresh rid ();
+                  if not (Hashtbl.mem old rid) then added := (p, rid) :: !added
+                end)
+              lives;
+            if not !removed then
+              Hashtbl.iter
+                (fun rid () -> if not (Hashtbl.mem fresh rid) then removed := true)
+                old;
+            Hashtbl.replace lt.lt_out p fresh
+          end
+          else begin
+            (match Hashtbl.find_opt lt.lt_out p with
+            | Some h -> if Hashtbl.length h > 0 then removed := true
+            | None -> ());
+            Hashtbl.remove lt.lt_out p;
+            Hashtbl.remove lt.lt_qconf p
+          end)
+    lt.lt_dirty;
+  Hashtbl.iter
+    (fun p () ->
+      match Hashtbl.find_opt t.procs p with
+      | None -> ()
+      | Some ps ->
+          let is_target = live ps in
+          Hashtbl.iter
+            (fun qid qconf ->
+              if qid <> p then begin
+                let out = Hashtbl.find lt.lt_out qid in
+                if is_target && latent_hits t qconf ps then begin
+                  if not (Hashtbl.mem out p) then begin
+                    Hashtbl.replace out p ();
+                    added := (qid, p) :: !added
+                  end
+                end
+                else if Hashtbl.mem out p then begin
+                  Hashtbl.remove out p;
+                  removed := true
+                end
+              end)
+            lt.lt_qconf)
+    lt.lt_dirty;
+  Hashtbl.reset lt.lt_dirty;
+  if !removed || !added <> [] then begin
+    lt.lt_edges <- None;
+    lt.lt_ends <- None
+  end;
+  match lt.lt_order with
+  | Order_stale -> ()
+  | Order_cyclic -> if !removed then lt.lt_order <- Order_stale
+  | Order_valid pos ->
+      let forward (i, j) =
+        match (Hashtbl.find_opt pos i, Hashtbl.find_opt pos j) with
+        | Some pi, Some pj -> pi < pj
+        | _ -> false
       in
-      let succ = Hashtbl.create 64 in
-      let add_succ (i, j) =
-        Hashtbl.replace succ i (j :: Option.value ~default:[] (Hashtbl.find_opt succ i))
+      if not (List.for_all forward !added) then lt.lt_order <- Order_stale
+
+(* bring the base up to date; O(1) when nothing changed since the last
+   admission (the common case inside a burst) *)
+let latent_base t =
+  let lt = t.latent in
+  let dirty = Hashtbl.length lt.lt_dirty in
+  if (not lt.lt_full) && dirty > 0 && 2 * dirty > List.length t.plist then
+    lt.lt_full <- true;
+  if lt.lt_full then latent_timed t "latent_rebuild_s" (fun () -> latent_rebuild t lt)
+  else if dirty > 0 then latent_timed t "latent_patch_s" (fun () -> latent_patch t lt);
+  lt
+
+(* flat edge list of the base (memoized): only materialized for Delay
+   blocker reporting, never on the admit fast path *)
+let latent_edges lt =
+  match lt.lt_edges with
+  | Some l -> l
+  | None ->
+      let l =
+        Hashtbl.fold
+          (fun q out acc -> Hashtbl.fold (fun r () acc -> (q, r) :: acc) out acc)
+          lt.lt_out []
       in
-      (* [Deps.edges] includes parked cycle-closing edges, so a parked
-         edge shows up here as a combined-graph cycle — exactly
-         [Deps.would_cycle]'s "parked means cyclic" answer *)
-      List.iter add_succ (Deps.edges t.deps);
-      List.iter add_succ edges;
-      let color = Hashtbl.create 64 in
-      let order = ref [] in
-      let cyclic = ref false in
-      let rec visit n =
-        match Hashtbl.find_opt color n with
-        | Some `Gray -> cyclic := true
-        | Some `Black -> ()
-        | None ->
-            Hashtbl.replace color n `Gray;
-            List.iter visit (Option.value ~default:[] (Hashtbl.find_opt succ n));
-            Hashtbl.replace color n `Black;
-            order := n :: !order
-      in
-      List.iter (fun q -> visit (Process.pid q.proc)) sources;
-      let pos =
-        if !cyclic then None
-        else begin
-          let h = Hashtbl.create 64 in
-          List.iteri (fun i n -> Hashtbl.replace h n i) !order;
-          Some h
-        end
-      in
-      let c = { l_edges = edges; l_qconf = qconfs; l_pos = pos; l_succ = succ } in
-      t.latent_cache <- Some c;
-      c
+      lt.lt_edges <- Some l;
+      l
+
+(* sorted endpoint set of the base edges (memoized): the Delay path
+   reports the endpoints of [new_edges @ latent] as blockers, and the
+   base contribution to that set only changes when the base does —
+   flattening and sorting the full edge list per delayed admission was
+   the dominant cost of the whole admission path at scale *)
+let latent_endpoints lt =
+  match lt.lt_ends with
+  | Some e -> e
+  | None ->
+      let h = Hashtbl.create 64 in
+      Hashtbl.iter
+        (fun q out ->
+          if Hashtbl.length out > 0 then begin
+            Hashtbl.replace h q ();
+            Hashtbl.iter (fun r () -> Hashtbl.replace h r ()) out
+          end)
+        lt.lt_out;
+      let e = List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) h []) in
+      lt.lt_ends <- Some e;
+      e
+
+(* combined-graph adjacency, walked live: stored dependency edges
+   (parked ones included — a parked edge is a cycle, exactly
+   [Deps.would_cycle]'s verdict) ∪ base latent edges *)
+let latent_succ_iter t lt n f =
+  Deps.iter_succs t.deps n f;
+  match Hashtbl.find_opt lt.lt_out n with
+  | Some h -> Hashtbl.iter (fun r () -> f r) h
+  | None -> ()
+
+(* resolve [Order_stale]: one DFS over deps ∪ base from every source.
+   Every non-aborted process is a source, so every node ends up with a
+   position — newly registered pids are appended at [lt_next_pos]. *)
+let latent_resolve_order t lt =
+  match lt.lt_order with
+  | Order_valid pos -> Some pos
+  | Order_cyclic -> None
+  | Order_stale ->
+      latent_timed t "latent_order_s" (fun () ->
+          Metrics.incr t.metrics "latent_order_rebuilds";
+          let color = Hashtbl.create 64 in
+          let rev = ref [] in
+          let cyclic = ref false in
+          let rec visit n =
+            match Hashtbl.find_opt color n with
+            | Some `Gray -> cyclic := true
+            | Some `Black -> ()
+            | None ->
+                Hashtbl.replace color n `Gray;
+                latent_succ_iter t lt n visit;
+                Hashtbl.replace color n `Black;
+                rev := n :: !rev
+          in
+          List.iter (fun q -> visit (Process.pid q.proc)) (latent_sources t);
+          if !cyclic then begin
+            lt.lt_order <- Order_cyclic;
+            None
+          end
+          else begin
+            let pos = Hashtbl.create 64 in
+            let i = ref 0 in
+            List.iter
+              (fun n ->
+                Hashtbl.replace pos n !i;
+                incr i)
+              !rev;
+            lt.lt_next_pos <- !i;
+            lt.lt_order <- Order_valid pos;
+            Some pos
+          end)
 
 (* Is deps ∪ base ∪ extras cyclic?  Every extra edge is incident to the
    candidate [pid], so when the combined graph is acyclic a new cycle
    must pass through [pid]: all-forward extras in the maintained order is
    an O(extras) "no", otherwise one DFS from [pid]'s successors decides. *)
-let latent_would_cycle c ~pid extras =
-  match c.l_pos with
+let latent_would_cycle t lt ~pid extras =
+  match latent_resolve_order t lt with
   | None -> true
   | Some pos ->
       let posv n = Option.value ~default:max_int (Hashtbl.find_opt pos n) in
-      if List.for_all (fun (i, j) -> posv i < posv j) extras then false
+      if List.for_all (fun (i, j) -> posv i < posv j) extras then begin
+        Metrics.incr t.metrics "latent_probe_fast";
+        false
+      end
       else begin
+        Metrics.incr t.metrics "latent_probe_dfs";
         let into = Hashtbl.create 8 in
         List.iter (fun (i, j) -> if j = pid && i <> pid then Hashtbl.replace into i ()) extras;
         let seen = Hashtbl.create 32 in
@@ -833,14 +1091,18 @@ let latent_would_cycle c ~pid extras =
           if not (Hashtbl.mem seen n) then begin
             Hashtbl.replace seen n ();
             if Hashtbl.mem into n then raise Found;
-            List.iter go (Option.value ~default:[] (Hashtbl.find_opt c.l_succ n))
+            latent_succ_iter t lt n go
           end
         in
-        try
-          List.iter (fun (i, j) -> if i = pid then go j) extras;
-          List.iter go (Option.value ~default:[] (Hashtbl.find_opt c.l_succ pid));
-          false
-        with Found -> true
+        let r =
+          try
+            List.iter (fun (i, j) -> if i = pid then go j) extras;
+            latent_succ_iter t lt pid go;
+            false
+          with Found -> true
+        in
+        Metrics.observe t.metrics "latent_dfs_nodes" (float_of_int (Hashtbl.length seen));
+        r
       end
 
 type admission =
@@ -903,8 +1165,8 @@ let admission_decision t pid act =
        [latent_base]; only the edges the candidate itself induces (its
        conflict row against other futures, its service against other
        closures) are computed here, O(n) bitset probes per admission. *)
-    let latent_edges, would =
-      if t.cfg.naive_sr then ([], Deps.would_cycle t.deps new_edges)
+    let would, all_latent =
+      if t.cfg.naive_sr then (Deps.would_cycle t.deps new_edges, lazy [])
       else begin
         let c = latent_base t in
         (* the candidate's row widens its process's closure: extra edges
@@ -927,16 +1189,20 @@ let admission_decision t pid act =
           Hashtbl.fold
             (fun qid qconf acc ->
               if qid <> pid && Bitset.mem qconf sidc then (qid, pid) :: acc else acc)
-            c.l_qconf []
+            c.lt_qconf []
         in
-        ( c.l_edges @ extra_out @ extra_in,
-          latent_would_cycle c ~pid (new_edges @ extra_out @ extra_in) )
+        ( latent_would_cycle t c ~pid (new_edges @ extra_out @ extra_in),
+          (* endpoint set only, materialized for blocker reporting on the
+             Delay path; the base contribution is memoized *)
+          lazy
+            (latent_endpoints c
+            @ List.concat_map (fun (i, j) -> [ i; j ]) (extra_out @ extra_in)) )
       end
     in
     if would then begin
       (* wait for the live processes involved in the would-be cycle *)
       let blockers =
-        List.concat_map (fun (i, j) -> [ i; j ]) (new_edges @ latent_edges)
+        List.concat_map (fun (i, j) -> [ i; j ]) new_edges @ Lazy.force all_latent
         |> List.filter (fun q -> q <> pid)
         |> List.sort_uniq compare
       in
@@ -1207,10 +1473,7 @@ let admission t pid act =
            edges;
          })
   end;
-  if edges <> [] then begin
-    bump t;
-    List.iter (fun (i, j) -> Deps.add_edge t.deps i j) edges
-  end;
+  List.iter (fun (i, j) -> add_dep_edge t i j) edges;
   decision
 
 (* ------------------------------------------------------------------ *)
@@ -1244,7 +1507,7 @@ let rec wake t =
                  under synchronous (fault-free) delivery [on_done] fires
                  inside [start], and it must find the phase in place.  The
                  instance id is patched in afterwards if still deciding. *)
-              bump t;
+              bump_pid t pid;
               ps.phase <- Deciding_2pc { act; token; cid = 0 };
               let cid =
                 Coordinator.start t.coord ~pid ~act
@@ -1322,7 +1585,7 @@ and on_twopc_done t pid act ~commit =
             else begin
               tracef t "2pc-abort P%d a%d" pid act;
               Metrics.incr t.metrics "twopc_aborts";
-              bump t;
+              bump_pid t pid;
               ps.phase <- Running;
               handle_failure t ps act
             end
@@ -1442,7 +1705,7 @@ and dispatch t ps act how =
    as a failed attempt. *)
 and redispatch t ps act how ~a ~delay =
   let pid = Process.pid ps.proc in
-  bump t;
+  bump_pid t pid;
   ps.inflight <- Some act;
   let d = duration t a in
   match t.cfg.invocation_timeout with
@@ -1457,7 +1720,10 @@ and on_activity_timeout t pid act how =
     match Hashtbl.find_opt t.procs pid with
     | None -> ()
     | Some ps -> (
-        if ps.inflight = Some act then begin bump t; ps.inflight <- None end;
+        if ps.inflight = Some act then begin
+          bump_pid t pid;
+          ps.inflight <- None
+        end;
         match ps.phase with
         | Recovering | Done | Deciding_2pc _ ->
             Metrics.incr t.metrics "cancelled_inflight"
@@ -1517,7 +1783,10 @@ and on_activity_done t pid act how =
       | None -> ());
       if ps.weak_wait <> None then ()
       else begin
-      if ps.inflight = Some act then begin bump t; ps.inflight <- None end;
+      if ps.inflight = Some act then begin
+        bump_pid t pid;
+        ps.inflight <- None
+      end;
       match ps.phase with
       | Recovering | Done | Deciding_2pc _ ->
           (* the process was aborted (or its fate handed to a 2PC
@@ -1551,7 +1820,7 @@ and on_activity_done t pid act how =
           | Rm.Prepared _ ->
               notify_subsys t rm ~ok:true;
               log t (Wal.Prepared { pid; act });
-              bump t;
+              bump_pid t pid;
               ps.phase <- Blocked_2pc { act; token };
               Metrics.incr t.metrics "prepared";
               if Obs.Tracer.active t.obs then
@@ -1617,7 +1886,7 @@ and handle_failure t ps act =
       in
       Metrics.incr t.metrics "branch_failures";
       if compensations = [] then begin
-        bump t;
+        bump_pid t pid;
         ps.exec <- new_exec;
         ps.completion_cache <- None;
         (match Execution.status new_exec with
@@ -1727,12 +1996,12 @@ and start_group_rollback t ~initiators =
       log t (Wal.Abort_requested qid);
       q.aborting <- true;
       abort_prepared_of t q;
-      bump t;
+      bump_pid t qid;
       q.phase <- Recovering)
     victims;
   List.iter
     (fun (ps, _, resume) ->
-      bump t;
+      bump_pid t (Process.pid ps.proc);
       ps.phase <- Recovering;
       ps.resume_exec <- resume;
       if resume = None then ps.aborting <- true)
@@ -1905,7 +2174,7 @@ and apply_rollback_item t pid inst rest =
           if
             qid <> pid && q.term <> Schedule.Aborted
             && occurrence_conflicts t q (Activity.instance_base inst).Activity.service
-          then begin bump t; Deps.add_edge t.deps qid pid end)
+          then add_dep_edge t qid pid)
         (pstates t);
       (if Activity.is_inverse inst then begin
          log t (Wal.Compensated { pid; act = a.Activity.id.Activity.act });
@@ -1949,7 +2218,7 @@ and apply_rollback_item t pid inst rest =
   | Rm.Prepared _ -> assert false
 
 and finalize_rollback t ps =
-  bump t;
+  bump_pid t (Process.pid ps.proc);
   match ps.resume_exec with
   | Some exec ->
       ps.exec <- exec;
@@ -2017,6 +2286,8 @@ and finish_terminal t ps term =
       emit t (Schedule.Abort pid);
       log t (Wal.Process_aborted pid);
       Deps.mark_aborted t.deps pid;
+      (* the abort dropped (and possibly un-parked) dependency edges *)
+      latent_dep_removed t;
       Metrics.incr t.metrics "aborted"
   | Schedule.Committed ->
       emit t (Schedule.Commit pid);
@@ -2035,6 +2306,7 @@ let register t ?(args_of = fun _ -> Value.Nil) proc =
   List.iter (fun a -> ignore (rm_of t a)) (Process.activities proc);
   (* intern every service of the process once, so the hot admission path
      never touches a string again *)
+  let matrix_size = Conflict.Compiled.size t.cspec in
   let svc_ids = Hashtbl.create 16 in
   List.iter
     (fun (a : Activity.t) ->
@@ -2065,7 +2337,20 @@ let register t ?(args_of = fun _ -> Value.Nil) proc =
     }
   in
   Hashtbl.replace t.procs pid ps;
-  bump t;
+  (* A genuinely new service grew the conflict matrix: [intern] sets bits
+     in *existing* rows, so every cached closure snapshot is stale — full
+     invalidation.  Otherwise the newcomer only contributes its own
+     source/target side (dirty) and takes the last topological position
+     (it has no edges yet, so appending keeps a valid order valid). *)
+  if Conflict.Compiled.size t.cspec > matrix_size then bump t
+  else begin
+    bump_pid t pid;
+    match t.latent.lt_order with
+    | Order_valid pos ->
+        Hashtbl.replace pos pid t.latent.lt_next_pos;
+        t.latent.lt_next_pos <- t.latent.lt_next_pos + 1
+    | Order_stale | Order_cyclic -> ()
+  end;
   t.plist <-
     List.merge
       (fun a b -> compare (Process.pid a.proc) (Process.pid b.proc))
@@ -2353,6 +2638,114 @@ let recover ?(config = default_config) ?(amnesia = false) ?tracer ~spec ~rms ~pr
       end;
       Metrics.incr t.metrics "recovered_processes" ~by:(List.length entries);
       Ok t
+
+(* Parked-edge GC: drop parked cycle-closing edges whose endpoints both
+   terminated (see {!Deps.compact}) so a long-lived server's admissions
+   are not wedged by the ghosts of retired processes.  The removal feeds
+   the latent order state machine like any other edge removal. *)
+let gc_deps t =
+  let n = Deps.compact t.deps in
+  if n > 0 then latent_dep_removed t;
+  n
+
+(* Self-check for the incremental latent base (tests only): rebuild the
+   base from scratch with the PR-3 one-shot algorithm and compare edge
+   sets, source sets, closures, and the order state's cyclicity verdict
+   against a fresh DFS. *)
+let latent_self_check t =
+  let lt = latent_base t in
+  let sources = latent_sources t in
+  let targets = List.filter live (pstates t) in
+  let scratch_edges =
+    List.concat_map
+      (fun q ->
+        let qid = Process.pid q.proc in
+        let qconf = Bitset.create () in
+        latent_qconf_into t q ~into:qconf;
+        List.filter_map
+          (fun r ->
+            let rid = Process.pid r.proc in
+            if rid <> qid && latent_hits t qconf r then Some (qid, rid) else None)
+          targets)
+      sources
+  in
+  let inc = List.sort_uniq compare (latent_edges lt) in
+  let scratch = List.sort_uniq compare scratch_edges in
+  let pp_edges l =
+    String.concat ";" (List.map (fun (i, j) -> Printf.sprintf "%d->%d" i j) l)
+  in
+  if inc <> scratch then
+    Error
+      (Printf.sprintf "latent edges differ: incremental [%s] vs scratch [%s]"
+         (pp_edges inc) (pp_edges scratch))
+  else begin
+    let inc_sources =
+      List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) lt.lt_qconf [])
+    in
+    let ref_sources =
+      List.sort compare (List.map (fun q -> Process.pid q.proc) sources)
+    in
+    if inc_sources <> ref_sources then
+      Error
+        (Printf.sprintf "source sets differ: incremental [%s] vs scratch [%s]"
+           (String.concat "," (List.map string_of_int inc_sources))
+           (String.concat "," (List.map string_of_int ref_sources)))
+    else
+      match
+        List.find_opt
+          (fun q ->
+            let qid = Process.pid q.proc in
+            let b = Bitset.create () in
+            latent_qconf_into t q ~into:b;
+            Bitset.elements b <> Bitset.elements (Hashtbl.find lt.lt_qconf qid))
+          sources
+      with
+      | Some q ->
+          Error (Printf.sprintf "stale closure for P%d" (Process.pid q.proc))
+      | None -> (
+          let combined = Deps.edges t.deps @ inc in
+          let scratch_cyclic =
+            let succ = Hashtbl.create 64 in
+            List.iter
+              (fun (i, j) ->
+                Hashtbl.replace succ i
+                  (j :: Option.value ~default:[] (Hashtbl.find_opt succ i)))
+              combined;
+            let color = Hashtbl.create 64 in
+            let cyc = ref false in
+            let rec visit n =
+              match Hashtbl.find_opt color n with
+              | Some `Gray -> cyc := true
+              | Some `Black -> ()
+              | None ->
+                  Hashtbl.replace color n `Gray;
+                  List.iter visit (Option.value ~default:[] (Hashtbl.find_opt succ n));
+                  Hashtbl.replace color n `Black
+            in
+            List.iter (fun q -> visit (Process.pid q.proc)) sources;
+            !cyc
+          in
+          match latent_resolve_order t lt with
+          | None ->
+              if scratch_cyclic then Ok ()
+              else Error "order state says cyclic; scratch DFS finds no cycle"
+          | Some pos -> (
+              if scratch_cyclic then
+                Error "order state valid; scratch DFS finds a cycle"
+              else
+                match
+                  List.find_opt
+                    (fun (i, j) ->
+                      match (Hashtbl.find_opt pos i, Hashtbl.find_opt pos j) with
+                      | Some pi, Some pj -> pi >= pj
+                      | _ -> true)
+                    combined
+                with
+                | Some (i, j) ->
+                    Error
+                      (Printf.sprintf "edge %d->%d not forward in maintained order" i j)
+                | None -> Ok ()))
+  end
 
 (* Failure forensics: the last [n] ring-buffer events plus the metrics
    snapshot, in one block a CI log can be diagnosed from.  With an

@@ -325,5 +325,17 @@ val probe_admission : t -> admission_engine -> pid:int -> act:int -> unit
     @raise Not_found if [pid] is unknown, [Invalid_argument] if [act] is
     not an activity of the process. *)
 
+val latent_self_check : t -> (unit, string) result
+(** Testing hook for the incrementally maintained latent base: rebuilds
+    the candidate-independent base (edges, per-source conflict closures)
+    from scratch with the one-shot algorithm and compares it against the
+    maintained state, including the combined-graph order's cyclicity
+    verdict.  [Error msg] names the first divergence. *)
+
+val gc_deps : t -> int
+(** Drop parked cycle-closing dependency edges both of whose endpoints
+    terminated (see {!Deps.compact}); returns the number dropped.  Safe
+    at any point; intended for long-lived serving loops. *)
+
 val dump : Format.formatter -> t -> unit
 (** One line of internal state per process (debugging aid). *)

@@ -1,0 +1,167 @@
+open Tpm_core
+module Scheduler = Tpm_scheduler.Scheduler
+module Shard = Tpm_scheduler.Shard
+
+(* Shard-routing front door (DESIGN.md §13).
+
+   One [Server] per shard, each over its own scheduler; submissions are
+   routed by the conflict-component of their service set, so no two
+   shards ever share a dependency edge and every shard's admission
+   engine — oracle and differential checker included — stays valid
+   unmodified.
+
+   Merge protocol for spanning submissions: shard ownership is assigned
+   per service at first sight.  A submission whose services span several
+   owners is routed to the unique owner that still has live processes
+   (the dead owners' claims are transferred — their components merged);
+   if two or more spanned owners are live, the submission is deflected:
+   admitting it anywhere would create a cross-shard dependency edge the
+   engines cannot see.  Deflection is an overload-style outcome, not an
+   error — the caller retries after the contended shards drain.  The
+   [tpm_core] partition invariant (no cross-component edges) therefore
+   holds at every instant, which is what keeps per-shard PRED equal to
+   global PRED. *)
+
+type route =
+  | Routed of int * Server.decision  (* shard index, its server's decision *)
+  | Deflected  (* services span >= 2 live shards; retry after drain *)
+
+let route_label = function
+  | Routed (s, d) -> Printf.sprintf "s%d %s" s (Server.decision_label d)
+  | Deflected -> "deflected"
+
+type t = {
+  map : Shard.Map.t;
+  servers : Server.t array;
+  owner : (int, int) Hashtbl.t;  (* service id -> shard index *)
+  placed : (int, int) Hashtbl.t;  (* routed pid -> shard index *)
+  mutable next : int;  (* round-robin cursor for unowned components *)
+  mutable deflected : int;
+}
+
+let create ?config ?(shards = 2) ~spec ~make_scheduler () =
+  if shards <= 0 then invalid_arg "Router.create: shards must be positive";
+  {
+    map = Shard.Map.create spec;
+    servers = Array.init shards (fun _ -> Server.create ?config (make_scheduler ()));
+    owner = Hashtbl.create 64;
+    placed = Hashtbl.create 64;
+    next = 0;
+    deflected = 0;
+  }
+
+let shards t = Array.length t.servers
+let server t i = t.servers.(i)
+
+(* lazily retire terminated processes from the component map, so a dead
+   cluster's services can be re-owned by a later spanning submission *)
+let sweep t =
+  Hashtbl.iter
+    (fun pid s ->
+      match Scheduler.status (Server.scheduler t.servers.(s)) pid with
+      | Schedule.Committed | Schedule.Aborted ->
+          Shard.Map.retire t.map pid;
+          Hashtbl.remove t.placed pid
+      | Schedule.Active -> ())
+    (Hashtbl.copy t.placed)
+
+let offer t ?deadline proc =
+  sweep t;
+  let sids = Shard.Map.service_ids t.map proc in
+  (* ownership is component-wise: a claimed service owns every service in
+     its conflict component, or an edge could cross shards through a
+     conflicting-but-never-claimed name *)
+  let owners =
+    Hashtbl.fold
+      (fun sid' s acc ->
+        if List.exists (fun sid -> Shard.Map.same_component t.map sid sid') sids
+        then s :: acc
+        else acc)
+      t.owner []
+    |> List.sort_uniq compare
+  in
+  (* an owner is live iff it still holds an unterminated placement —
+     [sweep] just dropped everything terminal, and a freshly routed
+     process counts even before its shard's simulation has run *)
+  let busy = Hashtbl.create 8 in
+  Hashtbl.iter (fun _ s -> Hashtbl.replace busy s ()) t.placed;
+  let live_owners = List.filter (Hashtbl.mem busy) owners in
+  match live_owners with
+  | _ :: _ :: _ ->
+      t.deflected <- t.deflected + 1;
+      Deflected
+  | _ ->
+      let target =
+        match live_owners with
+        | [ s ] -> s
+        | _ -> (
+            (* no live claim: reuse the first past owner, else open the
+               next shard round-robin *)
+            match owners with
+            | s :: _ -> s
+            | [] ->
+                let s = t.next mod Array.length t.servers in
+                t.next <- t.next + 1;
+                s)
+      in
+      List.iter (fun sid -> Hashtbl.replace t.owner sid target) sids;
+      ignore (Shard.Map.admit t.map proc);
+      let d = Server.offer t.servers.(target) ?deadline proc in
+      (match d with
+      | Server.Admitted | Server.Degraded_admit _ | Server.Queued ->
+          Hashtbl.replace t.placed (Process.pid proc) target
+      | Server.Rejected _ -> Shard.Map.retire t.map (Process.pid proc));
+      Routed (target, d)
+
+(* Drive every shard's simulation.  Shards share no state (that is the
+   partition invariant), so with [domains > 1] they run on separate
+   OCaml domains; [domains = 1] (default) runs them in index order on
+   the calling domain — bit-identical to independent sequential runs. *)
+let run ?(domains = 1) ?until t =
+  let k = Array.length t.servers in
+  let next = Atomic.make 0 in
+  let worker () =
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < k then begin
+        Server.run ?until t.servers.(i);
+        loop ()
+      end
+    in
+    loop ()
+  in
+  if domains <= 1 then worker ()
+  else begin
+    let spawned =
+      List.init (min (domains - 1) (max 0 (k - 1))) (fun _ -> Domain.spawn worker)
+    in
+    worker ();
+    List.iter Domain.join spawned
+  end
+
+let drain t = Array.iter Server.drain t.servers
+
+let counters t =
+  Array.fold_left
+    (fun (acc : Server.counters) s ->
+      let c = Server.counters s in
+      {
+        Server.offered = acc.Server.offered + c.Server.offered;
+        admitted = acc.Server.admitted + c.Server.admitted;
+        rejected = acc.Server.rejected + c.Server.rejected;
+        expired = acc.Server.expired + c.Server.expired;
+        degraded = acc.Server.degraded + c.Server.degraded;
+      })
+    { Server.offered = 0; admitted = 0; rejected = 0; expired = 0; degraded = 0 }
+    t.servers
+
+let deflected t = t.deflected
+
+let decision_log t =
+  List.concat
+    (Array.to_list
+       (Array.mapi
+          (fun i s -> List.map (Printf.sprintf "s%d %s" i) (Server.decision_log s))
+          t.servers))
+
+let accounting_ok t = Array.for_all Server.accounting_ok t.servers

@@ -1,0 +1,66 @@
+(** Shard-routing front door: one {!Server} per shard, submissions routed
+    by the conflict-component of their service set (DESIGN.md §13).
+
+    The partition invariant — no dependency edge between processes on
+    different shards — is maintained at every instant: shard ownership is
+    claimed per service at first sight, a submission spanning only dead
+    owners transfers their claims (component merge), and a submission
+    spanning two or more {e live} owners is deflected rather than
+    admitted, because admitting it anywhere would create a cross-shard
+    edge no engine can see.  Per-shard PRED is then global PRED, and each
+    shard's reference oracle and [Checked] differential engine remain
+    valid unmodified. *)
+
+type route =
+  | Routed of int * Server.decision
+      (** the shard index it was routed to, and that server's decision *)
+  | Deflected
+      (** the submission's services span two or more live shards; retry
+          after the contended shards drain *)
+
+val route_label : route -> string
+
+type t
+
+val create :
+  ?config:Server.config ->
+  ?shards:int ->
+  spec:Tpm_core.Conflict.t ->
+  make_scheduler:(unit -> Tpm_scheduler.Scheduler.t) ->
+  unit ->
+  t
+(** [shards] servers (default 2), each over a fresh scheduler from
+    [make_scheduler] (which must build fresh resource managers per call —
+    scheduler state is never shared between shards). *)
+
+val shards : t -> int
+val server : t -> int -> Server.t
+
+val offer : t -> ?deadline:float -> Tpm_core.Process.t -> route
+(** Route one submission: terminated pids are swept from the component
+    map first, then ownership decides the target shard as described
+    above.  The routed server's own overload policy produces the final
+    decision. *)
+
+val run : ?domains:int -> ?until:float -> t -> unit
+(** Drive every shard's simulation to quiescence (or [until]).  Shards
+    share no state, so [domains > 1] runs them on separate OCaml domains
+    behind a work queue; the default [domains = 1] runs them in index
+    order on the calling domain. *)
+
+val drain : t -> unit
+(** {!Server.drain} on every shard. *)
+
+val counters : t -> Server.counters
+(** Component-wise sum over the shards. *)
+
+val deflected : t -> int
+(** Submissions turned away because their services spanned several live
+    shards. *)
+
+val decision_log : t -> string list
+(** Per-shard decision logs, each line prefixed ["s<i> "], concatenated
+    in shard order — the sharded determinism oracle. *)
+
+val accounting_ok : t -> bool
+(** {!Server.accounting_ok} on every shard. *)

@@ -26,20 +26,29 @@ let default_params =
     subsystems = 4;
   }
 
-let service_name i = Printf.sprintf "svc%d" i
-let inverse_name i = Printf.sprintf "svc%d_inv" i
-let service_universe params = List.init params.services service_name
-let subsystem_name params i = Printf.sprintf "ss%d" (i mod params.subsystems)
+(* [prefix] namespaces every generated name (services, inverses,
+   subsystems, keys): prefixed universes are disjoint, so workloads built
+   with distinct prefixes never conflict — the raw material of the
+   sharded-admission experiments.  The default [""] keeps every
+   historical name (and every historical PRNG stream) unchanged. *)
+let service_name ?(prefix = "") i = Printf.sprintf "%ssvc%d" prefix i
+let inverse_name ?(prefix = "") i = Printf.sprintf "%ssvc%d_inv" prefix i
 
-let spec ?(seed = 11) params =
+let service_universe ?(prefix = "") params =
+  List.init params.services (service_name ~prefix)
+
+let subsystem_name ?(prefix = "") params i =
+  Printf.sprintf "%sss%d" prefix (i mod params.subsystems)
+
+let spec ?(seed = 11) ?(prefix = "") params =
   let rng = Prng.create seed in
-  let names = Array.of_list (service_universe params) in
+  let names = Array.of_list (service_universe ~prefix params) in
   let n = Array.length names in
   let pairs = ref [] in
   (* every service physically conflicts with itself and its inverse (they
      share a key): the formal relation must be at least as conservative *)
   for i = 0 to n - 1 do
-    pairs := (names.(i), names.(i)) :: (names.(i), inverse_name i) :: !pairs;
+    pairs := (names.(i), names.(i)) :: (names.(i), inverse_name ~prefix i) :: !pairs;
     for j = i + 1 to n - 1 do
       if Prng.chance rng params.conflict_density then
         pairs := (names.(i), names.(j)) :: !pairs
@@ -47,20 +56,20 @@ let spec ?(seed = 11) params =
   done;
   Conflict.of_pairs !pairs
 
-let registry params =
+let registry ?(prefix = "") params =
   let reg = Service.Registry.create () in
   for i = 0 to params.services - 1 do
-    let key = Printf.sprintf "k%d" i in
+    let key = Printf.sprintf "%sk%d" prefix i in
     Service.Registry.register reg
-      (Service.make ~name:(service_name i)
-         ~compensation:(Service.Inverse_service (inverse_name i))
+      (Service.make ~name:(service_name ~prefix i)
+         ~compensation:(Service.Inverse_service (inverse_name ~prefix i))
          ~reads:[ key ] ~writes:[ key ]
          (fun tx ~args:_ ->
            let v = match Tx.get tx key with Value.Int n -> n | _ -> 0 in
            Tx.set tx key (Value.Int (v + 1));
            Value.Int (v + 1)));
     Service.Registry.register reg
-      (Service.make ~name:(inverse_name i) ~reads:[ key ] ~writes:[ key ]
+      (Service.make ~name:(inverse_name ~prefix i) ~reads:[ key ] ~writes:[ key ]
          (fun tx ~args:_ ->
            let v = match Tx.get tx key with Value.Int n -> n | _ -> 0 in
            Tx.set tx key (Value.Int (v - 1));
@@ -68,10 +77,11 @@ let registry params =
   done;
   reg
 
-let rms params ?(fail_prob = fun _ -> 0.0) ?(seed = 5) () =
-  let reg = registry params in
+let rms params ?(fail_prob = fun _ -> 0.0) ?(seed = 5) ?(prefix = "") () =
+  let reg = registry ~prefix params in
   List.init params.subsystems (fun i ->
-      Rm.create ~name:(subsystem_name params i) ~registry:reg ~fail_prob ~seed:(seed + i) ())
+      Rm.create ~name:(subsystem_name ~prefix params i) ~registry:reg ~fail_prob
+        ~seed:(seed + i) ())
 
 (* A random tree with well-formed flex structure, mirroring the recursive
    rule of Flex.well_formed:
@@ -81,7 +91,7 @@ let rms params ?(fail_prob = fun _ -> 0.0) ?(seed = 5) () =
      flex structure guarded by a retriable-only lowest-priority
      alternative;
    - once a non-compensatable step executed, only retriables follow. *)
-let process ?(seed = 3) params ~pid =
+let process ?(seed = 3) ?(prefix = "") params ~pid =
   let rng = Prng.create (seed + (1_000 * pid)) in
   let budget =
     ref
@@ -94,8 +104,8 @@ let process ?(seed = 3) params ~pid =
     incr counter;
     let i = Prng.int rng params.services in
     let a =
-      Activity.make ~proc:pid ~act:!counter ~service:(service_name i) ~kind
-        ~subsystem:(subsystem_name params i) ()
+      Activity.make ~proc:pid ~act:!counter ~service:(service_name ~prefix i) ~kind
+        ~subsystem:(subsystem_name ~prefix params i) ()
     in
     acts := a :: !acts;
     !counter
@@ -158,7 +168,37 @@ let process ?(seed = 3) params ~pid =
       ignore (add Activity.Compensatable));
   Process.make_exn ~pid ~activities:(List.rev !acts) ~prec:!prec ~pref:!pref
 
-let batch ?(seed = 3) params ~n = List.init n (fun i -> process ~seed params ~pid:(i + 1))
+let batch ?(seed = 3) ?(prefix = "") params ~n =
+  List.init n (fun i -> process ~seed ~prefix params ~pid:(i + 1))
+
+(* --- clustered workloads (sharded-admission experiments) --- *)
+
+let cluster_prefix c = Printf.sprintf "c%d_" c
+
+let clustered ?(seed = 3) params ~clusters ~n =
+  if clusters <= 0 then invalid_arg "Generator.clustered: clusters must be positive";
+  let cluster_of pid = (pid - 1) mod clusters in
+  let spec_u =
+    List.fold_left
+      (fun acc c -> Conflict.union acc (spec ~seed:(11 + seed + c) ~prefix:(cluster_prefix c) params))
+      Conflict.empty
+      (List.init clusters Fun.id)
+  in
+  (* a thunk, not a value: every scheduler (every shard, every domain)
+     needs its own resource-manager instances — Rm state is mutable and
+     not domain-safe.  Seeds are per cluster, so an Rm's PRNG stream is
+     the same whether it serves a sharded or a single-engine run. *)
+  let make_rms ?(fail_prob = fun _ -> 0.0) () =
+    List.concat_map
+      (fun c -> rms params ~fail_prob ~seed:(5 + seed + (100 * c)) ~prefix:(cluster_prefix c) ())
+      (List.init clusters Fun.id)
+  in
+  let procs =
+    List.init n (fun i ->
+        let pid = i + 1 in
+        process ~seed ~prefix:(cluster_prefix (cluster_of pid)) params ~pid)
+  in
+  (spec_u, make_rms, procs, cluster_of)
 
 (* --- open-loop arrivals --- *)
 

@@ -15,25 +15,53 @@ type params = {
 
 val default_params : params
 
-val service_universe : params -> string list
-val spec : ?seed:int -> params -> Tpm_core.Conflict.t
+val service_universe : ?prefix:string -> params -> string list
+(** [prefix] (default [""]) namespaces every generated name — services,
+    inverses, subsystems, store keys.  Distinct prefixes yield disjoint
+    universes that never conflict; the empty prefix reproduces every
+    historical name and PRNG stream bit-identically. *)
+
+val spec : ?seed:int -> ?prefix:string -> params -> Tpm_core.Conflict.t
 (** Random symmetric conflict relation over the universe (self-conflicts
     included at the same density). *)
 
-val registry : params -> Tpm_subsys.Service.Registry.t
+val registry : ?prefix:string -> params -> Tpm_subsys.Service.Registry.t
 (** One increment-style service per universe entry, each with a semantic
     inverse; footprints chosen so that the derived conflicts are
     per-service only (the random {!spec} is used instead for scheduling
     experiments). *)
 
 val rms :
-  params -> ?fail_prob:(string -> float) -> ?seed:int -> unit -> Tpm_subsys.Rm.t list
+  params ->
+  ?fail_prob:(string -> float) ->
+  ?seed:int ->
+  ?prefix:string ->
+  unit ->
+  Tpm_subsys.Rm.t list
 
-val process : ?seed:int -> params -> pid:int -> Tpm_core.Process.t
+val process : ?seed:int -> ?prefix:string -> params -> pid:int -> Tpm_core.Process.t
 (** A random tree-shaped process with well-formed flex structure. *)
 
-val batch : ?seed:int -> params -> n:int -> Tpm_core.Process.t list
+val batch : ?seed:int -> ?prefix:string -> params -> n:int -> Tpm_core.Process.t list
 (** [n] processes with pids [1..n]. *)
+
+val clustered :
+  ?seed:int ->
+  params ->
+  clusters:int ->
+  n:int ->
+  Tpm_core.Conflict.t
+  * (?fail_prob:(string -> float) -> unit -> Tpm_subsys.Rm.t list)
+  * Tpm_core.Process.t list
+  * (int -> int)
+(** [(spec, make_rms, procs, cluster_of)]: [n] processes spread
+    round-robin over [clusters] independent workload clusters, each
+    cluster a full prefixed universe of its own ([params] applies per
+    cluster).  [spec] is the union relation; clusters never conflict
+    with each other, so the sharded admission map decomposes the run
+    into at most [clusters] components.  [make_rms] builds {e fresh}
+    resource managers on every call — each shard (each domain) must own
+    its instances.  [cluster_of pid] names the process's cluster. *)
 
 (** Shape of an open-loop arrival stream. *)
 type arrival_pattern =

@@ -23,4 +23,5 @@ let () =
       ("lang", Test_lang.suite);
       ("composite", Test_composite.suite);
       ("server", Test_server.suite);
+      ("shard", Test_shard.suite);
     ]

@@ -63,6 +63,21 @@ dune exec tools/stress.exe -- --serve --seeds 41-48
 # drain stages) for every policy, and recover through the full oracle
 # suite replaying exactly the admitted (possibly degraded) processes
 dune exec tools/crashsweep.exe -- --serve-only
+# shard-differential: clustered workloads through Shard.run_parallel with
+# the per-shard admission oracle on and 2 domains; checks per-shard
+# invariants, decision equivalence with a single-engine run, and recovery
+# of every shard from its own on-disk WAL ("wal.log.shard<i>")
+dune exec tools/stress.exe -- --shards 4 --domains 2 --seeds 41-55 --procs 12 --check-admission
+# mixed-churn: staggered submissions with random abort requests, the
+# incrementally maintained latent base (dirty-set invalidation, patched
+# topological order) cross-checked against the from-scratch algorithm at
+# every time slice
+dune exec tools/stress.exe -- --churn --seeds 41-55 --check-admission
+# p16 smoke: sharded admission must hold p95 under 100us at 1k processes
+# (8 conflict components), and beat the single engine's e2e throughput by
+# >= 2x at the baseline scale; the per-shard differential oracle runs on
+# 2 real domains inside the same smoke
+dune exec bench/main.exe -- p16 --quick --max-p95-us 100 --min-speedup 2
 # p15 smoke: under deep overload (>= 8x the admission window's capacity)
 # every policy must keep pushing committed work — shed, never collapse —
 # with the shed-accounting invariant exact at every measured point
@@ -82,5 +97,6 @@ dune exec bench/main.exe -- p12 --quick --max-overhead 0.20
 # and above an absolute floor; measured ~210k rec/s vs the 20k floor)
 dune exec bench/main.exe -- p14 --quick --min-throughput 20000
 # full bench regenerates the reference output, bench/BENCH_P11.json,
-# bench/BENCH_P12.json, bench/BENCH_P14.json and bench/BENCH_P15.json
+# bench/BENCH_P12.json, bench/BENCH_P14.json, bench/BENCH_P15.json and
+# bench/BENCH_P16.json
 dune exec bench/main.exe > bench/bench_output.txt 2>&1

@@ -14,6 +14,7 @@
      --msg-faults 0.05 *)
 open Tpm_core
 module Scheduler = Tpm_scheduler.Scheduler
+module Shard = Tpm_scheduler.Shard
 module Server = Tpm_server.Server
 module Generator = Tpm_workload.Generator
 module Faults = Tpm_sim.Faults
@@ -65,6 +66,9 @@ let n_procs = ref 8
 let horizon = ref 50.0
 let trace_ring = ref false
 let inject_failure = ref false
+let shards_opt = ref 0
+let domains_opt = ref 1
+let churn_mode = ref false
 
 (* [None] = in-memory log only (the historical default); [Some policy]
    mirrors every run's WAL to a scratch directory under that sync policy
@@ -160,6 +164,23 @@ let speclist =
           offered_loads := l),
       "LIST offered loads (arrivals per unit virtual time) for --serve \
        (default 2.0,8.0)" );
+    ( "--shards",
+      Arg.Set_int shards_opt,
+      "N sharded stress: partition clustered workloads by conflict \
+       component via Shard.run_parallel into at most N shards, check \
+       per-shard invariants (termination, legality, PRED, admission \
+       oracle under --check-admission) and that the union of the shard \
+       histories equals a single-engine run of the same workload \
+       (default 0 = off)" );
+    ( "--domains",
+      Arg.Set_int domains_opt,
+      "D OCaml domains driving the shards in --shards mode (default 1)" );
+    ( "--churn",
+      Arg.Set churn_mode,
+      " mixed-churn stress: staggered submissions interleaved with random \
+       abort requests, the run advanced in time slices with the \
+       incremental latent base cross-checked against the from-scratch \
+       algorithm at every slice (dirty-set invalidation exercise)" );
     ( "--overload-policy",
       Arg.String
         (fun s ->
@@ -287,11 +308,263 @@ let serve_stress () =
   Format.printf "stress --serve: %d runs, %d failures@." !runs !failures;
   exit (if !failures = 0 then 0 else 1)
 
+(* --- sharded stress ---
+
+   Clustered (conflict-disjoint) workloads through [Shard.run_parallel]:
+   every shard must terminate with a legal, PRED history (the per-shard
+   admission oracle runs too under --check-admission), and the union of
+   the shard histories, filtered per pid set, must equal a single-engine
+   run of the same workload — decision equivalence, not just safety. *)
+let sharded_stress () =
+  let failures = ref 0 in
+  let runs = ref 0 in
+  let event_str ev = Format.asprintf "%a" Schedule.pp_event ev in
+  List.iter
+    (fun seed ->
+      incr runs;
+      let params =
+        { Generator.default_params with services = 8; conflict_density = 0.3 }
+      in
+      let clusters = max 2 !shards_opt in
+      let spec, make_rms, procs, _ =
+        Generator.clustered ~seed params ~clusters ~n:!n_procs
+      in
+      let items = List.mapi (fun i p -> (0.4 *. float_of_int i, p)) procs in
+      let config =
+        {
+          Scheduler.default_config with
+          seed;
+          admission_engine =
+            (if !check_admission then Scheduler.Checked else Scheduler.Incremental);
+        }
+      in
+      let repro () =
+        Printf.sprintf "seed=%d sharded shards=%d domains=%d procs=%d%s" seed
+          !shards_opt !domains_opt !n_procs
+          (if !check_admission then " check-admission" else "")
+      in
+      let wal_dir =
+        let dir = Filename.temp_file "tpm_shardstress" "" in
+        Sys.remove dir;
+        Unix.mkdir dir 0o755;
+        dir
+      in
+      let wal_path = Filename.concat wal_dir "wal.log" in
+      match
+        Shard.run_parallel ~shards:!shards_opt ~domains:!domains_opt ~config ~spec
+          ~make_rms ~wal_path items
+      with
+      | exception e ->
+          incr failures;
+          Format.printf "%s EXCEPTION %s@." (repro ()) (Printexc.to_string e)
+      | scheds ->
+          List.iteri
+            (fun i t ->
+              let h = Scheduler.history t in
+              let ok_finished = Scheduler.finished t in
+              let ok_legal = Schedule.legal h in
+              let ok_pred = Criteria.pred h in
+              if not (ok_finished && ok_legal && ok_pred) then begin
+                incr failures;
+                Format.printf "%s shard=%d finished=%b legal=%b pred=%b@."
+                  (repro ()) i ok_finished ok_legal ok_pred
+              end)
+            scheds;
+          let covered =
+            List.concat_map
+              (fun t -> Schedule.proc_ids (Scheduler.history t))
+              scheds
+            |> List.sort compare
+          in
+          if covered <> List.sort compare (List.map Process.pid procs) then begin
+            incr failures;
+            Format.printf "%s COVERAGE: shards ran %d of %d processes@." (repro ())
+              (List.length covered) (List.length procs)
+          end;
+          let solo =
+            Scheduler.create ~config ~spec ~rms:(make_rms ()) ()
+          in
+          List.iter (fun (at, p) -> Scheduler.submit solo ~at p) items;
+          (match Scheduler.run ~until:100000.0 solo with
+          | exception e ->
+              incr failures;
+              Format.printf "%s SOLO-EXCEPTION %s@." (repro ())
+                (Printexc.to_string e)
+          | () ->
+              List.iter
+                (fun t ->
+                  let pids = Schedule.proc_ids (Scheduler.history t) in
+                  let touches pid = List.mem pid pids in
+                  let filtered =
+                    List.filter
+                      (fun ev ->
+                        match ev with
+                        | Schedule.Act inst -> touches (Activity.instance_proc inst)
+                        | Schedule.Commit p | Schedule.Abort p -> touches p
+                        | Schedule.Group_abort ps -> List.exists touches ps)
+                      (Schedule.events (Scheduler.history solo))
+                  in
+                  if
+                    List.map event_str (Schedule.events (Scheduler.history t))
+                    <> List.map event_str filtered
+                  then begin
+                    incr failures;
+                    Format.printf "%s HISTORY-DIVERGENCE from single engine@."
+                      (repro ())
+                  end)
+                scheds);
+          (* recovery from the sharded run's WALs: each shard's on-disk log
+             ["wal.log.shard<i>"] must load clean and recover, with that
+             shard's submissions, to the same terminal statuses the live
+             shard reached *)
+          let buckets =
+            Array.of_list (Shard.partition ~shards:!shards_opt ~spec items)
+          in
+          List.iteri
+            (fun i t ->
+              ignore (Wal.sync (Scheduler.wal t));
+              let path = Printf.sprintf "%s.shard%d" wal_path i in
+              let bucket_procs = List.map snd (Array.get buckets i) in
+              match Wal.load path with
+              | exception e ->
+                  incr failures;
+                  Format.printf "%s shard=%d WAL-LOAD-EXCEPTION %s@." (repro ()) i
+                    (Printexc.to_string e)
+              | report -> (
+                  if report.Wal.anomalies <> [] then begin
+                    incr failures;
+                    Format.printf "%s shard=%d WAL-ANOMALIES@." (repro ()) i
+                  end;
+                  match
+                    Scheduler.recover ~config ~spec ~rms:(make_rms ())
+                      ~procs:bucket_procs report.Wal.records
+                  with
+                  | Error e ->
+                      incr failures;
+                      Format.printf "%s shard=%d RECOVERY-ERROR %s@." (repro ()) i e
+                  | Ok t2 ->
+                      (try Scheduler.run ~until:100000.0 t2
+                       with e ->
+                         incr failures;
+                         Format.printf "%s shard=%d RECOVERY-RUN-EXCEPTION %s@."
+                           (repro ()) i (Printexc.to_string e));
+                      let h2 = Scheduler.history t2 in
+                      if
+                        not
+                          (Scheduler.finished t2 && Schedule.legal h2
+                         && Criteria.pred h2)
+                      then begin
+                        incr failures;
+                        Format.printf "%s shard=%d RECOVERED-INVARIANTS@."
+                          (repro ()) i
+                      end;
+                      List.iter
+                        (fun p ->
+                          let pid = Process.pid p in
+                          if Scheduler.status t pid <> Scheduler.status t2 pid
+                          then begin
+                            incr failures;
+                            Format.printf "%s shard=%d P%d STATUS-DIVERGENCE@."
+                              (repro ()) i pid
+                          end)
+                        bucket_procs))
+            scheds;
+          Array.iter
+            (fun e ->
+              try Sys.remove (Filename.concat wal_dir e) with Sys_error _ -> ())
+            (Sys.readdir wal_dir);
+          (try Unix.rmdir wal_dir with Unix.Unix_error _ -> ()))
+    !seeds;
+  Format.printf "stress --shards: %d runs, %d failures@." !runs !failures;
+  exit (if !failures = 0 then 0 else 1)
+
+(* --- mixed-churn stress ---
+
+   Staggered submissions with random abort requests in between, the run
+   advanced slice by slice; at every slice boundary the incrementally
+   maintained latent base (dirty-set invalidation, patched order) is
+   cross-checked against the from-scratch algorithm. *)
+let churn_stress () =
+  let failures = ref 0 in
+  let runs = ref 0 in
+  List.iter
+    (fun seed ->
+      List.iter
+        (fun mode_name ->
+          incr runs;
+          let mode = mode_of_name mode_name in
+          let params =
+            { Generator.default_params with services = 8; conflict_density = 0.4 }
+          in
+          let rng = Prng.create (seed * 31 + 17) in
+          let spec = Generator.spec params in
+          let rms = Generator.rms params ~seed () in
+          let config =
+            {
+              Scheduler.default_config with
+              mode;
+              seed;
+              admission_engine =
+                (if !check_admission then Scheduler.Checked
+                 else Scheduler.Incremental);
+            }
+          in
+          let t = Scheduler.create ~config ~spec ~rms () in
+          let procs = Generator.batch ~seed:(seed * 100) params ~n:!n_procs in
+          List.iteri
+            (fun i p -> Scheduler.submit t ~at:(0.6 *. float_of_int i) p)
+            procs;
+          let repro () =
+            Printf.sprintf "seed=%d churn mode=%s procs=%d%s" seed mode_name
+              !n_procs
+              (if !check_admission then " check-admission" else "")
+          in
+          let slices = 8 in
+          let span = 0.6 *. float_of_int !n_procs in
+          (try
+             for k = 1 to slices do
+               Scheduler.run ~until:(span *. float_of_int k /. float_of_int slices) t;
+               if Prng.chance rng 0.5 then begin
+                 let victim = 1 + Prng.int rng !n_procs in
+                 if Scheduler.status t victim = Schedule.Active then
+                   Scheduler.request_abort t victim
+               end;
+               match Scheduler.latent_self_check t with
+               | Ok () -> ()
+               | Error msg ->
+                   incr failures;
+                   Format.printf "%s slice=%d LATENT-DIVERGENCE %s@." (repro ()) k
+                     msg
+             done;
+             Scheduler.run ~until:100000.0 t
+           with e ->
+             incr failures;
+             Format.printf "%s EXCEPTION %s@." (repro ()) (Printexc.to_string e));
+          ignore (Scheduler.gc_deps t);
+          let h = Scheduler.history t in
+          let ok_finished = Scheduler.finished t in
+          let ok_legal = Schedule.legal h in
+          let ok_pred = Criteria.pred h in
+          let ok_latent =
+            match Scheduler.latent_self_check t with Ok () -> true | Error _ -> false
+          in
+          if not (ok_finished && ok_legal && ok_pred && ok_latent) then begin
+            incr failures;
+            Format.printf "%s finished=%b legal=%b pred=%b latent=%b@." (repro ())
+              ok_finished ok_legal ok_pred ok_latent
+          end)
+        !modes)
+    !seeds;
+  Format.printf "stress --churn: %d runs, %d failures@." !runs !failures;
+  exit (if !failures = 0 then 0 else 1)
+
 let () =
   Arg.parse speclist
     (fun s -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" s)))
     "stress [options]";
   if !serve_mode then serve_stress ();
+  if !shards_opt > 0 then sharded_stress ();
+  if !churn_mode then churn_stress ();
   let failures = ref 0 in
   let runs = ref 0 in
   List.iter
