@@ -1,0 +1,229 @@
+exception Flush_ahead_of_durable of {
+  page : int;
+  page_lsn : int;
+  durable : int;
+}
+
+let () =
+  Printexc.register_printer (function
+    | Flush_ahead_of_durable { page; page_lsn; durable } ->
+        Some
+          (Printf.sprintf "Bufpool.Flush_ahead_of_durable(page %d: page_lsn %d > durable %d)"
+             page page_lsn durable)
+    | _ -> None)
+
+type frame = {
+  f_pid : int;
+  buf : Bytes.t;
+  mutable pins : int;
+  mutable dirty : bool;
+  mutable rec_lsn : int;  (* first LSN that dirtied the page since clean; 0 when clean *)
+  mutable refbit : bool;
+}
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  flushes : int;
+  overflows : int;
+  wal_syncs : int;
+  resident : int;
+  dirty : int;
+  pinned : int;
+}
+
+type t = {
+  pgr : Pager.t;
+  budget : int;
+  tbl : (int, frame) Hashtbl.t;
+  clock : int Queue.t;  (* rotation order; may hold stale pids of evicted frames *)
+  mutable durable_lsn : unit -> int;
+  mutable force_durable : unit -> unit;
+  mutable on_flush : int -> unit;
+  mutable is_frozen : bool;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable flushes : int;
+  mutable overflows : int;
+  mutable wal_syncs : int;
+}
+
+let create ?(frames = 64) pgr =
+  if frames < 1 then invalid_arg "Bufpool.create: frames must be >= 1";
+  {
+    pgr;
+    budget = frames;
+    tbl = Hashtbl.create (2 * frames);
+    clock = Queue.create ();
+    durable_lsn = (fun () -> max_int);
+    force_durable = ignore;
+    on_flush = ignore;
+    is_frozen = false;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    flushes = 0;
+    overflows = 0;
+    wal_syncs = 0;
+  }
+
+let pager t = t.pgr
+let frames t = t.budget
+
+let set_wal t ~durable_lsn ~force_durable =
+  t.durable_lsn <- durable_lsn;
+  t.force_durable <- force_durable
+
+let set_on_flush t f = t.on_flush <- f
+let freeze t = t.is_frozen <- true
+let frozen t = t.is_frozen
+
+let page_lsn f = Pager.Page.lsn f.buf
+
+let flush_frame t f =
+  (* the WAL rule, enforced at the last possible moment: every caller
+     checks flushability first, so this raise firing means a pool bug —
+     the sweep and the unit tests treat it as an invariant violation *)
+  let durable = t.durable_lsn () in
+  if page_lsn f > durable then
+    raise (Flush_ahead_of_durable { page = f.f_pid; page_lsn = page_lsn f; durable });
+  Pager.write t.pgr f.f_pid f.buf;
+  f.dirty <- false;
+  f.rec_lsn <- 0;
+  t.flushes <- t.flushes + 1;
+  t.on_flush t.flushes
+
+let flushable t f = (not t.is_frozen) && page_lsn f <= t.durable_lsn ()
+
+(* One clock sweep: pop-inspect-requeue until an unpinned frame with a
+   clear reference bit turns up that is either clean or flushable.
+   Bounded by twice the queue length (every frame's refbit can be
+   cleared at most once per sweep). *)
+let try_evict_once t =
+  let steps = ref (2 * Queue.length t.clock) in
+  let victim = ref None in
+  while !victim = None && !steps > 0 do
+    decr steps;
+    match Queue.take_opt t.clock with
+    | None -> steps := 0
+    | Some pid -> (
+        match Hashtbl.find_opt t.tbl pid with
+        | None -> ()  (* stale entry of an already-evicted frame *)
+        | Some f ->
+            if f.pins > 0 then Queue.add pid t.clock
+            else if f.refbit then begin
+              f.refbit <- false;
+              Queue.add pid t.clock
+            end
+            else if (not f.dirty) || flushable t f then victim := Some f
+            else Queue.add pid t.clock)
+  done;
+  match !victim with
+  | None -> false
+  | Some f ->
+      if f.dirty then flush_frame t f;
+      Hashtbl.remove t.tbl f.f_pid;
+      t.evictions <- t.evictions + 1;
+      true
+
+let make_room t =
+  if Hashtbl.length t.tbl >= t.budget then
+    if not (try_evict_once t) then begin
+      (* every frame is pinned or sits behind the durable marker: force a
+         sync once and retry; if the marker still does not cover them
+         (a lying-fsync window, or a frozen pool) admit an extra frame —
+         the flush rule is absolute, liveness is preserved by memory *)
+      if not t.is_frozen then begin
+        t.force_durable ();
+        t.wal_syncs <- t.wal_syncs + 1
+      end;
+      if not (try_evict_once t) then t.overflows <- t.overflows + 1
+    end
+
+let admit t pid buf =
+  let f = { f_pid = pid; buf; pins = 0; dirty = false; rec_lsn = 0; refbit = true } in
+  Hashtbl.replace t.tbl pid f;
+  Queue.add pid t.clock;
+  f
+
+let get_frame t pid =
+  match Hashtbl.find_opt t.tbl pid with
+  | Some f ->
+      t.hits <- t.hits + 1;
+      f.refbit <- true;
+      f
+  | None ->
+      t.misses <- t.misses + 1;
+      make_room t;
+      admit t pid (Pager.read t.pgr pid)
+
+let alloc t =
+  let pid = Pager.alloc t.pgr in
+  make_room t;
+  let buf = Bytes.create (Pager.page_size t.pgr) in
+  Pager.Page.init buf;
+  ignore (admit t pid buf);
+  pid
+
+let with_page t pid f =
+  let fr = get_frame t pid in
+  fr.pins <- fr.pins + 1;
+  Fun.protect ~finally:(fun () -> fr.pins <- fr.pins - 1) (fun () -> f fr.buf)
+
+let with_page_w t pid ~lsn f =
+  let fr = get_frame t pid in
+  fr.pins <- fr.pins + 1;
+  (* mark before running [f]: if it raises midway the buffer may already
+     be mutated, and an unmarked mutated frame would silently diverge
+     from disk — a spurious dirty bit only costs a redundant flush *)
+  if not fr.dirty then begin
+    fr.dirty <- true;
+    fr.rec_lsn <- lsn
+  end;
+  if lsn > page_lsn fr then Pager.Page.set_lsn fr.buf lsn;
+  Fun.protect ~finally:(fun () -> fr.pins <- fr.pins - 1) (fun () -> f fr.buf)
+
+let flush t =
+  if not t.is_frozen then
+    Hashtbl.iter (fun _ (f : frame) -> if f.dirty && flushable t f then flush_frame t f) t.tbl
+
+let flush_all t =
+  if not t.is_frozen then begin
+    t.force_durable ();
+    t.wal_syncs <- t.wal_syncs + 1;
+    flush t
+  end
+
+let dirty_page_table t =
+  Hashtbl.fold
+    (fun pid (f : frame) acc -> if f.dirty then (pid, f.rec_lsn) :: acc else acc)
+    t.tbl []
+  |> List.sort compare
+
+let min_rec_lsn t =
+  Hashtbl.fold
+    (fun _ (f : frame) acc ->
+      if f.dirty then Some (match acc with None -> f.rec_lsn | Some m -> min m f.rec_lsn)
+      else acc)
+    t.tbl None
+
+let stats t =
+  let dirty = ref 0 and pinned = ref 0 in
+  Hashtbl.iter
+    (fun _ (f : frame) ->
+      if f.dirty then incr dirty;
+      if f.pins > 0 then incr pinned)
+    t.tbl;
+  {
+    hits = t.hits;
+    misses = t.misses;
+    evictions = t.evictions;
+    flushes = t.flushes;
+    overflows = t.overflows;
+    wal_syncs = t.wal_syncs;
+    resident = Hashtbl.length t.tbl;
+    dirty = !dirty;
+    pinned = !pinned;
+  }

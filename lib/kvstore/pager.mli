@@ -1,0 +1,113 @@
+(** Slotted pages and the on-disk page file beneath the paged {!Store}.
+
+    A page file is a fixed 16-byte header followed by [page_size]-byte
+    pages.  Each page carries its own CRC32 (over everything but the
+    checksum field itself) and its [page_lsn] — the log position of the
+    last mutation applied to it — so a torn or bit-damaged page write is
+    a {e detected} corruption on the next read, mirroring the WAL's
+    fail-stop/salvage posture: never a silent misread.
+
+    Page layout ([page_size] bytes):
+    {v
+    0..3    crc32 of bytes 4..page_size-1 (LE)
+    4..11   page_lsn (int64 LE)
+    12..13  slot count (u16 LE)
+    14..15  cell_start (u16 LE): cells occupy [cell_start, page_size)
+    16..    slot directory, 6 bytes per slot: off u16, klen u16, vlen u16
+    v}
+    Cells (key bytes followed by value bytes) grow downward from the end
+    of the page; removal leaves a hole that an insert reclaims by
+    compacting the page in place when contiguous space runs out.
+
+    The pager itself is policy-free: it never decides {e when} a page is
+    written.  Write ordering against the WAL's durable marker is the
+    buffer pool's job ({!Bufpool}). *)
+
+exception Corrupt_page of {
+  page : int;
+  reason : string;
+}
+
+(** In-memory page operations over a [page_size]-byte buffer. *)
+module Page : sig
+  val header : int
+  (** Bytes reserved for checksum, LSN and slot-directory bookkeeping. *)
+
+  val slot_size : int
+
+  val init : Bytes.t -> unit
+  (** Format the buffer as an empty page (LSN 0, no slots). *)
+
+  val lsn : Bytes.t -> int
+  val set_lsn : Bytes.t -> int -> unit
+  val nslots : Bytes.t -> int
+
+  val find : Bytes.t -> string -> string option
+  (** Value bytes of a key, if present. *)
+
+  val insert : Bytes.t -> string -> string -> bool
+  (** Replaces an existing cell for the key, else adds one; compacts the
+      page in place if the hole space suffices.  [false] when the entry
+      does not fit even after compaction — any replaced cell was removed
+      first, so the key is then absent from this page and the caller must
+      re-home it. *)
+
+  val remove : Bytes.t -> string -> bool
+  (** [false] when the key is absent. *)
+
+  val entries : Bytes.t -> (string * string) list
+  (** All (key, value bytes) cells, in slot order. *)
+
+  val free_space : Bytes.t -> int
+  (** Bytes available to future inserts after a compaction: counts both
+      the contiguous gap and the holes left by removals.  An entry of
+      [k]+[v] bytes needs [k + v + slot_size] of it. *)
+
+  val capacity : int -> int
+  (** Usable bytes of an empty page of the given size. *)
+end
+
+type t
+
+val create : ?page_size:int -> string -> t
+(** Fresh page file at the path (truncates an existing one).
+    [page_size] defaults to 4096 bytes; bounds: 128..32768. *)
+
+val open_ : string -> t
+(** Opens an existing page file.  Validates the header magic and reads
+    the page size back; raises {!Corrupt_page} (page -1) on a damaged
+    header.  Page contents are {e not} validated here — {!read} checks
+    each page's CRC on access, and a trailing partial page (a torn file
+    extension) reads as corrupt rather than being silently dropped. *)
+
+val page_size : t -> int
+val npages : t -> int
+(** Pages the file extends to, including never-written holes. *)
+
+val path : t -> string
+
+val page_offset : t -> int -> int
+(** Byte offset of a page in the file — the injection map for byte-level
+    fault sweeps. *)
+
+val alloc : t -> int
+(** A fresh page id past the current extent.  Nothing is written: until
+    the first {!write}, the page reads back as empty. *)
+
+val read : t -> int -> Bytes.t
+(** The page's bytes, CRC-checked.  A never-written page (an [alloc]
+    that was not yet flushed, or a hole from writes past it) and an
+    all-zero page both read as a fresh empty page.  Anything else that
+    fails the checksum — including a short read inside the file extent —
+    raises {!Corrupt_page}. *)
+
+val read_result : t -> int -> (Bytes.t, string) result
+(** [read] with the corruption reason as a value, for salvage-style
+    scans that quarantine damaged pages instead of failing stop. *)
+
+val write : t -> int -> Bytes.t -> unit
+(** Seals the buffer's checksum and writes the page in place.  The
+    caller (the buffer pool) must have established that the page's LSN
+    is covered by the WAL's honest durable marker. *)
+
+val close : t -> unit

@@ -1,38 +1,194 @@
+type paged = {
+  pool : Bufpool.t;
+  dir : (string, int) Hashtbl.t;  (* key -> page holding its cell *)
+  space : (int, int) Hashtbl.t;  (* page -> free bytes (post-compaction) *)
+  mutable hook : (string -> string option -> int) option;
+      (* WAL append for a mutation: (key, marshaled value or None) -> LSN *)
+  redone : (string, int) Hashtbl.t;
+      (* key -> highest LSN applied through {!redo}.  Redo may re-home a
+         key onto a page whose page_lsn is already high from unrelated
+         keys, so for redone keys the page-LSN guard is unsound; this
+         table is the authoritative guard for them.  Unused (and
+         harmless) once normal operation resumes. *)
+}
+
+type backend =
+  | Mem of (string, Value.t) Hashtbl.t
+  | Paged of paged
+
 type t = {
-  data : (string, Value.t) Hashtbl.t;
+  backend : backend;
   mutable version : int;
 }
 
-let create () = { data = Hashtbl.create 64; version = 0 }
-let get store key = Option.value ~default:Value.Nil (Hashtbl.find_opt store.data key)
+let create () = { backend = Mem (Hashtbl.create 64); version = 0 }
+
+let encode (v : Value.t) = Marshal.to_string v []
+let decode s : Value.t = Marshal.from_string s 0
+
+let get store key =
+  match store.backend with
+  | Mem data -> Option.value ~default:Value.Nil (Hashtbl.find_opt data key)
+  | Paged p -> (
+      match Hashtbl.find_opt p.dir key with
+      | None -> Value.Nil
+      | Some pid -> (
+          match Bufpool.with_page p.pool pid (fun buf -> Pager.Page.find buf key) with
+          | Some vs -> decode vs
+          | None ->
+              (* the directory is rebuilt from the pages themselves, so a
+                 dangling entry is a store bug, not a data state *)
+              invalid_arg (Printf.sprintf "Store.get: directory names page %d for %S but the page has no such cell" pid key)))
+
+let mem store key =
+  match store.backend with
+  | Mem data -> Hashtbl.mem data key
+  | Paged p -> Hashtbl.mem p.dir key
+
+let log_mut p key value = match p.hook with Some h -> h key value | None -> 0
+let note_space p pid buf = Hashtbl.replace p.space pid (Pager.Page.free_space buf)
+
+(* Home for a new cell: the first known page with room, else a fresh
+   page.  Deletions feed freed bytes back into [space], so holes get
+   reused instead of growing the file forever. *)
+let place p ~need =
+  let found = ref None in
+  (try
+     Hashtbl.iter
+       (fun pid free ->
+         if free >= need then begin
+           found := Some pid;
+           raise Exit
+         end)
+       p.space
+   with Exit -> ());
+  match !found with
+  | Some pid -> pid
+  | None ->
+      let pid = Bufpool.alloc p.pool in
+      Hashtbl.replace p.space pid (Pager.Page.capacity (Pager.page_size (Bufpool.pager p.pool)));
+      pid
+
+let paged_set p key vs ~lsn =
+  let page_size = Pager.page_size (Bufpool.pager p.pool) in
+  let need = String.length key + String.length vs + Pager.Page.slot_size in
+  if need > Pager.Page.capacity page_size then
+    invalid_arg
+      (Printf.sprintf "Store.set: entry for %S needs %d bytes, page capacity is %d" key need
+         (Pager.Page.capacity page_size));
+  let in_place =
+    match Hashtbl.find_opt p.dir key with
+    | None -> false
+    | Some pid ->
+        let fit =
+          Bufpool.with_page_w p.pool pid ~lsn (fun buf ->
+              let fit = Pager.Page.insert buf key vs in
+              note_space p pid buf;
+              fit)
+        in
+        (* on a failed fit the old cell is already gone (Page.insert
+           removes it first): fall through to re-home the key *)
+        if not fit then Hashtbl.remove p.dir key;
+        fit
+  in
+  if not in_place then begin
+    let pid = place p ~need in
+    Bufpool.with_page_w p.pool pid ~lsn (fun buf ->
+        if not (Pager.Page.insert buf key vs) then
+          invalid_arg (Printf.sprintf "Store.set: page %d advertised room it does not have" pid);
+        note_space p pid buf);
+    Hashtbl.replace p.dir key pid
+  end
+
+let paged_delete p key ~lsn =
+  match Hashtbl.find_opt p.dir key with
+  | None -> ()
+  | Some pid ->
+      Bufpool.with_page_w p.pool pid ~lsn (fun buf ->
+          ignore (Pager.Page.remove buf key);
+          note_space p pid buf);
+      Hashtbl.remove p.dir key
 
 let set store key value =
-  store.version <- store.version + 1;
-  Hashtbl.replace store.data key value
+  (* a write of the value already present is a no-op: it must not bump
+     the version (the counter backs the effect-freeness checks of
+     Definitions 1 and 6) and, in paged mode, must not log or dirty *)
+  let current = if mem store key then Some (get store key) else None in
+  match current with
+  | Some c when Value.equal c value -> ()
+  | _ -> (
+      store.version <- store.version + 1;
+      match store.backend with
+      | Mem data -> Hashtbl.replace data key value
+      | Paged p ->
+          let vs = encode value in
+          let lsn = log_mut p key (Some vs) in
+          paged_set p key vs ~lsn)
 
 let delete store key =
-  store.version <- store.version + 1;
-  Hashtbl.remove store.data key
-
-let mem store key = Hashtbl.mem store.data key
+  (* deleting an absent key is equally a no-op *)
+  if mem store key then begin
+    store.version <- store.version + 1;
+    match store.backend with
+    | Mem data -> Hashtbl.remove data key
+    | Paged p ->
+        let lsn = log_mut p key None in
+        paged_delete p key ~lsn
+  end
 
 let keys store =
-  Hashtbl.fold (fun k _ acc -> k :: acc) store.data [] |> List.sort compare
+  match store.backend with
+  | Mem data -> Hashtbl.fold (fun k _ acc -> k :: acc) data [] |> List.sort compare
+  | Paged p -> Hashtbl.fold (fun k _ acc -> k :: acc) p.dir [] |> List.sort compare
 
 let version store = store.version
 
 let snapshot store =
-  Hashtbl.fold (fun k v acc -> (k, v) :: acc) store.data [] |> List.sort compare
+  match store.backend with
+  | Mem data -> Hashtbl.fold (fun k v acc -> (k, v) :: acc) data [] |> List.sort compare
+  | Paged _ -> List.map (fun k -> (k, get store k)) (keys store)
+
+module String_map = Map.Make (String)
 
 let restore store entries =
-  Hashtbl.reset store.data;
-  store.version <- store.version + 1;
-  List.iter (fun (k, v) -> Hashtbl.replace store.data k v) entries
+  (* [entries] may hold duplicate keys (later wins, matching the old
+     replace-in-order semantics): normalize before comparing *)
+  let effective =
+    List.fold_left (fun m (k, v) -> String_map.add k v m) String_map.empty entries
+    |> String_map.bindings
+  in
+  let current = snapshot store in
+  let same =
+    List.length current = List.length effective
+    && List.for_all2
+         (fun (k, v) (k', v') -> String.equal k k' && Value.equal v v')
+         current effective
+  in
+  if not same then begin
+    (match store.backend with
+    | Mem data ->
+        Hashtbl.reset data;
+        List.iter (fun (k, v) -> Hashtbl.replace data k v) effective
+    | Paged p ->
+        List.iter
+          (fun (k, _) -> paged_delete p k ~lsn:(log_mut p k None))
+          current;
+        List.iter
+          (fun (k, v) ->
+            let vs = encode v in
+            paged_set p k vs ~lsn:(log_mut p k (Some vs)))
+          effective);
+    store.version <- store.version + 1
+  end
 
 let copy store =
-  let fresh = create () in
-  restore fresh (snapshot store);
-  fresh
+  (* a faithful copy: same content *and* same version, so version-based
+     observational comparisons hold across a copy.  Always an in-memory
+     store — copies are scratch state for oracles and baselines, never
+     the durable one. *)
+  let data = Hashtbl.create 64 in
+  List.iter (fun (k, v) -> Hashtbl.replace data k v) (snapshot store);
+  { backend = Mem data; version = store.version }
 
 let equal_state a b =
   let sa = snapshot a and sb = snapshot b in
@@ -43,3 +199,131 @@ let pp fmt store =
   Format.fprintf fmt "@[<v>%a@]"
     (Format.pp_print_list (fun fmt (k, v) -> Format.fprintf fmt "%s = %a" k Value.pp v))
     (snapshot store)
+
+(* ------------------------------------------------------------------ *)
+(* Paged construction, WAL wiring and recovery. *)
+
+let create_paged ?frames ?page_size path =
+  let pager = Pager.create ?page_size path in
+  let pool = Bufpool.create ?frames pager in
+  {
+    backend =
+      Paged
+        {
+          pool;
+          dir = Hashtbl.create 64;
+          space = Hashtbl.create 16;
+          hook = None;
+          redone = Hashtbl.create 16;
+        };
+    version = 0;
+  }
+
+let open_paged ?(policy = `Fail_stop) ?frames path =
+  let pager = Pager.open_ path in
+  let pool = Bufpool.create ?frames pager in
+  let p =
+    {
+      pool;
+      dir = Hashtbl.create 64;
+      space = Hashtbl.create 16;
+      hook = None;
+      redone = Hashtbl.create 16;
+    }
+  in
+  let anomalies = ref [] in
+  let page_lsns : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  (* stale duplicates to scrub: a crash between two flushes can leave a
+     moved key on both its old and new page; the copy on the page with
+     the higher page_lsn is current *)
+  let scrub : (int * string) list ref = ref [] in
+  for pid = 0 to Pager.npages pager - 1 do
+    match Pager.read_result pager pid with
+    | Error reason -> (
+        match policy with
+        | `Fail_stop -> raise (Pager.Corrupt_page { page = pid; reason })
+        | `Salvage ->
+            (* quarantined: not offered for reuse, its keys (if any) are
+               lost here and must come back via redo from the log *)
+            anomalies := (pid, reason) :: !anomalies)
+    | Ok buf ->
+        let lsn = Pager.Page.lsn buf in
+        Hashtbl.replace page_lsns pid lsn;
+        Hashtbl.replace p.space pid (Pager.Page.free_space buf);
+        List.iter
+          (fun (k, _) ->
+            match Hashtbl.find_opt p.dir k with
+            | None -> Hashtbl.replace p.dir k pid
+            | Some prev ->
+                let prev_lsn = Hashtbl.find page_lsns prev in
+                if lsn > prev_lsn then begin
+                  scrub := (prev, k) :: !scrub;
+                  Hashtbl.replace p.dir k pid
+                end
+                else scrub := (pid, k) :: !scrub)
+          (Pager.Page.entries buf)
+  done;
+  List.iter
+    (fun (pid, k) ->
+      (* preserve the page's own LSN: scrubbing repairs the image, it is
+         not a new mutation *)
+      let lsn = Hashtbl.find page_lsns pid in
+      Bufpool.with_page_w pool pid ~lsn (fun buf ->
+          ignore (Pager.Page.remove buf k);
+          Hashtbl.replace p.space pid (Pager.Page.free_space buf)))
+    !scrub;
+  ({ backend = Paged p; version = 0 }, List.rev !anomalies)
+
+let is_paged store = match store.backend with Paged _ -> true | Mem _ -> false
+
+let connect_wal store ~log ~durable_lsn ~force_durable =
+  match store.backend with
+  | Mem _ -> invalid_arg "Store.connect_wal: in-memory store has no pages to coordinate"
+  | Paged p ->
+      p.hook <- Some log;
+      Bufpool.set_wal p.pool ~durable_lsn ~force_durable
+
+let bufpool store = match store.backend with Mem _ -> None | Paged p -> Some p.pool
+
+let flush store =
+  match store.backend with Mem _ -> () | Paged p -> Bufpool.flush_all p.pool
+
+let freeze store =
+  match store.backend with Mem _ -> () | Paged p -> Bufpool.freeze p.pool
+
+let redo store ~lsn key value =
+  match store.backend with
+  | Mem data -> (
+      store.version <- store.version + 1;
+      match value with
+      | Some vs -> Hashtbl.replace data key (decode vs)
+      | None -> Hashtbl.remove data key)
+  | Paged p ->
+      (* Page-LSN guard: during normal operation every mutation of a key
+         stamps the page(s) whose cell situation it changes, so if the
+         page holding the key in the image *as recovered from disk*
+         carries this LSN or a later one, that image already reflects
+         every operation on the key up to that LSN — replaying would be
+         redundant at best and would clobber a later value at worst.
+         The guard is only sound for that disk image: redo itself may
+         re-home a key onto a page whose page_lsn is already high from
+         unrelated keys, so once a key has been redone the [redone]
+         table (its highest applied LSN) is the guard instead.  A key
+         with no cell anywhere has nothing to vouch for the operation:
+         apply it (deletes of absent keys are no-ops). *)
+      let covered =
+        match Hashtbl.find_opt p.redone key with
+        | Some applied -> lsn <= applied
+        | None -> (
+            match Hashtbl.find_opt p.dir key with
+            | None -> false
+            | Some pid ->
+                Bufpool.with_page p.pool pid (fun buf -> Pager.Page.lsn buf >= lsn))
+      in
+      if not covered then begin
+        store.version <- store.version + 1;
+        Hashtbl.replace p.redone key lsn;
+        match value with
+        | Some vs -> paged_set p key vs ~lsn
+        | None -> paged_delete p key ~lsn
+      end

@@ -1,4 +1,5 @@
 module String_map = Map.Make (String)
+module String_set = Set.Make (String)
 
 type status =
   | Active
@@ -8,20 +9,28 @@ type status =
 type t = {
   store : Store.t;
   mutable writes : Value.t option String_map.t;  (* None = delete *)
-  mutable reads : String_map.key list;
+  mutable reads : String_set.t;
+      (* a set, not a list: the old [List.mem] membership test made n
+         reads O(n²) and read_set fell back on polymorphic compare *)
   mutable undo : Value.t String_map.t;  (* pre-images, first-write wins *)
   mutable status : status;
 }
 
 let begin_ store =
-  { store; writes = String_map.empty; reads = []; undo = String_map.empty; status = Active }
+  {
+    store;
+    writes = String_map.empty;
+    reads = String_set.empty;
+    undo = String_map.empty;
+    status = Active;
+  }
 
 let check_active tx op =
   if tx.status <> Active then invalid_arg (Printf.sprintf "Tx.%s: transaction terminated" op)
 
 let get tx key =
   check_active tx "get";
-  if not (List.mem key tx.reads) then tx.reads <- key :: tx.reads;
+  tx.reads <- String_set.add key tx.reads;
   match String_map.find_opt key tx.writes with
   | Some (Some v) -> v
   | Some None -> Value.Nil
@@ -41,7 +50,7 @@ let delete tx key =
   record_undo tx key;
   tx.writes <- String_map.add key None tx.writes
 
-let read_set tx = List.sort_uniq compare tx.reads
+let read_set tx = String_set.elements tx.reads
 let write_set tx = List.map fst (String_map.bindings tx.writes)
 
 let commit tx =

@@ -1,6 +1,7 @@
 open Tpm_core
 module Rm = Tpm_subsys.Rm
 module Value = Tpm_kv.Value
+module Store = Tpm_kv.Store
 module Des = Tpm_sim.Des
 module Prng = Tpm_sim.Prng
 module Metrics = Tpm_sim.Metrics
@@ -425,6 +426,24 @@ let create ?(config = default_config) ?(faults = Faults.none)
       | None -> k ()
     end
   in
+  (* Paged resource-manager stores plug into the same log: every store
+     mutation appends a [Kv_write] through [logf] — so crash triggers,
+     systematic crash placement and tracing all see it — and gets the
+     record's LSN back to stamp its page.  The buffer pool's flush rule
+     reads the honest durable marker (never the acked count: a lying
+     fsync must not unlock a page write) and may force a sync when
+     eviction finds only unflushable victims. *)
+  List.iter
+    (fun rm ->
+      let store = Rm.store rm in
+      if Store.is_paged store then
+        Store.connect_wal store
+          ~log:(fun key value ->
+            logf (Wal.Kv_write { rm = Rm.name rm; key; value });
+            Wal.size wal)
+          ~durable_lsn:(fun () -> (Wal.stats wal).Wal.durable_records)
+          ~force_durable:(fun () -> ignore (Wal.sync wal)))
+    rms;
   let halted () = !crashed in
   Metrics.incr metrics ~by:0 "indoubt_resolved";
   let coord =
@@ -2392,10 +2411,30 @@ let closed_pids t term =
       if ps.phase = Done && ps.term = term then Some (Process.pid ps.proc) else None)
     (pstates t)
 
+(* Checkpoint-time page bookkeeping: write back every dirty page the
+   durable marker covers (after forcing a sync), then log what is still
+   dirty as a [Dirty_pages] snapshot per paged store.  Page redo after a
+   crash starts at the snapshot's minimum rec_lsn instead of the whole
+   log.  Under a lying-fsync window pages can stay dirty — the snapshot
+   is taken after the flush, so the bound remains honest. *)
+let log_dirty_pages t =
+  Hashtbl.iter
+    (fun name rm ->
+      let store = Rm.store rm in
+      match Store.bufpool store with
+      | None -> ()
+      | Some pool ->
+          Store.flush store;
+          t.logf (Wal.Dirty_pages { rm = name; pages = Tpm_kv.Bufpool.dirty_page_table pool }))
+    t.rms
+
 let checkpoint t =
   log t
     (Wal.Checkpoint
-       { committed = closed_pids t Schedule.Committed; aborted = closed_pids t Schedule.Aborted })
+       { committed = closed_pids t Schedule.Committed; aborted = closed_pids t Schedule.Aborted });
+  (* after the checkpoint record: compaction cuts at the [Checkpoint]
+     position and keeps only later page snapshots *)
+  log_dirty_pages t
 
 (* Fuzzy checkpoint: log [Ckpt_begin] now and seal the span with a
    [Ckpt_end] one [window] later, naming the processes closed at {e end}
@@ -2408,20 +2447,28 @@ let checkpoint_fuzzy ?(window = 0.5) t =
   let ckpt = t.ckpt_seq in
   log t (Wal.Ckpt_begin { ckpt });
   Des.at t.sim (now t +. window) (fun _ ->
-      if not !(t.crashed) then
+      if not !(t.crashed) then begin
+        (* inside the span, like the rest of the fuzzy checkpoint's
+           records, so compaction (which cuts at the begin) keeps it *)
+        log_dirty_pages t;
         log t
           (Wal.Ckpt_end
              {
                ckpt;
                committed = closed_pids t Schedule.Committed;
                aborted = closed_pids t Schedule.Aborted;
-             }))
+             })
+      end)
 
 let wal t = t.wal
 
 let crash t =
   t.crashed := true;
   Bus.halt t.bus;
+  (* paged stores share the host's fate: their page files stop changing
+     at this instant (no-op for in-memory stores, which model subsystems
+     on machines that survive the scheduler crash) *)
+  Hashtbl.iter (fun _ rm -> Store.freeze (Rm.store rm)) t.rms;
   (* power loss at the disk too: the mirrored segments are truncated to
      the honest durable point (a no-op for in-memory logs), so a harness
      reloading from disk sees exactly what a real restart would *)
@@ -2622,7 +2669,7 @@ let recover ?(config = default_config) ?(amnesia = false) ?tracer ~spec ~rms ~pr
               log t (Wal.Process_aborted pid)
           | Wal.Prepared_decided _ | Wal.Process_registered _ | Wal.Commit_requested _
           | Wal.Abort_requested _ | Wal.Checkpoint _ | Wal.Ckpt_begin _ | Wal.Ckpt_end _
-          | Wal.Coord_forgotten _ -> ())
+          | Wal.Coord_forgotten _ | Wal.Kv_write _ | Wal.Dirty_pages _ -> ())
         records;
       if entries <> [] then begin
         emit t (Schedule.Group_abort (List.map fst entries));

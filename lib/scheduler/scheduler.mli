@@ -263,14 +263,19 @@ val state_fingerprint : t -> string
 
 val checkpoint : t -> unit
 (** Appends a checkpoint naming every terminated process; {!Tpm_wal.Wal.compact}
-    can then drop their records from the log. *)
+    can then drop their records from the log.  For every paged
+    resource-manager store it also flushes what the durable marker
+    covers and logs a [Dirty_pages] snapshot, bounding page redo after a
+    crash to the snapshot's minimum rec_lsn. *)
 
 val checkpoint_fuzzy : ?window:float -> t -> unit
 (** Fuzzy checkpoint: appends [Ckpt_begin] now and seals the span with a
     [Ckpt_end] after [window] (default 0.5) of virtual time, naming the
     processes closed by then.  Appends keep flowing in between; a crash
     before the end record leaves the span incomplete and compaction falls
-    back to the previous complete checkpoint. *)
+    back to the previous complete checkpoint.  Paged stores get the same
+    flush-then-[Dirty_pages] treatment as {!checkpoint}, logged inside
+    the span just before [Ckpt_end]. *)
 
 val wal : t -> Tpm_wal.Wal.t
 (** The scheduler's write-ahead log (for stats, sync and crash imaging
@@ -278,7 +283,10 @@ val wal : t -> Tpm_wal.Wal.t
 
 val crash : t -> Tpm_wal.Wal.record list
 (** Simulates a scheduler failure: drops all volatile state and returns
-    the persistent log.  The subsystems survive (they are independent
+    the persistent log.  Paged stores share the host's fate — their page
+    files are frozen at the crash instant and must be rebuilt with
+    {!Tpm_kv.Store.open_paged} plus {!Tpm_wal.Recovery.kv_redo}.
+    In-memory subsystems survive (they are independent
     transactional systems); in-doubt prepared invocations stay pending
     until recovery decides them. *)
 

@@ -31,10 +31,10 @@ type t = {
 }
 
 let create ~name ~registry ?(fail_prob = fun _ -> 0.0) ?(max_failures = 10)
-    ?(faults = Tpm_sim.Faults.none) ?(seed = 1) () =
+    ?(faults = Tpm_sim.Faults.none) ?(seed = 1) ?store () =
   {
     rm_name = name;
-    rm_store = Store.create ();
+    rm_store = (match store with Some s -> s | None -> Store.create ());
     rm_registry = registry;
     locks = Locks.create ();
     rng = Tpm_sim.Prng.create seed;

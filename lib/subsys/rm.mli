@@ -39,8 +39,12 @@ val create :
   ?max_failures:int ->
   ?faults:Tpm_sim.Faults.t ->
   ?seed:int ->
+  ?store:Tpm_kv.Store.t ->
   unit ->
   t
+(** [store] (default: a fresh in-memory store) lets a harness back the
+    subsystem with a paged store ({!Tpm_kv.Store.create_paged}); the
+    scheduler then wires its WAL to it at construction. *)
 
 val name : t -> string
 val store : t -> Tpm_kv.Store.t

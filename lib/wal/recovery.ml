@@ -75,7 +75,10 @@ let analyze ?(on_step = fun _ -> ()) ~procs records =
       | Wal.Coord_begin { cid; pid; act; _ } -> Hashtbl.replace coord_acts cid (pid, act)
       | Wal.Coord_committed { cid; _ } -> Hashtbl.replace coord_committed cid ()
       | Wal.Ckpt_begin _ | Wal.Coord_forgotten _ | Wal.Commit_requested _
-      | Wal.Abort_requested _ -> ())
+      | Wal.Abort_requested _
+      (* page-store records carry no process state: the process-level plan
+         on a log with and without them is identical by construction *)
+      | Wal.Kv_write _ | Wal.Dirty_pages _ -> ())
     records;
   let committed = ref [] and aborted = ref [] and interrupted = ref [] in
   let error = ref None in
@@ -174,6 +177,37 @@ let analyze ?(on_step = fun _ -> ()) ~procs records =
           aborted = List.rev !aborted;
           interrupted = List.rev !interrupted;
         }
+
+type kv_redo_plan = {
+  start_lsn : int;
+  ops : (int * string * string option) list;
+}
+
+let kv_redo ~rm records =
+  (* The last Dirty_pages snapshot for [rm] bounds redo on its own,
+     complete checkpoint or not: at the instant it was appended, every
+     page absent from it was clean, so no mutation with an LSN below the
+     minimum rec_lsn can be missing from disk.  An empty table says the
+     whole store was clean as of the record's own position.  With no
+     snapshot at all, redo starts at the beginning of the log. *)
+  let start = ref 1 in
+  List.iteri
+    (fun i r ->
+      match r with
+      | Wal.Dirty_pages { rm = rm'; pages } when String.equal rm' rm ->
+          start :=
+            List.fold_left (fun acc (_, rec_lsn) -> min acc rec_lsn) (i + 1) pages
+      | _ -> ())
+    records;
+  let ops = ref [] in
+  List.iteri
+    (fun i r ->
+      match r with
+      | Wal.Kv_write { rm = rm'; key; value } when String.equal rm' rm && i + 1 >= !start ->
+          ops := (i + 1, key, value) :: !ops
+      | _ -> ())
+    records;
+  { start_lsn = !start; ops = List.rev !ops }
 
 let pp fmt t =
   let pp_ints fmt l =

@@ -49,3 +49,22 @@ val analyze :
     [Recovery_step] events. *)
 
 val pp : Format.formatter -> t -> unit
+
+(** {2 Page-store redo} *)
+
+type kv_redo_plan = {
+  start_lsn : int;
+      (** first LSN whose effect may be missing from the page file: the
+          minimum [rec_lsn] of the last {!Wal.Dirty_pages} snapshot for
+          the resource manager (its own position when the table was
+          empty), or 1 with no snapshot at all *)
+  ops : (int * string * string option) list;
+      (** every [(lsn, key, value)] mutation of the resource manager at or
+          past [start_lsn], in log order — feed to [Store.redo], whose
+          page-LSN guard skips the ones already on disk *)
+}
+
+val kv_redo : rm:string -> Wal.record list -> kv_redo_plan
+(** Bounded-redo plan for one resource manager's paged store.  Must run
+    on the log {e as loaded from disk} — never a compacted copy, whose
+    renumbered positions would break the LSN↔page_lsn correspondence. *)

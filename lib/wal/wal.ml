@@ -45,6 +45,19 @@ type record =
       cid : int;
       pid : int;
     }
+  (* The two page-store record kinds are appended at the end of the
+     variant on purpose: Marshal encodes constructors by tag, so adding
+     them anywhere else would silently re-tag every record kind after
+     the insertion point and make existing on-disk logs unreadable. *)
+  | Kv_write of {
+      rm : string;
+      key : string;
+      value : string option;  (* marshaled Value.t; None = delete *)
+    }
+  | Dirty_pages of {
+      rm : string;
+      pages : (int * int) list;  (* (page id, rec_lsn) *)
+    }
 
 type sync_policy =
   | No_sync
@@ -526,6 +539,13 @@ let pp_record fmt = function
         (String.concat "," parts)
   | Coord_committed { cid; pid } -> Format.fprintf fmt "coord-committed(c%d, P_%d)" cid pid
   | Coord_forgotten { cid; pid } -> Format.fprintf fmt "coord-forgotten(c%d, P_%d)" cid pid
+  | Kv_write { rm; key; value } ->
+      Format.fprintf fmt "kv-write(%s, %s%s)" rm key
+        (match value with Some _ -> "" | None -> ", delete")
+  | Dirty_pages { rm; pages } ->
+      Format.fprintf fmt "dirty-pages(%s, [%s])" rm
+        (String.concat ","
+           (List.map (fun (page, rec_lsn) -> Printf.sprintf "%d@%d" page rec_lsn) pages))
 
 let record_pids = function
   | Process_registered pid
@@ -537,7 +557,7 @@ let record_pids = function
   | Compensated { pid; _ } -> [ pid ]
   | Coord_begin { pid; _ } | Coord_committed { pid; _ } | Coord_forgotten { pid; _ } ->
       [ pid ]
-  | Checkpoint _ | Ckpt_begin _ | Ckpt_end _ -> []
+  | Checkpoint _ | Ckpt_begin _ | Ckpt_end _ | Kv_write _ | Dirty_pages _ -> []
 
 let compact records =
   (* The last *complete* checkpoint decides the cut.  An atomic
@@ -572,7 +592,14 @@ let compact records =
       List.filteri
         (fun i r ->
           match r with
-          | Checkpoint _ | Ckpt_begin _ | Ckpt_end _ -> i >= cut
+          (* [Dirty_pages] describes the buffer pool at the instant it was
+             logged; only the latest one matters and it rides with the
+             checkpoint that emitted it, so stale ones compact away like
+             the checkpoint-kind records.  [Kv_write] falls to the default
+             branch: its pid set is empty, so it is always kept — page
+             redo needs positional LSNs, which only the uncompacted log
+             preserves (see the [compact] doc). *)
+          | Checkpoint _ | Ckpt_begin _ | Ckpt_end _ | Dirty_pages _ -> i >= cut
           | _ ->
               i > cut
               || not (List.exists (fun pid -> Hashtbl.mem closed_set pid) (record_pids r)))

@@ -73,6 +73,26 @@ type record =
     }
       (** every participant acknowledged the decision; the instance needs
           no recovery attention *)
+  | Kv_write of {
+      rm : string;
+      key : string;
+      value : string option;
+    }
+      (** physical store mutation of resource manager [rm]: [value] is a
+          marshaled {!Tpm_kv.Value.t} ([None] = delete), kept opaque here
+          so the log stays independent of the kv layer.  The record's
+          1-based position in the log is the LSN that stamps the page it
+          lands on; paged stores replay these on recovery
+          ({!Recovery.kv_redo}).  Ignored by {!Recovery.analyze}. *)
+  | Dirty_pages of {
+      rm : string;
+      pages : (int * int) list;
+    }
+      (** checkpoint-time snapshot of [rm]'s dirty-page table as
+          [(page id, rec_lsn)] pairs: every page not listed was clean
+          (on disk) when this record was appended, so page redo may start
+          at the minimum [rec_lsn] — or at this record's own position
+          when the table was empty.  Ignored by {!Recovery.analyze}. *)
 
 type sync_policy =
   | No_sync  (** never fsync: fast and explicitly unsafe *)
@@ -213,4 +233,10 @@ val compact : record list -> record list
     [Ckpt_end] cuts at its matching [Ckpt_begin] (records inside the
     span survive).  Records of processes the checkpoint did not close
     are kept wherever they appear.  {!Recovery.analyze} yields the same
-    plan on the compacted log. *)
+    plan on the compacted log.
+
+    Page-store records: stale [Dirty_pages] snapshots compact away with
+    the checkpoint-kind records; [Kv_write] records are always kept.
+    Note that compaction renumbers positions, while page LSNs name
+    positions in the {e uncompacted} log — {!Recovery.kv_redo} must run
+    against the log as loaded from disk, never a compacted copy. *)

@@ -24,4 +24,5 @@ let () =
       ("composite", Test_composite.suite);
       ("server", Test_server.suite);
       ("shard", Test_shard.suite);
+      ("pager", Test_pager.suite);
     ]

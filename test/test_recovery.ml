@@ -607,6 +607,22 @@ let test_compact_analyze_random_checkpoints () =
     in
     go 0 ~committed:[] ~aborted:[] records
   in
+  (* page-store records are invisible to process recovery: sprinkling
+     Kv_write / Dirty_pages through the log must leave the analyze plan
+     bit-identical, compacted or not *)
+  let splice_kv rand records =
+    List.concat_map
+      (fun r ->
+        let noise =
+          match Random.State.int rand 6 with
+          | 0 ->
+              [ Wal.Kv_write { rm = "ss0"; key = "k"; value = Some "v" } ]
+          | 1 -> [ Wal.Dirty_pages { rm = "ss0"; pages = [ (0, 1); (3, 2) ] } ]
+          | _ -> []
+        in
+        noise @ [ r ])
+      records
+  in
   List.iter
     (fun seed ->
       let params = { Generator.default_params with services = 8; conflict_density = 0.3 } in
@@ -621,7 +637,7 @@ let test_compact_analyze_random_checkpoints () =
       let n = List.length organic in
       for trial = 0 to 3 do
         let cuts = List.init 2 (fun _ -> Random.State.int rand (n + 1)) in
-        let log = splice cuts organic in
+        let log = splice cuts organic |> splice_kv rand in
         let tag = Printf.sprintf "seed %d trial %d" seed trial in
         match (Recovery.analyze ~procs log, Recovery.analyze ~procs (Wal.compact log)) with
         | Ok full, Ok small ->

@@ -32,6 +32,14 @@ let base_records =
         Wal.Coord_committed { cid = pid; pid };
         Wal.Prepared_decided { pid; act = 2; commit = true };
         Wal.Coord_forgotten { cid = pid; pid };
+        (* page-store records ride in the same stream: the corruption
+           posture (detect, truncate or salvage, never misread) must
+           hold for them too *)
+        Wal.Kv_write
+          { rm = Printf.sprintf "ss%d" (pid mod 2); key = Printf.sprintf "k%d" pid;
+            value = (if pid mod 3 = 0 then None else Some (String.make pid 'v')) };
+        Wal.Dirty_pages
+          { rm = Printf.sprintf "ss%d" (pid mod 2); pages = [ (pid, pid * 3); (pid + 1, pid) ] };
         Wal.Process_committed pid;
       ])
     [ 1; 2; 3; 4; 5 ]

@@ -63,6 +63,13 @@ dune exec tools/stress.exe -- --serve --seeds 41-48
 # drain stages) for every policy, and recover through the full oracle
 # suite replaying exactly the admitted (possibly degraded) processes
 dune exec tools/crashsweep.exe -- --serve-only
+# page-level crash sweep: crash between EVERY pair of buffer-pool page
+# flushes (1-frame pools over ballasted stores, sharp + fuzzy checkpoints
+# mid-run), assert the WAL rule on the surviving page files (no page LSN
+# beyond the durable marker), recover every store through the
+# checkpoint-bounded redo plan against a durable-replay twin, and probe
+# the torn-page posture (fail-stop refuses, salvage + full redo repairs)
+dune exec tools/crashsweep.exe -- --pages-only
 # shard-differential: clustered workloads through Shard.run_parallel with
 # the per-shard admission oracle on and 2 domains; checks per-shard
 # invariants, decision equivalence with a single-engine run, and recovery
@@ -96,7 +103,13 @@ dune exec bench/main.exe -- p12 --quick --max-overhead 0.20
 # multiplying durable-commit throughput (batch-32 >= 2x fsync-per-record
 # and above an absolute floor; measured ~210k rec/s vs the 20k floor)
 dune exec bench/main.exe -- p14 --quick --min-throughput 20000
+# p17 smoke: a pool at least as large as the dataset must stop paging
+# (hit rate >= 95%; measured 100%), the bounded-redo oracle must hold at
+# every pool size (always-on: rebuilt store equals the durable replay,
+# no replayed record below the plan's bound), and the Tx read-set must
+# stay linear (>= 100k reads/s in one transaction; measured ~1M)
+dune exec bench/main.exe -- p17 --quick --min-hit-rate 0.95 --min-tx-reads 100000
 # full bench regenerates the reference output, bench/BENCH_P11.json,
-# bench/BENCH_P12.json, bench/BENCH_P14.json, bench/BENCH_P15.json and
-# bench/BENCH_P16.json
+# bench/BENCH_P12.json, bench/BENCH_P14.json, bench/BENCH_P15.json,
+# bench/BENCH_P16.json and bench/BENCH_P17.json
 dune exec bench/main.exe > bench/bench_output.txt 2>&1

@@ -560,9 +560,258 @@ let serve_sweep ~seed ~policy_name ~policy ~stride =
     seed policy_name !points nsteps !failures;
   !failures
 
+(* ------------------------------------------------------------------ *)
+(* Axis 5: crash between any two page flushes of WAL-coordinated paged
+   stores.  The subsystems run on buffer-pooled page files (1 frame, so
+   eviction traffic is maximal) over an on-disk WAL, with a checkpoint
+   mid-run so [Dirty_pages] snapshots bound redo.  A shared flush counter
+   kills the scheduler right after the k-th page write; page files share
+   the host's fate (frozen at the crash).  At every point:
+
+   - no page on disk carries a page_lsn above the WAL's honest durable
+     marker at the crash (the flush rule, asserted on the artifacts);
+   - every page file reopens whole ([open_paged] reports no anomalies);
+   - rebuilding each store as [open_paged] + {!Recovery.kv_redo} +
+     {!Store.redo} yields exactly the full-durable-replay twin;
+   - the redo plan replays only records at or past its [start_lsn], and
+     across the sweep the checkpoint bound actually skips work.
+
+   A torn-page arm then damages one flushed page per crash image: the
+   [`Fail_stop] open refuses, the [`Salvage] open quarantines and
+   reports, and a full-log redo still rebuilds the twin exactly. *)
+
+module Bufpool = Tpm_kv.Bufpool
+module Pager = Tpm_kv.Pager
+module Recovery = Tpm_wal.Recovery
+
+let page_path dir rm_name = Filename.concat dir (rm_name ^ ".pages")
+
+(* a denser key universe than the other axes, over the smallest pages:
+   each subsystem's store spans several pages while the pool holds one
+   frame, so ordinary workload traffic churns through eviction flushes *)
+let page_params = { params with Generator.services = 18; activities_min = 4; activities_max = 8 }
+let page_procs seed = Generator.batch ~seed:(seed * 100) page_params ~n:4
+
+let paged_rms seed dir =
+  let reg = Generator.registry page_params in
+  List.init page_params.Generator.subsystems (fun i ->
+      let name = Printf.sprintf "ss%d" i in
+      let store = Store.create_paged ~frames:1 ~page_size:128 (page_path dir name) in
+      Rm.create ~name ~registry:reg
+        ~fail_prob:(fun _ -> fail_rate)
+        ~seed:(seed + i) ~store ())
+
+let close_paged_rms rms =
+  List.iter
+    (fun rm ->
+      match Store.bufpool (Rm.store rm) with
+      | Some pool -> Pager.close (Bufpool.pager pool)
+      | None -> ())
+    rms
+
+(* ballast: enough logged keys that each store outgrows its one-frame
+   pool by an order of magnitude, so ordinary workload traffic pages.
+   Loaded after WAL wiring, so every key is a Kv_write in the log and
+   the durable-replay twin reproduces any prefix of it. *)
+let fill_store store =
+  for i = 0 to 29 do
+    Store.set store
+      (Printf.sprintf "fill%02d" i)
+      (Tpm_kv.Value.Text (String.make 20 (Char.chr (Char.code 'a' + (i mod 26)))))
+  done
+
+let fill_rms rms = List.iter (fun rm -> fill_store (Rm.store rm)) rms
+
+(* one paged run: load ballast, arm the flush trigger, drive the workload
+   with checkpoints partway, return the crashed scheduler, its rms and
+   the durable marker at the crash (max_int when no crash fired) *)
+let page_run ~seed ~path ~crash_after_flushes =
+  let dir = Filename.dirname path in
+  let rms = paged_rms seed dir in
+  let config = disk_config Scheduler.Conservative seed Wal.Sync_each in
+  let t =
+    Scheduler.create ~config ~tracer:(mk_tracer ()) ~spec:(Generator.spec page_params) ~rms
+      ~wal_path:path ()
+  in
+  let flushes = ref 0 in
+  let durable_at_crash = ref max_int in
+  List.iter
+    (fun rm ->
+      match Store.bufpool (Rm.store rm) with
+      | Some pool ->
+          Bufpool.set_on_flush pool (fun _ ->
+              incr flushes;
+              if !flushes = crash_after_flushes then begin
+                durable_at_crash := (Wal.stats (Scheduler.wal t)).Wal.durable_records;
+                ignore (Scheduler.crash t)
+              end)
+      | None -> ())
+    rms;
+  (* the trigger is armed before the ballast load: churning 30 keys
+     through a 1-frame pool is itself a long train of eviction flushes,
+     every one of them a crash point *)
+  fill_rms rms;
+  if not (Scheduler.is_crashed t) then submit_all t (page_procs seed);
+  (* two checkpoints partway — one sharp, one fuzzy — so the sweep hits
+     crash points before, between, inside and after Dirty_pages snapshots *)
+  Scheduler.run ~until:1.2 t;
+  if not (Scheduler.is_crashed t) then Scheduler.checkpoint t;
+  Scheduler.run ~until:2.5 t;
+  if not (Scheduler.is_crashed t) then Scheduler.checkpoint_fuzzy t;
+  Scheduler.run ~until:horizon t;
+  (t, rms, !flushes, !durable_at_crash)
+
+(* the full-durable-replay twin for one subsystem: every Kv_write in the
+   crash image applied, in order, into a fresh in-memory store *)
+let replay_twin ~rm_name image =
+  let twin = Store.create () in
+  List.iteri
+    (fun i r ->
+      match r with
+      | Wal.Kv_write { rm; key; value } when String.equal rm rm_name ->
+          Store.redo twin ~lsn:(i + 1) key value
+      | _ -> ())
+    image;
+  twin
+
+let page_sweep ~seed ~stride =
+  let failures = ref 0 in
+  let bounded_skips = ref 0 in
+  let nflushes =
+    with_tmp_wal (fun path ->
+        let t, rms, flushes, _ = page_run ~seed ~path ~crash_after_flushes:0 in
+        if not (Scheduler.finished t) then
+          failwith (Printf.sprintf "crashsweep: paged baseline seed=%d did not finish" seed);
+        close_paged_rms rms;
+        flushes)
+  in
+  let points = ref 0 in
+  let k = ref 1 in
+  while !k <= nflushes do
+    let kk = !k in
+    incr points;
+    let complain name =
+      incr failures;
+      Format.printf "seed=%d page-crash@%d: %s@." seed kk name
+    in
+    let check name cond = if not cond then complain name in
+    with_tmp_wal (fun path ->
+        let dir = Filename.dirname path in
+        let t, rms, _, durable = page_run ~seed ~path ~crash_after_flushes:kk in
+        check "crash trigger did not fire" (Scheduler.is_crashed t);
+        let image = Scheduler.wal_records t in
+        check "image longer than the durable marker" (List.length image <= durable);
+        let recovered_stores =
+          List.map
+            (fun rm ->
+              let name = Rm.name rm in
+              let ppath = page_path dir name in
+              (* the flush rule, on the artifacts: no page the crash left
+                 on disk may carry an LSN past the honest durable marker *)
+              let probe = Pager.open_ ppath in
+              for pid = 0 to Pager.npages probe - 1 do
+                match Pager.read_result probe pid with
+                | Ok buf ->
+                    check
+                      (Printf.sprintf "%s page %d flushed ahead of durable marker" name pid)
+                      (Pager.Page.lsn buf <= durable)
+                | Error reason ->
+                    complain (Printf.sprintf "%s page %d torn in crash image: %s" name pid reason)
+              done;
+              Pager.close probe;
+              let recovered, anomalies = Store.open_paged ~frames:2 ppath in
+              check
+                (Printf.sprintf "%s reopened with anomalies" name)
+                (anomalies = []);
+              let plan = Recovery.kv_redo ~rm:name image in
+              List.iter
+                (fun (lsn, key, v) ->
+                  check
+                    (Printf.sprintf "%s redo plan reaches below its own bound" name)
+                    (lsn >= plan.Recovery.start_lsn);
+                  Store.redo recovered ~lsn key v)
+                plan.Recovery.ops;
+              (* work the checkpoint bound skipped: rm records strictly
+                 below start_lsn never re-run *)
+              List.iteri
+                (fun i r ->
+                  match r with
+                  | Wal.Kv_write { rm = rm'; _ }
+                    when String.equal rm' name && i + 1 < plan.Recovery.start_lsn ->
+                      incr bounded_skips
+                  | _ -> ())
+                image;
+              check
+                (Printf.sprintf "%s rebuilt store diverges from full durable replay" name)
+                (Store.equal_state recovered (replay_twin ~rm_name:name image));
+              recovered)
+            rms
+        in
+        (* no process-level recover_and_check here: a flush trigger fires
+           mid-invocation, so the in-flight transaction's effects land in
+           the frozen in-memory pools after the image was cut — phantom
+           state a shared-fate crash would lose.  The durable-replay twin
+           above is the store oracle for this axis; the process-level
+           oracle suite runs where subsystems survive (axes 1-4). *)
+        (* torn-page arm: damage one flushed page, then fail-stop must
+           refuse, salvage must report, and full redo must still rebuild *)
+        (match
+           List.find_opt
+             (fun rm ->
+               let pgr = Pager.open_ (page_path dir (Rm.name rm)) in
+               let n = Pager.npages pgr in
+               Pager.close pgr;
+               n > 0)
+             rms
+         with
+        | None -> ()
+        | Some rm ->
+            let name = Rm.name rm in
+            let ppath = page_path dir name in
+            Wal.Chaos.flip_bit ~path:ppath ~byte:(16 + 40) ~bit:(kk mod 8);
+            (match Store.open_paged ~policy:`Fail_stop ppath with
+            | exception Pager.Corrupt_page _ -> ()
+            | salvaged, _ ->
+                complain "fail-stop open accepted a torn page";
+                Option.iter (fun p -> Pager.close (Bufpool.pager p)) (Store.bufpool salvaged));
+            (match Store.open_paged ~policy:`Salvage ppath with
+            | exception e ->
+                complain ("salvage open must not raise: " ^ Printexc.to_string e)
+            | salvaged, anomalies ->
+                check "torn page not reported by salvage" (anomalies <> []);
+                (* redo bounded by the checkpoint snapshot cannot
+                   resurrect a quarantined page's keys: salvage demands
+                   the full log, from position 1 *)
+                List.iteri
+                  (fun i r ->
+                    match r with
+                    | Wal.Kv_write { rm = rm'; key; value } when String.equal rm' name ->
+                        Store.redo salvaged ~lsn:(i + 1) key value
+                    | _ -> ())
+                  image;
+                check "salvage + full redo diverges from durable replay"
+                  (Store.equal_state salvaged (replay_twin ~rm_name:name image));
+                Option.iter (fun p -> Pager.close (Bufpool.pager p)) (Store.bufpool salvaged)));
+        List.iter
+          (fun s -> Option.iter (fun p -> Pager.close (Bufpool.pager p)) (Store.bufpool s))
+          recovered_stores;
+        close_paged_rms rms);
+    k := !k + stride
+  done;
+  if !points > 0 && !bounded_skips = 0 then begin
+    incr failures;
+    Format.printf "seed=%d page axis: checkpoint bound never skipped any redo work@." seed
+  end;
+  Format.printf
+    "crashsweep: seed=%d page axis: %d of %d flush crash points, %d records skipped by the \
+     checkpoint bound, %d failures@."
+    seed !points nflushes !bounded_skips !failures;
+  !failures
+
 let () =
   let disk_only = Array.exists (( = ) "--disk-only") Sys.argv in
   let serve_only = Array.exists (( = ) "--serve-only") Sys.argv in
+  let pages_only = Array.exists (( = ) "--pages-only") Sys.argv in
   let failures =
     if disk_only then
       (* full-coverage disk sweep: every crash point, every byte *)
@@ -582,6 +831,9 @@ let () =
               acc + serve_sweep ~seed ~policy_name ~policy ~stride:1)
             acc serve_policies)
         0 seeds
+    else if pages_only then
+      (* full-coverage page sweep: every seed, every flush crash point *)
+      List.fold_left (fun acc seed -> acc + page_sweep ~seed ~stride:1) 0 seeds
     else
       List.fold_left
         (fun acc seed ->
@@ -597,6 +849,9 @@ let () =
          [--serve-only] in CI *)
       + serve_sweep ~seed:11 ~policy_name:"queue" ~policy:Server.Queue ~stride:3
       + serve_sweep ~seed:12 ~policy_name:"degrade" ~policy:Server.Degrade ~stride:5
+      (* strided page axis on one seed; the full sweep runs behind
+         [--pages-only] in CI *)
+      + page_sweep ~seed:11 ~stride:4
   in
   if failures = 0 then Format.printf "crashsweep: all crash points recovered@."
   else Format.printf "crashsweep: %d FAILURES@." failures;
