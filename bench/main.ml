@@ -2362,6 +2362,296 @@ let p17_main args =
       end
       else Format.printf "P17 smoke ok: %.0f tx reads/s >= floor %.0f@." tx_rate floor
 
+(* ------------------------------------------------------------------ *)
+(* P18 — PRED vs. classical concurrency control (strict 2PL, TSO) and
+   the Section 3.6 weak order, across conflict densities.  All four arms
+   run the same generated workloads over the same Rm substrate on the
+   virtual clock: the paper's process-aware scheduler (Deferred mode)
+   against real classical activity schedulers that treat a whole process
+   as one transaction, plus PRED with the enforced weak order — the
+   parallelism multiplier of overlapping conflicting local transactions
+   under subsystem-enforced commit orders. *)
+
+type p18_point = {
+  e_arm : string;
+  e_density : float;
+  e_makespan : float;
+  e_committed : int;
+  e_aborted : int;
+  e_throughput : float;  (* committed processes per unit virtual time *)
+  e_abort_rate : float;
+  e_compensations : int;
+  e_restarts : int;  (* whole-process rollback+restart events (classical) *)
+  e_local_restarts : int;  (* retriable local re-invocations (weak order) *)
+}
+
+let p18_fail = 0.10
+let p18_horizon = 100000.0
+
+(* a tight transient budget (2 attempts before degradation) so injected
+   failures actually reach the degradation/abort paths — and, under the
+   weak order, the retriable re-invocation of dependent locals *)
+let p18_backoff = { Scheduler.default_backoff with max_attempts = Some 2 }
+
+let p18_params density =
+  {
+    Generator.default_params with
+    activities_min = 4;
+    activities_max = 7;
+    services = 6;
+    subsystems = 3;
+    conflict_density = density;
+  }
+
+let p18_zero label density =
+  {
+    e_arm = label;
+    e_density = density;
+    e_makespan = 0.0;
+    e_committed = 0;
+    e_aborted = 0;
+    e_throughput = 0.0;
+    e_abort_rate = 0.0;
+    e_compensations = 0;
+    e_restarts = 0;
+    e_local_restarts = 0;
+  }
+
+let p18_add a b =
+  {
+    a with
+    e_makespan = a.e_makespan +. b.e_makespan;
+    e_committed = a.e_committed + b.e_committed;
+    e_aborted = a.e_aborted + b.e_aborted;
+    e_compensations = a.e_compensations + b.e_compensations;
+    e_restarts = a.e_restarts + b.e_restarts;
+    e_local_restarts = a.e_local_restarts + b.e_local_restarts;
+  }
+
+let p18_finalize ~n_total p =
+  {
+    p with
+    e_throughput = (if p.e_makespan > 0.0 then float_of_int p.e_committed /. p.e_makespan else 0.0);
+    e_abort_rate = float_of_int p.e_aborted /. float_of_int n_total;
+  }
+
+let p18_pred ~label ~config ~density ~seed ~n =
+  let params = p18_params density in
+  let rms = Generator.rms params ~fail_prob:(fun _ -> p18_fail) ~seed () in
+  let spec = Generator.spec params in
+  let t =
+    Scheduler.create
+      ~config:{ config with Scheduler.seed; backoff = p18_backoff }
+      ~spec ~rms ()
+  in
+  List.iteri
+    (fun i p -> Scheduler.submit t ~at:(0.1 *. float_of_int i) p)
+    (Generator.batch ~seed:(seed * 100) params ~n);
+  Scheduler.run ~until:p18_horizon t;
+  if not (Scheduler.finished t) then
+    failwith (Printf.sprintf "p18: %s density=%.2f seed=%d did not finish" label density seed);
+  let m = Scheduler.metrics t in
+  {
+    (p18_zero label density) with
+    e_makespan = Scheduler.now t;
+    e_committed = Metrics.count m "committed";
+    e_aborted = Metrics.count m "aborted";
+    e_compensations = Metrics.count m "compensations";
+    e_local_restarts = Metrics.count m "local_restarts";
+  }
+
+let p18_classical ~kind ~label ~density ~seed ~n =
+  let params = p18_params density in
+  let rms = Generator.rms params ~fail_prob:(fun _ -> p18_fail) ~seed () in
+  let spec = Generator.spec params in
+  let procs = Generator.batch ~seed:(seed * 100) params ~n in
+  let r =
+    Baseline.run kind ~spec ~rms ~horizon:p18_horizon
+      ~submit_at:(fun i -> 0.1 *. float_of_int i)
+      procs
+  in
+  if not r.Baseline.finished then
+    failwith (Printf.sprintf "p18: %s density=%.2f seed=%d did not finish" label density seed);
+  {
+    (p18_zero label density) with
+    e_makespan = r.Baseline.makespan;
+    e_committed = r.Baseline.committed;
+    e_aborted = r.Baseline.aborted;
+    e_compensations = r.Baseline.compensations;
+    e_restarts = r.Baseline.restarts;
+  }
+
+let p18_weak_config =
+  { Scheduler.default_config with weak_order = true; order_enforcement = true }
+
+let p18_row p =
+  [
+    p.e_arm;
+    Printf.sprintf "%.2f" p.e_density;
+    Printf.sprintf "%.1f" p.e_makespan;
+    string_of_int p.e_committed;
+    string_of_int p.e_aborted;
+    Printf.sprintf "%.4f" p.e_throughput;
+    Printf.sprintf "%.3f" p.e_abort_rate;
+    string_of_int p.e_compensations;
+    string_of_int p.e_restarts;
+    string_of_int p.e_local_restarts;
+  ]
+
+let p18_json_point p =
+  Printf.sprintf
+    "{\"arm\": %S, \"conflict_density\": %.2f, \"makespan\": %.2f, \"committed\": %d, \
+     \"aborted\": %d, \"throughput\": %.5f, \"abort_rate\": %.4f, \"compensations\": %d, \
+     \"process_restarts\": %d, \"local_restarts\": %d}"
+    p.e_arm p.e_density p.e_makespan p.e_committed p.e_aborted p.e_throughput p.e_abort_rate
+    p.e_compensations p.e_restarts p.e_local_restarts
+
+let section_p18 ?(quick = false) ?json () =
+  section
+    (if quick then "P18 — PRED vs classical baselines, smoke scales"
+     else "P18 — PRED vs strict 2PL / TSO, and the weak-order multiplier");
+  let densities = [ 0.1; 0.3; 0.6 ] in
+  let seeds = if quick then [ 11; 12 ] else [ 11; 12; 13 ] in
+  let n = if quick then 12 else 24 in
+  let n_total = n * List.length seeds in
+  let arm label runner density =
+    p18_finalize ~n_total
+      (List.fold_left
+         (fun acc seed -> p18_add acc (runner ~density ~seed ~n))
+         (p18_zero label density) seeds)
+  in
+  let points =
+    List.concat_map
+      (fun density ->
+        let pred =
+          arm "pred" (p18_pred ~label:"pred" ~config:Scheduler.default_config) density
+        in
+        let weak =
+          arm "pred+weak" (p18_pred ~label:"pred+weak" ~config:p18_weak_config) density
+        in
+        let tpl =
+          arm "2pl" (p18_classical ~kind:Baseline.Two_pl ~label:"2pl") density
+        in
+        let tso = arm "tso" (p18_classical ~kind:Baseline.Tso ~label:"tso") density in
+        Printf.eprintf "  [p18] density %.2f done\n%!" density;
+        [ pred; weak; tpl; tso ])
+      densities
+  in
+  print_table
+    [ "arm"; "density"; "makespan"; "committed"; "aborted"; "throughput"; "abort rate";
+      "compens"; "restarts"; "local restarts" ]
+    (List.map p18_row points);
+  let find arm density =
+    List.find (fun p -> p.e_arm = arm && p.e_density = density) points
+  in
+  (* the weak-order parallelism multiplier: same scheduler, same
+     workloads; the only delta is overlapping conflicting locals under
+     subsystem-enforced commit orders *)
+  let speedups =
+    List.map
+      (fun d -> (d, (find "pred" d).e_makespan /. (find "pred+weak" d).e_makespan))
+      densities
+  in
+  Format.printf "@.weak-order parallelism multiplier (PRED makespan / PRED+weak makespan):@.";
+  List.iter
+    (fun (d, s) -> Format.printf "  density %.2f: %.2fx@." d s)
+    speedups;
+  let d_hi = List.fold_left max 0.0 densities in
+  let weak_hi = find "pred+weak" d_hi in
+  Format.printf
+    "@.at density %.2f: pred+weak throughput %.4f vs 2PL %.4f vs TSO %.4f; %d local \
+     restarts over the bench@."
+    d_hi weak_hi.e_throughput (find "2pl" d_hi).e_throughput (find "tso" d_hi).e_throughput
+    (List.fold_left (fun acc p -> acc + p.e_local_restarts) 0 points);
+  Format.printf
+    "shape: the classical schedulers hold whole-process footprints — locks (2PL) or@.";
+  Format.printf
+    "timestamp windows (TSO) — so rising conflict density turns into blocking and@.";
+  Format.printf
+    "whole-process restarts.  PRED admits at activity granularity, and the weak@.";
+  Format.printf
+    "order overlaps even conflicting locals, re-invoking (not restarting) on a@.";
+  Format.printf "predecessor abort.@.";
+  (match json with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      Printf.fprintf oc
+        "{\n  \"experiment\": \"P18 PRED vs classical baselines\",\n\
+        \  \"meta\": %s,\n\
+        \  \"workload\": {\"services\": 8, \"subsystems\": 3, \"activities\": \"3-6\", \
+         \"procs_per_seed\": %d, \"seeds\": %d, \"fail_prob\": %.2f},\n\
+        \  \"arms\": [\n    %s\n  ],\n\
+        \  \"weak_order_speedup\": {%s}\n}\n"
+        (meta_json ~experiment:"P18" ())
+        n (List.length seeds) p18_fail
+        (String.concat ",\n    " (List.map p18_json_point points))
+        (String.concat ", "
+           (List.map (fun (d, s) -> Printf.sprintf "\"%.2f\": %.3f" d s) speedups));
+      close_out oc;
+      Format.printf "@.wrote %s@." path);
+  (points, speedups)
+
+let p18_main args =
+  let quick = ref false in
+  let json = ref None in
+  let min_weak_speedup = ref None in
+  let check_baselines = ref false in
+  let rec go = function
+    | [] -> ()
+    | "--quick" :: rest ->
+        quick := true;
+        go rest
+    | "--json" :: path :: rest ->
+        json := Some path;
+        go rest
+    | "--min-weak-speedup" :: v :: rest ->
+        min_weak_speedup := Some (float_of_string v);
+        go rest
+    | "--check-baselines" :: rest ->
+        check_baselines := true;
+        go rest
+    | arg :: _ -> failwith (Printf.sprintf "p18: unknown argument %S" arg)
+  in
+  go args;
+  let points, speedups = section_p18 ~quick:!quick ?json:!json () in
+  let d_hi = List.fold_left (fun acc (d, _) -> max acc d) 0.0 speedups in
+  let hi_speedup = List.assoc d_hi speedups in
+  let total_local_restarts =
+    List.fold_left (fun acc p -> acc + p.e_local_restarts) 0 points
+  in
+  (match !min_weak_speedup with
+  | None -> ()
+  | Some floor ->
+      if hi_speedup < floor then begin
+        Format.printf "P18 SMOKE FAILED: weak-order speedup %.2fx < floor %.2fx at density %.2f@."
+          hi_speedup floor d_hi;
+        exit 1
+      end
+      else
+        Format.printf "P18 smoke ok: weak-order speedup %.2fx >= floor %.2fx at density %.2f@."
+          hi_speedup floor d_hi);
+  if !check_baselines then begin
+    let find arm = List.find (fun p -> p.e_arm = arm && p.e_density = d_hi) points in
+    let weak = find "pred+weak" and tpl = find "2pl" and tso = find "tso" in
+    if weak.e_throughput <= tpl.e_throughput || weak.e_throughput <= tso.e_throughput
+    then begin
+      Format.printf
+        "P18 SMOKE FAILED: pred+weak throughput %.4f must beat 2PL %.4f and TSO %.4f at \
+         density %.2f@."
+        weak.e_throughput tpl.e_throughput tso.e_throughput d_hi;
+      exit 1
+    end;
+    if total_local_restarts = 0 then begin
+      Format.printf "P18 SMOKE FAILED: no retriable local re-invocations observed@.";
+      exit 1
+    end;
+    Format.printf
+      "P18 smoke ok: pred+weak %.4f > 2PL %.4f, > TSO %.4f at density %.2f; %d local \
+       restarts@."
+      weak.e_throughput tpl.e_throughput tso.e_throughput d_hi total_local_restarts
+  end
+
 let () =
   if Array.length Sys.argv > 1 && Sys.argv.(1) = "p11" then begin
     Format.printf "Transactional Process Management — experiment harness@.";
@@ -2393,6 +2683,11 @@ let () =
     p17_main (List.tl (List.tl (Array.to_list Sys.argv)));
     exit 0
   end;
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "p18" then begin
+    Format.printf "Transactional Process Management — experiment harness@.";
+    p18_main (List.tl (List.tl (Array.to_list Sys.argv)));
+    exit 0
+  end;
   Format.printf "Transactional Process Management — experiment harness@.";
   Format.printf "(reproduction of Schuldt, Alonso, Schek: PODS'99)@.";
   let ok = section_e () in
@@ -2412,6 +2707,7 @@ let () =
   ignore (section_p15 ~json:"bench/BENCH_P15.json" ());
   ignore (section_p16 ~json:"bench/BENCH_P16.json" ());
   ignore (section_p17 ~json:"bench/BENCH_P17.json" ());
+  ignore (section_p18 ~json:"bench/BENCH_P18.json" ());
   Format.printf "@.%s@." rule;
   Format.printf "scenario reproduction: %s@." (if ok then "ALL REPRODUCED" else "FAILURES ABOVE");
   if not ok then exit 1

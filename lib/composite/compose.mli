@@ -1,0 +1,25 @@
+(** Multi-level composition (Section 3.6; Börger et al.'s multi-level
+    transaction control): a prec-convex sub-DAG of a process's activities
+    declared a {e subprocess}.  The parent scheduler admits the whole
+    group as one unit against the union of its members' conflict
+    footprints; the inner engine (the process's own precedence order)
+    schedules the children without further parent-level admission. *)
+
+type group = {
+  gname : string;
+  members : int list;  (** activity ids of the owning process *)
+}
+
+val validate : Tpm_core.Process.t -> group list -> (unit, string) result
+(** Members exist and are pairwise disjoint across groups; no outside
+    activity lies on a [≪]-path between two members (prec-convexity); no
+    outside choice point branches into the group. *)
+
+val validate_exn : Tpm_core.Process.t -> group list -> unit
+(** @raise Invalid_argument on a violation. *)
+
+val services : Tpm_core.Process.t -> group -> string list
+(** The union admission footprint: the members' services, deduplicated. *)
+
+val group_of : group list -> int -> group option
+(** The group containing the activity, if any. *)

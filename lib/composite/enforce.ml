@@ -1,0 +1,184 @@
+(* The enforcement half of Section 3.6: per-subsystem local executors
+   that receive the prescribed (weak) commit order from the global
+   scheduler and realize it.  A local transaction opens at dispatch (its
+   operation footprint is recorded), and its local commit is *held* until
+   every prescribed predecessor's local transaction committed.  When a
+   predecessor aborts instead, the dependents' open local transactions
+   are withdrawn and reported back for retriable re-invocation — the
+   scheduler restarts the local transactions, not the processes.
+
+   The module is time-free and callback-driven: the scheduler owns the
+   clock and the resource managers; the enforcer owns the obligation
+   table and the live per-subsystem {!Local.t} histories the fork
+   checkers consume. *)
+
+type tx_state =
+  | Open
+  | Committed
+  | Aborted
+
+type txrec = {
+  subsystem : string;
+  ops : (string * [ `Read | `Write ]) list;  (* footprint, re-emitted on re-invocation *)
+  mutable id : int;  (* Local tx id of the current attempt *)
+  mutable state : tx_state;
+}
+
+type t = {
+  mutable next_id : int;
+  by_token : (int, txrec) Hashtbl.t;
+  events : (string, Local.event list ref) Hashtbl.t;  (* per subsystem, reversed *)
+  preds : (int, int list) Hashtbl.t;  (* dep token -> predecessor tokens *)
+  succs : (int, int list) Hashtbl.t;  (* pred token -> dependent tokens *)
+  waiting : (int, unit -> unit) Hashtbl.t;  (* dep token -> held commit grant *)
+  mutable held : int;  (* local commits delayed at least once *)
+}
+
+let create () =
+  {
+    next_id = 0;
+    by_token = Hashtbl.create 32;
+    events = Hashtbl.create 8;
+    preds = Hashtbl.create 32;
+    succs = Hashtbl.create 32;
+    waiting = Hashtbl.create 8;
+    held = 0;
+  }
+
+let evlist t subsystem =
+  match Hashtbl.find_opt t.events subsystem with
+  | Some r -> r
+  | None ->
+      let r = ref [] in
+      Hashtbl.add t.events subsystem r;
+      r
+
+let emit_ops t (r : txrec) =
+  let evs = evlist t r.subsystem in
+  List.iter
+    (fun (item, mode) -> evs := Local.Op { tx = r.id; item; mode } :: !evs)
+    r.ops
+
+let fresh_id t =
+  t.next_id <- t.next_id + 1;
+  t.next_id
+
+let begin_tx t ~subsystem ~token ~ops =
+  if Hashtbl.mem t.by_token token then
+    invalid_arg (Printf.sprintf "Enforce.begin_tx: token %d already has a transaction" token);
+  let r = { subsystem; ops; id = fresh_id t; state = Open } in
+  Hashtbl.replace t.by_token token r;
+  emit_ops t r
+
+(* a fresh attempt of the same activity: the previous local transaction
+   of the token must be aborted; the footprint is re-emitted under a new
+   transaction id, the obligations (keyed by token) carry over *)
+let rebegin t ~token =
+  match Hashtbl.find_opt t.by_token token with
+  | None -> invalid_arg (Printf.sprintf "Enforce.rebegin: unknown token %d" token)
+  | Some r -> (
+      match r.state with
+      | Open | Committed ->
+          invalid_arg
+            (Printf.sprintf "Enforce.rebegin: token %d has a live transaction" token)
+      | Aborted ->
+          r.id <- fresh_id t;
+          r.state <- Open;
+          emit_ops t r)
+
+let state t ~token =
+  Option.map
+    (fun r ->
+      match r.state with Open -> `Open | Committed -> `Committed | Aborted -> `Aborted)
+    (Hashtbl.find_opt t.by_token token)
+
+(* register the prescribed order: [pred]'s local commit before [dep]'s.
+   Only meaningful while [pred]'s transaction is open — a committed
+   predecessor already satisfies the obligation, an absent or aborted one
+   no longer constrains (its re-invocation, if any, re-queues the
+   dependent at commit-request time because the obligation persists). *)
+let order t ~pred ~dep =
+  match Hashtbl.find_opt t.by_token pred with
+  | Some { state = Open; _ } | Some { state = Aborted; _ } ->
+      let ps = Option.value ~default:[] (Hashtbl.find_opt t.preds dep) in
+      if not (List.mem pred ps) then begin
+        Hashtbl.replace t.preds dep (pred :: ps);
+        Hashtbl.replace t.succs pred
+          (dep :: Option.value ~default:[] (Hashtbl.find_opt t.succs pred))
+      end
+  | Some { state = Committed; _ } | None -> ()
+
+let pred_blocks t token =
+  match Hashtbl.find_opt t.by_token token with
+  | Some { state = Open; _ } -> true
+  | Some { state = Committed | Aborted; _ } | None -> false
+
+let blocked t ~token =
+  List.exists (pred_blocks t) (Option.value ~default:[] (Hashtbl.find_opt t.preds token))
+
+let request_commit t ~token ~ready =
+  if blocked t ~token then begin
+    Hashtbl.replace t.waiting token ready;
+    t.held <- t.held + 1;
+    `Held
+  end
+  else `Granted
+
+let release_waiters t pred =
+  let deps = Option.value ~default:[] (Hashtbl.find_opt t.succs pred) in
+  List.iter
+    (fun dep ->
+      match Hashtbl.find_opt t.waiting dep with
+      | Some k when not (blocked t ~token:dep) ->
+          Hashtbl.remove t.waiting dep;
+          k ()
+      | Some _ | None -> ())
+    deps
+
+let committed t ~token =
+  (match Hashtbl.find_opt t.by_token token with
+  | Some ({ state = Open; _ } as r) ->
+      r.state <- Committed;
+      let evs = evlist t r.subsystem in
+      evs := Local.Commit r.id :: !evs
+  | Some _ | None ->
+      invalid_arg (Printf.sprintf "Enforce.committed: token %d has no open transaction" token));
+  release_waiters t token
+
+(* Withdraw the token's open local transaction (its own failure, a group
+   abort, or a predecessor cascade).  Returns the dependent tokens whose
+   open local transactions must be restarted — the weakly ordered
+   dependents of Section 3.6 — with their held commit grants dropped (the
+   scheduler re-invokes them afresh). *)
+let abort_tx t ~token =
+  match Hashtbl.find_opt t.by_token token with
+  | Some ({ state = Open; _ } as r) ->
+      r.state <- Aborted;
+      let evs = evlist t r.subsystem in
+      evs := Local.Abort r.id :: !evs;
+      let deps =
+        List.filter
+          (fun dep ->
+            match Hashtbl.find_opt t.by_token dep with
+            | Some { state = Open; _ } -> true
+            | Some _ | None -> false)
+          (Option.value ~default:[] (Hashtbl.find_opt t.succs token))
+      in
+      List.map
+        (fun dep ->
+          let was_held = Hashtbl.mem t.waiting dep in
+          Hashtbl.remove t.waiting dep;
+          (dep, was_held))
+        deps
+  | Some _ | None -> []
+
+let committed_tx t ~token =
+  match Hashtbl.find_opt t.by_token token with
+  | Some { state = Committed; id; _ } -> Some id
+  | Some _ | None -> None
+
+let held_count t = t.held
+
+let locals t =
+  Hashtbl.fold (fun name evs acc -> (name, Local.make (List.rev !evs)) :: acc) t.events []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)

@@ -1,0 +1,70 @@
+(** The enforcement half of Section 3.6: per-subsystem local executors
+    realizing the weak commit order the global scheduler prescribes.
+
+    A local transaction opens at activity dispatch ({!begin_tx} records
+    its operation footprint in the subsystem's live {!Local.t} history)
+    and asks to commit when its invocation completes
+    ({!request_commit}).  The enforcer {e holds} the commit while a
+    prescribed predecessor's local transaction is still open, granting it
+    (via the stored callback) as soon as the predecessor commits.  When a
+    predecessor aborts instead, {!abort_tx} withdraws the dependents'
+    open local transactions and returns them for {e retriable
+    re-invocation}: the scheduler restarts the local transactions — not
+    the processes — through its ordinary retry and backoff paths
+    ({!rebegin} opens the fresh attempt under a new transaction id,
+    keeping the token's obligations).
+
+    The module is time-free: the scheduler owns the clock and the
+    resource managers; the enforcer owns the obligation table and the
+    histories the {!Fork} checkers consume. *)
+
+type t
+
+val create : unit -> t
+
+val begin_tx :
+  t -> subsystem:string -> token:int -> ops:(string * [ `Read | `Write ]) list -> unit
+(** Opens the token's local transaction at the subsystem and records its
+    operation footprint.
+    @raise Invalid_argument if the token already has a transaction. *)
+
+val rebegin : t -> token:int -> unit
+(** Opens a fresh attempt of the token's (aborted) local transaction:
+    the footprint is re-emitted under a new transaction id and the
+    token's obligations carry over.
+    @raise Invalid_argument unless the token's transaction is aborted. *)
+
+val order : t -> pred:int -> dep:int -> unit
+(** Prescribes [pred]'s local commit before [dep]'s.  A no-op when
+    [pred]'s transaction already committed (or never existed). *)
+
+val request_commit : t -> token:int -> ready:(unit -> unit) -> [ `Granted | `Held ]
+(** [`Granted]: every prescribed predecessor committed — the caller
+    commits the local transaction now and must then call {!committed}.
+    [`Held]: a predecessor is still open; [ready] fires once the last
+    one commits (it is dropped if the transaction is withdrawn by
+    {!abort_tx} first). *)
+
+val committed : t -> token:int -> unit
+(** Records the local commit and releases every held dependent whose
+    obligations are now all satisfied.
+    @raise Invalid_argument if the token has no open transaction. *)
+
+val abort_tx : t -> token:int -> (int * bool) list
+(** Withdraws the token's open local transaction (own failure, group
+    abort, predecessor cascade).  Returns the dependent tokens whose open
+    local transactions must be re-invoked, each flagged [true] when its
+    commit grant was held here (the scheduler owes it a fresh
+    re-invocation event; [false] means its own completion event is still
+    pending).  A no-op (returning []) when the token has no open
+    transaction. *)
+
+val state : t -> token:int -> [ `Open | `Committed | `Aborted ] option
+val committed_tx : t -> token:int -> int option
+(** The Local transaction id of the token's committed attempt. *)
+
+val held_count : t -> int
+(** Local commits delayed at least once (the enforcement counter). *)
+
+val locals : t -> (string * Local.t) list
+(** The live per-subsystem local schedules, sorted by subsystem name. *)

@@ -6,24 +6,47 @@ type t = {
   token_of : Activity.t -> int;
 }
 
+(* One filtering pass narrows the schedule to this subsystem's
+   occurrences (service names interned once into the compiled conflict
+   matrix); a second pass groups prior occurrences by service id and
+   pairs each occurrence only with the conflicting groups, via bit
+   probes — replacing the former all-pairs walk over the whole global
+   schedule with its per-pair string conflict tests. *)
 let prescribed_weak_order f subsystem =
-  let spec = Schedule.spec f.global in
-  let here inst = (Activity.instance_base inst).Activity.subsystem = subsystem in
-  let rec walk = function
-    | [] -> []
-    | x :: rest ->
-        List.filter_map
-          (fun y ->
-            if
-              here x && here y
-              && Activity.instance_proc x <> Activity.instance_proc y
-              && Conflict.conflicts spec x y
-            then Some (f.token_of (Activity.instance_base x), f.token_of (Activity.instance_base y))
-            else None)
-          rest
-        @ walk rest
+  let comp = Conflict.Compiled.make (Schedule.spec f.global) in
+  let here =
+    List.filter_map
+      (fun inst ->
+        let a = Activity.instance_base inst in
+        if String.equal a.Activity.subsystem subsystem then
+          Some
+            ( Activity.instance_proc inst,
+              Conflict.Compiled.intern comp a.Activity.service,
+              f.token_of a )
+        else None)
+      (Schedule.activities f.global)
   in
-  List.sort_uniq compare (walk (Schedule.activities f.global))
+  let prior = Hashtbl.create 8 in
+  let emitted = Hashtbl.create 16 in
+  let out = ref [] in
+  List.iter
+    (fun (proc, sid, token) ->
+      let row = Conflict.Compiled.row comp sid in
+      Hashtbl.iter
+        (fun sid' occs ->
+          if Bitset.mem row sid' then
+            List.iter
+              (fun (proc', token') ->
+                if proc' <> proc && not (Hashtbl.mem emitted (token', token)) then begin
+                  Hashtbl.add emitted (token', token) ();
+                  out := (token', token) :: !out
+                end)
+              occs)
+        prior;
+      Hashtbl.replace prior sid
+        ((proc, token) :: (match Hashtbl.find_opt prior sid with Some l -> l | None -> [])))
+    here;
+  List.sort_uniq compare !out
 
 let locals_commit_order_serializable f =
   List.for_all (fun (_, l) -> Local.commit_order_serializable l) f.locals

@@ -35,44 +35,85 @@ let committed l =
 let ops_conflict a b =
   a.tx <> b.tx && String.equal a.item b.item && (a.mode = `Write || b.mode = `Write)
 
+(* the committed transactions as a hash set, for O(1) membership in the
+   hot passes below *)
+let committed_set l =
+  let s = Hashtbl.create 16 in
+  List.iter (function Commit tx -> Hashtbl.replace s tx () | Op _ | Abort _ -> ()) l.evs;
+  s
+
 let committed_ops l =
-  let committed = committed l in
+  let c = committed_set l in
   List.filter_map
-    (function Op o when List.mem o.tx committed -> Some o | Op _ | Commit _ | Abort _ -> None)
+    (function Op o when Hashtbl.mem c o.tx -> Some o | Op _ | Commit _ | Abort _ -> None)
     l.evs
 
+(* Item-indexed single pass: per item, the sets of transactions that have
+   read resp. written it so far; each new operation pairs with exactly the
+   prior transactions it conflicts with, deduplicated as emitted.  Work is
+   O(events x distinct transactions per item) instead of the former
+   all-pairs O(n^2) walk. *)
 let conflict_pairs l =
-  let rec walk = function
-    | [] -> []
-    | o :: rest ->
-        List.filter_map (fun o' -> if ops_conflict o o' then Some (o.tx, o'.tx) else None) rest
-        @ walk rest
+  let txs_of tbl item =
+    match Hashtbl.find_opt tbl item with
+    | Some s -> s
+    | None ->
+        let s = Hashtbl.create 4 in
+        Hashtbl.add tbl item s;
+        s
   in
-  List.sort_uniq compare (walk (committed_ops l))
+  let readers = Hashtbl.create 16 in
+  let writers = Hashtbl.create 16 in
+  let emitted = Hashtbl.create 16 in
+  let out = ref [] in
+  List.iter
+    (fun o ->
+      let rs = txs_of readers o.item and ws = txs_of writers o.item in
+      let pair t' =
+        if t' <> o.tx && not (Hashtbl.mem emitted (t', o.tx)) then begin
+          Hashtbl.add emitted (t', o.tx) ();
+          out := (t', o.tx) :: !out
+        end
+      in
+      (match o.mode with
+      | `Write ->
+          Hashtbl.iter (fun t' () -> pair t') rs;
+          Hashtbl.iter (fun t' () -> pair t') ws
+      | `Read -> Hashtbl.iter (fun t' () -> pair t') ws);
+      Hashtbl.replace (match o.mode with `Read -> rs | `Write -> ws) o.tx ())
+    (committed_ops l);
+  List.sort_uniq compare !out
 
-let serializable l =
-  not
-    (Tpm_core.Digraph.has_cycle
-       (Tpm_core.Digraph.make ~nodes:(committed l) ~edges:(conflict_pairs l)))
+let serializable_with l pairs =
+  not (Tpm_core.Digraph.has_cycle (Tpm_core.Digraph.make ~nodes:(committed l) ~edges:pairs))
 
-let commit_pos l tx =
-  let rec go i = function
-    | [] -> max_int
-    | Commit tx' :: _ when tx' = tx -> i
-    | _ :: rest -> go (i + 1) rest
-  in
-  go 0 l.evs
+let serializable l = serializable_with l (conflict_pairs l)
+
+(* one pass builds the tx -> commit position table consulted per pair
+   (formerly an O(n) list scan recomputed for every pair) *)
+let commit_positions l =
+  let tbl = Hashtbl.create 16 in
+  List.iteri
+    (fun i ev -> match ev with Commit tx -> Hashtbl.replace tbl tx i | Op _ | Abort _ -> ())
+    l.evs;
+  tbl
+
+let pos_in tbl tx = match Hashtbl.find_opt tbl tx with Some i -> i | None -> max_int
 
 let commit_order_serializable l =
-  serializable l
-  && List.for_all (fun (t1, t2) -> commit_pos l t1 < commit_pos l t2) (conflict_pairs l)
+  let pairs = conflict_pairs l in
+  serializable_with l pairs
+  &&
+  let pos = commit_positions l in
+  List.for_all (fun (t1, t2) -> pos_in pos t1 < pos_in pos t2) pairs
 
 let respects_weak_order l pairs =
-  let committed = committed l in
+  let committed = committed_set l in
+  let pos = commit_positions l in
   List.for_all
     (fun (t1, t2) ->
-      (not (List.mem t1 committed && List.mem t2 committed))
-      || commit_pos l t1 < commit_pos l t2)
+      (not (Hashtbl.mem committed t1 && Hashtbl.mem committed t2))
+      || pos_in pos t1 < pos_in pos t2)
     pairs
 
 let pp fmt l =

@@ -196,7 +196,171 @@ let twopc3_crash =
     crash_explore = true;
   }
 
-let scenarios = [ lemma1; lemma1_mut; twopc3; twopc3_crash ]
+(* ------------------------------------------------------------------ *)
+(* Section 3.6 scenarios: the enforced weak order racing a group abort
+   and an in-doubt 2PC instance. *)
+
+let weakabort_registry () =
+  let reg = Service.Registry.create () in
+  List.iter
+    (Service.Registry.register reg)
+    [
+      Service.make ~name:"resv"
+        ~compensation:(Service.Inverse_service "resv_undo")
+        ~writes:[ "a.r" ] (inc "a.r");
+      Service.make ~name:"resv_undo" ~writes:[ "a.r" ] (dec "a.r");
+      Service.make ~name:"bill"
+        ~compensation:(Service.Inverse_service "bill_undo")
+        ~writes:[ "a.b" ] (inc "a.b");
+      Service.make ~name:"bill_undo" ~writes:[ "a.b" ] (dec "a.b");
+      Service.make ~name:"ship" ~writes:[ "b.s" ] (inc "b.s");
+    ];
+  reg
+
+let weakabort_rms () =
+  let reg = weakabort_registry () in
+  [
+    Rm.create ~name:"A" ~registry:reg ();
+    Rm.create ~name:"B" ~registry:reg
+      ~fail_prob:(fun s -> if s = "ship" then 0.5 else 0.0)
+      ~max_failures:3 ();
+  ]
+
+(* P1: a slow compensatable resv (A) then a failable pivot ship (B);
+   P2: a fast compensatable bill (A) conflicting with resv.  Under the
+   enforced weak order bill executes overlapping resv and its local
+   commit is held behind resv's; the failure branch group-aborts P1
+   while P2 sits weakly ordered behind it — the re-invocation and the
+   compensation of resv must still leave every branch PRED and the
+   local schedule commit-order serializable. *)
+let weakabort_procs =
+  [
+    Process.make_exn ~pid:1
+      ~activities:
+        [
+          act ~proc:1 ~act:1 ~service:"resv" ~kind:Activity.Compensatable
+            ~subsystem:"A" ();
+          act ~proc:1 ~act:2 ~service:"ship" ~kind:Activity.Pivot ~subsystem:"B" ();
+        ]
+      ~prec:[ (1, 2) ] ~pref:[];
+    Process.make_exn ~pid:2
+      ~activities:
+        [
+          act ~proc:2 ~act:1 ~service:"bill" ~kind:Activity.Compensatable
+            ~subsystem:"A" ();
+        ]
+      ~prec:[] ~pref:[];
+  ]
+
+let weakabort =
+  {
+    name = "weak-abort";
+    descr = "enforced weak order racing a group abort";
+    spec = Conflict.of_pairs [ ("resv", "bill") ];
+    make_rms = weakabort_rms;
+    procs = weakabort_procs;
+    submit_at = (fun i -> 0.3 *. float_of_int i);
+    config =
+      {
+        Scheduler.default_config with
+        seed = 7;
+        weak_order = true;
+        order_enforcement = true;
+        service_time = (fun s -> if s = "resv" then 2.0 else if s = "bill" then 0.4 else 1.0);
+      };
+    crash_explore = false;
+  }
+
+let weakindoubt_registry () =
+  let reg = Service.Registry.create () in
+  List.iter
+    (Service.Registry.register reg)
+    [
+      Service.make ~name:"hold"
+        ~compensation:(Service.Inverse_service "hold_undo")
+        ~writes:[ "a.h" ] (inc "a.h");
+      Service.make ~name:"hold_undo" ~writes:[ "a.h" ] (dec "a.h");
+      Service.make ~name:"chk" ~writes:[ "a.c" ] (inc "a.c");
+      Service.make ~name:"pay2" ~writes:[ "b.p" ] (inc "b.p");
+      Service.make ~name:"pay3" ~writes:[ "c.p" ] (inc "c.p");
+      Service.make ~name:"audit"
+        ~compensation:(Service.Inverse_service "audit_undo")
+        ~writes:[ "b.a" ] (inc "b.a");
+      Service.make ~name:"audit_undo" ~writes:[ "b.a" ] (dec "b.a");
+    ];
+  reg
+
+let weakindoubt_rms () =
+  let reg = weakindoubt_registry () in
+  [
+    Rm.create ~name:"A" ~registry:reg ();
+    Rm.create ~name:"B" ~registry:reg ();
+    Rm.create ~name:"C" ~registry:reg ();
+  ]
+
+(* P1 holds a compensatable then a slow retriable, keeping P2's and
+   P3's conflicting pivots prepared (in doubt) behind two concurrent
+   2PC instances whose messages interleave; P4's compensatable audit
+   conflicts with pay2 and — under the enforced weak order — executes
+   overlapping the in-doubt pivot, its local commit held until the 2PC
+   decision.  The message interleavings race the enforcement grants. *)
+let weakindoubt_procs =
+  [
+    Process.make_exn ~pid:1
+      ~activities:
+        [
+          act ~proc:1 ~act:1 ~service:"hold" ~kind:Activity.Compensatable
+            ~subsystem:"A" ();
+          act ~proc:1 ~act:2 ~service:"chk" ~kind:Activity.Retriable ~subsystem:"A" ();
+        ]
+      ~prec:[ (1, 2) ] ~pref:[];
+    Process.make_exn ~pid:2
+      ~activities:
+        [ act ~proc:2 ~act:1 ~service:"pay2" ~kind:Activity.Pivot ~subsystem:"B" () ]
+      ~prec:[] ~pref:[];
+    Process.make_exn ~pid:3
+      ~activities:
+        [ act ~proc:3 ~act:1 ~service:"pay3" ~kind:Activity.Pivot ~subsystem:"C" () ]
+      ~prec:[] ~pref:[];
+    Process.make_exn ~pid:4
+      ~activities:
+        [
+          act ~proc:4 ~act:1 ~service:"audit" ~kind:Activity.Compensatable
+            ~subsystem:"B" ();
+        ]
+      ~prec:[] ~pref:[];
+  ]
+
+let weakindoubt =
+  {
+    name = "weak-indoubt";
+    descr = "enforced weak order overlapping in-doubt 2PC pivots";
+    spec =
+      Conflict.of_pairs [ ("hold", "pay2"); ("hold", "pay3"); ("pay2", "audit") ];
+    make_rms = weakindoubt_rms;
+    procs = weakindoubt_procs;
+    submit_at = (fun i -> 0.3 *. float_of_int i);
+    config =
+      {
+        Scheduler.default_config with
+        seed = 13;
+        weak_order = true;
+        order_enforcement = true;
+        service_time = (fun s -> if s = "chk" then 6.0 else 1.0);
+      };
+    crash_explore = false;
+  }
+
+let weakindoubt_crash =
+  {
+    weakindoubt with
+    name = "weak-indoubt-crash";
+    descr = "weak-indoubt with a crash choice after every WAL append";
+    crash_explore = true;
+  }
+
+let scenarios =
+  [ lemma1; lemma1_mut; twopc3; twopc3_crash; weakabort; weakindoubt; weakindoubt_crash ]
 let find_scenario name = List.find_opt (fun s -> s.name = name) scenarios
 
 (* ------------------------------------------------------------------ *)
@@ -381,6 +545,12 @@ and run_raw scenario ~script =
       check "Proc-REC violated" (Criteria.process_recoverable h);
       check "leaked prepared token"
         (List.for_all (fun rm -> Rm.prepared_tokens rm = []) rms);
+      (* under order enforcement the subsystem-local schedules must be
+         commit-order serializable (vacuous otherwise) *)
+      check "locals not commit-order serializable"
+        (List.for_all
+           (fun (_, l) -> Tpm_composite.Local.commit_order_serializable l)
+           (Scheduler.local_histories f));
       check "stores not explained by history replay" (replay_explains scenario h rms));
   let stores = store_images rms in
   (if !violations = [] && fault_free decisions crashed then

@@ -12,6 +12,8 @@ module Recovery = Tpm_wal.Recovery
 module Coordinator = Tpm_twopc.Coordinator
 module Obs = Tpm_obs.Obs
 module Choice = Tpm_sim.Choice
+module Enforce = Tpm_composite.Enforce
+module Compose = Tpm_composite.Compose
 
 type mode =
   | Conservative
@@ -64,6 +66,15 @@ type config = {
          execute overlapping in their subsystem as long as their commit
          order follows the intended (weak) order; a retriable re-invocation
          restarts the dependent local transaction *)
+  order_enforcement : bool;
+      (* Section 3.6, enforced end to end: route the prescribed weak order
+         through per-subsystem local executors ({!Tpm_composite.Enforce})
+         that hold each local commit until every prescribed predecessor's
+         local transaction committed, and restart the dependent local
+         transactions when a predecessor aborts.  Also lets dependents
+         overlap *prepared* (2PC-pending) predecessors — the admission
+         edges order them instead.  Only meaningful with [weak_order];
+         off by default. *)
   seed : int;
   service_time : string -> float;
   stochastic_times : bool;
@@ -108,6 +119,7 @@ let default_config =
     exact_admission = false;
     naive_sr = false;
     weak_order = false;
+    order_enforcement = false;
     seed = 1;
     service_time = (fun _ -> 1.0);
     stochastic_times = false;
@@ -157,6 +169,14 @@ type future_cache = {
 type pstate = {
   proc : Process.t;
   args_of : Activity.t -> Value.t;
+  groups : Compose.group list;
+      (* declared subprocesses (Section 3.6, multi-level composition):
+         each admits as ONE activity at the parent level, against the
+         union of its members' conflict rows *)
+  admitted_groups : (string, unit) Hashtbl.t;  (* gname -> footprint claimed *)
+  mutable claimed_services : string list;
+      (* services claimed by admitted groups but not yet executed — the
+         reference engine's string-level mirror of the claimed occ bits *)
   svc_ids : (int, int) Hashtbl.t;  (* activity number -> interned service id *)
   occ_bits : Tpm_core.Bitset.t;  (* interned services of [occurrences] *)
   occ_conf : Tpm_core.Bitset.t;  (* their conflict closure *)
@@ -250,6 +270,13 @@ type t = {
   mutable rev_events : Schedule.event list;
   metrics : Metrics.t;
   attempts : (int * int, int) Hashtbl.t;
+  enforce : Enforce.t option;
+      (* the Section-3.6 enforcement layer, present iff
+         [weak_order && order_enforcement]: per-subsystem local executors
+         holding local commits to the prescribed weak order *)
+  enf_how : (int, [ `Invoke | `Prepare ]) Hashtbl.t;
+      (* dispatch mode per token, for re-invocation after a weak-order
+         restart *)
   mutable rollback_queue : (int * Activity.instance) list;
   mutable rollback_running : bool;
   crashed : bool ref;
@@ -482,6 +509,10 @@ let create ?(config = default_config) ?(faults = Faults.none)
     rev_events = [];
     metrics;
     attempts = Hashtbl.create 64;
+    enforce =
+      (if config.weak_order && config.order_enforcement then Some (Enforce.create ())
+       else None);
+    enf_how = Hashtbl.create 32;
     rollback_queue = [];
     rollback_running = false;
     crashed;
@@ -638,6 +669,14 @@ let history t = t.hist
    processes dropped), a valid serialization order at any instant *)
 let serialization_order t = Deps.order t.deps
 
+(* the enforcement layer's live per-subsystem local schedules (empty
+   without [order_enforcement]) — what the composite checkers consume *)
+let local_histories t =
+  match t.enforce with Some e -> Enforce.locals e | None -> []
+
+let enforcement_held t =
+  match t.enforce with Some e -> Enforce.held_count e | None -> 0
+
 let status t pid =
   match Hashtbl.find_opt t.procs pid with
   | None -> Schedule.Active
@@ -746,15 +785,35 @@ let placed_act ps =
 let inflight_sid ps = Option.map (Hashtbl.find ps.svc_ids) ps.inflight
 let prepared_sid ps = Option.map (Hashtbl.find ps.svc_ids) (placed_act ps)
 
+let enforcing t = t.enforce <> None
+
 (* busy test against the candidate's conflict row: one bit probe per
    in-flight / prepared activity, one intersection for the pending set *)
 let busy_conflicts_bits t ps ~row =
   (* under the weak order (Section 3.6) a conflicting in-flight invocation
-     does not block: the subsystem orders the commits instead *)
+     does not block: the subsystem orders the commits instead.  With the
+     enforcement layer on, a *prepared* (2PC-pending) activity does not
+     block either — the dependent's local commit is held behind the
+     prepared token's decision by the enforcer. *)
   ((not t.cfg.weak_order)
   && match inflight_sid ps with Some k -> Bitset.mem row k | None -> false)
   || Bitset.inter_nonempty row ps.pending_bits
-  || (match prepared_sid ps with Some k -> Bitset.mem row k | None -> false)
+  || ((not (enforcing t))
+     && match prepared_sid ps with Some k -> Bitset.mem row k | None -> false)
+
+(* Exact conflict-pair footprint of a service for the enforcement-layer
+   Local histories: one shared item per conflicting service pair (the
+   name "s|s'" with the sides sorted), written by both sides — so two
+   local transactions conflict at their subsystem iff their services
+   conflict in the global specification. *)
+let enf_ops t service =
+  let row = Conflict.Compiled.row t.cspec (sid t service) in
+  List.rev_map
+    (fun j ->
+      let s' = Conflict.Compiled.name t.cspec j in
+      let item = if service <= s' then service ^ "|" ^ s' else s' ^ "|" ^ service in
+      (item, `Write))
+    (Bitset.elements row)
 
 (* the pending-completion services mirror [pending_completion]; every
    assignment site goes through here *)
@@ -1147,31 +1206,63 @@ let admission_decision t pid act =
   let ps = Hashtbl.find t.procs pid in
   let a = Process.find ps.proc act in
   let sidc = Hashtbl.find ps.svc_ids act in
-  let crow = Conflict.Compiled.row t.cspec sidc in
+  let group = Compose.group_of ps.groups act in
+  let member_admitted =
+    match group with
+    | Some g -> Hashtbl.mem ps.admitted_groups g.Compose.gname
+    | None -> false
+  in
+  (* The admission footprint: the activity's own conflict row — or, for
+     the first member of a not-yet-admitted subprocess group, the union
+     of every member's row (Section 3.6: the subprocess admits as ONE
+     activity at the parent level).  Members of an already-admitted group
+     skip the busy / cycle checks entirely: the group's footprint was
+     claimed atomically at admission, so its serialization position is
+     fixed and the inner engine schedules the children freely. *)
+  let gsids =
+    match group with
+    | Some g when not member_admitted ->
+        List.map (fun s -> sid t s) (Compose.services ps.proc g)
+    | Some _ | None -> [ sidc ]
+  in
+  let crow =
+    match gsids with
+    | [ k ] -> Conflict.Compiled.row t.cspec k
+    | ks ->
+        let b = Bitset.create () in
+        List.iter (fun k -> Bitset.union ~into:b (Conflict.Compiled.row t.cspec k)) ks;
+        b
+  in
   let others = List.filter (fun q -> Process.pid q.proc <> pid) (pstates t) in
   let busy_blockers =
-    List.filter_map
-      (fun q ->
-        if live q && busy_conflicts_bits t q ~row:crow then Some (Process.pid q.proc)
-        else None)
-      others
+    if member_admitted then []
+    else
+      List.filter_map
+        (fun q ->
+          if live q && busy_conflicts_bits t q ~row:crow then Some (Process.pid q.proc)
+          else None)
+        others
   in
   if busy_blockers <> [] then (Delay busy_blockers, [], Obs.Busy)
   else begin
     let new_edges =
-      List.filter_map
-        (fun q ->
-          let qid = Process.pid q.proc in
-          (* committed processes still constrain the serialization order;
-             aborted ones left no effects *)
-          if
-            ((live q || q.term = Schedule.Committed)
-            && Bitset.inter_nonempty crow q.occ_bits)
-            || (t.cfg.weak_order && live q
-               && match inflight_sid q with Some k -> Bitset.mem crow k | None -> false)
-          then Some (qid, pid)
-          else None)
-        others
+      if member_admitted then []
+      else
+        List.filter_map
+          (fun q ->
+            let qid = Process.pid q.proc in
+            (* committed processes still constrain the serialization order;
+               aborted ones left no effects *)
+            if
+              ((live q || q.term = Schedule.Committed)
+              && Bitset.inter_nonempty crow q.occ_bits)
+              || (t.cfg.weak_order && live q
+                 && match inflight_sid q with Some k -> Bitset.mem crow k | None -> false)
+              || (enforcing t && live q
+                 && match prepared_sid q with Some k -> Bitset.mem crow k | None -> false)
+            then Some (qid, pid)
+            else None)
+          others
     in
     let admit_reason () = if new_edges = [] then Obs.Clear else Obs.Ordered in
     (* Latent edges (Section 3.5): an occurrence of [q] conflicting with a
@@ -1185,7 +1276,8 @@ let admission_decision t pid act =
        conflict row against other futures, its service against other
        closures) are computed here, O(n) bitset probes per admission. *)
     let would, all_latent =
-      if t.cfg.naive_sr then (Deps.would_cycle t.deps new_edges, lazy [])
+      if member_admitted then (false, lazy [])
+      else if t.cfg.naive_sr then (Deps.would_cycle t.deps new_edges, lazy [])
       else begin
         let c = latent_base t in
         (* the candidate's row widens its process's closure: extra edges
@@ -1207,7 +1299,9 @@ let admission_decision t pid act =
         let extra_in =
           Hashtbl.fold
             (fun qid qconf acc ->
-              if qid <> pid && Bitset.mem qconf sidc then (qid, pid) :: acc else acc)
+              if qid <> pid && List.exists (fun k -> Bitset.mem qconf k) gsids then
+                (qid, pid) :: acc
+              else acc)
             c.lt_qconf []
         in
         ( latent_would_cycle t c ~pid (new_edges @ extra_out @ extra_in),
@@ -1261,11 +1355,18 @@ module Reference = struct
 
   let occurrence_conflicts t ps service =
     List.exists (fun inst -> services_conflict t service (instance_service inst)) ps.occurrences
+    || List.exists (fun cs -> services_conflict t service cs) ps.claimed_services
 
   let inflight_conflict t ps service =
     match ps.inflight with
     | None -> false
     | Some act -> services_conflict t service (Process.find ps.proc act).Activity.service
+
+  let prepared_conflict t ps service =
+    match ps.phase with
+    | Blocked_2pc { act; _ } | Deciding_2pc { act; _ } ->
+        services_conflict t service (Process.find ps.proc act).Activity.service
+    | Running | Recovering | Awaiting_commit | Done -> false
 
   let busy_conflicts t ps service =
     let inflight_conflict = (not t.cfg.weak_order) && inflight_conflict t ps service in
@@ -1274,13 +1375,8 @@ module Reference = struct
         (fun inst -> services_conflict t service (instance_service inst))
         ps.pending_completion
     in
-    let prepared_conflict =
-      match ps.phase with
-      | Blocked_2pc { act; _ } | Deciding_2pc { act; _ } ->
-          services_conflict t service (Process.find ps.proc act).Activity.service
-      | Running | Recovering | Awaiting_commit | Done -> false
-    in
-    inflight_conflict || pending_conflict || prepared_conflict
+    inflight_conflict || pending_conflict
+    || ((not (enforcing t)) && prepared_conflict t ps service)
 
   let remaining_services ps =
     let executed = Execution.executed ps.exec in
@@ -1328,34 +1424,61 @@ module Reference = struct
     let ps = Hashtbl.find t.procs pid in
     let a = Process.find ps.proc act in
     let service = a.Activity.service in
+    let group = Compose.group_of ps.groups act in
+    let member_admitted =
+      match group with
+      | Some g -> Hashtbl.mem ps.admitted_groups g.Compose.gname
+      | None -> false
+    in
+    (* string-level mirror of the incremental engine's group handling:
+       an un-admitted group's candidate footprint is every member service *)
+    let gservices =
+      match group with
+      | Some g when not member_admitted -> Compose.services ps.proc g
+      | Some _ | None -> [ service ]
+    in
     let others = List.filter (fun q -> Process.pid q.proc <> pid) (pstates t) in
     let busy_blockers =
-      List.filter_map
-        (fun q -> if live q && busy_conflicts t q service then Some (Process.pid q.proc) else None)
-        others
+      if member_admitted then []
+      else
+        List.filter_map
+          (fun q ->
+            if live q && List.exists (fun s -> busy_conflicts t q s) gservices then
+              Some (Process.pid q.proc)
+            else None)
+          others
     in
     if busy_blockers <> [] then (Delay busy_blockers, [])
     else begin
       let new_edges =
-        List.filter_map
-          (fun q ->
-            let qid = Process.pid q.proc in
-            if
-              ((live q || q.term = Schedule.Committed) && occurrence_conflicts t q service)
-              || (t.cfg.weak_order && live q && inflight_conflict t q service)
-            then Some (qid, pid)
-            else None)
-          others
+        if member_admitted then []
+        else
+          List.filter_map
+            (fun q ->
+              let qid = Process.pid q.proc in
+              if
+                List.exists
+                  (fun s ->
+                    ((live q || q.term = Schedule.Committed)
+                    && occurrence_conflicts t q s)
+                    || (t.cfg.weak_order && live q && inflight_conflict t q s)
+                    || (enforcing t && live q && prepared_conflict t q s))
+                  gservices
+              then Some (qid, pid)
+              else None)
+            others
       in
       let latent_edges =
-        if t.cfg.naive_sr then []
+        if member_admitted || t.cfg.naive_sr then []
         else begin
           let lives = List.filter live (pstates t) in
           List.concat_map
             (fun q ->
               let qid = Process.pid q.proc in
               let q_occurrences =
-                let base = List.map instance_service q.occurrences in
+                let base =
+                  List.map instance_service q.occurrences @ q.claimed_services
+                in
                 let base =
                   match q.inflight with
                   | Some act -> (Process.find q.proc act).Activity.service :: base
@@ -1367,7 +1490,7 @@ module Reference = struct
                       (Process.find q.proc act).Activity.service :: base
                   | Running | Recovering | Awaiting_commit | Done -> base
                 in
-                if qid = pid then service :: base else base
+                if qid = pid then gservices @ base else base
               in
               List.filter_map
                 (fun r ->
@@ -1378,7 +1501,7 @@ module Reference = struct
                       remaining_services r
                       @ List.map instance_service r.pending_completion
                     in
-                    let future = if rid = pid then service :: future else future in
+                    let future = if rid = pid then gservices @ future else future in
                     if
                       List.exists
                         (fun x -> List.exists (fun f -> services_conflict t x f) future)
@@ -1439,6 +1562,23 @@ let probe_admission t engine ~pid ~act =
   | Incremental | Checked -> ignore (admission_decision t pid act)
   | Reference -> ignore (Reference.admission_decision t pid act)
 
+(* A subprocess group is admitted the moment its first member is: the
+   whole union footprint is claimed atomically (occurrence bits AND the
+   reference engine's string mirror), so every conflicting outside
+   activity is ordered entirely before or entirely after the subprocess
+   — it admits as one unit, the inner engine schedules the children. *)
+let claim_group_footprint t ps g =
+  Hashtbl.replace ps.admitted_groups g.Compose.gname ();
+  let svcs = Compose.services ps.proc g in
+  List.iter
+    (fun s ->
+      let k = sid t s in
+      Bitset.set ps.occ_bits k;
+      Bitset.union ~into:ps.occ_conf (Conflict.Compiled.row t.cspec k))
+    svcs;
+  ps.claimed_services <- svcs @ ps.claimed_services;
+  bump_pid t (Process.pid ps.proc)
+
 let admission t pid act =
   let t0 = match t.cfg.admission_clock with Some f -> f () | None -> 0.0 in
   let decision, edges, reason =
@@ -1492,6 +1632,16 @@ let admission t pid act =
            edges;
          })
   end;
+  (match decision with
+  | Admit_invoke | Admit_prepare -> (
+      let ps = Hashtbl.find t.procs pid in
+      match Compose.group_of ps.groups act with
+      | Some g when not (Hashtbl.mem ps.admitted_groups g.Compose.gname) ->
+          Metrics.incr t.metrics "subprocess_admissions";
+          tracef t "subprocess %s of P%d admitted as one unit" g.Compose.gname pid;
+          claim_group_footprint t ps g
+      | Some _ | None -> ())
+  | Delay _ -> ());
   List.iter (fun (i, j) -> add_dep_edge t i j) edges;
   decision
 
@@ -1599,6 +1749,13 @@ and on_twopc_done t pid act ~commit =
               ps.completion_cache <- None;
               ps.phase <- Running;
               Metrics.incr t.metrics "twopc_commits";
+              (match t.enforce with
+              | Some e
+                when Enforce.state e ~token:(activity_token ~pid ~act) = Some `Open ->
+                  (* the 2PC commit decision is the prepared token's local
+                     commit: release the dependents held behind it *)
+                  Enforce.committed e ~token:(activity_token ~pid ~act)
+              | Some _ | None -> ());
               wake t
             end
             else begin
@@ -1693,24 +1850,48 @@ and try_commit t ps =
 and dispatch t ps act how =
   let pid = Process.pid ps.proc in
   let a = Process.find ps.proc act in
-  (if t.cfg.weak_order then
-     ps.weak_wait <-
-       List.find_map
-         (fun q ->
-           if
-             Process.pid q.proc <> pid && live q
-             && inflight_conflict t q a.Activity.service
-           then
-             match q.inflight with
-             | Some qact ->
-                 let qid = Process.pid q.proc in
-                 let att =
-                   Option.value ~default:0 (Hashtbl.find_opt t.attempts (qid, qact))
-                 in
-                 Some (qid, qact, att)
-             | None -> None
-           else None)
-         (pstates t));
+  (match t.enforce with
+  | Some e ->
+      (* Section 3.6 enforcement: register the prescribed weak-order
+         obligations against every conflicting in-flight or prepared
+         activity of another live process — their local commits must
+         precede ours.  Obligations are keyed by token and survive
+         re-invocations on both sides. *)
+      let token = activity_token ~pid ~act in
+      Hashtbl.replace t.enf_how token how;
+      List.iter
+        (fun q ->
+          if Process.pid q.proc <> pid && live q then begin
+            let qid = Process.pid q.proc in
+            let obligation qact =
+              if
+                services_conflict t a.Activity.service
+                  (Process.find q.proc qact).Activity.service
+              then Enforce.order e ~pred:(activity_token ~pid:qid ~act:qact) ~dep:token
+            in
+            (match q.inflight with Some qact -> obligation qact | None -> ());
+            match placed_act q with Some qact -> obligation qact | None -> ()
+          end)
+        (pstates t)
+  | None ->
+      if t.cfg.weak_order then
+        ps.weak_wait <-
+          List.find_map
+            (fun q ->
+              if
+                Process.pid q.proc <> pid && live q
+                && inflight_conflict t q a.Activity.service
+              then
+                match q.inflight with
+                | Some qact ->
+                    let qid = Process.pid q.proc in
+                    let att =
+                      Option.value ~default:0 (Hashtbl.find_opt t.attempts (qid, qact))
+                    in
+                    Some (qid, qact, att)
+                | None -> None
+              else None)
+            (pstates t));
   Metrics.incr t.metrics "dispatched";
   if Obs.Tracer.active t.obs then
     Obs.Tracer.emit t.obs
@@ -1726,6 +1907,20 @@ and redispatch t ps act how ~a ~delay =
   let pid = Process.pid ps.proc in
   bump_pid t pid;
   ps.inflight <- Some act;
+  (match t.enforce with
+  | Some e -> (
+      (* open (or re-open after a weak-order restart) the token's local
+         transaction: its footprint enters the subsystem's live history.
+         A transient retry of the same attempt chain keeps the open
+         transaction — failed attempts happen inside it. *)
+      let token = activity_token ~pid ~act in
+      match Enforce.state e ~token with
+      | None ->
+          Enforce.begin_tx e ~subsystem:a.Activity.subsystem ~token
+            ~ops:(enf_ops t a.Activity.service)
+      | Some `Aborted -> Enforce.rebegin e ~token
+      | Some (`Open | `Committed) -> ())
+  | None -> ());
   let d = duration t a in
   match t.cfg.invocation_timeout with
   | Some timeout when d > timeout ->
@@ -1745,7 +1940,8 @@ and on_activity_timeout t pid act how =
         end;
         match ps.phase with
         | Recovering | Done | Deciding_2pc _ ->
-            Metrics.incr t.metrics "cancelled_inflight"
+            Metrics.incr t.metrics "cancelled_inflight";
+            enf_fail t (activity_token ~pid ~act)
         | Running | Awaiting_commit | Blocked_2pc _ ->
             let a = Process.find ps.proc act in
             let rm = rm_of t a in
@@ -1800,7 +1996,32 @@ and on_activity_done t pid act how =
               end
           | Some _ | None -> ps.weak_wait <- None)
       | None -> ());
-      if ps.weak_wait <> None then ()
+      (* Section 3.6 enforcement: the subsystem call below IS the local
+         commit of the token's open transaction, so it must wait until
+         every prescribed predecessor's local transaction committed.  On
+         [`Held] the in-flight marker stays and the enforcer re-enters
+         this function when the last predecessor commits (or withdraws us
+         for re-invocation when one aborts). *)
+      let enf_held =
+        match t.enforce with
+        | Some e
+          when (match ps.phase with
+               | Running | Awaiting_commit | Blocked_2pc _ -> true
+               | Recovering | Deciding_2pc _ | Done -> false)
+               && ps.weak_wait = None
+               && Enforce.state e ~token:(activity_token ~pid ~act) = Some `Open -> (
+            match
+              Enforce.request_commit e ~token:(activity_token ~pid ~act)
+                ~ready:(fun () -> on_activity_done t pid act how)
+            with
+            | `Held ->
+                Metrics.incr t.metrics "weak_commit_waits";
+                tracef t "enforce-hold P%d a%d (weak order)" pid act;
+                true
+            | `Granted -> false)
+        | Some _ | None -> false
+      in
+      if ps.weak_wait <> None || enf_held then ()
       else begin
       if ps.inflight = Some act then begin
         bump_pid t pid;
@@ -1811,7 +2032,8 @@ and on_activity_done t pid act how =
           (* the process was aborted (or its fate handed to a 2PC
              coordinator) while this invocation was in flight: the
              invocation is considered never submitted *)
-          Metrics.incr t.metrics "cancelled_inflight"
+          Metrics.incr t.metrics "cancelled_inflight";
+          enf_fail t (activity_token ~pid ~act)
       | Running | Awaiting_commit | Blocked_2pc _ -> (
           let a = Process.find ps.proc act in
           let rm = rm_of t a in
@@ -1835,6 +2057,12 @@ and on_activity_done t pid act how =
               ps.exec <- Execution.exec ps.exec act;
               ps.completion_cache <- None;
               Metrics.incr t.metrics "activities";
+              (match t.enforce with
+              | Some e ->
+                  (* the local commit is recorded and every held dependent
+                     whose obligations are now satisfied re-enters *)
+                  Enforce.committed e ~token
+              | None -> ());
               wake t
           | Rm.Prepared _ ->
               notify_subsys t rm ~ok:true;
@@ -1888,8 +2116,67 @@ and on_activity_done t pid act how =
               redispatch t ps act how ~a ~delay:(backoff_delay t ~pid ~act ~attempt))
       end)
 
+(* Weakly-ordered local abort (Section 3.6): withdraw the token's open
+   local transaction and restart the dependent local transactions that
+   were prescribed to commit after it — the retriable re-invocation
+   restarts the locals, never their processes.  Restarting a dependent
+   re-emits its footprint, so ITS open dependents must restart too: the
+   cascade runs breadth-first (each transaction is re-opened before its
+   dependents re-emit), deduplicated on first sight — the first abort to
+   list a dependent saw the authoritative held/pending distinction.
+   Dependents whose process is no longer running collapse into plain
+   withdrawals (and cascade further). *)
+and enf_fail t token =
+  match t.enforce with
+  | None -> ()
+  | Some e ->
+      let queue = Queue.create () in
+      let seen = Hashtbl.create 8 in
+      let enqueue l =
+        List.iter
+          (fun (dtok, was_held) ->
+            if not (Hashtbl.mem seen dtok) then begin
+              Hashtbl.replace seen dtok ();
+              Queue.add (dtok, was_held) queue
+            end)
+          l
+      in
+      enqueue (Enforce.abort_tx e ~token);
+      while not (Queue.is_empty queue) do
+        let dtok, was_held = Queue.pop queue in
+        let dpid = dtok / 1_000_000 and dact = dtok mod 1_000_000 in
+        let sub = Enforce.abort_tx e ~token:dtok in
+        (match Hashtbl.find_opt t.procs dpid with
+        | Some dps
+          when dps.inflight = Some dact
+               && (match dps.phase with
+                  | Running | Awaiting_commit | Blocked_2pc _ -> true
+                  | Recovering | Deciding_2pc _ | Done -> false) ->
+            Metrics.incr t.metrics "local_restarts";
+            Enforce.rebegin e ~token:dtok;
+            tracef t "weak-order restart P%d a%d (predecessor P%d aborted locally)"
+              dpid dact (token / 1_000_000);
+            if was_held then begin
+              (* its completion event already fired (the commit grant was
+                 held): re-invoke after a fresh service time *)
+              let da = Process.find dps.proc dact in
+              let how =
+                Option.value ~default:`Invoke (Hashtbl.find_opt t.enf_how dtok)
+              in
+              Des.after t.sim (duration t da) (fun _ -> on_activity_done t dpid dact how)
+            end
+            (* not held: its own completion event is still pending and will
+               request the commit of the restarted transaction *)
+        | Some _ | None -> ());
+        enqueue sub
+      done
+
 and handle_failure t ps act =
   let pid = Process.pid ps.proc in
+  (* the activity is abandoned on this branch: a weakly-ordered local
+     abort — withdraw its local transaction and re-invoke the dependents
+     prescribed to commit after it (Section 3.6) *)
+  enf_fail t (activity_token ~pid ~act);
   let before_len = List.length (Execution.trace ps.exec) in
   match Execution.fail ps.exec act with
   | exception Execution.Stuck msg ->
@@ -2045,7 +2332,8 @@ and abort_prepared_of t q =
       let a = Process.find q.proc act in
       Rm.abort_prepared (rm_of t a) ~token;
       log t (Wal.Prepared_decided { pid = Process.pid q.proc; act; commit = false });
-      Metrics.incr t.metrics "twopc_aborts"
+      Metrics.incr t.metrics "twopc_aborts";
+      enf_fail t token
   | Deciding_2pc _ ->
       (* unreachable: abort paths exclude deciding processes (the commit
          decision may already be durable at the coordinator).  Never touch
@@ -2318,10 +2606,11 @@ and finish_terminal t ps term =
 
 (* ------------------------------------------------------------------ *)
 
-let register t ?(args_of = fun _ -> Value.Nil) proc =
+let register t ?(args_of = fun _ -> Value.Nil) ?(groups = []) proc =
   let pid = Process.pid proc in
   if Hashtbl.mem t.procs pid then
     invalid_arg (Printf.sprintf "Scheduler.submit: duplicate process %d" pid);
+  Compose.validate_exn proc groups;
   List.iter (fun a -> ignore (rm_of t a)) (Process.activities proc);
   (* intern every service of the process once, so the hot admission path
      never touches a string again *)
@@ -2336,6 +2625,9 @@ let register t ?(args_of = fun _ -> Value.Nil) proc =
     {
       proc;
       args_of;
+      groups;
+      admitted_groups = Hashtbl.create 4;
+      claimed_services = [];
       exec = Execution.start proc;
       phase = Running;
       inflight = None;
@@ -2379,11 +2671,11 @@ let register t ?(args_of = fun _ -> Value.Nil) proc =
   log t (Wal.Process_registered pid);
   ps
 
-let submit t ?at ?args_of proc =
+let submit t ?at ?args_of ?groups proc =
   let when_ = Option.value ~default:(now t) at in
   Des.at t.sim when_ (fun _ ->
       if not !(t.crashed) then begin
-        let ps = register t ?args_of proc in
+        let ps = register t ?args_of ?groups proc in
         ps.arrived <- now t;
         Metrics.incr t.metrics "submitted";
         wake t
@@ -2475,9 +2767,16 @@ let crash t =
   Wal.crash_image t.wal;
   Wal.records t.wal
 
-let recover ?(config = default_config) ?(amnesia = false) ?tracer ~spec ~rms ~procs
-    records =
+let recover ?(config = default_config) ?(amnesia = false) ?tracer ?(groups = []) ~spec
+    ~rms ~procs records =
   let obs = match tracer with Some tr -> tr | None -> tracer_from_env () in
+  (* subprocess declarations per pid, re-attached to the rebuilt pstates
+     (interrupted processes only roll back and never admit again, so no
+     admitted-group state needs re-deriving — the declaration is kept for
+     validation and API symmetry) *)
+  let groups_of pid =
+    match List.assoc_opt pid groups with Some gs -> gs | None -> []
+  in
   (* Coordinator amnesia: the coordinator's side of the log is declared
      lost.  Strip its records and fall back to cooperative termination —
      an in-doubt participant's instance commits iff some sibling resource
@@ -2574,7 +2873,7 @@ let recover ?(config = default_config) ?(amnesia = false) ?tracer ~spec ~rms ~pr
           match List.find_opt (fun pr -> Process.pid pr = pid) procs with
           | None -> ()
           | Some proc ->
-              let ps = register t proc in
+              let ps = register t ~groups:(groups_of pid) proc in
               ps.phase <- Done;
               ps.term <- term)
         (List.map (fun pid -> (pid, Schedule.Committed)) plan.Recovery.committed
@@ -2584,7 +2883,7 @@ let recover ?(config = default_config) ?(amnesia = false) ?tracer ~spec ~rms ~pr
         List.map
           (fun (p : Recovery.process_plan) ->
             let proc = List.find (fun pr -> Process.pid pr = p.Recovery.pid) procs in
-            let ps = register t proc in
+            let ps = register t ~groups:(groups_of p.Recovery.pid) proc in
             let exec =
               List.fold_left
                 (fun st inst ->

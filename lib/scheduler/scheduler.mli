@@ -95,6 +95,18 @@ type config = {
           the weak (intended) order on their commits, and a retriable
           re-invocation restarts the dependent local transaction.  Off by
           default (strong order: sequential execution). *)
+  order_enforcement : bool;
+      (** Section 3.6 end to end: realize the weak order through
+          per-subsystem local executors ({!Tpm_composite.Enforce}) — each
+          activity opens a local transaction at dispatch, its local commit
+          (the subsystem call) is {e held} until every prescribed
+          predecessor's local transaction committed, and a predecessor's
+          local abort restarts the dependent local transactions (not
+          their processes).  Also lets dependents overlap {e prepared}
+          (2PC-pending) predecessors; the admission edges order them.
+          Only meaningful together with [weak_order].  The live local
+          schedules are exposed via {!local_histories}.  Off by
+          default. *)
   seed : int;
   service_time : string -> float;  (** mean duration of a service invocation *)
   stochastic_times : bool;  (** exponential durations instead of deterministic *)
@@ -179,11 +191,21 @@ val submit :
   t ->
   ?at:float ->
   ?args_of:(Tpm_core.Activity.t -> Tpm_kv.Value.t) ->
+  ?groups:Tpm_composite.Compose.group list ->
   Tpm_core.Process.t ->
   unit
 (** Registers a process for execution at virtual time [at] (default: now).
-    @raise Invalid_argument on duplicate pids or activities whose
-    subsystem is unknown. *)
+
+    [groups] declares subprocesses (Section 3.6, multi-level
+    composition): each group is a prec-convex set of the process's
+    activities that admits as ONE activity at the parent level — the
+    union of its members' conflict rows is checked (and its footprint
+    claimed) atomically at the first member's admission; the remaining
+    members then dispatch without further parent-level admission, driven
+    by the process's own precedence order (the inner engine).
+    @raise Invalid_argument on duplicate pids, activities whose
+    subsystem is unknown, or an ill-formed grouping
+    ({!Tpm_composite.Compose.validate}). *)
 
 val request_abort : t -> ?at:float -> int -> unit
 (** External abort [A_i]: the process terminates through its completion. *)
@@ -232,6 +254,19 @@ val serialization_order : t -> int list
 val status : t -> int -> Tpm_core.Schedule.status
 val finished : t -> bool
 (** All submitted processes reached a terminal state. *)
+
+val local_histories : t -> (string * Tpm_composite.Local.t) list
+(** The enforcement layer's live per-subsystem local schedules, sorted
+    by subsystem name — what the {!Tpm_composite.Fork} and
+    {!Tpm_composite.Local} checkers consume.  They record the {e
+    forward} weak-order transactions only (one per activity attempt
+    chain: footprint at dispatch, commit at the subsystem call,
+    restarts as abort + re-emission); compensations and completion
+    activities are deliberately outside them.  Empty unless
+    [order_enforcement] is on. *)
+
+val enforcement_held : t -> int
+(** Local commits the enforcement layer delayed at least once. *)
 
 val metrics : t -> Tpm_sim.Metrics.t
 val wal_records : t -> Tpm_wal.Wal.record list
@@ -300,6 +335,7 @@ val recover :
   ?config:config ->
   ?amnesia:bool ->
   ?tracer:Tpm_obs.Obs.Tracer.t ->
+  ?groups:(int * Tpm_composite.Compose.group list) list ->
   spec:Tpm_core.Conflict.t ->
   rms:Tpm_subsys.Rm.t list ->
   procs:Tpm_core.Process.t list ->

@@ -1,0 +1,161 @@
+(* The classical baseline schedulers (strict 2PL, timestamp ordering)
+   of the PR-10 comparison: protocol behavior on handcrafted conflict
+   scenarios, and the differential oracle that their per-subsystem local
+   schedules are commit-order serializable. *)
+
+open Tpm_core
+module Baseline = Tpm_baseline.Baseline
+module Local = Tpm_composite.Local
+module Generator = Tpm_workload.Generator
+module Rm = Tpm_subsys.Rm
+module Service = Tpm_subsys.Service
+module Tx = Tpm_kv.Tx
+module Value = Tpm_kv.Value
+
+let check = Alcotest.check
+
+let inc key tx ~args:_ =
+  let v = match Tx.get tx key with Value.Int n -> n | _ -> 0 in
+  Tx.set tx key (Value.Int (v + 1));
+  Value.Int (v + 1)
+
+let dec key tx ~args:_ =
+  let v = match Tx.get tx key with Value.Int n -> n | _ -> 0 in
+  Tx.set tx key (Value.Int (v - 1));
+  Value.Int (v - 1)
+
+(* one subsystem "A" with self-conflicting compensatable services *)
+let registry () =
+  let reg = Service.Registry.create () in
+  List.iter
+    (fun name ->
+      Service.Registry.register reg
+        (Service.make ~name
+           ~compensation:(Service.Inverse_service (name ^ "_undo"))
+           ~writes:[ "k." ^ name ] (inc ("k." ^ name)));
+      Service.Registry.register reg
+        (Service.make ~name:(name ^ "_undo") ~writes:[ "k." ^ name ] (dec ("k." ^ name))))
+    [ "s0"; "s1"; "s2" ];
+  reg
+
+let rms () = [ Rm.create ~name:"A" ~registry:(registry ()) () ]
+let spec = Conflict.of_pairs [ ("s1", "s1"); ("s2", "s2") ]
+
+let act ~proc ~act:n ~service =
+  Activity.make ~proc ~act:n ~service ~kind:Activity.Compensatable ~subsystem:"A" ()
+
+let seq pid services =
+  let acts = List.mapi (fun i s -> act ~proc:pid ~act:(i + 1) ~service:s) services in
+  let prec = List.init (List.length services - 1) (fun i -> (i + 1, i + 2)) in
+  Process.make_exn ~pid ~activities:acts ~prec ~pref:[]
+
+let all_cos r =
+  List.for_all (fun (_, l) -> Local.commit_order_serializable l) r.Baseline.locals
+
+(* 2PL serializes two directly conflicting one-activity processes: the
+   second waits for the first's process commit, so the makespan is two
+   full service times *)
+let test_2pl_blocks () =
+  let procs = [ seq 1 [ "s1" ]; seq 2 [ "s1" ] ] in
+  let r = Baseline.run_2pl ~spec ~rms:(rms ()) ~service_time:1.0 procs in
+  check Alcotest.bool "finished" true r.Baseline.finished;
+  check Alcotest.int "both committed" 2 r.Baseline.committed;
+  check Alcotest.int "no restarts" 0 r.Baseline.restarts;
+  check (Alcotest.float 0.001) "serialized makespan" 2.0 r.Baseline.makespan;
+  check Alcotest.bool "locals commit-order serializable" true (all_cos r)
+
+(* TSO lets the same pair overlap (timestamps already order them):
+   makespan is one service time, not two *)
+let test_tso_overlaps () =
+  let procs = [ seq 1 [ "s1" ]; seq 2 [ "s1" ] ] in
+  let r = Baseline.run_tso ~spec ~rms:(rms ()) ~service_time:1.0 procs in
+  check Alcotest.bool "finished" true r.Baseline.finished;
+  check Alcotest.int "both committed" 2 r.Baseline.committed;
+  check Alcotest.int "no aborts" 0 r.Baseline.validation_aborts;
+  check (Alcotest.float 0.001) "overlapped makespan" 1.0 r.Baseline.makespan;
+  check Alcotest.bool "locals commit-order serializable" true (all_cos r)
+
+(* the classic crossed lock order: P1 takes s1 then s2, P2 takes s2 then
+   s1 — strict 2PL deadlocks, the detector aborts the younger process,
+   compensates its prefix and restarts it *)
+let test_2pl_deadlock_victim () =
+  let procs = [ seq 1 [ "s1"; "s2" ]; seq 2 [ "s2"; "s1" ] ] in
+  let r = Baseline.run_2pl ~spec ~rms:(rms ()) ~service_time:1.0 procs in
+  check Alcotest.bool "finished" true r.Baseline.finished;
+  check Alcotest.int "both committed in the end" 2 r.Baseline.committed;
+  check Alcotest.bool "deadlock detected" true (r.Baseline.deadlocks >= 1);
+  check Alcotest.bool "victim restarted" true (r.Baseline.restarts >= 1);
+  check Alcotest.bool "victim prefix compensated" true (r.Baseline.compensations >= 1);
+  check Alcotest.bool "locals commit-order serializable" true (all_cos r)
+
+(* out-of-order access under TSO: P1 (older stamp) reaches the contended
+   service after the younger P2 already stamped it — wts validation
+   aborts P1, which rolls back (compensating its first activity) and
+   restarts with a fresh stamp *)
+let test_tso_validation_abort () =
+  let procs = [ seq 1 [ "s0"; "s1" ]; seq 2 [ "s1" ] ] in
+  let r =
+    Baseline.run_tso ~spec ~rms:(rms ()) ~service_time:1.0
+      ~submit_at:(fun i -> if i = 0 then 0.0 else 0.1)
+      procs
+  in
+  check Alcotest.bool "finished" true r.Baseline.finished;
+  check Alcotest.int "both committed in the end" 2 r.Baseline.committed;
+  check Alcotest.bool "validation abort fired" true (r.Baseline.validation_aborts >= 1);
+  check Alcotest.bool "victim restarted" true (r.Baseline.restarts >= 1);
+  check Alcotest.bool "victim prefix compensated" true (r.Baseline.compensations >= 1);
+  check Alcotest.bool "locals commit-order serializable" true (all_cos r)
+
+(* generator workloads through both protocols: everything terminates and
+   every subsystem's local schedule is commit-order serializable *)
+let params =
+  {
+    Generator.default_params with
+    activities_min = 3;
+    activities_max = 6;
+    services = 6;
+    conflict_density = 0.5;
+    subsystems = 3;
+  }
+
+let run_generated kind ~seed ~fail =
+  let spec = Generator.spec params in
+  let rms = Generator.rms params ~fail_prob:(fun _ -> fail) ~seed () in
+  let procs = Generator.batch ~seed:(seed * 100) params ~n:5 in
+  Baseline.run kind ~spec ~rms ~submit_at:(fun i -> 0.3 *. float_of_int i) procs
+
+let test_generated_smoke () =
+  List.iter
+    (fun kind ->
+      List.iter
+        (fun seed ->
+          let r = run_generated kind ~seed ~fail:0.0 in
+          check Alcotest.bool "finished" true r.Baseline.finished;
+          check Alcotest.int "all terminal" 5 (r.Baseline.committed + r.Baseline.aborted);
+          check Alcotest.bool "locals commit-order serializable" true (all_cos r))
+        [ 3; 7 ])
+    [ Baseline.Two_pl; Baseline.Tso ]
+
+(* differential property: on random workloads (with injected invocation
+   failures), both classical protocols produce per-subsystem local
+   schedules that Local.commit_order_serializable accepts *)
+let arb_seed = QCheck.make ~print:string_of_int (QCheck.Gen.int_bound 100_000)
+
+let differential_prop kind name =
+  QCheck.Test.make ~name ~count:60 arb_seed (fun seed ->
+      let r = run_generated kind ~seed ~fail:0.1 in
+      r.Baseline.finished && all_cos r)
+
+let suite =
+  [
+    Alcotest.test_case "2PL serializes conflicting processes" `Quick test_2pl_blocks;
+    Alcotest.test_case "TSO overlaps stamped conflicts" `Quick test_tso_overlaps;
+    Alcotest.test_case "2PL deadlock detection and victim abort" `Quick
+      test_2pl_deadlock_victim;
+    Alcotest.test_case "TSO wts/rts validation abort" `Quick test_tso_validation_abort;
+    Alcotest.test_case "generated workloads terminate" `Quick test_generated_smoke;
+    QCheck_alcotest.to_alcotest
+      (differential_prop Baseline.Two_pl "2PL locals are commit-order serializable");
+    QCheck_alcotest.to_alcotest
+      (differential_prop Baseline.Tso "TSO locals are commit-order serializable");
+  ]

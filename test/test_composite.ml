@@ -103,6 +103,119 @@ let test_fork_inconsistent_local () =
   check Alcotest.bool "weak order violated" false (Fork.weak_order_realized f);
   check Alcotest.bool "composite inconsistent" false (Fork.consistent f)
 
+(* PR-10 regression: the checker passes are item-indexed with one-shot
+   commit-position tables — a 10k-event history must check in well under
+   a second (the former all-pairs walks with per-pair list scans were
+   quadratic at this size) *)
+let test_large_history_fast () =
+  let n_txs = 2000 in
+  let evs =
+    List.concat
+      (List.init n_txs (fun i ->
+           let tx = i + 1 in
+           let item j = Printf.sprintf "i%d" ((i + j) mod 397) in
+           [ r tx (item 0); w tx (item 1); r tx (item 2); w tx (item 3); c tx ]))
+  in
+  let l = Local.make evs in
+  let t0 = Unix.gettimeofday () in
+  ignore (Local.serializable l);
+  ignore (Local.commit_order_serializable l);
+  ignore (Local.respects_weak_order l (Local.conflict_pairs l));
+  let dt = Unix.gettimeofday () -. t0 in
+  check Alcotest.bool
+    (Printf.sprintf "10k-event history checked in %.3fs" dt)
+    true (dt < 1.0)
+
+(* QCheck: the graph-based serializability checker agrees with the
+   brute-force definition — some permutation of the committed
+   transactions orders every conflicting committed operation pair *)
+
+let gen_history seed =
+  let rng = Tpm_sim.Prng.create seed in
+  let n_txs = 2 + Tpm_sim.Prng.int rng 3 in
+  let items = [| "x"; "y" |] in
+  (* per-transaction event queues: 1-3 ops then a terminal *)
+  let queues =
+    Array.init n_txs (fun i ->
+        let tx = i + 1 in
+        let ops =
+          List.init
+            (1 + Tpm_sim.Prng.int rng 3)
+            (fun _ ->
+              let item = items.(Tpm_sim.Prng.int rng (Array.length items)) in
+              let mode = if Tpm_sim.Prng.chance rng 0.6 then `Write else `Read in
+              Local.Op { Local.tx; item; mode })
+        in
+        let terminal = if Tpm_sim.Prng.chance rng 0.8 then c tx else a tx in
+        ref (ops @ [ terminal ]))
+  in
+  (* random fair merge preserving each transaction's order *)
+  let evs = ref [] in
+  let remaining = ref (Array.fold_left (fun n q -> n + List.length !q) 0 queues) in
+  while !remaining > 0 do
+    let i = Tpm_sim.Prng.int rng n_txs in
+    match !(queues.(i)) with
+    | [] -> ()
+    | e :: rest ->
+        queues.(i) := rest;
+        evs := e :: !evs;
+        decr remaining
+  done;
+  Local.make (List.rev !evs)
+
+(* every ordered pair (t1, t2) of distinct committed transactions with a
+   conflicting operation of t1 preceding one of t2 -- derived straight
+   from the raw event list, independently of [Local.conflict_pairs] *)
+let brute_conflict_pairs l =
+  let committed = Local.committed l in
+  let evs = Array.of_list (Local.events l) in
+  let pairs = ref [] in
+  Array.iteri
+    (fun i e1 ->
+      match e1 with
+      | Local.Op o1 when List.mem o1.Local.tx committed ->
+          for j = i + 1 to Array.length evs - 1 do
+            match evs.(j) with
+            | Local.Op o2
+              when List.mem o2.Local.tx committed && Local.ops_conflict o1 o2 ->
+                if not (List.mem (o1.Local.tx, o2.Local.tx) !pairs) then
+                  pairs := (o1.Local.tx, o2.Local.tx) :: !pairs
+            | _ -> ()
+          done
+      | _ -> ())
+    evs;
+  !pairs
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | l ->
+      List.concat_map
+        (fun x ->
+          List.map (fun p -> x :: p) (permutations (List.filter (( <> ) x) l)))
+        l
+
+let brute_serializable l =
+  let pairs = brute_conflict_pairs l in
+  let before order t1 t2 =
+    let rec idx n = function
+      | [] -> max_int
+      | x :: _ when x = t1 || x = t2 -> if x = t1 then n else max_int
+      | _ :: rest -> idx (n + 1) rest
+    in
+    idx 0 order < max_int
+  in
+  List.exists
+    (fun order -> List.for_all (fun (t1, t2) -> before order t1 t2) pairs)
+    (permutations (Local.committed l))
+
+let arb_seed = QCheck.make ~print:string_of_int (QCheck.Gen.int_bound 100_000)
+
+let prop_serializable_brute_force =
+  QCheck.Test.make ~name:"serializable agrees with permutation brute force" ~count:300
+    arb_seed (fun seed ->
+      let l = gen_history seed in
+      Local.serializable l = brute_serializable l)
+
 let suite =
   [
     Alcotest.test_case "operation conflicts" `Quick test_conflicts;
@@ -113,4 +226,6 @@ let suite =
       test_rejects_events_after_terminal;
     Alcotest.test_case "fork composition consistent" `Quick test_fork_consistent;
     Alcotest.test_case "fork composition violation detected" `Quick test_fork_inconsistent_local;
+    Alcotest.test_case "10k-event history checks fast" `Quick test_large_history_fast;
+    QCheck_alcotest.to_alcotest prop_serializable_brute_force;
   ]

@@ -1,0 +1,56 @@
+(* PR-10 bit-identity guard: with weak-order enforcement, multi-level
+   composition, and the classical baselines all disabled (the default
+   config), scheduler runs must be bit-identical to pre-PR behavior.
+   The fingerprints below were captured at the commit preceding this PR
+   over the crashsweep workload (3 modes x 2 seeds) and cover process
+   outcomes, execution traces, attempt counts, per-subsystem stores,
+   locks and logs. *)
+module Scheduler = Tpm_scheduler.Scheduler
+module Generator = Tpm_workload.Generator
+
+let params =
+  {
+    Generator.default_params with
+    activities_min = 3;
+    activities_max = 6;
+    services = 6;
+    conflict_density = 0.3;
+    subsystems = 3;
+  }
+
+let golden =
+  [
+    ("conservative", 7, "P1:done(C),x[a_{1_1}^c;a_{1_2}^p;a_{1_3}^r;],e[a_{1_1}^c;a_{1_2}^p;a_{1_3}^r;],c[]|P2:done(C),x[a_{2_1}^c;a_{2_2}^c;a_{2_3}^c;a_{2_4}^c;a_{2_5}^c;a_{2_6}^c;],e[a_{2_1}^c;a_{2_2}^c;a_{2_3}^c;a_{2_4}^c;a_{2_5}^c;a_{2_6}^c;],c[]|P3:done(A),ab,x[a_{3_1}^c;a_{3_2}^c;a_{3_2}^-1;a_{3_1}^-1;],e[a_{3_1}^c;a_{3_2}^c;a_{3_2}^-1;a_{3_1}^-1;],c[]|P4:done(A),ab,x[],e[],c[]|rb[]at[1.1=1;1.2=1;1.3=1;2.1=1;2.2=1;2.3=1;2.4=1;2.5=1;2.6=1;3.1=1;3.2=1;]{ss0|k0=2|k3=2|p:|d:|k:|l:1000001,2000001,2000003,2000006,|c4}{ss1|k1=1|k4=1|p:|d:|k:|l:-3000003,1000002,2000005,|c4}{ss2|k2=2|k5=1|p:|d:|k:|l:-3000002,1000003,2000002,2000004,|c5}{next=1}bus[];q0");
+    ("conservative", 21, "P1:done(A),ab,x[a_{1_1}^c;a_{1_1}^-1;],e[a_{1_1}^c;a_{1_1}^-1;],c[]|P2:done(C),x[a_{2_1}^c;a_{2_2}^c;a_{2_3}^c;a_{2_4}^c;],e[a_{2_1}^c;a_{2_2}^c;a_{2_3}^c;a_{2_4}^c;],c[]|P3:done(A),ab,x[],e[],c[]|P4:done(A),ab,x[],e[],c[]|rb[]at[1.1=2;2.1=1;2.2=1;2.3=1;2.4=1;]{ss0|k3=2|p:|d:|k:|l:2000002,2000003,|c2}{ss1|k4=1|p:|d:|k:|l:2000001,|c1}{ss2|k2=1|k5=0|p:|d:|k:|l:-1000002,2000004,|c3}{next=1}bus[];q0");
+    ("deferred", 7, "P1:done(C),x[a_{1_1}^c;a_{1_2}^p;a_{1_3}^r;],e[a_{1_1}^c;a_{1_2}^p;a_{1_3}^r;],c[]|P2:done(C),x[a_{2_1}^c;a_{2_2}^c;a_{2_3}^c;a_{2_4}^c;a_{2_5}^c;a_{2_6}^c;],e[a_{2_1}^c;a_{2_2}^c;a_{2_3}^c;a_{2_4}^c;a_{2_5}^c;a_{2_6}^c;],c[]|P3:done(C),x[a_{3_1}^c;a_{3_2}^c;a_{3_3}^p;a_{3_4}^r;],e[a_{3_1}^c;a_{3_2}^c;a_{3_3}^p;a_{3_4}^r;],c[]|P4:done(C),x[a_{4_1}^p;a_{4_2}^r;],e[a_{4_1}^p;a_{4_2}^r;],c[]|rb[]at[1.1=1;1.2=1;1.3=1;2.1=1;2.2=1;2.3=1;2.4=1;2.5=1;2.6=1;3.1=1;3.2=1;3.3=1;3.4=1;4.1=1;4.2=1;]{ss0|k0=3|k3=4|p:|d:|k:1=true,2=true,4=true,|l:1000001,2000001,2000003,2000006,|c7}{ss1|k1=2|k4=1|p:|d:|k:|l:1000002,2000005,3000002,|c3}{ss2|k2=4|k5=1|p:|d:|k:3=true,|l:1000003,2000002,2000004,3000001,|c5}{next=5}bus[];q0");
+    ("deferred", 21, "P1:done(C),x[a_{1_1}^c;a_{1_2}^p;a_{1_3}^c;a_{1_4}^c;],e[a_{1_1}^c;a_{1_2}^p;a_{1_3}^c;a_{1_4}^c;],c[]|P2:done(C),x[a_{2_1}^c;a_{2_2}^c;a_{2_3}^c;a_{2_4}^c;],e[a_{2_1}^c;a_{2_2}^c;a_{2_3}^c;a_{2_4}^c;],c[]|P3:done(C),x[a_{3_1}^p;a_{3_2}^c;a_{3_3}^c;a_{3_4}^c;],e[a_{3_1}^p;a_{3_2}^c;a_{3_3}^c;a_{3_4}^c;],c[]|P4:done(C),x[a_{4_1}^p;a_{4_2}^c;a_{4_3}^c;a_{4_4}^c;a_{4_5}^c;a_{4_6}^c;],e[a_{4_1}^p;a_{4_2}^c;a_{4_3}^c;a_{4_4}^c;a_{4_5}^c;a_{4_6}^c;],c[]|rb[]at[1.1=2;1.2=2;1.3=2;1.4=1;2.1=1;2.2=1;2.3=1;2.4=1;3.1=1;3.2=3;3.3=1;3.4=1;4.1=4;4.2=1;4.3=1;4.4=1;4.5=1;4.6=1;]{ss0|k0=2|k3=4|p:|d:|k:1=true,|l:1000003,1000004,2000002,2000003,3000004,|c6}{ss1|k1=3|k4=2|p:|d:|k:2=true,|l:2000001,3000003,4000004,4000006,|c5}{ss2|k2=2|k5=5|p:|d:|k:3=true,|l:1000001,2000004,3000002,4000002,4000003,4000005,|c7}{next=4}bus[];q0");
+    ("quasi", 7, "P1:done(C),x[a_{1_1}^c;a_{1_2}^p;a_{1_3}^r;],e[a_{1_1}^c;a_{1_2}^p;a_{1_3}^r;],c[]|P2:done(C),x[a_{2_1}^c;a_{2_2}^c;a_{2_3}^c;a_{2_4}^c;a_{2_5}^c;a_{2_6}^c;],e[a_{2_1}^c;a_{2_2}^c;a_{2_3}^c;a_{2_4}^c;a_{2_5}^c;a_{2_6}^c;],c[]|P3:done(C),x[a_{3_1}^c;a_{3_2}^c;a_{3_3}^p;a_{3_4}^r;],e[a_{3_1}^c;a_{3_2}^c;a_{3_3}^p;a_{3_4}^r;],c[]|P4:done(C),x[a_{4_1}^p;a_{4_2}^r;],e[a_{4_1}^p;a_{4_2}^r;],c[]|rb[]at[1.1=1;1.2=1;1.3=1;2.1=1;2.2=1;2.3=1;2.4=1;2.5=1;2.6=1;3.1=1;3.2=1;3.3=1;3.4=1;4.1=1;4.2=1;]{ss0|k0=3|k3=4|p:|d:|k:1=true,2=true,4=true,|l:1000001,2000001,2000003,2000006,|c7}{ss1|k1=2|k4=1|p:|d:|k:|l:1000002,2000005,3000002,|c3}{ss2|k2=4|k5=1|p:|d:|k:3=true,|l:1000003,2000002,2000004,3000001,|c5}{next=5}bus[];q0");
+    ("quasi", 21, "P1:done(C),x[a_{1_1}^c;a_{1_2}^p;a_{1_3}^c;a_{1_4}^c;],e[a_{1_1}^c;a_{1_2}^p;a_{1_3}^c;a_{1_4}^c;],c[]|P2:done(C),x[a_{2_1}^c;a_{2_2}^c;a_{2_3}^c;a_{2_4}^c;],e[a_{2_1}^c;a_{2_2}^c;a_{2_3}^c;a_{2_4}^c;],c[]|P3:done(C),x[a_{3_1}^p;a_{3_2}^c;a_{3_3}^c;a_{3_4}^c;],e[a_{3_1}^p;a_{3_2}^c;a_{3_3}^c;a_{3_4}^c;],c[]|P4:done(C),x[a_{4_1}^p;a_{4_2}^c;a_{4_3}^c;a_{4_4}^c;a_{4_5}^c;a_{4_6}^c;],e[a_{4_1}^p;a_{4_2}^c;a_{4_3}^c;a_{4_4}^c;a_{4_5}^c;a_{4_6}^c;],c[]|rb[]at[1.1=2;1.2=2;1.3=2;1.4=1;2.1=1;2.2=1;2.3=1;2.4=1;3.1=1;3.2=3;3.3=1;3.4=1;4.1=4;4.2=1;4.3=1;4.4=1;4.5=1;4.6=1;]{ss0|k0=2|k3=4|p:|d:|k:1=true,|l:1000003,1000004,2000002,2000003,3000004,|c6}{ss1|k1=3|k4=2|p:|d:|k:2=true,|l:2000001,3000003,4000004,4000006,|c5}{ss2|k2=2|k5=5|p:|d:|k:3=true,|l:1000001,2000004,3000002,4000002,4000003,4000005,|c7}{next=4}bus[];q0");
+  ]
+
+let run ~mode ~seed =
+  let config = { Scheduler.default_config with mode; seed } in
+  let rms = Generator.rms params ~fail_prob:(fun _ -> 0.2) ~seed () in
+  let t = Scheduler.create ~config ~spec:(Generator.spec params) ~rms () in
+  let procs = Generator.batch ~seed:(seed * 100) params ~n:4 in
+  List.iteri (fun i p -> Scheduler.submit t ~at:(0.4 *. float_of_int i) p) procs;
+  Scheduler.run ~until:100000.0 t;
+  Scheduler.state_fingerprint t
+
+let mode_of = function
+  | "conservative" -> Scheduler.Conservative
+  | "deferred" -> Scheduler.Deferred
+  | "quasi" -> Scheduler.Quasi
+  | m -> invalid_arg m
+
+let test_bit_identity () =
+  List.iter
+    (fun (mode_name, seed, expect) ->
+      Alcotest.check Alcotest.string
+        (Printf.sprintf "%s seed=%d bit-identical to pre-PR run" mode_name seed)
+        expect
+        (run ~mode:(mode_of mode_name) ~seed))
+    golden
+
+let suite =
+  [ Alcotest.test_case "default-config runs match pre-PR fingerprints" `Quick test_bit_identity ]

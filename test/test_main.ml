@@ -15,6 +15,7 @@ let () =
       ("explore", Test_explore.suite);
       ("twopc-coord", Test_twopc_coord.suite);
       ("weak-order", Test_weak_order.suite);
+      ("enforce", Test_enforce.suite);
       ("workloads", Test_workloads.suite);
       ("builder", Test_builder.suite);
       ("sim", Test_sim.suite);
@@ -25,4 +26,6 @@ let () =
       ("server", Test_server.suite);
       ("shard", Test_shard.suite);
       ("pager", Test_pager.suite);
+      ("fingerprint", Test_fingerprint.suite);
+      ("baseline", Test_baseline.suite);
     ]

@@ -109,7 +109,19 @@ dune exec bench/main.exe -- p14 --quick --min-throughput 20000
 # no replayed record below the plan's bound), and the Tx read-set must
 # stay linear (>= 100k reads/s in one transaction; measured ~1M)
 dune exec bench/main.exe -- p17 --quick --min-hit-rate 0.95 --min-tx-reads 100000
+# composite crash sweep at full coverage: crash at EVERY append while a
+# grouped subprocess (Compose) is mid-flight under the enforced weak
+# order, recover with the groups re-declared, and require the recovered
+# subsystem histories commit-order serializable (runtest runs a strided
+# slice; this arm exhausts all crash points for every seed)
+dune exec tools/crashsweep.exe -- --composite-only
+# p18 smoke: the headline — at the highest conflict density PRED with the
+# subsystem-enforced weak order must out-throughput BOTH classical
+# baselines (strict 2PL and TSO over whole-process transactions), the
+# weak order must shorten the PRED makespan by >= 1.05x, and the bench
+# must exercise the retriable re-invocation path (> 0 local restarts)
+dune exec bench/main.exe -- p18 --quick --min-weak-speedup 1.05 --check-baselines
 # full bench regenerates the reference output, bench/BENCH_P11.json,
 # bench/BENCH_P12.json, bench/BENCH_P14.json, bench/BENCH_P15.json,
-# bench/BENCH_P16.json and bench/BENCH_P17.json
+# bench/BENCH_P16.json, bench/BENCH_P17.json and bench/BENCH_P18.json
 dune exec bench/main.exe > bench/bench_output.txt 2>&1

@@ -26,6 +26,8 @@ module Service = Tpm_subsys.Service
 module Store = Tpm_kv.Store
 module Wal = Tpm_wal.Wal
 module Obs = Tpm_obs.Obs
+module Compose = Tpm_composite.Compose
+module Local = Tpm_composite.Local
 
 (* every sweep run carries a small ring tracer so a failing crash point
    dumps its last trace events + metrics snapshot straight into the CI log *)
@@ -143,9 +145,10 @@ let forward_in_history h pid act =
       | Schedule.Commit _ | Schedule.Abort _ | Schedule.Group_abort _ -> false)
     (Schedule.events h)
 
-let recover_and_check ~complain ~check ~config ~spec ~rms ~procs ~seed records =
+let recover_and_check ?(groups = []) ~complain ~check ~config ~spec ~rms ~procs ~seed records
+    =
   let durable = durable_commits records in
-  match Scheduler.recover ~config ~tracer:(mk_tracer ()) ~spec ~rms ~procs records with
+  match Scheduler.recover ~config ~tracer:(mk_tracer ()) ~groups ~spec ~rms ~procs records with
   | Error e -> complain ("recovery failed: " ^ e)
   | Ok t2 ->
       let failed = ref false in
@@ -161,6 +164,12 @@ let recover_and_check ~complain ~check ~config ~spec ~rms ~procs ~seed records =
       check "leaked prepared invocation"
         (List.for_all (fun rm -> Rm.prepared_tokens rm = []) rms);
       check "stores not explained by recovered history" (replay_explains h rms ~seed);
+      (* under order enforcement the post-crash local schedules must stay
+         commit-order serializable (vacuous when enforcement is off) *)
+      check "recovered locals not commit-order serializable"
+        (List.for_all
+           (fun (_, l) -> Tpm_composite.Local.commit_order_serializable l)
+           (Scheduler.local_histories t2));
       (* presumed-abort soundness: a decision the coordinator made durable
          must never be contradicted by recovery, however many messages
          were lost in the crash *)
@@ -808,10 +817,93 @@ let page_sweep ~seed ~stride =
     seed !points nflushes !bounded_skips !failures;
   !failures
 
+(* ------------------------------------------------------------------ *)
+(* Composite axis: multi-level composition (subprocess groups) under
+   the enforced weak order, crashed at every (strided) WAL append.  A
+   crash mid-subprocess must replay consistently: recovery is handed the
+   same group declarations, the recovered history passes the full oracle
+   suite, and the surviving local schedules stay commit-order
+   serializable. *)
+
+let composite_procs =
+  List.init n_procs (fun i ->
+      let pid = i + 1 in
+      let svc k = Printf.sprintf "svc%d" ((pid + k) mod params.Generator.services) in
+      let ss k = Printf.sprintf "ss%d" ((pid + k) mod params.Generator.subsystems) in
+      let act k service subsystem =
+        Activity.make ~proc:pid ~act:k ~service ~kind:Activity.Compensatable ~subsystem ()
+      in
+      Process.make_exn ~pid
+        ~activities:[ act 1 (svc 0) (ss 0); act 2 (svc 1) (ss 1); act 3 (svc 2) (ss 2) ]
+        ~prec:[ (1, 2); (2, 3) ]
+        ~pref:[])
+
+let composite_groups =
+  List.map
+    (fun p -> (Process.pid p, [ { Compose.gname = "head"; members = [ 1; 2 ] } ]))
+    composite_procs
+
+let submit_all_grouped t procs =
+  List.iteri
+    (fun i p ->
+      let groups = List.assoc (Process.pid p) composite_groups in
+      Scheduler.submit t ~at:(0.4 *. float_of_int i) ~groups p)
+    procs
+
+let composite_sweep ~seed ~stride =
+  let config =
+    {
+      Scheduler.default_config with
+      mode = Scheduler.Deferred;
+      seed;
+      weak_order = true;
+      order_enforcement = true;
+    }
+  in
+  let spec = Generator.spec params in
+  let procs = composite_procs in
+  (* fault-free baseline: count the WAL appends (the crash axis) *)
+  let t0 =
+    Scheduler.create ~config ~spec ~rms:(fresh_rms seed) ~tracer:(mk_tracer ()) ()
+  in
+  submit_all_grouped t0 procs;
+  Scheduler.run ~until:horizon t0;
+  if not (Scheduler.finished t0) then
+    failwith (Printf.sprintf "crashsweep: composite baseline seed=%d did not finish" seed);
+  let appends = List.length (Scheduler.wal_records t0) in
+  let failures = ref 0 in
+  let points = ref 0 in
+  let k = ref 1 in
+  while !k <= appends do
+    incr points;
+    let complain name =
+      incr failures;
+      Format.printf "seed=%d composite crash@%d: %s@." seed !k name
+    in
+    let check name cond = if not cond then complain name in
+    let rms = fresh_rms seed in
+    let t =
+      Scheduler.create ~config
+        ~faults:(Faults.make ~crash_after_appends:!k ())
+        ~tracer:(mk_tracer ()) ~spec ~rms ()
+    in
+    submit_all_grouped t procs;
+    Scheduler.run ~until:horizon t;
+    let records = Scheduler.wal_records t in
+    check "crash trigger did not fire" (Scheduler.is_crashed t);
+    recover_and_check ~groups:composite_groups ~complain ~check ~config ~spec ~rms ~procs
+      ~seed records;
+    k := !k + stride
+  done;
+  Format.printf "crashsweep: seed=%d composite axis: %d of %d crash points, %d failures@."
+    seed !points appends !failures;
+  !failures
+
 let () =
   let disk_only = Array.exists (( = ) "--disk-only") Sys.argv in
   let serve_only = Array.exists (( = ) "--serve-only") Sys.argv in
   let pages_only = Array.exists (( = ) "--pages-only") Sys.argv in
+  let composite_only = Array.exists (( = ) "--composite-only") Sys.argv in
   let failures =
     if disk_only then
       (* full-coverage disk sweep: every crash point, every byte *)
@@ -834,6 +926,9 @@ let () =
     else if pages_only then
       (* full-coverage page sweep: every seed, every flush crash point *)
       List.fold_left (fun acc seed -> acc + page_sweep ~seed ~stride:1) 0 seeds
+    else if composite_only then
+      (* full-coverage composite sweep: every seed, every crash point *)
+      List.fold_left (fun acc seed -> acc + composite_sweep ~seed ~stride:1) 0 seeds
     else
       List.fold_left
         (fun acc seed ->
@@ -852,6 +947,9 @@ let () =
       (* strided page axis on one seed; the full sweep runs behind
          [--pages-only] in CI *)
       + page_sweep ~seed:11 ~stride:4
+      (* strided composite axis: crash mid-subprocess under the enforced
+         weak order, recover with the same group declarations *)
+      + composite_sweep ~seed:11 ~stride:3
   in
   if failures = 0 then Format.printf "crashsweep: all crash points recovered@."
   else Format.printf "crashsweep: %d FAILURES@." failures;

@@ -220,6 +220,18 @@ let selftest o =
       Sys.remove tmp);
   (* 4. the unmutated configuration must NOT trip the mutation oracle *)
   check "no false positive without the mutation" (rp.found = []);
+  (* 5. Section 3.6: the enforced weak order racing a group abort and
+     in-doubt 2PC instances (plus crash points) — exhaustible, and every
+     branch keeps the locals commit-order serializable on top of the
+     usual oracle suite *)
+  List.iter
+    (fun name ->
+      let sc = scenario_exn name in
+      let r = E.explore sc in
+      check
+        (Printf.sprintf "%s exhaustive, zero violations" name)
+        ((not r.stats.truncated) && r.found = []))
+    [ "weak-abort"; "weak-indoubt"; "weak-indoubt-crash" ];
   if !failures = 0 then Printf.printf "explore selftest: all checks passed\n"
   else Printf.printf "explore selftest: %d FAILURES\n" !failures;
   exit (if !failures = 0 then 0 else 1)
@@ -231,7 +243,10 @@ let () =
   | None ->
       if o.selftest then selftest o
       else begin
-        let names = if o.names = [] then [ "lemma1"; "twopc3"; "twopc3-crash" ] else o.names in
+        let names =
+          if o.names = [] then [ "lemma1"; "twopc3"; "twopc3-crash"; "weak-abort"; "weak-indoubt"; "weak-indoubt-crash" ]
+          else o.names
+        in
         let records = ref [] in
         let violating = ref false in
         List.iter
